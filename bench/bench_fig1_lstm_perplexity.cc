@@ -1,0 +1,53 @@
+// Reproduces Figure 1: LSTM test perplexity per product for the paper's
+// 12 architectures (layers in {1,2,3} x nodes in {10,100,200,300}),
+// trained for 14 epochs on the 70/10/20 split. The paper's minimum is
+// 11.6 at 1 layer x 200 nodes; the expected *shape* is a U over width
+// with deeper stacks strictly worse (capacity vs. data).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "models/lstm_lm.h"
+
+int main(int argc, char** argv) {
+  long long epochs = 14;
+  hlm::FlagSet flags;
+  flags.AddInt64("epochs", &epochs, "training epochs per architecture");
+  auto env = hlm::bench::MakeEnv(argc, argv, &flags);
+  hlm::bench::PrintBanner(
+      "Figure 1: LSTM average perplexity per product (test set)",
+      "Fig. 1 -- min 11.6 at 1 layer x 200 nodes; deeper stacks worse",
+      env);
+
+  const int vocab = env.world.corpus.num_categories();
+  std::printf("\n%-8s", "nodes");
+  for (int layers : {1, 2, 3}) std::printf(" | %d layer%s", layers, layers > 1 ? "s" : " ");
+  std::printf("\n");
+
+  double best = 1e300;
+  int best_layers = 0, best_nodes = 0;
+  for (int nodes : {10, 100, 200, 300}) {
+    std::printf("%-8d", nodes);
+    for (int layers : {1, 2, 3}) {
+      hlm::models::LstmConfig config;
+      config.hidden_size = nodes;
+      config.num_layers = layers;
+      config.epochs = static_cast<int>(epochs);
+      hlm::models::LstmLanguageModel lstm(vocab, config);
+      lstm.Train(env.train_seqs, env.valid_seqs);
+      double ppl = lstm.Perplexity(env.test_seqs);
+      std::printf(" | %8s", hlm::FormatDouble(ppl, 2).c_str());
+      std::fflush(stdout);
+      if (ppl < best) {
+        best = ppl;
+        best_layers = layers;
+        best_nodes = nodes;
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\nbest: %s at %d layer(s) x %d nodes (paper: 11.6 at 1x200)\n",
+              hlm::FormatDouble(best, 2).c_str(), best_layers, best_nodes);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Reproduces Figure 3: recall and F1 (with 95% confidence intervals) of
+// the LDA3, LSTM, and CHH recommenders over the probability-threshold
+// sweep phi in [0, 0.4], under the 13-window sliding protocol of §5.1.
+// Paper's shape: LDA3 recall/F1 consistently above LSTM and CHH for
+// phi <= 0.2; confidence intervals overlap at high phi where the models
+// stop recommending.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "recsys/evaluation.h"
+
+namespace {
+
+void PrintSeries(const char* name,
+                 const std::vector<hlm::recsys::ThresholdEvaluation>& evals) {
+  std::printf("\n-- %s --\n", name);
+  std::printf("%-6s | %-22s | %-22s | %-10s\n", "phi",
+              "recall [95%% CI]", "F1 [95%% CI]", "precision");
+  for (const auto& e : evals) {
+    char recall[64], f1[64];
+    std::snprintf(recall, sizeof(recall), "%.3f [%.3f, %.3f]", e.mean_recall,
+                  e.recall_ci.lo, e.recall_ci.hi);
+    std::snprintf(f1, sizeof(f1), "%.3f [%.3f, %.3f]", e.mean_f1,
+                  e.f1_ci.lo, e.f1_ci.hi);
+    std::printf("%-6s | %-22s | %-22s | %-10s\n",
+                hlm::FormatDouble(e.threshold, 2).c_str(), recall, f1,
+                e.any_retrieved
+                    ? hlm::FormatDouble(e.mean_precision, 3).c_str()
+                    : "undefined");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long epochs = 14;
+  hlm::FlagSet flags;
+  flags.AddInt64("epochs", &epochs, "LSTM training epochs");
+  auto env = hlm::bench::MakeEnv(argc, argv, &flags);
+  hlm::bench::PrintBanner(
+      "Figure 3: recommendation recall / F1 vs probability threshold",
+      "Fig. 3 -- LDA3 recall & F1 above LSTM and CHH for phi <= 0.2", env);
+
+  auto recommenders =
+      hlm::bench::TrainRecommenders(env, static_cast<int>(epochs));
+
+  hlm::recsys::RecommendationEvalConfig config;
+  config.thresholds = hlm::recsys::DefaultThresholds();
+
+  auto lda_evals = hlm::recsys::EvaluateRecommender(*recommenders.lda,
+                                                    env.world.corpus, config);
+  auto lstm_evals = hlm::recsys::EvaluateRecommender(*recommenders.lstm,
+                                                     env.world.corpus, config);
+  auto chh_evals = hlm::recsys::EvaluateRecommender(*recommenders.chh,
+                                                    env.world.corpus, config);
+
+  PrintSeries("LDA4 (paper: LDA3)", lda_evals);
+  PrintSeries("LSTM", lstm_evals);
+  PrintSeries("CHH (exact, depth 2)", chh_evals);
+
+  // Headline comparison at the paper's operating range.
+  std::printf("\n-- summary at phi in {0.05, 0.10, 0.15} --\n");
+  int lda_wins_recall = 0, lda_wins_f1 = 0, comparisons = 0;
+  for (size_t i = 1; i <= 3 && i < lda_evals.size(); ++i) {
+    ++comparisons;
+    if (lda_evals[i].mean_recall > lstm_evals[i].mean_recall &&
+        lda_evals[i].mean_recall > chh_evals[i].mean_recall) {
+      ++lda_wins_recall;
+    }
+    if (lda_evals[i].mean_f1 > lstm_evals[i].mean_f1 &&
+        lda_evals[i].mean_f1 > chh_evals[i].mean_f1) {
+      ++lda_wins_f1;
+    }
+  }
+  std::printf("LDA best recall at %d/%d thresholds, best F1 at %d/%d\n",
+              lda_wins_recall, comparisons, lda_wins_f1, comparisons);
+  return 0;
+}

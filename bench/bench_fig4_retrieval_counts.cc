@@ -1,0 +1,80 @@
+// Reproduces Figure 4: the average number of retrieved, correctly
+// retrieved, and relevant (ground truth) products per sliding window for
+// LDA3, LSTM, and CHH, across phi in [0, 0.9], plus the uniform-random
+// baseline (score 1/38: retrieves everything below phi = 1/38, nothing
+// above). Paper's shape: CHH retrieves the most (over-recommends ->
+// lower precision), all methods collapse to zero retrievals beyond
+// phi ~ 0.5, relevant count is constant.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "recsys/evaluation.h"
+
+namespace {
+
+std::vector<double> Fig4Thresholds() {
+  std::vector<double> t;
+  for (int i = 0; i <= 9; ++i) t.push_back(0.1 * i);
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long epochs = 14;
+  hlm::FlagSet flags;
+  flags.AddInt64("epochs", &epochs, "LSTM training epochs");
+  auto env = hlm::bench::MakeEnv(argc, argv, &flags);
+  hlm::bench::PrintBanner(
+      "Figure 4: retrieved / correctly retrieved / relevant products",
+      "Fig. 4 -- CHH over-retrieves; no retrievals beyond phi ~ 0.5", env);
+
+  auto recommenders =
+      hlm::bench::TrainRecommenders(env, static_cast<int>(epochs));
+
+  hlm::recsys::RecommendationEvalConfig config;
+  config.thresholds = Fig4Thresholds();
+
+  auto lda = hlm::recsys::EvaluateRecommender(*recommenders.lda,
+                                              env.world.corpus, config);
+  auto lstm = hlm::recsys::EvaluateRecommender(*recommenders.lstm,
+                                               env.world.corpus, config);
+  auto chh = hlm::recsys::EvaluateRecommender(*recommenders.chh,
+                                              env.world.corpus, config);
+  auto random = hlm::recsys::EvaluateRandomBaseline(env.world.corpus, config);
+
+  std::printf("\nper-window averages (over %zu windows)\n",
+              lda[0].windows.size());
+  std::printf("%-5s | %-17s | %-17s | %-17s | %-17s | %-9s\n", "phi",
+              "LDA ret/corr", "LSTM ret/corr", "CHH ret/corr",
+              "random ret/corr", "relevant");
+  for (size_t i = 0; i < config.thresholds.size(); ++i) {
+    auto cell = [](const hlm::recsys::ThresholdEvaluation& e) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%7.1f /%7.1f", e.mean_retrieved,
+                    e.mean_correct);
+      return std::string(buf);
+    };
+    std::printf("%-5s | %-17s | %-17s | %-17s | %-17s | %-9s\n",
+                hlm::FormatDouble(config.thresholds[i], 1).c_str(),
+                cell(lda[i]).c_str(), cell(lstm[i]).c_str(),
+                cell(chh[i]).c_str(), cell(random[i]).c_str(),
+                hlm::FormatDouble(lda[i].mean_relevant, 1).c_str());
+  }
+
+  // Shape checks mirrored from the paper's discussion.
+  std::printf("\nchecks:\n");
+  std::printf("  CHH retrieves >= LDA3 at phi = 0.1: %s\n",
+              chh[1].mean_retrieved >= lda[1].mean_retrieved ? "yes" : "no");
+  bool collapsed = !lda.back().any_retrieved && !chh.back().any_retrieved;
+  std::printf("  no LDA/CHH retrievals at phi = 0.9: %s\n",
+              collapsed ? "yes" : "no");
+  std::printf("  random baseline retrieves all below 1/38 and none above: "
+              "%s\n",
+              random[0].mean_retrieved > 0 && random[1].mean_retrieved == 0
+                  ? "yes"
+                  : "no");
+  return 0;
+}

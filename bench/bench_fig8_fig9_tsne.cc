@@ -1,0 +1,90 @@
+// Reproduces Figures 8 and 9: 2-D t-SNE projections of the product
+// embeddings learned by LDA3 and LDA4. Prints the coordinates of all 38
+// product categories (the figures' labelled scatter plots) and checks
+// the paper's qualitative observation: hardware categories (server_HW,
+// storage_HW, HW_other, ...) land near each other, as do the business
+// software categories (commerce, media, retail, ...).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cluster/tsne.h"
+#include "models/lda.h"
+
+namespace {
+
+double MeanPairwiseDistance(const std::vector<std::vector<double>>& points,
+                            const std::vector<int>& subset) {
+  double total = 0.0;
+  int count = 0;
+  for (size_t i = 0; i < subset.size(); ++i) {
+    for (size_t j = i + 1; j < subset.size(); ++j) {
+      double dx = points[subset[i]][0] - points[subset[j]][0];
+      double dy = points[subset[i]][1] - points[subset[j]][1];
+      total += std::sqrt(dx * dx + dy * dy);
+      ++count;
+    }
+  }
+  return count > 0 ? total / count : 0.0;
+}
+
+double MeanAllPairsDistance(const std::vector<std::vector<double>>& points) {
+  double total = 0.0;
+  int count = 0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = i + 1; j < points.size(); ++j) {
+      double dx = points[i][0] - points[j][0];
+      double dy = points[i][1] - points[j][1];
+      total += std::sqrt(dx * dx + dy * dy);
+      ++count;
+    }
+  }
+  return total / count;
+}
+
+int RunProjection(const hlm::bench::BenchEnv& env, int topics) {
+  const auto& taxonomy = env.world.corpus.taxonomy();
+  hlm::models::LdaConfig config;
+  config.num_topics = topics;
+  hlm::models::LdaModel lda(taxonomy.num_categories(), config);
+  if (!lda.Train(env.train_seqs).ok()) return 1;
+
+  hlm::cluster::TsneConfig tsne_config;
+  tsne_config.perplexity = 8.0;
+  auto projected = hlm::cluster::Tsne(lda.ProductEmbeddings(), tsne_config);
+  if (!projected.ok()) {
+    std::fprintf(stderr, "%s\n", projected.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n-- Figure %d: LDA%d product embeddings (t-SNE 2-D) --\n",
+              topics == 3 ? 8 : 9, topics);
+  std::printf("%-26s %10s %10s\n", "category", "x", "y");
+  for (int c = 0; c < taxonomy.num_categories(); ++c) {
+    std::printf("%-26s %10.3f %10.3f\n", taxonomy.category(c).name.c_str(),
+                (*projected)[c][0], (*projected)[c][1]);
+  }
+
+  // Qualitative check: hardware co-location.
+  auto hardware = taxonomy.HardwareCategories();
+  double hw_spread = MeanPairwiseDistance(*projected, hardware);
+  double global_spread = MeanAllPairsDistance(*projected);
+  std::printf("hardware mean pairwise distance %.3f vs global %.3f -> "
+              "hardware categories %s (paper: close together)\n",
+              hw_spread, global_spread,
+              hw_spread < global_spread ? "CO-LOCATED" : "scattered");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hlm::FlagSet flags;
+  auto env = hlm::bench::MakeEnv(argc, argv, &flags);
+  hlm::bench::PrintBanner(
+      "Figures 8-9: t-SNE projections of LDA product embeddings",
+      "Figs. 8/9 -- semantically related categories cluster in 2-D", env);
+  if (int rc = RunProjection(env, 3); rc != 0) return rc;
+  return RunProjection(env, 4);
+}

@@ -1,0 +1,81 @@
+// Micro-benchmarks for Conditional Heavy Hitters: streaming update rate
+// by context depth (ablation #4 in DESIGN.md), exact vs approximate
+// variants, and rule extraction.
+
+#include <benchmark/benchmark.h>
+
+#include "corpus/generator.h"
+#include "models/chh.h"
+
+namespace {
+
+std::vector<hlm::models::TokenSequence> Sequences() {
+  static const auto* sequences = [] {
+    auto world = hlm::corpus::GenerateDefaultCorpus(2000, 42);
+    return new std::vector<hlm::models::TokenSequence>(
+        world.corpus.Sequences());
+  }();
+  return *sequences;
+}
+
+void BM_ChhStreamUpdates(benchmark::State& state) {
+  auto sequences = Sequences();
+  long long tokens = 0;
+  for (const auto& s : sequences) tokens += s.size();
+  hlm::models::ChhConfig config;
+  config.context_depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    hlm::models::ConditionalHeavyHitters chh(38, config);
+    chh.Train(sequences);
+    benchmark::DoNotOptimize(chh.total_transitions());
+  }
+  state.SetItemsProcessed(state.iterations() * tokens);
+  state.SetLabel("stream tokens/s");
+}
+BENCHMARK(BM_ChhStreamUpdates)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_ChhApproximateStreamUpdates(benchmark::State& state) {
+  auto sequences = Sequences();
+  long long tokens = 0;
+  for (const auto& s : sequences) tokens += s.size();
+  hlm::models::ChhConfig config;
+  config.context_depth = 2;
+  const size_t max_contexts = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    hlm::models::ApproximateChh chh(38, config, max_contexts,
+                                    /*sketch_capacity=*/8);
+    chh.Train(sequences);
+    benchmark::DoNotOptimize(chh.num_contexts());
+  }
+  state.SetItemsProcessed(state.iterations() * tokens);
+  state.SetLabel("stream tokens/s");
+}
+BENCHMARK(BM_ChhApproximateStreamUpdates)->Arg(64)->Arg(1024);
+
+void BM_ChhQuery(benchmark::State& state) {
+  auto sequences = Sequences();
+  hlm::models::ChhConfig config;
+  hlm::models::ConditionalHeavyHitters chh(38, config);
+  chh.Train(sequences);
+  size_t cursor = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        chh.NextProductDistribution(sequences[cursor % sequences.size()]));
+    ++cursor;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChhQuery);
+
+void BM_ChhRuleExtraction(benchmark::State& state) {
+  auto sequences = Sequences();
+  hlm::models::ChhConfig config;
+  hlm::models::ConditionalHeavyHitters chh(38, config);
+  chh.Train(sequences);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chh.ExtractRules(0.2));
+  }
+}
+BENCHMARK(BM_ChhRuleExtraction);
+
+}  // namespace

@@ -1,0 +1,95 @@
+// Micro-benchmarks for the clustering substrate: k-means iteration cost,
+// silhouette scoring (full vs sampled), distance kernels, and t-SNE.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/distance.h"
+#include "cluster/kmeans.h"
+#include "cluster/silhouette.h"
+#include "cluster/tsne.h"
+#include "corpus/generator.h"
+#include "repr/representation.h"
+
+namespace {
+
+const std::vector<std::vector<double>>& BinaryPoints() {
+  static const auto* points = [] {
+    auto world = hlm::corpus::GenerateDefaultCorpus(1000, 42);
+    return new std::vector<std::vector<double>>(
+        hlm::repr::BinaryRepresentation(world.corpus));
+  }();
+  return *points;
+}
+
+void BM_KMeans(benchmark::State& state) {
+  const auto& points = BinaryPoints();
+  hlm::cluster::KMeansConfig config;
+  config.num_clusters = static_cast<int>(state.range(0));
+  config.max_iterations = 20;
+  for (auto _ : state) {
+    auto result = hlm::cluster::KMeans(points, config);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * points.size());
+}
+BENCHMARK(BM_KMeans)->Arg(8)->Arg(50)->Arg(200);
+
+void BM_SilhouetteFull(benchmark::State& state) {
+  const auto& points = BinaryPoints();
+  hlm::cluster::KMeansConfig config;
+  config.num_clusters = 8;
+  auto clusters = hlm::cluster::KMeans(points, config);
+  for (auto _ : state) {
+    auto score =
+        hlm::cluster::SilhouetteScore(points, clusters->assignments);
+    benchmark::DoNotOptimize(score);
+  }
+}
+BENCHMARK(BM_SilhouetteFull);
+
+void BM_SilhouetteSampled(benchmark::State& state) {
+  const auto& points = BinaryPoints();
+  hlm::cluster::KMeansConfig config;
+  config.num_clusters = 8;
+  auto clusters = hlm::cluster::KMeans(points, config);
+  const int sample = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto score = hlm::cluster::SilhouetteScore(
+        points, clusters->assignments,
+        hlm::cluster::DistanceKind::kEuclidean, sample);
+    benchmark::DoNotOptimize(score);
+  }
+}
+BENCHMARK(BM_SilhouetteSampled)->Arg(200)->Arg(500);
+
+void BM_PairwiseDistances(benchmark::State& state) {
+  auto points = BinaryPoints();
+  points.resize(300);
+  const auto kind = state.range(0) == 0
+                        ? hlm::cluster::DistanceKind::kEuclidean
+                        : hlm::cluster::DistanceKind::kCosine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hlm::cluster::PairwiseDistances(kind, points));
+  }
+  state.SetItemsProcessed(state.iterations() * 300 * 299 / 2);
+}
+BENCHMARK(BM_PairwiseDistances)->Arg(0)->Arg(1);
+
+void BM_TsneProductEmbeddings(benchmark::State& state) {
+  // 38 points, the Fig. 8/9 workload.
+  std::vector<std::vector<double>> points;
+  hlm::Rng rng(3);
+  for (int i = 0; i < 38; ++i) {
+    std::vector<double> p(4);
+    for (double& v : p) v = rng.NextDouble();
+    points.push_back(p);
+  }
+  hlm::cluster::TsneConfig config;
+  config.iterations = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hlm::cluster::Tsne(points, config));
+  }
+}
+BENCHMARK(BM_TsneProductEmbeddings)->Arg(200)->Arg(800);
+
+}  // namespace

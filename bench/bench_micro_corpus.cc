@@ -1,0 +1,84 @@
+// Micro-benchmarks for the corpus substrate: generator throughput,
+// domestic D-U-N-S aggregation, TF-IDF fitting, record linkage, and the
+// recommendation evaluation harness itself.
+
+#include <benchmark/benchmark.h>
+
+#include "corpus/generator.h"
+#include "corpus/integration.h"
+#include "corpus/record_linkage.h"
+#include "corpus/tfidf.h"
+#include "recsys/evaluation.h"
+
+namespace {
+
+void BM_GenerateCorpus(benchmark::State& state) {
+  const int companies = static_cast<int>(state.range(0));
+  hlm::corpus::GeneratorConfig config;
+  config.num_companies = companies;
+  // Calibration dominates small runs; measure it once by keeping the
+  // skew fixed here.
+  config.auto_calibrate_skew = false;
+  config.popularity_skew = 2.6;
+  for (auto _ : state) {
+    hlm::corpus::SyntheticHgGenerator generator(config);
+    benchmark::DoNotOptimize(generator.Generate());
+  }
+  state.SetItemsProcessed(state.iterations() * companies);
+  state.SetLabel("companies/s");
+}
+BENCHMARK(BM_GenerateCorpus)->Arg(500)->Arg(2000);
+
+void BM_AggregateSites(benchmark::State& state) {
+  auto world = hlm::corpus::GenerateDefaultCorpus(1000, 42);
+  for (auto _ : state) {
+    for (const auto& record : world.corpus.records()) {
+      benchmark::DoNotOptimize(
+          hlm::corpus::AggregateSites(record.company));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          world.corpus.num_companies());
+}
+BENCHMARK(BM_AggregateSites);
+
+void BM_TfidfFitAndTransform(benchmark::State& state) {
+  auto world = hlm::corpus::GenerateDefaultCorpus(2000, 42);
+  for (auto _ : state) {
+    auto model = hlm::corpus::TfidfModel::Fit(world.corpus);
+    benchmark::DoNotOptimize(model.TransformAll(world.corpus));
+  }
+  state.SetItemsProcessed(state.iterations() * world.corpus.num_companies());
+}
+BENCHMARK(BM_TfidfFitAndTransform);
+
+void BM_RecordLinkage(benchmark::State& state) {
+  auto world = hlm::corpus::GenerateDefaultCorpus(
+      static_cast<int>(state.range(0)), 42);
+  hlm::corpus::InternalDbOptions options;
+  options.client_fraction = 0.1;
+  auto db = hlm::corpus::SimulateInternalDatabase(world.corpus, options);
+  for (auto _ : state) {
+    auto copy = db;
+    benchmark::DoNotOptimize(
+        hlm::corpus::LinkInternalDatabase(world.corpus, &copy, 0.88));
+  }
+  state.SetItemsProcessed(state.iterations() * db.clients.size());
+  state.SetLabel("clients linked/s");
+}
+BENCHMARK(BM_RecordLinkage)->Arg(300)->Arg(1000);
+
+void BM_SlidingWindowEvaluation(benchmark::State& state) {
+  auto world = hlm::corpus::GenerateDefaultCorpus(500, 42);
+  hlm::recsys::RecommendationEvalConfig config;
+  config.thresholds = hlm::recsys::DefaultThresholds();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hlm::recsys::EvaluateRandomBaseline(world.corpus, config));
+  }
+  state.SetItemsProcessed(state.iterations() * world.corpus.num_companies() *
+                          13);
+}
+BENCHMARK(BM_SlidingWindowEvaluation);
+
+}  // namespace

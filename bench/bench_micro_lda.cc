@@ -1,0 +1,92 @@
+// Micro-benchmarks for the LDA substrate: collapsed-Gibbs sweep
+// throughput by topic count, fold-in inference latency, and the
+// plug-in vs left-to-right held-out estimator cost (ablation #1 in
+// DESIGN.md).
+
+#include <benchmark/benchmark.h>
+
+#include "corpus/generator.h"
+#include "models/lda.h"
+
+namespace {
+
+const hlm::corpus::GeneratedCorpus& World() {
+  static const auto* world = new hlm::corpus::GeneratedCorpus(
+      hlm::corpus::GenerateDefaultCorpus(600, 42));
+  return *world;
+}
+
+void BM_LdaGibbsTraining(benchmark::State& state) {
+  auto sequences = World().corpus.Sequences();
+  hlm::models::LdaConfig config;
+  config.num_topics = static_cast<int>(state.range(0));
+  config.burn_in_iterations = 20;
+  config.post_burn_in_samples = 2;
+  long long tokens = 0;
+  for (const auto& doc : sequences) tokens += doc.size();
+  for (auto _ : state) {
+    hlm::models::LdaModel lda(38, config);
+    benchmark::DoNotOptimize(lda.Train(sequences));
+  }
+  state.SetItemsProcessed(state.iterations() * tokens *
+                          (config.burn_in_iterations +
+                           config.post_burn_in_samples * config.sample_lag));
+  state.SetLabel("token-updates/s");
+}
+BENCHMARK(BM_LdaGibbsTraining)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_LdaFoldInInference(benchmark::State& state) {
+  auto sequences = World().corpus.Sequences();
+  hlm::models::LdaConfig config;
+  config.num_topics = 4;
+  static hlm::models::LdaModel* lda = [] {
+    auto* model = new hlm::models::LdaModel(
+        38, [] {
+          hlm::models::LdaConfig c;
+          c.num_topics = 4;
+          return c;
+        }());
+    auto seqs = World().corpus.Sequences();
+    model->Train(seqs);
+    return model;
+  }();
+  size_t cursor = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lda->InferTopicMixture(sequences[cursor % sequences.size()]));
+    ++cursor;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LdaFoldInInference);
+
+void BM_LdaPerplexityPlugin(benchmark::State& state) {
+  auto sequences = World().corpus.Sequences();
+  sequences.resize(100);
+  hlm::models::LdaConfig config;
+  config.num_topics = 4;
+  hlm::models::LdaModel lda(38, config);
+  auto train = World().corpus.Sequences();
+  if (!lda.Train(train).ok()) state.SkipWithError("train failed");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lda.Perplexity(sequences));
+  }
+}
+BENCHMARK(BM_LdaPerplexityPlugin);
+
+void BM_LdaPerplexityLeftToRight(benchmark::State& state) {
+  auto sequences = World().corpus.Sequences();
+  sequences.resize(100);
+  hlm::models::LdaConfig config;
+  config.num_topics = 4;
+  hlm::models::LdaModel lda(38, config);
+  auto train = World().corpus.Sequences();
+  if (!lda.Train(train).ok()) state.SkipWithError("train failed");
+  const int particles = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lda.PerplexityLeftToRight(sequences, particles));
+  }
+}
+BENCHMARK(BM_LdaPerplexityLeftToRight)->Arg(5)->Arg(20);
+
+}  // namespace

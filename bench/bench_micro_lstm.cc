@@ -1,0 +1,75 @@
+// Micro-benchmarks for the LSTM substrate: tokens/second of training
+// (forward + BPTT + Adam) and inference across the paper's architecture
+// grid (ablation #2 in DESIGN.md: capacity vs data).
+
+#include <benchmark/benchmark.h>
+
+#include "corpus/generator.h"
+#include "models/lstm_lm.h"
+
+namespace {
+
+std::vector<hlm::models::TokenSequence> Sequences() {
+  static const auto* sequences = [] {
+    auto world = hlm::corpus::GenerateDefaultCorpus(400, 42);
+    return new std::vector<hlm::models::TokenSequence>(
+        world.corpus.Sequences());
+  }();
+  return *sequences;
+}
+
+void BM_LstmTrainEpoch(benchmark::State& state) {
+  auto sequences = Sequences();
+  long long tokens = 0;
+  for (const auto& s : sequences) tokens += s.size();
+  hlm::models::LstmConfig config;
+  config.num_layers = static_cast<int>(state.range(0));
+  config.hidden_size = static_cast<int>(state.range(1));
+  config.epochs = 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    hlm::models::LstmLanguageModel lstm(38, config);
+    state.ResumeTiming();
+    lstm.Train(sequences, {});
+  }
+  state.SetItemsProcessed(state.iterations() * tokens);
+  state.SetLabel("train tokens/s");
+}
+BENCHMARK(BM_LstmTrainEpoch)
+    ->Args({1, 10})
+    ->Args({1, 100})
+    ->Args({1, 200})
+    ->Args({2, 100})
+    ->Args({3, 100});
+
+void BM_LstmPerplexityEval(benchmark::State& state) {
+  auto sequences = Sequences();
+  long long tokens = 0;
+  for (const auto& s : sequences) tokens += s.size();
+  hlm::models::LstmConfig config;
+  config.hidden_size = static_cast<int>(state.range(0));
+  hlm::models::LstmLanguageModel lstm(38, config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lstm.Perplexity(sequences));
+  }
+  state.SetItemsProcessed(state.iterations() * tokens);
+  state.SetLabel("eval tokens/s");
+}
+BENCHMARK(BM_LstmPerplexityEval)->Arg(100)->Arg(300);
+
+void BM_LstmNextProductQuery(benchmark::State& state) {
+  auto sequences = Sequences();
+  hlm::models::LstmConfig config;
+  config.hidden_size = 100;
+  hlm::models::LstmLanguageModel lstm(38, config);
+  size_t cursor = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lstm.NextProductDistribution(sequences[cursor % sequences.size()]));
+    ++cursor;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LstmNextProductQuery);
+
+}  // namespace

@@ -1,0 +1,47 @@
+// Reproduces the §5 inline statistics: unigram "bag of words" perplexity
+// (paper: 19.5), bigram/trigram perplexity (paper: >= 15.5), and the
+// sequential-nature hypothesis test (paper: 69% of bigrams and 43% of
+// trigrams significantly non-i.i.d. on 860k companies; fractions shrink
+// with corpus size, so run with --companies=10000 for the headline scale).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "models/ngram.h"
+#include "models/sequence_tests.h"
+
+int main(int argc, char** argv) {
+  hlm::FlagSet flags;
+  auto env = hlm::bench::MakeEnv(argc, argv, &flags, 3000);
+  hlm::bench::PrintBanner(
+      "Sequentiality and n-gram baselines (Section 5, inline)",
+      "unigram ppl 19.5; bi/tri-gram ppl >= 15.5; 69%/43% significant",
+      env);
+
+  std::printf("\n-- n-gram test perplexities --\n");
+  for (int order : {1, 2, 3}) {
+    hlm::models::NGramConfig config;
+    config.order = order;
+    hlm::models::NGramModel model(env.world.corpus.num_categories(), config);
+    model.Train(env.train_seqs);
+    std::printf("%-22s %8s\n", model.name().c_str(),
+                hlm::FormatDouble(model.Perplexity(env.test_seqs), 2).c_str());
+  }
+
+  std::printf("\n-- binomial sequentiality test (alpha = 0.05) --\n");
+  auto result = hlm::models::TestSequentiality(
+      env.world.corpus.Sequences(), env.world.corpus.num_categories());
+  std::printf("bigrams:  %lld tested, %lld significant (%.1f%%)\n",
+              result.bigrams_tested, result.bigrams_significant,
+              100.0 * result.bigram_fraction());
+  std::printf("trigrams: %lld tested, %lld significant (%.1f%%)\n",
+              result.trigrams_tested, result.trigrams_significant,
+              100.0 * result.trigram_fraction());
+  std::printf(
+      "\npaper: 69%% bigrams / 43%% trigrams on 860k companies; the\n"
+      "fractions grow with corpus size (test power), so the scaled-down\n"
+      "run reports smaller percentages with the same strong-signal "
+      "verdict.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "corpus/month.h"
+#include "models/chh.h"
+#include "models/lda.h"
+#include "models/lstm_lm.h"
+
+namespace hlm::bench {
+
+BenchEnv MakeEnv(int argc, char** argv, FlagSet* flags,
+                 long long default_companies) {
+  long long companies = default_companies;
+  long long seed = 42;
+  flags->AddInt64("companies", &companies, "corpus size");
+  flags->AddInt64("seed", &seed, "generator seed");
+  Status status = flags->Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 flags->Usage().c_str());
+    std::exit(2);
+  }
+
+  corpus::GeneratorConfig config;
+  config.num_companies = static_cast<int>(companies);
+  config.seed = static_cast<uint64_t>(seed);
+  BenchEnv env{corpus::SyntheticHgGenerator(config).Generate(),
+               {}, corpus::Corpus(corpus::ProductTaxonomy::Default()),
+               corpus::Corpus(corpus::ProductTaxonomy::Default()),
+               corpus::Corpus(corpus::ProductTaxonomy::Default()),
+               {}, {}, {}, {}};
+  Rng split_rng(7);
+  env.split = env.world.corpus.Split(0.7, 0.1, &split_rng);
+  env.train = env.world.corpus.Subset(env.split.train);
+  env.valid = env.world.corpus.Subset(env.split.valid);
+  env.test = env.world.corpus.Subset(env.split.test);
+  env.train_seqs = env.train.Sequences();
+  env.valid_seqs = env.valid.Sequences();
+  env.test_seqs = env.test.Sequences();
+  env.train_seqs_pre2013 =
+      TruncatedSequences(env.train, corpus::MakeMonth(2013, 1));
+  return env;
+}
+
+std::vector<models::TokenSequence> TruncatedSequences(
+    const corpus::Corpus& corpus, corpus::Month cutoff) {
+  std::vector<models::TokenSequence> sequences;
+  sequences.reserve(corpus.num_companies());
+  for (const corpus::CompanyRecord& record : corpus.records()) {
+    auto sequence = record.install_base.Before(cutoff).Sequence();
+    if (!sequence.empty()) sequences.push_back(std::move(sequence));
+  }
+  return sequences;
+}
+
+void PrintBanner(const std::string& experiment,
+                 const std::string& paper_reference, const BenchEnv& env) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("reproduces: %s\n", paper_reference.c_str());
+  std::printf("corpus: %d synthetic companies, %d product categories\n",
+              env.world.corpus.num_companies(),
+              env.world.corpus.num_categories());
+  std::printf("split: %zu train / %zu valid / %zu test\n",
+              env.split.train.size(), env.split.valid.size(),
+              env.split.test.size());
+  std::printf("==============================================================\n");
+}
+
+TrainedRecommenders TrainRecommenders(const BenchEnv& env, int lstm_epochs) {
+  const int vocab = env.world.corpus.num_categories();
+  TrainedRecommenders out;
+
+  models::LdaConfig lda_config;
+  lda_config.num_topics = 4;
+  auto lda = std::make_unique<models::LdaModel>(vocab, lda_config);
+  HLM_CHECK_OK(lda->Train(env.train_seqs_pre2013));
+  out.lda = std::move(lda);
+
+  models::LstmConfig lstm_config;
+  lstm_config.hidden_size = 100;
+  lstm_config.num_layers = 1;
+  lstm_config.epochs = lstm_epochs;
+  auto lstm = std::make_unique<models::LstmLanguageModel>(vocab, lstm_config);
+  lstm->Train(env.train_seqs_pre2013, env.valid_seqs);
+  out.lstm = std::move(lstm);
+
+  models::ChhConfig chh_config;
+  chh_config.context_depth = 2;  // chosen from the bigram/trigram tests
+  auto chh = std::make_unique<models::ConditionalHeavyHitters>(vocab,
+                                                               chh_config);
+  chh->Train(env.train_seqs_pre2013);
+  out.chh = std::move(chh);
+  return out;
+}
+
+void PrintRow(const std::vector<std::string>& cells,
+              const std::vector<int>& widths) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    int width = i < widths.size() ? widths[i] : 12;
+    std::printf("%-*s", width, cells[i].c_str());
+    if (i + 1 < cells.size()) std::printf(" | ");
+  }
+  std::printf("\n");
+}
+
+}  // namespace hlm::bench

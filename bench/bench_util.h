@@ -1,0 +1,66 @@
+#ifndef HLM_BENCH_BENCH_UTIL_H_
+#define HLM_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "corpus/generator.h"
+#include "models/model.h"
+
+namespace hlm::bench {
+
+/// Standard experiment environment shared by every figure/table harness:
+/// a synthetic HG-style corpus with the paper's 70/10/20 split, both in
+/// full form and truncated to pre-protocol history (before 2013-01) for
+/// the recommendation benches.
+struct BenchEnv {
+  corpus::GeneratedCorpus world;
+  corpus::SplitIndices split;
+  corpus::Corpus train;
+  corpus::Corpus valid;
+  corpus::Corpus test;
+  std::vector<models::TokenSequence> train_seqs;
+  std::vector<models::TokenSequence> valid_seqs;
+  std::vector<models::TokenSequence> test_seqs;
+  /// Training sequences truncated to events before 2013-01 (the
+  /// recommendation protocol trains only on pre-window history).
+  std::vector<models::TokenSequence> train_seqs_pre2013;
+};
+
+/// Common flags: --companies, --seed. Returns a parsed environment or
+/// aborts with usage on bad flags. Additional flags may be registered on
+/// `flags` by the caller before invoking.
+BenchEnv MakeEnv(int argc, char** argv, FlagSet* flags,
+                 long long default_companies = 1200);
+
+/// Sequences of a corpus truncated to history before `cutoff`.
+std::vector<models::TokenSequence> TruncatedSequences(
+    const corpus::Corpus& corpus, corpus::Month cutoff);
+
+/// Prints a header banner naming the experiment and its parameters.
+void PrintBanner(const std::string& experiment,
+                 const std::string& paper_reference, const BenchEnv& env);
+
+/// Prints one aligned table row: columns joined by " | ".
+void PrintRow(const std::vector<std::string>& cells,
+              const std::vector<int>& widths);
+
+/// The three recommenders of Figs. 3-4 (LDA with few topics, LSTM, CHH),
+/// trained on the pre-2013 history of the training companies (the
+/// protocol conditions on everything before each sliding window; model
+/// parameters are fit once on pre-protocol data, see EXPERIMENTS.md).
+/// The paper deploys LDA3; our synthetic ground truth has 4 latent
+/// topics, so the matched small-topic-count model is LDA4.
+struct TrainedRecommenders {
+  std::unique_ptr<models::ConditionalScorer> lda;
+  std::unique_ptr<models::ConditionalScorer> lstm;
+  std::unique_ptr<models::ConditionalScorer> chh;
+};
+
+TrainedRecommenders TrainRecommenders(const BenchEnv& env, int lstm_epochs);
+
+}  // namespace hlm::bench
+
+#endif  // HLM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,89 @@
+#include "cluster/cocluster.h"
+
+#include <cmath>
+
+#include "cluster/kmeans.h"
+#include "math/matrix.h"
+#include "math/rng.h"
+#include "math/svd.h"
+
+namespace hlm::cluster {
+
+Result<CoclusterResult> SpectralCocluster(
+    const std::vector<std::vector<double>>& matrix,
+    const CoclusterConfig& config) {
+  if (matrix.empty() || matrix[0].empty()) {
+    return Status::InvalidArgument("empty matrix");
+  }
+  const size_t rows = matrix.size();
+  const size_t cols = matrix[0].size();
+  for (const auto& row : matrix) {
+    if (row.size() != cols) return Status::InvalidArgument("ragged matrix");
+    for (double v : row) {
+      if (v < 0.0) return Status::InvalidArgument("negative entry");
+    }
+  }
+  if (config.num_coclusters < 2) {
+    return Status::InvalidArgument("need at least 2 co-clusters");
+  }
+
+  // Bistochastic normalization A_n = D_r^-1/2 A D_c^-1/2.
+  std::vector<double> row_sums(rows, 0.0), col_sums(cols, 0.0);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      row_sums[i] += matrix[i][j];
+      col_sums[j] += matrix[i][j];
+    }
+  }
+  Matrix normalized(rows, cols, 0.0);
+  for (size_t i = 0; i < rows; ++i) {
+    double ri = row_sums[i] > 0.0 ? 1.0 / std::sqrt(row_sums[i]) : 0.0;
+    for (size_t j = 0; j < cols; ++j) {
+      double cj = col_sums[j] > 0.0 ? 1.0 / std::sqrt(col_sums[j]) : 0.0;
+      normalized(i, j) = matrix[i][j] * ri * cj;
+    }
+  }
+
+  // Singular vectors 2..l+1 (the first pair is the trivial one).
+  int l = static_cast<int>(
+              std::ceil(std::log2(static_cast<double>(config.num_coclusters)))) +
+          1;
+  Rng rng(config.seed);
+  HLM_ASSIGN_OR_RETURN(
+      TruncatedSvdResult svd,
+      TruncatedSvd(normalized, l + 1, config.svd_iterations, &rng));
+  const auto& left = svd.left;
+  const auto& right = svd.right;
+
+  // Joint embedding: rows scaled by D_r^-1/2, columns by D_c^-1/2,
+  // skipping the leading trivial component.
+  std::vector<std::vector<double>> points;
+  points.reserve(rows + cols);
+  for (size_t i = 0; i < rows; ++i) {
+    std::vector<double> p(l, 0.0);
+    double scale = row_sums[i] > 0.0 ? 1.0 / std::sqrt(row_sums[i]) : 0.0;
+    for (int d = 0; d < l; ++d) p[d] = left[d + 1][i] * scale;
+    points.push_back(std::move(p));
+  }
+  for (size_t j = 0; j < cols; ++j) {
+    std::vector<double> p(l, 0.0);
+    double scale = col_sums[j] > 0.0 ? 1.0 / std::sqrt(col_sums[j]) : 0.0;
+    for (int d = 0; d < l; ++d) p[d] = right[d + 1][j] * scale;
+    points.push_back(std::move(p));
+  }
+
+  KMeansConfig kconfig;
+  kconfig.num_clusters = config.num_coclusters;
+  kconfig.num_restarts = 3;
+  kconfig.seed = config.seed;
+  HLM_ASSIGN_OR_RETURN(KMeansResult kresult, KMeans(points, kconfig));
+
+  CoclusterResult result;
+  result.row_labels.assign(kresult.assignments.begin(),
+                           kresult.assignments.begin() + rows);
+  result.column_labels.assign(kresult.assignments.begin() + rows,
+                              kresult.assignments.end());
+  return result;
+}
+
+}  // namespace hlm::cluster

@@ -1,0 +1,35 @@
+#ifndef HLM_CLUSTER_COCLUSTER_H_
+#define HLM_CLUSTER_COCLUSTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hlm::cluster {
+
+/// Spectral co-clustering (Dhillon 2001), the family of techniques the
+/// paper evaluates in §3.1 and finds degenerate on raw company-product
+/// data (the only co-cluster found collects globally popular products).
+/// Implemented so the repo can reproduce that negative result: rows and
+/// columns of a binary matrix are jointly clustered via the singular
+/// vectors of the bistochastized matrix.
+struct CoclusterConfig {
+  int num_coclusters = 4;
+  int svd_iterations = 200;  // power-iteration sweeps per singular vector
+  uint64_t seed = 23;
+};
+
+struct CoclusterResult {
+  std::vector<int> row_labels;     // per company
+  std::vector<int> column_labels;  // per product
+};
+
+/// Co-clusters a dense non-negative matrix (rows x cols).
+Result<CoclusterResult> SpectralCocluster(
+    const std::vector<std::vector<double>>& matrix,
+    const CoclusterConfig& config);
+
+}  // namespace hlm::cluster
+
+#endif  // HLM_CLUSTER_COCLUSTER_H_

@@ -1,0 +1,32 @@
+#include "cluster/distance.h"
+
+#include "math/vector_ops.h"
+
+namespace hlm::cluster {
+
+double Distance(DistanceKind kind, const std::vector<double>& a,
+                const std::vector<double>& b) {
+  switch (kind) {
+    case DistanceKind::kEuclidean:
+      return EuclideanDistance(a, b);
+    case DistanceKind::kCosine:
+      return CosineDistance(a, b);
+  }
+  return 0.0;
+}
+
+std::vector<double> PairwiseDistances(
+    DistanceKind kind, const std::vector<std::vector<double>>& points) {
+  const size_t n = points.size();
+  std::vector<double> distances(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double d = Distance(kind, points[i], points[j]);
+      distances[i * n + j] = d;
+      distances[j * n + i] = d;
+    }
+  }
+  return distances;
+}
+
+}  // namespace hlm::cluster

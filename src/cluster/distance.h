@@ -1,0 +1,25 @@
+#ifndef HLM_CLUSTER_DISTANCE_H_
+#define HLM_CLUSTER_DISTANCE_H_
+
+#include <vector>
+
+namespace hlm::cluster {
+
+/// Vector distances used for company comparison (the paper's d(.,.) in
+/// Eq. 5: "any vector distance, e.g., euclidean or cosine distance").
+enum class DistanceKind {
+  kEuclidean,
+  kCosine,
+};
+
+double Distance(DistanceKind kind, const std::vector<double>& a,
+                const std::vector<double>& b);
+
+/// Full pairwise distance matrix (n x n, symmetric, zero diagonal),
+/// flattened row-major.
+std::vector<double> PairwiseDistances(
+    DistanceKind kind, const std::vector<std::vector<double>>& points);
+
+}  // namespace hlm::cluster
+
+#endif  // HLM_CLUSTER_DISTANCE_H_

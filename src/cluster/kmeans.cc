@@ -1,0 +1,125 @@
+#include "cluster/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace hlm::cluster {
+
+namespace {
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+std::vector<std::vector<double>> KMeansPlusPlusInit(
+    const std::vector<std::vector<double>>& points, int k, Rng* rng) {
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(k);
+  centroids.push_back(points[rng->NextBounded(points.size())]);
+  std::vector<double> min_sq(points.size(),
+                             std::numeric_limits<double>::max());
+  while (static_cast<int>(centroids.size()) < k) {
+    const std::vector<double>& last = centroids.back();
+    for (size_t i = 0; i < points.size(); ++i) {
+      min_sq[i] = std::min(min_sq[i], SquaredDistance(points[i], last));
+    }
+    // Sample the next seed proportionally to D^2.
+    size_t chosen = rng->NextCategorical(min_sq);
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+KMeansResult RunOnce(const std::vector<std::vector<double>>& points,
+                     const KMeansConfig& config, Rng* rng) {
+  const int k = config.num_clusters;
+  const size_t dims = points[0].size();
+  KMeansResult result;
+  result.centroids = KMeansPlusPlusInit(points, k, rng);
+  result.assignments.assign(points.size(), -1);
+
+  double previous_inertia = std::numeric_limits<double>::max();
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    // Assignment step.
+    double inertia = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::max();
+      int best_cluster = 0;
+      for (int c = 0; c < k; ++c) {
+        double d = SquaredDistance(points[i], result.centroids[c]);
+        if (d < best) {
+          best = d;
+          best_cluster = c;
+        }
+      }
+      result.assignments[i] = best_cluster;
+      inertia += best;
+    }
+    result.inertia = inertia;
+    result.iterations_run = iter + 1;
+
+    // Update step.
+    std::vector<std::vector<double>> sums(k,
+                                          std::vector<double>(dims, 0.0));
+    std::vector<long long> counts(k, 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      int c = result.assignments[i];
+      ++counts[c];
+      for (size_t j = 0; j < dims; ++j) sums[c][j] += points[i][j];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        result.centroids[c] = points[rng->NextBounded(points.size())];
+        continue;
+      }
+      for (size_t j = 0; j < dims; ++j) {
+        result.centroids[c][j] = sums[c][j] / static_cast<double>(counts[c]);
+      }
+    }
+
+    if (previous_inertia < std::numeric_limits<double>::max()) {
+      double improvement =
+          (previous_inertia - inertia) / std::max(previous_inertia, 1e-12);
+      if (improvement >= 0.0 && improvement < config.tolerance) break;
+    }
+    previous_inertia = inertia;
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans(const std::vector<std::vector<double>>& points,
+                            const KMeansConfig& config) {
+  if (config.num_clusters <= 0) {
+    return Status::InvalidArgument("num_clusters must be positive");
+  }
+  if (points.size() < static_cast<size_t>(config.num_clusters)) {
+    return Status::InvalidArgument("fewer points than clusters");
+  }
+  for (const auto& p : points) {
+    if (p.size() != points[0].size()) {
+      return Status::InvalidArgument("ragged point matrix");
+    }
+  }
+  Rng rng(config.seed);
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::max();
+  for (int restart = 0; restart < std::max(1, config.num_restarts);
+       ++restart) {
+    KMeansResult candidate = RunOnce(points, config, &rng);
+    if (candidate.inertia < best.inertia) best = std::move(candidate);
+  }
+  return best;
+}
+
+}  // namespace hlm::cluster

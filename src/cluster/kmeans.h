@@ -1,0 +1,37 @@
+#ifndef HLM_CLUSTER_KMEANS_H_
+#define HLM_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "math/rng.h"
+
+namespace hlm::cluster {
+
+struct KMeansConfig {
+  int num_clusters = 8;
+  int max_iterations = 60;
+  /// Convergence: relative inertia improvement below this stops Lloyd.
+  double tolerance = 1e-5;
+  /// Independent restarts; the best-inertia run wins.
+  int num_restarts = 1;
+  uint64_t seed = 17;
+};
+
+struct KMeansResult {
+  std::vector<int> assignments;                 // one label per point
+  std::vector<std::vector<double>> centroids;   // num_clusters x dims
+  double inertia = 0.0;                         // sum of squared distances
+  int iterations_run = 0;
+};
+
+/// Lloyd's algorithm with k-means++ seeding (Euclidean geometry, the
+/// standard choice for the silhouette study of Fig. 7). Fails when there
+/// are fewer points than clusters.
+Result<KMeansResult> KMeans(const std::vector<std::vector<double>>& points,
+                            const KMeansConfig& config);
+
+}  // namespace hlm::cluster
+
+#endif  // HLM_CLUSTER_KMEANS_H_

@@ -1,0 +1,95 @@
+#include "cluster/silhouette.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "math/rng.h"
+#include "math/statistics.h"
+
+namespace hlm::cluster {
+
+namespace {
+
+Result<std::vector<double>> SilhouetteOnIndices(
+    const std::vector<std::vector<double>>& points,
+    const std::vector<int>& assignments, DistanceKind kind,
+    const std::vector<int>& eval_indices) {
+  int num_clusters = 0;
+  for (int a : assignments) {
+    if (a < 0) return Status::InvalidArgument("negative cluster label");
+    num_clusters = std::max(num_clusters, a + 1);
+  }
+  if (num_clusters < 2) {
+    return Status::FailedPrecondition(
+        "silhouette needs at least two clusters");
+  }
+
+  std::vector<long long> cluster_sizes(num_clusters, 0);
+  for (int index : eval_indices) ++cluster_sizes[assignments[index]];
+
+  std::vector<double> values(eval_indices.size(), 0.0);
+  std::vector<double> mean_dist(num_clusters, 0.0);
+  for (size_t ii = 0; ii < eval_indices.size(); ++ii) {
+    int i = eval_indices[ii];
+    int own = assignments[i];
+    std::fill(mean_dist.begin(), mean_dist.end(), 0.0);
+    for (int j : eval_indices) {
+      if (j == i) continue;
+      mean_dist[assignments[j]] += Distance(kind, points[i], points[j]);
+    }
+    double a = 0.0;
+    if (cluster_sizes[own] > 1) {
+      a = mean_dist[own] / static_cast<double>(cluster_sizes[own] - 1);
+    } else {
+      values[ii] = 0.0;  // singleton convention
+      continue;
+    }
+    double b = std::numeric_limits<double>::max();
+    for (int c = 0; c < num_clusters; ++c) {
+      if (c == own || cluster_sizes[c] == 0) continue;
+      b = std::min(b, mean_dist[c] / static_cast<double>(cluster_sizes[c]));
+    }
+    if (b == std::numeric_limits<double>::max()) {
+      values[ii] = 0.0;
+      continue;
+    }
+    double denom = std::max(a, b);
+    values[ii] = denom > 0.0 ? (b - a) / denom : 0.0;
+  }
+  return values;
+}
+
+}  // namespace
+
+Result<std::vector<double>> SilhouetteValues(
+    const std::vector<std::vector<double>>& points,
+    const std::vector<int>& assignments, DistanceKind kind) {
+  if (points.size() != assignments.size()) {
+    return Status::InvalidArgument("points/assignments size mismatch");
+  }
+  std::vector<int> all(points.size());
+  std::iota(all.begin(), all.end(), 0);
+  return SilhouetteOnIndices(points, assignments, kind, all);
+}
+
+Result<double> SilhouetteScore(const std::vector<std::vector<double>>& points,
+                               const std::vector<int>& assignments,
+                               DistanceKind kind, int sample_size,
+                               uint64_t seed) {
+  if (points.size() != assignments.size()) {
+    return Status::InvalidArgument("points/assignments size mismatch");
+  }
+  std::vector<int> indices(points.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  if (sample_size > 0 && static_cast<size_t>(sample_size) < points.size()) {
+    Rng rng(seed);
+    rng.Shuffle(&indices);
+    indices.resize(sample_size);
+  }
+  HLM_ASSIGN_OR_RETURN(
+      auto values, SilhouetteOnIndices(points, assignments, kind, indices));
+  return Mean(values);
+}
+
+}  // namespace hlm::cluster

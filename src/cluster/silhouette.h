@@ -1,0 +1,34 @@
+#ifndef HLM_CLUSTER_SILHOUETTE_H_
+#define HLM_CLUSTER_SILHOUETTE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/distance.h"
+#include "common/status.h"
+
+namespace hlm::cluster {
+
+/// Mean silhouette coefficient of a clustering: for each point,
+/// s = (b - a) / max(a, b) with a = mean intra-cluster distance and b =
+/// mean distance to the nearest other cluster. Higher is better
+/// (Fig. 7's quality measure). Points in singleton clusters score 0, as
+/// in scikit-learn.
+///
+/// `sample_size` > 0 evaluates the silhouette on a deterministic random
+/// sample of that many points (distances still measured against all
+/// sampled points), matching the common large-N practice.
+Result<double> SilhouetteScore(const std::vector<std::vector<double>>& points,
+                               const std::vector<int>& assignments,
+                               DistanceKind kind = DistanceKind::kEuclidean,
+                               int sample_size = 0, uint64_t seed = 5);
+
+/// Per-point silhouette values (no sampling).
+Result<std::vector<double>> SilhouetteValues(
+    const std::vector<std::vector<double>>& points,
+    const std::vector<int>& assignments,
+    DistanceKind kind = DistanceKind::kEuclidean);
+
+}  // namespace hlm::cluster
+
+#endif  // HLM_CLUSTER_SILHOUETTE_H_

@@ -1,0 +1,163 @@
+#include "cluster/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/rng.h"
+
+namespace hlm::cluster {
+
+namespace {
+
+// Row-wise conditional Gaussians with per-point bandwidth calibrated by
+// bisection so the row entropy matches log(perplexity).
+std::vector<double> ConditionalAffinities(const std::vector<double>& sq_dists,
+                                          size_t n, size_t row,
+                                          double perplexity) {
+  const double target_entropy = std::log(perplexity);
+  double beta = 1.0;       // 1 / (2 sigma^2)
+  double beta_min = 0.0;
+  double beta_max = 1e12;
+  std::vector<double> p(n, 0.0);
+  for (int iter = 0; iter < 64; ++iter) {
+    double sum = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      p[j] = j == row ? 0.0 : std::exp(-beta * sq_dists[row * n + j]);
+      sum += p[j];
+    }
+    if (sum <= 0.0) sum = 1e-12;
+    double entropy = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      p[j] /= sum;
+      if (p[j] > 1e-12) entropy -= p[j] * std::log(p[j]);
+    }
+    double diff = entropy - target_entropy;
+    if (std::fabs(diff) < 1e-5) break;
+    if (diff > 0.0) {
+      beta_min = beta;
+      beta = beta_max >= 1e12 ? beta * 2.0 : 0.5 * (beta + beta_max);
+    } else {
+      beta_max = beta;
+      beta = beta_min <= 0.0 ? beta / 2.0 : 0.5 * (beta + beta_min);
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<double>>> Tsne(
+    const std::vector<std::vector<double>>& points, const TsneConfig& config) {
+  const size_t n = points.size();
+  if (n < 3) return Status::InvalidArgument("t-SNE needs at least 3 points");
+  if (config.perplexity >= static_cast<double>(n - 1)) {
+    return Status::InvalidArgument("perplexity too large for N points");
+  }
+  for (const auto& p : points) {
+    if (p.size() != points[0].size()) {
+      return Status::InvalidArgument("ragged input matrix");
+    }
+  }
+  const int out_d = config.output_dims;
+
+  // Pairwise squared distances in the input space.
+  std::vector<double> sq_dists(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double sum = 0.0;
+      for (size_t d = 0; d < points[0].size(); ++d) {
+        double diff = points[i][d] - points[j][d];
+        sum += diff * diff;
+      }
+      sq_dists[i * n + j] = sum;
+      sq_dists[j * n + i] = sum;
+    }
+  }
+
+  // Symmetrized joint affinities P.
+  std::vector<double> p_joint(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> row =
+        ConditionalAffinities(sq_dists, n, i, config.perplexity);
+    for (size_t j = 0; j < n; ++j) p_joint[i * n + j] = row[j];
+  }
+  double p_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double sym = (p_joint[i * n + j] + p_joint[j * n + i]);
+      p_joint[i * n + j] = sym;
+      p_joint[j * n + i] = sym;
+      p_sum += 2.0 * sym;
+    }
+  }
+  for (double& v : p_joint) v = std::max(v / p_sum, 1e-12);
+
+  // Gradient descent on the embedding.
+  Rng rng(config.seed);
+  std::vector<std::vector<double>> y(n, std::vector<double>(out_d, 0.0));
+  for (auto& row : y) {
+    for (double& v : row) v = rng.NextGaussian() * 1e-2;
+  }
+  std::vector<std::vector<double>> velocity(n,
+                                            std::vector<double>(out_d, 0.0));
+  std::vector<double> q(n * n, 0.0);
+
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    double exaggeration =
+        iter < config.exaggeration_iterations ? config.early_exaggeration
+                                              : 1.0;
+    // Student-t affinities Q in the embedding.
+    double q_sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        double sum = 0.0;
+        for (int d = 0; d < out_d; ++d) {
+          double diff = y[i][d] - y[j][d];
+          sum += diff * diff;
+        }
+        double value = 1.0 / (1.0 + sum);
+        q[i * n + j] = value;
+        q[j * n + i] = value;
+        q_sum += 2.0 * value;
+      }
+    }
+
+    double momentum = iter < config.momentum_switch_iteration
+                          ? config.initial_momentum
+                          : config.final_momentum;
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<double> grad(out_d, 0.0);
+      for (size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        double q_ij = std::max(q[i * n + j] / q_sum, 1e-12);
+        double mult =
+            (exaggeration * p_joint[i * n + j] - q_ij) * q[i * n + j];
+        for (int d = 0; d < out_d; ++d) {
+          grad[d] += 4.0 * mult * (y[i][d] - y[j][d]);
+        }
+      }
+      for (int d = 0; d < out_d; ++d) {
+        velocity[i][d] =
+            momentum * velocity[i][d] - config.learning_rate * grad[d];
+        // Clamp the per-step displacement; keeps the descent stable for
+        // any learning rate (the classic implementation uses adaptive
+        // gains for the same purpose).
+        velocity[i][d] = std::clamp(velocity[i][d], -2.0, 2.0);
+        y[i][d] += velocity[i][d];
+      }
+    }
+
+    // Re-center to keep the embedding bounded.
+    std::vector<double> mean(out_d, 0.0);
+    for (const auto& row : y) {
+      for (int d = 0; d < out_d; ++d) mean[d] += row[d];
+    }
+    for (int d = 0; d < out_d; ++d) mean[d] /= static_cast<double>(n);
+    for (auto& row : y) {
+      for (int d = 0; d < out_d; ++d) row[d] -= mean[d];
+    }
+  }
+  return y;
+}
+
+}  // namespace hlm::cluster

@@ -1,0 +1,35 @@
+#ifndef HLM_CLUSTER_TSNE_H_
+#define HLM_CLUSTER_TSNE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hlm::cluster {
+
+/// t-SNE (van der Maaten & Hinton 2008) configuration. The paper uses
+/// t-SNE to project LDA product embeddings to 2-D (Figures 8-9); with 38
+/// products the exact O(N^2) formulation is the right tool (no
+/// Barnes-Hut needed).
+struct TsneConfig {
+  int output_dims = 2;
+  double perplexity = 8.0;      // effective neighborhood size
+  int iterations = 800;
+  double learning_rate = 15.0;
+  double early_exaggeration = 4.0;
+  int exaggeration_iterations = 100;
+  double initial_momentum = 0.5;
+  double final_momentum = 0.8;
+  int momentum_switch_iteration = 250;
+  uint64_t seed = 11;
+};
+
+/// Embeds `points` (N x D) into config.output_dims dimensions. Fails when
+/// perplexity is infeasible (needs N - 1 > perplexity).
+Result<std::vector<std::vector<double>>> Tsne(
+    const std::vector<std::vector<double>>& points, const TsneConfig& config);
+
+}  // namespace hlm::cluster
+
+#endif  // HLM_CLUSTER_TSNE_H_

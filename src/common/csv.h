@@ -1,0 +1,44 @@
+#ifndef HLM_COMMON_CSV_H_
+#define HLM_COMMON_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hlm {
+
+/// Parses one RFC-4180-style CSV line (quoted fields, embedded commas and
+/// doubled quotes supported; embedded newlines are not).
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line);
+
+/// Escapes a field for CSV output (quotes when it contains , " or space).
+std::string CsvEscape(std::string_view field);
+
+/// Streaming CSV writer over any std::ostream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream* out) : out_(out) {}
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void WriteRow(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream* out_;
+};
+
+/// Reads an entire CSV file into rows of string fields.
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path);
+
+/// Writes rows to a CSV file, overwriting it.
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace hlm
+
+#endif  // HLM_COMMON_CSV_H_

@@ -1,0 +1,99 @@
+#include "common/flags.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace hlm {
+
+void FlagSet::AddInt64(const std::string& name, long long* target,
+                       const std::string& help) {
+  flags_[name] = Flag{Kind::kInt64, target, help, std::to_string(*target)};
+}
+
+void FlagSet::AddDouble(const std::string& name, double* target,
+                        const std::string& help) {
+  flags_[name] = Flag{Kind::kDouble, target, help, std::to_string(*target)};
+}
+
+void FlagSet::AddString(const std::string& name, std::string* target,
+                        const std::string& help) {
+  flags_[name] = Flag{Kind::kString, target, help, *target};
+}
+
+void FlagSet::AddBool(const std::string& name, bool* target,
+                      const std::string& help) {
+  flags_[name] = Flag{Kind::kBool, target, help, *target ? "true" : "false"};
+}
+
+Status FlagSet::SetValue(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return Status::NotFound("unknown flag: --" + name);
+  Flag& flag = it->second;
+  switch (flag.kind) {
+    case Kind::kInt64: {
+      HLM_ASSIGN_OR_RETURN(long long v, ParseInt64(value));
+      *static_cast<long long*>(flag.target) = v;
+      return Status::OK();
+    }
+    case Kind::kDouble: {
+      HLM_ASSIGN_OR_RETURN(double v, ParseDouble(value));
+      *static_cast<double*>(flag.target) = v;
+      return Status::OK();
+    }
+    case Kind::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return Status::OK();
+    case Kind::kBool: {
+      std::string lowered = ToLower(value);
+      if (lowered == "true" || lowered == "1" || lowered == "yes") {
+        *static_cast<bool*>(flag.target) = true;
+      } else if (lowered == "false" || lowered == "0" || lowered == "no") {
+        *static_cast<bool*>(flag.target) = false;
+      } else {
+        return Status::InvalidArgument("bad bool value for --" + name + ": " +
+                                       value);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable flag kind");
+}
+
+Status FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      HLM_RETURN_IF_ERROR(SetValue(arg.substr(0, eq), arg.substr(eq + 1)));
+      continue;
+    }
+    auto it = flags_.find(arg);
+    if (it == flags_.end()) return Status::NotFound("unknown flag: --" + arg);
+    if (it->second.kind == Kind::kBool) {
+      *static_cast<bool*>(it->second.target) = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("flag --" + arg + " expects a value");
+    }
+    HLM_RETURN_IF_ERROR(SetValue(arg, argv[++i]));
+  }
+  return Status::OK();
+}
+
+std::string FlagSet::Usage() const {
+  std::ostringstream out;
+  out << "Flags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out << "  --" << name << " (default: " << flag.default_value << ")  "
+        << flag.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace hlm

@@ -1,0 +1,51 @@
+#ifndef HLM_COMMON_FLAGS_H_
+#define HLM_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hlm {
+
+/// Minimal command-line flag parser for benches and examples.
+/// Supports --name=value and --name value; bool flags accept bare --name.
+class FlagSet {
+ public:
+  FlagSet() = default;
+
+  FlagSet(const FlagSet&) = delete;
+  FlagSet& operator=(const FlagSet&) = delete;
+
+  void AddInt64(const std::string& name, long long* target,
+                const std::string& help);
+  void AddDouble(const std::string& name, double* target,
+                 const std::string& help);
+  void AddString(const std::string& name, std::string* target,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* target, const std::string& help);
+
+  /// Parses argv (skipping argv[0]); unknown flags are an error.
+  Status Parse(int argc, char** argv);
+
+  /// Renders a usage block listing all registered flags with defaults.
+  std::string Usage() const;
+
+ private:
+  enum class Kind { kInt64, kDouble, kString, kBool };
+  struct Flag {
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_value;
+  };
+
+  Status SetValue(const std::string& name, const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace hlm
+
+#endif  // HLM_COMMON_FLAGS_H_

@@ -1,0 +1,65 @@
+#ifndef HLM_COMMON_LOGGING_H_
+#define HLM_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace hlm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global minimum level below which messages are dropped. Defaults to kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// One log statement; flushes to stderr on destruction. Fatal aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace hlm
+
+#define HLM_LOG(level)                                              \
+  ::hlm::internal_logging::LogMessage(::hlm::LogLevel::k##level,    \
+                                      __FILE__, __LINE__)
+
+/// Invariant checks; abort with a message on failure (debug and release).
+#define HLM_CHECK(condition)                                           \
+  if (!(condition))                                                    \
+  HLM_LOG(Fatal) << "Check failed: " #condition " "
+
+#define HLM_CHECK_OK(expr)                                      \
+  do {                                                          \
+    ::hlm::Status _hlm_check_status = (expr);                   \
+    HLM_CHECK(_hlm_check_status.ok()) << _hlm_check_status;     \
+  } while (false)
+
+#define HLM_CHECK_EQ(a, b) HLM_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HLM_CHECK_NE(a, b) HLM_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HLM_CHECK_LT(a, b) HLM_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HLM_CHECK_LE(a, b) HLM_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HLM_CHECK_GT(a, b) HLM_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HLM_CHECK_GE(a, b) HLM_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // HLM_COMMON_LOGGING_H_

@@ -1,0 +1,143 @@
+#ifndef HLM_COMMON_STATUS_H_
+#define HLM_COMMON_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace hlm {
+
+/// Canonical error codes, modeled after the usual database-library set
+/// (Arrow/RocksDB style). The library does not throw exceptions; fallible
+/// operations return Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kDataLoss = 8,
+};
+
+/// Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-semantic error carrier. A default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Result<T> is either a value or a non-OK Status (Arrow-style).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from Status by design: it makes
+  /// `return value;` and `return Status::...;` both work in functions
+  /// returning Result<T>, which is the whole point of the type.
+  Result(T value) : value_(std::move(value)) {}            // NOLINT
+  Result(Status status) : status_(std::move(status)) {}    // NOLINT
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Checked in debug builds via assert-like abort.
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// Returns the contained value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ engaged.
+};
+
+/// Propagates a non-OK status out of the enclosing function.
+#define HLM_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::hlm::Status _hlm_status = (expr);            \
+    if (!_hlm_status.ok()) return _hlm_status;     \
+  } while (false)
+
+#define HLM_CONCAT_IMPL_(x, y) x##y
+#define HLM_CONCAT_(x, y) HLM_CONCAT_IMPL_(x, y)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the
+/// error. `lhs` may include a declaration: HLM_ASSIGN_OR_RETURN(auto x, F());
+#define HLM_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto HLM_CONCAT_(_hlm_result_, __LINE__) = (rexpr);           \
+  if (!HLM_CONCAT_(_hlm_result_, __LINE__).ok())                \
+    return HLM_CONCAT_(_hlm_result_, __LINE__).status();        \
+  lhs = std::move(HLM_CONCAT_(_hlm_result_, __LINE__)).value()
+
+}  // namespace hlm
+
+#endif  // HLM_COMMON_STATUS_H_

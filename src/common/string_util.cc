@@ -1,0 +1,185 @@
+#include "common/string_util.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace hlm {
+
+std::vector<std::string> Split(std::string_view text, char delim) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      break;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view delim) {
+  std::string result;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) result.append(delim);
+    result.append(parts[i]);
+  }
+  return result;
+}
+
+std::string_view Trim(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string ToLower(std::string_view text) {
+  std::string result(text);
+  std::transform(result.begin(), result.end(), result.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return result;
+}
+
+std::string ToUpper(std::string_view text) {
+  std::string result(text);
+  std::transform(result.begin(), result.end(), result.begin(), [](unsigned char c) {
+    return static_cast<char>(std::toupper(c));
+  });
+  return result;
+}
+
+Result<long long> ParseInt64(std::string_view text) {
+  std::string buf(Trim(text));
+  if (buf.empty()) return Status::InvalidArgument("empty integer string");
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE) return Status::OutOfRange("integer out of range: " + buf);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not an integer: " + buf);
+  }
+  return value;
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  std::string buf(Trim(text));
+  if (buf.empty()) return Status::InvalidArgument("empty double string");
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (errno == ERANGE) return Status::OutOfRange("double out of range: " + buf);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not a double: " + buf);
+  }
+  return value;
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string NormalizeCompanyName(std::string_view name) {
+  static const char* const kLegalSuffixes[] = {
+      "inc",  "incorporated", "corp", "corporation", "ltd", "limited",
+      "llc",  "gmbh",         "ag",   "sa",          "co",  "company",
+      "plc",  "holdings",     "group"};
+
+  std::string lowered;
+  lowered.reserve(name.size());
+  for (char raw : name) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      lowered.push_back(static_cast<char>(std::tolower(c)));
+    } else if (std::isspace(c) || std::ispunct(c)) {
+      if (!lowered.empty() && lowered.back() != ' ') lowered.push_back(' ');
+    }
+  }
+  while (!lowered.empty() && lowered.back() == ' ') lowered.pop_back();
+
+  std::vector<std::string> tokens = Split(lowered, ' ');
+  // Drop trailing legal suffixes (possibly several: "foo holdings ltd").
+  while (tokens.size() > 1) {
+    const std::string& last = tokens.back();
+    bool is_suffix = false;
+    for (const char* suffix : kLegalSuffixes) {
+      if (last == suffix) {
+        is_suffix = true;
+        break;
+      }
+    }
+    if (!is_suffix) break;
+    tokens.pop_back();
+  }
+  return Join(tokens, " ");
+}
+
+namespace {
+
+double Jaro(std::string_view a, std::string_view b) {
+  const size_t la = a.size();
+  const size_t lb = b.size();
+  if (la == 0 && lb == 0) return 1.0;
+  if (la == 0 || lb == 0) return 0.0;
+
+  const size_t match_window =
+      std::max<size_t>(1, std::max(la, lb) / 2) - 1;
+  std::vector<bool> a_matched(la, false);
+  std::vector<bool> b_matched(lb, false);
+
+  size_t matches = 0;
+  for (size_t i = 0; i < la; ++i) {
+    size_t lo = i > match_window ? i - match_window : 0;
+    size_t hi = std::min(lb, i + match_window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (b_matched[j] || a[i] != b[j]) continue;
+      a_matched[i] = true;
+      b_matched[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < la; ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  const double m = static_cast<double>(matches);
+  return (m / la + m / lb + (m - transpositions / 2.0) / m) / 3.0;
+}
+
+}  // namespace
+
+double JaroWinkler(std::string_view a, std::string_view b) {
+  double jaro = Jaro(a, b);
+  size_t prefix = 0;
+  const size_t max_prefix = 4;
+  while (prefix < max_prefix && prefix < a.size() && prefix < b.size() &&
+         a[prefix] == b[prefix]) {
+    ++prefix;
+  }
+  const double scaling = 0.1;
+  return jaro + prefix * scaling * (1.0 - jaro);
+}
+
+}  // namespace hlm

@@ -1,0 +1,44 @@
+#ifndef HLM_COMMON_STRING_UTIL_H_
+#define HLM_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hlm {
+
+/// Splits `text` on `delim`; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Joins `parts` with `delim` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// ASCII lower-casing (locale-independent).
+std::string ToLower(std::string_view text);
+
+/// ASCII upper-casing (locale-independent).
+std::string ToUpper(std::string_view text);
+
+/// Parses a whole string as the given numeric type; rejects trailing junk.
+Result<long long> ParseInt64(std::string_view text);
+Result<double> ParseDouble(std::string_view text);
+
+/// Formats a double with fixed `digits` decimal places.
+std::string FormatDouble(double value, int digits);
+
+/// Normalizes a company name for record linkage: lowercase, strip
+/// punctuation, collapse whitespace, drop common legal suffixes
+/// ("inc", "corp", "ltd", "llc", "gmbh", "ag", "sa", "co").
+std::string NormalizeCompanyName(std::string_view name);
+
+/// Jaro-Winkler similarity in [0,1]; 1 means identical.
+double JaroWinkler(std::string_view a, std::string_view b);
+
+}  // namespace hlm
+
+#endif  // HLM_COMMON_STRING_UTIL_H_

@@ -1,0 +1,80 @@
+#include "corpus/company.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hlm::corpus {
+
+void InstallBase::Observe(CategoryId category, Month first_seen) {
+  HLM_CHECK_GE(category, 0);
+  HLM_CHECK_LT(category, 64);
+  if (Contains(category)) {
+    for (auto& [month, cat] : timeline_) {
+      if (cat == category && first_seen < month) {
+        month = first_seen;
+        Resort();
+        break;
+      }
+    }
+    return;
+  }
+  mask_ |= (uint64_t{1} << category);
+  timeline_.emplace_back(first_seen, category);
+  Resort();
+}
+
+void InstallBase::Resort() {
+  std::sort(timeline_.begin(), timeline_.end());
+}
+
+std::vector<CategoryId> InstallBase::Sequence() const {
+  std::vector<CategoryId> sequence;
+  sequence.reserve(timeline_.size());
+  for (const auto& [month, category] : timeline_) sequence.push_back(category);
+  return sequence;
+}
+
+std::vector<CategoryId> InstallBase::Set() const {
+  std::vector<CategoryId> set;
+  set.reserve(timeline_.size());
+  for (int c = 0; c < 64; ++c) {
+    if (Contains(c)) set.push_back(c);
+  }
+  return set;
+}
+
+Month InstallBase::FirstSeen(CategoryId category) const {
+  for (const auto& [month, cat] : timeline_) {
+    if (cat == category) return month;
+  }
+  return -1;
+}
+
+InstallBase InstallBase::Before(Month cutoff) const {
+  InstallBase base;
+  for (const auto& [month, category] : timeline_) {
+    if (month < cutoff) base.Observe(category, month);
+  }
+  return base;
+}
+
+std::vector<CategoryId> InstallBase::AppearedIn(Month start, Month end) const {
+  std::vector<CategoryId> out;
+  for (const auto& [month, category] : timeline_) {
+    if (month >= start && month < end) out.push_back(category);
+  }
+  return out;
+}
+
+InstallBase AggregateSites(const Company& company) {
+  InstallBase base;
+  for (const CompanySite& site : company.sites) {
+    for (const InstallEvent& event : site.events) {
+      base.Observe(event.category, event.first_seen);
+    }
+  }
+  return base;
+}
+
+}  // namespace hlm::corpus

@@ -1,0 +1,99 @@
+#ifndef HLM_CORPUS_COMPANY_H_
+#define HLM_CORPUS_COMPANY_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "corpus/duns.h"
+#include "corpus/month.h"
+#include "corpus/product_taxonomy.h"
+
+namespace hlm::corpus {
+
+/// One confirmed product-category presence at a site, mirroring the HG
+/// Data schema: category, first and most recent successful confirmation,
+/// and a confidence indication.
+struct InstallEvent {
+  CategoryId category = 0;
+  Month first_seen = 0;
+  Month last_confirmed = 0;
+  double confidence = 1.0;  // in (0, 1]
+};
+
+/// A physical location of a company, identified by its own D-U-N-S.
+struct CompanySite {
+  Duns duns = kInvalidDuns;
+  std::string country;
+  std::string region;
+  std::vector<InstallEvent> events;
+};
+
+/// A company entity before aggregation: metadata plus per-site events.
+struct Company {
+  int id = -1;                 // dense corpus index once added
+  std::string name;
+  Duns domestic_duns = kInvalidDuns;  // domestic-ultimate D-U-N-S
+  int sic2_code = 0;
+  std::string country;
+  long long employees = 0;
+  double revenue_musd = 0.0;   // annual revenue, millions USD
+  std::vector<CompanySite> sites;
+};
+
+/// The modeling unit of the paper: the aggregated install base of a
+/// company. Holds the timeline of first appearances, from which both the
+/// set view A_i and the time-sorted sequence view AS_i derive.
+class InstallBase {
+ public:
+  InstallBase() = default;
+
+  /// Adds (or keeps the earliest sighting of) a category.
+  void Observe(CategoryId category, Month first_seen);
+
+  bool Contains(CategoryId category) const {
+    return (mask_ >> category) & 1u;
+  }
+
+  /// Bitmask over categories (requires < 64 categories; checked).
+  uint64_t mask() const { return mask_; }
+
+  size_t size() const { return timeline_.size(); }
+  bool empty() const { return timeline_.empty(); }
+
+  /// AS_i: categories sorted by first appearance (ties by category id).
+  std::vector<CategoryId> Sequence() const;
+
+  /// A_i: categories in ascending id order.
+  std::vector<CategoryId> Set() const;
+
+  /// First-appearance month of a contained category; -1 if absent.
+  Month FirstSeen(CategoryId category) const;
+
+  /// (month, category) pairs sorted by month then category.
+  const std::vector<std::pair<Month, CategoryId>>& timeline() const {
+    return timeline_;
+  }
+
+  /// Categories first seen strictly before `cutoff`, as a sub-base.
+  InstallBase Before(Month cutoff) const;
+
+  /// Categories first seen in [start, end).
+  std::vector<CategoryId> AppearedIn(Month start, Month end) const;
+
+ private:
+  void Resort();
+
+  uint64_t mask_ = 0;
+  std::vector<std::pair<Month, CategoryId>> timeline_;
+};
+
+/// Unions all site events of a company into its install base (earliest
+/// confirmation wins), i.e. the paper's domestic D-U-N-S aggregation
+/// followed by product aggregation across sites.
+InstallBase AggregateSites(const Company& company);
+
+}  // namespace hlm::corpus
+
+#endif  // HLM_CORPUS_COMPANY_H_

@@ -1,0 +1,115 @@
+#include "corpus/corpus.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace hlm::corpus {
+
+void Corpus::Add(Company company) {
+  company.id = static_cast<int>(records_.size());
+  InstallBase base = AggregateSites(company);
+  for (const auto& [month, category] : base.timeline()) {
+    (void)month;
+    HLM_CHECK_LT(category, num_categories());
+  }
+  records_.push_back(CompanyRecord{std::move(company), std::move(base)});
+}
+
+std::vector<std::vector<CategoryId>> Corpus::Sequences() const {
+  std::vector<std::vector<CategoryId>> sequences;
+  sequences.reserve(records_.size());
+  for (const CompanyRecord& record : records_) {
+    sequences.push_back(record.install_base.Sequence());
+  }
+  return sequences;
+}
+
+std::vector<uint64_t> Corpus::Masks() const {
+  std::vector<uint64_t> masks;
+  masks.reserve(records_.size());
+  for (const CompanyRecord& record : records_) {
+    masks.push_back(record.install_base.mask());
+  }
+  return masks;
+}
+
+std::vector<std::vector<double>> Corpus::BinaryMatrix() const {
+  std::vector<std::vector<double>> matrix(
+      records_.size(), std::vector<double>(num_categories(), 0.0));
+  for (size_t i = 0; i < records_.size(); ++i) {
+    for (int c = 0; c < num_categories(); ++c) {
+      if (records_[i].install_base.Contains(c)) matrix[i][c] = 1.0;
+    }
+  }
+  return matrix;
+}
+
+SplitIndices Corpus::Split(double train_frac, double valid_frac,
+                           Rng* rng) const {
+  HLM_CHECK_GE(train_frac, 0.0);
+  HLM_CHECK_GE(valid_frac, 0.0);
+  HLM_CHECK_LE(train_frac + valid_frac, 1.0);
+  std::vector<int> order(records_.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+  size_t n_train = static_cast<size_t>(train_frac * order.size());
+  size_t n_valid = static_cast<size_t>(valid_frac * order.size());
+  SplitIndices split;
+  split.train.assign(order.begin(), order.begin() + n_train);
+  split.valid.assign(order.begin() + n_train,
+                     order.begin() + n_train + n_valid);
+  split.test.assign(order.begin() + n_train + n_valid, order.end());
+  return split;
+}
+
+Corpus Corpus::Subset(const std::vector<int>& indices) const {
+  Corpus subset(taxonomy_);
+  for (int index : indices) {
+    HLM_CHECK_GE(index, 0);
+    HLM_CHECK_LT(index, num_companies());
+    subset.Add(records_[index].company);
+  }
+  return subset;
+}
+
+Corpus Corpus::DropEmpty() const {
+  Corpus filtered(taxonomy_);
+  for (const CompanyRecord& record : records_) {
+    if (!record.install_base.empty()) filtered.Add(record.company);
+  }
+  return filtered;
+}
+
+CategoryStats Corpus::ComputeCategoryStats() const {
+  CategoryStats stats;
+  stats.document_frequency.assign(num_categories(), 0);
+  stats.relative_frequency.assign(num_categories(), 0.0);
+  long long total_size = 0;
+  for (const CompanyRecord& record : records_) {
+    total_size += static_cast<long long>(record.install_base.size());
+    for (int c = 0; c < num_categories(); ++c) {
+      if (record.install_base.Contains(c)) ++stats.document_frequency[c];
+    }
+  }
+  double n = static_cast<double>(std::max(1, num_companies()));
+  for (int c = 0; c < num_categories(); ++c) {
+    stats.relative_frequency[c] =
+        static_cast<double>(stats.document_frequency[c]) / n;
+  }
+  stats.mean_install_base_size = static_cast<double>(total_size) / n;
+  return stats;
+}
+
+std::vector<int> Corpus::CompaniesActiveIn(Month start, Month end) const {
+  std::vector<int> active;
+  for (size_t i = 0; i < records_.size(); ++i) {
+    if (!records_[i].install_base.AppearedIn(start, end).empty()) {
+      active.push_back(static_cast<int>(i));
+    }
+  }
+  return active;
+}
+
+}  // namespace hlm::corpus

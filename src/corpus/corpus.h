@@ -1,0 +1,86 @@
+#ifndef HLM_CORPUS_CORPUS_H_
+#define HLM_CORPUS_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/company.h"
+#include "corpus/product_taxonomy.h"
+#include "math/rng.h"
+
+namespace hlm::corpus {
+
+/// A company plus its aggregated install base — one "document" of the
+/// paper's corpus.
+struct CompanyRecord {
+  Company company;
+  InstallBase install_base;
+};
+
+/// Train/validation/test partition by corpus index.
+struct SplitIndices {
+  std::vector<int> train;
+  std::vector<int> valid;
+  std::vector<int> test;
+};
+
+/// Per-category occurrence statistics.
+struct CategoryStats {
+  std::vector<long long> document_frequency;  // companies owning category
+  std::vector<double> relative_frequency;     // df / N
+  double mean_install_base_size = 0.0;
+};
+
+/// The corpus of company "documents" over a fixed product vocabulary.
+/// Provides both views the paper models: sets A_i (for LDA / unigram /
+/// BPMF) and time-sorted sequences AS_i (for n-gram / CHH / LSTM).
+class Corpus {
+ public:
+  explicit Corpus(ProductTaxonomy taxonomy) : taxonomy_(std::move(taxonomy)) {}
+
+  /// Aggregates the company's sites and appends it; assigns company.id.
+  /// Companies with empty install bases are accepted (they occur in the
+  /// wild) but excluded from DropEmpty() views.
+  void Add(Company company);
+
+  int num_companies() const { return static_cast<int>(records_.size()); }
+  int num_categories() const { return taxonomy_.num_categories(); }
+  const ProductTaxonomy& taxonomy() const { return taxonomy_; }
+
+  const CompanyRecord& record(int i) const { return records_[i]; }
+  const std::vector<CompanyRecord>& records() const { return records_; }
+
+  /// AS_i for every company.
+  std::vector<std::vector<CategoryId>> Sequences() const;
+
+  /// Bitmask A_i for every company.
+  std::vector<uint64_t> Masks() const;
+
+  /// Dense binary company-product matrix (N x M of 0.0/1.0), the paper's
+  /// naive representation.
+  std::vector<std::vector<double>> BinaryMatrix() const;
+
+  /// Random shuffle split with the paper's 70/10/20 default fractions.
+  SplitIndices Split(double train_frac, double valid_frac, Rng* rng) const;
+
+  /// New corpus restricted to the given indices (metadata preserved).
+  Corpus Subset(const std::vector<int>& indices) const;
+
+  /// New corpus with empty-install-base companies removed.
+  Corpus DropEmpty() const;
+
+  CategoryStats ComputeCategoryStats() const;
+
+  /// Companies whose install base gained >= 1 category in [start, end).
+  std::vector<int> CompaniesActiveIn(Month start, Month end) const;
+
+ private:
+  ProductTaxonomy taxonomy_;
+  std::vector<CompanyRecord> records_;
+};
+
+}  // namespace hlm::corpus
+
+#endif  // HLM_CORPUS_CORPUS_H_

@@ -1,0 +1,109 @@
+#include "corpus/corpus_io.h"
+
+#include <map>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "corpus/duns.h"
+#include "corpus/month.h"
+
+namespace hlm::corpus {
+
+Status SaveCorpusCsv(const Corpus& corpus, const std::string& directory) {
+  std::vector<std::vector<std::string>> companies;
+  companies.push_back({"id", "name", "duns", "sic2", "country", "employees",
+                       "revenue_musd"});
+  std::vector<std::vector<std::string>> events;
+  events.push_back({"company_id", "site_duns", "category", "first_seen",
+                    "last_confirmed", "confidence"});
+
+  for (const CompanyRecord& record : corpus.records()) {
+    const Company& company = record.company;
+    companies.push_back({std::to_string(company.id), company.name,
+                         FormatDuns(company.domestic_duns),
+                         std::to_string(company.sic2_code), company.country,
+                         std::to_string(company.employees),
+                         FormatDouble(company.revenue_musd, 3)});
+    for (const CompanySite& site : company.sites) {
+      for (const InstallEvent& event : site.events) {
+        events.push_back(
+            {std::to_string(company.id), FormatDuns(site.duns),
+             corpus.taxonomy().category(event.category).name,
+             FormatMonth(event.first_seen), FormatMonth(event.last_confirmed),
+             FormatDouble(event.confidence, 4)});
+      }
+    }
+  }
+  HLM_RETURN_IF_ERROR(WriteCsvFile(directory + "/companies.csv", companies));
+  return WriteCsvFile(directory + "/events.csv", events);
+}
+
+Result<Corpus> LoadCorpusCsv(const std::string& directory) {
+  HLM_ASSIGN_OR_RETURN(auto company_rows,
+                       ReadCsvFile(directory + "/companies.csv"));
+  HLM_ASSIGN_OR_RETURN(auto event_rows, ReadCsvFile(directory + "/events.csv"));
+  if (company_rows.empty() || event_rows.empty()) {
+    return Status::DataLoss("corpus CSV files are empty");
+  }
+
+  ProductTaxonomy taxonomy = ProductTaxonomy::Default();
+  std::map<int, Company> companies;  // keyed by stored id, order preserved
+  for (size_t r = 1; r < company_rows.size(); ++r) {
+    const auto& row = company_rows[r];
+    if (row.size() != 7) {
+      return Status::DataLoss("bad companies.csv row " + std::to_string(r));
+    }
+    Company company;
+    HLM_ASSIGN_OR_RETURN(long long id, ParseInt64(row[0]));
+    company.name = row[1];
+    HLM_ASSIGN_OR_RETURN(company.domestic_duns, ParseDuns(row[2]));
+    HLM_ASSIGN_OR_RETURN(long long sic2, ParseInt64(row[3]));
+    company.sic2_code = static_cast<int>(sic2);
+    company.country = row[4];
+    HLM_ASSIGN_OR_RETURN(company.employees, ParseInt64(row[5]));
+    HLM_ASSIGN_OR_RETURN(company.revenue_musd, ParseDouble(row[6]));
+    companies[static_cast<int>(id)] = std::move(company);
+  }
+
+  for (size_t r = 1; r < event_rows.size(); ++r) {
+    const auto& row = event_rows[r];
+    if (row.size() != 6) {
+      return Status::DataLoss("bad events.csv row " + std::to_string(r));
+    }
+    HLM_ASSIGN_OR_RETURN(long long company_id, ParseInt64(row[0]));
+    auto it = companies.find(static_cast<int>(company_id));
+    if (it == companies.end()) {
+      return Status::DataLoss("event references unknown company " + row[0]);
+    }
+    HLM_ASSIGN_OR_RETURN(Duns site_duns, ParseDuns(row[1]));
+    HLM_ASSIGN_OR_RETURN(CategoryId category, taxonomy.FindCategory(row[2]));
+    InstallEvent event;
+    event.category = category;
+    HLM_ASSIGN_OR_RETURN(event.first_seen, ParseMonth(row[3]));
+    HLM_ASSIGN_OR_RETURN(event.last_confirmed, ParseMonth(row[4]));
+    HLM_ASSIGN_OR_RETURN(event.confidence, ParseDouble(row[5]));
+
+    Company& company = it->second;
+    CompanySite* site = nullptr;
+    for (CompanySite& existing : company.sites) {
+      if (existing.duns == site_duns) {
+        site = &existing;
+        break;
+      }
+    }
+    if (site == nullptr) {
+      company.sites.push_back(CompanySite{site_duns, company.country, "", {}});
+      site = &company.sites.back();
+    }
+    site->events.push_back(event);
+  }
+
+  Corpus corpus(taxonomy);
+  for (auto& [id, company] : companies) {
+    (void)id;
+    corpus.Add(std::move(company));
+  }
+  return corpus;
+}
+
+}  // namespace hlm::corpus

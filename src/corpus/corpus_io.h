@@ -1,0 +1,23 @@
+#ifndef HLM_CORPUS_CORPUS_IO_H_
+#define HLM_CORPUS_CORPUS_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "corpus/corpus.h"
+
+namespace hlm::corpus {
+
+/// Persists a corpus as two CSV files under `directory`:
+///   companies.csv: id,name,duns,sic2,country,employees,revenue_musd
+///   events.csv:    company_id,site_duns,category,first_seen,last_confirmed,confidence
+/// Site structure is preserved (one row per site event).
+Status SaveCorpusCsv(const Corpus& corpus, const std::string& directory);
+
+/// Loads a corpus saved by SaveCorpusCsv. The taxonomy must match the
+/// default 38-category vocabulary (category names are validated).
+Result<Corpus> LoadCorpusCsv(const std::string& directory);
+
+}  // namespace hlm::corpus
+
+#endif  // HLM_CORPUS_CORPUS_IO_H_

@@ -1,0 +1,95 @@
+#include "corpus/duns.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace hlm::corpus {
+
+std::string FormatDuns(Duns duns) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%09u", duns);
+  return buf;
+}
+
+Result<Duns> ParseDuns(const std::string& text) {
+  if (text.size() != 9) {
+    return Status::InvalidArgument("D-U-N-S must be 9 digits: " + text);
+  }
+  HLM_ASSIGN_OR_RETURN(long long value, ParseInt64(text));
+  if (value <= 0 || value > 999999999LL) {
+    return Status::OutOfRange("D-U-N-S out of range: " + text);
+  }
+  return static_cast<Duns>(value);
+}
+
+Status DunsRegistry::Add(const DunsRecord& record) {
+  if (record.duns == kInvalidDuns) {
+    return Status::InvalidArgument("zero D-U-N-S number");
+  }
+  auto [it, inserted] = records_.emplace(record.duns, record);
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("duplicate D-U-N-S: " + FormatDuns(record.duns));
+  }
+  return Status::OK();
+}
+
+Result<DunsRecord> DunsRegistry::Lookup(Duns duns) const {
+  auto it = records_.find(duns);
+  if (it == records_.end()) {
+    return Status::NotFound("unknown D-U-N-S: " + FormatDuns(duns));
+  }
+  return it->second;
+}
+
+Result<Duns> DunsRegistry::DomesticUltimateOf(Duns site) const {
+  HLM_ASSIGN_OR_RETURN(DunsRecord record, Lookup(site));
+  return record.domestic_ultimate == kInvalidDuns ? record.duns
+                                                  : record.domestic_ultimate;
+}
+
+std::vector<Duns> DunsRegistry::SitesOfDomesticUltimate(
+    Duns domestic_ultimate) const {
+  std::vector<Duns> sites;
+  for (const auto& [duns, record] : records_) {
+    Duns ultimate = record.domestic_ultimate == kInvalidDuns
+                        ? record.duns
+                        : record.domestic_ultimate;
+    if (ultimate == domestic_ultimate) sites.push_back(duns);
+  }
+  return sites;
+}
+
+Status DunsRegistry::Validate() const {
+  for (const auto& [duns, record] : records_) {
+    if (record.parent != kInvalidDuns && !records_.count(record.parent)) {
+      return Status::DataLoss("dangling parent for " + FormatDuns(duns));
+    }
+    if (record.domestic_ultimate != kInvalidDuns) {
+      auto it = records_.find(record.domestic_ultimate);
+      if (it == records_.end()) {
+        return Status::DataLoss("dangling domestic ultimate for " +
+                                FormatDuns(duns));
+      }
+      if (it->second.country != record.country) {
+        return Status::DataLoss("domestic ultimate crosses countries for " +
+                                FormatDuns(duns));
+      }
+    }
+    // Parent chains must terminate within size() hops (cycle check).
+    Duns cursor = record.parent;
+    size_t hops = 0;
+    while (cursor != kInvalidDuns) {
+      if (++hops > records_.size()) {
+        return Status::DataLoss("parent cycle involving " + FormatDuns(duns));
+      }
+      auto it = records_.find(cursor);
+      if (it == records_.end()) break;  // dangling caught above
+      cursor = it->second.parent;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hlm::corpus

@@ -1,0 +1,69 @@
+#ifndef HLM_CORPUS_DUNS_H_
+#define HLM_CORPUS_DUNS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hlm::corpus {
+
+/// A D-U-N-S® number: a unique 9-digit identifier assigned per business
+/// location. Company entities (branches, subsidiaries, headquarters) each
+/// carry their own number, organized hierarchically; the paper aggregates
+/// at the *domestic ultimate* level (all sites of a company in one
+/// country).
+using Duns = uint32_t;
+
+inline constexpr Duns kInvalidDuns = 0;
+
+/// Nine-digit zero-padded rendering ("004217938").
+std::string FormatDuns(Duns duns);
+
+/// Parses a 9-digit D-U-N-S string.
+Result<Duns> ParseDuns(const std::string& text);
+
+/// One site (location) entry in the hierarchy.
+struct DunsRecord {
+  Duns duns = kInvalidDuns;
+  Duns parent = kInvalidDuns;            // immediate parent; 0 for ultimates
+  Duns domestic_ultimate = kInvalidDuns; // top of the in-country subtree
+  Duns global_ultimate = kInvalidDuns;   // top of the worldwide tree
+  std::string country;                   // ISO-ish country code, e.g. "US"
+};
+
+/// Registry of the D-U-N-S hierarchy with the aggregation query the
+/// paper's pipeline needs: site -> domestic ultimate.
+class DunsRegistry {
+ public:
+  DunsRegistry() = default;
+
+  /// Fails with AlreadyExists on duplicate numbers and InvalidArgument on
+  /// a zero number.
+  Status Add(const DunsRecord& record);
+
+  Result<DunsRecord> Lookup(Duns duns) const;
+
+  /// Domestic ultimate for a site; NotFound if the site is unknown.
+  Result<Duns> DomesticUltimateOf(Duns site) const;
+
+  /// All sites sharing a domestic ultimate (including the ultimate itself
+  /// when registered), in ascending D-U-N-S order.
+  std::vector<Duns> SitesOfDomesticUltimate(Duns domestic_ultimate) const;
+
+  size_t size() const { return records_.size(); }
+
+  /// Validates hierarchy invariants: every parent/ultimate referenced is
+  /// registered, countries agree within a domestic subtree, and parent
+  /// chains terminate (no cycles).
+  Status Validate() const;
+
+ private:
+  std::map<Duns, DunsRecord> records_;
+};
+
+}  // namespace hlm::corpus
+
+#endif  // HLM_CORPUS_DUNS_H_

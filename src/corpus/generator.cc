@@ -1,0 +1,469 @@
+#include "corpus/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+#include "corpus/sic.h"
+#include "math/vector_ops.h"
+
+namespace hlm::corpus {
+
+namespace {
+
+constexpr const char* kNameAdjectives[] = {
+    "Apex",     "Blue Ridge", "Cascade",  "Delta",    "Evergreen",
+    "Frontier", "Granite",    "Harbor",   "Iron",     "Juniper",
+    "Keystone", "Lakeside",   "Meridian", "North",    "Oak",
+    "Pacific",  "Quail",      "River",    "Summit",   "Titan",
+    "Union",    "Vanguard",   "Westfield", "Yellowstone", "Zenith",
+    "Atlas",    "Beacon",     "Crestview", "Dominion", "Eastgate",
+};
+
+constexpr const char* kNameNouns[] = {
+    "Dynamics",    "Logistics",   "Industries",  "Manufacturing",
+    "Foods",       "Energy",      "Financial",   "Health",
+    "Retailers",   "Media",       "Transport",   "Utilities",
+    "Chemicals",   "Materials",   "Mills",       "Motors",
+    "Outfitters",  "Packaging",   "Partners",    "Pharma",
+    "Properties",  "Resources",   "Services",    "Solutions",
+    "Technologies", "Textiles",   "Ventures",    "Works",
+    "Labs",        "Networks",
+};
+
+constexpr const char* kNameSuffixes[] = {
+    "Inc.", "Corp.", "Ltd.", "LLC", "Co.", "Group", "Holdings",
+};
+
+constexpr const char* kNonUsCountries[] = {"CA", "GB", "DE", "FR", "JP", "AU"};
+
+constexpr const char* kUsRegions[] = {"CA", "NY", "TX", "IL", "WA",
+                                      "MA", "GA", "FL", "OH", "CO"};
+
+
+// Topic marginal proportions: making topics unequally likely lowers the
+// corpus marginal entropy at a fixed within-topic entropy, which is what
+// lets LDA models gain a large factor over the unigram baseline (the
+// paper's 19.5 -> 8.5). Proportions are realized by the fraction of
+// industries preferring each topic.
+int PreferredTopicForIndustry(int industry_index, int num_industries,
+                              int num_topics) {
+  // Target topic shares: geometric-ish decay 0.6, 0.2, 0.12, 0.08, ...
+  // Industry indices are drawn with density skewed toward low indices
+  // (u^1.35 in the generator), so index cutoffs are share^1.35.
+  if (num_topics == 1) return 0;
+  std::vector<double> shares(num_topics);
+  shares[0] = 0.6;
+  double rest = 0.4;
+  for (int t = 1; t < num_topics; ++t) {
+    shares[t] = (t == num_topics - 1) ? rest : rest * 0.55;
+    rest -= shares[t];
+  }
+  double frac = static_cast<double>(industry_index) /
+                static_cast<double>(num_industries);
+  double cumulative = 0.0;
+  for (int t = 0; t < num_topics; ++t) {
+    cumulative += shares[t];
+    if (frac < std::pow(cumulative, 1.35)) return t;
+  }
+  return num_topics - 1;
+}
+
+double Entropy(const std::vector<double>& p) {
+  double h = 0.0;
+  for (double v : p) {
+    if (v > 0.0) h -= v * std::log(v);
+  }
+  return h;
+}
+
+// Builds topic-category distributions for a given popularity skew.
+//
+// Support structure: every category belongs to the topic of its parent
+// group ("home", weight 1.0) and most categories additionally belong to
+// one other topic with a reduced weight. The overlap is deliberate: a
+// *single* product is ambiguous about the latent topic (which caps what
+// sequential n-gram models can extract from one-step contexts), while the
+// *full install base* pins the topic down (which is exactly the
+// advantage the paper measures for LDA). Hardware categories still share
+// a home topic, so Fig. 8/9's co-location of HW products reproduces.
+std::vector<std::vector<double>> BuildTopics(const ProductTaxonomy& taxonomy,
+                                             const GeneratorConfig& config,
+                                             double skew) {
+  const int m = taxonomy.num_categories();
+  const int num_topics = config.num_topics;
+  // Within-block popularity by fixed pseudo-rank (category id reordered
+  // by a fixed permutation so popularity is not aligned with the topic
+  // blocks).
+  std::vector<double> popularity(m);
+  std::vector<int> rank(m);
+  for (int c = 0; c < m; ++c) {
+    rank[c] = (c * 17 + 5) % m;  // fixed mixing permutation
+    popularity[c] = std::pow(static_cast<double>(rank[c] + 1), -skew);
+  }
+
+  // Explicit mass budget per topic: universal block (categories every
+  // company tends to own, like OS/network in real install bases), home
+  // block, secondary-overlap block, and an off-topic floor. Universals
+  // carry almost no topic information, which caps what one-step n-gram
+  // contexts can extract while LDA's full-set inference is unaffected.
+  std::vector<std::vector<double>> topics(num_topics,
+                                          std::vector<double>(m, 0.0));
+  for (int t = 0; t < num_topics; ++t) {
+    std::vector<double> universal(m, 0.0), home_block(m, 0.0),
+        secondary_block(m, 0.0), off_block(m, 0.0);
+    for (int c = 0; c < m; ++c) {
+      const CategoryInfo& info = taxonomy.category(c);
+      if (rank[c] < config.num_universal_categories) {
+        universal[c] = popularity[c];
+        continue;
+      }
+      int home = static_cast<int>(info.parent) % num_topics;
+      int secondary = num_topics > 1 && (c % 3 != 0)
+                          ? (home + 1 + (c % (num_topics - 1))) % num_topics
+                          : home;
+      if (home == t) {
+        home_block[c] = popularity[c];
+      } else if (secondary == t) {
+        secondary_block[c] = popularity[c];
+      } else {
+        off_block[c] = popularity[c];
+      }
+    }
+    NormalizeInPlace(&universal);
+    NormalizeInPlace(&home_block);
+    NormalizeInPlace(&secondary_block);
+    NormalizeInPlace(&off_block);
+    double home_mass = 1.0 - config.universal_mass - config.secondary_mass -
+                       config.off_topic_mass;
+    for (int c = 0; c < m; ++c) {
+      topics[t][c] = config.universal_mass * universal[c] +
+                     home_mass * home_block[c] +
+                     config.secondary_mass * secondary_block[c] +
+                     config.off_topic_mass * off_block[c];
+    }
+    NormalizeInPlace(&topics[t]);
+  }
+  return topics;
+}
+
+// Affinity chain P(next | prev): sharpened topic-profile overlap plus a
+// small popularity floor, row-normalized.
+std::vector<std::vector<double>> BuildAffinity(
+    const std::vector<std::vector<double>>& topics,
+    const std::vector<double>& marginal) {
+  const int m = static_cast<int>(marginal.size());
+  const int k = static_cast<int>(topics.size());
+  std::vector<std::vector<double>> affinity(m, std::vector<double>(m, 0.0));
+  for (int c = 0; c < m; ++c) {
+    for (int c2 = 0; c2 < m; ++c2) {
+      if (c2 == c) continue;
+      double overlap = 0.0;
+      for (int t = 0; t < k; ++t) overlap += topics[t][c] * topics[t][c2];
+      affinity[c][c2] = overlap * overlap / (marginal[c2] + 1e-9) +
+                        0.01 * marginal[c2];
+    }
+    NormalizeInPlace(&affinity[c]);
+  }
+  return affinity;
+}
+
+std::vector<double> MarginalOf(const std::vector<std::vector<double>>& topics) {
+  HLM_CHECK(!topics.empty());
+  std::vector<double> marginal(topics[0].size(), 0.0);
+  for (const auto& topic : topics) AddScaled(&marginal, 1.0, topic);
+  NormalizeInPlace(&marginal);
+  return marginal;
+}
+
+// Samples one company's acquisition sequence (categories only).
+std::vector<CategoryId> SampleSequence(
+    const GeneratorConfig& config, const std::vector<double>& theta,
+    const std::vector<std::vector<double>>& topics,
+    const std::vector<std::vector<double>>& affinity, int m, Rng* rng) {
+  int size =
+      1 + rng->NextPoisson(std::max(0.0, config.mean_install_size - 1.0));
+  size = std::min(size, m);
+
+  std::vector<CategoryId> sequence;
+  sequence.reserve(size);
+  uint64_t used = 0;
+  std::vector<double> weights(m);
+  const int k = static_cast<int>(topics.size());
+  for (int s = 0; s < size; ++s) {
+    bool noise = rng->NextBernoulli(config.noise_product_prob);
+    bool chain = !noise && !sequence.empty() &&
+                 rng->NextBernoulli(config.markov_strength);
+    for (int c = 0; c < m; ++c) {
+      if ((used >> c) & 1u) {
+        weights[c] = 0.0;
+        continue;
+      }
+      double mix = 0.0;
+      for (int t = 0; t < k; ++t) mix += theta[t] * topics[t][c];
+      if (noise) {
+        weights[c] = 1.0;
+      } else if (chain) {
+        // The affinity kick modulates the company's own topic profile
+        // rather than replacing it; otherwise a few chain hops diffuse
+        // the install base across topics and erase the latent structure.
+        weights[c] = affinity[sequence.back()][c] * mix;
+      } else {
+        weights[c] = mix;
+      }
+    }
+    CategoryId chosen = static_cast<CategoryId>(rng->NextCategorical(weights));
+    if ((used >> chosen) & 1u) break;  // degenerate all-zero fallback
+    used |= uint64_t{1} << chosen;
+    sequence.push_back(chosen);
+  }
+  return sequence;
+}
+
+// Dirichlet parameters for a company of the given industry.
+std::vector<double> IndustryAlpha(const GeneratorConfig& config,
+                                  int preferred_topic) {
+  std::vector<double> alpha(config.num_topics, config.doc_topic_alpha);
+  alpha[preferred_topic] *= config.industry_topic_bias;
+  return alpha;
+}
+
+// Empirical token entropy of a pilot batch generated at the given skew:
+// the quantity that actually determines the unigram model's perplexity
+// (without-replacement sampling flattens the theoretical marginal, so
+// calibrating on the marginal alone lands far off).
+double PilotTokenEntropy(const GeneratorConfig& config,
+                         const ProductTaxonomy& taxonomy, double skew,
+                         int pilot_companies) {
+  auto topics = BuildTopics(taxonomy, config, skew);
+  auto marginal = MarginalOf(topics);
+  auto affinity = BuildAffinity(topics, marginal);
+  const int m = taxonomy.num_categories();
+  Rng rng(config.seed ^ 0x5111d0c5);
+  std::vector<double> counts(m, 0.0);
+  const int num_industries = SicRegistry::Default().num_industries();
+  for (int i = 0; i < pilot_companies; ++i) {
+    int industry = static_cast<int>(
+        std::min<double>(num_industries - 1,
+                         std::floor(std::pow(rng.NextDouble(), 1.35) *
+                                    num_industries)));
+    int preferred =
+        PreferredTopicForIndustry(industry, num_industries, config.num_topics);
+    std::vector<double> theta =
+        rng.NextDirichlet(IndustryAlpha(config, preferred));
+    for (CategoryId c :
+         SampleSequence(config, theta, topics, affinity, m, &rng)) {
+      counts[c] += 1.0;
+    }
+  }
+  NormalizeInPlace(&counts);
+  return Entropy(counts);
+}
+
+}  // namespace
+
+SyntheticHgGenerator::SyntheticHgGenerator(GeneratorConfig config)
+    : config_(std::move(config)) {
+  HLM_CHECK_GT(config_.num_companies, 0);
+  HLM_CHECK_GT(config_.num_topics, 0);
+  HLM_CHECK_GE(config_.markov_strength, 0.0);
+  HLM_CHECK_LE(config_.markov_strength, 1.0);
+}
+
+GeneratedCorpus SyntheticHgGenerator::Generate() const {
+  ProductTaxonomy taxonomy = ProductTaxonomy::Default();
+  const int m = taxonomy.num_categories();
+  const SicRegistry& sic = SicRegistry::Default();
+  Rng rng(config_.seed);
+
+  // --- Calibrate the popularity skew so the *empirical* token entropy of
+  // pilot data matches the paper's unigram fingerprint (entropy =
+  // ln(perplexity)). Entropy falls monotonically in skew -> bisection.
+  double skew = config_.popularity_skew;
+  if (config_.auto_calibrate_skew) {
+    double lo = 0.0, hi = 4.5;
+    for (int iter = 0; iter < 18; ++iter) {
+      skew = 0.5 * (lo + hi);
+      double h = PilotTokenEntropy(config_, taxonomy, skew,
+                                   /*pilot_companies=*/600);
+      if (h > config_.target_unigram_entropy_nats) {
+        lo = skew;
+      } else {
+        hi = skew;
+      }
+    }
+  }
+
+  GroundTruth truth;
+  truth.num_topics = config_.num_topics;
+  truth.calibrated_skew = skew;
+  truth.topic_category = BuildTopics(taxonomy, config_, skew);
+  truth.marginal = MarginalOf(truth.topic_category);
+  truth.affinity = BuildAffinity(truth.topic_category, truth.marginal);
+
+  GeneratedCorpus out{Corpus(taxonomy), std::move(truth), DunsRegistry()};
+  GroundTruth& gt = out.truth;
+  gt.company_theta.reserve(config_.num_companies);
+  gt.company_topic.reserve(config_.num_companies);
+
+  // Industry -> preferred topic (stable assignment with the unequal
+  // topic shares described above).
+  std::vector<int> industry_topic(sic.num_industries());
+  for (int i = 0; i < sic.num_industries(); ++i) {
+    industry_topic[i] = PreferredTopicForIndustry(i, sic.num_industries(),
+                                                  config_.num_topics);
+  }
+
+  std::map<std::string, int> name_counts;
+  Duns next_duns = 10000001;
+
+  for (int i = 0; i < config_.num_companies; ++i) {
+    Company company;
+
+    // Industry (mildly skewed toward low indices, like real corpora).
+    int industry_index = static_cast<int>(
+        std::min<double>(sic.num_industries() - 1,
+                         std::floor(std::pow(rng.NextDouble(), 1.35) *
+                                    sic.num_industries())));
+    company.sic2_code = sic.industry(industry_index).code;
+
+    // Topic mixture theta ~ Dirichlet(alpha with industry bias).
+    std::vector<double> theta = rng.NextDirichlet(
+        IndustryAlpha(config_, industry_topic[industry_index]));
+    gt.company_theta.push_back(theta);
+    gt.company_topic.push_back(static_cast<int>(ArgMax(theta)));
+
+    // Name.
+    const int n_adj = sizeof(kNameAdjectives) / sizeof(kNameAdjectives[0]);
+    const int n_noun = sizeof(kNameNouns) / sizeof(kNameNouns[0]);
+    const int n_suffix = sizeof(kNameSuffixes) / sizeof(kNameSuffixes[0]);
+    std::string base_name =
+        std::string(kNameAdjectives[rng.NextBounded(n_adj)]) + " " +
+        kNameNouns[rng.NextBounded(n_noun)];
+    int& count = name_counts[base_name];
+    ++count;
+    if (count > 1) base_name += " " + std::to_string(count);
+    company.name =
+        base_name + " " + kNameSuffixes[rng.NextBounded(n_suffix)];
+
+    // Geography.
+    bool is_us = rng.NextBernoulli(config_.fraction_us);
+    company.country =
+        is_us ? "US"
+              : kNonUsCountries[rng.NextBounded(
+                    sizeof(kNonUsCountries) / sizeof(kNonUsCountries[0]))];
+
+    // Acquisition sequence.
+    std::vector<CategoryId> sequence = SampleSequence(
+        config_, theta, gt.topic_category, gt.affinity, m, &rng);
+
+    // Acquisition clock. Products whose (jittered) confirmation date
+    // falls past the data horizon are dropped: the corpus records only
+    // what the snapshot can see, so young companies look smaller.
+    Month founding = static_cast<Month>(
+        rng.NextInt(config_.first_founding_month, config_.last_founding_month));
+    std::vector<Month> months;
+    {
+      std::vector<CategoryId> visible;
+      Month cursor = founding;
+      for (size_t s = 0; s < sequence.size(); ++s) {
+        if (s > 0) {
+          cursor += 1 + rng.NextPoisson(std::max(
+                            0.0, config_.mean_acquisition_gap_months - 1.0));
+        }
+        Month jittered = cursor;
+        if (config_.timestamp_jitter_months > 0) {
+          jittered += static_cast<Month>(
+              rng.NextInt(-config_.timestamp_jitter_months,
+                          config_.timestamp_jitter_months));
+        }
+        jittered = std::max(jittered, config_.first_founding_month);
+        if (jittered >= config_.horizon_month) continue;
+        visible.push_back(sequence[s]);
+        months.push_back(jittered);
+      }
+      sequence = std::move(visible);
+    }
+
+    // Size-correlated firmographics.
+    double size_factor = static_cast<double>(sequence.size());
+    company.employees = static_cast<long long>(
+        std::llround(50.0 * size_factor *
+                     std::exp(rng.NextGaussian() * 0.9)));
+    if (company.employees < 5) company.employees = 5;
+    company.revenue_musd =
+        0.25 * static_cast<double>(company.employees) *
+        std::exp(rng.NextGaussian() * 0.5);
+
+    // Sites and the D-U-N-S subtree.
+    int num_sites =
+        1 + std::min<int>(rng.NextPoisson(config_.mean_extra_sites),
+                          config_.max_sites - 1);
+    company.domestic_duns = next_duns++;
+    DunsRecord ultimate;
+    ultimate.duns = company.domestic_duns;
+    ultimate.parent = kInvalidDuns;
+    ultimate.domestic_ultimate = company.domestic_duns;
+    ultimate.global_ultimate = company.domestic_duns;
+    ultimate.country = company.country;
+    HLM_CHECK_OK(out.duns.Add(ultimate));
+
+    company.sites.resize(num_sites);
+    for (int s = 0; s < num_sites; ++s) {
+      CompanySite& site = company.sites[s];
+      site.country = company.country;
+      site.region = company.country == "US"
+                        ? kUsRegions[rng.NextBounded(
+                              sizeof(kUsRegions) / sizeof(kUsRegions[0]))]
+                        : "";
+      if (s == 0) {
+        site.duns = company.domestic_duns;
+      } else {
+        site.duns = next_duns++;
+        DunsRecord branch;
+        branch.duns = site.duns;
+        branch.parent = company.domestic_duns;
+        branch.domestic_ultimate = company.domestic_duns;
+        branch.global_ultimate = company.domestic_duns;
+        branch.country = company.country;
+        HLM_CHECK_OK(out.duns.Add(branch));
+      }
+    }
+
+    for (size_t s = 0; s < sequence.size(); ++s) {
+      InstallEvent event;
+      event.category = sequence[s];
+      event.first_seen = months[s];
+      event.last_confirmed = std::min<Month>(
+          config_.horizon_month - 1,
+          months[s] + rng.NextPoisson(18.0));
+      event.confidence = 0.5 + 0.5 * rng.NextBeta(8.0, 2.0);
+      int home_site = static_cast<int>(rng.NextBounded(num_sites));
+      company.sites[home_site].events.push_back(event);
+      // Some products get confirmed at a second site later; the
+      // aggregation layer must keep the earliest sighting.
+      if (num_sites > 1 && rng.NextBernoulli(config_.duplicate_event_prob)) {
+        InstallEvent dup = event;
+        dup.first_seen = std::min<Month>(config_.horizon_month - 1,
+                                         event.first_seen + 2 +
+                                             rng.NextPoisson(6.0));
+        int other = (home_site + 1) % num_sites;
+        company.sites[other].events.push_back(dup);
+      }
+    }
+
+    out.corpus.Add(std::move(company));
+  }
+
+  return out;
+}
+
+GeneratedCorpus GenerateDefaultCorpus(int num_companies, uint64_t seed) {
+  GeneratorConfig config;
+  config.num_companies = num_companies;
+  config.seed = seed;
+  return SyntheticHgGenerator(config).Generate();
+}
+
+}  // namespace hlm::corpus

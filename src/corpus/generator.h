@@ -1,0 +1,134 @@
+#ifndef HLM_CORPUS_GENERATOR_H_
+#define HLM_CORPUS_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "corpus/duns.h"
+#include "corpus/month.h"
+#include "corpus/product_taxonomy.h"
+#include "math/rng.h"
+
+namespace hlm::corpus {
+
+/// Configuration of the synthetic HG-Data-style corpus. Defaults are
+/// calibrated so the generated data reproduces the statistical
+/// fingerprints the paper reports for the proprietary corpus (see
+/// DESIGN.md §2): unigram perplexity near 19.5, bigram/trigram near
+/// 15.5, LDA with few topics clearly best, significant bigram/trigram
+/// non-i.i.d. signal, and a dense binary matrix.
+struct GeneratorConfig {
+  int num_companies = 10000;
+
+  // Ground-truth latent structure.
+  int num_topics = 4;
+  double doc_topic_alpha = 0.02;   // sparse mixtures -> separable clusters
+  double industry_topic_bias = 60.0;  // industries strongly prefer one topic
+
+  // Category popularity: weights ~ rank^(-popularity_skew). When
+  // auto_calibrate_skew is set, the skew is found by bisection so the
+  // *empirical* token entropy of pilot data hits
+  // target_unigram_entropy_nats (ln 19.5 ~ 2.97); otherwise
+  // popularity_skew is used as given.
+  bool auto_calibrate_skew = true;
+  double popularity_skew = 2.6;
+  double target_unigram_entropy_nats = 2.95;
+
+  // Topic support structure (per-topic probability mass budget). The
+  // universal block holds categories every company tends to own (like OS
+  // or network hardware in real install bases) -- they carry almost no
+  // topic information, which handicaps short n-gram contexts but not
+  // LDA's full-set inference. The home block is the topic's own
+  // categories; the secondary block overlaps with one neighbor topic so
+  // a single product stays ambiguous about the topic.
+  int num_universal_categories = 7;
+  double universal_mass = 0.12;
+  double secondary_mass = 0.04;
+  double off_topic_mass = 0.02;
+
+  // Sequential signal: probability that the next acquisition follows the
+  // affinity chain of the previous product instead of an independent
+  // topic draw. Calibrated to make ~69% of bigrams significantly
+  // non-i.i.d. (the paper's hypothesis-test result).
+  double markov_strength = 0.3;
+
+  // Install-base size: 1 + Poisson(mean_install_size - 1), clipped to M.
+  double mean_install_size = 5.2;
+
+  // Probability that any single acquisition is uniform noise.
+  double noise_product_prob = 0.01;
+
+  // Site structure: 1 + Poisson(mean_extra_sites) sites per company, and
+  // each event has duplicate_event_prob of also being confirmed at a
+  // second site (exercises domestic D-U-N-S aggregation).
+  double mean_extra_sites = 0.8;
+  int max_sites = 5;
+  double duplicate_event_prob = 0.3;
+
+  // Acquisition clock: founding uniform in [first_founding_month,
+  // last_founding_month]; inter-acquisition gaps 1 + Poisson(mean_gap-1).
+  // Events that would occur past horizon_month are dropped (the corpus
+  // only records what exists by the data horizon, like the real HG
+  // snapshot), so young companies have smaller observed install bases.
+  // first_seen dates additionally carry uniform +/- jitter, modeling the
+  // confirmation-date noise of the HG schema (dates are first successful
+  // *confirmations*, not purchases). Jitter scrambles the local order of
+  // near-simultaneous acquisitions.
+  Month first_founding_month = MakeMonth(2002, 1);
+  Month last_founding_month = MakeMonth(2014, 7);
+  Month horizon_month = MakeMonth(2016, 1);
+  double mean_acquisition_gap_months = 12.0;
+  int timestamp_jitter_months = 36;
+
+  double fraction_us = 0.8;
+
+  uint64_t seed = 42;
+};
+
+/// Ground-truth parameters the corpus was sampled from; exposed so tests
+/// and benches can verify recovery (e.g. LDA finds ~num_topics topics).
+struct GroundTruth {
+  int num_topics = 0;
+  // topic_category[t][c]: P(category c | topic t).
+  std::vector<std::vector<double>> topic_category;
+  // Marginal category distribution implied by the mixture.
+  std::vector<double> marginal;
+  // affinity[c][c']: P(next = c' | prev = c) for the Markov chain part.
+  std::vector<std::vector<double>> affinity;
+  // Calibrated popularity skew found by bisection.
+  double calibrated_skew = 0.0;
+  // Per-company sampled topic mixtures (theta), for clustering oracles.
+  std::vector<std::vector<double>> company_theta;
+  // Dominant topic per company (argmax theta).
+  std::vector<int> company_topic;
+};
+
+/// Everything the generator produced.
+struct GeneratedCorpus {
+  Corpus corpus;
+  GroundTruth truth;
+  DunsRegistry duns;
+};
+
+/// Samples a synthetic HG-Data-like corpus. Deterministic in config.seed.
+class SyntheticHgGenerator {
+ public:
+  explicit SyntheticHgGenerator(GeneratorConfig config);
+
+  /// Generates the full corpus, D-U-N-S registry and ground truth.
+  GeneratedCorpus Generate() const;
+
+  const GeneratorConfig& config() const { return config_; }
+
+ private:
+  GeneratorConfig config_;
+};
+
+/// Convenience: default-config corpus of `num_companies` at `seed`.
+GeneratedCorpus GenerateDefaultCorpus(int num_companies, uint64_t seed);
+
+}  // namespace hlm::corpus
+
+#endif  // HLM_CORPUS_GENERATOR_H_

@@ -1,0 +1,88 @@
+#include "corpus/integration.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace hlm::corpus {
+
+namespace {
+
+// Perturbs a company name the way CRM data drifts from registry data:
+// different legal suffix, upper-casing, or a dropped token.
+std::string PerturbName(const std::string& name, Rng* rng) {
+  switch (rng->NextBounded(4)) {
+    case 0: {  // swap/append legal suffix
+      std::string base = name;
+      size_t last_space = base.find_last_of(' ');
+      if (last_space != std::string::npos) base = base.substr(0, last_space);
+      static const char* const kAlt[] = {"Incorporated", "Company", "PLC"};
+      return base + " " + kAlt[rng->NextBounded(3)];
+    }
+    case 1:
+      return ToUpper(name);
+    case 2: {  // drop trailing suffix entirely
+      size_t last_space = name.find_last_of(' ');
+      return last_space == std::string::npos ? name
+                                             : name.substr(0, last_space);
+    }
+    default: {  // punctuation drift: strip periods
+      std::string out;
+      for (char c : name) {
+        if (c != '.') out.push_back(c);
+      }
+      return out;
+    }
+  }
+}
+
+}  // namespace
+
+InternalDatabase SimulateInternalDatabase(const Corpus& corpus,
+                                          const InternalDbOptions& options) {
+  Rng rng(options.seed);
+  InternalDatabase db;
+  for (const CompanyRecord& record : corpus.records()) {
+    if (!rng.NextBernoulli(options.client_fraction)) continue;
+    if (record.install_base.empty()) continue;
+    InternalClientRecord client;
+    client.country = record.company.country;
+    client.company_name = rng.NextBernoulli(options.name_noise_prob)
+                              ? PerturbName(record.company.name, &rng)
+                              : record.company.name;
+    for (CategoryId category : record.install_base.Set()) {
+      if (rng.NextBernoulli(options.coverage_fraction)) {
+        client.purchased_from_us.push_back(category);
+      }
+    }
+    if (client.purchased_from_us.empty()) continue;
+    db.clients.push_back(std::move(client));
+  }
+  db.linked_company.assign(db.clients.size(), -1);
+  return db;
+}
+
+int LinkInternalDatabase(const Corpus& corpus, InternalDatabase* db,
+                         double min_score) {
+  RecordLinker linker(corpus);
+  int resolved = 0;
+  for (size_t i = 0; i < db->clients.size(); ++i) {
+    ExternalCompanyRef ref{db->clients[i].company_name,
+                           db->clients[i].country};
+    LinkResult link = linker.LinkOne(ref, min_score);
+    db->linked_company[i] = link.company_id;
+    if (link.company_id >= 0) ++resolved;
+  }
+  return resolved;
+}
+
+std::vector<CategoryId> WhiteSpaceGap(const InstallBase& prospect,
+                                      const InstallBase& similar_company) {
+  std::vector<CategoryId> gap;
+  for (CategoryId category : similar_company.Set()) {
+    if (!prospect.Contains(category)) gap.push_back(category);
+  }
+  return gap;
+}
+
+}  // namespace hlm::corpus

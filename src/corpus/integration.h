@@ -1,0 +1,57 @@
+#ifndef HLM_CORPUS_INTEGRATION_H_
+#define HLM_CORPUS_INTEGRATION_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "corpus/record_linkage.h"
+#include "math/rng.h"
+
+namespace hlm::corpus {
+
+/// One row of the provider's *internal* sales database: which product
+/// categories a known client already buys from us. The paper enriches
+/// HG-style similarity output with this data to find white-space gaps.
+struct InternalClientRecord {
+  std::string company_name;  // noisy rendition of the real name
+  std::string country;
+  std::vector<CategoryId> purchased_from_us;
+};
+
+/// The internal database plus its linkage to the HG-style corpus.
+struct InternalDatabase {
+  std::vector<InternalClientRecord> clients;
+
+  /// clients[i] <-> corpus company id, -1 when linkage failed.
+  std::vector<int> linked_company;
+};
+
+/// Options for simulating the internal database from a generated corpus.
+struct InternalDbOptions {
+  double client_fraction = 0.25;    // fraction of companies that are clients
+  double coverage_fraction = 0.6;   // fraction of install base we supplied
+  double name_noise_prob = 0.5;     // chance the stored name is perturbed
+  uint64_t seed = 7;
+};
+
+/// Simulates the provider's internal database: a sample of corpus
+/// companies with noisy names (suffix swaps, casing, abbreviations) and a
+/// partial view of their install base (only what they bought *from us*).
+InternalDatabase SimulateInternalDatabase(const Corpus& corpus,
+                                          const InternalDbOptions& options);
+
+/// Runs record linkage on the internal database against the corpus and
+/// fills linked_company. Returns the number of resolved links.
+int LinkInternalDatabase(const Corpus& corpus, InternalDatabase* db,
+                         double min_score);
+
+/// White-space gap for a prospect: categories that `similar_company`
+/// owns (in HG terms) but the prospect does not own yet, ranked by how
+/// many of the top-k similar companies own them. Used by the sales tool.
+std::vector<CategoryId> WhiteSpaceGap(const InstallBase& prospect,
+                                      const InstallBase& similar_company);
+
+}  // namespace hlm::corpus
+
+#endif  // HLM_CORPUS_INTEGRATION_H_

@@ -1,0 +1,44 @@
+#include "corpus/month.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace hlm::corpus {
+
+Month MakeMonth(int year, int month_of_year) {
+  return (year - 1990) * 12 + (month_of_year - 1);
+}
+
+int YearOf(Month m) {
+  int year = 1990 + m / 12;
+  if (m < 0 && m % 12 != 0) --year;
+  return year;
+}
+
+int MonthOfYear(Month m) {
+  int rem = m % 12;
+  if (rem < 0) rem += 12;
+  return rem + 1;
+}
+
+std::string FormatMonth(Month m) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d", YearOf(m), MonthOfYear(m));
+  return buf;
+}
+
+Result<Month> ParseMonth(const std::string& text) {
+  auto parts = Split(text, '-');
+  if (parts.size() != 2) {
+    return Status::InvalidArgument("expected YYYY-MM, got: " + text);
+  }
+  HLM_ASSIGN_OR_RETURN(long long year, ParseInt64(parts[0]));
+  HLM_ASSIGN_OR_RETURN(long long month, ParseInt64(parts[1]));
+  if (month < 1 || month > 12) {
+    return Status::OutOfRange("month-of-year out of range: " + text);
+  }
+  return MakeMonth(static_cast<int>(year), static_cast<int>(month));
+}
+
+}  // namespace hlm::corpus

@@ -1,0 +1,39 @@
+#ifndef HLM_CORPUS_MONTH_H_
+#define HLM_CORPUS_MONTH_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace hlm::corpus {
+
+/// The install-base data is timestamped at month granularity (the HG Data
+/// schema records first/last confirmation dates; the paper's protocol
+/// slides windows by two months). A Month is the number of months since
+/// January 1990, the start of the paper's deployment range.
+using Month = int;
+
+/// January 1990 == 0.
+inline constexpr Month kEpochMonth = 0;
+
+/// January 2016, the end of the paper's product time span.
+inline constexpr Month kEndOfDataMonth = (2016 - 1990) * 12;
+
+/// Builds a Month from a calendar (year, month-of-year in 1..12).
+Month MakeMonth(int year, int month_of_year);
+
+/// Calendar year of a Month.
+int YearOf(Month m);
+
+/// Month-of-year in 1..12.
+int MonthOfYear(Month m);
+
+/// Formats as "YYYY-MM".
+std::string FormatMonth(Month m);
+
+/// Parses "YYYY-MM".
+Result<Month> ParseMonth(const std::string& text);
+
+}  // namespace hlm::corpus
+
+#endif  // HLM_CORPUS_MONTH_H_

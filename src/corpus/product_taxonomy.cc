@@ -1,0 +1,160 @@
+#include "corpus/product_taxonomy.h"
+
+#include "common/logging.h"
+
+namespace hlm::corpus {
+
+namespace {
+
+struct RawCategory {
+  const char* name;
+  CategoryParent parent;
+  bool is_hardware;
+};
+
+// The 38 category labels from the paper's Figures 8 and 9, grouped into
+// HG-style category parents. ("mainframs" is the paper's own spelling.)
+constexpr RawCategory kDefaultCategories[kNumDefaultCategories] = {
+    {"asset_performance", CategoryParent::kSecurityAndManagement, false},
+    {"cloud_infrastructure", CategoryParent::kDataCenterSolution, false},
+    {"collaboration", CategoryParent::kBusinessApplications, false},
+    {"commerce", CategoryParent::kBusinessApplications, false},
+    {"communication_tech", CategoryParent::kInfrastructureSoftware, false},
+    {"electronics_PCs_SW", CategoryParent::kBusinessApplications, false},
+    {"contact_center", CategoryParent::kBusinessApplications, false},
+    {"data_archiving", CategoryParent::kDataCenterSolution, false},
+    {"storage_HW", CategoryParent::kHardwareBasic, true},
+    {"DBMS", CategoryParent::kInfrastructureSoftware, false},
+    {"disaster_recovery", CategoryParent::kDataCenterSolution, false},
+    {"document_management", CategoryParent::kBusinessApplications, false},
+    {"financial_apps", CategoryParent::kBusinessApplications, false},
+    {"HR_human_management", CategoryParent::kBusinessApplications, false},
+    {"HW_other", CategoryParent::kHardwareBasic, true},
+    {"hypervisor", CategoryParent::kDataCenterSolution, false},
+    {"IT_infrastructure", CategoryParent::kDataCenterSolution, false},
+    {"mainframs", CategoryParent::kHardwareBasic, true},
+    {"media", CategoryParent::kBusinessApplications, false},
+    {"midrange", CategoryParent::kHardwareBasic, true},
+    {"mobile_tech", CategoryParent::kInfrastructureSoftware, false},
+    {"network_HW", CategoryParent::kHardwareBasic, true},
+    {"network_SW", CategoryParent::kInfrastructureSoftware, false},
+    {"OS", CategoryParent::kInfrastructureSoftware, false},
+    {"platform_as_a_service", CategoryParent::kDataCenterSolution, false},
+    {"printers", CategoryParent::kHardwareBasic, true},
+    {"product_lifecycle", CategoryParent::kBusinessApplications, false},
+    {"remote", CategoryParent::kInfrastructureSoftware, false},
+    {"retail", CategoryParent::kBusinessApplications, false},
+    {"search_engine", CategoryParent::kInfrastructureSoftware, false},
+    {"security_management", CategoryParent::kSecurityAndManagement, false},
+    {"server_HW", CategoryParent::kHardwareBasic, true},
+    {"server_SW", CategoryParent::kInfrastructureSoftware, false},
+    {"system_security_services", CategoryParent::kSecurityAndManagement, false},
+    {"telephony", CategoryParent::kInfrastructureSoftware, false},
+    {"virtualization_apps", CategoryParent::kDataCenterSolution, false},
+    {"virtualization_platform", CategoryParent::kDataCenterSolution, false},
+    {"virtualization_server", CategoryParent::kDataCenterSolution, false},
+};
+
+constexpr const char* kVendorStems[] = {
+    "Bluecore",  "Northbyte", "Vexatech",  "Quantrel", "Ironpeak",
+    "Lumigrid",  "Cobaltic",  "Stratuma",  "Helioso",  "Datumwerk",
+    "Axionix",   "Terracomp", "Nimbarra",  "Octavion", "Parsecor",
+    "Zephyrix",  "Graniteio", "Coriolane", "Meridianx", "Silvanet",
+};
+
+}  // namespace
+
+const char* CategoryParentName(CategoryParent parent) {
+  switch (parent) {
+    case CategoryParent::kHardwareBasic:
+      return "Hardware (Basic)";
+    case CategoryParent::kDataCenterSolution:
+      return "Data Center Solution";
+    case CategoryParent::kInfrastructureSoftware:
+      return "Infrastructure Software";
+    case CategoryParent::kBusinessApplications:
+      return "Business Applications";
+    case CategoryParent::kSecurityAndManagement:
+      return "Security & Management";
+  }
+  return "?";
+}
+
+ProductTaxonomy ProductTaxonomy::Default(int num_vendors) {
+  HLM_CHECK_GT(num_vendors, 0);
+  HLM_CHECK_LE(num_vendors,
+               static_cast<int>(sizeof(kVendorStems) / sizeof(kVendorStems[0])));
+  ProductTaxonomy taxonomy;
+  taxonomy.categories_.reserve(kNumDefaultCategories);
+  for (int i = 0; i < kNumDefaultCategories; ++i) {
+    const RawCategory& raw = kDefaultCategories[i];
+    taxonomy.categories_.push_back(
+        CategoryInfo{i, raw.name, raw.parent, raw.is_hardware});
+  }
+  taxonomy.vendors_.reserve(num_vendors);
+  for (int v = 0; v < num_vendors; ++v) {
+    taxonomy.vendors_.push_back(std::string(kVendorStems[v]) + " Systems");
+  }
+  taxonomy.product_types_.resize(static_cast<size_t>(num_vendors) *
+                                 kNumDefaultCategories);
+  // Deterministic coverage pattern: vendor v offers product types in
+  // categories congruent to v modulo 3 plus its "home" third of the
+  // taxonomy, giving realistic partial catalogs.
+  for (int v = 0; v < num_vendors; ++v) {
+    for (int c = 0; c < kNumDefaultCategories; ++c) {
+      bool offers = ((c + v) % 3 != 0) || (c % num_vendors == v % 3);
+      if (!offers) continue;
+      auto& types =
+          taxonomy.product_types_[static_cast<size_t>(v) *
+                                      kNumDefaultCategories +
+                                  c];
+      const std::string& vendor = taxonomy.vendors_[v];
+      const std::string& cat = taxonomy.categories_[c].name;
+      types.push_back(vendor + " " + cat + " Standard");
+      if ((v + c) % 2 == 0) types.push_back(vendor + " " + cat + " Enterprise");
+    }
+  }
+  return taxonomy;
+}
+
+const CategoryInfo& ProductTaxonomy::category(CategoryId id) const {
+  HLM_CHECK_GE(id, 0);
+  HLM_CHECK_LT(id, num_categories());
+  return categories_[id];
+}
+
+Result<CategoryId> ProductTaxonomy::FindCategory(const std::string& name) const {
+  for (const CategoryInfo& info : categories_) {
+    if (info.name == name) return info.id;
+  }
+  return Status::NotFound("unknown product category: " + name);
+}
+
+const std::vector<std::string>& ProductTaxonomy::product_types(
+    int vendor, CategoryId category) const {
+  if (vendor < 0 || vendor >= num_vendors() || category < 0 ||
+      category >= num_categories()) {
+    return empty_;
+  }
+  return product_types_[static_cast<size_t>(vendor) * num_categories() +
+                        category];
+}
+
+std::vector<CategoryId> ProductTaxonomy::CategoriesUnder(
+    CategoryParent parent) const {
+  std::vector<CategoryId> out;
+  for (const CategoryInfo& info : categories_) {
+    if (info.parent == parent) out.push_back(info.id);
+  }
+  return out;
+}
+
+std::vector<CategoryId> ProductTaxonomy::HardwareCategories() const {
+  std::vector<CategoryId> out;
+  for (const CategoryInfo& info : categories_) {
+    if (info.is_hardware) out.push_back(info.id);
+  }
+  return out;
+}
+
+}  // namespace hlm::corpus

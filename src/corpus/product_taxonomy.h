@@ -1,0 +1,81 @@
+#ifndef HLM_CORPUS_PRODUCT_TAXONOMY_H_
+#define HLM_CORPUS_PRODUCT_TAXONOMY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hlm::corpus {
+
+/// Identifier of a product category (the paper's "attribute"); dense in
+/// [0, num_categories). The paper restricts the HG taxonomy to 38
+/// hardware / low-level-software categories; this module ships those 38
+/// as the default vocabulary, with the four-level hierarchy
+/// vendor -> category parent -> category -> product type mirrored from
+/// the HG Data schema description in §2.
+using CategoryId = int;
+
+inline constexpr int kNumDefaultCategories = 38;
+
+/// Broad groups ("category parents") used by the default taxonomy.
+enum class CategoryParent {
+  kHardwareBasic = 0,       // "Hardware (Basic)"
+  kDataCenterSolution = 1,  // "Data Center Solution"
+  kInfrastructureSoftware = 2,
+  kBusinessApplications = 3,
+  kSecurityAndManagement = 4,
+};
+
+const char* CategoryParentName(CategoryParent parent);
+
+/// Static description of one category.
+struct CategoryInfo {
+  CategoryId id = 0;
+  std::string name;              // e.g. "server_HW" (Fig. 8/9 labels)
+  CategoryParent parent;         // high-level grouping
+  bool is_hardware = false;      // hardware vs software flavor
+};
+
+/// The four-level HG-style product hierarchy restricted to the paper's 38
+/// categories. Vendors and per-vendor product types are synthetic but the
+/// category layer (the layer the paper actually models) matches Fig. 8/9.
+class ProductTaxonomy {
+ public:
+  /// Builds the default 38-category taxonomy with `num_vendors` synthetic
+  /// vendors, each offering a product type in a subset of categories.
+  static ProductTaxonomy Default(int num_vendors = 12);
+
+  int num_categories() const { return static_cast<int>(categories_.size()); }
+  const CategoryInfo& category(CategoryId id) const;
+  const std::vector<CategoryInfo>& categories() const { return categories_; }
+
+  /// Category lookup by Fig. 8/9 label; NotFound for unknown names.
+  Result<CategoryId> FindCategory(const std::string& name) const;
+
+  int num_vendors() const { return static_cast<int>(vendors_.size()); }
+  const std::string& vendor_name(int vendor) const { return vendors_[vendor]; }
+
+  /// Product types offered by `vendor` within `category` (level 4 of the
+  /// hierarchy). May be empty: not every vendor covers every category.
+  const std::vector<std::string>& product_types(int vendor,
+                                                CategoryId category) const;
+
+  /// All categories under a parent group.
+  std::vector<CategoryId> CategoriesUnder(CategoryParent parent) const;
+
+  /// Hardware categories (used to check Fig. 8/9's HW co-location).
+  std::vector<CategoryId> HardwareCategories() const;
+
+ private:
+  std::vector<CategoryInfo> categories_;
+  std::vector<std::string> vendors_;
+  // product_types_[vendor * num_categories + category]
+  std::vector<std::vector<std::string>> product_types_;
+  std::vector<std::string> empty_;
+};
+
+}  // namespace hlm::corpus
+
+#endif  // HLM_CORPUS_PRODUCT_TAXONOMY_H_

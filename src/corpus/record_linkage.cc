@@ -1,0 +1,54 @@
+#include "corpus/record_linkage.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace hlm::corpus {
+
+RecordLinker::RecordLinker(const Corpus& corpus) : corpus_(&corpus) {
+  normalized_names_.reserve(corpus.num_companies());
+  for (const CompanyRecord& record : corpus.records()) {
+    normalized_names_.push_back(NormalizeCompanyName(record.company.name));
+  }
+}
+
+LinkResult RecordLinker::LinkOne(const ExternalCompanyRef& ref,
+                                 double min_score) const {
+  std::string normalized = NormalizeCompanyName(ref.name);
+  LinkResult best;
+  best.score = min_score;
+  for (int i = 0; i < corpus_->num_companies(); ++i) {
+    const Company& company = corpus_->record(i).company;
+    if (!ref.country.empty() && !company.country.empty() &&
+        ref.country != company.country) {
+      continue;
+    }
+    double score = normalized == normalized_names_[i]
+                       ? 1.0
+                       : JaroWinkler(normalized, normalized_names_[i]);
+    if (score > best.score || (score == best.score && best.company_id == -1 &&
+                               score >= min_score)) {
+      best.company_id = i;
+      best.score = score;
+      if (score == 1.0) break;
+    }
+  }
+  if (best.company_id == -1) best.score = 0.0;
+  return best;
+}
+
+std::vector<LinkResult> RecordLinker::Link(
+    const std::vector<ExternalCompanyRef>& refs, double min_score) const {
+  std::vector<LinkResult> links;
+  for (size_t r = 0; r < refs.size(); ++r) {
+    LinkResult link = LinkOne(refs[r], min_score);
+    if (link.company_id >= 0) {
+      link.external_index = static_cast<int>(r);
+      links.push_back(link);
+    }
+  }
+  return links;
+}
+
+}  // namespace hlm::corpus

@@ -1,0 +1,49 @@
+#ifndef HLM_CORPUS_RECORD_LINKAGE_H_
+#define HLM_CORPUS_RECORD_LINKAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+
+namespace hlm::corpus {
+
+/// A company reference from an external ("internal sales") database that
+/// must be matched against the HG-style corpus by name: record linkage is
+/// one of the integration steps the paper solves (§2, §8 acknowledges a
+/// company-name-matching algorithm).
+struct ExternalCompanyRef {
+  std::string name;
+  std::string country;  // empty = unknown
+};
+
+/// One resolved link.
+struct LinkResult {
+  int external_index = -1;
+  int company_id = -1;
+  double score = 0.0;  // Jaro-Winkler on normalized names, 1.0 exact
+};
+
+/// Name-based matcher: exact match on normalized names first, then fuzzy
+/// Jaro-Winkler above `min_score`. Country, when present on both sides,
+/// must agree. Each external record links to at most one company (best
+/// score wins); unmatched records are omitted from the result.
+class RecordLinker {
+ public:
+  explicit RecordLinker(const Corpus& corpus);
+
+  std::vector<LinkResult> Link(const std::vector<ExternalCompanyRef>& refs,
+                               double min_score) const;
+
+  /// Links one reference; company_id -1 when no candidate clears
+  /// min_score.
+  LinkResult LinkOne(const ExternalCompanyRef& ref, double min_score) const;
+
+ private:
+  const Corpus* corpus_;
+  std::vector<std::string> normalized_names_;  // aligned with corpus order
+};
+
+}  // namespace hlm::corpus
+
+#endif  // HLM_CORPUS_RECORD_LINKAGE_H_

@@ -1,0 +1,124 @@
+#include "corpus/sic.h"
+
+namespace hlm::corpus {
+
+namespace {
+
+struct RawIndustry {
+  int code;
+  const char* name;
+};
+
+// The 83 two-digit SIC major groups (divisions A-J of the US SIC
+// taxonomy referenced by the paper via siccode.com).
+constexpr RawIndustry kSic2MajorGroups[] = {
+    {1, "Agricultural Production Crops"},
+    {2, "Agricultural Production Livestock"},
+    {7, "Agricultural Services"},
+    {8, "Forestry"},
+    {9, "Fishing, Hunting and Trapping"},
+    {10, "Metal Mining"},
+    {12, "Coal Mining"},
+    {13, "Oil and Gas Extraction"},
+    {14, "Mining of Nonmetallic Minerals"},
+    {15, "Building Construction"},
+    {16, "Heavy Construction"},
+    {17, "Construction Special Trade Contractors"},
+    {20, "Food and Kindred Products"},
+    {21, "Tobacco Products"},
+    {22, "Textile Mill Products"},
+    {23, "Apparel and Other Finished Products"},
+    {24, "Lumber and Wood Products"},
+    {25, "Furniture and Fixtures"},
+    {26, "Paper and Allied Products"},
+    {27, "Printing, Publishing and Allied Industries"},
+    {28, "Chemicals and Allied Products"},
+    {29, "Petroleum Refining and Related Industries"},
+    {30, "Rubber and Miscellaneous Plastics Products"},
+    {31, "Leather and Leather Products"},
+    {32, "Stone, Clay, Glass and Concrete Products"},
+    {33, "Primary Metal Industries"},
+    {34, "Fabricated Metal Products"},
+    {35, "Industrial and Commercial Machinery"},
+    {36, "Electronic and Other Electrical Equipment"},
+    {37, "Transportation Equipment"},
+    {38, "Measuring and Analyzing Instruments"},
+    {39, "Miscellaneous Manufacturing Industries"},
+    {40, "Railroad Transportation"},
+    {41, "Local and Suburban Transit"},
+    {42, "Motor Freight Transportation and Warehousing"},
+    {43, "United States Postal Service"},
+    {44, "Water Transportation"},
+    {45, "Transportation by Air"},
+    {46, "Pipelines, Except Natural Gas"},
+    {47, "Transportation Services"},
+    {48, "Communications"},
+    {49, "Electric, Gas and Sanitary Services"},
+    {50, "Wholesale Trade - Durable Goods"},
+    {51, "Wholesale Trade - Nondurable Goods"},
+    {52, "Building Materials and Garden Supplies"},
+    {53, "General Merchandise Stores"},
+    {54, "Food Stores"},
+    {55, "Automotive Dealers and Service Stations"},
+    {56, "Apparel and Accessory Stores"},
+    {57, "Home Furniture and Furnishings Stores"},
+    {58, "Eating and Drinking Places"},
+    {59, "Miscellaneous Retail"},
+    {60, "Depository Institutions"},
+    {61, "Non-depository Credit Institutions"},
+    {62, "Security and Commodity Brokers"},
+    {63, "Insurance Carriers"},
+    {64, "Insurance Agents, Brokers and Service"},
+    {65, "Real Estate"},
+    {67, "Holding and Other Investment Offices"},
+    {70, "Hotels and Other Lodging Places"},
+    {72, "Personal Services"},
+    {73, "Business Services"},
+    {75, "Automotive Repair, Services and Parking"},
+    {76, "Miscellaneous Repair Services"},
+    {78, "Motion Pictures"},
+    {79, "Amusement and Recreation Services"},
+    {80, "Health Services"},
+    {81, "Legal Services"},
+    {82, "Educational Services"},
+    {83, "Social Services"},
+    {84, "Museums, Art Galleries and Gardens"},
+    {86, "Membership Organizations"},
+    {87, "Engineering, Accounting and Management Services"},
+    {88, "Private Households"},
+    {89, "Miscellaneous Services"},
+    {91, "Executive, Legislative and General Government"},
+    {92, "Justice, Public Order and Safety"},
+    {93, "Public Finance, Taxation and Monetary Policy"},
+    {94, "Administration of Human Resource Programs"},
+    {95, "Administration of Environmental Quality"},
+    {96, "Administration of Economic Programs"},
+    {97, "National Security and International Affairs"},
+    {99, "Nonclassifiable Establishments"},
+};
+
+static_assert(sizeof(kSic2MajorGroups) / sizeof(kSic2MajorGroups[0]) == 83,
+              "the paper's corpus spans 83 SIC2 industries");
+
+}  // namespace
+
+SicRegistry::SicRegistry() {
+  industries_.reserve(83);
+  for (const RawIndustry& raw : kSic2MajorGroups) {
+    industries_.push_back(Sic2Industry{raw.code, raw.name});
+  }
+}
+
+const SicRegistry& SicRegistry::Default() {
+  static const SicRegistry* const kRegistry = new SicRegistry();
+  return *kRegistry;
+}
+
+Result<int> SicRegistry::IndexOfCode(int code) const {
+  for (size_t i = 0; i < industries_.size(); ++i) {
+    if (industries_[i].code == code) return static_cast<int>(i);
+  }
+  return Status::NotFound("unknown SIC2 code: " + std::to_string(code));
+}
+
+}  // namespace hlm::corpus

@@ -1,0 +1,38 @@
+#ifndef HLM_CORPUS_SIC_H_
+#define HLM_CORPUS_SIC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hlm::corpus {
+
+/// US Standard Industrial Classification at the 2-digit ("SIC2") level.
+/// The paper's corpus spans 83 SIC2 industries; this table carries the 83
+/// standard 2-digit major groups.
+struct Sic2Industry {
+  int code = 0;        // two-digit SIC major group, e.g. 80
+  std::string name;    // e.g. "Health Services"
+};
+
+/// Immutable registry of the 83 SIC2 major groups.
+class SicRegistry {
+ public:
+  static const SicRegistry& Default();
+
+  int num_industries() const { return static_cast<int>(industries_.size()); }
+  const Sic2Industry& industry(int index) const { return industries_[index]; }
+  const std::vector<Sic2Industry>& industries() const { return industries_; }
+
+  /// Index into industries() for a SIC2 code; NotFound if absent.
+  Result<int> IndexOfCode(int code) const;
+
+ private:
+  SicRegistry();
+  std::vector<Sic2Industry> industries_;
+};
+
+}  // namespace hlm::corpus
+
+#endif  // HLM_CORPUS_SIC_H_

@@ -1,0 +1,40 @@
+#include "corpus/tfidf.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hlm::corpus {
+
+TfidfModel TfidfModel::Fit(const Corpus& corpus) {
+  CategoryStats stats = corpus.ComputeCategoryStats();
+  std::vector<double> idf(corpus.num_categories());
+  double n = static_cast<double>(corpus.num_companies());
+  for (int c = 0; c < corpus.num_categories(); ++c) {
+    idf[c] = std::log((1.0 + n) /
+                      (1.0 + static_cast<double>(stats.document_frequency[c]))) +
+             1.0;
+  }
+  return TfidfModel(std::move(idf));
+}
+
+std::vector<double> TfidfModel::Transform(uint64_t mask) const {
+  std::vector<double> vec(idf_.size(), 0.0);
+  for (size_t c = 0; c < idf_.size(); ++c) {
+    if ((mask >> c) & 1u) vec[c] = idf_[c];
+  }
+  return vec;
+}
+
+std::vector<std::vector<double>> TfidfModel::TransformAll(
+    const Corpus& corpus) const {
+  HLM_CHECK_EQ(static_cast<int>(idf_.size()), corpus.num_categories());
+  std::vector<std::vector<double>> rows;
+  rows.reserve(corpus.num_companies());
+  for (const CompanyRecord& record : corpus.records()) {
+    rows.push_back(Transform(record.install_base.mask()));
+  }
+  return rows;
+}
+
+}  // namespace hlm::corpus

@@ -1,0 +1,36 @@
+#ifndef HLM_CORPUS_TFIDF_H_
+#define HLM_CORPUS_TFIDF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/corpus.h"
+
+namespace hlm::corpus {
+
+/// Product-frequency / inverse-company-frequency weighting (the paper's
+/// reformulation of TF-IDF for company-product data). With binary install
+/// bases the "TF" of a present product is 1, so the transform assigns each
+/// present category its IDF weight and absent categories zero.
+class TfidfModel {
+ public:
+  /// Fits IDF weights on a corpus: idf_c = ln((1 + N) / (1 + df_c)) + 1
+  /// (smoothed so never-seen categories stay finite).
+  static TfidfModel Fit(const Corpus& corpus);
+
+  const std::vector<double>& idf() const { return idf_; }
+
+  /// TF-IDF vector of one install-base bitmask.
+  std::vector<double> Transform(uint64_t mask) const;
+
+  /// TF-IDF matrix for a whole corpus (rows aligned with corpus order).
+  std::vector<std::vector<double>> TransformAll(const Corpus& corpus) const;
+
+ private:
+  explicit TfidfModel(std::vector<double> idf) : idf_(std::move(idf)) {}
+  std::vector<double> idf_;
+};
+
+}  // namespace hlm::corpus
+
+#endif  // HLM_CORPUS_TFIDF_H_

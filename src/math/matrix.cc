@@ -1,0 +1,202 @@
+#include "math/matrix.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "math/rng.h"
+
+namespace hlm {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::RandomUniform(size_t rows, size_t cols, double scale,
+                             Rng* rng) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = (2.0 * rng->NextDouble() - 1.0) * scale;
+  }
+  return m;
+}
+
+Matrix Matrix::RandomGaussian(size_t rows, size_t cols, double stddev,
+                              Rng* rng) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = rng->NextGaussian() * stddev;
+  }
+  return m;
+}
+
+void Matrix::Fill(double value) {
+  for (double& v : data_) v = value;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  HLM_CHECK_EQ(rows_, other.rows_);
+  HLM_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  HLM_CHECK_EQ(rows_, other.rows_);
+  HLM_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+bool Matrix::AlmostEquals(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  HLM_CHECK_EQ(a.cols(), b.rows());
+  Matrix result(a.rows(), b.cols(), 0.0);
+  // i-k-j loop order: streams through b and result rows sequentially.
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double* out = result.row(i);
+    const double* arow = a.row(i);
+    for (size_t k = 0; k < a.cols(); ++k) {
+      double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = b.row(k);
+      for (size_t j = 0; j < b.cols(); ++j) out[j] += aik * brow[j];
+    }
+  }
+  return result;
+}
+
+Matrix MatMulTransposed(const Matrix& a, const Matrix& b_transposed) {
+  HLM_CHECK_EQ(a.cols(), b_transposed.cols());
+  Matrix result(a.rows(), b_transposed.rows(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row(i);
+    double* out = result.row(i);
+    for (size_t j = 0; j < b_transposed.rows(); ++j) {
+      const double* brow = b_transposed.row(j);
+      double sum = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
+      out[j] = sum;
+    }
+  }
+  return result;
+}
+
+void MatTransposeMulAccumulate(const Matrix& a, const Matrix& b,
+                               Matrix* result) {
+  HLM_CHECK_EQ(a.rows(), b.rows());
+  HLM_CHECK_EQ(result->rows(), a.cols());
+  HLM_CHECK_EQ(result->cols(), b.cols());
+  for (size_t k = 0; k < a.rows(); ++k) {
+    const double* arow = a.row(k);
+    const double* brow = b.row(k);
+    for (size_t i = 0; i < a.cols(); ++i) {
+      double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* out = result->row(i);
+      for (size_t j = 0; j < b.cols(); ++j) out[j] += aki * brow[j];
+    }
+  }
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix result(a.cols(), a.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) result(j, i) = a(i, j);
+  }
+  return result;
+}
+
+void MatVecAccumulate(const Matrix& a, const double* x, double* y) {
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row(i);
+    double sum = 0.0;
+    for (size_t j = 0; j < a.cols(); ++j) sum += arow[j] * x[j];
+    y[i] += sum;
+  }
+}
+
+void MatTransposeVecAccumulate(const Matrix& a, const double* x, double* y) {
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row(i);
+    double xi = x[i];
+    if (xi == 0.0) continue;
+    for (size_t j = 0; j < a.cols(); ++j) y[j] += arow[j] * xi;
+  }
+}
+
+Result<Matrix> CholeskyDecompose(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky needs a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix lower(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= lower(i, k) * lower(j, k);
+      if (i == j) {
+        if (sum <= 0.0) {
+          return Status::FailedPrecondition(
+              "matrix is not positive definite (pivot " +
+              std::to_string(sum) + ")");
+        }
+        lower(i, j) = std::sqrt(sum);
+      } else {
+        lower(i, j) = sum / lower(j, j);
+      }
+    }
+  }
+  return lower;
+}
+
+Matrix CholeskySolve(const Matrix& chol_lower, const Matrix& b) {
+  const size_t n = chol_lower.rows();
+  HLM_CHECK_EQ(b.rows(), n);
+  HLM_CHECK_EQ(b.cols(), 1u);
+  // Forward substitution: L z = b.
+  Matrix z(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b(i, 0);
+    for (size_t k = 0; k < i; ++k) sum -= chol_lower(i, k) * z(k, 0);
+    z(i, 0) = sum / chol_lower(i, i);
+  }
+  // Back substitution: L^T x = z.
+  Matrix x(n, 1);
+  for (size_t ii = n; ii > 0; --ii) {
+    size_t i = ii - 1;
+    double sum = z(i, 0);
+    for (size_t k = i + 1; k < n; ++k) sum -= chol_lower(k, i) * x(k, 0);
+    x(i, 0) = sum / chol_lower(i, i);
+  }
+  return x;
+}
+
+Result<Matrix> SpdInverse(const Matrix& a) {
+  HLM_ASSIGN_OR_RETURN(Matrix lower, CholeskyDecompose(a));
+  const size_t n = a.rows();
+  Matrix inverse(n, n);
+  Matrix unit(n, 1, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    unit.Fill(0.0);
+    unit(j, 0) = 1.0;
+    Matrix column = CholeskySolve(lower, unit);
+    for (size_t i = 0; i < n; ++i) inverse(i, j) = column(i, 0);
+  }
+  return inverse;
+}
+
+}  // namespace hlm

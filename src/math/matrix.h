@@ -1,0 +1,98 @@
+#ifndef HLM_MATH_MATRIX_H_
+#define HLM_MATH_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hlm {
+
+class Rng;
+
+/// Dense row-major matrix of doubles. Sized for the models in this
+/// library (LSTM weights up to a few hundred square, BPMF factor blocks),
+/// so the implementation favors clarity plus simple cache-friendly loops.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double init = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+
+  static Matrix Identity(size_t n);
+
+  /// Entries iid uniform in [-scale, scale].
+  static Matrix RandomUniform(size_t rows, size_t cols, double scale, Rng* rng);
+
+  /// Entries iid N(0, stddev^2).
+  static Matrix RandomGaussian(size_t rows, size_t cols, double stddev,
+                               Rng* rng);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  double* row(size_t r) { return data_.data() + r * cols_; }
+  const double* row(size_t r) const { return data_.data() + r * cols_; }
+
+  void Fill(double value);
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+
+  /// Element-wise equality within `tol`.
+  bool AlmostEquals(const Matrix& other, double tol) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// result = a * b. Dimension mismatch is a programming error (checked).
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// result = a * b^T, avoiding the explicit transpose.
+Matrix MatMulTransposed(const Matrix& a, const Matrix& b_transposed);
+
+/// result += a^T * b, avoiding the explicit transpose (gradient
+/// accumulation pattern dW += X^T dG). result must be a.cols x b.cols.
+void MatTransposeMulAccumulate(const Matrix& a, const Matrix& b,
+                               Matrix* result);
+
+Matrix Transpose(const Matrix& a);
+
+/// y += A * x for vectors carried as raw arrays (x has A.cols entries,
+/// y has A.rows entries).
+void MatVecAccumulate(const Matrix& a, const double* x, double* y);
+
+/// y += A^T * x (x has A.rows entries, y has A.cols entries).
+void MatTransposeVecAccumulate(const Matrix& a, const double* x, double* y);
+
+/// Lower-triangular L with A = L L^T; fails for non-positive-definite A.
+Result<Matrix> CholeskyDecompose(const Matrix& a);
+
+/// Solves A x = b for symmetric positive definite A given its Cholesky
+/// factor L (forward then back substitution). b and the result are column
+/// vectors carried as n x 1 matrices.
+Matrix CholeskySolve(const Matrix& chol_lower, const Matrix& b);
+
+/// Inverse of an SPD matrix via its Cholesky factor.
+Result<Matrix> SpdInverse(const Matrix& a);
+
+}  // namespace hlm
+
+#endif  // HLM_MATH_MATRIX_H_

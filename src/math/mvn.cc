@@ -1,0 +1,48 @@
+#include "math/mvn.h"
+
+#include <cmath>
+
+namespace hlm {
+
+Result<Matrix> SampleMultivariateGaussian(const Matrix& mean,
+                                          const Matrix& covariance,
+                                          Rng* rng) {
+  if (mean.cols() != 1 || mean.rows() != covariance.rows()) {
+    return Status::InvalidArgument("mean/covariance shape mismatch");
+  }
+  HLM_ASSIGN_OR_RETURN(Matrix lower, CholeskyDecompose(covariance));
+  const size_t n = mean.rows();
+  Matrix sample(n, 1);
+  Matrix z(n, 1);
+  for (size_t i = 0; i < n; ++i) z(i, 0) = rng->NextGaussian();
+  for (size_t i = 0; i < n; ++i) {
+    double sum = mean(i, 0);
+    for (size_t j = 0; j <= i; ++j) sum += lower(i, j) * z(j, 0);
+    sample(i, 0) = sum;
+  }
+  return sample;
+}
+
+Result<Matrix> SampleWishart(const Matrix& scale, double dof, Rng* rng) {
+  const size_t d = scale.rows();
+  if (scale.cols() != d) {
+    return Status::InvalidArgument("Wishart scale must be square");
+  }
+  if (dof < static_cast<double>(d)) {
+    return Status::InvalidArgument("Wishart dof must be >= dimension");
+  }
+  HLM_ASSIGN_OR_RETURN(Matrix lower, CholeskyDecompose(scale));
+
+  // Bartlett: A lower-triangular, A_ii = sqrt(chi^2(dof - i)),
+  // A_ij ~ N(0,1) below the diagonal; W = L A A^T L^T.
+  Matrix a(d, d, 0.0);
+  for (size_t i = 0; i < d; ++i) {
+    double chi2 = 2.0 * rng->NextGamma((dof - static_cast<double>(i)) / 2.0);
+    a(i, i) = std::sqrt(chi2);
+    for (size_t j = 0; j < i; ++j) a(i, j) = rng->NextGaussian();
+  }
+  Matrix la = MatMul(lower, a);
+  return MatMulTransposed(la, la);
+}
+
+}  // namespace hlm

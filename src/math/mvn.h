@@ -1,0 +1,20 @@
+#ifndef HLM_MATH_MVN_H_
+#define HLM_MATH_MVN_H_
+
+#include "common/status.h"
+#include "math/matrix.h"
+#include "math/rng.h"
+
+namespace hlm {
+
+/// Draws x ~ N(mean, covariance). mean is n x 1; covariance must be SPD.
+Result<Matrix> SampleMultivariateGaussian(const Matrix& mean,
+                                          const Matrix& covariance, Rng* rng);
+
+/// Draws a Wishart sample W ~ Wishart(scale, dof) via the Bartlett
+/// decomposition; scale must be SPD, dof >= dimension.
+Result<Matrix> SampleWishart(const Matrix& scale, double dof, Rng* rng);
+
+}  // namespace hlm
+
+#endif  // HLM_MATH_MVN_H_

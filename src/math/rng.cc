@@ -1,0 +1,172 @@
+#include "math/rng.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hlm {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextUint64() {
+  // xoshiro256++
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  HLM_CHECK_GT(bound, 0u);
+  // Lemire-style rejection to avoid modulo bias.
+  uint64_t threshold = (-bound) % bound;
+  while (true) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+long long Rng::NextInt(long long lo, long long hi) {
+  HLM_CHECK_LE(lo, hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<long long>(NextBounded(span));
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  double u2 = NextDouble();
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double angle = 2.0 * M_PI * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::NextGamma(double shape) {
+  HLM_CHECK_GT(shape, 0.0);
+  if (shape < 1.0) {
+    // Boost to shape+1 and scale back (Marsaglia-Tsang trick).
+    double u = 0.0;
+    do {
+      u = NextDouble();
+    } while (u <= 1e-300);
+    return NextGamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x = NextGaussian();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    double u = NextDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 1e-300 &&
+        std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+double Rng::NextBeta(double a, double b) {
+  double x = NextGamma(a);
+  double y = NextGamma(b);
+  return x / (x + y);
+}
+
+double Rng::NextExponential(double lambda) {
+  HLM_CHECK_GT(lambda, 0.0);
+  double u = 0.0;
+  do {
+    u = NextDouble();
+  } while (u <= 1e-300);
+  return -std::log(u) / lambda;
+}
+
+int Rng::NextPoisson(double mean) {
+  HLM_CHECK_GE(mean, 0.0);
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth inversion.
+    double limit = std::exp(-mean);
+    double product = NextDouble();
+    int count = 0;
+    while (product > limit) {
+      product *= NextDouble();
+      ++count;
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction for large means.
+  double value = std::floor(mean + std::sqrt(mean) * NextGaussian() + 0.5);
+  return value < 0.0 ? 0 : static_cast<int>(value);
+}
+
+bool Rng::NextBernoulli(double p) { return NextDouble() < p; }
+
+std::vector<double> Rng::NextDirichlet(const std::vector<double>& alpha) {
+  std::vector<double> sample(alpha.size());
+  double total = 0.0;
+  for (size_t i = 0; i < alpha.size(); ++i) {
+    sample[i] = NextGamma(alpha[i]);
+    total += sample[i];
+  }
+  if (total <= 0.0) {
+    // Degenerate draw; fall back to uniform.
+    double uniform = 1.0 / static_cast<double>(alpha.size());
+    for (double& v : sample) v = uniform;
+    return sample;
+  }
+  for (double& v : sample) v /= total;
+  return sample;
+}
+
+size_t Rng::NextCategorical(const std::vector<double>& weights) {
+  HLM_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) return weights.size() - 1;
+  double target = NextDouble() * total;
+  double cumulative = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (target < cumulative) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Split() { return Rng(NextUint64()); }
+
+}  // namespace hlm

@@ -1,0 +1,28 @@
+#ifndef HLM_MATH_SPECIAL_FUNCTIONS_H_
+#define HLM_MATH_SPECIAL_FUNCTIONS_H_
+
+namespace hlm {
+
+/// log Gamma(x) for x > 0 (thin wrapper kept for a single call-site name).
+double LogGamma(double x);
+
+/// Digamma (psi) function for x > 0, via asymptotic series with recurrence.
+double Digamma(double x);
+
+/// Regularized incomplete beta function I_x(a, b), continued fractions.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// Binomial survival: P(X >= k) for X ~ Binomial(n, p). Exact via the
+/// incomplete beta identity, stable for the n up to millions used by the
+/// n-gram significance tests.
+double BinomialSurvival(long long n, double p, long long k);
+
+/// Standard normal CDF.
+double NormalCdf(double x);
+
+/// Inverse standard normal CDF (Acklam's rational approximation).
+double NormalQuantile(double p);
+
+}  // namespace hlm
+
+#endif  // HLM_MATH_SPECIAL_FUNCTIONS_H_

@@ -1,0 +1,116 @@
+#include "math/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "math/special_functions.h"
+
+namespace hlm {
+
+void RunningStats::Add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+ConfidenceInterval MeanConfidenceInterval(const std::vector<double>& values,
+                                          double level) {
+  RunningStats stats;
+  for (double v : values) stats.Add(v);
+  double m = stats.mean();
+  if (stats.count() < 2) return {m, m};
+  double z = NormalQuantile(0.5 + level / 2.0);
+  double half = z * stats.stddev() / std::sqrt(static_cast<double>(stats.count()));
+  return {m - half, m + half};
+}
+
+ConfidenceInterval WilsonInterval(long long successes, long long trials,
+                                  double level) {
+  if (trials <= 0) return {0.0, 0.0};
+  double z = NormalQuantile(0.5 + level / 2.0);
+  double n = static_cast<double>(trials);
+  double phat = static_cast<double>(successes) / n;
+  double z2 = z * z;
+  double denom = 1.0 + z2 / n;
+  double center = (phat + z2 / (2.0 * n)) / denom;
+  double half =
+      z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+double Mean(const std::vector<double>& values) {
+  RunningStats stats;
+  for (double v : values) stats.Add(v);
+  return stats.mean();
+}
+
+double SampleStdDev(const std::vector<double>& values) {
+  RunningStats stats;
+  for (double v : values) stats.Add(v);
+  return stats.stddev();
+}
+
+double Quantile(std::vector<double> values, double q) {
+  HLM_CHECK(!values.empty());
+  HLM_CHECK_GE(q, 0.0);
+  HLM_CHECK_LE(q, 1.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  double pos = q * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+BoxplotStats ComputeBoxplot(std::vector<double> values) {
+  HLM_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  BoxplotStats stats;
+  stats.min = values.front();
+  stats.max = values.back();
+  stats.q1 = Quantile(values, 0.25);
+  stats.median = Quantile(values, 0.5);
+  stats.q3 = Quantile(values, 0.75);
+  double iqr = stats.q3 - stats.q1;
+  double lower_fence = stats.q1 - 1.5 * iqr;
+  double upper_fence = stats.q3 + 1.5 * iqr;
+  stats.lower_whisker = stats.min;
+  for (double v : values) {
+    if (v >= lower_fence) {
+      stats.lower_whisker = v;
+      break;
+    }
+  }
+  stats.upper_whisker = stats.max;
+  for (auto it = values.rbegin(); it != values.rend(); ++it) {
+    if (*it <= upper_fence) {
+      stats.upper_whisker = *it;
+      break;
+    }
+  }
+  return stats;
+}
+
+double BinomialTestPValue(long long observed, long long trials,
+                          double null_p) {
+  return BinomialSurvival(trials, null_p, observed);
+}
+
+}  // namespace hlm

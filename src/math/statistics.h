@@ -1,0 +1,76 @@
+#ifndef HLM_MATH_STATISTICS_H_
+#define HLM_MATH_STATISTICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace hlm {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  void Add(double value);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 observations.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Symmetric confidence interval [lo, hi].
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool Contains(double v) const { return v >= lo && v <= hi; }
+  bool Intersects(const ConfidenceInterval& other) const {
+    return lo <= other.hi && other.lo <= hi;
+  }
+};
+
+/// t-free normal-approximation CI for the mean of `values` at `level`
+/// (e.g. 0.95). Degenerates to [mean, mean] for < 2 observations.
+ConfidenceInterval MeanConfidenceInterval(const std::vector<double>& values,
+                                          double level);
+
+/// Wilson score interval for a proportion successes/trials.
+ConfidenceInterval WilsonInterval(long long successes, long long trials,
+                                  double level);
+
+double Mean(const std::vector<double>& values);
+double SampleStdDev(const std::vector<double>& values);
+
+/// q-th quantile (0<=q<=1) with linear interpolation; sorts a copy.
+double Quantile(std::vector<double> values, double q);
+
+/// Five-number summary used for Fig. 5's boxplot.
+struct BoxplotStats {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double lower_whisker = 0.0;  // largest of min and q1 - 1.5 IQR
+  double upper_whisker = 0.0;  // smallest of max and q3 + 1.5 IQR
+};
+
+BoxplotStats ComputeBoxplot(std::vector<double> values);
+
+/// One-sided binomial test: p-value of observing >= `observed` successes
+/// in `trials` draws with success probability `null_p`.
+double BinomialTestPValue(long long observed, long long trials, double null_p);
+
+}  // namespace hlm
+
+#endif  // HLM_MATH_STATISTICS_H_

@@ -1,0 +1,68 @@
+#include "math/svd.h"
+
+#include <cmath>
+
+namespace hlm {
+
+Result<TruncatedSvdResult> TruncatedSvd(const Matrix& a, int components,
+                                        int iterations, Rng* rng) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("empty matrix");
+  }
+  if (components <= 0 ||
+      components > static_cast<int>(std::min(a.rows(), a.cols()))) {
+    return Status::InvalidArgument("bad component count");
+  }
+  const size_t rows = a.rows();
+  const size_t cols = a.cols();
+
+  TruncatedSvdResult result;
+  Matrix deflated = a;
+  for (int comp = 0; comp < components; ++comp) {
+    std::vector<double> u(rows), v(cols, 0.0);
+    for (double& x : u) x = rng->NextGaussian();
+    for (int iter = 0; iter < iterations; ++iter) {
+      // v = A^T u, normalized.
+      for (double& x : v) x = 0.0;
+      for (size_t i = 0; i < rows; ++i) {
+        const double* arow = deflated.row(i);
+        double ui = u[i];
+        for (size_t j = 0; j < cols; ++j) v[j] += arow[j] * ui;
+      }
+      double vn = 0.0;
+      for (double x : v) vn += x * x;
+      vn = std::sqrt(std::max(vn, 1e-30));
+      for (double& x : v) x /= vn;
+      // u = A v, normalized.
+      for (double& x : u) x = 0.0;
+      for (size_t i = 0; i < rows; ++i) {
+        const double* arow = deflated.row(i);
+        double sum = 0.0;
+        for (size_t j = 0; j < cols; ++j) sum += arow[j] * v[j];
+        u[i] = sum;
+      }
+      double un = 0.0;
+      for (double x : u) un += x * x;
+      un = std::sqrt(std::max(un, 1e-30));
+      for (double& x : u) x /= un;
+    }
+    // Singular value and deflation: A <- A - sigma u v^T.
+    double sigma = 0.0;
+    for (size_t i = 0; i < rows; ++i) {
+      const double* arow = deflated.row(i);
+      double sum = 0.0;
+      for (size_t j = 0; j < cols; ++j) sum += arow[j] * v[j];
+      sigma += u[i] * sum;
+    }
+    for (size_t i = 0; i < rows; ++i) {
+      double* arow = deflated.row(i);
+      for (size_t j = 0; j < cols; ++j) arow[j] -= sigma * u[i] * v[j];
+    }
+    result.left.push_back(std::move(u));
+    result.right.push_back(std::move(v));
+    result.singular_values.push_back(sigma);
+  }
+  return result;
+}
+
+}  // namespace hlm

@@ -1,0 +1,27 @@
+#ifndef HLM_MATH_SVD_H_
+#define HLM_MATH_SVD_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "math/matrix.h"
+#include "math/rng.h"
+
+namespace hlm {
+
+/// Truncated singular value decomposition A ~ U diag(S) V^T computed by
+/// orthogonal power iteration with deflation. Sized for the matrices in
+/// this library (thousands x 38); singular values come out in descending
+/// order.
+struct TruncatedSvdResult {
+  std::vector<std::vector<double>> left;    // k vectors of length rows
+  std::vector<std::vector<double>> right;   // k vectors of length cols
+  std::vector<double> singular_values;      // length k, descending
+};
+
+Result<TruncatedSvdResult> TruncatedSvd(const Matrix& a, int components,
+                                        int iterations, Rng* rng);
+
+}  // namespace hlm
+
+#endif  // HLM_MATH_SVD_H_

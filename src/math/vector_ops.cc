@@ -1,0 +1,92 @@
+#include "math/vector_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hlm {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  HLM_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm2(const std::vector<double>& a) { return std::sqrt(Dot(a, a)); }
+
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  HLM_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  double na = Norm2(a);
+  double nb = Norm2(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+double CosineDistance(const std::vector<double>& a,
+                      const std::vector<double>& b) {
+  return 1.0 - CosineSimilarity(a, b);
+}
+
+void AddScaled(std::vector<double>* a, double scale,
+               const std::vector<double>& b) {
+  HLM_CHECK_EQ(a->size(), b.size());
+  for (size_t i = 0; i < b.size(); ++i) (*a)[i] += scale * b[i];
+}
+
+double LogSumExp(const std::vector<double>& x) {
+  HLM_CHECK(!x.empty());
+  double max_value = *std::max_element(x.begin(), x.end());
+  if (!std::isfinite(max_value)) return max_value;
+  double sum = 0.0;
+  for (double v : x) sum += std::exp(v - max_value);
+  return max_value + std::log(sum);
+}
+
+void SoftmaxInPlace(std::vector<double>* x) {
+  if (x->empty()) return;
+  double max_value = *std::max_element(x->begin(), x->end());
+  double sum = 0.0;
+  for (double& v : *x) {
+    v = std::exp(v - max_value);
+    sum += v;
+  }
+  for (double& v : *x) v /= sum;
+}
+
+void NormalizeInPlace(std::vector<double>* x) {
+  double total = Sum(*x);
+  if (total <= 0.0) {
+    if (x->empty()) return;
+    double uniform = 1.0 / static_cast<double>(x->size());
+    for (double& v : *x) v = uniform;
+    return;
+  }
+  for (double& v : *x) v /= total;
+}
+
+double Sum(const std::vector<double>& x) {
+  double total = 0.0;
+  for (double v : x) total += v;
+  return total;
+}
+
+size_t ArgMax(const std::vector<double>& x) {
+  HLM_CHECK(!x.empty());
+  return static_cast<size_t>(
+      std::max_element(x.begin(), x.end()) - x.begin());
+}
+
+}  // namespace hlm

@@ -1,0 +1,47 @@
+#ifndef HLM_MATH_VECTOR_OPS_H_
+#define HLM_MATH_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace hlm {
+
+/// Dense vector helpers shared by the models. Vectors are plain
+/// std::vector<double>; sizes must agree (checked).
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+double Norm2(const std::vector<double>& a);
+
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+/// 1 - cosine similarity; returns 1 when either vector is all-zero.
+double CosineDistance(const std::vector<double>& a,
+                      const std::vector<double>& b);
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// a += scale * b.
+void AddScaled(std::vector<double>* a, double scale,
+               const std::vector<double>& b);
+
+/// Numerically stable log(sum(exp(x))).
+double LogSumExp(const std::vector<double>& x);
+
+/// In-place softmax (stable).
+void SoftmaxInPlace(std::vector<double>* x);
+
+/// Normalizes to sum 1; uniform fallback when the sum is non-positive.
+void NormalizeInPlace(std::vector<double>* x);
+
+/// Sum of entries.
+double Sum(const std::vector<double>& x);
+
+/// Index of the maximum entry (first on ties); asserts non-empty.
+size_t ArgMax(const std::vector<double>& x);
+
+}  // namespace hlm
+
+#endif  // HLM_MATH_VECTOR_OPS_H_

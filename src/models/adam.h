@@ -1,0 +1,38 @@
+#ifndef HLM_MODELS_ADAM_H_
+#define HLM_MODELS_ADAM_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace hlm::models {
+
+/// Adam optimizer state for one flat parameter tensor (Kingma & Ba).
+class AdamState {
+ public:
+  explicit AdamState(size_t size) : m_(size, 0.0), v_(size, 0.0) {}
+
+  /// Applies one update: params -= lr * mhat / (sqrt(vhat) + eps).
+  /// `step` is the 1-based global step shared across tensors.
+  void Update(double* params, const double* grads, size_t size, double lr,
+              long long step, double beta1 = 0.9, double beta2 = 0.999,
+              double epsilon = 1e-8) {
+    double bias1 = 1.0 - std::pow(beta1, static_cast<double>(step));
+    double bias2 = 1.0 - std::pow(beta2, static_cast<double>(step));
+    for (size_t i = 0; i < size; ++i) {
+      m_[i] = beta1 * m_[i] + (1.0 - beta1) * grads[i];
+      v_[i] = beta2 * v_[i] + (1.0 - beta2) * grads[i] * grads[i];
+      double mhat = m_[i] / bias1;
+      double vhat = v_[i] / bias2;
+      params[i] -= lr * mhat / (std::sqrt(vhat) + epsilon);
+    }
+  }
+
+ private:
+  std::vector<double> m_;
+  std::vector<double> v_;
+};
+
+}  // namespace hlm::models
+
+#endif  // HLM_MODELS_ADAM_H_

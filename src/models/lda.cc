@@ -1,0 +1,399 @@
+#include "models/lda.h"
+
+#include <cmath>
+#include <fstream>
+
+#include "common/logging.h"
+#include "math/rng.h"
+#include "math/vector_ops.h"
+#include "models/perplexity.h"
+
+namespace hlm::models {
+
+namespace {
+
+// Mixes a document's tokens into a deterministic per-document seed so
+// const inference is reproducible without shared mutable state.
+uint64_t DocumentSeed(uint64_t base, const TokenSequence& document) {
+  uint64_t h = base ^ 0x9e3779b97f4a7c15ULL;
+  for (Token t : document) {
+    h ^= static_cast<uint64_t>(t) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace
+
+LdaModel::LdaModel(int vocab_size, LdaConfig config)
+    : vocab_size_(vocab_size), config_(config) {
+  HLM_CHECK_GT(vocab_size_, 0);
+  HLM_CHECK_GT(config_.num_topics, 0);
+  HLM_CHECK_GT(config_.alpha, 0.0);
+  HLM_CHECK_GT(config_.beta, 0.0);
+}
+
+Status LdaModel::Train(const std::vector<TokenSequence>& documents) {
+  return TrainInternal(documents, nullptr);
+}
+
+Status LdaModel::TrainWeighted(
+    const std::vector<TokenSequence>& documents,
+    const std::vector<std::vector<double>>& weights) {
+  if (weights.size() != documents.size()) {
+    return Status::InvalidArgument("weights shape mismatch with documents");
+  }
+  for (size_t d = 0; d < documents.size(); ++d) {
+    if (weights[d].size() != documents[d].size()) {
+      return Status::InvalidArgument("weights shape mismatch in document " +
+                                     std::to_string(d));
+    }
+    for (double w : weights[d]) {
+      if (!(w > 0.0)) {
+        return Status::InvalidArgument("token weights must be positive");
+      }
+    }
+  }
+  return TrainInternal(documents, &weights);
+}
+
+Status LdaModel::TrainInternal(
+    const std::vector<TokenSequence>& documents,
+    const std::vector<std::vector<double>>* weights) {
+  if (documents.empty()) {
+    return Status::InvalidArgument("empty training corpus");
+  }
+  for (const TokenSequence& doc : documents) {
+    for (Token t : doc) {
+      if (t < 0 || t >= vocab_size_) {
+        return Status::OutOfRange("token out of vocabulary: " +
+                                  std::to_string(t));
+      }
+    }
+  }
+
+  const int k = config_.num_topics;
+  const double v_beta = config_.beta * static_cast<double>(vocab_size_);
+  Rng rng(config_.seed);
+
+  // Collapsed state: per-token topic assignment plus (weighted) counts.
+  std::vector<std::vector<int>> assignments(documents.size());
+  std::vector<std::vector<double>> doc_topic(documents.size(),
+                                             std::vector<double>(k, 0.0));
+  std::vector<std::vector<double>> topic_word(
+      k, std::vector<double>(vocab_size_, 0.0));
+  std::vector<double> topic_total(k, 0.0);
+
+  for (size_t d = 0; d < documents.size(); ++d) {
+    assignments[d].resize(documents[d].size());
+    for (size_t i = 0; i < documents[d].size(); ++i) {
+      int topic = static_cast<int>(rng.NextBounded(k));
+      double w = weights == nullptr ? 1.0 : (*weights)[d][i];
+      assignments[d][i] = topic;
+      doc_topic[d][topic] += w;
+      topic_word[topic][documents[d][i]] += w;
+      topic_total[topic] += w;
+    }
+  }
+
+  phi_.assign(k, std::vector<double>(vocab_size_, 0.0));
+  int samples_taken = 0;
+
+  std::vector<double> topic_probs(k);
+  const int total_sweeps = config_.burn_in_iterations +
+                           config_.post_burn_in_samples * config_.sample_lag;
+  for (int sweep = 0; sweep < total_sweeps; ++sweep) {
+    for (size_t d = 0; d < documents.size(); ++d) {
+      const TokenSequence& doc = documents[d];
+      for (size_t i = 0; i < doc.size(); ++i) {
+        const Token word = doc[i];
+        const int old_topic = assignments[d][i];
+        const double w = weights == nullptr ? 1.0 : (*weights)[d][i];
+
+        doc_topic[d][old_topic] -= w;
+        topic_word[old_topic][word] -= w;
+        topic_total[old_topic] -= w;
+
+        for (int t = 0; t < k; ++t) {
+          topic_probs[t] = (doc_topic[d][t] + config_.alpha) *
+                           (topic_word[t][word] + config_.beta) /
+                           (topic_total[t] + v_beta);
+        }
+        int new_topic = static_cast<int>(rng.NextCategorical(topic_probs));
+
+        assignments[d][i] = new_topic;
+        doc_topic[d][new_topic] += w;
+        topic_word[new_topic][word] += w;
+        topic_total[new_topic] += w;
+      }
+    }
+
+    bool sampling_phase = sweep >= config_.burn_in_iterations;
+    bool on_lag = sampling_phase &&
+                  (sweep - config_.burn_in_iterations) % config_.sample_lag ==
+                      config_.sample_lag - 1;
+    if (on_lag) {
+      for (int t = 0; t < k; ++t) {
+        for (int wd = 0; wd < vocab_size_; ++wd) {
+          phi_[t][wd] += (topic_word[t][wd] + config_.beta) /
+                         (topic_total[t] + v_beta);
+        }
+      }
+      ++samples_taken;
+    }
+  }
+
+  if (samples_taken == 0) {
+    // Degenerate schedule: fall back to the final state.
+    for (int t = 0; t < k; ++t) {
+      for (int wd = 0; wd < vocab_size_; ++wd) {
+        phi_[t][wd] =
+            (topic_word[t][wd] + config_.beta) / (topic_total[t] + v_beta);
+      }
+    }
+  } else {
+    for (int t = 0; t < k; ++t) {
+      for (double& p : phi_[t]) p /= static_cast<double>(samples_taken);
+      NormalizeInPlace(&phi_[t]);
+    }
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+std::vector<double> LdaModel::InferTopicMixture(
+    const TokenSequence& document) const {
+  HLM_CHECK(trained_);
+  const int k = config_.num_topics;
+  std::vector<double> theta(k, 0.0);
+  if (document.empty()) {
+    // Prior mean for an empty install base.
+    for (double& v : theta) v = 1.0 / static_cast<double>(k);
+    return theta;
+  }
+
+  Rng rng(DocumentSeed(config_.seed, document));
+  std::vector<int> assignments(document.size());
+  std::vector<double> doc_topic(k, 0.0);
+  for (size_t i = 0; i < document.size(); ++i) {
+    int topic = static_cast<int>(rng.NextBounded(k));
+    assignments[i] = topic;
+    doc_topic[topic] += 1.0;
+  }
+
+  std::vector<double> topic_probs(k);
+  std::vector<double> theta_accum(k, 0.0);
+  int samples = 0;
+  const int sweeps = config_.inference_burn_in + config_.inference_samples;
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    for (size_t i = 0; i < document.size(); ++i) {
+      const Token word = document[i];
+      doc_topic[assignments[i]] -= 1.0;
+      for (int t = 0; t < k; ++t) {
+        topic_probs[t] = (doc_topic[t] + config_.alpha) * phi_[t][word];
+      }
+      assignments[i] = static_cast<int>(rng.NextCategorical(topic_probs));
+      doc_topic[assignments[i]] += 1.0;
+    }
+    if (sweep >= config_.inference_burn_in) {
+      double denom = static_cast<double>(document.size()) +
+                     config_.alpha * static_cast<double>(k);
+      for (int t = 0; t < k; ++t) {
+        theta_accum[t] += (doc_topic[t] + config_.alpha) / denom;
+      }
+      ++samples;
+    }
+  }
+  for (int t = 0; t < k; ++t) {
+    theta[t] = theta_accum[t] / static_cast<double>(samples);
+  }
+  NormalizeInPlace(&theta);
+  return theta;
+}
+
+double LdaModel::Perplexity(
+    const std::vector<TokenSequence>& documents) const {
+  HLM_CHECK(trained_);
+  PerplexityAccumulator acc;
+  for (const TokenSequence& doc : documents) {
+    if (doc.empty()) continue;
+    std::vector<double> theta = InferTopicMixture(doc);
+    for (Token word : doc) {
+      double p = 0.0;
+      for (int t = 0; t < config_.num_topics; ++t) {
+        p += theta[t] * phi_[t][word];
+      }
+      acc.Add(std::log(std::max(p, 1e-12)));
+    }
+  }
+  return acc.Perplexity();
+}
+
+double LdaModel::PerplexityCompletion(
+    const std::vector<TokenSequence>& documents) const {
+  HLM_CHECK(trained_);
+  PerplexityAccumulator acc;
+  for (const TokenSequence& doc : documents) {
+    if (doc.empty()) continue;
+    TokenSequence shuffled = doc;
+    Rng rng(DocumentSeed(config_.seed ^ 0xc0117e57, doc));
+    rng.Shuffle(&shuffled);
+    size_t half = shuffled.size() / 2;
+    TokenSequence observed(shuffled.begin(), shuffled.begin() + half);
+    TokenSequence held_out(shuffled.begin() + half, shuffled.end());
+    std::vector<double> theta = InferTopicMixture(observed);
+    for (Token word : held_out) {
+      double p = 0.0;
+      for (int t = 0; t < config_.num_topics; ++t) {
+        p += theta[t] * phi_[t][word];
+      }
+      acc.Add(std::log(std::max(p, 1e-12)));
+    }
+  }
+  return acc.Perplexity();
+}
+
+double LdaModel::PerplexityLeftToRight(
+    const std::vector<TokenSequence>& documents, int particles) const {
+  HLM_CHECK(trained_);
+  HLM_CHECK_GT(particles, 0);
+  const int k = config_.num_topics;
+  PerplexityAccumulator acc;
+  for (const TokenSequence& doc : documents) {
+    if (doc.empty()) continue;
+    Rng rng(DocumentSeed(config_.seed ^ 0xabcdef, doc));
+    // particle state: topic assignment of already-seen tokens.
+    std::vector<std::vector<int>> particle_topics(
+        particles, std::vector<int>());
+    std::vector<std::vector<double>> particle_counts(
+        particles, std::vector<double>(k, 0.0));
+    std::vector<double> topic_probs(k);
+    for (size_t n = 0; n < doc.size(); ++n) {
+      const Token word = doc[n];
+      double p_word = 0.0;
+      for (int r = 0; r < particles; ++r) {
+        auto& topics = particle_topics[r];
+        auto& counts = particle_counts[r];
+        // Resample topics of previous positions (one sweep).
+        for (size_t j = 0; j < topics.size(); ++j) {
+          counts[topics[j]] -= 1.0;
+          for (int t = 0; t < k; ++t) {
+            topic_probs[t] = (counts[t] + config_.alpha) * phi_[t][doc[j]];
+          }
+          topics[j] = static_cast<int>(rng.NextCategorical(topic_probs));
+          counts[topics[j]] += 1.0;
+        }
+        // Predictive probability of the next word.
+        double denom = static_cast<double>(n) +
+                       config_.alpha * static_cast<double>(k);
+        double p = 0.0;
+        for (int t = 0; t < k; ++t) {
+          p += (counts[t] + config_.alpha) / denom * phi_[t][word];
+        }
+        p_word += p;
+        // Sample the new word's topic and include it in the particle.
+        for (int t = 0; t < k; ++t) {
+          topic_probs[t] = (counts[t] + config_.alpha) * phi_[t][word];
+        }
+        int z = static_cast<int>(rng.NextCategorical(topic_probs));
+        topics.push_back(z);
+        counts[z] += 1.0;
+      }
+      acc.Add(std::log(std::max(p_word / particles, 1e-12)));
+    }
+  }
+  return acc.Perplexity();
+}
+
+std::vector<double> LdaModel::NextProductDistribution(
+    const TokenSequence& history) const {
+  HLM_CHECK(trained_);
+  std::vector<double> theta = InferTopicMixture(history);
+  std::vector<double> dist(vocab_size_, 0.0);
+  for (int t = 0; t < config_.num_topics; ++t) {
+    for (int w = 0; w < vocab_size_; ++w) {
+      dist[w] += theta[t] * phi_[t][w];
+    }
+  }
+  // A company owns each category at most once, so the correct predictive
+  // distribution of the exchangeable set model excludes what the history
+  // already contains and renormalizes over the complement.
+  double kept = 0.0;
+  for (Token owned : history) {
+    if (owned >= 0 && owned < vocab_size_) {
+      kept += dist[owned];
+      dist[owned] = 0.0;
+    }
+  }
+  if (kept < 1.0) {
+    double scale = 1.0 / (1.0 - kept);
+    for (double& p : dist) p *= scale;
+  }
+  return dist;
+}
+
+double LdaModel::PerplexitySequential(
+    const std::vector<TokenSequence>& documents) const {
+  return SequencePerplexity(*this, documents);
+}
+
+Status LdaModel::SaveToFile(const std::string& path) const {
+  if (!trained_) return Status::FailedPrecondition("model not trained");
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open for write: " + path);
+  out << "hlm-lda 1\n";
+  out << vocab_size_ << ' ' << config_.num_topics << ' ' << config_.alpha
+      << ' ' << config_.beta << ' ' << config_.inference_burn_in << ' '
+      << config_.inference_samples << ' ' << config_.seed << '\n';
+  out.precision(17);
+  for (const auto& row : phi_) {
+    for (size_t w = 0; w < row.size(); ++w) {
+      if (w > 0) out << ' ';
+      out << row[w];
+    }
+    out << '\n';
+  }
+  if (!out) return Status::DataLoss("short write: " + path);
+  return Status::OK();
+}
+
+Result<LdaModel> LdaModel::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (magic != "hlm-lda" || version != 1) {
+    return Status::DataLoss("not an hlm-lda v1 file: " + path);
+  }
+  int vocab = 0;
+  LdaConfig config;
+  in >> vocab >> config.num_topics >> config.alpha >> config.beta >>
+      config.inference_burn_in >> config.inference_samples >> config.seed;
+  if (!in || vocab <= 0 || config.num_topics <= 0) {
+    return Status::DataLoss("corrupt hlm-lda header: " + path);
+  }
+  LdaModel model(vocab, config);
+  model.phi_.assign(config.num_topics, std::vector<double>(vocab, 0.0));
+  for (auto& row : model.phi_) {
+    for (double& value : row) in >> value;
+  }
+  if (!in) return Status::DataLoss("truncated hlm-lda file: " + path);
+  model.trained_ = true;
+  return model;
+}
+
+std::vector<std::vector<double>> LdaModel::ProductEmbeddings() const {
+  HLM_CHECK(trained_);
+  std::vector<std::vector<double>> embeddings(
+      vocab_size_, std::vector<double>(config_.num_topics, 0.0));
+  for (int w = 0; w < vocab_size_; ++w) {
+    for (int t = 0; t < config_.num_topics; ++t) {
+      embeddings[w][t] = phi_[t][w];
+    }
+    NormalizeInPlace(&embeddings[w]);  // P(topic | word) up to the prior
+  }
+  return embeddings;
+}
+
+}  // namespace hlm::models

@@ -1,0 +1,86 @@
+#include "models/lsi.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "math/matrix.h"
+#include "math/rng.h"
+#include "math/svd.h"
+
+namespace hlm::models {
+
+LsiModel::LsiModel(LsiConfig config) : config_(config) {
+  HLM_CHECK_GT(config_.rank, 0);
+}
+
+Status LsiModel::Fit(const std::vector<std::vector<double>>& matrix) {
+  if (matrix.empty() || matrix[0].empty()) {
+    return Status::InvalidArgument("empty document-term matrix");
+  }
+  const size_t rows = matrix.size();
+  const size_t cols = matrix[0].size();
+  if (config_.rank > static_cast<int>(std::min(rows, cols))) {
+    return Status::InvalidArgument("rank exceeds matrix dimensions");
+  }
+  Matrix dense(rows, cols);
+  double total_mass = 0.0;
+  for (size_t i = 0; i < rows; ++i) {
+    if (matrix[i].size() != cols) {
+      return Status::InvalidArgument("ragged document-term matrix");
+    }
+    for (size_t j = 0; j < cols; ++j) {
+      dense(i, j) = matrix[i][j];
+      total_mass += matrix[i][j] * matrix[i][j];
+    }
+  }
+
+  Rng rng(config_.seed);
+  HLM_ASSIGN_OR_RETURN(
+      TruncatedSvdResult svd,
+      TruncatedSvd(dense, config_.rank, config_.svd_iterations, &rng));
+
+  num_terms_ = static_cast<int>(cols);
+  singular_values_ = svd.singular_values;
+  right_vectors_ = svd.right;
+
+  documents_.assign(rows, std::vector<double>(config_.rank, 0.0));
+  for (int k = 0; k < config_.rank; ++k) {
+    for (size_t i = 0; i < rows; ++i) {
+      documents_[i][k] = svd.left[k][i] * singular_values_[k];
+    }
+  }
+
+  double captured = 0.0;
+  for (double s : singular_values_) captured += s * s;
+  explained_variance_ = total_mass > 0.0 ? captured / total_mass : 0.0;
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> LsiModel::Transform(
+    const std::vector<double>& row) const {
+  if (!fitted_) return Status::FailedPrecondition("LSI not fitted");
+  if (static_cast<int>(row.size()) != num_terms_) {
+    return Status::InvalidArgument("row dimensionality mismatch");
+  }
+  std::vector<double> latent(config_.rank, 0.0);
+  for (int k = 0; k < config_.rank; ++k) {
+    double dot = 0.0;
+    for (int j = 0; j < num_terms_; ++j) dot += right_vectors_[k][j] * row[j];
+    latent[k] = dot;  // = sigma_k * u_k for in-sample rows
+  }
+  return latent;
+}
+
+std::vector<double> LsiModel::TermEmbedding(int term) const {
+  HLM_CHECK(fitted_);
+  HLM_CHECK_GE(term, 0);
+  HLM_CHECK_LT(term, num_terms_);
+  std::vector<double> embedding(config_.rank, 0.0);
+  for (int k = 0; k < config_.rank; ++k) {
+    embedding[k] = right_vectors_[k][term] * singular_values_[k];
+  }
+  return embedding;
+}
+
+}  // namespace hlm::models

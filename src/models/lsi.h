@@ -1,0 +1,62 @@
+#ifndef HLM_MODELS_LSI_H_
+#define HLM_MODELS_LSI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hlm::models {
+
+/// Latent Semantic Indexing (Deerwester et al. / the probabilistic
+/// variant of Hofmann is the paper's §3.5 contrast to LDA): a truncated
+/// SVD of the (TF-IDF-weighted) company-product matrix. Included as the
+/// classic non-probabilistic "hidden layer" baseline the paper mentions
+/// LDA superseding — LSI factors are not interpretable as distributions,
+/// which is the paper's stated reason for preferring LDA.
+struct LsiConfig {
+  int rank = 8;
+  int svd_iterations = 150;
+  uint64_t seed = 61;
+};
+
+class LsiModel {
+ public:
+  explicit LsiModel(LsiConfig config);
+
+  /// Fits the truncated SVD on an N x M document-term matrix (rows =
+  /// companies, columns = products; binary or TF-IDF weighted).
+  Status Fit(const std::vector<std::vector<double>>& matrix);
+
+  bool fitted() const { return fitted_; }
+  int rank() const { return config_.rank; }
+  int num_terms() const { return num_terms_; }
+
+  /// Projects a company's raw product vector into the latent space:
+  /// d_k = Sigma^-1 V^T d (the standard fold-in).
+  Result<std::vector<double>> Transform(const std::vector<double>& row) const;
+
+  /// Latent representation of every fitted document row.
+  const std::vector<std::vector<double>>& document_representations() const {
+    return documents_;
+  }
+
+  /// Term ("product") embedding: row of V scaled by the singular values.
+  std::vector<double> TermEmbedding(int term) const;
+
+  /// Fraction of squared Frobenius mass captured by the kept components.
+  double explained_variance() const { return explained_variance_; }
+
+ private:
+  LsiConfig config_;
+  bool fitted_ = false;
+  int num_terms_ = 0;
+  std::vector<double> singular_values_;
+  std::vector<std::vector<double>> right_vectors_;  // rank x M
+  std::vector<std::vector<double>> documents_;      // N x rank
+  double explained_variance_ = 0.0;
+};
+
+}  // namespace hlm::models
+
+#endif  // HLM_MODELS_LSI_H_

@@ -1,0 +1,167 @@
+#include "models/lstm_cell.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hlm::models {
+
+namespace {
+
+inline double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+void LstmCellParams::Init(int input_size, int hidden_size, Rng* rng) {
+  // Xavier-uniform per weight matrix.
+  double scale_x = std::sqrt(6.0 / (input_size + 4.0 * hidden_size));
+  double scale_h = std::sqrt(6.0 / (hidden_size + 4.0 * hidden_size));
+  wx = Matrix::RandomUniform(input_size, 4 * hidden_size, scale_x, rng);
+  wh = Matrix::RandomUniform(hidden_size, 4 * hidden_size, scale_h, rng);
+  bias.assign(4 * hidden_size, 0.0);
+  // Forget-gate bias 1.0: standard trick to keep gradients flowing early.
+  for (int j = hidden_size; j < 2 * hidden_size; ++j) bias[j] = 1.0;
+}
+
+void LstmCellGrads::ZeroLike(const LstmCellParams& params) {
+  if (wx.rows() != params.wx.rows() || wx.cols() != params.wx.cols()) {
+    wx = Matrix(params.wx.rows(), params.wx.cols(), 0.0);
+    wh = Matrix(params.wh.rows(), params.wh.cols(), 0.0);
+    bias.assign(params.bias.size(), 0.0);
+  } else {
+    wx.Fill(0.0);
+    wh.Fill(0.0);
+    for (double& b : bias) b = 0.0;
+  }
+}
+
+LstmCell::LstmCell(int input_size, int hidden_size, Rng* rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  HLM_CHECK_GT(input_size_, 0);
+  HLM_CHECK_GT(hidden_size_, 0);
+  params_.Init(input_size_, hidden_size_, rng);
+}
+
+void LstmCell::Forward(const Matrix& x, const Matrix& h_prev,
+                       const Matrix& c_prev, const std::vector<double>& mask,
+                       LstmStepCache* cache) const {
+  const size_t batch = x.rows();
+  const int h = hidden_size_;
+  HLM_CHECK_EQ(x.cols(), static_cast<size_t>(input_size_));
+  HLM_CHECK_EQ(h_prev.rows(), batch);
+  HLM_CHECK_EQ(mask.size(), batch);
+
+  cache->x = x;
+  cache->h_prev = h_prev;
+  cache->c_prev = c_prev;
+
+  // Pre-activations G = x Wx + h_prev Wh + bias.
+  Matrix gates = MatMul(x, params_.wx);
+  Matrix rec = MatMul(h_prev, params_.wh);
+  gates += rec;
+  for (size_t b = 0; b < batch; ++b) {
+    double* grow = gates.row(b);
+    for (int j = 0; j < 4 * h; ++j) grow[j] += params_.bias[j];
+  }
+
+  cache->c = Matrix(batch, h);
+  cache->h = Matrix(batch, h);
+  for (size_t b = 0; b < batch; ++b) {
+    double* grow = gates.row(b);
+    const double* cp = c_prev.row(b);
+    const double* hp = h_prev.row(b);
+    double* crow = cache->c.row(b);
+    double* hrow = cache->h.row(b);
+    if (mask[b] == 0.0) {
+      // Padded row: carry state through, zero the gate cache.
+      for (int j = 0; j < 4 * h; ++j) grow[j] = 0.0;
+      for (int j = 0; j < h; ++j) {
+        crow[j] = cp[j];
+        hrow[j] = hp[j];
+      }
+      continue;
+    }
+    for (int j = 0; j < h; ++j) {
+      double i_gate = Sigmoid(grow[j]);
+      double f_gate = Sigmoid(grow[h + j]);
+      double g_gate = std::tanh(grow[2 * h + j]);
+      double o_gate = Sigmoid(grow[3 * h + j]);
+      grow[j] = i_gate;
+      grow[h + j] = f_gate;
+      grow[2 * h + j] = g_gate;
+      grow[3 * h + j] = o_gate;
+      double c_new = f_gate * cp[j] + i_gate * g_gate;
+      crow[j] = c_new;
+      hrow[j] = o_gate * std::tanh(c_new);
+    }
+  }
+  cache->gates = std::move(gates);
+}
+
+void LstmCell::Backward(const LstmStepCache& cache,
+                        const std::vector<double>& mask, Matrix* dh,
+                        Matrix* dc, Matrix* dx, LstmCellGrads* grads) const {
+  const size_t batch = cache.x.rows();
+  const int h = hidden_size_;
+
+  // d(pre-activation gates), packed like the forward cache.
+  Matrix dgates(batch, 4 * h, 0.0);
+  for (size_t b = 0; b < batch; ++b) {
+    if (mask[b] == 0.0) continue;  // dh/dc pass straight through below
+    const double* grow = cache.gates.row(b);
+    const double* crow = cache.c.row(b);
+    const double* cprev = cache.c_prev.row(b);
+    double* dhrow = dh->row(b);
+    double* dcrow = dc->row(b);
+    double* dgrow = dgates.row(b);
+    for (int j = 0; j < h; ++j) {
+      double i_gate = grow[j];
+      double f_gate = grow[h + j];
+      double g_gate = grow[2 * h + j];
+      double o_gate = grow[3 * h + j];
+      double tc = std::tanh(crow[j]);
+      double dho = dhrow[j];
+      double dcj = dcrow[j] + dho * o_gate * (1.0 - tc * tc);
+      // Pre-activation gradients.
+      dgrow[j] = dcj * g_gate * i_gate * (1.0 - i_gate);
+      dgrow[h + j] = dcj * cprev[j] * f_gate * (1.0 - f_gate);
+      dgrow[2 * h + j] = dcj * i_gate * (1.0 - g_gate * g_gate);
+      dgrow[3 * h + j] = dho * tc * o_gate * (1.0 - o_gate);
+      // State gradients for the previous step (overwritten below).
+      dcrow[j] = dcj * f_gate;
+    }
+  }
+
+  // Parameter gradients.
+  MatTransposeMulAccumulate(cache.x, dgates, &grads->wx);
+  MatTransposeMulAccumulate(cache.h_prev, dgates, &grads->wh);
+  for (size_t b = 0; b < batch; ++b) {
+    const double* dgrow = dgates.row(b);
+    for (int j = 0; j < 4 * h; ++j) grads->bias[j] += dgrow[j];
+  }
+
+  // Input and recurrent gradients: dx = dG Wx^T, dh_prev = dG Wh^T.
+  *dx = MatMulTransposed(dgates, params_.wx);
+  Matrix dh_prev = MatMulTransposed(dgates, params_.wh);
+
+  // Masked rows keep their incoming dh/dc (state passed through in
+  // forward), active rows take the recurrent gradient.
+  for (size_t b = 0; b < batch; ++b) {
+    if (mask[b] == 0.0) {
+      double* dxrow = dx->row(b);
+      for (int j = 0; j < input_size_; ++j) dxrow[j] = 0.0;
+      continue;  // dh, dc untouched
+    }
+    double* dhrow = dh->row(b);
+    const double* dprow = dh_prev.row(b);
+    for (int j = 0; j < h; ++j) dhrow[j] = dprow[j];
+  }
+}
+
+long long LstmCell::NumParameters() const {
+  return static_cast<long long>(params_.wx.size()) +
+         static_cast<long long>(params_.wh.size()) +
+         static_cast<long long>(params_.bias.size());
+}
+
+}  // namespace hlm::models

@@ -1,0 +1,77 @@
+#ifndef HLM_MODELS_LSTM_CELL_H_
+#define HLM_MODELS_LSTM_CELL_H_
+
+#include <vector>
+
+#include "math/matrix.h"
+#include "math/rng.h"
+
+namespace hlm::models {
+
+/// Parameters of one LSTM layer. Gate blocks are packed [i f g o] along
+/// the 4H axis (input, forget, cell candidate, output).
+struct LstmCellParams {
+  Matrix wx;                  // input_size x 4H
+  Matrix wh;                  // H x 4H
+  std::vector<double> bias;   // 4H; forget-gate block initialized to 1
+
+  void Init(int input_size, int hidden_size, Rng* rng);
+};
+
+/// Gradients matching LstmCellParams.
+struct LstmCellGrads {
+  Matrix wx;
+  Matrix wh;
+  std::vector<double> bias;
+
+  void ZeroLike(const LstmCellParams& params);
+};
+
+/// Everything the backward pass needs from one forward timestep over a
+/// batch of B rows.
+struct LstmStepCache {
+  Matrix x;        // B x input_size
+  Matrix h_prev;   // B x H
+  Matrix c_prev;   // B x H
+  Matrix gates;    // B x 4H, post-activation
+  Matrix c;        // B x H
+  Matrix h;        // B x H
+};
+
+/// One LSTM layer operating on batches: rows with mask 0 carry their
+/// previous state through unchanged (right-padding of shorter
+/// sequences).
+class LstmCell {
+ public:
+  LstmCell(int input_size, int hidden_size, Rng* rng);
+
+  int input_size() const { return input_size_; }
+  int hidden_size() const { return hidden_size_; }
+
+  LstmCellParams& params() { return params_; }
+  const LstmCellParams& params() const { return params_; }
+
+  /// Forward one timestep; fills `cache` (including h and c outputs).
+  void Forward(const Matrix& x, const Matrix& h_prev, const Matrix& c_prev,
+               const std::vector<double>& mask, LstmStepCache* cache) const;
+
+  /// Backward one timestep. On entry dh/dc hold the gradients flowing
+  /// into this step's h and c outputs; on exit they hold gradients for
+  /// h_prev and c_prev. dx receives the input gradient (resized).
+  /// Parameter gradients accumulate into `grads`.
+  void Backward(const LstmStepCache& cache, const std::vector<double>& mask,
+                Matrix* dh, Matrix* dc, Matrix* dx,
+                LstmCellGrads* grads) const;
+
+  /// Total number of scalar parameters.
+  long long NumParameters() const;
+
+ private:
+  int input_size_;
+  int hidden_size_;
+  LstmCellParams params_;
+};
+
+}  // namespace hlm::models
+
+#endif  // HLM_MODELS_LSTM_CELL_H_

@@ -1,0 +1,655 @@
+#include "models/lstm_lm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <numeric>
+
+#include "common/logging.h"
+#include "models/adam.h"
+#include "models/perplexity.h"
+
+namespace hlm::models {
+
+struct LstmLanguageModel::OptState {
+  AdamState embedding;
+  std::vector<AdamState> cell_wx;
+  std::vector<AdamState> cell_wh;
+  std::vector<AdamState> cell_bias;
+  AdamState w_out;
+  AdamState b_out;
+
+  OptState(size_t emb, const std::vector<LstmCell>& cells, size_t wout,
+           size_t bout)
+      : embedding(emb), w_out(wout), b_out(bout) {
+    for (const LstmCell& cell : cells) {
+      cell_wx.emplace_back(cell.params().wx.size());
+      cell_wh.emplace_back(cell.params().wh.size());
+      cell_bias.emplace_back(cell.params().bias.size());
+    }
+  }
+};
+
+/// Per-batch forward state retained for BPTT.
+struct LstmLanguageModel::BatchCache {
+  std::vector<const TokenSequence*> sequences;
+  size_t batch = 0;
+  int max_len = 0;
+  // [t] -> per-layer step caches.
+  std::vector<std::vector<LstmStepCache>> steps;
+  // [t] -> B mask of active rows.
+  std::vector<std::vector<double>> masks;
+  // [t][layer] -> dropout mask applied to that layer's output (B x H);
+  // empty when dropout is off.
+  std::vector<std::vector<Matrix>> dropout_masks;
+  // [t] -> softmax probabilities (B x V) and input embedding ids (B).
+  std::vector<Matrix> probs;
+  std::vector<std::vector<int>> input_rows;  // embedding row per b, t
+  long long active_tokens = 0;
+};
+
+LstmLanguageModel::LstmLanguageModel(int vocab_size, LstmConfig config)
+    : vocab_size_(vocab_size), config_(config), rng_(config.seed) {
+  HLM_CHECK_GT(vocab_size_, 0);
+  HLM_CHECK_GT(config_.hidden_size, 0);
+  HLM_CHECK_GT(config_.num_layers, 0);
+  HLM_CHECK_GE(config_.dropout, 0.0);
+  HLM_CHECK_LT(config_.dropout, 1.0);
+
+  const int e = config_.hidden_size;
+  embedding_ = Matrix::RandomUniform(vocab_size_ + 1, e, 0.08, &rng_);
+  for (int layer = 0; layer < config_.num_layers; ++layer) {
+    cells_.emplace_back(e, config_.hidden_size, &rng_);
+  }
+  double scale = std::sqrt(6.0 / (config_.hidden_size + vocab_size_));
+  w_out_ = Matrix::RandomUniform(config_.hidden_size, vocab_size_, scale,
+                                 &rng_);
+  b_out_.assign(vocab_size_, 0.0);
+
+  d_embedding_ = Matrix(embedding_.rows(), embedding_.cols(), 0.0);
+  d_cells_.resize(cells_.size());
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    d_cells_[i].ZeroLike(cells_[i].params());
+  }
+  d_w_out_ = Matrix(w_out_.rows(), w_out_.cols(), 0.0);
+  d_b_out_.assign(vocab_size_, 0.0);
+
+  opt_ = std::make_unique<OptState>(embedding_.size(), cells_, w_out_.size(),
+                                    b_out_.size());
+}
+
+LstmLanguageModel::~LstmLanguageModel() = default;
+
+std::string LstmLanguageModel::name() const {
+  return "lstm-" + std::to_string(config_.num_layers) + "x" +
+         std::to_string(config_.hidden_size);
+}
+
+void LstmLanguageModel::ForwardBatch(
+    const std::vector<const TokenSequence*>& batch, bool train_mode,
+    Rng* rng, BatchCache* cache, double* total_log_prob,
+    long long* num_tokens) const {
+  const size_t b_size = batch.size();
+  const int h = config_.hidden_size;
+  int max_len = 0;
+  for (const TokenSequence* seq : batch) {
+    max_len = std::max(max_len, static_cast<int>(seq->size()));
+  }
+
+  if (cache != nullptr) {
+    cache->sequences = batch;
+    cache->batch = b_size;
+    cache->max_len = max_len;
+    cache->steps.assign(max_len, {});
+    cache->masks.assign(max_len, {});
+    cache->dropout_masks.assign(max_len, {});
+    cache->probs.assign(max_len, Matrix());
+    cache->input_rows.assign(max_len, {});
+    cache->active_tokens = 0;
+  }
+
+  std::vector<Matrix> hidden(cells_.size(), Matrix(b_size, h, 0.0));
+  std::vector<Matrix> cell_state(cells_.size(), Matrix(b_size, h, 0.0));
+
+  double log_prob = 0.0;
+  long long tokens = 0;
+  const double keep = 1.0 - config_.dropout;
+
+  for (int t = 0; t < max_len; ++t) {
+    std::vector<double> mask(b_size, 0.0);
+    std::vector<int> input_rows(b_size, vocab_size_);  // BOS row
+    for (size_t b = 0; b < b_size; ++b) {
+      if (t < static_cast<int>(batch[b]->size())) {
+        mask[b] = 1.0;
+        input_rows[b] = t == 0 ? vocab_size_ : (*batch[b])[t - 1];
+      }
+    }
+
+    // Embedding lookup.
+    Matrix x(b_size, h, 0.0);
+    for (size_t b = 0; b < b_size; ++b) {
+      if (mask[b] == 0.0) continue;
+      const double* row = embedding_.row(input_rows[b]);
+      double* xrow = x.row(b);
+      for (int j = 0; j < h; ++j) xrow[j] = row[j];
+    }
+
+    std::vector<LstmStepCache> local_steps(cells_.size());
+    std::vector<Matrix> local_dropout;
+    Matrix* layer_input = &x;
+    for (size_t layer = 0; layer < cells_.size(); ++layer) {
+      LstmStepCache& step = local_steps[layer];
+      cells_[layer].Forward(*layer_input, hidden[layer], cell_state[layer],
+                            mask, &step);
+      hidden[layer] = step.h;
+      cell_state[layer] = step.c;
+      if (train_mode && config_.dropout > 0.0) {
+        Matrix dmask(b_size, h);
+        for (size_t i = 0; i < dmask.size(); ++i) {
+          dmask.data()[i] = rng->NextBernoulli(keep) ? 1.0 / keep : 0.0;
+        }
+        for (size_t i = 0; i < dmask.size(); ++i) {
+          hidden[layer].data()[i] *= dmask.data()[i];
+        }
+        local_dropout.push_back(std::move(dmask));
+      }
+      layer_input = &hidden[layer];
+    }
+
+    // Softmax over the (possibly dropped-out) top hidden state.
+    Matrix logits = MatMul(hidden.back(), w_out_);
+    for (size_t b = 0; b < b_size; ++b) {
+      double* lrow = logits.row(b);
+      for (int v = 0; v < vocab_size_; ++v) lrow[v] += b_out_[v];
+    }
+    for (size_t b = 0; b < b_size; ++b) {
+      if (mask[b] == 0.0) continue;
+      double* lrow = logits.row(b);
+      double max_logit = lrow[0];
+      for (int v = 1; v < vocab_size_; ++v) {
+        max_logit = std::max(max_logit, lrow[v]);
+      }
+      double sum = 0.0;
+      for (int v = 0; v < vocab_size_; ++v) {
+        lrow[v] = std::exp(lrow[v] - max_logit);
+        sum += lrow[v];
+      }
+      for (int v = 0; v < vocab_size_; ++v) lrow[v] /= sum;
+      Token target = (*batch[b])[t];
+      log_prob += std::log(std::max(lrow[target], 1e-12));
+      ++tokens;
+    }
+
+    if (cache != nullptr) {
+      cache->steps[t] = std::move(local_steps);
+      cache->masks[t] = std::move(mask);
+      cache->dropout_masks[t] = std::move(local_dropout);
+      cache->probs[t] = std::move(logits);
+      cache->input_rows[t] = std::move(input_rows);
+    }
+  }
+
+  if (cache != nullptr) cache->active_tokens = tokens;
+  if (total_log_prob != nullptr) *total_log_prob = log_prob;
+  if (num_tokens != nullptr) *num_tokens = tokens;
+}
+
+void LstmLanguageModel::BackwardBatch(const BatchCache& cache) {
+  const size_t b_size = cache.batch;
+  const int h = config_.hidden_size;
+  const double inv_tokens =
+      1.0 / static_cast<double>(std::max<long long>(1, cache.active_tokens));
+
+  std::vector<Matrix> dh(cells_.size(), Matrix(b_size, h, 0.0));
+  std::vector<Matrix> dc(cells_.size(), Matrix(b_size, h, 0.0));
+
+  for (int t = cache.max_len - 1; t >= 0; --t) {
+    const std::vector<double>& mask = cache.masks[t];
+
+    // dlogits = softmax - onehot(target), averaged over active tokens.
+    Matrix dlogits = cache.probs[t];
+    for (size_t b = 0; b < b_size; ++b) {
+      double* drow = dlogits.row(b);
+      if (mask[b] == 0.0) {
+        for (int v = 0; v < vocab_size_; ++v) drow[v] = 0.0;
+        continue;
+      }
+      Token target = (*cache.sequences[b])[t];
+      drow[target] -= 1.0;
+      for (int v = 0; v < vocab_size_; ++v) drow[v] *= inv_tokens;
+    }
+
+    // Output layer gradients. The top hidden state that fed the softmax
+    // is the post-dropout one: h_top_dropped = step.h * dropout_mask.
+    const LstmStepCache& top_step = cache.steps[t].back();
+    Matrix h_top = top_step.h;
+    const bool has_dropout = !cache.dropout_masks[t].empty();
+    if (has_dropout) {
+      const Matrix& dmask = cache.dropout_masks[t].back();
+      for (size_t i = 0; i < h_top.size(); ++i) {
+        h_top.data()[i] *= dmask.data()[i];
+      }
+    }
+    MatTransposeMulAccumulate(h_top, dlogits, &d_w_out_);
+    for (size_t b = 0; b < b_size; ++b) {
+      const double* drow = dlogits.row(b);
+      for (int v = 0; v < vocab_size_; ++v) d_b_out_[v] += drow[v];
+    }
+
+    // Gradient into the top layer's (post-dropout) output, plus whatever
+    // flowed back from step t+1 (already in dh).
+    Matrix dtop = MatMulTransposed(dlogits, w_out_);
+    if (has_dropout) {
+      const Matrix& dmask = cache.dropout_masks[t].back();
+      for (size_t i = 0; i < dtop.size(); ++i) {
+        dtop.data()[i] *= dmask.data()[i];
+      }
+    }
+    dh.back() += dtop;
+
+    // Backward through the stack.
+    Matrix dx;
+    for (int layer = static_cast<int>(cells_.size()) - 1; layer >= 0;
+         --layer) {
+      cells_[layer].Backward(cache.steps[t][layer], mask, &dh[layer],
+                             &dc[layer], &dx, &d_cells_[layer]);
+      if (layer > 0) {
+        // dx is the gradient on the (post-dropout) output of layer-1.
+        if (has_dropout) {
+          const Matrix& dmask = cache.dropout_masks[t][layer - 1];
+          for (size_t i = 0; i < dx.size(); ++i) {
+            dx.data()[i] *= dmask.data()[i];
+          }
+        }
+        dh[layer - 1] += dx;
+      } else {
+        // Embedding gradient.
+        for (size_t b = 0; b < b_size; ++b) {
+          if (mask[b] == 0.0) continue;
+          double* erow = d_embedding_.row(cache.input_rows[t][b]);
+          const double* dxrow = dx.row(b);
+          for (int j = 0; j < h; ++j) erow[j] += dxrow[j];
+        }
+      }
+    }
+  }
+}
+
+void LstmLanguageModel::ApplyUpdate() {
+  // Global-norm clip across every gradient tensor.
+  double norm_sq = 0.0;
+  auto accumulate = [&norm_sq](const double* data, size_t n) {
+    for (size_t i = 0; i < n; ++i) norm_sq += data[i] * data[i];
+  };
+  accumulate(d_embedding_.data(), d_embedding_.size());
+  for (const LstmCellGrads& g : d_cells_) {
+    accumulate(g.wx.data(), g.wx.size());
+    accumulate(g.wh.data(), g.wh.size());
+    accumulate(g.bias.data(), g.bias.size());
+  }
+  accumulate(d_w_out_.data(), d_w_out_.size());
+  accumulate(d_b_out_.data(), d_b_out_.size());
+
+  double scale = 1.0;
+  double norm = std::sqrt(norm_sq);
+  if (config_.grad_clip > 0.0 && norm > config_.grad_clip) {
+    scale = config_.grad_clip / norm;
+  }
+  if (scale != 1.0) {
+    d_embedding_ *= scale;
+    for (LstmCellGrads& g : d_cells_) {
+      g.wx *= scale;
+      g.wh *= scale;
+      for (double& b : g.bias) b *= scale;
+    }
+    d_w_out_ *= scale;
+    for (double& b : d_b_out_) b *= scale;
+  }
+
+  ++global_step_;
+  const double lr = config_.learning_rate;
+  opt_->embedding.Update(embedding_.data(), d_embedding_.data(),
+                         embedding_.size(), lr, global_step_);
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    LstmCellParams& p = cells_[i].params();
+    opt_->cell_wx[i].Update(p.wx.data(), d_cells_[i].wx.data(), p.wx.size(),
+                            lr, global_step_);
+    opt_->cell_wh[i].Update(p.wh.data(), d_cells_[i].wh.data(), p.wh.size(),
+                            lr, global_step_);
+    opt_->cell_bias[i].Update(p.bias.data(), d_cells_[i].bias.data(),
+                              p.bias.size(), lr, global_step_);
+  }
+  opt_->w_out.Update(w_out_.data(), d_w_out_.data(), w_out_.size(), lr,
+                     global_step_);
+  opt_->b_out.Update(b_out_.data(), d_b_out_.data(), b_out_.size(), lr,
+                     global_step_);
+
+  // Zero gradients for the next batch.
+  d_embedding_.Fill(0.0);
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    d_cells_[i].ZeroLike(cells_[i].params());
+  }
+  d_w_out_.Fill(0.0);
+  for (double& b : d_b_out_) b = 0.0;
+}
+
+std::vector<LstmLanguageModel::EpochStats> LstmLanguageModel::Train(
+    const std::vector<TokenSequence>& train,
+    const std::vector<TokenSequence>& valid) {
+  // Sort by descending length so batches have little padding waste.
+  std::vector<int> order;
+  for (size_t i = 0; i < train.size(); ++i) {
+    if (!train[i].empty()) order.push_back(static_cast<int>(i));
+  }
+  std::sort(order.begin(), order.end(), [&train](int a, int b) {
+    return train[a].size() > train[b].size();
+  });
+
+  std::vector<std::vector<const TokenSequence*>> batches;
+  for (size_t start = 0; start < order.size();
+       start += config_.batch_size) {
+    std::vector<const TokenSequence*> batch;
+    size_t end = std::min(order.size(),
+                          start + static_cast<size_t>(config_.batch_size));
+    for (size_t i = start; i < end; ++i) batch.push_back(&train[order[i]]);
+    batches.push_back(std::move(batch));
+  }
+
+  std::vector<EpochStats> history;
+  double best_valid = 1e300;
+  int epochs_since_best = 0;
+
+  // Snapshot for early-stopping restoration.
+  Matrix best_embedding = embedding_;
+  std::vector<LstmCellParams> best_cells;
+  for (const LstmCell& cell : cells_) best_cells.push_back(cell.params());
+  Matrix best_w_out = w_out_;
+  std::vector<double> best_b_out = b_out_;
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    // Shuffle batch order (keeps intra-batch length homogeneity).
+    rng_.Shuffle(&batches);
+    double epoch_log_prob = 0.0;
+    long long epoch_tokens = 0;
+    for (auto& batch : batches) {
+      BatchCache cache;
+      double log_prob = 0.0;
+      long long tokens = 0;
+      ForwardBatch(batch, /*train_mode=*/true, &rng_, &cache, &log_prob,
+                   &tokens);
+      epoch_log_prob += log_prob;
+      epoch_tokens += tokens;
+      BackwardBatch(cache);
+      ApplyUpdate();
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_perplexity =
+        epoch_tokens == 0
+            ? 1.0
+            : std::exp(-epoch_log_prob / static_cast<double>(epoch_tokens));
+    stats.valid_perplexity = valid.empty() ? 0.0 : Perplexity(valid);
+    history.push_back(stats);
+
+    if (!valid.empty()) {
+      if (stats.valid_perplexity < best_valid) {
+        best_valid = stats.valid_perplexity;
+        epochs_since_best = 0;
+        best_embedding = embedding_;
+        for (size_t i = 0; i < cells_.size(); ++i) {
+          best_cells[i] = cells_[i].params();
+        }
+        best_w_out = w_out_;
+        best_b_out = b_out_;
+      } else {
+        ++epochs_since_best;
+        if (config_.patience > 0 && epochs_since_best >= config_.patience) {
+          break;
+        }
+      }
+    }
+  }
+
+  // Restore the best-validation parameters only when early stopping is
+  // enabled; with patience == 0 we keep the final epoch (the paper's
+  // fixed-14-epoch protocol).
+  if (config_.patience > 0 && !valid.empty() && best_valid < 1e300) {
+    embedding_ = std::move(best_embedding);
+    for (size_t i = 0; i < cells_.size(); ++i) {
+      cells_[i].params() = best_cells[i];
+    }
+    w_out_ = std::move(best_w_out);
+    b_out_ = std::move(best_b_out);
+  }
+  return history;
+}
+
+double LstmLanguageModel::Perplexity(
+    const std::vector<TokenSequence>& sequences) const {
+  PerplexityAccumulator acc;
+  std::vector<const TokenSequence*> batch;
+  auto flush = [this, &acc, &batch]() {
+    if (batch.empty()) return;
+    double log_prob = 0.0;
+    long long tokens = 0;
+    ForwardBatch(batch, /*train_mode=*/false, nullptr, nullptr, &log_prob,
+                 &tokens);
+    acc.AddMany(log_prob, tokens);
+    batch.clear();
+  };
+  for (const TokenSequence& sequence : sequences) {
+    if (sequence.empty()) continue;
+    batch.push_back(&sequence);
+    if (static_cast<int>(batch.size()) >= config_.batch_size) flush();
+  }
+  flush();
+  return acc.Perplexity();
+}
+
+std::vector<double> LstmLanguageModel::NextProductDistribution(
+    const TokenSequence& history) const {
+  const int h = config_.hidden_size;
+  std::vector<Matrix> hidden(cells_.size(), Matrix(1, h, 0.0));
+  std::vector<Matrix> cell_state(cells_.size(), Matrix(1, h, 0.0));
+  std::vector<double> mask{1.0};
+
+  // Consume BOS + history, then read the distribution after the last
+  // input.
+  for (size_t t = 0; t <= history.size(); ++t) {
+    int row = t == 0 ? vocab_size_ : history[t - 1];
+    Matrix x(1, h);
+    const double* erow = embedding_.row(row);
+    for (int j = 0; j < h; ++j) x(0, j) = erow[j];
+    const Matrix* input = &x;
+    for (size_t layer = 0; layer < cells_.size(); ++layer) {
+      LstmStepCache step;
+      cells_[layer].Forward(*input, hidden[layer], cell_state[layer], mask,
+                            &step);
+      hidden[layer] = std::move(step.h);
+      cell_state[layer] = std::move(step.c);
+      input = &hidden[layer];
+    }
+  }
+
+  std::vector<double> logits(vocab_size_, 0.0);
+  const double* top = hidden.back().row(0);
+  for (int v = 0; v < vocab_size_; ++v) {
+    double sum = b_out_[v];
+    for (int j = 0; j < h; ++j) sum += top[j] * w_out_(j, v);
+    logits[v] = sum;
+  }
+  // Softmax.
+  double max_logit = *std::max_element(logits.begin(), logits.end());
+  double total = 0.0;
+  for (double& v : logits) {
+    v = std::exp(v - max_logit);
+    total += v;
+  }
+  for (double& v : logits) v /= total;
+  // Recommender calibration shared by every model: a product appears at
+  // most once, so condition on "not owned yet" (the trained network
+  // already puts little mass there; this removes the remainder).
+  double kept = 0.0;
+  for (Token owned : history) {
+    if (owned >= 0 && owned < vocab_size_) {
+      kept += logits[owned];
+      logits[owned] = 0.0;
+    }
+  }
+  if (kept < 1.0) {
+    double scale = 1.0 / (1.0 - kept);
+    for (double& v : logits) v *= scale;
+  }
+  return logits;
+}
+
+std::vector<std::vector<double>> LstmLanguageModel::ProductEmbeddings()
+    const {
+  std::vector<std::vector<double>> embeddings(
+      vocab_size_, std::vector<double>(config_.hidden_size, 0.0));
+  for (int v = 0; v < vocab_size_; ++v) {
+    const double* row = embedding_.row(v);
+    for (int j = 0; j < config_.hidden_size; ++j) embeddings[v][j] = row[j];
+  }
+  return embeddings;
+}
+
+std::vector<double> LstmLanguageModel::CompanyEmbedding(
+    const TokenSequence& sequence) const {
+  const int h = config_.hidden_size;
+  std::vector<Matrix> hidden(cells_.size(), Matrix(1, h, 0.0));
+  std::vector<Matrix> cell_state(cells_.size(), Matrix(1, h, 0.0));
+  std::vector<double> mask{1.0};
+  for (size_t t = 0; t <= sequence.size(); ++t) {
+    int row = t == 0 ? vocab_size_ : sequence[t - 1];
+    Matrix x(1, h);
+    const double* erow = embedding_.row(row);
+    for (int j = 0; j < h; ++j) x(0, j) = erow[j];
+    const Matrix* input = &x;
+    for (size_t layer = 0; layer < cells_.size(); ++layer) {
+      LstmStepCache step;
+      cells_[layer].Forward(*input, hidden[layer], cell_state[layer], mask,
+                            &step);
+      hidden[layer] = std::move(step.h);
+      cell_state[layer] = std::move(step.c);
+      input = &hidden[layer];
+    }
+  }
+  const double* top = hidden.back().row(0);
+  return std::vector<double>(top, top + h);
+}
+
+namespace {
+
+void WriteMatrix(std::ostream& out, const Matrix& m) {
+  out << m.rows() << ' ' << m.cols() << '\n';
+  for (size_t i = 0; i < m.size(); ++i) {
+    if (i > 0) out << ' ';
+    out << m.data()[i];
+  }
+  out << '\n';
+}
+
+bool ReadMatrix(std::istream& in, Matrix* m) {
+  size_t rows = 0, cols = 0;
+  in >> rows >> cols;
+  if (!in || rows == 0 || cols == 0 || rows * cols > (1u << 28)) {
+    return false;
+  }
+  *m = Matrix(rows, cols);
+  for (size_t i = 0; i < m->size(); ++i) in >> m->data()[i];
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status LstmLanguageModel::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open for write: " + path);
+  out.precision(17);
+  out << "hlm-lstm 1\n";
+  out << vocab_size_ << ' ' << config_.hidden_size << ' '
+      << config_.num_layers << ' ' << config_.dropout << ' '
+      << config_.learning_rate << ' ' << config_.epochs << ' '
+      << config_.batch_size << ' ' << config_.grad_clip << ' '
+      << config_.patience << ' ' << config_.seed << '\n';
+  WriteMatrix(out, embedding_);
+  for (const LstmCell& cell : cells_) {
+    WriteMatrix(out, cell.params().wx);
+    WriteMatrix(out, cell.params().wh);
+    out << cell.params().bias.size() << '\n';
+    for (size_t i = 0; i < cell.params().bias.size(); ++i) {
+      if (i > 0) out << ' ';
+      out << cell.params().bias[i];
+    }
+    out << '\n';
+  }
+  WriteMatrix(out, w_out_);
+  out << b_out_.size() << '\n';
+  for (size_t i = 0; i < b_out_.size(); ++i) {
+    if (i > 0) out << ' ';
+    out << b_out_[i];
+  }
+  out << '\n';
+  if (!out) return Status::DataLoss("short write: " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<LstmLanguageModel>> LstmLanguageModel::LoadFromFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (magic != "hlm-lstm" || version != 1) {
+    return Status::DataLoss("not an hlm-lstm v1 file: " + path);
+  }
+  int vocab = 0;
+  LstmConfig config;
+  in >> vocab >> config.hidden_size >> config.num_layers >>
+      config.dropout >> config.learning_rate >> config.epochs >>
+      config.batch_size >> config.grad_clip >> config.patience >>
+      config.seed;
+  if (!in || vocab <= 0) {
+    return Status::DataLoss("corrupt hlm-lstm header: " + path);
+  }
+  auto model = std::make_unique<LstmLanguageModel>(vocab, config);
+  if (!ReadMatrix(in, &model->embedding_)) {
+    return Status::DataLoss("truncated hlm-lstm file: " + path);
+  }
+  for (LstmCell& cell : model->cells_) {
+    size_t bias_size = 0;
+    if (!ReadMatrix(in, &cell.params().wx) ||
+        !ReadMatrix(in, &cell.params().wh)) {
+      return Status::DataLoss("truncated hlm-lstm file: " + path);
+    }
+    in >> bias_size;
+    if (!in || bias_size != cell.params().bias.size()) {
+      return Status::DataLoss("corrupt hlm-lstm bias block: " + path);
+    }
+    for (double& b : cell.params().bias) in >> b;
+  }
+  size_t out_bias = 0;
+  if (!ReadMatrix(in, &model->w_out_)) {
+    return Status::DataLoss("truncated hlm-lstm file: " + path);
+  }
+  in >> out_bias;
+  if (!in || out_bias != model->b_out_.size()) {
+    return Status::DataLoss("corrupt hlm-lstm output bias: " + path);
+  }
+  for (double& b : model->b_out_) in >> b;
+  if (!in) return Status::DataLoss("truncated hlm-lstm file: " + path);
+  return model;
+}
+
+long long LstmLanguageModel::NumParameters() const {
+  long long total = static_cast<long long>(embedding_.size());
+  for (const LstmCell& cell : cells_) total += cell.NumParameters();
+  total += static_cast<long long>(w_out_.size()) +
+           static_cast<long long>(b_out_.size());
+  return total;
+}
+
+}  // namespace hlm::models

@@ -1,0 +1,38 @@
+#ifndef HLM_MODELS_MODEL_H_
+#define HLM_MODELS_MODEL_H_
+
+#include <string>
+#include <vector>
+
+namespace hlm::models {
+
+/// Token alphabet: dense product-category ids [0, vocab_size). Sequences
+/// are the paper's AS_i (categories ordered by first appearance); sets
+/// are the paper's A_i (each owned category once, order irrelevant for
+/// set models).
+using Token = int;
+using TokenSequence = std::vector<Token>;
+
+/// A trained generative model viewed as a conditional product scorer:
+/// given the products a company acquired so far, the probability of each
+/// category being the next acquisition. This is the contract the paper's
+/// recommendation protocol (§4.3) evaluates every model through:
+/// recommend product p iff Pr(p | history, M) > phi.
+class ConditionalScorer {
+ public:
+  virtual ~ConditionalScorer() = default;
+
+  /// Probability distribution over the vocabulary for the next product
+  /// given `history` (may be empty). Entries sum to <= 1 (models may
+  /// reserve mass for an end-of-sequence event).
+  virtual std::vector<double> NextProductDistribution(
+      const TokenSequence& history) const = 0;
+
+  virtual int vocab_size() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace hlm::models
+
+#endif  // HLM_MODELS_MODEL_H_

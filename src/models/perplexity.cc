@@ -1,0 +1,32 @@
+#include "models/perplexity.h"
+
+#include <cmath>
+
+namespace hlm::models {
+
+double PerplexityAccumulator::Perplexity() const {
+  if (num_tokens_ == 0) return 1.0;
+  return std::exp(-total_log_prob_ / static_cast<double>(num_tokens_));
+}
+
+double SequencePerplexity(const ConditionalScorer& scorer,
+                          const std::vector<TokenSequence>& sequences,
+                          double floor_prob) {
+  PerplexityAccumulator acc;
+  TokenSequence history;
+  for (const TokenSequence& sequence : sequences) {
+    history.clear();
+    for (Token token : sequence) {
+      std::vector<double> dist = scorer.NextProductDistribution(history);
+      double p = token >= 0 && token < static_cast<int>(dist.size())
+                     ? dist[token]
+                     : 0.0;
+      if (p < floor_prob) p = floor_prob;
+      acc.Add(std::log(p));
+      history.push_back(token);
+    }
+  }
+  return acc.Perplexity();
+}
+
+}  // namespace hlm::models

@@ -1,0 +1,46 @@
+#ifndef HLM_MODELS_PERPLEXITY_H_
+#define HLM_MODELS_PERPLEXITY_H_
+
+#include <vector>
+
+#include "models/model.h"
+
+namespace hlm::models {
+
+/// Accumulates total log-likelihood and token count, yielding the paper's
+/// "average perplexity per product": exp(-1/n * sum ln P(a_i)).
+class PerplexityAccumulator {
+ public:
+  void Add(double log_prob) {
+    total_log_prob_ += log_prob;
+    ++num_tokens_;
+  }
+
+  void AddMany(double total_log_prob, long long num_tokens) {
+    total_log_prob_ += total_log_prob;
+    num_tokens_ += num_tokens;
+  }
+
+  long long num_tokens() const { return num_tokens_; }
+  double total_log_prob() const { return total_log_prob_; }
+
+  /// exp(-mean log prob); +inf-free: returns the vocab-uniform bound when
+  /// empty is impossible here, so empty simply yields 1.
+  double Perplexity() const;
+
+ private:
+  double total_log_prob_ = 0.0;
+  long long num_tokens_ = 0;
+};
+
+/// Perplexity of a ConditionalScorer over test sequences, scoring every
+/// token given its preceding history. Tokens with zero model probability
+/// are floored at `floor_prob` to keep the measure finite (matching the
+/// usual smoothing convention).
+double SequencePerplexity(const ConditionalScorer& scorer,
+                          const std::vector<TokenSequence>& sequences,
+                          double floor_prob = 1e-12);
+
+}  // namespace hlm::models
+
+#endif  // HLM_MODELS_PERPLEXITY_H_

@@ -1,0 +1,65 @@
+#include "models/sequence_tests.h"
+
+#include <map>
+#include <utility>
+
+#include "math/statistics.h"
+
+namespace hlm::models {
+
+SequentialityResult TestSequentiality(
+    const std::vector<TokenSequence>& sequences, int vocab_size,
+    double alpha) {
+  // Unigram token distribution (the i.i.d. null).
+  std::vector<long long> unigram(vocab_size, 0);
+  long long total_tokens = 0;
+  for (const TokenSequence& sequence : sequences) {
+    for (Token token : sequence) {
+      ++unigram[token];
+      ++total_tokens;
+    }
+  }
+  if (total_tokens == 0) return {};
+
+  std::vector<double> p(vocab_size, 0.0);
+  for (int t = 0; t < vocab_size; ++t) {
+    p[t] = static_cast<double>(unigram[t]) / static_cast<double>(total_tokens);
+  }
+
+  // Context totals and joint counts for depth-1 and depth-2 contexts.
+  std::map<Token, long long> context1_total;
+  std::map<std::pair<Token, Token>, long long> bigram_counts;
+  std::map<std::pair<Token, Token>, long long> context2_total;
+  std::map<std::pair<std::pair<Token, Token>, Token>, long long> trigram_counts;
+
+  for (const TokenSequence& sequence : sequences) {
+    for (size_t i = 1; i < sequence.size(); ++i) {
+      Token prev = sequence[i - 1];
+      Token curr = sequence[i];
+      ++context1_total[prev];
+      ++bigram_counts[{prev, curr}];
+      if (i >= 2) {
+        std::pair<Token, Token> context{sequence[i - 2], prev};
+        ++context2_total[context];
+        ++trigram_counts[{context, curr}];
+      }
+    }
+  }
+
+  SequentialityResult result;
+  for (const auto& [bigram, count] : bigram_counts) {
+    long long context_count = context1_total[bigram.first];
+    double p_value = BinomialTestPValue(count, context_count, p[bigram.second]);
+    ++result.bigrams_tested;
+    if (p_value < alpha) ++result.bigrams_significant;
+  }
+  for (const auto& [trigram, count] : trigram_counts) {
+    long long context_count = context2_total[trigram.first];
+    double p_value = BinomialTestPValue(count, context_count, p[trigram.second]);
+    ++result.trigrams_tested;
+    if (p_value < alpha) ++result.trigrams_significant;
+  }
+  return result;
+}
+
+}  // namespace hlm::models

@@ -1,0 +1,44 @@
+#ifndef HLM_MODELS_SEQUENCE_TESTS_H_
+#define HLM_MODELS_SEQUENCE_TESTS_H_
+
+#include <vector>
+
+#include "models/model.h"
+
+namespace hlm::models {
+
+/// Outcome of the paper's sequential-nature hypothesis test (§5): for
+/// every observed bigram (a,b), test whether b follows a significantly
+/// more often than an i.i.d. product stream would produce (the count of b
+/// after a is Binomial(count(a as context), p(b)) under the null);
+/// likewise for trigrams with context (a,b). The paper reports 69% of
+/// bigrams and 43% of trigrams significant.
+struct SequentialityResult {
+  long long bigrams_tested = 0;
+  long long bigrams_significant = 0;
+  long long trigrams_tested = 0;
+  long long trigrams_significant = 0;
+
+  double bigram_fraction() const {
+    return bigrams_tested == 0
+               ? 0.0
+               : static_cast<double>(bigrams_significant) /
+                     static_cast<double>(bigrams_tested);
+  }
+  double trigram_fraction() const {
+    return trigrams_tested == 0
+               ? 0.0
+               : static_cast<double>(trigrams_significant) /
+                     static_cast<double>(trigrams_tested);
+  }
+};
+
+/// Runs the binomial significance test at level `alpha` over all distinct
+/// bigrams/trigrams occurring in `sequences`.
+SequentialityResult TestSequentiality(
+    const std::vector<TokenSequence>& sequences, int vocab_size,
+    double alpha = 0.05);
+
+}  // namespace hlm::models
+
+#endif  // HLM_MODELS_SEQUENCE_TESTS_H_

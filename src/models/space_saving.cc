@@ -1,0 +1,51 @@
+#include "models/space_saving.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace hlm::models {
+
+SpaceSavingSketch::SpaceSavingSketch(size_t capacity) : capacity_(capacity) {
+  HLM_CHECK_GT(capacity_, 0u);
+}
+
+void SpaceSavingSketch::Observe(Token item, long long weight) {
+  total_ += weight;
+  auto it = counts_.find(item);
+  if (it != counts_.end()) {
+    it->second.count += weight;
+    return;
+  }
+  if (counts_.size() < capacity_) {
+    counts_[item] = Entry{item, weight, 0};
+    return;
+  }
+  // Evict the minimum-count entry; the newcomer inherits its count as the
+  // classic SpaceSaving over-estimate.
+  auto min_it = counts_.begin();
+  for (auto cursor = counts_.begin(); cursor != counts_.end(); ++cursor) {
+    if (cursor->second.count < min_it->second.count) min_it = cursor;
+  }
+  long long inherited = min_it->second.count;
+  counts_.erase(min_it);
+  counts_[item] = Entry{item, inherited + weight, inherited};
+  min_count_ = std::max(min_count_, inherited);
+}
+
+long long SpaceSavingSketch::EstimatedCount(Token item) const {
+  auto it = counts_.find(item);
+  return it == counts_.end() ? 0 : it->second.count;
+}
+
+std::vector<SpaceSavingSketch::Entry> SpaceSavingSketch::HeavyHitters() const {
+  std::vector<Entry> entries;
+  entries.reserve(counts_.size());
+  for (const auto& [item, entry] : counts_) entries.push_back(entry);
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.count > b.count; });
+  return entries;
+}
+
+}  // namespace hlm::models

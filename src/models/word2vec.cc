@@ -1,0 +1,161 @@
+#include "models/word2vec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "math/rng.h"
+#include "math/vector_ops.h"
+
+namespace hlm::models {
+
+namespace {
+
+inline double Sigmoid(double x) {
+  if (x > 30.0) return 1.0;
+  if (x < -30.0) return 0.0;
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+}  // namespace
+
+Word2VecModel::Word2VecModel(int vocab_size, Word2VecConfig config)
+    : vocab_size_(vocab_size), config_(config) {
+  HLM_CHECK_GT(vocab_size_, 0);
+  HLM_CHECK_GT(config_.dimensions, 0);
+  HLM_CHECK_GE(config_.window, 1);
+  HLM_CHECK_GE(config_.negative_samples, 1);
+}
+
+Status Word2VecModel::Train(const std::vector<TokenSequence>& sequences) {
+  if (trained_) return Status::FailedPrecondition("already trained");
+  long long total_tokens = 0;
+  std::vector<double> unigram(vocab_size_, 0.0);
+  for (const TokenSequence& sequence : sequences) {
+    for (Token t : sequence) {
+      if (t < 0 || t >= vocab_size_) {
+        return Status::OutOfRange("token out of vocabulary: " +
+                                  std::to_string(t));
+      }
+      unigram[t] += 1.0;
+      ++total_tokens;
+    }
+  }
+  if (total_tokens == 0) return Status::InvalidArgument("empty corpus");
+
+  // Negative-sampling weights ~ count^power.
+  std::vector<double> negative_weights(vocab_size_);
+  for (int t = 0; t < vocab_size_; ++t) {
+    negative_weights[t] = std::pow(unigram[t], config_.unigram_power);
+  }
+
+  Rng rng(config_.seed);
+  const int d = config_.dimensions;
+  input_vectors_.assign(vocab_size_, std::vector<double>(d));
+  output_vectors_.assign(vocab_size_, std::vector<double>(d, 0.0));
+  for (auto& row : input_vectors_) {
+    for (double& x : row) x = (rng.NextDouble() - 0.5) / d;
+  }
+
+  const long long total_pairs_estimate =
+      static_cast<long long>(config_.epochs) * total_tokens *
+      (2 * config_.window);
+  long long pairs_seen = 0;
+  std::vector<double> grad_center(d);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (const TokenSequence& sequence : sequences) {
+      const int len = static_cast<int>(sequence.size());
+      for (int center = 0; center < len; ++center) {
+        // Dynamic window shrink, as in the reference implementation.
+        int reduced = 1 + static_cast<int>(rng.NextBounded(config_.window));
+        for (int offset = -reduced; offset <= reduced; ++offset) {
+          int pos = center + offset;
+          if (offset == 0 || pos < 0 || pos >= len) continue;
+          const Token center_token = sequence[center];
+          const Token context_token = sequence[pos];
+
+          double progress = static_cast<double>(pairs_seen) /
+                            std::max<long long>(1, total_pairs_estimate);
+          double lr = config_.learning_rate *
+                      std::max(1e-4, 1.0 - progress);
+          ++pairs_seen;
+
+          std::fill(grad_center.begin(), grad_center.end(), 0.0);
+          std::vector<double>& center_vec = input_vectors_[center_token];
+
+          // One positive plus k negative updates.
+          for (int sample = 0; sample <= config_.negative_samples;
+               ++sample) {
+            Token target;
+            double label;
+            if (sample == 0) {
+              target = context_token;
+              label = 1.0;
+            } else {
+              target = static_cast<Token>(
+                  rng.NextCategorical(negative_weights));
+              if (target == context_token) continue;
+              label = 0.0;
+            }
+            std::vector<double>& target_vec = output_vectors_[target];
+            double dot = 0.0;
+            for (int j = 0; j < d; ++j) dot += center_vec[j] * target_vec[j];
+            double gradient = (label - Sigmoid(dot)) * lr;
+            for (int j = 0; j < d; ++j) {
+              grad_center[j] += gradient * target_vec[j];
+              target_vec[j] += gradient * center_vec[j];
+            }
+          }
+          for (int j = 0; j < d; ++j) center_vec[j] += grad_center[j];
+        }
+      }
+    }
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+const std::vector<double>& Word2VecModel::Embedding(Token product) const {
+  HLM_CHECK(trained_);
+  HLM_CHECK_GE(product, 0);
+  HLM_CHECK_LT(product, vocab_size_);
+  return input_vectors_[product];
+}
+
+double Word2VecModel::Similarity(Token a, Token b) const {
+  return CosineSimilarity(Embedding(a), Embedding(b));
+}
+
+std::vector<double> Word2VecModel::CompanyEmbedding(
+    const TokenSequence& products) const {
+  HLM_CHECK(trained_);
+  std::vector<double> pooled(config_.dimensions, 0.0);
+  if (products.empty()) return pooled;
+  for (Token t : products) AddScaled(&pooled, 1.0, Embedding(t));
+  for (double& x : pooled) x /= static_cast<double>(products.size());
+  return pooled;
+}
+
+std::vector<double> Word2VecModel::CompanyEmbeddingMeanVar(
+    const TokenSequence& products) const {
+  HLM_CHECK(trained_);
+  const int d = config_.dimensions;
+  std::vector<double> pooled(2 * d, 0.0);
+  if (products.empty()) return pooled;
+  std::vector<double> mean = CompanyEmbedding(products);
+  for (int j = 0; j < d; ++j) pooled[j] = mean[j];
+  for (Token t : products) {
+    const std::vector<double>& e = Embedding(t);
+    for (int j = 0; j < d; ++j) {
+      double delta = e[j] - mean[j];
+      pooled[d + j] += delta * delta;
+    }
+  }
+  for (int j = 0; j < d; ++j) {
+    pooled[d + j] /= static_cast<double>(products.size());
+  }
+  return pooled;
+}
+
+}  // namespace hlm::models

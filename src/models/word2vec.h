@@ -1,0 +1,71 @@
+#ifndef HLM_MODELS_WORD2VEC_H_
+#define HLM_MODELS_WORD2VEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "models/model.h"
+
+namespace hlm::models {
+
+/// Skip-gram-with-negative-sampling product embeddings (Mikolov et al.,
+/// the §3.4 alternative the paper discusses: learn product vectors from
+/// within-company co-occurrence, then aggregate them into company
+/// features). Contexts are windows over the time-sorted sequence AS_i,
+/// so products acquired close in time / topic land nearby.
+struct Word2VecConfig {
+  int dimensions = 16;
+  int window = 4;               // symmetric context window
+  int negative_samples = 5;     // negatives per positive pair
+  double learning_rate = 0.025; // linearly decayed to 1e-4 of itself
+  int epochs = 10;
+  /// Negative-sampling distribution exponent (0.75 in the original).
+  double unigram_power = 0.75;
+  uint64_t seed = 31;
+};
+
+class Word2VecModel {
+ public:
+  Word2VecModel(int vocab_size, Word2VecConfig config);
+
+  /// Trains SGNS on the product sequences. May be called once.
+  Status Train(const std::vector<TokenSequence>& sequences);
+
+  bool trained() const { return trained_; }
+  int vocab_size() const { return vocab_size_; }
+  int dimensions() const { return config_.dimensions; }
+
+  /// Input ("word") embedding of a product.
+  const std::vector<double>& Embedding(Token product) const;
+
+  /// All product embeddings, V x dimensions.
+  const std::vector<std::vector<double>>& embeddings() const {
+    return input_vectors_;
+  }
+
+  /// Cosine similarity between two products' embeddings.
+  double Similarity(Token a, Token b) const;
+
+  /// Mean-pooled company embedding over the owned products (the direct
+  /// aggregation of §3.4; an empty install base maps to the zero
+  /// vector).
+  std::vector<double> CompanyEmbedding(const TokenSequence& products) const;
+
+  /// Mean + element-wise-variance pooling (2*dimensions), a simplified
+  /// Fisher-vector-style aggregation (Clinchant & Perronnin, the
+  /// paper's [5]).
+  std::vector<double> CompanyEmbeddingMeanVar(
+      const TokenSequence& products) const;
+
+ private:
+  int vocab_size_;
+  Word2VecConfig config_;
+  bool trained_ = false;
+  std::vector<std::vector<double>> input_vectors_;   // V x D
+  std::vector<std::vector<double>> output_vectors_;  // V x D
+};
+
+}  // namespace hlm::models
+
+#endif  // HLM_MODELS_WORD2VEC_H_

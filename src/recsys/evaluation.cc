@@ -1,0 +1,150 @@
+#include "recsys/evaluation.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hlm::recsys {
+
+namespace {
+
+/// Per-(window, company) scored candidate set, computed once and swept
+/// across all thresholds.
+struct ScoredCompany {
+  std::vector<int> candidates;       // unowned products
+  std::vector<double> scores;        // aligned with candidates
+  std::vector<bool> in_truth;        // aligned with candidates
+  long long relevant = 0;            // ground-truth size for the company
+};
+
+std::vector<ThresholdEvaluation> SweepThresholds(
+    const std::vector<std::vector<ScoredCompany>>& per_window,
+    const RecommendationEvalConfig& config) {
+  std::vector<ThresholdEvaluation> evaluations;
+  evaluations.reserve(config.thresholds.size());
+  for (double threshold : config.thresholds) {
+    ThresholdEvaluation evaluation;
+    evaluation.threshold = threshold;
+    for (const auto& companies : per_window) {
+      WindowObservation observation;
+      for (const ScoredCompany& company : companies) {
+        observation.relevant += company.relevant;
+        for (size_t i = 0; i < company.candidates.size(); ++i) {
+          if (company.scores[i] > threshold) {
+            ++observation.retrieved;
+            if (company.in_truth[i]) ++observation.correct;
+          }
+        }
+      }
+      evaluation.windows.push_back(observation);
+    }
+
+    std::vector<double> precisions, recalls, f1s, retrieved, correct,
+        relevant;
+    for (const WindowObservation& obs : evaluation.windows) {
+      precisions.push_back(obs.precision());
+      recalls.push_back(obs.recall());
+      f1s.push_back(obs.f1());
+      retrieved.push_back(static_cast<double>(obs.retrieved));
+      correct.push_back(static_cast<double>(obs.correct));
+      relevant.push_back(static_cast<double>(obs.relevant));
+      if (obs.retrieved > 0) evaluation.any_retrieved = true;
+    }
+    evaluation.mean_precision = Mean(precisions);
+    evaluation.mean_recall = Mean(recalls);
+    evaluation.mean_f1 = Mean(f1s);
+    evaluation.precision_ci =
+        MeanConfidenceInterval(precisions, config.ci_level);
+    evaluation.recall_ci = MeanConfidenceInterval(recalls, config.ci_level);
+    evaluation.f1_ci = MeanConfidenceInterval(f1s, config.ci_level);
+    evaluation.mean_retrieved = Mean(retrieved);
+    evaluation.mean_correct = Mean(correct);
+    evaluation.mean_relevant = Mean(relevant);
+    evaluation.retrieved_ci =
+        MeanConfidenceInterval(retrieved, config.ci_level);
+    evaluation.correct_ci = MeanConfidenceInterval(correct, config.ci_level);
+    evaluations.push_back(std::move(evaluation));
+  }
+  return evaluations;
+}
+
+template <typename ScoreFn>
+std::vector<std::vector<ScoredCompany>> ScoreAllWindows(
+    const corpus::Corpus& corpus, const RecommendationEvalConfig& config,
+    const ScoreFn& score_company) {
+  std::vector<std::vector<ScoredCompany>> per_window;
+  for (const auto& window : config.protocol.Windows()) {
+    std::vector<ScoredCompany> companies;
+    for (int i = 0; i < corpus.num_companies(); ++i) {
+      const corpus::InstallBase& base = corpus.record(i).install_base;
+      corpus::InstallBase history = base.Before(window.start);
+      if (history.empty()) continue;  // nothing to condition on yet
+
+      std::vector<int> truth = base.AppearedIn(window.start, window.end);
+      ScoredCompany scored;
+      scored.relevant = static_cast<long long>(truth.size());
+
+      std::vector<double> dist = score_company(i, history);
+      for (int c = 0; c < corpus.num_categories(); ++c) {
+        if (history.Contains(c)) continue;  // never re-recommend owned
+        scored.candidates.push_back(c);
+        scored.scores.push_back(dist[c]);
+        scored.in_truth.push_back(std::find(truth.begin(), truth.end(), c) !=
+                                  truth.end());
+      }
+      companies.push_back(std::move(scored));
+    }
+    per_window.push_back(std::move(companies));
+  }
+  return per_window;
+}
+
+}  // namespace
+
+std::vector<double> DefaultThresholds() {
+  std::vector<double> thresholds;
+  for (int i = 0; i <= 8; ++i) thresholds.push_back(0.05 * i);
+  return thresholds;
+}
+
+std::vector<ThresholdEvaluation> EvaluateRecommender(
+    const models::ConditionalScorer& scorer, const corpus::Corpus& corpus,
+    const RecommendationEvalConfig& config) {
+  HLM_CHECK_EQ(scorer.vocab_size(), corpus.num_categories());
+  auto per_window = ScoreAllWindows(
+      corpus, config,
+      [&scorer](int /*company*/, const corpus::InstallBase& history) {
+        return scorer.NextProductDistribution(history.Sequence());
+      });
+  return SweepThresholds(per_window, config);
+}
+
+std::vector<ThresholdEvaluation> EvaluateScoreMatrix(
+    const Matrix& scores, const corpus::Corpus& corpus,
+    const RecommendationEvalConfig& config) {
+  HLM_CHECK_EQ(static_cast<int>(scores.rows()), corpus.num_companies());
+  HLM_CHECK_EQ(static_cast<int>(scores.cols()), corpus.num_categories());
+  auto per_window = ScoreAllWindows(
+      corpus, config,
+      [&scores, &corpus](int company, const corpus::InstallBase&) {
+        std::vector<double> dist(corpus.num_categories());
+        for (int c = 0; c < corpus.num_categories(); ++c) {
+          dist[c] = scores(company, c);
+        }
+        return dist;
+      });
+  return SweepThresholds(per_window, config);
+}
+
+std::vector<ThresholdEvaluation> EvaluateRandomBaseline(
+    const corpus::Corpus& corpus, const RecommendationEvalConfig& config) {
+  const double uniform = 1.0 / static_cast<double>(corpus.num_categories());
+  auto per_window = ScoreAllWindows(
+      corpus, config,
+      [&corpus, uniform](int, const corpus::InstallBase&) {
+        return std::vector<double>(corpus.num_categories(), uniform);
+      });
+  return SweepThresholds(per_window, config);
+}
+
+}  // namespace hlm::recsys

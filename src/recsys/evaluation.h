@@ -1,0 +1,93 @@
+#ifndef HLM_RECSYS_EVALUATION_H_
+#define HLM_RECSYS_EVALUATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/corpus.h"
+#include "math/matrix.h"
+#include "math/statistics.h"
+#include "models/model.h"
+#include "recsys/sliding_window.h"
+
+namespace hlm::recsys {
+
+/// Retrieval counts aggregated over one sliding window.
+struct WindowObservation {
+  long long retrieved = 0;   // products recommended (score > phi)
+  long long correct = 0;     // recommended AND acquired in the window
+  long long relevant = 0;    // acquired in the window (ground truth)
+
+  double precision() const {
+    return retrieved == 0 ? 0.0
+                          : static_cast<double>(correct) /
+                                static_cast<double>(retrieved);
+  }
+  double recall() const {
+    return relevant == 0 ? 0.0
+                         : static_cast<double>(correct) /
+                               static_cast<double>(relevant);
+  }
+  double f1() const {
+    double p = precision();
+    double r = recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+/// One threshold's result: per-window observations plus cross-window
+/// means and 95% confidence intervals (the error bars of Figs. 3-4).
+struct ThresholdEvaluation {
+  double threshold = 0.0;
+  std::vector<WindowObservation> windows;
+
+  double mean_precision = 0.0;
+  double mean_recall = 0.0;
+  double mean_f1 = 0.0;
+  ConfidenceInterval precision_ci;
+  ConfidenceInterval recall_ci;
+  ConfidenceInterval f1_ci;
+
+  double mean_retrieved = 0.0;
+  double mean_correct = 0.0;
+  double mean_relevant = 0.0;
+  ConfidenceInterval retrieved_ci;
+  ConfidenceInterval correct_ci;
+
+  /// Whether any product was retrieved at this threshold (beyond some phi
+  /// the paper's models stop recommending; precision is then undefined).
+  bool any_retrieved = false;
+};
+
+struct RecommendationEvalConfig {
+  SlidingWindowProtocol protocol;
+  std::vector<double> thresholds;
+  double ci_level = 0.95;
+};
+
+/// Sweeps thresholds in Fig. 3's grid [0, 0.4] step 0.05 by default.
+std::vector<double> DefaultThresholds();
+
+/// Evaluates a conditional scorer under the sliding-window protocol.
+/// For every window and company with non-empty history before the window
+/// start, the model scores every *unowned* product once; each threshold
+/// then counts products whose score exceeds it. The model itself is
+/// trained once by the caller on pre-protocol data (see EXPERIMENTS.md
+/// for the deviation note vs. per-window retraining).
+std::vector<ThresholdEvaluation> EvaluateRecommender(
+    const models::ConditionalScorer& scorer, const corpus::Corpus& corpus,
+    const RecommendationEvalConfig& config);
+
+/// Same protocol for a static score matrix (BPMF): scores_(i, j) is the
+/// recommendation score of product j for company i.
+std::vector<ThresholdEvaluation> EvaluateScoreMatrix(
+    const Matrix& scores, const corpus::Corpus& corpus,
+    const RecommendationEvalConfig& config);
+
+/// The paper's random baseline: every unowned product scores 1/M.
+std::vector<ThresholdEvaluation> EvaluateRandomBaseline(
+    const corpus::Corpus& corpus, const RecommendationEvalConfig& config);
+
+}  // namespace hlm::recsys
+
+#endif  // HLM_RECSYS_EVALUATION_H_

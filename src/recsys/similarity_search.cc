@@ -1,0 +1,51 @@
+#include "recsys/similarity_search.h"
+
+#include <algorithm>
+
+namespace hlm::recsys {
+
+SimilaritySearch::SimilaritySearch(
+    std::vector<std::vector<double>> representations,
+    cluster::DistanceKind kind)
+    : representations_(std::move(representations)), kind_(kind) {}
+
+Result<std::vector<Neighbor>> SimilaritySearch::TopK(
+    int query_id, int k, const std::function<bool(int)>& filter) const {
+  if (query_id < 0 || query_id >= size()) {
+    return Status::OutOfRange("query company id out of range");
+  }
+  auto self_excluding_filter = [query_id, &filter](int candidate) {
+    if (candidate == query_id) return false;
+    return filter == nullptr || filter(candidate);
+  };
+  return TopKForVector(representations_[query_id], k, self_excluding_filter);
+}
+
+Result<std::vector<Neighbor>> SimilaritySearch::TopKForVector(
+    const std::vector<double>& query, int k,
+    const std::function<bool(int)>& filter) const {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (!representations_.empty() &&
+      query.size() != representations_[0].size()) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  std::vector<Neighbor> neighbors;
+  neighbors.reserve(representations_.size());
+  for (int i = 0; i < size(); ++i) {
+    if (filter != nullptr && !filter(i)) continue;
+    neighbors.push_back(
+        Neighbor{i, cluster::Distance(kind_, query, representations_[i])});
+  }
+  size_t keep = std::min<size_t>(k, neighbors.size());
+  std::partial_sort(neighbors.begin(), neighbors.begin() + keep,
+                    neighbors.end(),
+                    [](const Neighbor& a, const Neighbor& b) {
+                      return a.distance < b.distance ||
+                             (a.distance == b.distance &&
+                              a.company_id < b.company_id);
+                    });
+  neighbors.resize(keep);
+  return neighbors;
+}
+
+}  // namespace hlm::recsys

@@ -1,0 +1,51 @@
+#ifndef HLM_RECSYS_SIMILARITY_SEARCH_H_
+#define HLM_RECSYS_SIMILARITY_SEARCH_H_
+
+#include <functional>
+#include <vector>
+
+#include "cluster/distance.h"
+#include "common/status.h"
+
+namespace hlm::recsys {
+
+/// One similarity hit.
+struct Neighbor {
+  int company_id = -1;
+  double distance = 0.0;
+};
+
+/// Brute-force top-k nearest-company search over representation vectors
+/// (Eq. 5: dist(c_i, c_j) = d(B_i, B_j)). Company representations are
+/// fixed at construction; queries may be an existing company or an
+/// arbitrary vector, with an optional filter predicate (the sales tool's
+/// industry/location/size filters plug in there).
+class SimilaritySearch {
+ public:
+  SimilaritySearch(std::vector<std::vector<double>> representations,
+                   cluster::DistanceKind kind);
+
+  int size() const { return static_cast<int>(representations_.size()); }
+
+  /// k nearest companies to company `query_id`, excluding itself.
+  Result<std::vector<Neighbor>> TopK(
+      int query_id, int k,
+      const std::function<bool(int)>& filter = nullptr) const;
+
+  /// k nearest companies to an arbitrary representation vector.
+  Result<std::vector<Neighbor>> TopKForVector(
+      const std::vector<double>& query, int k,
+      const std::function<bool(int)>& filter = nullptr) const;
+
+  const std::vector<double>& representation(int company_id) const {
+    return representations_[company_id];
+  }
+
+ private:
+  std::vector<std::vector<double>> representations_;
+  cluster::DistanceKind kind_;
+};
+
+}  // namespace hlm::recsys
+
+#endif  // HLM_RECSYS_SIMILARITY_SEARCH_H_

@@ -1,0 +1,18 @@
+#include "recsys/sliding_window.h"
+
+namespace hlm::recsys {
+
+std::vector<SlidingWindowProtocol::Window> SlidingWindowProtocol::Windows()
+    const {
+  std::vector<Window> windows;
+  windows.reserve(num_windows);
+  for (int w = 0; w < num_windows; ++w) {
+    Window window;
+    window.start = first_start + w * stride_months;
+    window.end = window.start + window_months;
+    windows.push_back(window);
+  }
+  return windows;
+}
+
+}  // namespace hlm::recsys

@@ -1,0 +1,31 @@
+#ifndef HLM_RECSYS_SLIDING_WINDOW_H_
+#define HLM_RECSYS_SLIDING_WINDOW_H_
+
+#include <vector>
+
+#include "corpus/month.h"
+
+namespace hlm::recsys {
+
+/// The paper's evaluation protocol (§4.3/§5.1): a window W_r of r months
+/// slides with a 2-month stride; everything before a window's start is
+/// conditioning history, products first appearing inside the window are
+/// the ground truth. Defaults reproduce §5.1: 13 windows of 12 months,
+/// first starting 2013-01, last 2015-01 (ending 2016-01).
+struct SlidingWindowProtocol {
+  corpus::Month first_start = corpus::MakeMonth(2013, 1);
+  int window_months = 12;  // r
+  int stride_months = 2;
+  int num_windows = 13;    // l
+
+  struct Window {
+    corpus::Month start = 0;
+    corpus::Month end = 0;  // exclusive
+  };
+
+  std::vector<Window> Windows() const;
+};
+
+}  // namespace hlm::recsys
+
+#endif  // HLM_RECSYS_SLIDING_WINDOW_H_

@@ -1,0 +1,60 @@
+#include "repr/representation.h"
+
+#include "corpus/tfidf.h"
+
+namespace hlm::repr {
+
+std::vector<std::vector<double>> BinaryRepresentation(
+    const corpus::Corpus& corpus) {
+  return corpus.BinaryMatrix();
+}
+
+std::vector<std::vector<double>> TfidfRepresentation(
+    const corpus::Corpus& corpus) {
+  return corpus::TfidfModel::Fit(corpus).TransformAll(corpus);
+}
+
+std::vector<std::vector<double>> LdaRepresentation(
+    const models::LdaModel& model, const corpus::Corpus& corpus) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(corpus.num_companies());
+  for (const corpus::CompanyRecord& record : corpus.records()) {
+    rows.push_back(model.InferTopicMixture(record.install_base.Set()));
+  }
+  return rows;
+}
+
+std::vector<std::vector<double>> LstmRepresentation(
+    const models::LstmLanguageModel& model, const corpus::Corpus& corpus) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(corpus.num_companies());
+  for (const corpus::CompanyRecord& record : corpus.records()) {
+    rows.push_back(model.CompanyEmbedding(record.install_base.Sequence()));
+  }
+  return rows;
+}
+
+std::vector<std::vector<double>> Word2VecRepresentation(
+    const models::Word2VecModel& model, const corpus::Corpus& corpus) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(corpus.num_companies());
+  for (const corpus::CompanyRecord& record : corpus.records()) {
+    rows.push_back(model.CompanyEmbedding(record.install_base.Set()));
+  }
+  return rows;
+}
+
+std::vector<std::vector<double>> LsiRepresentation(
+    const models::LsiModel& model, const corpus::Corpus& corpus) {
+  corpus::TfidfModel tfidf = corpus::TfidfModel::Fit(corpus);
+  std::vector<std::vector<double>> rows;
+  rows.reserve(corpus.num_companies());
+  for (const corpus::CompanyRecord& record : corpus.records()) {
+    auto latent = model.Transform(tfidf.Transform(record.install_base.mask()));
+    rows.push_back(latent.ok() ? *latent
+                               : std::vector<double>(model.rank(), 0.0));
+  }
+  return rows;
+}
+
+}  // namespace hlm::repr

@@ -1,0 +1,51 @@
+#ifndef HLM_REPR_REPRESENTATION_H_
+#define HLM_REPR_REPRESENTATION_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "models/lda.h"
+#include "models/lsi.h"
+#include "models/lstm_lm.h"
+#include "models/word2vec.h"
+
+namespace hlm::repr {
+
+/// The company feature spaces compared in §4/§5.3 (Fig. 7): raw binary
+/// vectors A_i, TF-IDF vectors, LDA topic mixtures B_i, and LSTM hidden
+/// states. Every builder returns one row per corpus company, aligned
+/// with corpus order.
+
+/// Raw binary vectors (the naive representation of Eq. 3).
+std::vector<std::vector<double>> BinaryRepresentation(
+    const corpus::Corpus& corpus);
+
+/// TF-IDF-weighted vectors (IDF fitted on the same corpus).
+std::vector<std::vector<double>> TfidfRepresentation(
+    const corpus::Corpus& corpus);
+
+/// LDA topic mixtures theta (dimension = number of topics). The model
+/// must already be trained.
+std::vector<std::vector<double>> LdaRepresentation(
+    const models::LdaModel& model, const corpus::Corpus& corpus);
+
+/// LSTM company embeddings: top-layer hidden state after the company's
+/// product sequence.
+std::vector<std::vector<double>> LstmRepresentation(
+    const models::LstmLanguageModel& model, const corpus::Corpus& corpus);
+
+/// Mean-pooled skip-gram product embeddings (the §3.4 word2vec
+/// alternative). The model must already be trained.
+std::vector<std::vector<double>> Word2VecRepresentation(
+    const models::Word2VecModel& model, const corpus::Corpus& corpus);
+
+/// LSI latent factors of the TF-IDF company-product matrix (the §3.5
+/// non-probabilistic baseline). The model must already be fitted on the
+/// same corpus's matrix.
+std::vector<std::vector<double>> LsiRepresentation(
+    const models::LsiModel& model, const corpus::Corpus& corpus);
+
+}  // namespace hlm::repr
+
+#endif  // HLM_REPR_REPRESENTATION_H_

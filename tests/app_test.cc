@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "app/sales_tool.h"
+#include "corpus/generator.h"
+#include "corpus/integration.h"
+#include "repr/representation.h"
+
+namespace hlm::app {
+namespace {
+
+corpus::GeneratedCorpus MakeSmallWorld() {
+  return corpus::GenerateDefaultCorpus(250, 77);
+}
+
+SalesRecommendationTool MakeTool(const corpus::GeneratedCorpus& world) {
+  // Ground-truth thetas as representations (stand-in for trained LDA).
+  corpus::InternalDbOptions options;
+  options.client_fraction = 0.4;
+  corpus::InternalDatabase db =
+      SimulateInternalDatabase(world.corpus, options);
+  LinkInternalDatabase(world.corpus, &db, 0.88);
+  return SalesRecommendationTool(&world.corpus, world.truth.company_theta,
+                                 db);
+}
+
+TEST(CompanyFilterTest, MatchesEachField) {
+  corpus::Company company;
+  company.sic2_code = 80;
+  company.country = "US";
+  company.employees = 500;
+  company.revenue_musd = 120.0;
+
+  CompanyFilter pass;
+  EXPECT_TRUE(pass.Matches(company));  // empty filter passes
+
+  CompanyFilter by_sic;
+  by_sic.sic2_code = 80;
+  EXPECT_TRUE(by_sic.Matches(company));
+  by_sic.sic2_code = 73;
+  EXPECT_FALSE(by_sic.Matches(company));
+
+  CompanyFilter by_geo;
+  by_geo.country = "DE";
+  EXPECT_FALSE(by_geo.Matches(company));
+
+  CompanyFilter by_size;
+  by_size.min_employees = 100;
+  by_size.max_employees = 1000;
+  EXPECT_TRUE(by_size.Matches(company));
+  by_size.max_employees = 400;
+  EXPECT_FALSE(by_size.Matches(company));
+
+  CompanyFilter by_revenue;
+  by_revenue.min_revenue_musd = 200.0;
+  EXPECT_FALSE(by_revenue.Matches(company));
+}
+
+TEST(SalesToolTest, SimilarCompaniesShareDominantTopic) {
+  auto world = MakeSmallWorld();
+  auto tool = MakeTool(world);
+  int query = 0;
+  auto similar = tool.FindSimilarCompanies(query, 10);
+  ASSERT_TRUE(similar.ok());
+  ASSERT_FALSE(similar->empty());
+  int same_topic = 0;
+  for (const auto& neighbor : *similar) {
+    EXPECT_NE(neighbor.company_id, query);
+    if (world.truth.company_topic[neighbor.company_id] ==
+        world.truth.company_topic[query]) {
+      ++same_topic;
+    }
+  }
+  // Cosine similarity on topic mixtures keeps neighbors in-topic.
+  EXPECT_GE(same_topic, static_cast<int>(similar->size()) - 1);
+}
+
+TEST(SalesToolTest, FiltersRestrictResults) {
+  auto world = MakeSmallWorld();
+  auto tool = MakeTool(world);
+  CompanyFilter filter;
+  filter.country = "US";
+  auto similar = tool.FindSimilarCompanies(1, 15, filter);
+  ASSERT_TRUE(similar.ok());
+  for (const auto& neighbor : *similar) {
+    EXPECT_EQ(world.corpus.record(neighbor.company_id).company.country, "US");
+  }
+}
+
+TEST(SalesToolTest, RecommendationsExcludeOwnedAndAreRanked) {
+  auto world = MakeSmallWorld();
+  auto tool = MakeTool(world);
+  for (int query : {2, 10, 42}) {
+    auto recs = tool.RecommendProducts(query, 12);
+    ASSERT_TRUE(recs.ok());
+    const auto& prospect = world.corpus.record(query).install_base;
+    for (size_t i = 0; i < recs->size(); ++i) {
+      EXPECT_FALSE(prospect.Contains((*recs)[i].category));
+      EXPECT_GT((*recs)[i].similar_ownership, 0.0);
+      EXPECT_LE((*recs)[i].similar_ownership, 1.0);
+      if (i > 0) {
+        EXPECT_GE((*recs)[i - 1].similar_ownership,
+                  (*recs)[i].similar_ownership);
+      }
+    }
+  }
+}
+
+TEST(SalesToolTest, SomeRecommendationsInternallyValidated) {
+  auto world = MakeSmallWorld();
+  auto tool = MakeTool(world);
+  int validated = 0, total = 0;
+  for (int query = 0; query < 50; ++query) {
+    auto recs = tool.RecommendProducts(query, 10);
+    ASSERT_TRUE(recs.ok());
+    for (const auto& rec : *recs) {
+      ++total;
+      if (rec.internally_validated) ++validated;
+    }
+  }
+  // With 40% client coverage, internal validation must kick in often.
+  EXPECT_GT(total, 100);
+  EXPECT_GT(validated, total / 10);
+}
+
+TEST(SalesToolTest, OutOfRangeQueryFails) {
+  auto world = MakeSmallWorld();
+  auto tool = MakeTool(world);
+  EXPECT_FALSE(tool.RecommendProducts(-1, 5).ok());
+  EXPECT_FALSE(tool.RecommendProducts(10000, 5).ok());
+}
+
+}  // namespace
+}  // namespace hlm::app

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "math/rng.h"
+#include "models/chh.h"
+#include "models/space_saving.h"
+
+namespace hlm::models {
+namespace {
+
+// ------------------------------------------------------------ SpaceSaving
+
+TEST(SpaceSavingTest, ExactWhenUnderCapacity) {
+  SpaceSavingSketch sketch(10);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j <= i; ++j) sketch.Observe(i);
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(sketch.EstimatedCount(i), i + 1);
+  }
+  EXPECT_EQ(sketch.MaxError(), 0);
+}
+
+TEST(SpaceSavingTest, OverestimatesBoundedByMinCount) {
+  SpaceSavingSketch sketch(3);
+  // Heavy items 0,1 plus a stream of distinct light items.
+  for (int i = 0; i < 100; ++i) {
+    sketch.Observe(0);
+    sketch.Observe(1);
+    sketch.Observe(10 + (i % 7));
+  }
+  // Heavy hitters must be tracked with counts >= true counts.
+  EXPECT_GE(sketch.EstimatedCount(0), 100);
+  EXPECT_GE(sketch.EstimatedCount(1), 100);
+  // Over-estimation is bounded: count <= true + max error.
+  EXPECT_LE(sketch.EstimatedCount(0), 100 + sketch.MaxError());
+  EXPECT_EQ(sketch.size(), 3u);
+}
+
+TEST(SpaceSavingTest, HeavyHittersSortedDescending) {
+  SpaceSavingSketch sketch(5);
+  for (int i = 0; i < 30; ++i) sketch.Observe(1);
+  for (int i = 0; i < 20; ++i) sketch.Observe(2);
+  for (int i = 0; i < 10; ++i) sketch.Observe(3);
+  auto hitters = sketch.HeavyHitters();
+  ASSERT_EQ(hitters.size(), 3u);
+  EXPECT_EQ(hitters[0].item, 1);
+  EXPECT_EQ(hitters[1].item, 2);
+  EXPECT_EQ(hitters[2].item, 3);
+}
+
+// ------------------------------------------------------------------- CHH
+
+std::vector<TokenSequence> ChainData(int copies) {
+  // Two deterministic chains sharing no transitions.
+  std::vector<TokenSequence> data;
+  for (int i = 0; i < copies; ++i) {
+    data.push_back({0, 1, 2, 3});
+    data.push_back({4, 5, 6, 7});
+  }
+  return data;
+}
+
+TEST(ChhTest, LearnsDepthOneTransitions) {
+  ChhConfig config;
+  config.context_depth = 1;
+  config.min_context_support = 2;
+  ConditionalHeavyHitters chh(8, config);
+  chh.Train(ChainData(20));
+  auto dist = chh.NextProductDistribution({0});
+  EXPECT_GT(dist[1], 0.9);
+  auto dist2 = chh.NextProductDistribution({5});
+  EXPECT_GT(dist2[6], 0.9);
+}
+
+TEST(ChhTest, DepthTwoContextDisambiguates) {
+  ChhConfig config;
+  config.context_depth = 2;
+  config.min_context_support = 2;
+  ConditionalHeavyHitters chh(6, config);
+  // (0,1) -> 2 but (3,1) -> 4: depth-1 context "1" is ambiguous.
+  std::vector<TokenSequence> data;
+  for (int i = 0; i < 30; ++i) {
+    data.push_back({0, 1, 2});
+    data.push_back({3, 1, 4});
+  }
+  chh.Train(data);
+  EXPECT_GT(chh.NextProductDistribution({0, 1})[2], 0.9);
+  EXPECT_GT(chh.NextProductDistribution({3, 1})[4], 0.9);
+  // Depth-1 fallback (only "1" in history) is genuinely split.
+  auto split = chh.NextProductDistribution({1});
+  EXPECT_NEAR(split[2], 0.5, 0.1);
+  EXPECT_NEAR(split[4], 0.5, 0.1);
+}
+
+TEST(ChhTest, BacksOffToUnigramForUnseenContext) {
+  ChhConfig config;
+  ConditionalHeavyHitters chh(8, config);
+  chh.Train(ChainData(20));
+  // History never observed: falls back to the (smoothed) unigram.
+  auto dist = chh.NextProductDistribution({7, 0 /* unseen pair */});
+  double sum = 0.0;
+  for (double p : dist) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ChhTest, MinSupportGatesSparseContexts) {
+  ChhConfig config;
+  config.context_depth = 1;
+  config.min_context_support = 100;  // nothing qualifies
+  ConditionalHeavyHitters chh(8, config);
+  chh.Train(ChainData(5));
+  // All contexts below support -> unigram fallback, which is roughly
+  // uniform over the 8 observed tokens.
+  auto dist = chh.NextProductDistribution({0});
+  EXPECT_LT(dist[1], 0.3);
+}
+
+TEST(ChhTest, ExtractRulesFindsDeterministicChains) {
+  ChhConfig config;
+  config.min_context_support = 5;
+  ConditionalHeavyHitters chh(8, config);
+  chh.Train(ChainData(20));
+  auto rules = chh.ExtractRules(0.9);
+  EXPECT_FALSE(rules.empty());
+  for (const auto& rule : rules) {
+    EXPECT_GE(rule.confidence, 0.9);
+    EXPECT_GE(rule.support, config.min_context_support);
+    // Chains are deterministic: successor = last context element + 1.
+    EXPECT_EQ(rule.item, rule.context.back() + 1);
+  }
+  // Sorted by confidence descending.
+  for (size_t i = 1; i < rules.size(); ++i) {
+    EXPECT_GE(rules[i - 1].confidence, rules[i].confidence);
+  }
+}
+
+TEST(ChhTest, StreamingMatchesBatch) {
+  ChhConfig config;
+  ConditionalHeavyHitters batch(8, config);
+  ConditionalHeavyHitters streaming(8, config);
+  auto data = ChainData(10);
+  batch.Train(data);
+  for (const auto& seq : data) streaming.ObserveSequence(seq);
+  for (const TokenSequence& history :
+       {TokenSequence{0}, TokenSequence{0, 1}, TokenSequence{4, 5}}) {
+    auto a = batch.NextProductDistribution(history);
+    auto b = streaming.NextProductDistribution(history);
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+  }
+}
+
+TEST(ChhTest, PackUnpackRoundTrip) {
+  TokenSequence context = {3, 17, 0};
+  uint64_t key = ConditionalHeavyHitters::PackContext(context.data(), 3);
+  EXPECT_EQ(ConditionalHeavyHitters::UnpackContext(key), context);
+}
+
+class ChhDepthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChhDepthTest, DistributionAlwaysNormalized) {
+  ChhConfig config;
+  config.context_depth = GetParam();
+  ConditionalHeavyHitters chh(10, config);
+  Rng rng(GetParam());
+  std::vector<TokenSequence> data;
+  for (int i = 0; i < 100; ++i) {
+    TokenSequence seq;
+    for (int j = 0; j < 6; ++j) {
+      seq.push_back(static_cast<Token>(rng.NextBounded(10)));
+    }
+    data.push_back(seq);
+  }
+  chh.Train(data);
+  for (const auto& seq : data) {
+    auto dist = chh.NextProductDistribution(seq);
+    double sum = 0.0;
+    for (double p : dist) {
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, ChhDepthTest, ::testing::Values(1, 2, 3));
+
+// -------------------------------------------------------- ApproximateChh
+
+TEST(ApproximateChhTest, AgreesWithExactWhenUncapped) {
+  ChhConfig config;
+  ConditionalHeavyHitters exact(8, config);
+  ApproximateChh approx(8, config, /*max_contexts=*/10000,
+                        /*sketch_capacity=*/8);
+  auto data = ChainData(20);
+  exact.Train(data);
+  approx.Train(data);
+  for (const TokenSequence& history : {TokenSequence{0}, TokenSequence{0, 1}}) {
+    auto a = exact.NextProductDistribution(history);
+    auto b = approx.NextProductDistribution(history);
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-9);
+  }
+}
+
+TEST(ApproximateChhTest, BoundsContextDictionary) {
+  ChhConfig config;
+  config.context_depth = 2;
+  ApproximateChh approx(20, config, /*max_contexts=*/16,
+                        /*sketch_capacity=*/4);
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    TokenSequence seq;
+    for (int j = 0; j < 8; ++j) {
+      seq.push_back(static_cast<Token>(rng.NextBounded(20)));
+    }
+    approx.ObserveSequence(seq);
+  }
+  EXPECT_LE(approx.num_contexts(), 16u);
+  // Still produces valid distributions.
+  auto dist = approx.NextProductDistribution({1, 2});
+  double sum = 0.0;
+  for (double p : dist) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace hlm::models

@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "cluster/cocluster.h"
+#include "cluster/distance.h"
+#include "cluster/kmeans.h"
+#include "cluster/silhouette.h"
+#include "cluster/tsne.h"
+#include "math/rng.h"
+
+namespace hlm::cluster {
+namespace {
+
+// Three well-separated Gaussian blobs in 2-D.
+std::vector<std::vector<double>> ThreeBlobs(int per_blob, double spread,
+                                            uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> points;
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  for (int b = 0; b < 3; ++b) {
+    for (int i = 0; i < per_blob; ++i) {
+      points.push_back({centers[b][0] + rng.NextGaussian() * spread,
+                        centers[b][1] + rng.NextGaussian() * spread});
+    }
+  }
+  return points;
+}
+
+// -------------------------------------------------------------- Distance
+
+TEST(DistanceTest, KnownValues) {
+  std::vector<double> a = {1.0, 0.0};
+  std::vector<double> b = {0.0, 1.0};
+  EXPECT_DOUBLE_EQ(Distance(DistanceKind::kEuclidean, a, b), std::sqrt(2.0));
+  EXPECT_NEAR(Distance(DistanceKind::kCosine, a, b), 1.0, 1e-12);
+}
+
+TEST(DistanceTest, PairwiseMatrixSymmetricZeroDiagonal) {
+  auto points = ThreeBlobs(5, 1.0, 3);
+  auto matrix = PairwiseDistances(DistanceKind::kEuclidean, points);
+  size_t n = points.size();
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(matrix[i * n + i], 0.0);
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_DOUBLE_EQ(matrix[i * n + j], matrix[j * n + i]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- KMeans
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  auto points = ThreeBlobs(40, 0.5, 5);
+  KMeansConfig config;
+  config.num_clusters = 3;
+  config.num_restarts = 3;
+  auto result = KMeans(points, config);
+  ASSERT_TRUE(result.ok());
+  // All points of a blob share a label, and blobs get distinct labels.
+  std::set<int> labels;
+  for (int b = 0; b < 3; ++b) {
+    int first = result->assignments[b * 40];
+    labels.insert(first);
+    for (int i = 0; i < 40; ++i) {
+      EXPECT_EQ(result->assignments[b * 40 + i], first);
+    }
+  }
+  EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  auto points = ThreeBlobs(30, 1.5, 7);
+  double previous = 1e300;
+  for (int k : {1, 2, 3, 6}) {
+    KMeansConfig config;
+    config.num_clusters = k;
+    config.num_restarts = 3;
+    auto result = KMeans(points, config);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->inertia, previous + 1e-9);
+    previous = result->inertia;
+  }
+}
+
+TEST(KMeansTest, RejectsDegenerateInput) {
+  KMeansConfig config;
+  config.num_clusters = 5;
+  EXPECT_FALSE(KMeans(ThreeBlobs(1, 0.1, 1), config).ok());  // 3 points < 5
+  config.num_clusters = 0;
+  EXPECT_FALSE(KMeans(ThreeBlobs(5, 0.1, 1), config).ok());
+}
+
+TEST(KMeansTest, DeterministicInSeed) {
+  auto points = ThreeBlobs(20, 1.0, 9);
+  KMeansConfig config;
+  config.num_clusters = 3;
+  config.seed = 17;
+  auto a = KMeans(points, config);
+  auto b = KMeans(points, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignments, b->assignments);
+  EXPECT_DOUBLE_EQ(a->inertia, b->inertia);
+}
+
+// ------------------------------------------------------------ Silhouette
+
+TEST(SilhouetteTest, HighForSeparatedBlobsLowForRandomLabels) {
+  auto points = ThreeBlobs(30, 0.5, 11);
+  std::vector<int> good(90);
+  for (int i = 0; i < 90; ++i) good[i] = i / 30;
+  auto good_score = SilhouetteScore(points, good);
+  ASSERT_TRUE(good_score.ok());
+  EXPECT_GT(*good_score, 0.8);
+
+  Rng rng(13);
+  std::vector<int> random(90);
+  for (int& label : random) label = static_cast<int>(rng.NextBounded(3));
+  auto random_score = SilhouetteScore(points, random);
+  ASSERT_TRUE(random_score.ok());
+  EXPECT_LT(*random_score, 0.2);
+  EXPECT_GT(*good_score, *random_score + 0.5);
+}
+
+TEST(SilhouetteTest, PerPointValuesInRange) {
+  auto points = ThreeBlobs(10, 1.0, 15);
+  std::vector<int> labels(30);
+  for (int i = 0; i < 30; ++i) labels[i] = i / 10;
+  auto values = SilhouetteValues(points, labels);
+  ASSERT_TRUE(values.ok());
+  ASSERT_EQ(values->size(), 30u);
+  for (double v : *values) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(SilhouetteTest, SampledApproximatesFull) {
+  auto points = ThreeBlobs(60, 0.8, 17);
+  std::vector<int> labels(180);
+  for (int i = 0; i < 180; ++i) labels[i] = i / 60;
+  auto full = SilhouetteScore(points, labels);
+  auto sampled = SilhouetteScore(points, labels, DistanceKind::kEuclidean,
+                                 /*sample_size=*/90);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(sampled.ok());
+  EXPECT_NEAR(*full, *sampled, 0.08);
+}
+
+TEST(SilhouetteTest, SingleClusterFails) {
+  auto points = ThreeBlobs(5, 1.0, 19);
+  std::vector<int> labels(15, 0);
+  EXPECT_FALSE(SilhouetteScore(points, labels).ok());
+}
+
+TEST(SilhouetteTest, MismatchedSizesFail) {
+  auto points = ThreeBlobs(5, 1.0, 21);
+  std::vector<int> labels(3, 0);
+  EXPECT_FALSE(SilhouetteScore(points, labels).ok());
+}
+
+// ------------------------------------------------------------------ tSNE
+
+TEST(TsneTest, PreservesBlobNeighborhoods) {
+  // 3 blobs in 10-D must stay 3 groups in 2-D: intra-blob distances in
+  // the embedding smaller than inter-blob ones on average.
+  Rng rng(23);
+  std::vector<std::vector<double>> points;
+  for (int b = 0; b < 3; ++b) {
+    for (int i = 0; i < 12; ++i) {
+      std::vector<double> p(10, 0.0);
+      p[b] = 20.0;
+      for (double& v : p) v += rng.NextGaussian() * 0.5;
+      points.push_back(p);
+    }
+  }
+  TsneConfig config;
+  config.perplexity = 6.0;
+  config.iterations = 500;
+  auto embedded = Tsne(points, config);
+  ASSERT_TRUE(embedded.ok());
+  ASSERT_EQ(embedded->size(), 36u);
+
+  double intra = 0.0, inter = 0.0;
+  int intra_n = 0, inter_n = 0;
+  for (int i = 0; i < 36; ++i) {
+    for (int j = i + 1; j < 36; ++j) {
+      double dx = (*embedded)[i][0] - (*embedded)[j][0];
+      double dy = (*embedded)[i][1] - (*embedded)[j][1];
+      double d = std::sqrt(dx * dx + dy * dy);
+      if (i / 12 == j / 12) {
+        intra += d;
+        ++intra_n;
+      } else {
+        inter += d;
+        ++inter_n;
+      }
+    }
+  }
+  EXPECT_LT(intra / intra_n, 0.5 * inter / inter_n);
+}
+
+TEST(TsneTest, OutputCenteredAndFinite) {
+  auto points = ThreeBlobs(10, 1.0, 29);
+  TsneConfig config;
+  config.perplexity = 5.0;
+  config.iterations = 200;
+  auto embedded = Tsne(points, config);
+  ASSERT_TRUE(embedded.ok());
+  double mean_x = 0.0, mean_y = 0.0;
+  for (const auto& p : *embedded) {
+    ASSERT_TRUE(std::isfinite(p[0]));
+    ASSERT_TRUE(std::isfinite(p[1]));
+    mean_x += p[0];
+    mean_y += p[1];
+  }
+  EXPECT_NEAR(mean_x / embedded->size(), 0.0, 1e-6);
+  EXPECT_NEAR(mean_y / embedded->size(), 0.0, 1e-6);
+}
+
+TEST(TsneTest, RejectsInfeasiblePerplexity) {
+  auto points = ThreeBlobs(2, 1.0, 31);  // 6 points
+  TsneConfig config;
+  config.perplexity = 10.0;
+  EXPECT_FALSE(Tsne(points, config).ok());
+}
+
+TEST(TsneTest, DeterministicInSeed) {
+  auto points = ThreeBlobs(8, 1.0, 33);
+  TsneConfig config;
+  config.perplexity = 5.0;
+  config.iterations = 100;
+  auto a = Tsne(points, config);
+  auto b = Tsne(points, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*a)[i][0], (*b)[i][0]);
+    EXPECT_DOUBLE_EQ((*a)[i][1], (*b)[i][1]);
+  }
+}
+
+// -------------------------------------------------------------- Cocluster
+
+TEST(CoclusterTest, RecoversPlantedBlocks) {
+  // Block-diagonal binary matrix: rows 0-19 own cols 0-9, rows 20-39 own
+  // cols 10-19.
+  std::vector<std::vector<double>> matrix(40, std::vector<double>(20, 0.0));
+  Rng rng(37);
+  for (int i = 0; i < 40; ++i) {
+    for (int j = 0; j < 20; ++j) {
+      bool in_block = (i < 20) == (j < 10);
+      matrix[i][j] = in_block && rng.NextBernoulli(0.9) ? 1.0 : 0.0;
+    }
+  }
+  CoclusterConfig config;
+  config.num_coclusters = 2;
+  auto result = SpectralCocluster(matrix, config);
+  ASSERT_TRUE(result.ok());
+  // Rows of the same block share labels; the two blocks differ.
+  int first_block = result->row_labels[0];
+  int second_block = result->row_labels[20];
+  EXPECT_NE(first_block, second_block);
+  int agree = 0;
+  for (int i = 0; i < 20; ++i) {
+    agree += result->row_labels[i] == first_block;
+    agree += result->row_labels[20 + i] == second_block;
+  }
+  EXPECT_GE(agree, 36);  // allow a couple of noisy rows
+  // Column labels align with their block's rows.
+  EXPECT_NE(result->column_labels[0], result->column_labels[15]);
+}
+
+TEST(CoclusterTest, RejectsBadInput) {
+  CoclusterConfig config;
+  EXPECT_FALSE(SpectralCocluster({}, config).ok());
+  EXPECT_FALSE(SpectralCocluster({{1.0}, {1.0, 2.0}}, config).ok());
+  EXPECT_FALSE(SpectralCocluster({{-1.0, 1.0}}, config).ok());
+  config.num_coclusters = 1;
+  EXPECT_FALSE(SpectralCocluster({{1.0, 0.0}, {0.0, 1.0}}, config).ok());
+}
+
+}  // namespace
+}  // namespace hlm::cluster

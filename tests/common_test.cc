@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/csv.h"
+#include "common/flags.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace hlm {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::NotFound("missing thing");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "missing thing");
+  EXPECT_EQ(status.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Internal("x"), Status::Internal("x"));
+  EXPECT_FALSE(Status::Internal("x") == Status::Internal("y"));
+  EXPECT_FALSE(Status::Internal("x") == Status::DataLoss("x"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int code = 0; code <= 8; ++code) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(code)), "UNKNOWN");
+  }
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> DoubleIfPositive(int x) {
+  HLM_ASSIGN_OR_RETURN(int value, ParsePositive(x));
+  return value * 2;
+}
+
+TEST(ResultTest, ValuePath) {
+  Result<int> result = DoubleIfPositive(21);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(ResultTest, ErrorPropagatesThroughAssignOrReturn) {
+  Result<int> result = DoubleIfPositive(-1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  EXPECT_EQ(DoubleIfPositive(-1).value_or(7), 7);
+  EXPECT_EQ(DoubleIfPositive(3).value_or(7), 6);
+}
+
+TEST(ResultTest, MoveOnlyValueWorks) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(5));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+// ----------------------------------------------------------- StringUtil
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("one", ','), (std::vector<std::string>{"one"}));
+}
+
+TEST(StringUtilTest, JoinRoundTripsSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Split(Join(parts, "|"), '|'), parts);
+}
+
+TEST(StringUtilTest, TrimStripsWhitespace) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t "), "");
+}
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToUpper("AbC"), "ABC");
+}
+
+TEST(StringUtilTest, ParseInt64Strict) {
+  EXPECT_EQ(*ParseInt64("42"), 42);
+  EXPECT_EQ(*ParseInt64(" -17 "), -17);
+  EXPECT_FALSE(ParseInt64("42x").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("999999999999999999999999").ok());
+}
+
+TEST(StringUtilTest, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e3"), -1000.0);
+  EXPECT_FALSE(ParseDouble("3.5abc").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+}
+
+TEST(StringUtilTest, NormalizeCompanyNameDropsSuffixAndPunctuation) {
+  EXPECT_EQ(NormalizeCompanyName("Acme Dynamics, Inc."), "acme dynamics");
+  EXPECT_EQ(NormalizeCompanyName("ACME DYNAMICS"), "acme dynamics");
+  EXPECT_EQ(NormalizeCompanyName("Acme Dynamics Holdings Ltd"),
+            "acme dynamics");
+  // A lone suffix word is preserved (never empty out a name).
+  EXPECT_EQ(NormalizeCompanyName("Inc"), "inc");
+}
+
+TEST(StringUtilTest, JaroWinklerBounds) {
+  EXPECT_DOUBLE_EQ(JaroWinkler("martha", "martha"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroWinkler("abc", "xyz"), 0.0);
+  double similar = JaroWinkler("martha", "marhta");
+  EXPECT_GT(similar, 0.9);
+  EXPECT_LT(similar, 1.0);
+}
+
+TEST(StringUtilTest, JaroWinklerPrefixBoost) {
+  // Shared prefix should raise the score relative to a suffix change of
+  // the same magnitude somewhere else.
+  EXPECT_GT(JaroWinkler("acme dynamics", "acme dynamic"),
+            JaroWinkler("acme dynamics", "bcme dynamics"));
+}
+
+// ------------------------------------------------------------------ CSV
+
+TEST(CsvTest, ParseSimpleLine) {
+  auto fields = ParseCsvLine("a,b,c");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvTest, ParseQuotedFields) {
+  auto fields = ParseCsvLine(R"("a,b",c,"say ""hi""")");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a,b", "c", R"(say "hi")"}));
+}
+
+TEST(CsvTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(ParseCsvLine(R"("unterminated)").ok());
+  EXPECT_FALSE(ParseCsvLine(R"(bad"quote)").ok());
+}
+
+TEST(CsvTest, EscapeRoundTrips) {
+  for (const std::string field :
+       {"plain", "with,comma", "with \"quote\"", ""}) {
+    auto parsed = ParseCsvLine(CsvEscape(field));
+    ASSERT_TRUE(parsed.ok());
+    ASSERT_EQ(parsed->size(), 1u);
+    EXPECT_EQ((*parsed)[0], field);
+  }
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/hlm_csv_test.csv";
+  std::vector<std::vector<std::string>> rows = {
+      {"id", "name"}, {"1", "Acme, Inc."}, {"2", "Plain"}};
+  ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+  auto loaded = ReadCsvFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  EXPECT_EQ(ReadCsvFile("/nonexistent/path.csv").status().code(),
+            StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------- Flags
+
+TEST(FlagsTest, ParsesAllKinds) {
+  long long count = 1;
+  double rate = 0.5;
+  std::string name = "default";
+  bool verbose = false;
+  FlagSet flags;
+  flags.AddInt64("count", &count, "a count");
+  flags.AddDouble("rate", &rate, "a rate");
+  flags.AddString("name", &name, "a name");
+  flags.AddBool("verbose", &verbose, "verbosity");
+
+  const char* argv[] = {"prog", "--count=7", "--rate", "0.25",
+                        "--name=test", "--verbose"};
+  ASSERT_TRUE(flags.Parse(6, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(count, 7);
+  EXPECT_DOUBLE_EQ(rate, 0.25);
+  EXPECT_EQ(name, "test");
+  EXPECT_TRUE(verbose);
+}
+
+TEST(FlagsTest, UnknownFlagFails) {
+  FlagSet flags;
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_EQ(flags.Parse(2, const_cast<char**>(argv)).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(FlagsTest, MissingValueFails) {
+  long long count = 0;
+  FlagSet flags;
+  flags.AddInt64("count", &count, "");
+  const char* argv[] = {"prog", "--count"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(FlagsTest, BadBoolValueFails) {
+  bool flag = false;
+  FlagSet flags;
+  flags.AddBool("flag", &flag, "");
+  const char* argv[] = {"prog", "--flag=maybe"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(FlagsTest, UsageListsFlagsWithDefaults) {
+  long long count = 5;
+  FlagSet flags;
+  flags.AddInt64("count", &count, "how many");
+  std::string usage = flags.Usage();
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("5"), std::string::npos);
+  EXPECT_NE(usage.find("how many"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hlm

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "corpus/generator.h"
+#include "math/rng.h"
+#include "math/svd.h"
+#include "math/vector_ops.h"
+#include "models/lsi.h"
+#include "models/word2vec.h"
+#include "repr/representation.h"
+
+namespace hlm {
+namespace {
+
+// ------------------------------------------------------------------ SVD
+
+TEST(TruncatedSvdTest, RecoversRankOneMatrix) {
+  // A = 3 * u v^T with unit u, v.
+  const size_t n = 6, m = 4;
+  std::vector<double> u = {0.5, 0.5, 0.5, 0.5, 0.0, 0.0};
+  std::vector<double> v = {0.6, 0.8, 0.0, 0.0};
+  Matrix a(n, m);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) a(i, j) = 3.0 * u[i] * v[j];
+  }
+  Rng rng(3);
+  auto svd = TruncatedSvd(a, 2, 100, &rng);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_NEAR(svd->singular_values[0], 3.0, 1e-8);
+  EXPECT_NEAR(std::fabs(svd->singular_values[1]), 0.0, 1e-6);
+  // Leading singular vectors match up to sign.
+  double dot_u = 0.0;
+  for (size_t i = 0; i < n; ++i) dot_u += svd->left[0][i] * u[i];
+  EXPECT_NEAR(std::fabs(dot_u), 1.0, 1e-8);
+}
+
+TEST(TruncatedSvdTest, SingularValuesDescendAndCaptureMass) {
+  Rng rng(5);
+  Matrix a = Matrix::RandomGaussian(20, 8, 1.0, &rng);
+  auto svd = TruncatedSvd(a, 8, 200, &rng);
+  ASSERT_TRUE(svd.ok());
+  double mass = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) mass += a.data()[i] * a.data()[i];
+  double captured = 0.0;
+  for (int k = 0; k < 8; ++k) {
+    if (k > 0) EXPECT_LE(svd->singular_values[k],
+                         svd->singular_values[k - 1] + 1e-9);
+    captured += svd->singular_values[k] * svd->singular_values[k];
+  }
+  // Full rank (8 of 8): the decomposition captures all Frobenius mass.
+  EXPECT_NEAR(captured, mass, mass * 1e-6);
+}
+
+TEST(TruncatedSvdTest, RejectsBadArguments) {
+  Rng rng(7);
+  Matrix a(3, 3, 1.0);
+  EXPECT_FALSE(TruncatedSvd(Matrix(), 1, 10, &rng).ok());
+  EXPECT_FALSE(TruncatedSvd(a, 0, 10, &rng).ok());
+  EXPECT_FALSE(TruncatedSvd(a, 4, 10, &rng).ok());
+}
+
+// ------------------------------------------------------------- Word2Vec
+
+// Two disjoint "topics": words 0-4 co-occur, words 5-9 co-occur.
+std::vector<models::TokenSequence> TwoTopicSequences(int docs_per_topic,
+                                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<models::TokenSequence> corpus;
+  for (int d = 0; d < docs_per_topic * 2; ++d) {
+    int base = (d % 2) * 5;
+    std::vector<int> words = {base, base + 1, base + 2, base + 3, base + 4};
+    rng.Shuffle(&words);
+    corpus.push_back(models::TokenSequence(words.begin(), words.end()));
+  }
+  return corpus;
+}
+
+TEST(Word2VecTest, InTopicSimilarityExceedsCrossTopic) {
+  models::Word2VecConfig config;
+  config.dimensions = 8;
+  config.epochs = 40;
+  models::Word2VecModel model(10, config);
+  ASSERT_TRUE(model.Train(TwoTopicSequences(300, 11)).ok());
+
+  double in_topic = 0.0, cross_topic = 0.0;
+  int in_n = 0, cross_n = 0;
+  for (int a = 0; a < 10; ++a) {
+    for (int b = a + 1; b < 10; ++b) {
+      if ((a < 5) == (b < 5)) {
+        in_topic += model.Similarity(a, b);
+        ++in_n;
+      } else {
+        cross_topic += model.Similarity(a, b);
+        ++cross_n;
+      }
+    }
+  }
+  EXPECT_GT(in_topic / in_n, cross_topic / cross_n + 0.2);
+}
+
+TEST(Word2VecTest, CompanyEmbeddingPoolsProducts) {
+  models::Word2VecConfig config;
+  config.dimensions = 6;
+  config.epochs = 5;
+  models::Word2VecModel model(10, config);
+  ASSERT_TRUE(model.Train(TwoTopicSequences(50, 13)).ok());
+  auto pooled = model.CompanyEmbedding({0, 1, 2});
+  ASSERT_EQ(pooled.size(), 6u);
+  // Mean pooling: pooled = (e0 + e1 + e2) / 3.
+  for (int j = 0; j < 6; ++j) {
+    double expected = (model.Embedding(0)[j] + model.Embedding(1)[j] +
+                       model.Embedding(2)[j]) /
+                      3.0;
+    EXPECT_NEAR(pooled[j], expected, 1e-12);
+  }
+  // Empty install base -> zero vector.
+  auto empty = model.CompanyEmbedding({});
+  for (double v : empty) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Word2VecTest, MeanVarPoolingShape) {
+  models::Word2VecConfig config;
+  config.dimensions = 5;
+  config.epochs = 3;
+  models::Word2VecModel model(10, config);
+  ASSERT_TRUE(model.Train(TwoTopicSequences(30, 17)).ok());
+  auto fisher = model.CompanyEmbeddingMeanVar({0, 1, 5});
+  ASSERT_EQ(fisher.size(), 10u);
+  // Variance block non-negative.
+  for (int j = 5; j < 10; ++j) EXPECT_GE(fisher[j], 0.0);
+}
+
+TEST(Word2VecTest, RejectsBadInput) {
+  models::Word2VecModel model(10, models::Word2VecConfig{});
+  EXPECT_FALSE(model.Train({{0, 11}}).ok());
+  EXPECT_FALSE(model.Train({}).ok());
+  models::Word2VecModel trained(10, models::Word2VecConfig{});
+  ASSERT_TRUE(trained.Train(TwoTopicSequences(5, 1)).ok());
+  EXPECT_FALSE(trained.Train(TwoTopicSequences(5, 1)).ok());  // once only
+}
+
+TEST(Word2VecTest, DeterministicInSeed) {
+  models::Word2VecConfig config;
+  config.dimensions = 4;
+  config.epochs = 2;
+  config.seed = 99;
+  models::Word2VecModel a(10, config), b(10, config);
+  auto data = TwoTopicSequences(20, 21);
+  ASSERT_TRUE(a.Train(data).ok());
+  ASSERT_TRUE(b.Train(data).ok());
+  for (int t = 0; t < 10; ++t) {
+    EXPECT_EQ(a.Embedding(t), b.Embedding(t));
+  }
+}
+
+// ------------------------------------------------------------------ LSI
+
+TEST(LsiTest, RecoversBlockStructure) {
+  // Two company blocks owning disjoint product blocks.
+  std::vector<std::vector<double>> matrix(40, std::vector<double>(10, 0.0));
+  Rng rng(23);
+  for (int i = 0; i < 40; ++i) {
+    int base = (i < 20) ? 0 : 5;
+    for (int j = 0; j < 5; ++j) {
+      if (rng.NextBernoulli(0.8)) matrix[i][base + j] = 1.0;
+    }
+  }
+  models::LsiConfig config;
+  config.rank = 2;
+  models::LsiModel lsi(config);
+  ASSERT_TRUE(lsi.Fit(matrix).ok());
+  EXPECT_GT(lsi.explained_variance(), 0.5);
+
+  // Same-block companies must be closer in latent space than
+  // cross-block companies.
+  const auto& docs = lsi.document_representations();
+  double same = CosineSimilarity(docs[0], docs[1]);
+  double cross = CosineSimilarity(docs[0], docs[25]);
+  EXPECT_GT(same, cross + 0.5);
+}
+
+TEST(LsiTest, TransformMatchesFittedDocuments) {
+  std::vector<std::vector<double>> matrix = {
+      {1, 0, 1, 0}, {0, 1, 0, 1}, {1, 1, 0, 0}, {0, 0, 1, 1}};
+  models::LsiConfig config;
+  config.rank = 2;
+  models::LsiModel lsi(config);
+  ASSERT_TRUE(lsi.Fit(matrix).ok());
+  for (size_t i = 0; i < matrix.size(); ++i) {
+    auto projected = lsi.Transform(matrix[i]);
+    ASSERT_TRUE(projected.ok());
+    // In-sample fold-in reproduces the fitted representation (up to the
+    // truncation residual).
+    for (int k = 0; k < 2; ++k) {
+      EXPECT_NEAR((*projected)[k], lsi.document_representations()[i][k],
+                  1e-6);
+    }
+  }
+}
+
+TEST(LsiTest, TermEmbeddingsGroupCooccurringProducts) {
+  std::vector<std::vector<double>> matrix(60, std::vector<double>(6, 0.0));
+  Rng rng(29);
+  for (int i = 0; i < 60; ++i) {
+    int base = (i % 2) * 3;
+    for (int j = 0; j < 3; ++j) {
+      if (rng.NextBernoulli(0.9)) matrix[i][base + j] = 1.0;
+    }
+  }
+  models::LsiConfig config;
+  config.rank = 2;
+  models::LsiModel lsi(config);
+  ASSERT_TRUE(lsi.Fit(matrix).ok());
+  double same = CosineSimilarity(lsi.TermEmbedding(0), lsi.TermEmbedding(1));
+  double cross = CosineSimilarity(lsi.TermEmbedding(0), lsi.TermEmbedding(4));
+  EXPECT_GT(same, cross);
+}
+
+TEST(LsiTest, RejectsBadInput) {
+  models::LsiModel lsi(models::LsiConfig{});
+  EXPECT_FALSE(lsi.Fit({}).ok());
+  EXPECT_FALSE(lsi.Fit({{1.0}, {1.0, 2.0}}).ok());
+  EXPECT_FALSE(lsi.Transform({1.0}).ok());  // not fitted
+  models::LsiConfig big;
+  big.rank = 10;
+  models::LsiModel too_big(big);
+  EXPECT_FALSE(too_big.Fit({{1.0, 0.0}, {0.0, 1.0}}).ok());
+}
+
+// ------------------------------------------------- Representations (new)
+
+TEST(RepresentationTest, Word2VecAndLsiAlignWithCorpus) {
+  auto world = corpus::GenerateDefaultCorpus(150, 37);
+
+  models::Word2VecConfig w2v_config;
+  w2v_config.dimensions = 8;
+  w2v_config.epochs = 3;
+  models::Word2VecModel w2v(38, w2v_config);
+  ASSERT_TRUE(w2v.Train(world.corpus.Sequences()).ok());
+  auto w2v_rows = repr::Word2VecRepresentation(w2v, world.corpus);
+  ASSERT_EQ(w2v_rows.size(), 150u);
+  EXPECT_EQ(w2v_rows[0].size(), 8u);
+
+  models::LsiConfig lsi_config;
+  lsi_config.rank = 4;
+  models::LsiModel lsi(lsi_config);
+  ASSERT_TRUE(
+      lsi.Fit(repr::TfidfRepresentation(world.corpus)).ok());
+  auto lsi_rows = repr::LsiRepresentation(lsi, world.corpus);
+  ASSERT_EQ(lsi_rows.size(), 150u);
+  EXPECT_EQ(lsi_rows[0].size(), 4u);
+}
+
+}  // namespace
+}  // namespace hlm

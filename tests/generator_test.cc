@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "corpus/generator.h"
+#include "corpus/month.h"
+#include "corpus/sic.h"
+#include "models/ngram.h"
+#include "models/sequence_tests.h"
+
+namespace hlm::corpus {
+namespace {
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  auto a = GenerateDefaultCorpus(100, 99);
+  auto b = GenerateDefaultCorpus(100, 99);
+  ASSERT_EQ(a.corpus.num_companies(), b.corpus.num_companies());
+  for (int i = 0; i < a.corpus.num_companies(); ++i) {
+    EXPECT_EQ(a.corpus.record(i).company.name,
+              b.corpus.record(i).company.name);
+    EXPECT_EQ(a.corpus.record(i).install_base.mask(),
+              b.corpus.record(i).install_base.mask());
+    EXPECT_EQ(a.corpus.record(i).install_base.Sequence(),
+              b.corpus.record(i).install_base.Sequence());
+  }
+  EXPECT_EQ(a.truth.calibrated_skew, b.truth.calibrated_skew);
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  auto a = GenerateDefaultCorpus(50, 1);
+  auto b = GenerateDefaultCorpus(50, 2);
+  int differing = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.corpus.record(i).install_base.mask() !=
+        b.corpus.record(i).install_base.mask()) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 25);
+}
+
+TEST(GeneratorTest, MeanInstallSizeNearConfig) {
+  GeneratorConfig config;
+  config.num_companies = 2000;
+  config.seed = 3;
+  auto generated = SyntheticHgGenerator(config).Generate();
+  CategoryStats stats = generated.corpus.ComputeCategoryStats();
+  // Post-horizon acquisitions are dropped, so the observed mean sits a
+  // little below the configured sampling mean.
+  EXPECT_LT(stats.mean_install_base_size, config.mean_install_size + 0.4);
+  EXPECT_GT(stats.mean_install_base_size, config.mean_install_size - 1.5);
+}
+
+TEST(GeneratorTest, TimestampsWithinHorizon) {
+  auto generated = GenerateDefaultCorpus(200, 5);
+  for (const auto& record : generated.corpus.records()) {
+    for (const auto& [month, category] : record.install_base.timeline()) {
+      (void)category;
+      EXPECT_GE(month, MakeMonth(1990, 1));
+      EXPECT_LT(month, MakeMonth(2016, 1));
+    }
+  }
+}
+
+TEST(GeneratorTest, DunsRegistryValidAndCoversCompanies) {
+  auto generated = GenerateDefaultCorpus(150, 13);
+  EXPECT_TRUE(generated.duns.Validate().ok());
+  for (const auto& record : generated.corpus.records()) {
+    auto ultimate = generated.duns.DomesticUltimateOf(
+        record.company.domestic_duns);
+    ASSERT_TRUE(ultimate.ok());
+    EXPECT_EQ(*ultimate, record.company.domestic_duns);
+    for (const CompanySite& site : record.company.sites) {
+      auto site_ultimate = generated.duns.DomesticUltimateOf(site.duns);
+      ASSERT_TRUE(site_ultimate.ok());
+      EXPECT_EQ(*site_ultimate, record.company.domestic_duns);
+    }
+  }
+}
+
+TEST(GeneratorTest, GroundTruthShapesConsistent) {
+  GeneratorConfig config;
+  config.num_companies = 80;
+  config.seed = 17;
+  auto generated = SyntheticHgGenerator(config).Generate();
+  const GroundTruth& truth = generated.truth;
+  EXPECT_EQ(truth.num_topics, config.num_topics);
+  ASSERT_EQ(truth.topic_category.size(),
+            static_cast<size_t>(config.num_topics));
+  for (const auto& topic : truth.topic_category) {
+    double sum = 0.0;
+    for (double p : topic) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  ASSERT_EQ(truth.affinity.size(), 38u);
+  for (const auto& row : truth.affinity) {
+    double sum = 0.0;
+    for (double p : row) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  EXPECT_EQ(truth.company_theta.size(), 80u);
+  EXPECT_EQ(truth.company_topic.size(), 80u);
+}
+
+TEST(GeneratorTest, IndustriesComeFromSicRegistry) {
+  auto generated = GenerateDefaultCorpus(300, 19);
+  const SicRegistry& sic = SicRegistry::Default();
+  for (const auto& record : generated.corpus.records()) {
+    EXPECT_TRUE(sic.IndexOfCode(record.company.sic2_code).ok());
+  }
+}
+
+TEST(GeneratorTest, TopicSharesAreSkewed) {
+  auto generated = GenerateDefaultCorpus(3000, 23);
+  std::vector<int> counts(generated.truth.num_topics, 0);
+  for (int topic : generated.truth.company_topic) ++counts[topic];
+  // Topic 0 must dominate (~60% of companies), later topics are rarer.
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[3]);
+  EXPECT_NEAR(counts[0] / 3000.0, 0.6, 0.08);
+}
+
+// The statistical fingerprints of DESIGN.md §2 (scaled-down corpus).
+
+TEST(GeneratorFingerprintTest, UnigramPerplexityNearPaper) {
+  auto generated = GenerateDefaultCorpus(2000, 42);
+  Rng rng(7);
+  auto split = generated.corpus.Split(0.8, 0.0, &rng);
+  auto train = generated.corpus.Subset(split.train).Sequences();
+  auto test = generated.corpus.Subset(split.test).Sequences();
+  models::NGramConfig config;
+  config.order = 1;
+  models::NGramModel unigram(38, config);
+  unigram.Train(train);
+  double ppl = unigram.Perplexity(test);
+  // The paper's fingerprint is 19.5; wide tolerance absorbs corpus-size
+  // effects.
+  EXPECT_GT(ppl, 16.0);
+  EXPECT_LT(ppl, 25.0);
+}
+
+TEST(GeneratorFingerprintTest, SequentialSignalPresent) {
+  auto generated = GenerateDefaultCorpus(3000, 42);
+  auto sequences = generated.corpus.Sequences();
+  auto result = models::TestSequentiality(sequences, 38);
+  EXPECT_GT(result.bigrams_tested, 500);
+  // Far more bigrams significant than the 5% false-positive rate.
+  EXPECT_GT(result.bigram_fraction(), 0.12);
+  EXPECT_GT(result.trigram_fraction(), 0.10);
+}
+
+TEST(GeneratorFingerprintTest, DenseBinaryMatrix) {
+  auto generated = GenerateDefaultCorpus(1000, 42);
+  CategoryStats stats = generated.corpus.ComputeCategoryStats();
+  // Mean install base of ~4.5 of 38 -> ~12% density, and every company
+  // non-empty: "relatively dense" as the paper describes (vs the <1%
+  // typical of recommender benchmarks).
+  EXPECT_GT(stats.mean_install_base_size / 38.0, 0.08);
+  // A few young companies may have every acquisition past the data
+  // horizon (dropped); the overwhelming majority must be non-empty.
+  int empty = 0;
+  for (const auto& record : generated.corpus.records()) {
+    if (record.install_base.empty()) ++empty;
+  }
+  EXPECT_LT(empty, generated.corpus.num_companies() / 20);
+}
+
+TEST(GeneratorFingerprintTest, CompanyThetaMostlySingleTopic) {
+  auto generated = GenerateDefaultCorpus(500, 31);
+  int sharp = 0;
+  for (const auto& theta : generated.truth.company_theta) {
+    double max_value = 0.0;
+    for (double v : theta) max_value = std::max(max_value, v);
+    if (max_value > 0.8) ++sharp;
+  }
+  EXPECT_GT(sharp, 400);  // sparse mixtures by construction
+}
+
+TEST(GeneratorTest, FirmographicsCorrelateWithInstallSize) {
+  auto generated = GenerateDefaultCorpus(2000, 37);
+  // Average employees among large install bases must exceed small ones.
+  double large_sum = 0.0, small_sum = 0.0;
+  int large_n = 0, small_n = 0;
+  for (const auto& record : generated.corpus.records()) {
+    if (record.install_base.size() >= 7) {
+      large_sum += static_cast<double>(record.company.employees);
+      ++large_n;
+    } else if (record.install_base.size() <= 2) {
+      small_sum += static_cast<double>(record.company.employees);
+      ++small_n;
+    }
+  }
+  ASSERT_GT(large_n, 10);
+  ASSERT_GT(small_n, 10);
+  EXPECT_GT(large_sum / large_n, small_sum / small_n);
+}
+
+TEST(GeneratorTest, SiteDuplicatesExerciseAggregation) {
+  auto generated = GenerateDefaultCorpus(500, 41);
+  // Some companies must have more raw site events than distinct
+  // categories (duplicate confirmations across sites).
+  int with_duplicates = 0;
+  for (const auto& record : generated.corpus.records()) {
+    size_t raw_events = 0;
+    for (const auto& site : record.company.sites) {
+      raw_events += site.events.size();
+    }
+    if (raw_events > record.install_base.size()) ++with_duplicates;
+  }
+  EXPECT_GT(with_duplicates, 50);
+}
+
+}  // namespace
+}  // namespace hlm::corpus

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "models/gru_lm.h"
+
+namespace hlm::models {
+namespace {
+
+std::vector<TokenSequence> DeterministicChains(int copies) {
+  std::vector<TokenSequence> data;
+  for (int i = 0; i < copies; ++i) {
+    data.push_back({0, 1, 2, 3});
+    data.push_back({4, 5, 6, 7});
+  }
+  return data;
+}
+
+TEST(GruLmTest, MemorizesDeterministicChains) {
+  GruConfig config;
+  config.hidden_size = 16;
+  config.epochs = 30;
+  GruLanguageModel gru(8, config);
+  auto data = DeterministicChains(16);
+  gru.Train(data);
+  EXPECT_GT(gru.NextProductDistribution({0})[1], 0.8);
+  EXPECT_GT(gru.NextProductDistribution({4})[5], 0.8);
+  EXPECT_LT(gru.Perplexity(data), 1.6);
+}
+
+TEST(GruLmTest, TrainingReducesPerplexity) {
+  GruConfig config;
+  config.hidden_size = 12;
+  config.epochs = 10;
+  GruLanguageModel gru(8, config);
+  auto data = DeterministicChains(20);
+  double untrained = gru.Perplexity(data);
+  gru.Train(data);
+  EXPECT_GT(untrained, 5.0);  // ~ vocabulary size before training
+  EXPECT_LT(gru.Perplexity(data), untrained * 0.5);
+}
+
+TEST(GruLmTest, DistributionNormalizedAndExcludesOwned) {
+  GruConfig config;
+  config.hidden_size = 8;
+  config.epochs = 2;
+  GruLanguageModel gru(8, config);
+  gru.Train(DeterministicChains(4));
+  auto dist = gru.NextProductDistribution({0, 1});
+  double sum = 0.0;
+  for (double p : dist) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist[1], 0.0);
+}
+
+TEST(GruLmTest, DeterministicInSeed) {
+  GruConfig config;
+  config.hidden_size = 8;
+  config.epochs = 3;
+  config.seed = 5;
+  auto data = DeterministicChains(8);
+  GruLanguageModel a(8, config), b(8, config);
+  a.Train(data);
+  b.Train(data);
+  auto da = a.NextProductDistribution({0});
+  auto db = b.NextProductDistribution({0});
+  for (size_t i = 0; i < da.size(); ++i) EXPECT_DOUBLE_EQ(da[i], db[i]);
+}
+
+TEST(GruLmTest, FewerParametersThanLstmAtSameWidth) {
+  // GRU has 3 gate blocks vs LSTM's 4 -- the "simpler version of LSTMs"
+  // of §3.4.
+  GruConfig config;
+  config.hidden_size = 50;
+  GruLanguageModel gru(38, config);
+  // 3H blocks: (V+1)H + H*3H + H*3H + 3H + H*V + V
+  long long expected = 39LL * 50 + 50 * 150 + 50 * 150 + 150 + 50 * 38 + 38;
+  EXPECT_EQ(gru.NumParameters(), expected);
+}
+
+TEST(GruLmTest, LearnsRealCorpusBetterThanUniform) {
+  auto world = corpus::GenerateDefaultCorpus(300, 3);
+  Rng rng(7);
+  auto split = world.corpus.Split(0.8, 0.0, &rng);
+  auto train = world.corpus.Subset(split.train).Sequences();
+  auto test = world.corpus.Subset(split.test).Sequences();
+  GruConfig config;
+  config.hidden_size = 32;
+  config.epochs = 8;
+  GruLanguageModel gru(38, config);
+  gru.Train(train);
+  EXPECT_LT(gru.Perplexity(test), 20.0);  // far below the uniform 38
+}
+
+}  // namespace
+}  // namespace hlm::models

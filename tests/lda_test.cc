@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "corpus/generator.h"
+#include "math/rng.h"
+#include "math/vector_ops.h"
+#include "models/lda.h"
+#include "models/ngram.h"
+
+namespace hlm::models {
+namespace {
+
+// Synthetic two-topic corpus with disjoint supports: topic A = {0..4},
+// topic B = {5..9}; each document draws 4 distinct words from one topic.
+std::vector<TokenSequence> TwoTopicCorpus(int docs_per_topic, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TokenSequence> corpus;
+  for (int d = 0; d < docs_per_topic * 2; ++d) {
+    int base = (d % 2) * 5;
+    std::vector<int> words = {base, base + 1, base + 2, base + 3, base + 4};
+    rng.Shuffle(&words);
+    corpus.push_back(TokenSequence(words.begin(), words.begin() + 4));
+  }
+  return corpus;
+}
+
+TEST(LdaTest, RecoversDisjointTopics) {
+  LdaConfig config;
+  config.num_topics = 2;
+  config.seed = 5;
+  LdaModel lda(10, config);
+  ASSERT_TRUE(lda.Train(TwoTopicCorpus(150, 3)).ok());
+
+  // Each learned topic must concentrate on one of the two supports.
+  const auto& phi = lda.topic_word();
+  for (int t = 0; t < 2; ++t) {
+    double mass_a = 0.0, mass_b = 0.0;
+    for (int w = 0; w < 5; ++w) mass_a += phi[t][w];
+    for (int w = 5; w < 10; ++w) mass_b += phi[t][w];
+    EXPECT_GT(std::max(mass_a, mass_b), 0.9);
+  }
+  // And the two topics must cover different supports.
+  double t0_a = 0.0, t1_a = 0.0;
+  for (int w = 0; w < 5; ++w) {
+    t0_a += phi[0][w];
+    t1_a += phi[1][w];
+  }
+  EXPECT_GT(std::fabs(t0_a - t1_a), 0.8);
+}
+
+TEST(LdaTest, InferenceAssignsDocumentsToTheirTopic) {
+  LdaConfig config;
+  config.num_topics = 2;
+  LdaModel lda(10, config);
+  ASSERT_TRUE(lda.Train(TwoTopicCorpus(150, 7)).ok());
+  std::vector<double> theta_a = lda.InferTopicMixture({0, 1, 2});
+  std::vector<double> theta_b = lda.InferTopicMixture({5, 6, 7});
+  // Opposite dominant topics, each confident.
+  EXPECT_NE(ArgMax(theta_a), ArgMax(theta_b));
+  EXPECT_GT(theta_a[ArgMax(theta_a)], 0.8);
+  EXPECT_GT(theta_b[ArgMax(theta_b)], 0.8);
+}
+
+TEST(LdaTest, InferenceIsDeterministic) {
+  LdaConfig config;
+  config.num_topics = 2;
+  LdaModel lda(10, config);
+  ASSERT_TRUE(lda.Train(TwoTopicCorpus(50, 9)).ok());
+  EXPECT_EQ(lda.InferTopicMixture({0, 1, 2}), lda.InferTopicMixture({0, 1, 2}));
+}
+
+TEST(LdaTest, EmptyDocumentGetsPriorMean) {
+  LdaConfig config;
+  config.num_topics = 4;
+  LdaModel lda(10, config);
+  ASSERT_TRUE(lda.Train(TwoTopicCorpus(20, 11)).ok());
+  auto theta = lda.InferTopicMixture({});
+  for (double v : theta) EXPECT_DOUBLE_EQ(v, 0.25);
+}
+
+TEST(LdaTest, PerplexityBeatsUnigramOnTopicData) {
+  auto corpus = TwoTopicCorpus(200, 13);
+  std::vector<TokenSequence> train(corpus.begin(), corpus.begin() + 300);
+  std::vector<TokenSequence> test(corpus.begin() + 300, corpus.end());
+
+  LdaConfig config;
+  config.num_topics = 2;
+  LdaModel lda(10, config);
+  ASSERT_TRUE(lda.Train(train).ok());
+
+  NGramConfig unigram_config;
+  unigram_config.order = 1;
+  NGramModel unigram(10, unigram_config);
+  unigram.Train(train);
+
+  double lda_ppl = lda.Perplexity(test);
+  double unigram_ppl = unigram.Perplexity(test);
+  // Topic structure halves the effective vocabulary.
+  EXPECT_LT(lda_ppl, unigram_ppl * 0.75);
+  EXPECT_LT(lda_ppl, 7.0);
+  EXPECT_NEAR(unigram_ppl, 10.0, 1.0);
+}
+
+TEST(LdaTest, LeftToRightAgreesWithPluginOnEasyData) {
+  auto corpus = TwoTopicCorpus(150, 17);
+  std::vector<TokenSequence> train(corpus.begin(), corpus.begin() + 200);
+  std::vector<TokenSequence> test(corpus.begin() + 200, corpus.end());
+  LdaConfig config;
+  config.num_topics = 2;
+  LdaModel lda(10, config);
+  ASSERT_TRUE(lda.Train(train).ok());
+  double plugin = lda.Perplexity(test);
+  double l2r = lda.PerplexityLeftToRight(test, 15);
+  // The left-to-right estimator predicts each token before seeing it, so
+  // it is >= the plug-in value, but on sharply separated data both are
+  // far below the unigram level (~10) and within a factor ~1.6.
+  EXPECT_GE(l2r, plugin * 0.95);
+  EXPECT_LT(l2r, plugin * 1.7);
+}
+
+TEST(LdaTest, NextProductDistributionNormalized) {
+  LdaConfig config;
+  config.num_topics = 2;
+  LdaModel lda(10, config);
+  ASSERT_TRUE(lda.Train(TwoTopicCorpus(50, 19)).ok());
+  auto dist = lda.NextProductDistribution({0, 1});
+  double sum = 0.0;
+  for (double p : dist) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  // In-topic products dominate out-of-topic ones.
+  EXPECT_GT(dist[2], dist[7]);
+}
+
+TEST(LdaTest, WeightedTrainingValidatesShapes) {
+  LdaConfig config;
+  LdaModel lda(10, config);
+  std::vector<TokenSequence> docs = {{0, 1}, {2}};
+  EXPECT_FALSE(lda.TrainWeighted(docs, {{1.0, 2.0}}).ok());
+  EXPECT_FALSE(lda.TrainWeighted(docs, {{1.0, 2.0}, {0.0}}).ok());
+  EXPECT_TRUE(lda.TrainWeighted(docs, {{1.0, 2.0}, {0.5}}).ok());
+}
+
+TEST(LdaTest, WeightedTrainingShiftsTopics) {
+  // Same docs, but weights emphasize rare words; phi must change.
+  auto docs = TwoTopicCorpus(100, 23);
+  LdaConfig config;
+  config.num_topics = 2;
+  config.seed = 1;
+  LdaModel uniform(10, config);
+  ASSERT_TRUE(uniform.Train(docs).ok());
+
+  std::vector<std::vector<double>> weights;
+  for (const auto& doc : docs) {
+    std::vector<double> w;
+    for (Token t : doc) w.push_back(t % 2 == 0 ? 3.0 : 0.3);
+    weights.push_back(w);
+  }
+  LdaModel weighted(10, config);
+  ASSERT_TRUE(weighted.TrainWeighted(docs, weights).ok());
+  // Even-id words must carry more mass under the weighted model.
+  double uniform_even = 0.0, weighted_even = 0.0;
+  for (int t = 0; t < 2; ++t) {
+    for (int w = 0; w < 10; w += 2) {
+      uniform_even += uniform.topic_word()[t][w];
+      weighted_even += weighted.topic_word()[t][w];
+    }
+  }
+  EXPECT_GT(weighted_even, uniform_even);
+}
+
+TEST(LdaTest, RejectsBadInput) {
+  LdaConfig config;
+  LdaModel lda(10, config);
+  EXPECT_FALSE(lda.Train({}).ok());
+  EXPECT_FALSE(lda.Train({{0, 10}}).ok());  // out of vocabulary
+  EXPECT_FALSE(lda.Train({{-1}}).ok());
+}
+
+TEST(LdaTest, ProductEmbeddingsNormalizedPerWord) {
+  LdaConfig config;
+  config.num_topics = 3;
+  LdaModel lda(10, config);
+  ASSERT_TRUE(lda.Train(TwoTopicCorpus(60, 29)).ok());
+  auto embeddings = lda.ProductEmbeddings();
+  ASSERT_EQ(embeddings.size(), 10u);
+  for (const auto& row : embeddings) {
+    ASSERT_EQ(row.size(), 3u);
+    EXPECT_NEAR(Sum(row), 1.0, 1e-9);
+  }
+}
+
+TEST(LdaTest, ParameterCountMatchesPaperFormula) {
+  LdaConfig config;
+  config.num_topics = 4;
+  LdaModel lda(38, config);
+  // nt + nt * M = 4 + 4*38 = 156, quoted verbatim in the paper.
+  EXPECT_EQ(lda.NumParameters(), 156);
+}
+
+TEST(LdaTest, TrainingIsDeterministicInSeed) {
+  auto docs = TwoTopicCorpus(60, 31);
+  LdaConfig config;
+  config.num_topics = 2;
+  config.seed = 77;
+  LdaModel a(10, config), b(10, config);
+  ASSERT_TRUE(a.Train(docs).ok());
+  ASSERT_TRUE(b.Train(docs).ok());
+  for (int t = 0; t < 2; ++t) {
+    for (int w = 0; w < 10; ++w) {
+      EXPECT_DOUBLE_EQ(a.topic_word()[t][w], b.topic_word()[t][w]);
+    }
+  }
+}
+
+class LdaTopicCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LdaTopicCountTest, TrainsAndScoresAtAnyK) {
+  LdaConfig config;
+  config.num_topics = GetParam();
+  config.burn_in_iterations = 40;
+  config.post_burn_in_samples = 4;
+  LdaModel lda(10, config);
+  auto docs = TwoTopicCorpus(40, 37);
+  ASSERT_TRUE(lda.Train(docs).ok());
+  double ppl = lda.Perplexity(docs);
+  EXPECT_GT(ppl, 1.0);
+  EXPECT_LT(ppl, 10.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(TopicCounts, LdaTopicCountTest,
+                         ::testing::Values(1, 2, 3, 4, 8, 16));
+
+}  // namespace
+}  // namespace hlm::models

@@ -1,0 +1,437 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/matrix.h"
+#include "math/mvn.h"
+#include "math/rng.h"
+#include "math/special_functions.h"
+#include "math/statistics.h"
+#include "math/vector_ops.h"
+
+namespace hlm {
+namespace {
+
+// ------------------------------------------------------------------ Rng
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= a.NextUint64() != b.NextUint64();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversRangeUniformly) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextBounded(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, 4 * std::sqrt(n / 10.0));
+  }
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    long long v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(rng.NextGaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+class GammaMomentsTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GammaMomentsTest, MeanAndVarianceMatchShape) {
+  double shape = GetParam();
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.Add(rng.NextGamma(shape));
+  EXPECT_NEAR(stats.mean(), shape, 0.05 * shape + 0.02);
+  EXPECT_NEAR(stats.variance(), shape, 0.12 * shape + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GammaMomentsTest,
+                         ::testing::Values(0.3, 0.9, 1.0, 2.5, 10.0));
+
+class PoissonMomentsTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMomentsTest, MeanMatches) {
+  double mean = GetParam();
+  Rng rng(19);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.NextPoisson(mean));
+  EXPECT_NEAR(stats.mean(), mean, 0.05 * mean + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, PoissonMomentsTest,
+                         ::testing::Values(0.2, 1.0, 5.0, 40.0));
+
+TEST(RngTest, DirichletSumsToOneAndMatchesMean) {
+  Rng rng(23);
+  std::vector<double> alpha = {2.0, 1.0, 1.0};
+  std::vector<double> mean(3, 0.0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    auto sample = rng.NextDirichlet(alpha);
+    double sum = 0.0;
+    for (double v : sample) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    for (int j = 0; j < 3; ++j) mean[j] += sample[j] / n;
+  }
+  EXPECT_NEAR(mean[0], 0.5, 0.01);
+  EXPECT_NEAR(mean[1], 0.25, 0.01);
+  EXPECT_NEAR(mean[2], 0.25, 0.01);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(29);
+  std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextCategorical(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(31);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7};
+  auto copy = values;
+  rng.Shuffle(&copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, values);
+}
+
+// --------------------------------------------------------------- Matrix
+
+TEST(MatrixTest, IdentityMultiplication) {
+  Rng rng(1);
+  Matrix a = Matrix::RandomGaussian(4, 4, 1.0, &rng);
+  Matrix product = MatMul(a, Matrix::Identity(4));
+  EXPECT_TRUE(product.AlmostEquals(a, 1e-12));
+}
+
+TEST(MatrixTest, MatMulKnownValues) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  int v = 1;
+  for (size_t i = 0; i < 2; ++i)
+    for (size_t j = 0; j < 3; ++j) a(i, j) = v++;
+  v = 1;
+  for (size_t i = 0; i < 3; ++i)
+    for (size_t j = 0; j < 2; ++j) b(i, j) = v++;
+  Matrix c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 22.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 28.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 49.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 64.0);
+}
+
+TEST(MatrixTest, MatMulTransposedAgreesWithExplicitTranspose) {
+  Rng rng(3);
+  Matrix a = Matrix::RandomGaussian(5, 7, 1.0, &rng);
+  Matrix b = Matrix::RandomGaussian(4, 7, 1.0, &rng);
+  Matrix direct = MatMulTransposed(a, b);
+  Matrix reference = MatMul(a, Transpose(b));
+  EXPECT_TRUE(direct.AlmostEquals(reference, 1e-10));
+}
+
+TEST(MatrixTest, MatTransposeMulAccumulateAgrees) {
+  Rng rng(5);
+  Matrix a = Matrix::RandomGaussian(6, 3, 1.0, &rng);
+  Matrix b = Matrix::RandomGaussian(6, 4, 1.0, &rng);
+  Matrix accumulated(3, 4, 0.0);
+  MatTransposeMulAccumulate(a, b, &accumulated);
+  Matrix reference = MatMul(Transpose(a), b);
+  EXPECT_TRUE(accumulated.AlmostEquals(reference, 1e-10));
+}
+
+TEST(MatrixTest, CholeskyReconstructs) {
+  // SPD matrix A = B B^T + n I.
+  Rng rng(7);
+  Matrix b = Matrix::RandomGaussian(5, 5, 1.0, &rng);
+  Matrix a = MatMulTransposed(b, b);
+  for (int i = 0; i < 5; ++i) a(i, i) += 5.0;
+  auto lower = CholeskyDecompose(a);
+  ASSERT_TRUE(lower.ok());
+  Matrix reconstructed = MatMulTransposed(*lower, *lower);
+  EXPECT_TRUE(reconstructed.AlmostEquals(a, 1e-9));
+}
+
+TEST(MatrixTest, CholeskyRejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = -1.0;
+  EXPECT_FALSE(CholeskyDecompose(a).ok());
+}
+
+TEST(MatrixTest, CholeskySolveSolvesSystem) {
+  Rng rng(11);
+  Matrix b = Matrix::RandomGaussian(4, 4, 1.0, &rng);
+  Matrix a = MatMulTransposed(b, b);
+  for (int i = 0; i < 4; ++i) a(i, i) += 4.0;
+  Matrix x_true(4, 1);
+  for (int i = 0; i < 4; ++i) x_true(i, 0) = i + 1.0;
+  Matrix rhs = MatMul(a, x_true);
+  auto lower = CholeskyDecompose(a);
+  ASSERT_TRUE(lower.ok());
+  Matrix x = CholeskySolve(*lower, rhs);
+  EXPECT_TRUE(x.AlmostEquals(x_true, 1e-8));
+}
+
+TEST(MatrixTest, SpdInverseProducesIdentity) {
+  Rng rng(13);
+  Matrix b = Matrix::RandomGaussian(6, 6, 1.0, &rng);
+  Matrix a = MatMulTransposed(b, b);
+  for (int i = 0; i < 6; ++i) a(i, i) += 6.0;
+  auto inverse = SpdInverse(a);
+  ASSERT_TRUE(inverse.ok());
+  EXPECT_TRUE(MatMul(a, *inverse).AlmostEquals(Matrix::Identity(6), 1e-8));
+}
+
+// ------------------------------------------------------------ VectorOps
+
+TEST(VectorOpsTest, DotNormDistance) {
+  std::vector<double> a = {3.0, 4.0};
+  std::vector<double> b = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(Dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(Norm2(a), 5.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 5.0);
+}
+
+TEST(VectorOpsTest, CosineBehaviour) {
+  std::vector<double> a = {1.0, 0.0};
+  std::vector<double> b = {0.0, 2.0};
+  std::vector<double> c = {3.0, 0.0};
+  std::vector<double> zero = {0.0, 0.0};
+  EXPECT_NEAR(CosineDistance(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(CosineDistance(a, c), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, zero), 0.0);
+}
+
+TEST(VectorOpsTest, LogSumExpStable) {
+  std::vector<double> x = {1000.0, 1000.0};
+  EXPECT_NEAR(LogSumExp(x), 1000.0 + std::log(2.0), 1e-9);
+  std::vector<double> y = {-1000.0, 0.0};
+  EXPECT_NEAR(LogSumExp(y), 0.0, 1e-9);
+}
+
+TEST(VectorOpsTest, SoftmaxNormalizes) {
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  SoftmaxInPlace(&x);
+  EXPECT_NEAR(Sum(x), 1.0, 1e-12);
+  EXPECT_GT(x[2], x[1]);
+  EXPECT_GT(x[1], x[0]);
+}
+
+TEST(VectorOpsTest, NormalizeHandlesDegenerate) {
+  std::vector<double> zeros = {0.0, 0.0, 0.0, 0.0};
+  NormalizeInPlace(&zeros);
+  for (double v : zeros) EXPECT_DOUBLE_EQ(v, 0.25);
+}
+
+TEST(VectorOpsTest, ArgMaxFirstOnTies) {
+  std::vector<double> x = {1.0, 5.0, 5.0, 2.0};
+  EXPECT_EQ(ArgMax(x), 1u);
+}
+
+// ----------------------------------------------------- SpecialFunctions
+
+TEST(SpecialFunctionsTest, DigammaRecurrence) {
+  // psi(x+1) = psi(x) + 1/x.
+  for (double x : {0.5, 1.0, 2.3, 7.7}) {
+    EXPECT_NEAR(Digamma(x + 1.0), Digamma(x) + 1.0 / x, 1e-9);
+  }
+}
+
+TEST(SpecialFunctionsTest, DigammaKnownValue) {
+  // psi(1) = -gamma (Euler-Mascheroni).
+  EXPECT_NEAR(Digamma(1.0), -0.57721566490153286, 1e-9);
+}
+
+TEST(SpecialFunctionsTest, IncompleteBetaBounds) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+  // I_x(1,1) = x.
+  EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, 0.37), 0.37, 1e-10);
+}
+
+TEST(SpecialFunctionsTest, BinomialSurvivalExactSmallCase) {
+  // X ~ Bin(3, 0.5): P(X >= 2) = 0.5.
+  EXPECT_NEAR(BinomialSurvival(3, 0.5, 2), 0.5, 1e-10);
+  // P(X >= 0) = 1, P(X >= 4) = 0.
+  EXPECT_DOUBLE_EQ(BinomialSurvival(3, 0.5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialSurvival(3, 0.5, 4), 0.0);
+}
+
+TEST(SpecialFunctionsTest, BinomialSurvivalMatchesDirectSum) {
+  // Direct sum for Bin(20, 0.3), P(X >= 9).
+  double direct = 0.0;
+  for (int k = 9; k <= 20; ++k) {
+    direct += std::exp(LogGamma(21) - LogGamma(k + 1) - LogGamma(21 - k) +
+                       k * std::log(0.3) + (20 - k) * std::log(0.7));
+  }
+  EXPECT_NEAR(BinomialSurvival(20, 0.3, 9), direct, 1e-9);
+}
+
+TEST(SpecialFunctionsTest, NormalCdfQuantileInverse) {
+  for (double p : {0.01, 0.1, 0.5, 0.9, 0.975, 0.999}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-6);
+  }
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959964, 1e-4);
+}
+
+// ------------------------------------------------------------------ MVN
+
+TEST(MvnTest, GaussianSampleMoments) {
+  Rng rng(41);
+  Matrix mean(2, 1);
+  mean(0, 0) = 1.0;
+  mean(1, 0) = -2.0;
+  Matrix cov(2, 2);
+  cov(0, 0) = 2.0;
+  cov(0, 1) = 0.6;
+  cov(1, 0) = 0.6;
+  cov(1, 1) = 1.0;
+  RunningStats s0, s1;
+  double cross = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    auto sample = SampleMultivariateGaussian(mean, cov, &rng);
+    ASSERT_TRUE(sample.ok());
+    s0.Add((*sample)(0, 0));
+    s1.Add((*sample)(1, 0));
+    cross += ((*sample)(0, 0) - 1.0) * ((*sample)(1, 0) + 2.0);
+  }
+  EXPECT_NEAR(s0.mean(), 1.0, 0.03);
+  EXPECT_NEAR(s1.mean(), -2.0, 0.03);
+  EXPECT_NEAR(s0.variance(), 2.0, 0.06);
+  EXPECT_NEAR(s1.variance(), 1.0, 0.04);
+  EXPECT_NEAR(cross / n, 0.6, 0.04);
+}
+
+TEST(MvnTest, WishartMeanIsDofTimesScale) {
+  Rng rng(43);
+  Matrix scale = Matrix::Identity(3);
+  scale(0, 1) = 0.2;
+  scale(1, 0) = 0.2;
+  double dof = 7.0;
+  Matrix mean_accum(3, 3, 0.0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    auto sample = SampleWishart(scale, dof, &rng);
+    ASSERT_TRUE(sample.ok());
+    mean_accum += *sample;
+  }
+  mean_accum *= 1.0 / n;
+  Matrix expected = scale;
+  expected *= dof;
+  EXPECT_TRUE(mean_accum.AlmostEquals(expected, 0.15));
+}
+
+TEST(MvnTest, WishartRejectsBadDof) {
+  Rng rng(47);
+  EXPECT_FALSE(SampleWishart(Matrix::Identity(4), 2.0, &rng).ok());
+}
+
+// ------------------------------------------------------------ Statistics
+
+TEST(StatisticsTest, RunningStatsBasics) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(v);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(StatisticsTest, MeanCiContainsTruthUsually) {
+  // Property: across many resamples, the 95% CI covers the true mean
+  // roughly 95% of the time.
+  Rng rng(53);
+  int covered = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> sample;
+    for (int i = 0; i < 50; ++i) sample.push_back(rng.NextGaussian() * 2.0);
+    if (MeanConfidenceInterval(sample, 0.95).Contains(0.0)) ++covered;
+  }
+  EXPECT_GT(covered, trials * 0.88);
+  EXPECT_LT(covered, trials * 0.995);
+}
+
+TEST(StatisticsTest, WilsonIntervalSane) {
+  auto ci = WilsonInterval(8, 10, 0.95);
+  EXPECT_GT(ci.lo, 0.4);
+  EXPECT_LT(ci.hi, 1.0);
+  EXPECT_TRUE(ci.Contains(0.8));
+  auto empty = WilsonInterval(0, 0, 0.95);
+  EXPECT_DOUBLE_EQ(empty.lo, 0.0);
+  EXPECT_DOUBLE_EQ(empty.hi, 0.0);
+}
+
+TEST(StatisticsTest, QuantileInterpolates) {
+  std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.5), 2.5);
+}
+
+TEST(StatisticsTest, BoxplotWhiskersClampToFences) {
+  std::vector<double> values = {1, 2, 2, 3, 3, 3, 4, 4, 5, 100};
+  BoxplotStats box = ComputeBoxplot(values);
+  EXPECT_DOUBLE_EQ(box.min, 1.0);
+  EXPECT_DOUBLE_EQ(box.max, 100.0);
+  EXPECT_LT(box.upper_whisker, 100.0);  // outlier excluded from whisker
+  EXPECT_GE(box.q3, box.median);
+  EXPECT_GE(box.median, box.q1);
+}
+
+TEST(StatisticsTest, BinomialTestDetectsEnrichment) {
+  // 30 successes out of 100 at null p=0.1 is wildly significant.
+  EXPECT_LT(BinomialTestPValue(30, 100, 0.1), 1e-6);
+  // 10 of 100 at p=0.1 is not.
+  EXPECT_GT(BinomialTestPValue(10, 100, 0.1), 0.4);
+}
+
+TEST(StatisticsTest, ConfidenceIntervalIntersection) {
+  ConfidenceInterval a{0.0, 1.0};
+  ConfidenceInterval b{0.5, 2.0};
+  ConfidenceInterval c{1.5, 3.0};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(b.Intersects(c));
+}
+
+}  // namespace
+}  // namespace hlm

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/rng.h"
+#include "models/ngram.h"
+#include "models/perplexity.h"
+#include "models/sequence_tests.h"
+
+namespace hlm::models {
+namespace {
+
+std::vector<TokenSequence> RepeatedPattern(int copies) {
+  // Deterministic pattern: 0 -> 1 -> 2 always; 3 occasionally alone.
+  std::vector<TokenSequence> sequences;
+  for (int i = 0; i < copies; ++i) {
+    sequences.push_back({0, 1, 2});
+    if (i % 3 == 0) sequences.push_back({3});
+  }
+  return sequences;
+}
+
+TEST(NGramTest, UnigramMatchesEmpiricalFrequencies) {
+  NGramConfig config;
+  config.order = 1;
+  config.add_k = 1e-9;  // effectively unsmoothed
+  NGramModel model(4, config);
+  model.Train({{0, 0, 1}, {0, 2}});
+  // Counts: 0 -> 3, 1 -> 1, 2 -> 1 of 5 tokens.
+  EXPECT_NEAR(model.ConditionalProb({}, 0), 0.6, 1e-6);
+  EXPECT_NEAR(model.ConditionalProb({}, 1), 0.2, 1e-6);
+  EXPECT_NEAR(model.ConditionalProb({}, 3), 0.0, 1e-6);
+}
+
+TEST(NGramTest, BigramLearnsTransitions) {
+  NGramConfig config;
+  config.order = 2;
+  config.add_k = 1e-6;
+  config.interpolation_weight = 1.0;  // pure bigram
+  NGramModel model(4, config);
+  model.Train(RepeatedPattern(50));
+  EXPECT_GT(model.ConditionalProb({0}, 1), 0.99);
+  EXPECT_GT(model.ConditionalProb({1}, 2), 0.99);
+  EXPECT_LT(model.ConditionalProb({0}, 3), 0.01);
+}
+
+TEST(NGramTest, TrigramUsesTwoTokenContext) {
+  NGramConfig config;
+  config.order = 3;
+  config.add_k = 1e-6;
+  config.interpolation_weight = 1.0;
+  NGramModel model(5, config);
+  // Context decides: (0,1)->2 but (3,1)->4.
+  std::vector<TokenSequence> train;
+  for (int i = 0; i < 30; ++i) {
+    train.push_back({0, 1, 2});
+    train.push_back({3, 1, 4});
+  }
+  NGramModel trigram(5, config);
+  trigram.Train(train);
+  EXPECT_GT(trigram.ConditionalProb({0, 1}, 2), 0.99);
+  EXPECT_GT(trigram.ConditionalProb({3, 1}, 4), 0.99);
+}
+
+TEST(NGramTest, DistributionSumsToOne) {
+  NGramConfig config;
+  config.order = 2;
+  NGramModel model(6, config);
+  model.Train(RepeatedPattern(10));
+  for (const TokenSequence& history :
+       {TokenSequence{}, TokenSequence{0}, TokenSequence{5}}) {
+    auto dist = model.NextProductDistribution(history);
+    double sum = 0.0;
+    for (double p : dist) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(NGramTest, SmoothingGivesUnseenTokensMass) {
+  NGramConfig config;
+  config.order = 1;
+  config.add_k = 0.5;
+  NGramModel model(3, config);
+  model.Train({{0, 0, 0}});
+  EXPECT_GT(model.ConditionalProb({}, 2), 0.0);
+  EXPECT_LT(model.ConditionalProb({}, 2), model.ConditionalProb({}, 0));
+}
+
+TEST(NGramTest, InterpolationBlendsOrders) {
+  NGramConfig pure;
+  pure.order = 2;
+  pure.interpolation_weight = 1.0;
+  pure.add_k = 0.01;
+  NGramConfig mixed = pure;
+  mixed.interpolation_weight = 0.5;
+
+  NGramModel pure_model(4, pure);
+  NGramModel mixed_model(4, mixed);
+  auto train = RepeatedPattern(50);
+  pure_model.Train(train);
+  mixed_model.Train(train);
+  // For an unseen context, interpolation falls back toward unigram mass
+  // of frequent tokens.
+  double pure_p = pure_model.ConditionalProb({3}, 0);
+  double mixed_p = mixed_model.ConditionalProb({3}, 0);
+  EXPECT_GT(mixed_p, pure_p);
+}
+
+TEST(NGramTest, PerplexityPerfectOnDeterministicData) {
+  NGramConfig config;
+  config.order = 2;
+  config.add_k = 1e-9;
+  config.interpolation_weight = 1.0;
+  NGramModel model(3, config);
+  std::vector<TokenSequence> data(100, TokenSequence{0, 1, 2});
+  model.Train(data);
+  // Every token deterministic given the previous -> perplexity -> 1.
+  EXPECT_NEAR(model.Perplexity(data), 1.0, 1e-3);
+}
+
+TEST(NGramTest, PerplexityUniformDataMatchesVocabSize) {
+  // Uniform independent tokens: perplexity ~ vocabulary size.
+  NGramConfig config;
+  config.order = 1;
+  NGramModel model(8, config);
+  Rng rng(3);
+  std::vector<TokenSequence> data;
+  for (int i = 0; i < 500; ++i) {
+    TokenSequence seq;
+    for (int j = 0; j < 10; ++j) {
+      seq.push_back(static_cast<Token>(rng.NextBounded(8)));
+    }
+    data.push_back(seq);
+  }
+  model.Train(data);
+  EXPECT_NEAR(model.Perplexity(data), 8.0, 0.3);
+}
+
+class NGramOrderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NGramOrderTest, HigherOrderNeverHurtsDeterministicPattern) {
+  NGramConfig config;
+  config.order = GetParam();
+  config.add_k = 0.01;
+  NGramModel model(4, config);
+  auto data = RepeatedPattern(100);
+  model.Train(data);
+  double ppl = model.Perplexity(data);
+  EXPECT_LT(ppl, 4.0);
+  EXPECT_GE(ppl, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, NGramOrderTest, ::testing::Values(1, 2, 3, 4));
+
+TEST(NGramTest, NgramCountTracksJointOccurrences) {
+  NGramConfig config;
+  config.order = 3;
+  NGramModel model(4, config);
+  model.Train({{0, 1, 2}, {0, 1, 3}, {0, 1, 2}});
+  EXPECT_EQ(model.NgramCount({0}), 3);
+  EXPECT_EQ(model.NgramCount({0, 1}), 3);
+  EXPECT_EQ(model.NgramCount({0, 1, 2}), 2);
+  EXPECT_EQ(model.NgramCount({0, 1, 3}), 1);
+  EXPECT_EQ(model.NgramCount({2, 2, 2}), 0);
+}
+
+TEST(NGramTest, NameReflectsOrder) {
+  NGramConfig config;
+  config.order = 1;
+  EXPECT_EQ(NGramModel(4, config).name(), "unigram");
+  config.order = 2;
+  EXPECT_EQ(NGramModel(4, config).name(), "bigram");
+  config.order = 3;
+  EXPECT_EQ(NGramModel(4, config).name(), "trigram");
+}
+
+// -------------------------------------------------------- Sequentiality
+
+TEST(SequentialityTest, DetectsMarkovStructure) {
+  // Strongly sequential data: always 0 -> 1, 2 -> 3.
+  std::vector<TokenSequence> sequential;
+  Rng rng(5);
+  for (int i = 0; i < 400; ++i) {
+    sequential.push_back(rng.NextBernoulli(0.5) ? TokenSequence{0, 1, 0, 1}
+                                                : TokenSequence{2, 3, 2, 3});
+  }
+  auto result = TestSequentiality(sequential, 4);
+  EXPECT_GT(result.bigram_fraction(), 0.4);
+}
+
+TEST(SequentialityTest, IidDataMostlyInsignificant) {
+  Rng rng(7);
+  std::vector<TokenSequence> iid;
+  for (int i = 0; i < 400; ++i) {
+    TokenSequence seq;
+    for (int j = 0; j < 8; ++j) {
+      seq.push_back(static_cast<Token>(rng.NextBounded(10)));
+    }
+    iid.push_back(seq);
+  }
+  auto result = TestSequentiality(iid, 10, 0.05);
+  // Around the 5% false-positive level, certainly below 15%.
+  EXPECT_LT(result.bigram_fraction(), 0.15);
+}
+
+TEST(SequentialityTest, EmptyInputIsZero) {
+  auto result = TestSequentiality({}, 5);
+  EXPECT_EQ(result.bigrams_tested, 0);
+  EXPECT_DOUBLE_EQ(result.bigram_fraction(), 0.0);
+}
+
+// ------------------------------------------------------------ Perplexity
+
+TEST(PerplexityAccumulatorTest, MatchesClosedForm) {
+  PerplexityAccumulator acc;
+  acc.Add(std::log(0.5));
+  acc.Add(std::log(0.5));
+  EXPECT_DOUBLE_EQ(acc.Perplexity(), 2.0);
+  EXPECT_EQ(acc.num_tokens(), 2);
+}
+
+TEST(PerplexityAccumulatorTest, EmptyIsOne) {
+  PerplexityAccumulator acc;
+  EXPECT_DOUBLE_EQ(acc.Perplexity(), 1.0);
+}
+
+}  // namespace
+}  // namespace hlm::models

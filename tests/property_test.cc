@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "corpus/generator.h"
+#include "math/rng.h"
+#include "models/chh.h"
+#include "models/lda.h"
+#include "models/ngram.h"
+#include "recsys/evaluation.h"
+
+namespace hlm {
+namespace {
+
+// Cross-cutting invariants checked over randomized inputs and parameter
+// grids (the "property" layer on top of the per-module example tests).
+
+// ---------------------------------------------------- scorer invariants
+
+class ScorerPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  static std::vector<models::TokenSequence> Data() {
+    static const auto* data = [] {
+      auto world = corpus::GenerateDefaultCorpus(300, 5);
+      return new std::vector<models::TokenSequence>(
+          world.corpus.Sequences());
+    }();
+    return *data;
+  }
+};
+
+TEST_P(ScorerPropertyTest, DistributionsAreProbabilities) {
+  int which = GetParam();
+  std::unique_ptr<models::ConditionalScorer> scorer;
+  auto data = Data();
+  switch (which) {
+    case 0: {
+      models::NGramConfig config;
+      config.order = 2;
+      auto model = std::make_unique<models::NGramModel>(38, config);
+      model->Train(data);
+      scorer = std::move(model);
+      break;
+    }
+    case 1: {
+      auto model = std::make_unique<models::ConditionalHeavyHitters>(
+          38, models::ChhConfig{});
+      model->Train(data);
+      scorer = std::move(model);
+      break;
+    }
+    default: {
+      models::LdaConfig config;
+      config.num_topics = 3;
+      config.burn_in_iterations = 40;
+      config.post_burn_in_samples = 4;
+      auto model = std::make_unique<models::LdaModel>(38, config);
+      ASSERT_TRUE(model->Train(data).ok());
+      scorer = std::move(model);
+      break;
+    }
+  }
+
+  Rng rng(17);
+  for (int trial = 0; trial < 40; ++trial) {
+    // Random history of distinct products.
+    models::TokenSequence history;
+    uint64_t used = 0;
+    int len = static_cast<int>(rng.NextBounded(6));
+    for (int i = 0; i < len; ++i) {
+      int t = static_cast<int>(rng.NextBounded(38));
+      if ((used >> t) & 1u) continue;
+      used |= uint64_t{1} << t;
+      history.push_back(t);
+    }
+    auto dist = scorer->NextProductDistribution(history);
+    ASSERT_EQ(dist.size(), 38u);
+    double sum = 0.0;
+    for (double p : dist) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0 + 1e-9);
+      sum += p;
+    }
+    EXPECT_LE(sum, 1.0 + 1e-6);
+    EXPECT_GT(sum, 0.0);
+  }
+}
+
+std::string ScorerName(const ::testing::TestParamInfo<int>& info) {
+  switch (info.param) {
+    case 0:
+      return "bigram";
+    case 1:
+      return "chh";
+    default:
+      return "lda";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScorers, ScorerPropertyTest,
+                         ::testing::Values(0, 1, 2), ScorerName);
+
+// ------------------------------------------- evaluation-sweep monotonicity
+
+TEST(EvaluationPropertyTest, RetrievalAndRecallMonotoneInThreshold) {
+  auto world = corpus::GenerateDefaultCorpus(400, 9);
+  models::LdaConfig config;
+  config.num_topics = 4;
+  config.burn_in_iterations = 60;
+  models::LdaModel lda(38, config);
+  ASSERT_TRUE(lda.Train(world.corpus.Sequences()).ok());
+
+  recsys::RecommendationEvalConfig eval_config;
+  for (int i = 0; i <= 10; ++i) eval_config.thresholds.push_back(0.04 * i);
+  auto evals = recsys::EvaluateRecommender(lda, world.corpus, eval_config);
+  for (size_t i = 1; i < evals.size(); ++i) {
+    // Raising the threshold can only remove recommendations.
+    EXPECT_LE(evals[i].mean_retrieved, evals[i - 1].mean_retrieved + 1e-9);
+    EXPECT_LE(evals[i].mean_recall, evals[i - 1].mean_recall + 1e-9);
+    EXPECT_LE(evals[i].mean_correct, evals[i - 1].mean_correct + 1e-9);
+    // Relevant (ground truth) is threshold-independent.
+    EXPECT_DOUBLE_EQ(evals[i].mean_relevant, evals[0].mean_relevant);
+  }
+  for (const auto& e : evals) {
+    EXPECT_GE(e.mean_precision, 0.0);
+    EXPECT_LE(e.mean_precision, 1.0);
+    EXPECT_GE(e.mean_recall, 0.0);
+    EXPECT_LE(e.mean_recall, 1.0);
+    // F1 never exceeds either component's max.
+    EXPECT_LE(e.mean_f1, 1.0);
+  }
+}
+
+// ------------------------------------------------ generator config grid
+
+class GeneratorGridTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorGridTest, InvariantsHoldAcrossTopicCounts) {
+  corpus::GeneratorConfig config;
+  config.num_companies = 200;
+  config.num_topics = GetParam();
+  config.seed = 100 + GetParam();
+  auto world = corpus::SyntheticHgGenerator(config).Generate();
+
+  EXPECT_TRUE(world.duns.Validate().ok());
+  EXPECT_EQ(world.truth.topic_category.size(),
+            static_cast<size_t>(config.num_topics));
+  for (const auto& record : world.corpus.records()) {
+    // Sequence and set views agree.
+    auto sequence = record.install_base.Sequence();
+    auto set = record.install_base.Set();
+    EXPECT_EQ(sequence.size(), set.size());
+    uint64_t mask = 0;
+    for (int c : sequence) {
+      EXPECT_GE(c, 0);
+      EXPECT_LT(c, 38);
+      EXPECT_EQ((mask >> c) & 1u, 0u) << "duplicate category in sequence";
+      mask |= uint64_t{1} << c;
+    }
+    EXPECT_EQ(mask, record.install_base.mask());
+    // Timeline sorted by month.
+    const auto& timeline = record.install_base.timeline();
+    for (size_t i = 1; i < timeline.size(); ++i) {
+      EXPECT_LE(timeline[i - 1].first, timeline[i].first);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TopicCounts, GeneratorGridTest,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+// --------------------------------------------------- unigram consistency
+
+TEST(ModelConsistencyTest, UnigramAndChhFallbackAgree) {
+  // With an empty history and min support never met, CHH's fallback is
+  // the smoothed unigram; with matching smoothing they must agree.
+  auto world = corpus::GenerateDefaultCorpus(200, 21);
+  auto data = world.corpus.Sequences();
+
+  models::NGramConfig ngram_config;
+  ngram_config.order = 1;
+  ngram_config.add_k = 0.05;
+  models::NGramModel unigram(38, ngram_config);
+  unigram.Train(data);
+
+  models::ChhConfig chh_config;
+  chh_config.add_k = 0.05;
+  models::ConditionalHeavyHitters chh(38, chh_config);
+  chh.Train(data);
+
+  auto from_unigram = unigram.NextProductDistribution({});
+  auto from_chh = chh.NextProductDistribution({});
+  for (int c = 0; c < 38; ++c) {
+    EXPECT_NEAR(from_unigram[c], from_chh[c], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace hlm

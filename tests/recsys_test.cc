@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "corpus/month.h"
+#include "corpus/product_taxonomy.h"
+#include "recsys/evaluation.h"
+#include "recsys/similarity_search.h"
+#include "recsys/sliding_window.h"
+
+namespace hlm::recsys {
+namespace {
+
+using corpus::MakeMonth;
+
+// --------------------------------------------------------- SlidingWindow
+
+TEST(SlidingWindowTest, PaperDefaultsProduceThirteenWindows) {
+  SlidingWindowProtocol protocol;
+  auto windows = protocol.Windows();
+  ASSERT_EQ(windows.size(), 13u);
+  EXPECT_EQ(windows.front().start, MakeMonth(2013, 1));
+  EXPECT_EQ(windows.front().end, MakeMonth(2014, 1));
+  EXPECT_EQ(windows.back().start, MakeMonth(2015, 1));
+  EXPECT_EQ(windows.back().end, MakeMonth(2016, 1));
+}
+
+TEST(SlidingWindowTest, StrideIsTwoMonths) {
+  SlidingWindowProtocol protocol;
+  auto windows = protocol.Windows();
+  for (size_t i = 1; i < windows.size(); ++i) {
+    EXPECT_EQ(windows[i].start - windows[i - 1].start, 2);
+  }
+}
+
+TEST(SlidingWindowTest, CustomSpan) {
+  SlidingWindowProtocol protocol;
+  protocol.window_months = 6;
+  protocol.num_windows = 4;
+  protocol.stride_months = 3;
+  auto windows = protocol.Windows();
+  ASSERT_EQ(windows.size(), 4u);
+  for (const auto& window : windows) {
+    EXPECT_EQ(window.end - window.start, 6);
+  }
+}
+
+// ------------------------------------------------------------ Evaluation
+
+// Hand-built corpus where the ground truth is fully known:
+// company 0: owns {0} since 2000, acquires {1} in 2013-06.
+// company 1: owns {2} since 2000, acquires nothing.
+// company 2: owns nothing before 2013 (excluded: empty history).
+corpus::Corpus HandCorpus() {
+  corpus::Corpus c(corpus::ProductTaxonomy::Default());
+  {
+    corpus::Company company;
+    company.name = "A";
+    company.sites.resize(1);
+    company.sites[0].events.push_back({0, MakeMonth(2000, 1), 0, 1.0});
+    company.sites[0].events.push_back({1, MakeMonth(2013, 6), 0, 1.0});
+    c.Add(std::move(company));
+  }
+  {
+    corpus::Company company;
+    company.name = "B";
+    company.sites.resize(1);
+    company.sites[0].events.push_back({2, MakeMonth(2000, 1), 0, 1.0});
+    c.Add(std::move(company));
+  }
+  {
+    corpus::Company company;
+    company.name = "C";
+    company.sites.resize(1);
+    company.sites[0].events.push_back({3, MakeMonth(2014, 6), 0, 1.0});
+    c.Add(std::move(company));
+  }
+  return c;
+}
+
+// Scorer that always gives probability `p` to product 1 and 0 elsewhere.
+class FixedScorer final : public models::ConditionalScorer {
+ public:
+  explicit FixedScorer(double p) : p_(p) {}
+  std::vector<double> NextProductDistribution(
+      const models::TokenSequence&) const override {
+    std::vector<double> dist(38, 0.0);
+    dist[1] = p_;
+    return dist;
+  }
+  int vocab_size() const override { return 38; }
+  std::string name() const override { return "fixed"; }
+
+ private:
+  double p_;
+};
+
+TEST(EvaluationTest, SingleWindowCountsExact) {
+  corpus::Corpus c = HandCorpus();
+  RecommendationEvalConfig config;
+  config.protocol.first_start = MakeMonth(2013, 1);
+  config.protocol.num_windows = 1;
+  config.thresholds = {0.1, 0.5};
+
+  FixedScorer scorer(0.3);
+  auto evals = EvaluateRecommender(scorer, c, config);
+  ASSERT_EQ(evals.size(), 2u);
+
+  // Threshold 0.1 < 0.3: product 1 recommended to both companies with
+  // history (A and B); correct only for A; relevant = 1 (A acquires 1).
+  const auto& low = evals[0];
+  ASSERT_EQ(low.windows.size(), 1u);
+  EXPECT_EQ(low.windows[0].retrieved, 2);
+  EXPECT_EQ(low.windows[0].correct, 1);
+  EXPECT_EQ(low.windows[0].relevant, 1);
+  EXPECT_DOUBLE_EQ(low.windows[0].precision(), 0.5);
+  EXPECT_DOUBLE_EQ(low.windows[0].recall(), 1.0);
+
+  // Threshold 0.5 > 0.3: nothing recommended.
+  const auto& high = evals[1];
+  EXPECT_EQ(high.windows[0].retrieved, 0);
+  EXPECT_EQ(high.windows[0].correct, 0);
+  EXPECT_FALSE(high.any_retrieved);
+  EXPECT_DOUBLE_EQ(high.mean_recall, 0.0);
+}
+
+TEST(EvaluationTest, OwnedProductsNeverRecommended) {
+  corpus::Corpus c = HandCorpus();
+  RecommendationEvalConfig config;
+  config.protocol.num_windows = 1;
+  config.thresholds = {0.0};
+
+  // Scorer that puts mass on product 0 (owned by company A).
+  class OwnedScorer final : public models::ConditionalScorer {
+   public:
+    std::vector<double> NextProductDistribution(
+        const models::TokenSequence&) const override {
+      std::vector<double> dist(38, 0.0);
+      dist[0] = 0.9;
+      return dist;
+    }
+    int vocab_size() const override { return 38; }
+    std::string name() const override { return "owned"; }
+  } scorer;
+
+  auto evals = EvaluateRecommender(scorer, c, config);
+  // Company A owns 0 -> not recommended to A; B doesn't own it -> the one
+  // retrieval comes from B.
+  EXPECT_EQ(evals[0].windows[0].retrieved, 1);
+}
+
+TEST(EvaluationTest, RandomBaselineMatchesPaperBehaviour) {
+  corpus::Corpus c = HandCorpus();
+  RecommendationEvalConfig config;
+  config.protocol.num_windows = 1;
+  config.thresholds = {0.01, 1.0 / 38.0, 0.5};
+  auto evals = EvaluateRandomBaseline(c, config);
+  // Below 1/38 the random recommender retrieves *everything* unowned:
+  // companies A and B each have 37 unowned products.
+  EXPECT_EQ(evals[0].windows[0].retrieved, 74);
+  EXPECT_DOUBLE_EQ(evals[0].mean_recall, 1.0);
+  // At threshold exactly 1/38 (score > phi fails) and above: nothing.
+  EXPECT_EQ(evals[1].windows[0].retrieved, 0);
+  EXPECT_EQ(evals[2].windows[0].retrieved, 0);
+}
+
+TEST(EvaluationTest, ScoreMatrixPathAgreesWithScorerPath) {
+  corpus::Corpus c = HandCorpus();
+  RecommendationEvalConfig config;
+  config.protocol.num_windows = 2;
+  config.thresholds = DefaultThresholds();
+
+  FixedScorer scorer(0.3);
+  auto by_scorer = EvaluateRecommender(scorer, c, config);
+
+  Matrix scores(c.num_companies(), c.num_categories(), 0.0);
+  for (int i = 0; i < c.num_companies(); ++i) scores(i, 1) = 0.3;
+  auto by_matrix = EvaluateScoreMatrix(scores, c, config);
+
+  ASSERT_EQ(by_scorer.size(), by_matrix.size());
+  for (size_t t = 0; t < by_scorer.size(); ++t) {
+    ASSERT_EQ(by_scorer[t].windows.size(), by_matrix[t].windows.size());
+    for (size_t w = 0; w < by_scorer[t].windows.size(); ++w) {
+      EXPECT_EQ(by_scorer[t].windows[w].retrieved,
+                by_matrix[t].windows[w].retrieved);
+      EXPECT_EQ(by_scorer[t].windows[w].correct,
+                by_matrix[t].windows[w].correct);
+    }
+  }
+}
+
+TEST(EvaluationTest, DefaultThresholdsMatchFig3Grid) {
+  auto thresholds = DefaultThresholds();
+  ASSERT_EQ(thresholds.size(), 9u);
+  EXPECT_DOUBLE_EQ(thresholds.front(), 0.0);
+  EXPECT_DOUBLE_EQ(thresholds.back(), 0.4);
+}
+
+TEST(EvaluationTest, ConfidenceIntervalsShrinkWithConsistentWindows) {
+  auto generated = corpus::GenerateDefaultCorpus(400, 3);
+  RecommendationEvalConfig config;
+  config.thresholds = {0.05};
+  FixedScorer scorer(0.1);
+  auto evals = EvaluateRecommender(scorer, generated.corpus, config);
+  ASSERT_EQ(evals.size(), 1u);
+  EXPECT_EQ(evals[0].windows.size(), 13u);
+  // CI must bracket the mean.
+  EXPECT_LE(evals[0].recall_ci.lo, evals[0].mean_recall);
+  EXPECT_GE(evals[0].recall_ci.hi, evals[0].mean_recall);
+}
+
+// ------------------------------------------------------ SimilaritySearch
+
+TEST(SimilaritySearchTest, FindsNearestByEuclidean) {
+  std::vector<std::vector<double>> reps = {
+      {0.0, 0.0}, {1.0, 0.0}, {5.0, 5.0}, {0.1, 0.1}};
+  SimilaritySearch search(reps, cluster::DistanceKind::kEuclidean);
+  auto neighbors = search.TopK(0, 2);
+  ASSERT_TRUE(neighbors.ok());
+  ASSERT_EQ(neighbors->size(), 2u);
+  EXPECT_EQ((*neighbors)[0].company_id, 3);
+  EXPECT_EQ((*neighbors)[1].company_id, 1);
+}
+
+TEST(SimilaritySearchTest, ExcludesSelfAndHonorsFilter) {
+  std::vector<std::vector<double>> reps = {
+      {0.0}, {0.1}, {0.2}, {0.3}};
+  SimilaritySearch search(reps, cluster::DistanceKind::kEuclidean);
+  auto filtered = search.TopK(0, 10, [](int id) { return id % 2 == 0; });
+  ASSERT_TRUE(filtered.ok());
+  ASSERT_EQ(filtered->size(), 1u);  // only company 2 passes (0 is self)
+  EXPECT_EQ((*filtered)[0].company_id, 2);
+}
+
+TEST(SimilaritySearchTest, VectorQueryAndErrors) {
+  std::vector<std::vector<double>> reps = {{0.0, 0.0}, {3.0, 4.0}};
+  SimilaritySearch search(reps, cluster::DistanceKind::kEuclidean);
+  auto hits = search.TopKForVector({3.0, 3.9}, 1);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ((*hits)[0].company_id, 1);
+
+  EXPECT_FALSE(search.TopK(-1, 3).ok());
+  EXPECT_FALSE(search.TopK(5, 3).ok());
+  EXPECT_FALSE(search.TopK(0, 0).ok());
+  EXPECT_FALSE(search.TopKForVector({1.0}, 1).ok());  // dim mismatch
+}
+
+TEST(SimilaritySearchTest, KLargerThanCorpusReturnsAll) {
+  std::vector<std::vector<double>> reps = {{0.0}, {1.0}, {2.0}};
+  SimilaritySearch search(reps, cluster::DistanceKind::kEuclidean);
+  auto hits = search.TopK(1, 100);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 2u);
+}
+
+}  // namespace
+}  // namespace hlm::recsys

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "corpus/generator.h"
+#include "math/rng.h"
+#include "models/lda.h"
+#include "models/lstm_lm.h"
+
+namespace hlm::models {
+namespace {
+
+TEST(LdaSerializationTest, RoundTripPreservesModel) {
+  auto world = corpus::GenerateDefaultCorpus(200, 3);
+  LdaConfig config;
+  config.num_topics = 3;
+  LdaModel original(38, config);
+  ASSERT_TRUE(original.Train(world.corpus.Sequences()).ok());
+
+  std::string path = ::testing::TempDir() + "/lda_roundtrip.hlm";
+  ASSERT_TRUE(original.SaveToFile(path).ok());
+  auto restored = LdaModel::LoadFromFile(path);
+  ASSERT_TRUE(restored.ok());
+
+  // phi identical (up to text round-trip precision).
+  for (int t = 0; t < 3; ++t) {
+    for (int w = 0; w < 38; ++w) {
+      EXPECT_NEAR(restored->topic_word()[t][w], original.topic_word()[t][w],
+                  1e-15);
+    }
+  }
+  // Inference behaviour identical (same seed persisted).
+  TokenSequence doc = world.corpus.record(0).install_base.Set();
+  EXPECT_EQ(restored->InferTopicMixture(doc), original.InferTopicMixture(doc));
+  EXPECT_EQ(restored->NextProductDistribution(doc),
+            original.NextProductDistribution(doc));
+  std::remove(path.c_str());
+}
+
+TEST(LdaSerializationTest, RejectsUntrainedAndCorrupt) {
+  LdaModel untrained(38, LdaConfig{});
+  EXPECT_FALSE(untrained.SaveToFile("/tmp/never").ok());
+  EXPECT_FALSE(LdaModel::LoadFromFile("/nonexistent").ok());
+
+  std::string path = ::testing::TempDir() + "/lda_corrupt.hlm";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("hlm-lda 1\n38 3 0.1", f);  // truncated header
+  fclose(f);
+  EXPECT_FALSE(LdaModel::LoadFromFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(LstmSerializationTest, RoundTripPreservesPredictions) {
+  auto world = corpus::GenerateDefaultCorpus(120, 5);
+  LstmConfig config;
+  config.hidden_size = 12;
+  config.num_layers = 2;
+  config.epochs = 3;
+  LstmLanguageModel original(38, config);
+  original.Train(world.corpus.Sequences(), {});
+
+  std::string path = ::testing::TempDir() + "/lstm_roundtrip.hlm";
+  ASSERT_TRUE(original.SaveToFile(path).ok());
+  auto restored = LstmLanguageModel::LoadFromFile(path);
+  ASSERT_TRUE(restored.ok());
+
+  auto sequences = world.corpus.Sequences();
+  EXPECT_NEAR((*restored)->Perplexity(sequences),
+              original.Perplexity(sequences), 1e-9);
+  auto original_dist = original.NextProductDistribution({0, 5});
+  auto restored_dist = (*restored)->NextProductDistribution({0, 5});
+  for (size_t i = 0; i < original_dist.size(); ++i) {
+    EXPECT_NEAR(restored_dist[i], original_dist[i], 1e-12);
+  }
+  EXPECT_EQ((*restored)->NumParameters(), original.NumParameters());
+  std::remove(path.c_str());
+}
+
+TEST(LstmSerializationTest, RejectsCorruptFiles) {
+  EXPECT_FALSE(LstmLanguageModel::LoadFromFile("/nonexistent").ok());
+  std::string path = ::testing::TempDir() + "/lstm_corrupt.hlm";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("hlm-lstm 1\n38 12 2 0.25 0.003 3 64 5 0 99\n3 3\n1 2 3", f);
+  fclose(f);
+  EXPECT_FALSE(LstmLanguageModel::LoadFromFile(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hlm::models
