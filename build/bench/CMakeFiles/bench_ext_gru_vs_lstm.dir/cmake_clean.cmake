@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_gru_vs_lstm.dir/bench_ext_gru_vs_lstm.cc.o"
+  "CMakeFiles/bench_ext_gru_vs_lstm.dir/bench_ext_gru_vs_lstm.cc.o.d"
+  "bench_ext_gru_vs_lstm"
+  "bench_ext_gru_vs_lstm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_gru_vs_lstm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_representations.dir/bench_ext_representations.cc.o"
+  "CMakeFiles/bench_ext_representations.dir/bench_ext_representations.cc.o.d"
+  "bench_ext_representations"
+  "bench_ext_representations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_representations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

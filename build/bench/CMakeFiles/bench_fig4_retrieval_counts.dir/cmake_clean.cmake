@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_retrieval_counts.dir/bench_fig4_retrieval_counts.cc.o"
+  "CMakeFiles/bench_fig4_retrieval_counts.dir/bench_fig4_retrieval_counts.cc.o.d"
+  "bench_fig4_retrieval_counts"
+  "bench_fig4_retrieval_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_retrieval_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

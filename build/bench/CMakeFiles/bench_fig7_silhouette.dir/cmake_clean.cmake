@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_silhouette.dir/bench_fig7_silhouette.cc.o"
+  "CMakeFiles/bench_fig7_silhouette.dir/bench_fig7_silhouette.cc.o.d"
+  "bench_fig7_silhouette"
+  "bench_fig7_silhouette.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_silhouette.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_chh.dir/bench_micro_chh.cc.o"
+  "CMakeFiles/bench_micro_chh.dir/bench_micro_chh.cc.o.d"
+  "bench_micro_chh"
+  "bench_micro_chh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_chh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_corpus.dir/bench_micro_corpus.cc.o"
+  "CMakeFiles/bench_micro_corpus.dir/bench_micro_corpus.cc.o.d"
+  "bench_micro_corpus"
+  "bench_micro_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

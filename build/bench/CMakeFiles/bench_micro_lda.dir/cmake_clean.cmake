@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_lda.dir/bench_micro_lda.cc.o"
+  "CMakeFiles/bench_micro_lda.dir/bench_micro_lda.cc.o.d"
+  "bench_micro_lda"
+  "bench_micro_lda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_lda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

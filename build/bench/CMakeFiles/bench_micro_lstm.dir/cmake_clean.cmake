@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_lstm.dir/bench_micro_lstm.cc.o"
+  "CMakeFiles/bench_micro_lstm.dir/bench_micro_lstm.cc.o.d"
+  "bench_micro_lstm"
+  "bench_micro_lstm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_lstm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

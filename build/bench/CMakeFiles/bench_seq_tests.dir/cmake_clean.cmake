@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seq_tests.dir/bench_seq_tests.cc.o"
+  "CMakeFiles/bench_seq_tests.dir/bench_seq_tests.cc.o.d"
+  "bench_seq_tests"
+  "bench_seq_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seq_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

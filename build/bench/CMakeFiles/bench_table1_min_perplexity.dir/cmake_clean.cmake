@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_min_perplexity.dir/bench_table1_min_perplexity.cc.o"
+  "CMakeFiles/bench_table1_min_perplexity.dir/bench_table1_min_perplexity.cc.o.d"
+  "bench_table1_min_perplexity"
+  "bench_table1_min_perplexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_min_perplexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlm_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/hlm_bench_util.dir/bench_util.cc.o.d"
+  "libhlm_bench_util.a"
+  "libhlm_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlm_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

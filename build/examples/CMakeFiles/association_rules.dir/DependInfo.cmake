@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/association_rules.cpp" "examples/CMakeFiles/association_rules.dir/association_rules.cpp.o" "gcc" "examples/CMakeFiles/association_rules.dir/association_rules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/hlm_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/recsys/CMakeFiles/hlm_recsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/repr/CMakeFiles/hlm_repr.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hlm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/hlm_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/hlm_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/hlm_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hlm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

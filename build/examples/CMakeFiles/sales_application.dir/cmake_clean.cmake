@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sales_application.dir/sales_application.cpp.o"
+  "CMakeFiles/sales_application.dir/sales_application.cpp.o.d"
+  "sales_application"
+  "sales_application.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sales_application.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

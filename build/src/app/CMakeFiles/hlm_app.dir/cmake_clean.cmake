@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlm_app.dir/sales_tool.cc.o"
+  "CMakeFiles/hlm_app.dir/sales_tool.cc.o.d"
+  "libhlm_app.a"
+  "libhlm_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlm_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlm_cluster.dir/cocluster.cc.o"
+  "CMakeFiles/hlm_cluster.dir/cocluster.cc.o.d"
+  "CMakeFiles/hlm_cluster.dir/distance.cc.o"
+  "CMakeFiles/hlm_cluster.dir/distance.cc.o.d"
+  "CMakeFiles/hlm_cluster.dir/kmeans.cc.o"
+  "CMakeFiles/hlm_cluster.dir/kmeans.cc.o.d"
+  "CMakeFiles/hlm_cluster.dir/silhouette.cc.o"
+  "CMakeFiles/hlm_cluster.dir/silhouette.cc.o.d"
+  "CMakeFiles/hlm_cluster.dir/tsne.cc.o"
+  "CMakeFiles/hlm_cluster.dir/tsne.cc.o.d"
+  "libhlm_cluster.a"
+  "libhlm_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlm_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlm_common.dir/csv.cc.o"
+  "CMakeFiles/hlm_common.dir/csv.cc.o.d"
+  "CMakeFiles/hlm_common.dir/flags.cc.o"
+  "CMakeFiles/hlm_common.dir/flags.cc.o.d"
+  "CMakeFiles/hlm_common.dir/logging.cc.o"
+  "CMakeFiles/hlm_common.dir/logging.cc.o.d"
+  "CMakeFiles/hlm_common.dir/status.cc.o"
+  "CMakeFiles/hlm_common.dir/status.cc.o.d"
+  "CMakeFiles/hlm_common.dir/string_util.cc.o"
+  "CMakeFiles/hlm_common.dir/string_util.cc.o.d"
+  "libhlm_common.a"
+  "libhlm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/company.cc" "src/corpus/CMakeFiles/hlm_corpus.dir/company.cc.o" "gcc" "src/corpus/CMakeFiles/hlm_corpus.dir/company.cc.o.d"
+  "/root/repo/src/corpus/corpus.cc" "src/corpus/CMakeFiles/hlm_corpus.dir/corpus.cc.o" "gcc" "src/corpus/CMakeFiles/hlm_corpus.dir/corpus.cc.o.d"
+  "/root/repo/src/corpus/corpus_io.cc" "src/corpus/CMakeFiles/hlm_corpus.dir/corpus_io.cc.o" "gcc" "src/corpus/CMakeFiles/hlm_corpus.dir/corpus_io.cc.o.d"
+  "/root/repo/src/corpus/duns.cc" "src/corpus/CMakeFiles/hlm_corpus.dir/duns.cc.o" "gcc" "src/corpus/CMakeFiles/hlm_corpus.dir/duns.cc.o.d"
+  "/root/repo/src/corpus/generator.cc" "src/corpus/CMakeFiles/hlm_corpus.dir/generator.cc.o" "gcc" "src/corpus/CMakeFiles/hlm_corpus.dir/generator.cc.o.d"
+  "/root/repo/src/corpus/integration.cc" "src/corpus/CMakeFiles/hlm_corpus.dir/integration.cc.o" "gcc" "src/corpus/CMakeFiles/hlm_corpus.dir/integration.cc.o.d"
+  "/root/repo/src/corpus/month.cc" "src/corpus/CMakeFiles/hlm_corpus.dir/month.cc.o" "gcc" "src/corpus/CMakeFiles/hlm_corpus.dir/month.cc.o.d"
+  "/root/repo/src/corpus/product_taxonomy.cc" "src/corpus/CMakeFiles/hlm_corpus.dir/product_taxonomy.cc.o" "gcc" "src/corpus/CMakeFiles/hlm_corpus.dir/product_taxonomy.cc.o.d"
+  "/root/repo/src/corpus/record_linkage.cc" "src/corpus/CMakeFiles/hlm_corpus.dir/record_linkage.cc.o" "gcc" "src/corpus/CMakeFiles/hlm_corpus.dir/record_linkage.cc.o.d"
+  "/root/repo/src/corpus/sic.cc" "src/corpus/CMakeFiles/hlm_corpus.dir/sic.cc.o" "gcc" "src/corpus/CMakeFiles/hlm_corpus.dir/sic.cc.o.d"
+  "/root/repo/src/corpus/tfidf.cc" "src/corpus/CMakeFiles/hlm_corpus.dir/tfidf.cc.o" "gcc" "src/corpus/CMakeFiles/hlm_corpus.dir/tfidf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hlm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/hlm_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

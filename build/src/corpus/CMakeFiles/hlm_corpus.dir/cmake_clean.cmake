@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlm_corpus.dir/company.cc.o"
+  "CMakeFiles/hlm_corpus.dir/company.cc.o.d"
+  "CMakeFiles/hlm_corpus.dir/corpus.cc.o"
+  "CMakeFiles/hlm_corpus.dir/corpus.cc.o.d"
+  "CMakeFiles/hlm_corpus.dir/corpus_io.cc.o"
+  "CMakeFiles/hlm_corpus.dir/corpus_io.cc.o.d"
+  "CMakeFiles/hlm_corpus.dir/duns.cc.o"
+  "CMakeFiles/hlm_corpus.dir/duns.cc.o.d"
+  "CMakeFiles/hlm_corpus.dir/generator.cc.o"
+  "CMakeFiles/hlm_corpus.dir/generator.cc.o.d"
+  "CMakeFiles/hlm_corpus.dir/integration.cc.o"
+  "CMakeFiles/hlm_corpus.dir/integration.cc.o.d"
+  "CMakeFiles/hlm_corpus.dir/month.cc.o"
+  "CMakeFiles/hlm_corpus.dir/month.cc.o.d"
+  "CMakeFiles/hlm_corpus.dir/product_taxonomy.cc.o"
+  "CMakeFiles/hlm_corpus.dir/product_taxonomy.cc.o.d"
+  "CMakeFiles/hlm_corpus.dir/record_linkage.cc.o"
+  "CMakeFiles/hlm_corpus.dir/record_linkage.cc.o.d"
+  "CMakeFiles/hlm_corpus.dir/sic.cc.o"
+  "CMakeFiles/hlm_corpus.dir/sic.cc.o.d"
+  "CMakeFiles/hlm_corpus.dir/tfidf.cc.o"
+  "CMakeFiles/hlm_corpus.dir/tfidf.cc.o.d"
+  "libhlm_corpus.a"
+  "libhlm_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlm_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

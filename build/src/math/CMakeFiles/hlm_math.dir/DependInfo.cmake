@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/matrix.cc" "src/math/CMakeFiles/hlm_math.dir/matrix.cc.o" "gcc" "src/math/CMakeFiles/hlm_math.dir/matrix.cc.o.d"
+  "/root/repo/src/math/mvn.cc" "src/math/CMakeFiles/hlm_math.dir/mvn.cc.o" "gcc" "src/math/CMakeFiles/hlm_math.dir/mvn.cc.o.d"
+  "/root/repo/src/math/rng.cc" "src/math/CMakeFiles/hlm_math.dir/rng.cc.o" "gcc" "src/math/CMakeFiles/hlm_math.dir/rng.cc.o.d"
+  "/root/repo/src/math/special_functions.cc" "src/math/CMakeFiles/hlm_math.dir/special_functions.cc.o" "gcc" "src/math/CMakeFiles/hlm_math.dir/special_functions.cc.o.d"
+  "/root/repo/src/math/statistics.cc" "src/math/CMakeFiles/hlm_math.dir/statistics.cc.o" "gcc" "src/math/CMakeFiles/hlm_math.dir/statistics.cc.o.d"
+  "/root/repo/src/math/svd.cc" "src/math/CMakeFiles/hlm_math.dir/svd.cc.o" "gcc" "src/math/CMakeFiles/hlm_math.dir/svd.cc.o.d"
+  "/root/repo/src/math/vector_ops.cc" "src/math/CMakeFiles/hlm_math.dir/vector_ops.cc.o" "gcc" "src/math/CMakeFiles/hlm_math.dir/vector_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hlm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

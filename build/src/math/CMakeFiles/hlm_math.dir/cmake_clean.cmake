@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlm_math.dir/matrix.cc.o"
+  "CMakeFiles/hlm_math.dir/matrix.cc.o.d"
+  "CMakeFiles/hlm_math.dir/mvn.cc.o"
+  "CMakeFiles/hlm_math.dir/mvn.cc.o.d"
+  "CMakeFiles/hlm_math.dir/rng.cc.o"
+  "CMakeFiles/hlm_math.dir/rng.cc.o.d"
+  "CMakeFiles/hlm_math.dir/special_functions.cc.o"
+  "CMakeFiles/hlm_math.dir/special_functions.cc.o.d"
+  "CMakeFiles/hlm_math.dir/statistics.cc.o"
+  "CMakeFiles/hlm_math.dir/statistics.cc.o.d"
+  "CMakeFiles/hlm_math.dir/svd.cc.o"
+  "CMakeFiles/hlm_math.dir/svd.cc.o.d"
+  "CMakeFiles/hlm_math.dir/vector_ops.cc.o"
+  "CMakeFiles/hlm_math.dir/vector_ops.cc.o.d"
+  "libhlm_math.a"
+  "libhlm_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlm_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

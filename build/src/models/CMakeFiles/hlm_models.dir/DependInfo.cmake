@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/bpmf.cc" "src/models/CMakeFiles/hlm_models.dir/bpmf.cc.o" "gcc" "src/models/CMakeFiles/hlm_models.dir/bpmf.cc.o.d"
+  "/root/repo/src/models/chh.cc" "src/models/CMakeFiles/hlm_models.dir/chh.cc.o" "gcc" "src/models/CMakeFiles/hlm_models.dir/chh.cc.o.d"
+  "/root/repo/src/models/gru_lm.cc" "src/models/CMakeFiles/hlm_models.dir/gru_lm.cc.o" "gcc" "src/models/CMakeFiles/hlm_models.dir/gru_lm.cc.o.d"
+  "/root/repo/src/models/lda.cc" "src/models/CMakeFiles/hlm_models.dir/lda.cc.o" "gcc" "src/models/CMakeFiles/hlm_models.dir/lda.cc.o.d"
+  "/root/repo/src/models/lsi.cc" "src/models/CMakeFiles/hlm_models.dir/lsi.cc.o" "gcc" "src/models/CMakeFiles/hlm_models.dir/lsi.cc.o.d"
+  "/root/repo/src/models/lstm_cell.cc" "src/models/CMakeFiles/hlm_models.dir/lstm_cell.cc.o" "gcc" "src/models/CMakeFiles/hlm_models.dir/lstm_cell.cc.o.d"
+  "/root/repo/src/models/lstm_lm.cc" "src/models/CMakeFiles/hlm_models.dir/lstm_lm.cc.o" "gcc" "src/models/CMakeFiles/hlm_models.dir/lstm_lm.cc.o.d"
+  "/root/repo/src/models/ngram.cc" "src/models/CMakeFiles/hlm_models.dir/ngram.cc.o" "gcc" "src/models/CMakeFiles/hlm_models.dir/ngram.cc.o.d"
+  "/root/repo/src/models/perplexity.cc" "src/models/CMakeFiles/hlm_models.dir/perplexity.cc.o" "gcc" "src/models/CMakeFiles/hlm_models.dir/perplexity.cc.o.d"
+  "/root/repo/src/models/sequence_tests.cc" "src/models/CMakeFiles/hlm_models.dir/sequence_tests.cc.o" "gcc" "src/models/CMakeFiles/hlm_models.dir/sequence_tests.cc.o.d"
+  "/root/repo/src/models/space_saving.cc" "src/models/CMakeFiles/hlm_models.dir/space_saving.cc.o" "gcc" "src/models/CMakeFiles/hlm_models.dir/space_saving.cc.o.d"
+  "/root/repo/src/models/word2vec.cc" "src/models/CMakeFiles/hlm_models.dir/word2vec.cc.o" "gcc" "src/models/CMakeFiles/hlm_models.dir/word2vec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hlm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/hlm_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/hlm_corpus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

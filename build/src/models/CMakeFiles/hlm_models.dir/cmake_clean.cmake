@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlm_models.dir/bpmf.cc.o"
+  "CMakeFiles/hlm_models.dir/bpmf.cc.o.d"
+  "CMakeFiles/hlm_models.dir/chh.cc.o"
+  "CMakeFiles/hlm_models.dir/chh.cc.o.d"
+  "CMakeFiles/hlm_models.dir/gru_lm.cc.o"
+  "CMakeFiles/hlm_models.dir/gru_lm.cc.o.d"
+  "CMakeFiles/hlm_models.dir/lda.cc.o"
+  "CMakeFiles/hlm_models.dir/lda.cc.o.d"
+  "CMakeFiles/hlm_models.dir/lsi.cc.o"
+  "CMakeFiles/hlm_models.dir/lsi.cc.o.d"
+  "CMakeFiles/hlm_models.dir/lstm_cell.cc.o"
+  "CMakeFiles/hlm_models.dir/lstm_cell.cc.o.d"
+  "CMakeFiles/hlm_models.dir/lstm_lm.cc.o"
+  "CMakeFiles/hlm_models.dir/lstm_lm.cc.o.d"
+  "CMakeFiles/hlm_models.dir/ngram.cc.o"
+  "CMakeFiles/hlm_models.dir/ngram.cc.o.d"
+  "CMakeFiles/hlm_models.dir/perplexity.cc.o"
+  "CMakeFiles/hlm_models.dir/perplexity.cc.o.d"
+  "CMakeFiles/hlm_models.dir/sequence_tests.cc.o"
+  "CMakeFiles/hlm_models.dir/sequence_tests.cc.o.d"
+  "CMakeFiles/hlm_models.dir/space_saving.cc.o"
+  "CMakeFiles/hlm_models.dir/space_saving.cc.o.d"
+  "CMakeFiles/hlm_models.dir/word2vec.cc.o"
+  "CMakeFiles/hlm_models.dir/word2vec.cc.o.d"
+  "libhlm_models.a"
+  "libhlm_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlm_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

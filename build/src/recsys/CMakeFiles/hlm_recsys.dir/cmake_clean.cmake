@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlm_recsys.dir/evaluation.cc.o"
+  "CMakeFiles/hlm_recsys.dir/evaluation.cc.o.d"
+  "CMakeFiles/hlm_recsys.dir/similarity_search.cc.o"
+  "CMakeFiles/hlm_recsys.dir/similarity_search.cc.o.d"
+  "CMakeFiles/hlm_recsys.dir/sliding_window.cc.o"
+  "CMakeFiles/hlm_recsys.dir/sliding_window.cc.o.d"
+  "libhlm_recsys.a"
+  "libhlm_recsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlm_recsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

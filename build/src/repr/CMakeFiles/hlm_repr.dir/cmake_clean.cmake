@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlm_repr.dir/representation.cc.o"
+  "CMakeFiles/hlm_repr.dir/representation.cc.o.d"
+  "libhlm_repr.a"
+  "libhlm_repr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlm_repr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpmf_test.dir/bpmf_test.cc.o"
+  "CMakeFiles/bpmf_test.dir/bpmf_test.cc.o.d"
+  "bpmf_test"
+  "bpmf_test.pdb"
+  "bpmf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpmf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chh_test.dir/chh_test.cc.o"
+  "CMakeFiles/chh_test.dir/chh_test.cc.o.d"
+  "chh_test"
+  "chh_test.pdb"
+  "chh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embeddings_test.dir/embeddings_test.cc.o"
+  "CMakeFiles/embeddings_test.dir/embeddings_test.cc.o.d"
+  "embeddings_test"
+  "embeddings_test.pdb"
+  "embeddings_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embeddings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recsys_test.dir/recsys_test.cc.o"
+  "CMakeFiles/recsys_test.dir/recsys_test.cc.o.d"
+  "recsys_test"
+  "recsys_test.pdb"
+  "recsys_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recsys_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
