@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
   int best_k = 0;
   std::vector<std::pair<int, double>> binary_curve;
   for (int k : {2, 3, 4, 6, 8, 10, 12, 14, 16}) {
+    hlm::bench::ScopedPhase phase("lda_k" + std::to_string(k));
     hlm::models::LdaConfig config;
     config.num_topics = k;
     hlm::models::LdaModel binary(vocab, config);

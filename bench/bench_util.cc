@@ -2,8 +2,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <string>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "corpus/month.h"
 #include "models/chh.h"
 #include "models/lda.h"
@@ -11,19 +14,95 @@
 
 namespace hlm::bench {
 
+namespace {
+
+// Output paths captured by MakeEnv; written once at process exit so
+// every harness gets machine-readable output without per-bench plumbing.
+std::string g_metrics_out_path;  // NOLINT(runtime/string)
+std::string g_trace_out_path;    // NOLINT(runtime/string)
+
+void WriteObservabilityOutputs() {
+  if (!g_metrics_out_path.empty()) {
+    std::ofstream out(g_metrics_out_path);
+    if (out) out << obs::MetricsRegistry::Global().Snapshot().ToJson();
+    if (!out) {
+      std::fprintf(stderr, "WARNING: failed to write metrics to %s\n",
+                   g_metrics_out_path.c_str());
+    } else {
+      std::fprintf(stderr, "metrics written to %s\n",
+                   g_metrics_out_path.c_str());
+    }
+  }
+  if (!g_trace_out_path.empty()) {
+    Status status =
+        obs::TraceRecorder::Global().WriteChromeTrace(g_trace_out_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "WARNING: failed to write trace to %s: %s\n",
+                   g_trace_out_path.c_str(), status.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "trace written to %s (load in chrome://tracing)\n",
+                   g_trace_out_path.c_str());
+    }
+  }
+}
+
+}  // namespace
+
+ScopedPhase::ScopedPhase(const std::string& name)
+    : span_(name,
+            obs::MetricsRegistry::Global().GetHistogram(
+                "hlm.bench." + name + "_seconds"),
+            "bench") {}
+
 BenchEnv MakeEnv(int argc, char** argv, FlagSet* flags,
                  long long default_companies) {
   long long companies = default_companies;
   long long seed = 42;
+  std::string metrics_out;
+  std::string trace_out;
+  std::string log_level;
   flags->AddInt64("companies", &companies, "corpus size");
   flags->AddInt64("seed", &seed, "generator seed");
+  flags->AddString("metrics_out", &metrics_out,
+                   "write a metrics-snapshot JSON here at exit");
+  flags->AddString("trace_out", &trace_out,
+                   "write a chrome://tracing JSON here at exit");
+  flags->AddString("log_level", &log_level,
+                   "minimum log level: debug, info, warning, error");
   Status status = flags->Parse(argc, argv);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
                  flags->Usage().c_str());
     std::exit(2);
   }
+  if (!log_level.empty()) {
+    std::string lowered = ToLower(log_level);
+    if (lowered == "debug") {
+      SetLogLevel(LogLevel::kDebug);
+    } else if (lowered == "info") {
+      SetLogLevel(LogLevel::kInfo);
+    } else if (lowered == "warning" || lowered == "warn") {
+      SetLogLevel(LogLevel::kWarning);
+    } else if (lowered == "error") {
+      SetLogLevel(LogLevel::kError);
+    } else {
+      std::fprintf(stderr, "unknown --log_level: %s\n%s", log_level.c_str(),
+                   flags->Usage().c_str());
+      std::exit(2);
+    }
+  }
+  if (!metrics_out.empty() || !trace_out.empty()) {
+    g_metrics_out_path = metrics_out;
+    g_trace_out_path = trace_out;
+    if (!trace_out.empty()) obs::TraceRecorder::Global().Enable();
+    std::atexit(WriteObservabilityOutputs);
+  }
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.GetGauge("hlm.bench.companies")
+      ->Set(static_cast<double>(companies));
+  metrics.GetGauge("hlm.bench.seed")->Set(static_cast<double>(seed));
 
+  ScopedPhase make_env_phase("make_env");
   corpus::GeneratorConfig config;
   config.num_companies = static_cast<int>(companies);
   config.seed = static_cast<uint64_t>(seed);
@@ -74,26 +153,36 @@ TrainedRecommenders TrainRecommenders(const BenchEnv& env, int lstm_epochs) {
   const int vocab = env.world.corpus.num_categories();
   TrainedRecommenders out;
 
-  models::LdaConfig lda_config;
-  lda_config.num_topics = 4;
-  auto lda = std::make_unique<models::LdaModel>(vocab, lda_config);
-  HLM_CHECK_OK(lda->Train(env.train_seqs_pre2013));
-  out.lda = std::move(lda);
+  {
+    ScopedPhase phase("train_lda");
+    models::LdaConfig lda_config;
+    lda_config.num_topics = 4;
+    auto lda = std::make_unique<models::LdaModel>(vocab, lda_config);
+    HLM_CHECK_OK(lda->Train(env.train_seqs_pre2013));
+    out.lda = std::move(lda);
+  }
 
-  models::LstmConfig lstm_config;
-  lstm_config.hidden_size = 100;
-  lstm_config.num_layers = 1;
-  lstm_config.epochs = lstm_epochs;
-  auto lstm = std::make_unique<models::LstmLanguageModel>(vocab, lstm_config);
-  lstm->Train(env.train_seqs_pre2013, env.valid_seqs);
-  out.lstm = std::move(lstm);
+  {
+    ScopedPhase phase("train_lstm");
+    models::LstmConfig lstm_config;
+    lstm_config.hidden_size = 100;
+    lstm_config.num_layers = 1;
+    lstm_config.epochs = lstm_epochs;
+    auto lstm =
+        std::make_unique<models::LstmLanguageModel>(vocab, lstm_config);
+    lstm->Train(env.train_seqs_pre2013, env.valid_seqs);
+    out.lstm = std::move(lstm);
+  }
 
-  models::ChhConfig chh_config;
-  chh_config.context_depth = 2;  // chosen from the bigram/trigram tests
-  auto chh = std::make_unique<models::ConditionalHeavyHitters>(vocab,
-                                                               chh_config);
-  chh->Train(env.train_seqs_pre2013);
-  out.chh = std::move(chh);
+  {
+    ScopedPhase phase("train_chh");
+    models::ChhConfig chh_config;
+    chh_config.context_depth = 2;  // chosen from the bigram/trigram tests
+    auto chh = std::make_unique<models::ConditionalHeavyHitters>(vocab,
+                                                                 chh_config);
+    chh->Train(env.train_seqs_pre2013);
+    out.chh = std::move(chh);
+  }
   return out;
 }
 

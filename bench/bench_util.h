@@ -8,6 +8,8 @@
 #include "common/flags.h"
 #include "corpus/generator.h"
 #include "models/model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hlm::bench {
 
@@ -29,11 +31,27 @@ struct BenchEnv {
   std::vector<models::TokenSequence> train_seqs_pre2013;
 };
 
-/// Common flags: --companies, --seed. Returns a parsed environment or
-/// aborts with usage on bad flags. Additional flags may be registered on
-/// `flags` by the caller before invoking.
+/// Common flags: --companies, --seed, plus the observability trio shared
+/// by every harness: --metrics_out=<path> (write a MetricsSnapshot JSON
+/// at process exit — the machine-readable data source behind
+/// BENCH_*.json), --trace_out=<path> (write a chrome://tracing JSON of
+/// every TraceSpan), and --log_level=<debug|info|warning|error>.
+/// Returns a parsed environment or aborts with usage on bad flags.
+/// Additional flags may be registered on `flags` by the caller before
+/// invoking; names colliding with the shared trio fail Parse loudly.
 BenchEnv MakeEnv(int argc, char** argv, FlagSet* flags,
                  long long default_companies = 1200);
+
+/// RAII bench phase marker: opens a trace span and records the phase's
+/// wall time into the histogram "hlm.bench.<name>_seconds", so each
+/// harness's per-phase breakdown lands in the --metrics_out JSON.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(const std::string& name);
+
+ private:
+  obs::TraceSpan span_;
+};
 
 /// Sequences of a corpus truncated to history before `cutoff`.
 std::vector<models::TokenSequence> TruncatedSequences(

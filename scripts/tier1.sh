@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the full test suite, then
+# smoke-run one figure bench with --metrics_out and check the snapshot
+# is valid JSON containing the expected LDA instrumentation.
+#
+# Usage: scripts/tier1.sh [build_dir]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+
+echo "== tier1: configure =="
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" >/dev/null
+
+echo "== tier1: build =="
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+echo "== tier1: ctest =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== tier1: metrics smoke bench =="
+METRICS_JSON="$(mktemp /tmp/hlm_tier1_metrics.XXXXXX.json)"
+trap 'rm -f "$METRICS_JSON"' EXIT
+"$BUILD_DIR/bench/bench_fig2_lda_perplexity" \
+  --companies=120 --metrics_out="$METRICS_JSON"
+
+echo "== tier1: validate metrics JSON =="
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$METRICS_JSON" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    snapshot = json.load(f)
+for section in ("counters", "gauges", "histograms"):
+    if section not in snapshot:
+        sys.exit(f"missing section: {section}")
+hist = snapshot["histograms"].get("hlm.lda.gibbs_sweep_seconds")
+if not hist or hist["count"] <= 0:
+    sys.exit("missing per-sweep Gibbs timing histogram")
+if len(hist["bucket_counts"]) != len(hist["bounds"]) + 1:
+    sys.exit("bucket_counts must be bounds+1 (overflow last)")
+if "hlm.lda.log_likelihood" not in snapshot["gauges"]:
+    sys.exit("missing final log-likelihood gauge")
+if snapshot["counters"].get("hlm.lda.sweeps_total", 0) <= 0:
+    sys.exit("missing hlm.lda.sweeps_total counter")
+print(f"ok: {len(snapshot['counters'])} counters, "
+      f"{len(snapshot['gauges'])} gauges, "
+      f"{len(snapshot['histograms'])} histograms")
+PY
+else
+  # Fallback without python3: the obs unit tests exercise FromJson on
+  # the same schema; here just check the key names are present.
+  for needle in '"hlm.lda.gibbs_sweep_seconds"' '"hlm.lda.log_likelihood"'; do
+    grep -q "$needle" "$METRICS_JSON" ||
+      { echo "missing $needle in $METRICS_JSON" >&2; exit 1; }
+  done
+  echo "ok (grep-level check; python3 not found)"
+fi
+
+echo "== tier1: PASS =="

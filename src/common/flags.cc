@@ -6,24 +6,33 @@
 
 namespace hlm {
 
+void FlagSet::Register(const std::string& name, Flag flag) {
+  auto [it, inserted] = flags_.emplace(name, std::move(flag));
+  (void)it;
+  if (!inserted && registration_status_.ok()) {
+    registration_status_ =
+        Status::AlreadyExists("flag registered twice: --" + name);
+  }
+}
+
 void FlagSet::AddInt64(const std::string& name, long long* target,
                        const std::string& help) {
-  flags_[name] = Flag{Kind::kInt64, target, help, std::to_string(*target)};
+  Register(name, Flag{Kind::kInt64, target, help, std::to_string(*target)});
 }
 
 void FlagSet::AddDouble(const std::string& name, double* target,
                         const std::string& help) {
-  flags_[name] = Flag{Kind::kDouble, target, help, std::to_string(*target)};
+  Register(name, Flag{Kind::kDouble, target, help, std::to_string(*target)});
 }
 
 void FlagSet::AddString(const std::string& name, std::string* target,
                         const std::string& help) {
-  flags_[name] = Flag{Kind::kString, target, help, *target};
+  Register(name, Flag{Kind::kString, target, help, *target});
 }
 
 void FlagSet::AddBool(const std::string& name, bool* target,
                       const std::string& help) {
-  flags_[name] = Flag{Kind::kBool, target, help, *target ? "true" : "false"};
+  Register(name, Flag{Kind::kBool, target, help, *target ? "true" : "false"});
 }
 
 Status FlagSet::SetValue(const std::string& name, const std::string& value) {
@@ -61,6 +70,7 @@ Status FlagSet::SetValue(const std::string& name, const std::string& value) {
 }
 
 Status FlagSet::Parse(int argc, char** argv) {
+  HLM_RETURN_IF_ERROR(registration_status_);
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {

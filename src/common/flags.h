@@ -26,7 +26,10 @@ class FlagSet {
                  const std::string& help);
   void AddBool(const std::string& name, bool* target, const std::string& help);
 
-  /// Parses argv (skipping argv[0]); unknown flags are an error.
+  /// Parses argv (skipping argv[0]); unknown flags are an error. Also
+  /// reports any registration error (e.g. a duplicate flag name) that
+  /// was recorded by the Add* calls, so collisions between shared and
+  /// per-bench flags cannot pass silently.
   Status Parse(int argc, char** argv);
 
   /// Renders a usage block listing all registered flags with defaults.
@@ -42,8 +45,11 @@ class FlagSet {
   };
 
   Status SetValue(const std::string& name, const std::string& value);
+  void Register(const std::string& name, Flag flag);
 
   std::map<std::string, Flag> flags_;
+  // First registration error; surfaced by Parse.
+  Status registration_status_;
 };
 
 }  // namespace hlm

@@ -1,11 +1,17 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <mutex>
 
 namespace hlm {
 
 namespace {
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+
+// Serializes sink swaps and message writes; keeps each message
+// line-atomic under concurrent logging.
+std::mutex g_sink_mutex;
+std::ostream* g_sink = nullptr;  // nullptr -> stderr
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,9 +30,18 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
+LogLevel GetLogLevel() { return g_log_level.load(std::memory_order_relaxed); }
 
-void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(level, std::memory_order_relaxed);
+}
+
+std::ostream* SetLogSink(std::ostream* sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::ostream* previous = g_sink;
+  g_sink = sink;
+  return previous;
+}
 
 namespace internal_logging {
 
@@ -44,7 +59,9 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::cerr << stream_.str() << std::endl;
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    std::ostream& out = g_sink != nullptr ? *g_sink : std::cerr;
+    out << stream_.str() << std::endl;
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();

@@ -10,9 +10,18 @@ namespace hlm {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
 
-/// Global minimum level below which messages are dropped. Defaults to kInfo.
+/// Global minimum level below which messages are dropped. Defaults to
+/// kInfo. Backed by a std::atomic<LogLevel>, so concurrent readers and
+/// writers are safe.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+/// Redirects log output to `sink` (nullptr restores stderr). Returns the
+/// previous sink (nullptr meaning stderr). Writes are serialized by an
+/// internal mutex, so interleaved messages stay line-atomic; the caller
+/// owns the stream and must keep it alive while installed. Used by tests
+/// and the metrics exporter to capture log output.
+std::ostream* SetLogSink(std::ostream* sink);
 
 namespace internal_logging {
 

@@ -7,6 +7,8 @@
 #include "common/logging.h"
 #include "corpus/sic.h"
 #include "math/vector_ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hlm::corpus {
 
@@ -272,6 +274,10 @@ SyntheticHgGenerator::SyntheticHgGenerator(GeneratorConfig config)
 }
 
 GeneratedCorpus SyntheticHgGenerator::Generate() const {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::TraceSpan generate_span(
+      "corpus.generate",
+      metrics.GetHistogram("hlm.corpus.generate_seconds"));
   ProductTaxonomy taxonomy = ProductTaxonomy::Default();
   const int m = taxonomy.num_categories();
   const SicRegistry& sic = SicRegistry::Default();
@@ -456,6 +462,21 @@ GeneratedCorpus SyntheticHgGenerator::Generate() const {
     out.corpus.Add(std::move(company));
   }
 
+  metrics.GetCounter("hlm.corpus.companies_generated_total")
+      ->Increment(config_.num_companies);
+  size_t total_events = 0;
+  for (const CompanyRecord& record : out.corpus.records()) {
+    total_events += record.install_base.size();
+  }
+  HLM_LOG(Info) << "synthetic corpus generated: " << config_.num_companies
+                << " companies, " << total_events
+                << " install events (mean "
+                << (config_.num_companies > 0
+                        ? static_cast<double>(total_events) /
+                              config_.num_companies
+                        : 0.0)
+                << " categories/company), calibrated popularity skew "
+                << skew;
   return out;
 }
 

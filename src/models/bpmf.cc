@@ -6,6 +6,8 @@
 #include "common/logging.h"
 #include "math/mvn.h"
 #include "math/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hlm::models {
 
@@ -158,8 +160,17 @@ Status BpmfModel::TrainSparse(const std::vector<RatingTriplet>& observed,
   Matrix accumulated(rows, cols, 0.0);
   int collected = 0;
 
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::Histogram* round_seconds =
+      metrics.GetHistogram("hlm.bpmf.gibbs_round_seconds");
+  obs::Counter* rounds_total = metrics.GetCounter("hlm.bpmf.rounds_total");
+  obs::TraceSpan train_span("bpmf.train",
+                            metrics.GetHistogram("hlm.bpmf.train_seconds"));
+
   const int total = config_.burn_in + config_.samples;
   for (int iter = 0; iter < total; ++iter) {
+    obs::ScopedTimer round_timer(round_seconds);
+    rounds_total->Increment();
     SideState hyper_u, hyper_v;
     HLM_RETURN_IF_ERROR(SampleHyper(u, config_.beta0, &rng, &hyper_u));
     HLM_RETURN_IF_ERROR(SampleHyper(v, config_.beta0, &rng, &hyper_v));
@@ -177,11 +188,19 @@ Status BpmfModel::TrainSparse(const std::vector<RatingTriplet>& observed,
   HLM_CHECK_GT(collected, 0);
   accumulated *= 1.0 / static_cast<double>(collected);
   // Clip to the rating range, as BPMF implementations do.
+  double score_sum = 0.0;
   for (size_t i = 0; i < accumulated.size(); ++i) {
     accumulated.data()[i] = std::clamp(accumulated.data()[i], 0.0, 1.0);
+    score_sum += accumulated.data()[i];
   }
+  const double mean_score =
+      score_sum / static_cast<double>(accumulated.size());
+  metrics.GetGauge("hlm.bpmf.mean_score")->Set(mean_score);
   scores_ = std::move(accumulated);
   trained_ = true;
+  HLM_LOG(Info) << "bpmf trained: rank " << config_.rank << ", " << total
+                << " gibbs rounds (" << collected
+                << " collected), mean predicted score " << mean_score;
   return Status::OK();
 }
 

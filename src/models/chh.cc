@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hlm::models {
 
@@ -53,7 +55,18 @@ void ConditionalHeavyHitters::ObserveSequence(const TokenSequence& sequence) {
 
 void ConditionalHeavyHitters::Train(
     const std::vector<TokenSequence>& sequences) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::TraceSpan train_span("chh.train",
+                            metrics.GetHistogram("hlm.chh.train_seconds"));
+  const long long tokens_before = total_tokens_;
   for (const TokenSequence& sequence : sequences) ObserveSequence(sequence);
+  metrics.GetCounter("hlm.chh.tokens_total")
+      ->Increment(total_tokens_ - tokens_before);
+  metrics.GetGauge("hlm.chh.contexts")
+      ->Set(static_cast<double>(contexts_.size()));
+  HLM_LOG(Info) << "chh trained: depth " << config_.context_depth << ", "
+                << total_tokens_ - tokens_before << " tokens observed, "
+                << contexts_.size() << " contexts tracked";
 }
 
 const ConditionalHeavyHitters::ContextCounts*
@@ -172,7 +185,17 @@ void ApproximateChh::ObserveSequence(const TokenSequence& sequence) {
 }
 
 void ApproximateChh::Train(const std::vector<TokenSequence>& sequences) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::TraceSpan train_span(
+      "chh.train_approx",
+      metrics.GetHistogram("hlm.chh.train_approx_seconds"));
+  const long long tokens_before = total_tokens_;
   for (const TokenSequence& sequence : sequences) ObserveSequence(sequence);
+  metrics.GetCounter("hlm.chh.tokens_total")
+      ->Increment(total_tokens_ - tokens_before);
+  HLM_LOG(Info) << "approximate chh trained: " << contexts_.size() << "/"
+                << max_contexts_ << " sketched contexts, "
+                << total_tokens_ - tokens_before << " tokens observed";
 }
 
 std::vector<double> ApproximateChh::NextProductDistribution(

@@ -6,6 +6,8 @@
 #include "common/logging.h"
 #include "models/adam.h"
 #include "models/perplexity.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hlm::models {
 
@@ -230,15 +232,27 @@ void GruLanguageModel::Train(const std::vector<TokenSequence>& sequences) {
   for (const TokenSequence& s : sequences) {
     if (!s.empty()) order.push_back(&s);
   }
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::Histogram* epoch_seconds =
+      metrics.GetHistogram("hlm.gru.epoch_seconds");
+  obs::Counter* steps_total = metrics.GetCounter("hlm.gru.steps_total");
+  obs::TraceSpan train_span("gru.train",
+                            metrics.GetHistogram("hlm.gru.train_seconds"));
   std::vector<Step> steps;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    obs::TraceSpan epoch_span("gru.epoch", epoch_seconds);
     rng_.Shuffle(&order);
     for (const TokenSequence* sequence : order) {
       ForwardSequence(*sequence, &steps);
       BackwardSequence(*sequence, steps);
       ApplyUpdate();
+      steps_total->Increment();
     }
+    HLM_LOG(Debug) << "gru epoch " << epoch + 1 << "/" << config_.epochs
+                   << " done (" << order.size() << " sequences)";
   }
+  HLM_LOG(Info) << "gru trained: " << config_.epochs << " epochs over "
+                << order.size() << " sequences";
 }
 
 double GruLanguageModel::Perplexity(

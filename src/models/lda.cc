@@ -7,10 +7,46 @@
 #include "math/rng.h"
 #include "math/vector_ops.h"
 #include "models/perplexity.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hlm::models {
 
 namespace {
+
+/// Sweeps between log-likelihood evaluations (each costs O(K·V + D·K)
+/// lgammas, a few percent of one Gibbs sweep at the default schedule).
+constexpr int kLogLikelihoodEvery = 20;
+
+// Collapsed joint log p(w, z) of the current Gibbs state. Counts may be
+// fractional (TF-IDF weighted mode); lgamma handles real arguments.
+double CollapsedLogLikelihood(
+    const std::vector<std::vector<double>>& doc_topic,
+    const std::vector<std::vector<double>>& topic_word,
+    const std::vector<double>& topic_total, double alpha, double beta,
+    int vocab_size) {
+  const int k = static_cast<int>(topic_total.size());
+  const double v = static_cast<double>(vocab_size);
+  double ll = k * (std::lgamma(v * beta) - v * std::lgamma(beta));
+  for (int t = 0; t < k; ++t) {
+    for (int w = 0; w < vocab_size; ++w) {
+      ll += std::lgamma(topic_word[t][w] + beta);
+    }
+    ll -= std::lgamma(topic_total[t] + v * beta);
+  }
+  const double lg_alpha = std::lgamma(alpha);
+  const double lg_k_alpha = std::lgamma(static_cast<double>(k) * alpha);
+  for (const std::vector<double>& row : doc_topic) {
+    double doc_tokens = 0.0;
+    ll += lg_k_alpha;
+    for (double count : row) {
+      ll += std::lgamma(count + alpha) - lg_alpha;
+      doc_tokens += count;
+    }
+    ll -= std::lgamma(doc_tokens + static_cast<double>(k) * alpha);
+  }
+  return ll;
+}
 
 // Mixes a document's tokens into a deterministic per-document seed so
 // const inference is reproducible without shared mutable state.
@@ -99,10 +135,19 @@ Status LdaModel::TrainInternal(
   phi_.assign(k, std::vector<double>(vocab_size_, 0.0));
   int samples_taken = 0;
 
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::Histogram* sweep_seconds =
+      metrics.GetHistogram("hlm.lda.gibbs_sweep_seconds");
+  obs::Counter* sweeps_total = metrics.GetCounter("hlm.lda.sweeps_total");
+  obs::Gauge* ll_gauge = metrics.GetGauge("hlm.lda.log_likelihood");
+  obs::TraceSpan train_span("lda.train",
+                            metrics.GetHistogram("hlm.lda.train_seconds"));
+
   std::vector<double> topic_probs(k);
   const int total_sweeps = config_.burn_in_iterations +
                            config_.post_burn_in_samples * config_.sample_lag;
   for (int sweep = 0; sweep < total_sweeps; ++sweep) {
+    obs::ScopedTimer sweep_timer(sweep_seconds);
     for (size_t d = 0; d < documents.size(); ++d) {
       const TokenSequence& doc = documents[d];
       for (size_t i = 0; i < doc.size(); ++i) {
@@ -141,7 +186,24 @@ Status LdaModel::TrainInternal(
       }
       ++samples_taken;
     }
+
+    sweep_timer.Stop();
+    sweeps_total->Increment();
+    if ((sweep + 1) % kLogLikelihoodEvery == 0) {
+      double ll = CollapsedLogLikelihood(doc_topic, topic_word, topic_total,
+                                         config_.alpha, config_.beta,
+                                         vocab_size_);
+      ll_gauge->Set(ll);
+      HLM_LOG(Debug) << "lda" << k << " gibbs sweep " << sweep + 1 << "/"
+                     << total_sweeps << ": joint log-likelihood " << ll
+                     << (sampling_phase ? " (sampling)" : " (burn-in)");
+    }
   }
+
+  const double final_ll =
+      CollapsedLogLikelihood(doc_topic, topic_word, topic_total,
+                             config_.alpha, config_.beta, vocab_size_);
+  ll_gauge->Set(final_ll);
 
   if (samples_taken == 0) {
     // Degenerate schedule: fall back to the final state.
@@ -158,6 +220,10 @@ Status LdaModel::TrainInternal(
     }
   }
   trained_ = true;
+  HLM_LOG(Info) << "lda" << k << " trained on " << documents.size()
+                << " documents: " << total_sweeps << " gibbs sweeps ("
+                << samples_taken << " phi samples), final joint "
+                << "log-likelihood " << final_ll;
   return Status::OK();
 }
 

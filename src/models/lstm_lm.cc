@@ -8,6 +8,8 @@
 #include "common/logging.h"
 #include "models/adam.h"
 #include "models/perplexity.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hlm::models {
 
@@ -359,6 +361,20 @@ std::vector<LstmLanguageModel::EpochStats> LstmLanguageModel::Train(
   double best_valid = 1e300;
   int epochs_since_best = 0;
 
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::Histogram* epoch_seconds =
+      metrics.GetHistogram("hlm.lstm.epoch_seconds");
+  obs::Histogram* step_seconds =
+      metrics.GetHistogram("hlm.lstm.step_seconds");
+  obs::Counter* steps_total = metrics.GetCounter("hlm.lstm.steps_total");
+  obs::Counter* tokens_total = metrics.GetCounter("hlm.lstm.tokens_total");
+  obs::Gauge* train_ppl_gauge =
+      metrics.GetGauge("hlm.lstm.train_perplexity");
+  obs::Gauge* valid_ppl_gauge =
+      metrics.GetGauge("hlm.lstm.valid_perplexity");
+  obs::TraceSpan train_span("lstm.train",
+                            metrics.GetHistogram("hlm.lstm.train_seconds"));
+
   // Snapshot for early-stopping restoration.
   Matrix best_embedding = embedding_;
   std::vector<LstmCellParams> best_cells;
@@ -367,11 +383,13 @@ std::vector<LstmLanguageModel::EpochStats> LstmLanguageModel::Train(
   std::vector<double> best_b_out = b_out_;
 
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    obs::TraceSpan epoch_span("lstm.epoch", epoch_seconds);
     // Shuffle batch order (keeps intra-batch length homogeneity).
     rng_.Shuffle(&batches);
     double epoch_log_prob = 0.0;
     long long epoch_tokens = 0;
     for (auto& batch : batches) {
+      obs::ScopedTimer step_timer(step_seconds);
       BatchCache cache;
       double log_prob = 0.0;
       long long tokens = 0;
@@ -381,6 +399,8 @@ std::vector<LstmLanguageModel::EpochStats> LstmLanguageModel::Train(
       epoch_tokens += tokens;
       BackwardBatch(cache);
       ApplyUpdate();
+      steps_total->Increment();
+      tokens_total->Increment(tokens);
     }
 
     EpochStats stats;
@@ -391,6 +411,12 @@ std::vector<LstmLanguageModel::EpochStats> LstmLanguageModel::Train(
             : std::exp(-epoch_log_prob / static_cast<double>(epoch_tokens));
     stats.valid_perplexity = valid.empty() ? 0.0 : Perplexity(valid);
     history.push_back(stats);
+    train_ppl_gauge->Set(stats.train_perplexity);
+    valid_ppl_gauge->Set(stats.valid_perplexity);
+    HLM_LOG(Debug) << name() << " epoch " << epoch + 1 << "/"
+                   << config_.epochs << ": train perplexity "
+                   << stats.train_perplexity << ", valid perplexity "
+                   << stats.valid_perplexity;
 
     if (!valid.empty()) {
       if (stats.valid_perplexity < best_valid) {
@@ -421,6 +447,14 @@ std::vector<LstmLanguageModel::EpochStats> LstmLanguageModel::Train(
     }
     w_out_ = std::move(best_w_out);
     b_out_ = std::move(best_b_out);
+  }
+  if (!history.empty()) {
+    HLM_LOG(Info) << name() << " trained: " << history.size() << "/"
+                  << config_.epochs << " epochs, final train perplexity "
+                  << history.back().train_perplexity
+                  << ", best valid perplexity "
+                  << (best_valid < 1e300 ? best_valid
+                                         : history.back().valid_perplexity);
   }
   return history;
 }

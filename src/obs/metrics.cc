@@ -1,0 +1,389 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace hlm::obs {
+
+namespace {
+
+// CAS loops for the floating-point aggregates (std::atomic<double>
+// fetch_add/min/max are not portable enough to rely on).
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value < current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value > current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+std::string FormatNumber(double value) {
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+std::string QuoteJson(const std::string& raw) {
+  std::string out = "\"";
+  for (char c : raw) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  HLM_CHECK(!bounds_.empty()) << "histogram needs at least one bucket bound";
+  HLM_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be ascending";
+  buckets_ = std::make_unique<std::atomic<long long>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.bucket_counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snapshot.bucket_counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snapshot.count = count_.load(std::memory_order_relaxed);
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  snapshot.min = snapshot.count == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+  snapshot.max = snapshot.count == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count) {
+  HLM_CHECK_GT(start, 0.0);
+  HLM_CHECK_GT(factor, 1.0);
+  HLM_CHECK_GT(count, 0);
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+const std::vector<double>& DefaultTimingBuckets() {
+  // 1e-5 s .. ~335 s in 25 x2 steps: covers a Gibbs token update through
+  // a full multi-minute training run.
+  static const std::vector<double> kBuckets =
+      ExponentialBuckets(1e-5, 2.0, 25);
+  return kBuckets;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms[name] = histogram->Snapshot();
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out << (first ? "\n" : ",\n") << "    " << QuoteJson(name) << ": "
+        << value;
+    first = false;
+  }
+  out << (first ? "},\n" : "\n  },\n");
+  out << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out << (first ? "\n" : ",\n") << "    " << QuoteJson(name) << ": "
+        << FormatNumber(value);
+    first = false;
+  }
+  out << (first ? "},\n" : "\n  },\n");
+  out << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out << (first ? "\n" : ",\n") << "    " << QuoteJson(name) << ": {\n";
+    out << "      \"count\": " << h.count << ",\n";
+    out << "      \"sum\": " << FormatNumber(h.sum) << ",\n";
+    out << "      \"min\": " << FormatNumber(h.min) << ",\n";
+    out << "      \"max\": " << FormatNumber(h.max) << ",\n";
+    out << "      \"mean\": " << FormatNumber(h.Mean()) << ",\n";
+    out << "      \"bounds\": [";
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << FormatNumber(h.bounds[i]);
+    }
+    out << "],\n      \"bucket_counts\": [";
+    for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << h.bucket_counts[i];
+    }
+    out << "]\n    }";
+    first = false;
+  }
+  out << (first ? "}\n" : "\n  }\n") << "}\n";
+  return out.str();
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::ostringstream out;
+  size_t width = 1;
+  for (const auto& [name, _] : counters) width = std::max(width, name.size());
+  for (const auto& [name, _] : gauges) width = std::max(width, name.size());
+  for (const auto& [name, _] : histograms) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, value] : counters) {
+    out << name << std::string(width - name.size(), ' ') << "  counter  "
+        << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out << name << std::string(width - name.size(), ' ') << "  gauge    "
+        << value << "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    out << name << std::string(width - name.size(), ' ')
+        << "  histo    count=" << h.count << " mean=" << h.Mean()
+        << " min=" << h.min << " max=" << h.max << " sum=" << h.sum << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+/// Recursive-descent parser for the exact JSON subset ToJson emits
+/// (objects, arrays, strings without escapes beyond \" and \\, numbers).
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Status Expect(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Status::DataLoss(std::string("expected '") + c + "' at offset " +
+                              std::to_string(pos_));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  Result<std::string> ParseString() {
+    HLM_RETURN_IF_ERROR(Expect('"'));
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+      out.push_back(text_[pos_++]);
+    }
+    HLM_RETURN_IF_ERROR(Expect('"'));
+    return out;
+  }
+
+  Result<double> ParseNumber() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::DataLoss("expected number at offset " +
+                              std::to_string(start));
+    }
+    return std::stod(text_.substr(start, pos_ - start));
+  }
+
+  Result<std::vector<double>> ParseNumberArray() {
+    HLM_RETURN_IF_ERROR(Expect('['));
+    std::vector<double> values;
+    if (!Peek(']')) {
+      while (true) {
+        HLM_ASSIGN_OR_RETURN(double v, ParseNumber());
+        values.push_back(v);
+        if (!Peek(',')) break;
+        ++pos_;
+      }
+    }
+    HLM_RETURN_IF_ERROR(Expect(']'));
+    return values;
+  }
+
+  /// Iterates "name": <value> members of an object; the callback parses
+  /// the value with this parser.
+  template <typename Fn>
+  Status ParseObject(const Fn& member) {
+    HLM_RETURN_IF_ERROR(Expect('{'));
+    if (!Peek('}')) {
+      while (true) {
+        HLM_ASSIGN_OR_RETURN(std::string name, ParseString());
+        HLM_RETURN_IF_ERROR(Expect(':'));
+        HLM_RETURN_IF_ERROR(member(name));
+        if (!Peek(',')) break;
+        ++pos_;
+      }
+    }
+    return Expect('}');
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<MetricsSnapshot> MetricsSnapshot::FromJson(const std::string& json) {
+  MetricsSnapshot snapshot;
+  JsonParser parser(json);
+  Status status = parser.ParseObject([&](const std::string& section) {
+    if (section == "counters") {
+      return parser.ParseObject([&](const std::string& name) {
+        HLM_ASSIGN_OR_RETURN(double v, parser.ParseNumber());
+        snapshot.counters[name] = static_cast<long long>(std::llround(v));
+        return Status::OK();
+      });
+    }
+    if (section == "gauges") {
+      return parser.ParseObject([&](const std::string& name) {
+        HLM_ASSIGN_OR_RETURN(double v, parser.ParseNumber());
+        snapshot.gauges[name] = v;
+        return Status::OK();
+      });
+    }
+    if (section == "histograms") {
+      return parser.ParseObject([&](const std::string& name) {
+        HistogramSnapshot h;
+        HLM_RETURN_IF_ERROR(parser.ParseObject([&](const std::string& field) {
+          if (field == "bounds") {
+            HLM_ASSIGN_OR_RETURN(h.bounds, parser.ParseNumberArray());
+            return Status::OK();
+          }
+          if (field == "bucket_counts") {
+            HLM_ASSIGN_OR_RETURN(std::vector<double> counts,
+                                 parser.ParseNumberArray());
+            h.bucket_counts.clear();
+            for (double c : counts) {
+              h.bucket_counts.push_back(
+                  static_cast<long long>(std::llround(c)));
+            }
+            return Status::OK();
+          }
+          HLM_ASSIGN_OR_RETURN(double v, parser.ParseNumber());
+          if (field == "count") {
+            h.count = static_cast<long long>(std::llround(v));
+          } else if (field == "sum") {
+            h.sum = v;
+          } else if (field == "min") {
+            h.min = v;
+          } else if (field == "max") {
+            h.max = v;
+          }  // "mean" is derived; ignore.
+          return Status::OK();
+        }));
+        snapshot.histograms[name] = std::move(h);
+        return Status::OK();
+      });
+    }
+    return Status::DataLoss("unknown metrics section: " + section);
+  });
+  HLM_RETURN_IF_ERROR(status);
+  return snapshot;
+}
+
+}  // namespace hlm::obs

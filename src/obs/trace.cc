@@ -1,0 +1,132 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <thread>
+
+namespace hlm::obs {
+
+namespace {
+
+double NowMicros() {
+  static const std::chrono::steady_clock::time_point process_start =
+      std::chrono::steady_clock::now();
+  std::chrono::duration<double, std::micro> elapsed =
+      std::chrono::steady_clock::now() - process_start;
+  return elapsed.count();
+}
+
+uint64_t ThisThreadId() {
+  return static_cast<uint64_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+std::atomic<int64_t> g_next_span_id{1};
+
+// Innermost open span of this thread (id per nesting level).
+thread_local std::vector<int64_t> t_open_spans;
+
+std::string QuoteJson(const std::string& raw) {
+  std::string out = "\"";
+  for (char c : raw) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  std::vector<TraceEvent> events = Events();
+  std::ostringstream out;
+  out.precision(15);
+  out << "[\n";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out << "  {\"name\": " << QuoteJson(e.name) << ", \"cat\": "
+        << QuoteJson(e.category) << ", \"ph\": \"X\", \"ts\": " << e.start_us
+        << ", \"dur\": " << e.duration_us << ", \"pid\": 1, \"tid\": "
+        << (e.thread_id % 1000000)
+        << ", \"args\": {\"span_id\": " << e.span_id
+        << ", \"parent_id\": " << e.parent_id << ", \"depth\": " << e.depth
+        << "}}" << (i + 1 < events.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  return out.str();
+}
+
+Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open for write: " + path);
+  out << ToChromeJson();
+  if (!out) return Status::DataLoss("short write: " + path);
+  return Status::OK();
+}
+
+TraceSpan::TraceSpan(std::string name, Histogram* histogram,
+                     std::string category)
+    : name_(std::move(name)),
+      category_(std::move(category)),
+      histogram_(histogram),
+      recording_(TraceRecorder::Global().enabled()) {
+  if (recording_) {
+    span_id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+    parent_id_ = t_open_spans.empty() ? 0 : t_open_spans.back();
+    depth_ = static_cast<int>(t_open_spans.size());
+    t_open_spans.push_back(span_id_);
+  }
+  if (recording_ || histogram_ != nullptr) start_us_ = NowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!recording_ && histogram_ == nullptr) return;
+  double end_us = NowMicros();
+  if (histogram_ != nullptr) {
+    histogram_->Observe((end_us - start_us_) * 1e-6);
+  }
+  if (recording_) {
+    if (!t_open_spans.empty() && t_open_spans.back() == span_id_) {
+      t_open_spans.pop_back();
+    }
+    TraceEvent event;
+    event.name = name_;
+    event.category = category_;
+    event.start_us = start_us_;
+    event.duration_us = end_us - start_us_;
+    event.thread_id = ThisThreadId();
+    event.span_id = span_id_;
+    event.parent_id = parent_id_;
+    event.depth = depth_;
+    TraceRecorder::Global().Record(std::move(event));
+  }
+}
+
+int TraceSpan::CurrentDepth() {
+  return static_cast<int>(t_open_spans.size());
+}
+
+}  // namespace hlm::obs

@@ -1,0 +1,93 @@
+#ifndef HLM_OBS_TRACE_H_
+#define HLM_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace hlm::obs {
+
+/// One finished span, chrome://tracing "complete event" shaped.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  double start_us = 0.0;  ///< microseconds since process start
+  double duration_us = 0.0;
+  uint64_t thread_id = 0;
+  int64_t span_id = 0;
+  int64_t parent_id = 0;  ///< 0 for root spans
+  int depth = 0;          ///< 0 for root spans
+};
+
+/// Process-wide collector for trace spans. Disabled by default: span
+/// construction then costs one relaxed atomic load and (when a histogram
+/// is attached) one clock read. Enable() starts collecting; the buffer
+/// is exported in chrome://tracing JSON array format (load via
+/// chrome://tracing or https://ui.perfetto.dev).
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  static TraceRecorder& Global();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Record(TraceEvent event);
+
+  /// Copy of everything recorded so far.
+  std::vector<TraceEvent> Events() const;
+  void Clear();
+
+  std::string ToChromeJson() const;
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII nested span. While alive it is the parent of any span opened on
+/// the same thread, giving chrome-trace nesting without explicit plumbing.
+/// Optionally records its wall time into a histogram (also when tracing
+/// is disabled), so one object serves both the metrics and trace paths.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name, Histogram* histogram = nullptr,
+                     std::string category = "hlm");
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  int64_t span_id() const { return span_id_; }
+  int64_t parent_id() const { return parent_id_; }
+  int depth() const { return depth_; }
+
+  /// Nesting depth of the current thread's innermost open span; 0 when
+  /// no span is open.
+  static int CurrentDepth();
+
+ private:
+  std::string name_;
+  std::string category_;
+  Histogram* histogram_;
+  bool recording_;
+  int64_t span_id_ = 0;
+  int64_t parent_id_ = 0;
+  int depth_ = 0;
+  double start_us_ = 0.0;
+};
+
+}  // namespace hlm::obs
+
+#endif  // HLM_OBS_TRACE_H_

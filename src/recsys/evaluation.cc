@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hlm::recsys {
 
@@ -20,6 +22,12 @@ struct ScoredCompany {
 std::vector<ThresholdEvaluation> SweepThresholds(
     const std::vector<std::vector<ScoredCompany>>& per_window,
     const RecommendationEvalConfig& config) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::TraceSpan sweep_span(
+      "recsys.threshold_sweep",
+      metrics.GetHistogram("hlm.recsys.threshold_sweep_seconds"));
+  metrics.GetCounter("hlm.recsys.thresholds_swept_total")
+      ->Increment(static_cast<long long>(config.thresholds.size()));
   std::vector<ThresholdEvaluation> evaluations;
   evaluations.reserve(config.thresholds.size());
   for (double threshold : config.thresholds) {
@@ -72,8 +80,15 @@ template <typename ScoreFn>
 std::vector<std::vector<ScoredCompany>> ScoreAllWindows(
     const corpus::Corpus& corpus, const RecommendationEvalConfig& config,
     const ScoreFn& score_company) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::Histogram* window_seconds =
+      metrics.GetHistogram("hlm.recsys.window_score_seconds");
+  obs::Counter* companies_scored =
+      metrics.GetCounter("hlm.recsys.companies_scored_total");
+  obs::TraceSpan score_span("recsys.score_windows");
   std::vector<std::vector<ScoredCompany>> per_window;
   for (const auto& window : config.protocol.Windows()) {
+    obs::ScopedTimer window_timer(window_seconds);
     std::vector<ScoredCompany> companies;
     for (int i = 0; i < corpus.num_companies(); ++i) {
       const corpus::InstallBase& base = corpus.record(i).install_base;
@@ -94,8 +109,12 @@ std::vector<std::vector<ScoredCompany>> ScoreAllWindows(
       }
       companies.push_back(std::move(scored));
     }
+    companies_scored->Increment(static_cast<long long>(companies.size()));
     per_window.push_back(std::move(companies));
   }
+  HLM_LOG(Debug) << "recsys scored " << per_window.size()
+                 << " sliding windows over " << corpus.num_companies()
+                 << " companies";
   return per_window;
 }
 

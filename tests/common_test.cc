@@ -3,8 +3,11 @@
 #include <cstdio>
 #include <fstream>
 
+#include <sstream>
+
 #include "common/csv.h"
 #include "common/flags.h"
+#include "common/logging.h"
 #include "common/status.h"
 #include "common/string_util.h"
 
@@ -239,6 +242,56 @@ TEST(FlagsTest, UsageListsFlagsWithDefaults) {
   EXPECT_NE(usage.find("--count"), std::string::npos);
   EXPECT_NE(usage.find("5"), std::string::npos);
   EXPECT_NE(usage.find("how many"), std::string::npos);
+}
+
+TEST(FlagsTest, DuplicateRegistrationFailsParse) {
+  long long first = 1;
+  long long second = 2;
+  FlagSet flags;
+  flags.AddInt64("count", &first, "first registration");
+  flags.AddInt64("count", &second, "second registration");
+  const char* argv[] = {"prog", "--count=7"};
+  Status status = flags.Parse(2, const_cast<char**>(argv));
+  EXPECT_EQ(status.code(), StatusCode::kAlreadyExists);
+  EXPECT_NE(status.message().find("count"), std::string::npos);
+  EXPECT_EQ(first, 1) << "parse must not run after a registration error";
+}
+
+TEST(FlagsTest, DuplicateAcrossKindsAlsoFails) {
+  long long count = 0;
+  std::string text;
+  FlagSet flags;
+  flags.AddInt64("value", &count, "");
+  flags.AddString("value", &text, "");
+  const char* argv[] = {"prog"};
+  EXPECT_EQ(flags.Parse(1, const_cast<char**>(argv)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+// -------------------------------------------------------------- Logging
+
+TEST(LoggingTest, SinkCapturesMessagesAtOrAboveLevel) {
+  std::ostringstream captured;
+  std::ostream* previous = SetLogSink(&captured);
+  LogLevel previous_level = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+
+  HLM_LOG(Debug) << "hidden";
+  HLM_LOG(Info) << "visible " << 42;
+
+  SetLogLevel(previous_level);
+  SetLogSink(previous);
+
+  std::string output = captured.str();
+  EXPECT_EQ(output.find("hidden"), std::string::npos);
+  EXPECT_NE(output.find("visible 42"), std::string::npos);
+  EXPECT_NE(output.find("INFO"), std::string::npos);
+}
+
+TEST(LoggingTest, SetLogSinkReturnsPrevious) {
+  std::ostringstream first;
+  std::ostream* original = SetLogSink(&first);
+  EXPECT_EQ(SetLogSink(original), &first);
 }
 
 }  // namespace

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hlm::obs {
+namespace {
+
+// ---------------------------------------------------------------- Counter
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge gauge;
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  gauge.Set(-1234.5);
+  gauge.Set(7.25);
+  EXPECT_DOUBLE_EQ(gauge.value(), 7.25);
+}
+
+// -------------------------------------------------------------- Histogram
+
+TEST(HistogramTest, AggregatesCountSumMinMax) {
+  Histogram histogram({1.0, 2.0, 4.0});
+  histogram.Observe(0.5);
+  histogram.Observe(3.0);
+  histogram.Observe(10.0);
+  HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 3);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 13.5);
+  EXPECT_DOUBLE_EQ(snapshot.min, 0.5);
+  EXPECT_DOUBLE_EQ(snapshot.max, 10.0);
+  EXPECT_DOUBLE_EQ(snapshot.Mean(), 4.5);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram histogram({1.0, 2.0, 4.0});
+  // A value lands in the first bucket whose bound is >= the value.
+  histogram.Observe(0.5);  // bucket 0 (<= 1.0)
+  histogram.Observe(1.0);  // bucket 0, boundary inclusive
+  histogram.Observe(1.5);  // bucket 1
+  histogram.Observe(2.0);  // bucket 1, boundary inclusive
+  histogram.Observe(4.0);  // bucket 2
+  histogram.Observe(4.5);  // overflow
+  HistogramSnapshot snapshot = histogram.Snapshot();
+  ASSERT_EQ(snapshot.bucket_counts.size(), 4u);
+  EXPECT_EQ(snapshot.bucket_counts[0], 2);
+  EXPECT_EQ(snapshot.bucket_counts[1], 2);
+  EXPECT_EQ(snapshot.bucket_counts[2], 1);
+  EXPECT_EQ(snapshot.bucket_counts[3], 1);
+}
+
+TEST(HistogramTest, EmptySnapshotHasZeroExtremes) {
+  Histogram histogram({1.0});
+  HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 0);
+  EXPECT_DOUBLE_EQ(snapshot.min, 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.max, 0.0);
+}
+
+TEST(HistogramTest, ExponentialBucketsAreLogSpaced) {
+  std::vector<double> bounds = ExponentialBuckets(1e-3, 10.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1e-3);
+  EXPECT_DOUBLE_EQ(bounds[3], 1.0);
+}
+
+// --------------------------------------------------------------- Registry
+
+TEST(MetricsRegistryTest, GetReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("hlm.test.events_total");
+  counter->Increment(3);
+  EXPECT_EQ(registry.GetCounter("hlm.test.events_total"), counter);
+  EXPECT_EQ(registry.GetCounter("hlm.test.events_total")->value(), 3);
+  Histogram* histogram = registry.GetHistogram("hlm.test.seconds");
+  EXPECT_EQ(registry.GetHistogram("hlm.test.seconds", {1.0}), histogram)
+      << "existing name must win; new bounds ignored";
+}
+
+TEST(MetricsRegistryTest, SnapshotCapturesEveryKind) {
+  MetricsRegistry registry;
+  registry.GetCounter("hlm.test.sweeps_total")->Increment(7);
+  registry.GetGauge("hlm.test.log_likelihood")->Set(-321.5);
+  registry.GetHistogram("hlm.test.sweep_seconds", {0.1, 1.0})->Observe(0.05);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("hlm.test.sweeps_total"), 7);
+  EXPECT_DOUBLE_EQ(snapshot.gauges.at("hlm.test.log_likelihood"), -321.5);
+  EXPECT_EQ(snapshot.histograms.at("hlm.test.sweep_seconds").count, 1);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("hlm.test.concurrent_total");
+  Histogram* histogram =
+      registry.GetHistogram("hlm.test.concurrent_seconds", {0.5});
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, counter, histogram]() {
+      for (int i = 0; i < kIterations; ++i) {
+        counter->Increment();
+        histogram->Observe(i % 2 == 0 ? 0.25 : 0.75);
+        // Concurrent registration of the same name must also be safe.
+        registry.GetGauge("hlm.test.concurrent_gauge")->Set(1.0);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter->value(), kThreads * kIterations);
+  HistogramSnapshot snapshot = histogram->Snapshot();
+  EXPECT_EQ(snapshot.count, kThreads * kIterations);
+  EXPECT_EQ(snapshot.bucket_counts[0], kThreads * kIterations / 2);
+  EXPECT_EQ(snapshot.bucket_counts[1], kThreads * kIterations / 2);
+  EXPECT_DOUBLE_EQ(snapshot.min, 0.25);
+  EXPECT_DOUBLE_EQ(snapshot.max, 0.75);
+}
+
+TEST(MetricsRegistryTest, ResetDropsEverything) {
+  MetricsRegistry registry;
+  registry.GetCounter("hlm.test.x_total")->Increment();
+  registry.Reset();
+  EXPECT_TRUE(registry.Snapshot().counters.empty());
+  EXPECT_EQ(registry.GetCounter("hlm.test.x_total")->value(), 0);
+}
+
+// --------------------------------------------------------------- Snapshot
+
+TEST(MetricsSnapshotTest, JsonRoundTrip) {
+  MetricsRegistry registry;
+  registry.GetCounter("hlm.lda.sweeps_total")->Increment(152);
+  registry.GetGauge("hlm.lda.log_likelihood")->Set(-9876.54321);
+  Histogram* histogram =
+      registry.GetHistogram("hlm.lda.gibbs_sweep_seconds", {0.001, 0.01});
+  histogram->Observe(0.0005);
+  histogram->Observe(0.005);
+  histogram->Observe(0.5);
+  MetricsSnapshot snapshot = registry.Snapshot();
+
+  Result<MetricsSnapshot> parsed = MetricsSnapshot::FromJson(snapshot.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->counters, snapshot.counters);
+  ASSERT_EQ(parsed->gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed->gauges.at("hlm.lda.log_likelihood"),
+                   -9876.54321);
+  const HistogramSnapshot& h =
+      parsed->histograms.at("hlm.lda.gibbs_sweep_seconds");
+  EXPECT_EQ(h.count, 3);
+  EXPECT_DOUBLE_EQ(h.sum, 0.5055);
+  EXPECT_DOUBLE_EQ(h.min, 0.0005);
+  EXPECT_DOUBLE_EQ(h.max, 0.5);
+  EXPECT_EQ(h.bounds, std::vector<double>({0.001, 0.01}));
+  EXPECT_EQ(h.bucket_counts, std::vector<long long>({1, 1, 1}));
+}
+
+TEST(MetricsSnapshotTest, EmptySnapshotRoundTrips) {
+  MetricsSnapshot empty;
+  Result<MetricsSnapshot> parsed = MetricsSnapshot::FromJson(empty.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(parsed->counters.empty());
+  EXPECT_TRUE(parsed->gauges.empty());
+  EXPECT_TRUE(parsed->histograms.empty());
+}
+
+TEST(MetricsSnapshotTest, FromJsonRejectsGarbage) {
+  EXPECT_FALSE(MetricsSnapshot::FromJson("not json").ok());
+  EXPECT_FALSE(MetricsSnapshot::FromJson("{\"bogus\": {}}").ok());
+}
+
+TEST(MetricsSnapshotTest, TextExportNamesEveryMetric) {
+  MetricsRegistry registry;
+  registry.GetCounter("hlm.test.a_total")->Increment(5);
+  registry.GetGauge("hlm.test.b")->Set(1.5);
+  std::string text = registry.Snapshot().ToText();
+  EXPECT_NE(text.find("hlm.test.a_total"), std::string::npos);
+  EXPECT_NE(text.find("hlm.test.b"), std::string::npos);
+}
+
+// ------------------------------------------------------------ ScopedTimer
+
+TEST(ScopedTimerTest, RecordsOnceIntoHistogram) {
+  Histogram histogram({1e-9, 1.0, 100.0});
+  {
+    ScopedTimer timer(&histogram);
+    double elapsed = timer.Stop();
+    EXPECT_GE(elapsed, 0.0);
+  }  // destructor after Stop must not double-record
+  EXPECT_EQ(histogram.count(), 1);
+  ScopedTimer noop(nullptr);  // null histogram is a no-op
+  EXPECT_DOUBLE_EQ(noop.Stop(), 0.0);
+}
+
+// -------------------------------------------------------------- TraceSpan
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::Global().Clear();
+    TraceRecorder::Global().Enable();
+  }
+  void TearDown() override {
+    TraceRecorder::Global().Disable();
+    TraceRecorder::Global().Clear();
+  }
+};
+
+TEST_F(TraceTest, NestedSpansRecordParentage) {
+  {
+    TraceSpan outer("outer");
+    EXPECT_EQ(TraceSpan::CurrentDepth(), 1);
+    {
+      TraceSpan middle("middle");
+      TraceSpan inner("inner");
+      EXPECT_EQ(TraceSpan::CurrentDepth(), 3);
+      EXPECT_EQ(middle.parent_id(), outer.span_id());
+      EXPECT_EQ(inner.parent_id(), middle.span_id());
+      EXPECT_EQ(inner.depth(), 2);
+    }
+    TraceSpan sibling("sibling");
+    EXPECT_EQ(sibling.parent_id(), outer.span_id());
+  }
+  EXPECT_EQ(TraceSpan::CurrentDepth(), 0);
+
+  std::vector<TraceEvent> events = TraceRecorder::Global().Events();
+  ASSERT_EQ(events.size(), 4u);  // closed innermost-first
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "middle");
+  EXPECT_EQ(events[0].parent_id, events[1].span_id);
+  EXPECT_EQ(events[3].name, "outer");
+  EXPECT_EQ(events[3].parent_id, 0);
+  EXPECT_EQ(events[3].depth, 0);
+}
+
+TEST_F(TraceTest, SpanFeedsHistogramAndChromeJson) {
+  Histogram histogram({1e-9, 10.0});
+  { TraceSpan span("timed", &histogram); }
+  EXPECT_EQ(histogram.count(), 1);
+  std::string json = TraceRecorder::Global().ToChromeJson();
+  EXPECT_NE(json.find("\"name\": \"timed\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothingButStillTime) {
+  TraceRecorder::Global().Disable();
+  Histogram histogram({1e-9, 10.0});
+  { TraceSpan span("quiet", &histogram); }
+  EXPECT_TRUE(TraceRecorder::Global().Events().empty());
+  EXPECT_EQ(histogram.count(), 1) << "histogram path works while disabled";
+  EXPECT_EQ(TraceSpan::CurrentDepth(), 0);
+}
+
+TEST_F(TraceTest, WriteChromeTraceProducesAFile) {
+  { TraceSpan span("filed"); }
+  std::string path = ::testing::TempDir() + "/hlm_trace_test.json";
+  ASSERT_TRUE(TraceRecorder::Global().WriteChromeTrace(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("filed"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hlm::obs
