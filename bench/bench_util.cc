@@ -4,8 +4,10 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "corpus/month.h"
 #include "models/chh.h"
@@ -23,8 +25,26 @@ std::string g_trace_out_path;    // NOLINT(runtime/string)
 
 void WriteObservabilityOutputs() {
   if (!g_metrics_out_path.empty()) {
+    obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+    // Surface each bench phase's total wall time in the meta header so
+    // JSON consumers get the per-phase breakdown without digging through
+    // histogram buckets.
+    for (const auto& [name, histogram] : snapshot.histograms) {
+      const std::string prefix = "hlm.bench.";
+      const std::string suffix = "_seconds";
+      if (name.size() > prefix.size() + suffix.size() &&
+          name.compare(0, prefix.size(), prefix) == 0 &&
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+              0) {
+        std::string phase = name.substr(
+            prefix.size(), name.size() - prefix.size() - suffix.size());
+        char buffer[64];
+        std::snprintf(buffer, sizeof(buffer), "%.6f", histogram.sum);
+        snapshot.meta["walltime." + phase + "_seconds"] = buffer;
+      }
+    }
     std::ofstream out(g_metrics_out_path);
-    if (out) out << obs::MetricsRegistry::Global().Snapshot().ToJson();
+    if (out) out << snapshot.ToJson();
     if (!out) {
       std::fprintf(stderr, "WARNING: failed to write metrics to %s\n",
                    g_metrics_out_path.c_str());
@@ -58,11 +78,16 @@ BenchEnv MakeEnv(int argc, char** argv, FlagSet* flags,
                  long long default_companies) {
   long long companies = default_companies;
   long long seed = 42;
+  long long threads = 0;
   std::string metrics_out;
   std::string trace_out;
   std::string log_level;
   flags->AddInt64("companies", &companies, "corpus size");
   flags->AddInt64("seed", &seed, "generator seed");
+  flags->AddInt64("threads", &threads,
+                  "worker threads for parallel regions (0 = HLM_THREADS env "
+                  "or all hardware cores); results are identical at any "
+                  "value");
   flags->AddString("metrics_out", &metrics_out,
                    "write a metrics-snapshot JSON here at exit");
   flags->AddString("trace_out", &trace_out,
@@ -97,10 +122,18 @@ BenchEnv MakeEnv(int argc, char** argv, FlagSet* flags,
     if (!trace_out.empty()) obs::TraceRecorder::Global().Enable();
     std::atexit(WriteObservabilityOutputs);
   }
+  if (threads > 0) SetNumThreads(static_cast<int>(threads));
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   metrics.GetGauge("hlm.bench.companies")
       ->Set(static_cast<double>(companies));
   metrics.GetGauge("hlm.bench.seed")->Set(static_cast<double>(seed));
+  metrics.GetGauge("hlm.bench.threads")
+      ->Set(static_cast<double>(NumThreads()));
+  metrics.SetMeta("threads", std::to_string(NumThreads()));
+  metrics.SetMeta("host_cores",
+                  std::to_string(std::thread::hardware_concurrency()));
+  metrics.SetMeta("seed", std::to_string(seed));
+  metrics.SetMeta("companies", std::to_string(companies));
 
   ScopedPhase make_env_phase("make_env");
   corpus::GeneratorConfig config;

@@ -31,7 +31,9 @@ struct BenchEnv {
   std::vector<models::TokenSequence> train_seqs_pre2013;
 };
 
-/// Common flags: --companies, --seed, plus the observability trio shared
+/// Common flags: --companies, --seed, --threads (worker threads for
+/// parallel regions; 0 = HLM_THREADS env or all hardware cores — results
+/// are bit-identical at any setting), plus the observability trio shared
 /// by every harness: --metrics_out=<path> (write a MetricsSnapshot JSON
 /// at process exit — the machine-readable data source behind
 /// BENCH_*.json), --trace_out=<path> (write a chrome://tracing JSON of

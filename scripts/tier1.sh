@@ -56,4 +56,26 @@ else
   echo "ok (grep-level check; python3 not found)"
 fi
 
+echo "== tier1: thread-sanitizer probe =="
+TSAN_PROBE_DIR="$(mktemp -d /tmp/hlm_tsan_probe.XXXXXX)"
+trap 'rm -f "$METRICS_JSON"; rm -rf "$TSAN_PROBE_DIR"' EXIT
+cat > "$TSAN_PROBE_DIR/probe.cc" <<'EOF'
+#include <thread>
+int main() { std::thread t([] {}); t.join(); return 0; }
+EOF
+if c++ -fsanitize=thread -pthread "$TSAN_PROBE_DIR/probe.cc" \
+     -o "$TSAN_PROBE_DIR/probe" 2>/dev/null &&
+   "$TSAN_PROBE_DIR/probe" 2>/dev/null; then
+  echo "== tier1: tsan build (parallel_test + obs_test) =="
+  TSAN_BUILD_DIR="$BUILD_DIR-tsan"
+  cmake -B "$TSAN_BUILD_DIR" -S "$REPO_ROOT" -DHLM_SANITIZE=thread >/dev/null
+  cmake --build "$TSAN_BUILD_DIR" -j "$(nproc)" \
+    --target parallel_test obs_test
+  echo "== tier1: tsan run =="
+  "$TSAN_BUILD_DIR/tests/parallel_test"
+  "$TSAN_BUILD_DIR/tests/obs_test"
+else
+  echo "toolchain cannot build/run -fsanitize=thread; skipping tsan stage"
+fi
+
 echo "== tier1: PASS =="

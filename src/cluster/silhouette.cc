@@ -4,6 +4,7 @@
 #include <limits>
 #include <numeric>
 
+#include "common/parallel.h"
 #include "math/rng.h"
 #include "math/statistics.h"
 
@@ -28,12 +29,14 @@ Result<std::vector<double>> SilhouetteOnIndices(
   std::vector<long long> cluster_sizes(num_clusters, 0);
   for (int index : eval_indices) ++cluster_sizes[assignments[index]];
 
+  // Each evaluated point's O(n) distance scan is independent and writes
+  // only its own slot, so the quadratic sweep fans out over the pool
+  // with results identical at any thread count.
   std::vector<double> values(eval_indices.size(), 0.0);
-  std::vector<double> mean_dist(num_clusters, 0.0);
-  for (size_t ii = 0; ii < eval_indices.size(); ++ii) {
+  ParallelFor(0, eval_indices.size(), /*grain=*/0, [&](size_t ii) {
     int i = eval_indices[ii];
     int own = assignments[i];
-    std::fill(mean_dist.begin(), mean_dist.end(), 0.0);
+    std::vector<double> mean_dist(num_clusters, 0.0);
     for (int j : eval_indices) {
       if (j == i) continue;
       mean_dist[assignments[j]] += Distance(kind, points[i], points[j]);
@@ -43,7 +46,7 @@ Result<std::vector<double>> SilhouetteOnIndices(
       a = mean_dist[own] / static_cast<double>(cluster_sizes[own] - 1);
     } else {
       values[ii] = 0.0;  // singleton convention
-      continue;
+      return;
     }
     double b = std::numeric_limits<double>::max();
     for (int c = 0; c < num_clusters; ++c) {
@@ -52,11 +55,11 @@ Result<std::vector<double>> SilhouetteOnIndices(
     }
     if (b == std::numeric_limits<double>::max()) {
       values[ii] = 0.0;
-      continue;
+      return;
     }
     double denom = std::max(a, b);
     values[ii] = denom > 0.0 ? (b - a) / denom : 0.0;
-  }
+  });
   return values;
 }
 

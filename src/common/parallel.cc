@@ -1,0 +1,255 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace hlm {
+
+namespace {
+
+// True while this thread is executing chunks of some region; nested
+// ParallelFor calls then run inline so the pool cannot deadlock on
+// itself and determinism is preserved (the nested range sees the same
+// serial execution it would under threads=1).
+thread_local bool tls_inside_region = false;
+
+int ResolveDefaultThreads() {
+  if (const char* env = std::getenv("HLM_THREADS")) {
+    int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+    if (*env != '\0') {
+      HLM_LOG(Warning) << "ignoring invalid HLM_THREADS value: " << env;
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// Pool configuration + lazily-built instance, guarded by one mutex.
+struct GlobalPoolState {
+  std::mutex mu;
+  std::unique_ptr<ThreadPool> pool;
+  int override_threads = 0;  // 0 = use env/hardware default
+};
+
+GlobalPoolState& PoolState() {
+  static GlobalPoolState* state = new GlobalPoolState();
+  return *state;
+}
+
+// One ParallelFor invocation: workers (and the caller) claim static
+// chunks via an atomic cursor. Completion and error delivery are
+// synchronized through `mu`, so every chunk's writes happen-before the
+// caller observing done == num_chunks.
+struct Region {
+  size_t begin = 0;
+  size_t grain = 1;
+  size_t range_end = 0;
+  size_t num_chunks = 0;
+  // Borrowed from the caller's frame; only dereferenced while the
+  // caller blocks in WaitDone (a chunk can only be claimed then).
+  const std::function<void(size_t, size_t)>* fn = nullptr;
+
+  std::atomic<size_t> next_chunk{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t done = 0;
+  std::exception_ptr error;
+
+  void Execute() {
+    bool was_inside = tls_inside_region;
+    tls_inside_region = true;
+    while (true) {
+      size_t chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) break;
+      size_t chunk_begin = begin + chunk * grain;
+      size_t chunk_end = std::min(range_end, chunk_begin + grain);
+      std::exception_ptr chunk_error;
+      try {
+        (*fn)(chunk_begin, chunk_end);
+      } catch (...) {
+        chunk_error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (chunk_error != nullptr && error == nullptr) error = chunk_error;
+      if (++done == num_chunks) cv.notify_all();
+    }
+    tls_inside_region = was_inside;
+  }
+
+  void WaitDone() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return done == num_chunks; });
+  }
+};
+
+}  // namespace
+
+int NumThreads() {
+  GlobalPoolState& state = PoolState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.override_threads > 0) return state.override_threads;
+  static const int kDefault = ResolveDefaultThreads();
+  return kDefault;
+}
+
+void SetNumThreads(int num_threads) {
+  GlobalPoolState& state = PoolState();
+  std::unique_ptr<ThreadPool> retired;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.override_threads = num_threads > 0 ? num_threads : 0;
+    // Drop a mismatched pool now; Global() rebuilds at the new size on
+    // the next parallel region.
+    retired = std::move(state.pool);
+  }
+  // Joined outside the lock so workers draining the queue cannot
+  // deadlock against Global().
+  retired.reset();
+}
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::function<void()>> queue;
+  bool stopping = false;
+  std::vector<std::thread> workers;
+
+  void WorkerLoop() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [this] { return stopping || !queue.empty(); });
+        if (queue.empty()) return;  // stopping and drained
+        task = std::move(queue.front());
+        queue.pop_front();
+      }
+      task();
+    }
+  }
+};
+
+ThreadPool& ThreadPool::Global() {
+  GlobalPoolState& state = PoolState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  int want_workers = 0;
+  if (state.override_threads > 0) {
+    want_workers = state.override_threads - 1;
+  } else {
+    static const int kDefault = ResolveDefaultThreads();
+    want_workers = kDefault - 1;
+  }
+  want_workers = std::max(want_workers, 0);
+  if (state.pool == nullptr || state.pool->num_workers() != want_workers) {
+    state.pool.reset();  // join the old workers before starting new ones
+    state.pool = std::make_unique<ThreadPool>(want_workers);
+  }
+  return *state.pool;
+}
+
+ThreadPool::ThreadPool(int num_workers)
+    : impl_(new Impl()), num_workers_(std::max(num_workers, 0)) {
+  impl_->workers.reserve(num_workers_);
+  for (int i = 0; i < num_workers_; ++i) {
+    impl_->workers.emplace_back([this] { impl_->WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stopping = true;
+  }
+  impl_->cv.notify_all();
+  for (std::thread& worker : impl_->workers) worker.join();
+  delete impl_;
+}
+
+size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->queue.size();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->queue.push_back(std::move(task));
+  }
+  impl_->cv.notify_one();
+}
+
+void ParallelForChunked(size_t begin, size_t end, size_t grain,
+                        const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  const size_t n = end - begin;
+  const int threads = NumThreads();
+  size_t chunk_size = grain;
+  if (chunk_size == 0) {
+    // ~4 chunks per thread balances scheduling slack against per-chunk
+    // bookkeeping for uneven item costs.
+    chunk_size = std::max<size_t>(
+        1, n / (4 * static_cast<size_t>(std::max(threads, 1))));
+  }
+  const size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.GetCounter("hlm.parallel.tasks")
+      ->Increment(static_cast<long long>(num_chunks));
+  metrics.GetCounter("hlm.parallel.regions_total")->Increment();
+  metrics.GetGauge("hlm.parallel.pool_threads")
+      ->Set(static_cast<double>(threads));
+
+  if (threads <= 1 || tls_inside_region || num_chunks <= 1) {
+    // Serial fallback runs the identical chunk decomposition, so any
+    // chunk-granular effects (scratch reuse, RNG forks) match the
+    // parallel execution bit for bit.
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      size_t chunk_begin = begin + chunk * chunk_size;
+      fn(chunk_begin, std::min(end, chunk_begin + chunk_size));
+    }
+    return;
+  }
+
+  auto region = std::make_shared<Region>();
+  region->begin = begin;
+  region->grain = chunk_size;
+  region->range_end = end;
+  region->num_chunks = num_chunks;
+  region->fn = &fn;
+
+  ThreadPool& pool = ThreadPool::Global();
+  const size_t helpers =
+      std::min<size_t>(static_cast<size_t>(pool.num_workers()),
+                       num_chunks - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    pool.Submit([region] { region->Execute(); });
+  }
+  metrics.GetGauge("hlm.parallel.queue_depth")
+      ->Set(static_cast<double>(pool.QueueDepth()));
+  region->Execute();  // the caller is a worker too
+  region->WaitDone();
+  if (region->error != nullptr) std::rethrow_exception(region->error);
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t)>& fn) {
+  ParallelForChunked(begin, end, grain,
+                     [&fn](size_t chunk_begin, size_t chunk_end) {
+                       for (size_t i = chunk_begin; i < chunk_end; ++i) {
+                         fn(i);
+                       }
+                     });
+}
+
+}  // namespace hlm

@@ -1,0 +1,105 @@
+#ifndef HLM_COMMON_PARALLEL_H_
+#define HLM_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace hlm {
+
+/// Deterministic data-parallel helpers over a lazily-started global
+/// thread pool.
+///
+/// Contract (see DESIGN.md "Parallelism & determinism"): callers split
+/// work into independent items, each item owns its output slot, and any
+/// randomness is drawn from a per-item Rng stream (Rng::ForkAt(i)).
+/// Under that contract results are bit-for-bit identical for every
+/// thread count, including 1, because chunking is static and reductions
+/// run serially in index order.
+
+/// Worker threads the global pool targets. Resolution order: the last
+/// SetNumThreads() call, else the HLM_THREADS environment variable, else
+/// std::thread::hardware_concurrency(). Always >= 1 (the value counts
+/// the calling thread; 1 means fully serial).
+int NumThreads();
+
+/// Overrides the global thread count; 0 restores the env/hardware
+/// default. If the pool is already running at a different size it is
+/// drained and restarted lazily on the next parallel call. Not safe to
+/// call concurrently with in-flight ParallelFor regions — configure at
+/// startup or between runs (benches and tests do exactly that).
+void SetNumThreads(int num_threads);
+
+/// Work-stealing-free static pool: a fixed set of workers pulling chunk
+/// ranges from submitted regions. Library code should use ParallelFor /
+/// ParallelMapReduce instead of talking to the pool directly.
+class ThreadPool {
+ public:
+  /// The process-global pool, started on first use with NumThreads()-1
+  /// workers (the caller of a parallel region is the extra worker).
+  static ThreadPool& Global();
+
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return num_workers_; }
+
+  /// Tasks submitted but not yet picked up by a worker (for the
+  /// hlm.parallel.queue_depth gauge).
+  size_t QueueDepth() const;
+
+  /// Enqueues one opaque task. Used by ParallelFor to fan a region out;
+  /// exposed for tests.
+  void Submit(std::function<void()> task);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  int num_workers_;
+};
+
+/// Invokes fn(i) for every i in [begin, end), split into static chunks
+/// of `grain` consecutive indices (grain 0 picks a chunk size that
+/// yields ~4 chunks per thread). The calling thread participates, so
+/// the pool can never deadlock on nested use: a ParallelFor issued from
+/// inside a worker runs its range inline, serially. The first exception
+/// thrown by fn is rethrown on the calling thread after every chunk
+/// finished; remaining chunks still run (their items are independent by
+/// contract).
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t)>& fn);
+
+/// Chunked variant: fn(chunk_begin, chunk_end) per static chunk, for
+/// call sites that want to hoist per-chunk scratch buffers.
+void ParallelForChunked(size_t begin, size_t end, size_t grain,
+                        const std::function<void(size_t, size_t)>& fn);
+
+/// Parallel map + ordered serial reduce: partials[i] = map(i) computed
+/// in parallel, then acc = reduce(acc, partials[i]) applied strictly in
+/// index order on the calling thread — so floating-point accumulation
+/// is independent of scheduling and thread count.
+template <typename Result, typename MapFn, typename ReduceFn>
+Result ParallelMapReduce(size_t begin, size_t end, size_t grain, Result init,
+                         const MapFn& map, const ReduceFn& reduce) {
+  using Mapped = std::invoke_result_t<MapFn, size_t>;
+  static_assert(!std::is_void_v<Mapped>,
+                "ParallelMapReduce map must return a value");
+  if (end <= begin) return init;
+  std::vector<Mapped> partials(end - begin);
+  ParallelFor(begin, end, grain,
+              [&](size_t i) { partials[i - begin] = map(i); });
+  Result acc = std::move(init);
+  for (Mapped& partial : partials) {
+    acc = reduce(std::move(acc), std::move(partial));
+  }
+  return acc;
+}
+
+}  // namespace hlm
+
+#endif  // HLM_COMMON_PARALLEL_H_

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "corpus/sic.h"
 #include "math/vector_ops.h"
 #include "obs/metrics.h"
@@ -281,7 +282,6 @@ GeneratedCorpus SyntheticHgGenerator::Generate() const {
   ProductTaxonomy taxonomy = ProductTaxonomy::Default();
   const int m = taxonomy.num_categories();
   const SicRegistry& sic = SicRegistry::Default();
-  Rng rng(config_.seed);
 
   // --- Calibrate the popularity skew so the *empirical* token entropy of
   // pilot data matches the paper's unigram fingerprint (entropy =
@@ -321,91 +321,150 @@ GeneratedCorpus SyntheticHgGenerator::Generate() const {
                                                   config_.num_topics);
   }
 
+  // Phase 1 (parallel): sample every company from its own counter-based
+  // RNG stream ForkAt(i), so the corpus is bit-identical at any thread
+  // count. Globally serial state -- name deduplication and D-U-N-S
+  // numbering -- is deferred to phase 2.
+  struct CompanyDraft {
+    Company company;     // name holds the raw base name; duns unset
+    std::string suffix;  // legal suffix, appended after deduplication
+    std::vector<double> theta;
+    int topic = 0;
+  };
+  std::vector<CompanyDraft> drafts(config_.num_companies);
+  const Rng company_base(config_.seed ^ 0x9e3779b9ULL);
+  ParallelFor(
+      0, static_cast<size_t>(config_.num_companies), /*grain=*/0,
+      [&](size_t i) {
+        Rng crng = company_base.ForkAt(i);
+        CompanyDraft& draft = drafts[i];
+        Company& company = draft.company;
+
+        // Industry (mildly skewed toward low indices, like real corpora).
+        int industry_index = static_cast<int>(
+            std::min<double>(sic.num_industries() - 1,
+                             std::floor(std::pow(crng.NextDouble(), 1.35) *
+                                        sic.num_industries())));
+        company.sic2_code = sic.industry(industry_index).code;
+
+        // Topic mixture theta ~ Dirichlet(alpha with industry bias).
+        draft.theta = crng.NextDirichlet(
+            IndustryAlpha(config_, industry_topic[industry_index]));
+        draft.topic = static_cast<int>(ArgMax(draft.theta));
+
+        // Name parts; the dedup counter suffix is inserted serially.
+        const int n_adj =
+            sizeof(kNameAdjectives) / sizeof(kNameAdjectives[0]);
+        const int n_noun = sizeof(kNameNouns) / sizeof(kNameNouns[0]);
+        const int n_suffix = sizeof(kNameSuffixes) / sizeof(kNameSuffixes[0]);
+        company.name =
+            std::string(kNameAdjectives[crng.NextBounded(n_adj)]) + " " +
+            kNameNouns[crng.NextBounded(n_noun)];
+        draft.suffix = kNameSuffixes[crng.NextBounded(n_suffix)];
+
+        // Geography.
+        bool is_us = crng.NextBernoulli(config_.fraction_us);
+        company.country =
+            is_us ? "US"
+                  : kNonUsCountries[crng.NextBounded(
+                        sizeof(kNonUsCountries) / sizeof(kNonUsCountries[0]))];
+
+        // Acquisition sequence.
+        std::vector<CategoryId> sequence = SampleSequence(
+            config_, draft.theta, gt.topic_category, gt.affinity, m, &crng);
+
+        // Acquisition clock. Products whose (jittered) confirmation date
+        // falls past the data horizon are dropped: the corpus records
+        // only what the snapshot can see, so young companies look
+        // smaller.
+        Month founding = static_cast<Month>(crng.NextInt(
+            config_.first_founding_month, config_.last_founding_month));
+        std::vector<Month> months;
+        {
+          std::vector<CategoryId> visible;
+          Month cursor = founding;
+          for (size_t s = 0; s < sequence.size(); ++s) {
+            if (s > 0) {
+              cursor += 1 + crng.NextPoisson(std::max(
+                            0.0, config_.mean_acquisition_gap_months - 1.0));
+            }
+            Month jittered = cursor;
+            if (config_.timestamp_jitter_months > 0) {
+              jittered += static_cast<Month>(
+                  crng.NextInt(-config_.timestamp_jitter_months,
+                               config_.timestamp_jitter_months));
+            }
+            jittered = std::max(jittered, config_.first_founding_month);
+            if (jittered >= config_.horizon_month) continue;
+            visible.push_back(sequence[s]);
+            months.push_back(jittered);
+          }
+          sequence = std::move(visible);
+        }
+
+        // Size-correlated firmographics.
+        double size_factor = static_cast<double>(sequence.size());
+        company.employees = static_cast<long long>(
+            std::llround(50.0 * size_factor *
+                         std::exp(crng.NextGaussian() * 0.9)));
+        if (company.employees < 5) company.employees = 5;
+        company.revenue_musd =
+            0.25 * static_cast<double>(company.employees) *
+            std::exp(crng.NextGaussian() * 0.5);
+
+        // Sites; D-U-N-S numbers are assigned serially in phase 2.
+        int num_sites =
+            1 + std::min<int>(crng.NextPoisson(config_.mean_extra_sites),
+                              config_.max_sites - 1);
+        company.sites.resize(num_sites);
+        for (int s = 0; s < num_sites; ++s) {
+          CompanySite& site = company.sites[s];
+          site.country = company.country;
+          site.region = company.country == "US"
+                            ? kUsRegions[crng.NextBounded(
+                                  sizeof(kUsRegions) / sizeof(kUsRegions[0]))]
+                            : "";
+        }
+
+        for (size_t s = 0; s < sequence.size(); ++s) {
+          InstallEvent event;
+          event.category = sequence[s];
+          event.first_seen = months[s];
+          event.last_confirmed = std::min<Month>(
+              config_.horizon_month - 1,
+              months[s] + crng.NextPoisson(18.0));
+          event.confidence = 0.5 + 0.5 * crng.NextBeta(8.0, 2.0);
+          int home_site = static_cast<int>(crng.NextBounded(num_sites));
+          company.sites[home_site].events.push_back(event);
+          // Some products get confirmed at a second site later; the
+          // aggregation layer must keep the earliest sighting.
+          if (num_sites > 1 &&
+              crng.NextBernoulli(config_.duplicate_event_prob)) {
+            InstallEvent dup = event;
+            dup.first_seen = std::min<Month>(config_.horizon_month - 1,
+                                             event.first_seen + 2 +
+                                                 crng.NextPoisson(6.0));
+            int other = (home_site + 1) % num_sites;
+            company.sites[other].events.push_back(dup);
+          }
+        }
+      });
+
+  // Phase 2 (serial, company order): globally unique names, sequential
+  // D-U-N-S numbering and registry records, ground truth, corpus rows.
   std::map<std::string, int> name_counts;
   Duns next_duns = 10000001;
+  for (CompanyDraft& draft : drafts) {
+    Company& company = draft.company;
+    gt.company_theta.push_back(std::move(draft.theta));
+    gt.company_topic.push_back(draft.topic);
 
-  for (int i = 0; i < config_.num_companies; ++i) {
-    Company company;
-
-    // Industry (mildly skewed toward low indices, like real corpora).
-    int industry_index = static_cast<int>(
-        std::min<double>(sic.num_industries() - 1,
-                         std::floor(std::pow(rng.NextDouble(), 1.35) *
-                                    sic.num_industries())));
-    company.sic2_code = sic.industry(industry_index).code;
-
-    // Topic mixture theta ~ Dirichlet(alpha with industry bias).
-    std::vector<double> theta = rng.NextDirichlet(
-        IndustryAlpha(config_, industry_topic[industry_index]));
-    gt.company_theta.push_back(theta);
-    gt.company_topic.push_back(static_cast<int>(ArgMax(theta)));
-
-    // Name.
-    const int n_adj = sizeof(kNameAdjectives) / sizeof(kNameAdjectives[0]);
-    const int n_noun = sizeof(kNameNouns) / sizeof(kNameNouns[0]);
-    const int n_suffix = sizeof(kNameSuffixes) / sizeof(kNameSuffixes[0]);
-    std::string base_name =
-        std::string(kNameAdjectives[rng.NextBounded(n_adj)]) + " " +
-        kNameNouns[rng.NextBounded(n_noun)];
+    std::string base_name = std::move(company.name);
     int& count = name_counts[base_name];
     ++count;
     if (count > 1) base_name += " " + std::to_string(count);
-    company.name =
-        base_name + " " + kNameSuffixes[rng.NextBounded(n_suffix)];
+    company.name = base_name + " " + draft.suffix;
 
-    // Geography.
-    bool is_us = rng.NextBernoulli(config_.fraction_us);
-    company.country =
-        is_us ? "US"
-              : kNonUsCountries[rng.NextBounded(
-                    sizeof(kNonUsCountries) / sizeof(kNonUsCountries[0]))];
-
-    // Acquisition sequence.
-    std::vector<CategoryId> sequence = SampleSequence(
-        config_, theta, gt.topic_category, gt.affinity, m, &rng);
-
-    // Acquisition clock. Products whose (jittered) confirmation date
-    // falls past the data horizon are dropped: the corpus records only
-    // what the snapshot can see, so young companies look smaller.
-    Month founding = static_cast<Month>(
-        rng.NextInt(config_.first_founding_month, config_.last_founding_month));
-    std::vector<Month> months;
-    {
-      std::vector<CategoryId> visible;
-      Month cursor = founding;
-      for (size_t s = 0; s < sequence.size(); ++s) {
-        if (s > 0) {
-          cursor += 1 + rng.NextPoisson(std::max(
-                            0.0, config_.mean_acquisition_gap_months - 1.0));
-        }
-        Month jittered = cursor;
-        if (config_.timestamp_jitter_months > 0) {
-          jittered += static_cast<Month>(
-              rng.NextInt(-config_.timestamp_jitter_months,
-                          config_.timestamp_jitter_months));
-        }
-        jittered = std::max(jittered, config_.first_founding_month);
-        if (jittered >= config_.horizon_month) continue;
-        visible.push_back(sequence[s]);
-        months.push_back(jittered);
-      }
-      sequence = std::move(visible);
-    }
-
-    // Size-correlated firmographics.
-    double size_factor = static_cast<double>(sequence.size());
-    company.employees = static_cast<long long>(
-        std::llround(50.0 * size_factor *
-                     std::exp(rng.NextGaussian() * 0.9)));
-    if (company.employees < 5) company.employees = 5;
-    company.revenue_musd =
-        0.25 * static_cast<double>(company.employees) *
-        std::exp(rng.NextGaussian() * 0.5);
-
-    // Sites and the D-U-N-S subtree.
-    int num_sites =
-        1 + std::min<int>(rng.NextPoisson(config_.mean_extra_sites),
-                          config_.max_sites - 1);
     company.domestic_duns = next_duns++;
     DunsRecord ultimate;
     ultimate.duns = company.domestic_duns;
@@ -414,49 +473,20 @@ GeneratedCorpus SyntheticHgGenerator::Generate() const {
     ultimate.global_ultimate = company.domestic_duns;
     ultimate.country = company.country;
     HLM_CHECK_OK(out.duns.Add(ultimate));
-
-    company.sites.resize(num_sites);
-    for (int s = 0; s < num_sites; ++s) {
+    for (size_t s = 0; s < company.sites.size(); ++s) {
       CompanySite& site = company.sites[s];
-      site.country = company.country;
-      site.region = company.country == "US"
-                        ? kUsRegions[rng.NextBounded(
-                              sizeof(kUsRegions) / sizeof(kUsRegions[0]))]
-                        : "";
       if (s == 0) {
         site.duns = company.domestic_duns;
-      } else {
-        site.duns = next_duns++;
-        DunsRecord branch;
-        branch.duns = site.duns;
-        branch.parent = company.domestic_duns;
-        branch.domestic_ultimate = company.domestic_duns;
-        branch.global_ultimate = company.domestic_duns;
-        branch.country = company.country;
-        HLM_CHECK_OK(out.duns.Add(branch));
+        continue;
       }
-    }
-
-    for (size_t s = 0; s < sequence.size(); ++s) {
-      InstallEvent event;
-      event.category = sequence[s];
-      event.first_seen = months[s];
-      event.last_confirmed = std::min<Month>(
-          config_.horizon_month - 1,
-          months[s] + rng.NextPoisson(18.0));
-      event.confidence = 0.5 + 0.5 * rng.NextBeta(8.0, 2.0);
-      int home_site = static_cast<int>(rng.NextBounded(num_sites));
-      company.sites[home_site].events.push_back(event);
-      // Some products get confirmed at a second site later; the
-      // aggregation layer must keep the earliest sighting.
-      if (num_sites > 1 && rng.NextBernoulli(config_.duplicate_event_prob)) {
-        InstallEvent dup = event;
-        dup.first_seen = std::min<Month>(config_.horizon_month - 1,
-                                         event.first_seen + 2 +
-                                             rng.NextPoisson(6.0));
-        int other = (home_site + 1) % num_sites;
-        company.sites[other].events.push_back(dup);
-      }
+      site.duns = next_duns++;
+      DunsRecord branch;
+      branch.duns = site.duns;
+      branch.parent = company.domestic_duns;
+      branch.domestic_ultimate = company.domestic_duns;
+      branch.global_ultimate = company.domestic_duns;
+      branch.country = company.country;
+      HLM_CHECK_OK(out.duns.Add(branch));
     }
 
     out.corpus.Add(std::move(company));

@@ -19,7 +19,7 @@ inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
-Rng::Rng(uint64_t seed) {
+Rng::Rng(uint64_t seed) : seed_(seed) {
   uint64_t sm = seed;
   for (auto& s : state_) s = SplitMix64(&sm);
 }
@@ -168,5 +168,15 @@ size_t Rng::NextCategorical(const std::vector<double>& weights) {
 }
 
 Rng Rng::Split() { return Rng(NextUint64()); }
+
+Rng Rng::ForkAt(uint64_t index) const {
+  // Mix (seed, index) through two splitmix64 rounds so adjacent indices
+  // land in unrelated regions of the seed space.
+  uint64_t sm = seed_ ^ (index * 0xbf58476d1ce4e5b9ULL +
+                         0x9e3779b97f4a7c15ULL);
+  uint64_t child = SplitMix64(&sm);
+  child ^= SplitMix64(&sm);
+  return Rng(child);
+}
 
 }  // namespace hlm

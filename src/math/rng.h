@@ -66,9 +66,22 @@ class Rng {
   }
 
   /// Spawns an independent child generator (for per-worker streams).
+  /// Advances this generator by one draw, so consecutive Split() calls
+  /// yield distinct children.
   Rng Split();
 
+  /// Counter-based stream split: derives the `index`-th child generator
+  /// purely from this generator's seed, consuming nothing. Parallel work
+  /// items each take ForkAt(item_index) and draw the same numbers no
+  /// matter how items are scheduled across threads — the contract behind
+  /// the library's bit-for-bit deterministic ParallelFor conversions
+  /// (DESIGN.md "Parallelism & determinism"). Children of distinct
+  /// indices (and of generators with distinct seeds) are decorrelated by
+  /// two rounds of splitmix64.
+  Rng ForkAt(uint64_t index) const;
+
  private:
+  uint64_t seed_ = 0;  // construction seed, the ForkAt stream root
   uint64_t state_[4];
   double cached_gaussian_ = 0.0;
   bool has_cached_gaussian_ = false;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "math/mvn.h"
 #include "math/rng.h"
 #include "obs/metrics.h"
@@ -84,8 +85,44 @@ struct SideObservation {
   double rating = 0.0;
 };
 
-// Samples every factor row from its Gaussian conditional given the other
+// Samples one factor row from its Gaussian conditional given the other
 // side's factors and that row's observed ratings.
+Status SampleFactorRow(const std::vector<SideObservation>& row_observed,
+                       const Matrix& other, const SideState& hyper,
+                       const Matrix& lambda_mu, double alpha, size_t i,
+                       Rng* rng, Matrix* factors) {
+  const size_t d = factors->cols();
+  Matrix precision = hyper.lambda;
+  Matrix rhs = lambda_mu;
+  for (const SideObservation& obs : row_observed) {
+    const double* row = other.row(obs.other);
+    for (size_t a = 0; a < d; ++a) {
+      rhs(a, 0) += alpha * obs.rating * row[a];
+      for (size_t b = 0; b < d; ++b) {
+        precision(a, b) += alpha * row[a] * row[b];
+      }
+    }
+  }
+  HLM_ASSIGN_OR_RETURN(Matrix covariance, SpdInverse(precision));
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = a + 1; b < d; ++b) {
+      double avg = 0.5 * (covariance(a, b) + covariance(b, a));
+      covariance(a, b) = avg;
+      covariance(b, a) = avg;
+    }
+  }
+  Matrix mean = MatMul(covariance, rhs);
+  HLM_ASSIGN_OR_RETURN(Matrix sample,
+                       SampleMultivariateGaussian(mean, covariance, rng));
+  for (size_t a = 0; a < d; ++a) (*factors)(i, a) = sample(a, 0);
+  return Status::OK();
+}
+
+// Samples every factor row of one side. Rows are conditionally
+// independent given the other side and the hyper-parameters, so they
+// fan out over the pool; row i draws from rng->ForkAt(i) (one Split()
+// consumed from the sweep RNG per call), making the sweep bit-identical
+// at any thread count.
 Status SampleFactors(const std::vector<std::vector<SideObservation>>& observed,
                      const Matrix& other, const SideState& hyper,
                      double alpha, Rng* rng, Matrix* factors) {
@@ -99,30 +136,15 @@ Status SampleFactors(const std::vector<std::vector<SideObservation>>& observed,
     lambda_mu(a, 0) = sum;
   }
 
-  for (size_t i = 0; i < n; ++i) {
-    Matrix precision = hyper.lambda;
-    Matrix rhs = lambda_mu;
-    for (const SideObservation& obs : observed[i]) {
-      const double* row = other.row(obs.other);
-      for (size_t a = 0; a < d; ++a) {
-        rhs(a, 0) += alpha * obs.rating * row[a];
-        for (size_t b = 0; b < d; ++b) {
-          precision(a, b) += alpha * row[a] * row[b];
-        }
-      }
-    }
-    HLM_ASSIGN_OR_RETURN(Matrix covariance, SpdInverse(precision));
-    for (size_t a = 0; a < d; ++a) {
-      for (size_t b = a + 1; b < d; ++b) {
-        double avg = 0.5 * (covariance(a, b) + covariance(b, a));
-        covariance(a, b) = avg;
-        covariance(b, a) = avg;
-      }
-    }
-    Matrix mean = MatMul(covariance, rhs);
-    HLM_ASSIGN_OR_RETURN(Matrix sample,
-                         SampleMultivariateGaussian(mean, covariance, rng));
-    for (size_t a = 0; a < d; ++a) (*factors)(i, a) = sample(a, 0);
+  const Rng row_base = rng->Split();
+  std::vector<Status> row_status(n);
+  ParallelFor(0, n, /*grain=*/0, [&](size_t i) {
+    Rng row_rng = row_base.ForkAt(i);
+    row_status[i] = SampleFactorRow(observed[i], other, hyper, lambda_mu,
+                                    alpha, i, &row_rng, factors);
+  });
+  for (const Status& status : row_status) {
+    HLM_RETURN_IF_ERROR(status);
   }
   return Status::OK();
 }

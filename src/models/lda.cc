@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "math/rng.h"
 #include "math/vector_ops.h"
 #include "models/perplexity.h"
@@ -277,46 +278,72 @@ std::vector<double> LdaModel::InferTopicMixture(
   return theta;
 }
 
+std::vector<std::vector<double>> LdaModel::InferTopicMixtures(
+    const std::vector<TokenSequence>& documents) const {
+  HLM_CHECK(trained_);
+  std::vector<std::vector<double>> thetas(documents.size());
+  ParallelFor(0, documents.size(), /*grain=*/0,
+              [&](size_t d) { thetas[d] = InferTopicMixture(documents[d]); });
+  return thetas;
+}
+
+double LdaModel::PerplexityOverDocuments(
+    size_t num_documents,
+    const std::function<std::pair<double, long long>(size_t)>& per_document)
+    const {
+  obs::MetricsRegistry::Global()
+      .GetCounter("hlm.lda.documents_scored_total")
+      ->Increment(static_cast<long long>(num_documents));
+  PerplexityAccumulator acc = ParallelMapReduce(
+      0, num_documents, /*grain=*/0, PerplexityAccumulator(), per_document,
+      [](PerplexityAccumulator reduced, std::pair<double, long long> part) {
+        reduced.AddMany(part.first, part.second);
+        return reduced;
+      });
+  return acc.Perplexity();
+}
+
+std::pair<double, long long> LdaModel::ScoreTokens(
+    const std::vector<double>& theta, const TokenSequence& tokens) const {
+  double log_prob = 0.0;
+  for (Token word : tokens) {
+    double p = 0.0;
+    for (int t = 0; t < config_.num_topics; ++t) {
+      p += theta[t] * phi_[t][word];
+    }
+    log_prob += std::log(std::max(p, 1e-12));
+  }
+  return {log_prob, static_cast<long long>(tokens.size())};
+}
+
 double LdaModel::Perplexity(
     const std::vector<TokenSequence>& documents) const {
   HLM_CHECK(trained_);
-  PerplexityAccumulator acc;
-  for (const TokenSequence& doc : documents) {
-    if (doc.empty()) continue;
-    std::vector<double> theta = InferTopicMixture(doc);
-    for (Token word : doc) {
-      double p = 0.0;
-      for (int t = 0; t < config_.num_topics; ++t) {
-        p += theta[t] * phi_[t][word];
-      }
-      acc.Add(std::log(std::max(p, 1e-12)));
-    }
-  }
-  return acc.Perplexity();
+  return PerplexityOverDocuments(
+      documents.size(),
+      [&](size_t d) -> std::pair<double, long long> {
+        const TokenSequence& doc = documents[d];
+        if (doc.empty()) return {0.0, 0};
+        return ScoreTokens(InferTopicMixture(doc), doc);
+      });
 }
 
 double LdaModel::PerplexityCompletion(
     const std::vector<TokenSequence>& documents) const {
   HLM_CHECK(trained_);
-  PerplexityAccumulator acc;
-  for (const TokenSequence& doc : documents) {
-    if (doc.empty()) continue;
-    TokenSequence shuffled = doc;
-    Rng rng(DocumentSeed(config_.seed ^ 0xc0117e57, doc));
-    rng.Shuffle(&shuffled);
-    size_t half = shuffled.size() / 2;
-    TokenSequence observed(shuffled.begin(), shuffled.begin() + half);
-    TokenSequence held_out(shuffled.begin() + half, shuffled.end());
-    std::vector<double> theta = InferTopicMixture(observed);
-    for (Token word : held_out) {
-      double p = 0.0;
-      for (int t = 0; t < config_.num_topics; ++t) {
-        p += theta[t] * phi_[t][word];
-      }
-      acc.Add(std::log(std::max(p, 1e-12)));
-    }
-  }
-  return acc.Perplexity();
+  return PerplexityOverDocuments(
+      documents.size(),
+      [&](size_t d) -> std::pair<double, long long> {
+        const TokenSequence& doc = documents[d];
+        if (doc.empty()) return {0.0, 0};
+        TokenSequence shuffled = doc;
+        Rng rng(DocumentSeed(config_.seed ^ 0xc0117e57, doc));
+        rng.Shuffle(&shuffled);
+        size_t half = shuffled.size() / 2;
+        TokenSequence observed(shuffled.begin(), shuffled.begin() + half);
+        TokenSequence held_out(shuffled.begin() + half, shuffled.end());
+        return ScoreTokens(InferTopicMixture(observed), held_out);
+      });
 }
 
 double LdaModel::PerplexityLeftToRight(
@@ -324,51 +351,57 @@ double LdaModel::PerplexityLeftToRight(
   HLM_CHECK(trained_);
   HLM_CHECK_GT(particles, 0);
   const int k = config_.num_topics;
-  PerplexityAccumulator acc;
-  for (const TokenSequence& doc : documents) {
-    if (doc.empty()) continue;
-    Rng rng(DocumentSeed(config_.seed ^ 0xabcdef, doc));
-    // particle state: topic assignment of already-seen tokens.
-    std::vector<std::vector<int>> particle_topics(
-        particles, std::vector<int>());
-    std::vector<std::vector<double>> particle_counts(
-        particles, std::vector<double>(k, 0.0));
-    std::vector<double> topic_probs(k);
-    for (size_t n = 0; n < doc.size(); ++n) {
-      const Token word = doc[n];
-      double p_word = 0.0;
-      for (int r = 0; r < particles; ++r) {
-        auto& topics = particle_topics[r];
-        auto& counts = particle_counts[r];
-        // Resample topics of previous positions (one sweep).
-        for (size_t j = 0; j < topics.size(); ++j) {
-          counts[topics[j]] -= 1.0;
-          for (int t = 0; t < k; ++t) {
-            topic_probs[t] = (counts[t] + config_.alpha) * phi_[t][doc[j]];
+  return PerplexityOverDocuments(
+      documents.size(),
+      [&, k](size_t d) -> std::pair<double, long long> {
+        const TokenSequence& doc = documents[d];
+        if (doc.empty()) return {0.0, 0};
+        double log_prob = 0.0;
+        long long scored = 0;
+        Rng rng(DocumentSeed(config_.seed ^ 0xabcdef, doc));
+        // particle state: topic assignment of already-seen tokens.
+        std::vector<std::vector<int>> particle_topics(
+            particles, std::vector<int>());
+        std::vector<std::vector<double>> particle_counts(
+            particles, std::vector<double>(k, 0.0));
+        std::vector<double> topic_probs(k);
+        for (size_t n = 0; n < doc.size(); ++n) {
+          const Token word = doc[n];
+          double p_word = 0.0;
+          for (int r = 0; r < particles; ++r) {
+            auto& topics = particle_topics[r];
+            auto& counts = particle_counts[r];
+            // Resample topics of previous positions (one sweep).
+            for (size_t j = 0; j < topics.size(); ++j) {
+              counts[topics[j]] -= 1.0;
+              for (int t = 0; t < k; ++t) {
+                topic_probs[t] =
+                    (counts[t] + config_.alpha) * phi_[t][doc[j]];
+              }
+              topics[j] = static_cast<int>(rng.NextCategorical(topic_probs));
+              counts[topics[j]] += 1.0;
+            }
+            // Predictive probability of the next word.
+            double denom = static_cast<double>(n) +
+                           config_.alpha * static_cast<double>(k);
+            double p = 0.0;
+            for (int t = 0; t < k; ++t) {
+              p += (counts[t] + config_.alpha) / denom * phi_[t][word];
+            }
+            p_word += p;
+            // Sample the new word's topic and include it in the particle.
+            for (int t = 0; t < k; ++t) {
+              topic_probs[t] = (counts[t] + config_.alpha) * phi_[t][word];
+            }
+            int z = static_cast<int>(rng.NextCategorical(topic_probs));
+            topics.push_back(z);
+            counts[z] += 1.0;
           }
-          topics[j] = static_cast<int>(rng.NextCategorical(topic_probs));
-          counts[topics[j]] += 1.0;
+          log_prob += std::log(std::max(p_word / particles, 1e-12));
+          ++scored;
         }
-        // Predictive probability of the next word.
-        double denom = static_cast<double>(n) +
-                       config_.alpha * static_cast<double>(k);
-        double p = 0.0;
-        for (int t = 0; t < k; ++t) {
-          p += (counts[t] + config_.alpha) / denom * phi_[t][word];
-        }
-        p_word += p;
-        // Sample the new word's topic and include it in the particle.
-        for (int t = 0; t < k; ++t) {
-          topic_probs[t] = (counts[t] + config_.alpha) * phi_[t][word];
-        }
-        int z = static_cast<int>(rng.NextCategorical(topic_probs));
-        topics.push_back(z);
-        counts[z] += 1.0;
-      }
-      acc.Add(std::log(std::max(p_word / particles, 1e-12)));
-    }
-  }
-  return acc.Perplexity();
+        return {log_prob, scored};
+      });
 }
 
 std::vector<double> LdaModel::NextProductDistribution(

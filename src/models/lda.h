@@ -2,7 +2,9 @@
 #define HLM_MODELS_LDA_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -64,6 +66,13 @@ class LdaModel final : public ConditionalScorer {
   /// trained phi. Deterministic given the document and model seed.
   std::vector<double> InferTopicMixture(const TokenSequence& document) const;
 
+  /// Batched fold-in, parallel over documents. Each document's Gibbs
+  /// chain is seeded from (model seed, document) alone, so the result is
+  /// bit-identical to calling InferTopicMixture in a loop, at any thread
+  /// count.
+  std::vector<std::vector<double>> InferTopicMixtures(
+      const std::vector<TokenSequence>& documents) const;
+
   /// Plug-in held-out perplexity: fold in theta per test document, then
   /// score every token as sum_t theta_t phi_t(w). (gensim-style bound;
   /// the estimator behind Fig. 2 / Table 1.)
@@ -113,6 +122,21 @@ class LdaModel final : public ConditionalScorer {
  private:
   Status TrainInternal(const std::vector<TokenSequence>& documents,
                        const std::vector<std::vector<double>>* weights);
+
+  /// Shared driver of every held-out estimator: maps per_document(d) ->
+  /// (log-prob sum, token count) over documents in parallel and reduces
+  /// the accumulator strictly in document order. Each document must
+  /// derive all randomness from (model seed, document content), which is
+  /// what makes the estimators deterministic under parallelism.
+  double PerplexityOverDocuments(
+      size_t num_documents,
+      const std::function<std::pair<double, long long>(size_t)>&
+          per_document) const;
+
+  /// Plug-in token scoring shared by the fold-in estimators:
+  /// sum_w ln max(theta . phi[:, w], 1e-12) over `tokens`.
+  std::pair<double, long long> ScoreTokens(const std::vector<double>& theta,
+                                           const TokenSequence& tokens) const;
 
   int vocab_size_;
   LdaConfig config_;

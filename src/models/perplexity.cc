@@ -1,6 +1,9 @@
 #include "models/perplexity.h"
 
 #include <cmath>
+#include <utility>
+
+#include "common/parallel.h"
 
 namespace hlm::models {
 
@@ -12,20 +15,34 @@ double PerplexityAccumulator::Perplexity() const {
 double SequencePerplexity(const ConditionalScorer& scorer,
                           const std::vector<TokenSequence>& sequences,
                           double floor_prob) {
-  PerplexityAccumulator acc;
-  TokenSequence history;
-  for (const TokenSequence& sequence : sequences) {
-    history.clear();
-    for (Token token : sequence) {
-      std::vector<double> dist = scorer.NextProductDistribution(history);
-      double p = token >= 0 && token < static_cast<int>(dist.size())
-                     ? dist[token]
-                     : 0.0;
-      if (p < floor_prob) p = floor_prob;
-      acc.Add(std::log(p));
-      history.push_back(token);
-    }
-  }
+  // Sequences are scored independently (NextProductDistribution is
+  // const), so they fan out over the pool; the accumulator is reduced
+  // in sequence order, keeping the result identical for every thread
+  // count.
+  PerplexityAccumulator acc = ParallelMapReduce(
+      0, sequences.size(), /*grain=*/0, PerplexityAccumulator(),
+      [&](size_t s) -> std::pair<double, long long> {
+        const TokenSequence& sequence = sequences[s];
+        double log_prob = 0.0;
+        long long tokens = 0;
+        TokenSequence history;
+        history.reserve(sequence.size());
+        for (Token token : sequence) {
+          std::vector<double> dist = scorer.NextProductDistribution(history);
+          double p = token >= 0 && token < static_cast<int>(dist.size())
+                         ? dist[token]
+                         : 0.0;
+          if (p < floor_prob) p = floor_prob;
+          log_prob += std::log(p);
+          ++tokens;
+          history.push_back(token);
+        }
+        return {log_prob, tokens};
+      },
+      [](PerplexityAccumulator reduced, std::pair<double, long long> part) {
+        reduced.AddMany(part.first, part.second);
+        return reduced;
+      });
   return acc.Perplexity();
 }
 

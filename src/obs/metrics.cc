@@ -134,6 +134,12 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
   return slot.get();
 }
 
+void MetricsRegistry::SetMeta(const std::string& name,
+                              const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  meta_[name] = value;
+}
+
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::vector<double>& bounds) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -145,6 +151,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snapshot;
+  snapshot.meta = meta_;
   for (const auto& [name, counter] : counters_) {
     snapshot.counters[name] = counter->value();
   }
@@ -159,6 +166,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
+  meta_.clear();
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
@@ -166,8 +174,16 @@ void MetricsRegistry::Reset() {
 
 std::string MetricsSnapshot::ToJson() const {
   std::ostringstream out;
-  out << "{\n  \"counters\": {";
+  out << "{\n  \"meta\": {";
   bool first = true;
+  for (const auto& [name, value] : meta) {
+    out << (first ? "\n" : ",\n") << "    " << QuoteJson(name) << ": "
+        << QuoteJson(value);
+    first = false;
+  }
+  out << (first ? "},\n" : "\n  },\n");
+  out << "  \"counters\": {";
+  first = true;
   for (const auto& [name, value] : counters) {
     out << (first ? "\n" : ",\n") << "    " << QuoteJson(name) << ": "
         << value;
@@ -211,10 +227,15 @@ std::string MetricsSnapshot::ToJson() const {
 std::string MetricsSnapshot::ToText() const {
   std::ostringstream out;
   size_t width = 1;
+  for (const auto& [name, _] : meta) width = std::max(width, name.size());
   for (const auto& [name, _] : counters) width = std::max(width, name.size());
   for (const auto& [name, _] : gauges) width = std::max(width, name.size());
   for (const auto& [name, _] : histograms) {
     width = std::max(width, name.size());
+  }
+  for (const auto& [name, value] : meta) {
+    out << name << std::string(width - name.size(), ' ') << "  meta     "
+        << value << "\n";
   }
   for (const auto& [name, value] : counters) {
     out << name << std::string(width - name.size(), ' ') << "  counter  "
@@ -332,6 +353,13 @@ Result<MetricsSnapshot> MetricsSnapshot::FromJson(const std::string& json) {
   MetricsSnapshot snapshot;
   JsonParser parser(json);
   Status status = parser.ParseObject([&](const std::string& section) {
+    if (section == "meta") {
+      return parser.ParseObject([&](const std::string& name) {
+        HLM_ASSIGN_OR_RETURN(std::string v, parser.ParseString());
+        snapshot.meta[name] = std::move(v);
+        return Status::OK();
+      });
+    }
     if (section == "counters") {
       return parser.ParseObject([&](const std::string& name) {
         HLM_ASSIGN_OR_RETURN(double v, parser.ParseNumber());

@@ -100,6 +100,10 @@ const std::vector<double>& DefaultTimingBuckets();
 /// Point-in-time copy of every metric in a registry, exportable as JSON
 /// (machine-readable, the format behind BENCH_*.json) or aligned text.
 struct MetricsSnapshot {
+  /// Free-form run context (threads, host cores, bench phase timings...)
+  /// emitted as a "meta" JSON section so consumers can interpret the
+  /// numeric sections without out-of-band knowledge.
+  std::map<std::string, std::string> meta;
   std::map<std::string, long long> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
@@ -126,6 +130,9 @@ class MetricsRegistry {
 
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
+  /// Attaches a run-context string that every Snapshot carries in its
+  /// meta section (last write wins).
+  void SetMeta(const std::string& name, const std::string& value);
   /// Returns the existing histogram if `name` is already registered
   /// (the bounds argument is then ignored).
   Histogram* GetHistogram(
@@ -140,6 +147,7 @@ class MetricsRegistry {
 
  private:
   mutable std::mutex mu_;
+  std::map<std::string, std::string> meta_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

@@ -1,8 +1,10 @@
 #include "recsys/evaluation.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -89,25 +91,36 @@ std::vector<std::vector<ScoredCompany>> ScoreAllWindows(
   std::vector<std::vector<ScoredCompany>> per_window;
   for (const auto& window : config.protocol.Windows()) {
     obs::ScopedTimer window_timer(window_seconds);
+    // Companies score independently within a window, so they fan out
+    // over the pool into per-index slots; the serial compaction below
+    // preserves company order, keeping the result identical to the
+    // serial sweep at any thread count.
+    std::vector<std::optional<ScoredCompany>> slots(corpus.num_companies());
+    ParallelFor(
+        0, static_cast<size_t>(corpus.num_companies()), /*grain=*/0,
+        [&](size_t i) {
+          const corpus::InstallBase& base = corpus.record(i).install_base;
+          corpus::InstallBase history = base.Before(window.start);
+          if (history.empty()) return;  // nothing to condition on yet
+
+          std::vector<int> truth = base.AppearedIn(window.start, window.end);
+          ScoredCompany scored;
+          scored.relevant = static_cast<long long>(truth.size());
+
+          std::vector<double> dist = score_company(static_cast<int>(i),
+                                                   history);
+          for (int c = 0; c < corpus.num_categories(); ++c) {
+            if (history.Contains(c)) continue;  // never re-recommend owned
+            scored.candidates.push_back(c);
+            scored.scores.push_back(dist[c]);
+            scored.in_truth.push_back(
+                std::find(truth.begin(), truth.end(), c) != truth.end());
+          }
+          slots[i] = std::move(scored);
+        });
     std::vector<ScoredCompany> companies;
-    for (int i = 0; i < corpus.num_companies(); ++i) {
-      const corpus::InstallBase& base = corpus.record(i).install_base;
-      corpus::InstallBase history = base.Before(window.start);
-      if (history.empty()) continue;  // nothing to condition on yet
-
-      std::vector<int> truth = base.AppearedIn(window.start, window.end);
-      ScoredCompany scored;
-      scored.relevant = static_cast<long long>(truth.size());
-
-      std::vector<double> dist = score_company(i, history);
-      for (int c = 0; c < corpus.num_categories(); ++c) {
-        if (history.Contains(c)) continue;  // never re-recommend owned
-        scored.candidates.push_back(c);
-        scored.scores.push_back(dist[c]);
-        scored.in_truth.push_back(std::find(truth.begin(), truth.end(), c) !=
-                                  truth.end());
-      }
-      companies.push_back(std::move(scored));
+    for (std::optional<ScoredCompany>& slot : slots) {
+      if (slot.has_value()) companies.push_back(std::move(*slot));
     }
     companies_scored->Increment(static_cast<long long>(companies.size()));
     per_window.push_back(std::move(companies));

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/parallel.h"
 #include "corpus/generator.h"
 #include "math/rng.h"
 #include "math/vector_ops.h"
@@ -214,6 +215,34 @@ TEST(LdaTest, TrainingIsDeterministicInSeed) {
       EXPECT_DOUBLE_EQ(a.topic_word()[t][w], b.topic_word()[t][w]);
     }
   }
+}
+
+TEST(LdaTest, PerplexityIdenticalAcrossThreadCounts) {
+  // Every perplexity estimator fans out over documents with per-document
+  // RNG streams; the answers must be bit-for-bit equal at any thread
+  // count, not merely statistically close.
+  auto corpus = TwoTopicCorpus(120, 23);
+  std::vector<TokenSequence> train(corpus.begin(), corpus.begin() + 160);
+  std::vector<TokenSequence> test(corpus.begin() + 160, corpus.end());
+  LdaConfig config;
+  config.num_topics = 2;
+  LdaModel lda(10, config);
+  ASSERT_TRUE(lda.Train(train).ok());
+
+  SetNumThreads(1);
+  double ppl_1 = lda.Perplexity(test);
+  double completion_1 = lda.PerplexityCompletion(test);
+  double sequential_1 = lda.PerplexitySequential(test);
+  double ltr_1 = lda.PerplexityLeftToRight(test, 8);
+  auto thetas_1 = lda.InferTopicMixtures(test);
+
+  SetNumThreads(4);
+  EXPECT_EQ(lda.Perplexity(test), ppl_1);
+  EXPECT_EQ(lda.PerplexityCompletion(test), completion_1);
+  EXPECT_EQ(lda.PerplexitySequential(test), sequential_1);
+  EXPECT_EQ(lda.PerplexityLeftToRight(test, 8), ltr_1);
+  EXPECT_EQ(lda.InferTopicMixtures(test), thetas_1);
+  SetNumThreads(0);
 }
 
 class LdaTopicCountTest : public ::testing::TestWithParam<int> {};

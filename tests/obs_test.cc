@@ -142,6 +142,8 @@ TEST(MetricsRegistryTest, ResetDropsEverything) {
 
 TEST(MetricsSnapshotTest, JsonRoundTrip) {
   MetricsRegistry registry;
+  registry.SetMeta("threads", "4");
+  registry.SetMeta("host \"quoted\"", "a\\b");  // exercises escaping
   registry.GetCounter("hlm.lda.sweeps_total")->Increment(152);
   registry.GetGauge("hlm.lda.log_likelihood")->Set(-9876.54321);
   Histogram* histogram =
@@ -153,6 +155,9 @@ TEST(MetricsSnapshotTest, JsonRoundTrip) {
 
   Result<MetricsSnapshot> parsed = MetricsSnapshot::FromJson(snapshot.ToJson());
   ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->meta, snapshot.meta);
+  EXPECT_EQ(parsed->meta.at("threads"), "4");
+  EXPECT_EQ(parsed->meta.at("host \"quoted\""), "a\\b");
   EXPECT_EQ(parsed->counters, snapshot.counters);
   ASSERT_EQ(parsed->gauges.size(), 1u);
   EXPECT_DOUBLE_EQ(parsed->gauges.at("hlm.lda.log_likelihood"),

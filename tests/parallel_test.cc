@@ -1,0 +1,142 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "math/rng.h"
+#include "obs/metrics.h"
+
+namespace hlm {
+namespace {
+
+// Restores the global thread setting after each test so the suite order
+// cannot leak a thread-count override into unrelated tests.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetNumThreads(0); }
+};
+
+TEST_F(ParallelTest, NumThreadsIsPositive) {
+  EXPECT_GE(NumThreads(), 1);
+  SetNumThreads(3);
+  EXPECT_EQ(NumThreads(), 3);
+  SetNumThreads(0);  // back to the environment default
+  EXPECT_GE(NumThreads(), 1);
+}
+
+TEST_F(ParallelTest, VisitsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4}) {
+    SetNumThreads(threads);
+    std::vector<std::atomic<int>> visits(997);
+    ParallelFor(0, visits.size(), /*grain=*/0,
+                [&](size_t i) { visits[i].fetch_add(1); });
+    for (size_t i = 0; i < visits.size(); ++i) {
+      ASSERT_EQ(visits[i].load(), 1) << "index " << i << " at " << threads
+                                     << " threads";
+    }
+  }
+}
+
+TEST_F(ParallelTest, EmptyRangeRunsNothing) {
+  std::atomic<int> calls{0};
+  ParallelFor(5, 5, 0, [&](size_t) { calls.fetch_add(1); });
+  ParallelFor(7, 3, 0, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST_F(ParallelTest, GrainLargerThanRangeStillVisitsAll) {
+  SetNumThreads(4);
+  std::vector<std::atomic<int>> visits(10);
+  ParallelFor(0, visits.size(), /*grain=*/1000,
+              [&](size_t i) { visits[i].fetch_add(1); });
+  for (size_t i = 0; i < visits.size(); ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST_F(ParallelTest, PropagatesExceptionsToCaller) {
+  SetNumThreads(4);
+  EXPECT_THROW(
+      ParallelFor(0, 64, /*grain=*/1,
+                  [&](size_t i) {
+                    if (i == 37) throw std::runtime_error("worker failure");
+                  }),
+      std::runtime_error);
+  // The pool must stay usable after a failed region.
+  std::atomic<int> calls{0};
+  ParallelFor(0, 16, 0, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 16);
+}
+
+TEST_F(ParallelTest, NestedParallelForRunsInline) {
+  SetNumThreads(4);
+  std::atomic<int> total{0};
+  ParallelFor(0, 8, /*grain=*/1, [&](size_t) {
+    // A nested region must not deadlock on the shared pool; it runs
+    // serially on the calling worker.
+    ParallelFor(0, 8, /*grain=*/1, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST_F(ParallelTest, MapReduceMatchesSerialSum) {
+  for (int threads : {1, 4}) {
+    SetNumThreads(threads);
+    long long sum = ParallelMapReduce<long long>(
+        1, 1001, /*grain=*/0, 0LL,
+        [](size_t i) { return static_cast<long long>(i); },
+        [](long long acc, long long v) { return acc + v; });
+    EXPECT_EQ(sum, 500500) << threads << " threads";
+  }
+}
+
+TEST_F(ParallelTest, MapReduceReducesInIndexOrder) {
+  SetNumThreads(4);
+  std::string ordered = ParallelMapReduce<std::string>(
+      0, 26, /*grain=*/1, std::string(),
+      [](size_t i) { return std::string(1, static_cast<char>('a' + i)); },
+      [](std::string acc, std::string s) { return acc + s; });
+  EXPECT_EQ(ordered, "abcdefghijklmnopqrstuvwxyz");
+}
+
+TEST_F(ParallelTest, ForkAtStreamsAreIndependentOfThreadCount) {
+  Rng base(123);
+  std::vector<double> serial(64), parallel(64);
+  SetNumThreads(1);
+  ParallelFor(0, serial.size(), 0, [&](size_t i) {
+    Rng fork = base.ForkAt(i);
+    serial[i] = fork.NextDouble();
+  });
+  SetNumThreads(4);
+  ParallelFor(0, parallel.size(), 0, [&](size_t i) {
+    Rng fork = base.ForkAt(i);
+    parallel[i] = fork.NextDouble();
+  });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST_F(ParallelTest, ForkAtIsDeterministicAndDecorrelated) {
+  Rng base(7);
+  Rng again(7);
+  EXPECT_EQ(base.ForkAt(11).NextUint64(), again.ForkAt(11).NextUint64());
+  EXPECT_NE(base.ForkAt(1).NextUint64(), base.ForkAt(2).NextUint64());
+  // Distinct parent seeds must give distinct child streams at the same
+  // index.
+  EXPECT_NE(Rng(1).ForkAt(5).NextUint64(), Rng(2).ForkAt(5).NextUint64());
+}
+
+TEST_F(ParallelTest, RecordsTaskMetrics) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  long long before =
+      metrics.GetCounter("hlm.parallel.regions_total")->value();
+  ParallelFor(0, 256, /*grain=*/8, [](size_t) {});
+  EXPECT_GT(metrics.GetCounter("hlm.parallel.regions_total")->value(),
+            before);
+  EXPECT_GT(metrics.GetCounter("hlm.parallel.tasks")->value(), 0);
+}
+
+}  // namespace
+}  // namespace hlm

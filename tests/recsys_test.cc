@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
 #include "corpus/generator.h"
 #include "corpus/month.h"
 #include "corpus/product_taxonomy.h"
@@ -193,6 +194,45 @@ TEST(EvaluationTest, DefaultThresholdsMatchFig3Grid) {
   ASSERT_EQ(thresholds.size(), 9u);
   EXPECT_DOUBLE_EQ(thresholds.front(), 0.0);
   EXPECT_DOUBLE_EQ(thresholds.back(), 0.4);
+}
+
+TEST(EvaluationTest, ResultsIdenticalAcrossThreadCounts) {
+  // The per-window company scoring fans out over the pool; the whole
+  // evaluation (counts, means, CIs) must be bit-for-bit equal at any
+  // thread count. Corpus generation itself is also parallel, so the two
+  // generated corpora double as a determinism check for the generator.
+  SetNumThreads(1);
+  auto world_1 = corpus::GenerateDefaultCorpus(300, 11);
+  RecommendationEvalConfig config;
+  config.thresholds = {0.05, 0.15};
+  FixedScorer scorer(0.1);
+  auto evals_1 = EvaluateRecommender(scorer, world_1.corpus, config);
+
+  SetNumThreads(4);
+  auto world_4 = corpus::GenerateDefaultCorpus(300, 11);
+  ASSERT_EQ(world_4.corpus.num_companies(), world_1.corpus.num_companies());
+  for (int i = 0; i < world_1.corpus.num_companies(); ++i) {
+    ASSERT_EQ(world_4.corpus.record(i).company.name,
+              world_1.corpus.record(i).company.name);
+  }
+  auto evals_4 = EvaluateRecommender(scorer, world_4.corpus, config);
+  SetNumThreads(0);
+
+  ASSERT_EQ(evals_4.size(), evals_1.size());
+  for (size_t t = 0; t < evals_1.size(); ++t) {
+    EXPECT_EQ(evals_4[t].mean_precision, evals_1[t].mean_precision);
+    EXPECT_EQ(evals_4[t].mean_recall, evals_1[t].mean_recall);
+    EXPECT_EQ(evals_4[t].mean_f1, evals_1[t].mean_f1);
+    ASSERT_EQ(evals_4[t].windows.size(), evals_1[t].windows.size());
+    for (size_t w = 0; w < evals_1[t].windows.size(); ++w) {
+      EXPECT_EQ(evals_4[t].windows[w].retrieved,
+                evals_1[t].windows[w].retrieved);
+      EXPECT_EQ(evals_4[t].windows[w].correct,
+                evals_1[t].windows[w].correct);
+      EXPECT_EQ(evals_4[t].windows[w].relevant,
+                evals_1[t].windows[w].relevant);
+    }
+  }
 }
 
 TEST(EvaluationTest, ConfidenceIntervalsShrinkWithConsistentWindows) {
