@@ -17,7 +17,7 @@
 
 #include "bench/bench_util.h"
 #include "common/flags.h"
-#include "common/logging.h"
+#include "common/check.h"
 #include "common/parallel.h"
 #include "models/lda.h"
 #include "recsys/evaluation.h"
@@ -50,6 +50,8 @@ struct Workload {
 };
 
 std::vector<int> ThreadCounts() {
+  // Read-only capacity query, no thread is spawned here.
+  // hlm-lint: allow(no-raw-thread)
   int hw = std::max(1u, std::thread::hardware_concurrency());
   std::vector<int> counts = {1, 2, 4, hw};
   std::sort(counts.begin(), counts.end());
@@ -59,7 +61,7 @@ std::vector<int> ThreadCounts() {
 
 std::string ToJson(const std::vector<Workload>& workloads) {
   std::string out = "{\n";
-  out += "  \"host_cores\": " +
+  out += "  \"host_cores\": " +  // hlm-lint: allow(no-raw-thread)
          std::to_string(std::thread::hardware_concurrency()) + ",\n";
   out += "  \"workloads\": [\n";
   for (size_t w = 0; w < workloads.size(); ++w) {

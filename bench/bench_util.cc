@@ -6,7 +6,7 @@
 #include <string>
 #include <thread>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "common/parallel.h"
 #include "common/string_util.h"
 #include "corpus/month.h"
@@ -130,7 +130,7 @@ BenchEnv MakeEnv(int argc, char** argv, FlagSet* flags,
   metrics.GetGauge("hlm.bench.threads")
       ->Set(static_cast<double>(NumThreads()));
   metrics.SetMeta("threads", std::to_string(NumThreads()));
-  metrics.SetMeta("host_cores",
+  metrics.SetMeta("host_cores",  // hlm-lint: allow(no-raw-thread)
                   std::to_string(std::thread::hardware_concurrency()));
   metrics.SetMeta("seed", std::to_string(seed));
   metrics.SetMeta("companies", std::to_string(companies));

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Repo-wide static lint: builds the hlm_lint checker if needed, runs it
+# over src/ bench/ tests/ tools/, then self-tests that the checker still
+# rejects a known-bad fixture (a stray std::random_device must fail the
+# run with the rule name and file:line).
+#
+# Usage: scripts/lint.sh [build_dir]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+LINT_BIN="$BUILD_DIR/tools/hlm_lint"
+
+if [ ! -x "$LINT_BIN" ]; then
+  echo "== lint: building hlm_lint =="
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT" >/dev/null
+  cmake --build "$BUILD_DIR" --target hlm_lint -j "$(nproc)" >/dev/null
+fi
+
+echo "== lint: scanning src bench tests tools =="
+"$LINT_BIN" --root "$REPO_ROOT" src bench tests tools
+
+echo "== lint: self-test (checker must reject a bad fixture) =="
+FIXTURE_DIR="$(mktemp -d /tmp/hlm_lint_fixture.XXXXXX)"
+trap 'rm -rf "$FIXTURE_DIR"' EXIT
+mkdir -p "$FIXTURE_DIR/src"
+cat > "$FIXTURE_DIR/src/bad_rng.cc" <<'EOF'
+#include <random>
+int NondeterministicSeed() {
+  std::random_device rd;
+  return static_cast<int>(rd());
+}
+EOF
+SELFTEST_OUT="$FIXTURE_DIR/out.txt"
+if "$LINT_BIN" --root "$FIXTURE_DIR" src > "$SELFTEST_OUT" 2>&1; then
+  echo "lint self-test FAILED: checker passed a std::random_device fixture" >&2
+  cat "$SELFTEST_OUT" >&2
+  exit 1
+fi
+if ! grep -q "src/bad_rng.cc:3: no-raw-rng" "$SELFTEST_OUT"; then
+  echo "lint self-test FAILED: expected 'src/bad_rng.cc:3: no-raw-rng' in:" >&2
+  cat "$SELFTEST_OUT" >&2
+  exit 1
+fi
+
+echo "== lint: PASS =="

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build, run the full test suite, then
-# smoke-run one figure bench with --metrics_out and check the snapshot
-# is valid JSON containing the expected LDA instrumentation.
+# Tier-1 verification: configure, build, run the full test suite and the
+# hlm_lint static checker, smoke-run one figure bench with --metrics_out
+# and check the snapshot is valid JSON containing the expected LDA
+# instrumentation, then run the sanitizer stages the toolchain supports
+# (TSan over the concurrency tests, UBSan over the full suite).
 #
 # Usage: scripts/tier1.sh [build_dir]
 set -euo pipefail
@@ -9,18 +11,49 @@ set -euo pipefail
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
 
+CLEANUP_PATHS=()
+cleanup() {
+  if [ "${#CLEANUP_PATHS[@]}" -gt 0 ]; then
+    rm -rf "${CLEANUP_PATHS[@]}"
+  fi
+}
+trap cleanup EXIT
+
+# sanitizer_usable <flag> — probe whether the toolchain can build AND
+# run a binary under -fsanitize=<flag>. Every sanitizer stage gates on
+# this uniformly: supported toolchains must pass, others skip loudly.
+sanitizer_usable() {
+  local flag="$1"
+  local probe_dir
+  probe_dir="$(mktemp -d "/tmp/hlm_${flag}_probe.XXXXXX")"
+  CLEANUP_PATHS+=("$probe_dir")
+  cat > "$probe_dir/probe.cc" <<'EOF'
+#include <thread>
+int main() { std::thread t([] {}); t.join(); return 0; }
+EOF
+  c++ "-fsanitize=$flag" -pthread "$probe_dir/probe.cc" \
+      -o "$probe_dir/probe" 2>/dev/null &&
+    "$probe_dir/probe" 2>/dev/null
+}
+
 echo "== tier1: configure =="
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" >/dev/null
 
 echo "== tier1: build =="
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
+echo "== tier1: lint =="
+# Static checks run unconditionally: no toolchain dependency beyond the
+# repo's own compiler. lint.sh also self-tests that the linter still
+# fails on a known-bad fixture.
+"$REPO_ROOT/scripts/lint.sh" "$BUILD_DIR"
+
 echo "== tier1: ctest =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 echo "== tier1: metrics smoke bench =="
 METRICS_JSON="$(mktemp /tmp/hlm_tier1_metrics.XXXXXX.json)"
-trap 'rm -f "$METRICS_JSON"' EXIT
+CLEANUP_PATHS+=("$METRICS_JSON")
 "$BUILD_DIR/bench/bench_fig2_lda_perplexity" \
   --companies=120 --metrics_out="$METRICS_JSON"
 
@@ -56,16 +89,8 @@ else
   echo "ok (grep-level check; python3 not found)"
 fi
 
-echo "== tier1: thread-sanitizer probe =="
-TSAN_PROBE_DIR="$(mktemp -d /tmp/hlm_tsan_probe.XXXXXX)"
-trap 'rm -f "$METRICS_JSON"; rm -rf "$TSAN_PROBE_DIR"' EXIT
-cat > "$TSAN_PROBE_DIR/probe.cc" <<'EOF'
-#include <thread>
-int main() { std::thread t([] {}); t.join(); return 0; }
-EOF
-if c++ -fsanitize=thread -pthread "$TSAN_PROBE_DIR/probe.cc" \
-     -o "$TSAN_PROBE_DIR/probe" 2>/dev/null &&
-   "$TSAN_PROBE_DIR/probe" 2>/dev/null; then
+echo "== tier1: thread-sanitizer stage =="
+if sanitizer_usable thread; then
   echo "== tier1: tsan build (parallel_test + obs_test) =="
   TSAN_BUILD_DIR="$BUILD_DIR-tsan"
   cmake -B "$TSAN_BUILD_DIR" -S "$REPO_ROOT" -DHLM_SANITIZE=thread >/dev/null
@@ -76,6 +101,21 @@ if c++ -fsanitize=thread -pthread "$TSAN_PROBE_DIR/probe.cc" \
   "$TSAN_BUILD_DIR/tests/obs_test"
 else
   echo "toolchain cannot build/run -fsanitize=thread; skipping tsan stage"
+fi
+
+echo "== tier1: undefined-behavior-sanitizer stage =="
+if sanitizer_usable undefined; then
+  # Debug build type so HLM_DCHECK paths (bounds checks, per-sweep
+  # distribution checks) execute under UBSan too.
+  echo "== tier1: ubsan build (full suite, Debug) =="
+  UBSAN_BUILD_DIR="$BUILD_DIR-ubsan"
+  cmake -B "$UBSAN_BUILD_DIR" -S "$REPO_ROOT" \
+    -DHLM_SANITIZE=undefined -DCMAKE_BUILD_TYPE=Debug >/dev/null
+  cmake --build "$UBSAN_BUILD_DIR" -j "$(nproc)"
+  echo "== tier1: ubsan ctest =="
+  ctest --test-dir "$UBSAN_BUILD_DIR" --output-on-failure -j "$(nproc)"
+else
+  echo "toolchain cannot build/run -fsanitize=undefined; skipping ubsan stage"
 fi
 
 echo "== tier1: PASS =="

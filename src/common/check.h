@@ -1,0 +1,107 @@
+#ifndef HLM_COMMON_CHECK_H_
+#define HLM_COMMON_CHECK_H_
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/logging.h"
+
+/// Invariant-check macro layer (DESIGN.md "Correctness tooling").
+///
+/// Policy:
+///  - HLM_CHECK*  — always on, Release included. Use for invariants whose
+///    cost is negligible next to the surrounding work (argument
+///    validation, once-per-sweep state checks, aggregate finiteness).
+///    Failure is a programming error: the process logs a FATAL message
+///    with file:line plus the formatted operands and aborts.
+///  - HLM_DCHECK* — compiled out in Release (NDEBUG). The condition is
+///    parsed but never evaluated, so operands must not carry side
+///    effects anyone relies on. Use on per-element hot paths (matrix
+///    indexing, inner-loop bounds) where Release cost would show up in
+///    bench throughput.
+///
+/// All failures go through HLM_LOG(Fatal), so they honor the installed
+/// log sink before aborting (tests capture the diagnostic that way).
+
+namespace hlm::check_internal {
+
+/// True when every entry of p[0..n) is finite (no NaN, no +-Inf).
+inline bool AllFinite(const double* p, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(p[i])) return false;
+  }
+  return true;
+}
+
+/// True when v is a valid probability: finite and inside [0, 1] up to a
+/// tolerance absorbing accumulated rounding from normalization.
+inline bool IsProbability(double v, double tol = 1e-9) {
+  return std::isfinite(v) && v >= -tol && v <= 1.0 + tol;
+}
+
+/// True when p[0..n) is a probability distribution: every entry a
+/// probability and the total within `tol` of 1.
+inline bool IsDistribution(const double* p, size_t n, double tol = 1e-6) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!IsProbability(p[i])) return false;
+    sum += p[i];
+  }
+  return std::fabs(sum - 1.0) <= tol;
+}
+
+}  // namespace hlm::check_internal
+
+/// Invariant checks; abort with a message on failure (debug and release).
+#define HLM_CHECK(condition)                                           \
+  if (!(condition))                                                    \
+  HLM_LOG(Fatal) << "Check failed: " #condition " "
+
+#define HLM_CHECK_OK(expr)                                      \
+  do {                                                          \
+    ::hlm::Status _hlm_check_status = (expr);                   \
+    HLM_CHECK(_hlm_check_status.ok()) << _hlm_check_status;     \
+  } while (false)
+
+#define HLM_CHECK_EQ(a, b) HLM_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HLM_CHECK_NE(a, b) HLM_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HLM_CHECK_LT(a, b) HLM_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HLM_CHECK_LE(a, b) HLM_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HLM_CHECK_GT(a, b) HLM_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HLM_CHECK_GE(a, b) HLM_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+/// Numeric-domain checks. The operand is evaluated twice (once for the
+/// predicate, once for the diagnostic), so pass a variable, not an
+/// expression with side effects.
+#define HLM_CHECK_FINITE(x)                                       \
+  HLM_CHECK(std::isfinite(x)) << "HLM_CHECK_FINITE(" #x ") value " \
+                              << (x) << " "
+
+#define HLM_CHECK_PROB(p)                                  \
+  HLM_CHECK(::hlm::check_internal::IsProbability(p))       \
+      << "HLM_CHECK_PROB(" #p ") value " << (p) << " "
+
+/// Debug-only variants: compiled out under NDEBUG without evaluating any
+/// operand (`while (false)` keeps the expression type-checked and still
+/// swallows a trailing `<< ...` diagnostic stream).
+#ifdef NDEBUG
+#define HLM_DCHECK(condition) \
+  while (false) HLM_CHECK(condition)
+#define HLM_DCHECK_FINITE(x) \
+  while (false) HLM_CHECK_FINITE(x)
+#define HLM_DCHECK_PROB(p) \
+  while (false) HLM_CHECK_PROB(p)
+#else
+#define HLM_DCHECK(condition) HLM_CHECK(condition)
+#define HLM_DCHECK_FINITE(x) HLM_CHECK_FINITE(x)
+#define HLM_DCHECK_PROB(p) HLM_CHECK_PROB(p)
+#endif
+
+#define HLM_DCHECK_EQ(a, b) HLM_DCHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HLM_DCHECK_NE(a, b) HLM_DCHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HLM_DCHECK_LT(a, b) HLM_DCHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HLM_DCHECK_LE(a, b) HLM_DCHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HLM_DCHECK_GT(a, b) HLM_DCHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HLM_DCHECK_GE(a, b) HLM_DCHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // HLM_COMMON_CHECK_H_

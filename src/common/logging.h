@@ -53,22 +53,6 @@ class LogMessage {
   ::hlm::internal_logging::LogMessage(::hlm::LogLevel::k##level,    \
                                       __FILE__, __LINE__)
 
-/// Invariant checks; abort with a message on failure (debug and release).
-#define HLM_CHECK(condition)                                           \
-  if (!(condition))                                                    \
-  HLM_LOG(Fatal) << "Check failed: " #condition " "
-
-#define HLM_CHECK_OK(expr)                                      \
-  do {                                                          \
-    ::hlm::Status _hlm_check_status = (expr);                   \
-    HLM_CHECK(_hlm_check_status.ok()) << _hlm_check_status;     \
-  } while (false)
-
-#define HLM_CHECK_EQ(a, b) HLM_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
-#define HLM_CHECK_NE(a, b) HLM_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
-#define HLM_CHECK_LT(a, b) HLM_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
-#define HLM_CHECK_LE(a, b) HLM_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
-#define HLM_CHECK_GT(a, b) HLM_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
-#define HLM_CHECK_GE(a, b) HLM_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+// The HLM_CHECK / HLM_DCHECK invariant macros live in common/check.h.
 
 #endif  // HLM_COMMON_LOGGING_H_

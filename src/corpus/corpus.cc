@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace hlm::corpus {
 

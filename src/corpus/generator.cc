@@ -4,7 +4,7 @@
 #include <cmath>
 #include <map>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "common/parallel.h"
 #include "corpus/sic.h"
 #include "math/vector_ops.h"

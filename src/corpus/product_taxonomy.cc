@@ -1,6 +1,6 @@
 #include "corpus/product_taxonomy.h"
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace hlm::corpus {
 

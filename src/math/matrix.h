@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 
 namespace hlm {
@@ -38,14 +39,30 @@ class Matrix {
   size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
-  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
-  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  // Indexing is the hottest loop in every model, so bounds checks are
+  // debug-only (HLM_DCHECK compiles out under NDEBUG).
+  double& operator()(size_t r, size_t c) {
+    HLM_DCHECK_LT(r, rows_);
+    HLM_DCHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    HLM_DCHECK_LT(r, rows_);
+    HLM_DCHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
 
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }
 
-  double* row(size_t r) { return data_.data() + r * cols_; }
-  const double* row(size_t r) const { return data_.data() + r * cols_; }
+  double* row(size_t r) {
+    HLM_DCHECK_LT(r, rows_);
+    return data_.data() + r * cols_;
+  }
+  const double* row(size_t r) const {
+    HLM_DCHECK_LT(r, rows_);
+    return data_.data() + r * cols_;
+  }
 
   void Fill(double value);
 

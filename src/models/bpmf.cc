@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "common/parallel.h"
 #include "math/mvn.h"
 #include "math/rng.h"
@@ -200,6 +200,13 @@ Status BpmfModel::TrainSparse(const std::vector<RatingTriplet>& observed,
                                       config_.obs_precision, &rng, &u));
     HLM_RETURN_IF_ERROR(SampleFactors(by_col, u, hyper_v,
                                       config_.obs_precision, &rng, &v));
+    // Debug builds validate both factor matrices after every Gibbs
+    // round: one non-finite entry would spread through the Normal-
+    // Wishart resample into every later round.
+    HLM_DCHECK(check_internal::AllFinite(u.data(), u.size()))
+        << "non-finite row factors after gibbs round " << iter;
+    HLM_DCHECK(check_internal::AllFinite(v.data(), v.size()))
+        << "non-finite column factors after gibbs round " << iter;
     if (iter >= config_.burn_in) {
       Matrix prediction = MatMulTransposed(u, v);
       accumulated += prediction;
@@ -209,6 +216,10 @@ Status BpmfModel::TrainSparse(const std::vector<RatingTriplet>& observed,
 
   HLM_CHECK_GT(collected, 0);
   accumulated *= 1.0 / static_cast<double>(collected);
+  // Posterior-mean scores must be finite before clipping: clamp would
+  // pass NaN through untouched and corrupt every downstream ranking.
+  HLM_CHECK(check_internal::AllFinite(accumulated.data(), accumulated.size()))
+      << "non-finite BPMF posterior-mean score matrix";
   // Clip to the rating range, as BPMF implementations do.
   double score_sum = 0.0;
   for (size_t i = 0; i < accumulated.size(); ++i) {
@@ -217,6 +228,7 @@ Status BpmfModel::TrainSparse(const std::vector<RatingTriplet>& observed,
   }
   const double mean_score =
       score_sum / static_cast<double>(accumulated.size());
+  HLM_CHECK_PROB(mean_score);
   metrics.GetGauge("hlm.bpmf.mean_score")->Set(mean_score);
   scores_ = std::move(accumulated);
   trained_ = true;

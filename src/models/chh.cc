@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -136,8 +136,13 @@ std::vector<double> ConditionalHeavyHitters::NextProductDistribution(
 std::vector<ConditionalHeavyHitters::Rule>
 ConditionalHeavyHitters::ExtractRules(double min_confidence) const {
   std::vector<Rule> rules;
+  // Order-insensitive collect; the sort below is a total order (ties on
+  // confidence fall through to support, context, item), so hash order
+  // cannot leak into the returned ranking.
+  // hlm-lint: allow(unordered-iter)
   for (const auto& [key, counts] : contexts_) {
     if (counts.total < config_.min_context_support) continue;
+    // hlm-lint: allow(unordered-iter)
     for (const auto& [token, joint] : counts.successors) {
       double confidence =
           static_cast<double>(joint) / static_cast<double>(counts.total);
@@ -147,7 +152,10 @@ ConditionalHeavyHitters::ExtractRules(double min_confidence) const {
     }
   }
   std::sort(rules.begin(), rules.end(), [](const Rule& a, const Rule& b) {
-    return a.confidence > b.confidence;
+    if (a.confidence != b.confidence) return a.confidence > b.confidence;
+    if (a.support != b.support) return a.support > b.support;
+    if (a.context != b.context) return a.context < b.context;
+    return a.item < b.item;
   });
   return rules;
 }

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "models/adam.h"
 #include "models/perplexity.h"
 #include "obs/metrics.h"
@@ -196,6 +196,9 @@ void GruLanguageModel::ApplyUpdate() {
   accumulate(d_w_out_.data(), d_w_out_.size());
   accumulate(d_b_out_.data(), d_b_out_.size());
   double norm = std::sqrt(norm_sq);
+  // One finiteness check on the aggregate covers every gradient tensor
+  // of the backward pass (see the matching check in lstm_lm.cc).
+  HLM_CHECK_FINITE(norm) << "GRU gradient global norm";
   if (config_.grad_clip > 0.0 && norm > config_.grad_clip) {
     double scale = config_.grad_clip / norm;
     d_embedding_ *= scale;

@@ -3,7 +3,7 @@
 #include <cmath>
 #include <fstream>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "common/parallel.h"
 #include "math/rng.h"
 #include "math/vector_ops.h"
@@ -188,6 +188,18 @@ Status LdaModel::TrainInternal(
       ++samples_taken;
     }
 
+    // Debug builds validate the collapsed state every sweep: weighted
+    // counts stay finite and non-negative (a NaN in any count would
+    // silently poison every subsequent categorical draw).
+    HLM_DCHECK(check_internal::AllFinite(topic_total.data(),
+                                         topic_total.size()))
+        << "non-finite topic totals after sweep " << sweep;
+    for (int t = 0; t < k; ++t) {
+      HLM_DCHECK_GE(topic_total[t], -1e-9)
+          << "negative topic total for topic " << t << " after sweep "
+          << sweep;
+    }
+
     sweep_timer.Stop();
     sweeps_total->Increment();
     if ((sweep + 1) % kLogLikelihoodEvery == 0) {
@@ -221,6 +233,7 @@ Status LdaModel::TrainInternal(
     }
   }
   trained_ = true;
+  CheckInvariants();
   HLM_LOG(Info) << "lda" << k << " trained on " << documents.size()
                 << " documents: " << total_sweeps << " gibbs sweeps ("
                 << samples_taken << " phi samples), final joint "
@@ -434,6 +447,25 @@ std::vector<double> LdaModel::NextProductDistribution(
 double LdaModel::PerplexitySequential(
     const std::vector<TokenSequence>& documents) const {
   return SequencePerplexity(*this, documents);
+}
+
+void LdaModel::CheckInvariants() const {
+  HLM_CHECK(trained_);
+  HLM_CHECK_EQ(phi_.size(), static_cast<size_t>(config_.num_topics));
+  for (size_t t = 0; t < phi_.size(); ++t) {
+    const std::vector<double>& row = phi_[t];
+    HLM_CHECK_EQ(row.size(), static_cast<size_t>(vocab_size_));
+    double sum = 0.0;
+    for (size_t w = 0; w < row.size(); ++w) {
+      HLM_CHECK_FINITE(row[w])
+          << "phi[" << t << "][" << w << "] in topic-word distribution";
+      HLM_CHECK_PROB(row[w])
+          << "phi[" << t << "][" << w << "] in topic-word distribution";
+      sum += row[w];
+    }
+    HLM_CHECK(std::fabs(sum - 1.0) <= 1e-6)
+        << "phi row " << t << " sums to " << sum << ", expected 1";
+  }
 }
 
 Status LdaModel::SaveToFile(const std::string& path) const {

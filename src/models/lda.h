@@ -107,6 +107,13 @@ class LdaModel final : public ConditionalScorer {
   /// normalized topic profile P(topic | w) (V rows of num_topics dims).
   std::vector<std::vector<double>> ProductEmbeddings() const;
 
+  /// Fatal-checks the trained state: every phi row must be a finite
+  /// probability distribution (HLM_CHECK_FINITE / HLM_CHECK_PROB with
+  /// file:line diagnostics). Called at the end of training; callers that
+  /// deserialize models from untrusted files can invoke it to turn silent
+  /// NaN/garbage into an immediate abort instead of corrupt figures.
+  void CheckInvariants() const;
+
   /// Persists the trained model (config + phi) as a small text file.
   Status SaveToFile(const std::string& path) const;
 
@@ -120,6 +127,10 @@ class LdaModel final : public ConditionalScorer {
   }
 
  private:
+  // Test-only state access: tests/check_test.cc poisons phi with NaN to
+  // prove CheckInvariants catches a corrupted topic distribution.
+  friend class LdaModelTestPeer;
+
   Status TrainInternal(const std::vector<TokenSequence>& documents,
                        const std::vector<std::vector<double>>* weights);
 

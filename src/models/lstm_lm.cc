@@ -5,7 +5,7 @@
 #include <fstream>
 #include <numeric>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "models/adam.h"
 #include "models/perplexity.h"
 #include "obs/metrics.h"
@@ -294,6 +294,12 @@ void LstmLanguageModel::ApplyUpdate() {
 
   double scale = 1.0;
   double norm = std::sqrt(norm_sq);
+  // The squared norm aggregates every gradient tensor, so one finiteness
+  // check here covers the whole backward pass: any NaN/Inf gradient
+  // (exploding cell state, log of zero softmax mass) surfaces with a
+  // file:line diagnostic instead of silently zeroing the model via the
+  // Adam update.
+  HLM_CHECK_FINITE(norm) << "LSTM gradient global norm";
   if (config_.grad_clip > 0.0 && norm > config_.grad_clip) {
     scale = config_.grad_clip / norm;
   }

@@ -9,7 +9,14 @@ namespace hlm::models {
 
 double PerplexityAccumulator::Perplexity() const {
   if (num_tokens_ == 0) return 1.0;
-  return std::exp(-total_log_prob_ / static_cast<double>(num_tokens_));
+  // Estimators floor token probabilities (log stays finite) and only add
+  // non-negative token counts, so a violation here means an upstream
+  // scorer leaked NaN/-Inf log-mass.
+  HLM_CHECK_FINITE(total_log_prob_);
+  const double perplexity =
+      std::exp(-total_log_prob_ / static_cast<double>(num_tokens_));
+  HLM_CHECK_GE(perplexity, 0.0) << "perplexity must be non-negative";
+  return perplexity;
 }
 
 double SequencePerplexity(const ConditionalScorer& scorer,

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/check.h"
 #include "models/model.h"
 
 namespace hlm::models {
@@ -12,11 +13,14 @@ namespace hlm::models {
 class PerplexityAccumulator {
  public:
   void Add(double log_prob) {
+    HLM_DCHECK_FINITE(log_prob);
     total_log_prob_ += log_prob;
     ++num_tokens_;
   }
 
   void AddMany(double total_log_prob, long long num_tokens) {
+    HLM_DCHECK_FINITE(total_log_prob);
+    HLM_DCHECK_GE(num_tokens, 0);
     total_log_prob_ += total_log_prob;
     num_tokens_ += num_tokens;
   }

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <limits>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace hlm::models {
 
@@ -23,10 +23,17 @@ void SpaceSavingSketch::Observe(Token item, long long weight) {
     return;
   }
   // Evict the minimum-count entry; the newcomer inherits its count as the
-  // classic SpaceSaving over-estimate.
+  // classic SpaceSaving over-estimate. Ties break on the smaller token id
+  // so the victim never depends on hash-map order.
+  // hlm-lint: allow(unordered-iter)
   auto min_it = counts_.begin();
-  for (auto cursor = counts_.begin(); cursor != counts_.end(); ++cursor) {
-    if (cursor->second.count < min_it->second.count) min_it = cursor;
+  for (auto cursor = counts_.begin();  // hlm-lint: allow(unordered-iter)
+       cursor != counts_.end(); ++cursor) {
+    if (cursor->second.count < min_it->second.count ||
+        (cursor->second.count == min_it->second.count &&
+         cursor->first < min_it->first)) {
+      min_it = cursor;
+    }
   }
   long long inherited = min_it->second.count;
   counts_.erase(min_it);
@@ -42,9 +49,15 @@ long long SpaceSavingSketch::EstimatedCount(Token item) const {
 std::vector<SpaceSavingSketch::Entry> SpaceSavingSketch::HeavyHitters() const {
   std::vector<Entry> entries;
   entries.reserve(counts_.size());
+  // Order-insensitive collect; the sort below breaks count ties on the
+  // token id, so hash order cannot leak into the returned ranking.
+  // hlm-lint: allow(unordered-iter)
   for (const auto& [item, entry] : counts_) entries.push_back(entry);
-  std::sort(entries.begin(), entries.end(),
-            [](const Entry& a, const Entry& b) { return a.count > b.count; });
+  std::sort(entries.begin(), entries.end(), [](const Entry& a,
+                                               const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.item < b.item;
+  });
   return entries;
 }
 

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "math/rng.h"
 #include "math/vector_ops.h"
 

@@ -6,7 +6,7 @@
 #include <limits>
 #include <sstream>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace hlm::obs {
 

@@ -19,7 +19,9 @@ double NowMicros() {
 }
 
 uint64_t ThisThreadId() {
+  // Identity read for the trace "tid" field, no thread is spawned.
   return static_cast<uint64_t>(
+      // hlm-lint: allow(no-raw-thread)
       std::hash<std::thread::id>{}(std::this_thread::get_id()));
 }
 

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <optional>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "common/parallel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -46,6 +46,11 @@ std::vector<ThresholdEvaluation> SweepThresholds(
           }
         }
       }
+      // Retrieval arithmetic invariants behind Fig. 3's precision/recall:
+      // correct hits are a subset of both the retrieved and the relevant
+      // sets.
+      HLM_DCHECK_LE(observation.correct, observation.retrieved);
+      HLM_DCHECK_LE(observation.correct, observation.relevant);
       evaluation.windows.push_back(observation);
     }
 
@@ -63,6 +68,9 @@ std::vector<ThresholdEvaluation> SweepThresholds(
     evaluation.mean_precision = Mean(precisions);
     evaluation.mean_recall = Mean(recalls);
     evaluation.mean_f1 = Mean(f1s);
+    HLM_CHECK_PROB(evaluation.mean_precision);
+    HLM_CHECK_PROB(evaluation.mean_recall);
+    HLM_CHECK_PROB(evaluation.mean_f1);
     evaluation.precision_ci =
         MeanConfidenceInterval(precisions, config.ci_level);
     evaluation.recall_ci = MeanConfidenceInterval(recalls, config.ci_level);

@@ -1,15 +1,23 @@
 #include "recsys/sliding_window.h"
 
+#include "common/check.h"
+
 namespace hlm::recsys {
 
 std::vector<SlidingWindowProtocol::Window> SlidingWindowProtocol::Windows()
     const {
+  // Protocol invariants: windows must have positive extent and advance
+  // monotonically, or history/ground-truth splits silently degenerate.
+  HLM_CHECK_GT(window_months, 0);
+  HLM_CHECK_GT(stride_months, 0);
+  HLM_CHECK_GE(num_windows, 0);
   std::vector<Window> windows;
   windows.reserve(num_windows);
   for (int w = 0; w < num_windows; ++w) {
     Window window;
     window.start = first_start + w * stride_months;
     window.end = window.start + window_months;
+    HLM_DCHECK_LT(window.start, window.end);
     windows.push_back(window);
   }
   return windows;

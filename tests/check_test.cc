@@ -1,0 +1,156 @@
+// Tests for the HLM_CHECK / HLM_DCHECK invariant layer
+// (src/common/check.h): death + exit-code behavior with file:line
+// diagnostics, numeric-domain checks on NaN/Inf, Release compilation of
+// HLM_DCHECK to a no-op (operands never evaluated), and the
+// LDA NaN-injection scenario from the correctness-tooling acceptance
+// criteria.
+
+#include "common/check.h"
+
+#include <cmath>
+#include <csignal>
+#include <limits>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "models/lda.h"
+
+namespace hlm::models {
+
+/// Peer with friend access so a test can corrupt trained state the
+/// public API (rightly) never would.
+class LdaModelTestPeer {
+ public:
+  static void PoisonPhi(LdaModel* model) {
+    model->phi_[0][0] = std::numeric_limits<double>::quiet_NaN();
+  }
+};
+
+}  // namespace hlm::models
+
+namespace hlm {
+namespace {
+
+using models::LdaConfig;
+using models::LdaModel;
+using models::LdaModelTestPeer;
+using models::TokenSequence;
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  HLM_CHECK(true);
+  HLM_CHECK_EQ(2 + 2, 4);
+  HLM_CHECK_LT(1, 2);
+  HLM_CHECK_GE(2.0, 2.0);
+  double value = 0.25;
+  HLM_CHECK_FINITE(value);
+  HLM_CHECK_PROB(value);
+}
+
+TEST(CheckDeathTest, CheckFailureDiesWithConditionAndFileLine) {
+  EXPECT_DEATH(HLM_CHECK(1 == 2) << "context detail",
+               "Check failed: 1 == 2.*context detail");
+  // The diagnostic carries this file's basename plus a line number.
+  EXPECT_DEATH(HLM_CHECK(false), "check_test\\.cc:[0-9]+");
+}
+
+TEST(CheckDeathTest, CheckFailureAbortsTheProcess) {
+  EXPECT_EXIT(HLM_CHECK_EQ(3, 4), testing::KilledBySignal(SIGABRT),
+              "Check failed: .*\\(3 vs 4\\)");
+}
+
+TEST(CheckDeathTest, CheckFiniteDiesOnNanAndInf) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DEATH(HLM_CHECK_FINITE(nan), "HLM_CHECK_FINITE\\(nan\\) value");
+  EXPECT_DEATH(HLM_CHECK_FINITE(inf), "HLM_CHECK_FINITE\\(inf\\) value inf");
+  const double neg_inf = -inf;
+  EXPECT_DEATH(HLM_CHECK_FINITE(neg_inf), "value -inf");
+}
+
+TEST(CheckDeathTest, CheckProbDiesOutsideUnitInterval) {
+  const double above = 1.5;
+  const double below = -0.25;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DEATH(HLM_CHECK_PROB(above), "HLM_CHECK_PROB\\(above\\) value 1.5");
+  EXPECT_DEATH(HLM_CHECK_PROB(below), "value -0.25");
+  EXPECT_DEATH(HLM_CHECK_PROB(nan), "HLM_CHECK_PROB");
+}
+
+TEST(CheckProbTest, ToleratesNormalizationRounding) {
+  HLM_CHECK_PROB(1.0 + 1e-12);
+  HLM_CHECK_PROB(-1e-12);
+}
+
+TEST(CheckInternalTest, AllFiniteScansEveryEntry) {
+  std::vector<double> clean = {0.0, -1.5, 3e300};
+  EXPECT_TRUE(check_internal::AllFinite(clean.data(), clean.size()));
+  std::vector<double> dirty = {0.0, std::numeric_limits<double>::infinity()};
+  EXPECT_FALSE(check_internal::AllFinite(dirty.data(), dirty.size()));
+  dirty[1] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(check_internal::AllFinite(dirty.data(), dirty.size()));
+  EXPECT_TRUE(check_internal::AllFinite(nullptr, 0));
+}
+
+TEST(CheckInternalTest, IsDistributionRequiresUnitMass) {
+  std::vector<double> uniform(4, 0.25);
+  EXPECT_TRUE(check_internal::IsDistribution(uniform.data(), uniform.size()));
+  std::vector<double> short_mass = {0.25, 0.25};
+  EXPECT_FALSE(
+      check_internal::IsDistribution(short_mass.data(), short_mass.size()));
+  std::vector<double> negative = {1.5, -0.5};
+  EXPECT_FALSE(
+      check_internal::IsDistribution(negative.data(), negative.size()));
+}
+
+#ifdef NDEBUG
+
+TEST(DcheckReleaseTest, DcheckCompilesOutWithoutEvaluatingOperands) {
+  int evaluations = 0;
+  HLM_DCHECK(++evaluations > 0);
+  HLM_DCHECK_EQ(++evaluations, 1);
+  HLM_DCHECK_FINITE(static_cast<double>(++evaluations));
+  HLM_DCHECK_PROB(static_cast<double>(++evaluations));
+  EXPECT_EQ(evaluations, 0) << "HLM_DCHECK evaluated operands in Release";
+}
+
+TEST(DcheckReleaseTest, FailingDcheckIsANoOpInRelease) {
+  HLM_DCHECK(false) << "never reached";
+  HLM_DCHECK_EQ(1, 2);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  HLM_DCHECK_FINITE(nan);
+}
+
+#else  // !NDEBUG
+
+TEST(DcheckDebugTest, DcheckEvaluatesAndEnforcesInDebug) {
+  int evaluations = 0;
+  HLM_DCHECK(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_DEATH(HLM_DCHECK(false), "Check failed: false");
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DEATH(HLM_DCHECK_FINITE(nan), "HLM_CHECK_FINITE");
+}
+
+#endif  // NDEBUG
+
+// Acceptance scenario: a NaN injected into a trained LDA topic
+// distribution must die inside CheckInvariants with the lda.cc file:line
+// and the offending phi coordinates in the diagnostic.
+TEST(LdaInvariantDeathTest, InjectedNanInTopicDistributionIsCaught) {
+  LdaConfig config;
+  config.num_topics = 2;
+  config.burn_in_iterations = 4;
+  config.post_burn_in_samples = 2;
+  config.sample_lag = 1;
+  LdaModel model(/*vocab_size=*/5, config);
+  std::vector<TokenSequence> docs = {{0, 1, 2}, {2, 3, 4}, {0, 3}};
+  ASSERT_TRUE(model.Train(docs).ok());
+  model.CheckInvariants();  // freshly trained state is valid
+
+  LdaModelTestPeer::PoisonPhi(&model);
+  EXPECT_DEATH(model.CheckInvariants(),
+               "lda\\.cc:[0-9]+.*HLM_CHECK_FINITE.*phi\\[0\\]\\[0\\]");
+}
+
+}  // namespace
+}  // namespace hlm

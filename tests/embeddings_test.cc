@@ -44,8 +44,9 @@ TEST(TruncatedSvdTest, SingularValuesDescendAndCaptureMass) {
   for (size_t i = 0; i < a.size(); ++i) mass += a.data()[i] * a.data()[i];
   double captured = 0.0;
   for (int k = 0; k < 8; ++k) {
-    if (k > 0) EXPECT_LE(svd->singular_values[k],
-                         svd->singular_values[k - 1] + 1e-9);
+    if (k > 0) {
+      EXPECT_LE(svd->singular_values[k], svd->singular_values[k - 1] + 1e-9);
+    }
     captured += svd->singular_values[k] * svd->singular_values[k];
   }
   // Full rank (8 of 8): the decomposition captures all Frobenius mass.

@@ -1,0 +1,12 @@
+// Lint fixture: the same banned patterns as bad_rng.cc, each suppressed
+// by an hlm-lint allowlist annotation (same-line and previous-line
+// forms). lint_test asserts this file is clean.
+#include <random>
+
+int JustifiedRawEngine() {
+  // Interop shim for an external library that demands a std::mt19937.
+  // hlm-lint: allow(no-raw-rng)
+  std::random_device rd;
+  std::mt19937 engine(rd());  // hlm-lint: allow(no-raw-rng)
+  return static_cast<int>(engine());
+}

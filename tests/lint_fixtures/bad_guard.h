@@ -1,0 +1,7 @@
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+
+// Lint fixture: the guard does not match the canonical name derived
+// from the file path, so header-guard must fire.
+
+#endif  // WRONG_GUARD_H

@@ -1,0 +1,34 @@
+// Lint fixture covering the src/-scoped rules: lint_test lints this
+// content under the pretend path "src/models/bad_misc.cc" so the
+// wall-clock, stdio, thread, and unordered-iteration rules all apply.
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <thread>
+#include <unordered_map>
+
+void WallClock() {
+  auto now = std::chrono::system_clock::now();
+  (void)now;
+  long stamp = time(nullptr);
+  (void)stamp;
+}
+
+void StdioOutput() {
+  std::cout << "model trained\n";
+  printf("done\n");
+}
+
+void RawThread() {
+  std::thread worker([] {});
+  auto future = std::async([] { return 1; });
+  worker.join();
+  future.wait();
+}
+
+int UnorderedIteration() {
+  std::unordered_map<int, int> histogram;
+  int total = 0;
+  for (const auto& [key, value] : histogram) total += value;
+  return total;
+}

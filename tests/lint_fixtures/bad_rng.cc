@@ -1,0 +1,10 @@
+// Lint fixture: every line here violates no-raw-rng (tests/lint_test.cc
+// asserts the exact findings). Never compiled; the lint CLI skips
+// lint_fixtures/ directories.
+#include <random>
+
+int NondeterministicSeed() {
+  std::random_device rd;
+  std::mt19937 engine(rd());
+  return static_cast<int>(engine()) + rand();
+}

@@ -1,0 +1,274 @@
+// Tests for the hlm_lint rule engine (tools/lint.{h,cc}): every banned
+// pattern fires, allowlist annotations suppress, comment/string content
+// never matches, and the fixture files under tests/lint_fixtures/
+// produce exactly the expected findings.
+
+#include "tools/lint.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace hlm::lint {
+namespace {
+
+std::vector<std::string> Rules(const std::vector<Diagnostic>& diags) {
+  std::vector<std::string> rules;
+  rules.reserve(diags.size());
+  for (const Diagnostic& d : diags) rules.push_back(d.rule);
+  return rules;
+}
+
+int CountRule(const std::vector<Diagnostic>& diags, const std::string& rule) {
+  const std::vector<std::string> rules = Rules(diags);
+  return static_cast<int>(std::count(rules.begin(), rules.end(), rule));
+}
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path = std::string(HLM_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(LintRngTest, FlagsRandomDeviceEngineAndRand) {
+  auto diags = LintContent("src/models/foo.cc", R"cpp(
+#include <random>
+int F() {
+  std::random_device rd;
+  std::mt19937 engine(123);
+  return rand() + static_cast<int>(engine());
+}
+)cpp");
+  EXPECT_EQ(CountRule(diags, "no-raw-rng"), 3);
+  EXPECT_EQ(diags[0].line, 4);
+  EXPECT_EQ(diags[1].line, 5);
+  EXPECT_EQ(diags[2].line, 6);
+}
+
+TEST(LintRngTest, RngImplementationIsExempt) {
+  const std::string body = "static std::mt19937 reference_engine(42);\n";
+  EXPECT_TRUE(LintContent("src/math/rng.cc", body).empty());
+  EXPECT_EQ(CountRule(LintContent("src/math/mvn.cc", body), "no-raw-rng"), 1);
+}
+
+TEST(LintRngTest, CommentsAndStringsNeverMatch) {
+  auto diags = LintContent("src/models/foo.cc", R"cpp(
+// std::random_device in a comment is fine
+/* so is rand() in a block comment */
+const char* kDoc = "std::mt19937 inside a string literal";
+)cpp");
+  EXPECT_TRUE(diags.empty()) << FormatDiagnostic(diags.front());
+}
+
+TEST(LintRngTest, MultiLineRawStringsNeverMatch) {
+  // The body of a raw string literal is data, not code, even across
+  // lines — and names declared inside one must not enter the
+  // unordered-container name set.
+  const std::string body =
+      "const char* kFixture = R\"cpp(\n"
+      "std::random_device rd;\n"
+      "std::unordered_map<int, int> counts;\n"
+      "for (const auto& [k, v] : counts) total += v;\n"
+      ")cpp\";\n";
+  auto diags = LintContent("src/models/foo.cc", body);
+  EXPECT_TRUE(diags.empty()) << FormatDiagnostic(diags.front());
+  EXPECT_TRUE(CollectUnorderedNames(body).empty());
+}
+
+TEST(LintRngTest, SnprintfDoesNotTripRandOrPrintf) {
+  auto diags = LintContent("src/corpus/foo.cc", R"cpp(
+#include <cstdio>
+void F(char* buf, unsigned n) { std::snprintf(buf, n, "%u", n); }
+)cpp");
+  EXPECT_TRUE(diags.empty()) << FormatDiagnostic(diags.front());
+}
+
+TEST(LintAllowTest, SameLineAndPreviousLineAnnotationsSuppress) {
+  auto diags = LintContent("src/models/foo.cc", R"cpp(
+int F() {
+  // hlm-lint: allow(no-raw-rng)
+  std::random_device previous_line;
+  return rand();  // hlm-lint: allow(no-raw-rng)
+}
+)cpp");
+  EXPECT_TRUE(diags.empty()) << FormatDiagnostic(diags.front());
+}
+
+TEST(LintAllowTest, AnnotationForOtherRuleDoesNotSuppress) {
+  auto diags = LintContent("src/models/foo.cc",
+                           "int F() {\n"
+                           "  return rand();  // hlm-lint: allow(no-stdio-output)\n"
+                           "}\n");
+  EXPECT_EQ(CountRule(diags, "no-raw-rng"), 1);
+}
+
+TEST(LintScopeTest, WallClockAndStdioOnlyApplyUnderSrc) {
+  const std::string body =
+      "#include <chrono>\n"
+      "#include <iostream>\n"
+      "void F() {\n"
+      "  auto t = std::chrono::system_clock::now();\n"
+      "  (void)t;\n"
+      "  std::cout << 1;\n"
+      "}\n";
+  EXPECT_EQ(LintContent("src/models/foo.cc", body).size(), 2u);
+  EXPECT_TRUE(LintContent("bench/foo.cc", body).empty());
+  EXPECT_TRUE(LintContent("tools/foo.cc", body).empty());
+}
+
+TEST(LintScopeTest, SteadyClockIsAllowed) {
+  auto diags = LintContent(
+      "src/obs/foo.cc",
+      "#include <chrono>\n"
+      "auto Now() { return std::chrono::steady_clock::now(); }\n");
+  EXPECT_TRUE(diags.empty()) << FormatDiagnostic(diags.front());
+}
+
+TEST(LintThreadTest, RawThreadFlaggedEverywhereExceptParallelCc) {
+  const std::string body = "#include <thread>\nstd::thread t;\n";
+  EXPECT_EQ(CountRule(LintContent("src/models/foo.cc", body),
+                      "no-raw-thread"),
+            1);
+  EXPECT_EQ(CountRule(LintContent("tests/foo_test.cc", body),
+                      "no-raw-thread"),
+            1);
+  EXPECT_TRUE(LintContent("src/common/parallel.cc", body).empty());
+}
+
+TEST(LintUnorderedTest, RangeForAndIteratorWalksFlagged) {
+  auto diags = LintContent("src/models/foo.cc", R"cpp(
+#include <unordered_map>
+#include <vector>
+int F() {
+  std::unordered_map<int, int> counts;
+  std::vector<int> ordered;
+  int total = 0;
+  for (const auto& [k, v] : counts) total += v;
+  for (auto it = counts.begin(); it != counts.end(); ++it) total += 1;
+  for (int v : ordered) total += v;
+  return total;
+}
+)cpp");
+  EXPECT_EQ(CountRule(diags, "unordered-iter"), 2);
+}
+
+TEST(LintUnorderedTest, CrossFileNamesComeFromExtraSet) {
+  const std::string body =
+      "int F(const Ctx& c) {\n"
+      "  int total = 0;\n"
+      "  for (const auto& [k, v] : c.successors) total += v;\n"
+      "  return total;\n"
+      "}\n";
+  EXPECT_TRUE(LintContent("src/models/foo.cc", body).empty());
+  EXPECT_EQ(CountRule(LintContent("src/models/foo.cc", body, {"successors"}),
+                      "unordered-iter"),
+            1);
+}
+
+TEST(LintUnorderedTest, CollectsDeclaredNames) {
+  std::set<std::string> names = CollectUnorderedNames(
+      "std::unordered_map<uint64_t, Ctx> contexts_;\n"
+      "std::unordered_set<int> seen;\n"
+      "std::unordered_map<std::string, std::vector<int>> nested_decl;\n");
+  EXPECT_TRUE(names.count("contexts_") > 0);
+  EXPECT_TRUE(names.count("seen") > 0);
+  EXPECT_TRUE(names.count("nested_decl") > 0);
+}
+
+TEST(LintHeaderGuardTest, DerivesGuardFromPath) {
+  EXPECT_TRUE(LintContent("src/math/rng.h",
+                          "#ifndef HLM_MATH_RNG_H_\n"
+                          "#define HLM_MATH_RNG_H_\n"
+                          "#endif\n")
+                  .empty());
+  auto diags = LintContent("src/math/rng.h",
+                           "#ifndef RNG_H\n#define RNG_H\n#endif\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "header-guard");
+  EXPECT_NE(diags[0].message.find("HLM_MATH_RNG_H_"), std::string::npos);
+}
+
+TEST(LintHeaderGuardTest, MissingGuardAndMissingDefineFlagged) {
+  EXPECT_EQ(CountRule(LintContent("src/a.h", "int x;\n"), "header-guard"), 1);
+  EXPECT_EQ(CountRule(LintContent("src/a.h", "#ifndef HLM_A_H_\n#endif\n"),
+                      "header-guard"),
+            1);
+}
+
+TEST(LintIncludeOrderTest, UnsortedWithinBlockFlaggedAcrossBlocksNot) {
+  EXPECT_EQ(CountRule(LintContent("src/foo.cc",
+                                  "#include <vector>\n#include <cmath>\n"),
+                      "include-order"),
+            1);
+  // A blank line starts a new block, so own-header-first stays legal.
+  EXPECT_TRUE(LintContent("src/foo.cc",
+                          "#include \"models/lda.h\"\n\n"
+                          "#include <cmath>\n#include <vector>\n\n"
+                          "#include \"common/check.h\"\n")
+                  .empty());
+  // Angle and quoted includes sort independently within one block.
+  EXPECT_TRUE(LintContent("src/foo.cc",
+                          "#include <cmath>\n"
+                          "#include \"a.h\"\n"
+                          "#include <vector>\n"
+                          "#include \"b.h\"\n")
+                  .empty());
+}
+
+TEST(LintFixtureTest, BadRngFixtureProducesFindings) {
+  auto diags = LintContent("src/bad_rng.cc", ReadFixture("bad_rng.cc"));
+  EXPECT_EQ(CountRule(diags, "no-raw-rng"), 3);
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.file, "src/bad_rng.cc");
+    EXPECT_GT(d.line, 0);
+  }
+}
+
+TEST(LintFixtureTest, AllowedRngFixtureIsClean) {
+  auto diags =
+      LintContent("src/allowed_rng.cc", ReadFixture("allowed_rng.cc"));
+  EXPECT_TRUE(diags.empty()) << FormatDiagnostic(diags.front());
+}
+
+TEST(LintFixtureTest, BadMiscFixtureFiresEachSrcScopedRule) {
+  auto diags =
+      LintContent("src/models/bad_misc.cc", ReadFixture("bad_misc.cc"));
+  EXPECT_EQ(CountRule(diags, "no-wall-clock"), 2);
+  EXPECT_EQ(CountRule(diags, "no-stdio-output"), 2);
+  EXPECT_EQ(CountRule(diags, "no-raw-thread"), 2);
+  EXPECT_EQ(CountRule(diags, "unordered-iter"), 1);
+}
+
+TEST(LintFixtureTest, BadGuardFixtureFlagged) {
+  auto diags = LintContent("src/models/bad_guard.h",
+                           ReadFixture("bad_guard.h"));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "header-guard");
+  EXPECT_NE(diags[0].message.find("HLM_MODELS_BAD_GUARD_H_"),
+            std::string::npos);
+}
+
+TEST(LintFormatTest, DiagnosticFormatsAsFileLineRuleMessage) {
+  Diagnostic diag{"src/x.cc", 12, "no-raw-rng", "boom"};
+  EXPECT_EQ(FormatDiagnostic(diag), "src/x.cc:12: no-raw-rng: boom");
+}
+
+TEST(LintRuleListTest, AllSevenRulesAdvertised) {
+  std::vector<std::string> rules = RuleNames();
+  EXPECT_EQ(rules.size(), 7u);
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "no-raw-rng"),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "include-order"),
+            rules.end());
+}
+
+}  // namespace
+}  // namespace hlm::lint

@@ -108,6 +108,9 @@ TEST(MetricsRegistryTest, ConcurrentIncrementsAreLossless) {
       registry.GetHistogram("hlm.test.concurrent_seconds", {0.5});
   constexpr int kThreads = 8;
   constexpr int kIterations = 10000;
+  // Deliberate raw threads: this test hammers the registry from outside
+  // the pool to prove its own locking.
+  // hlm-lint: allow(no-raw-thread)
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
@@ -120,6 +123,7 @@ TEST(MetricsRegistryTest, ConcurrentIncrementsAreLossless) {
       }
     });
   }
+  // hlm-lint: allow(no-raw-thread)
   for (std::thread& thread : threads) thread.join();
   EXPECT_EQ(counter->value(), kThreads * kIterations);
   HistogramSnapshot snapshot = histogram->Snapshot();

@@ -1,0 +1,148 @@
+// hlm_lint: static checker for the HLM codebase.
+//
+// Usage: hlm_lint [--root <dir>] [--list-rules] <path>...
+//
+// Scans every .h/.cc/.cpp file under the given paths (relative to
+// --root, default ".") and reports violations of the rules documented
+// in tools/lint.h as "file:line: rule: message". Exit status is 1 when
+// any diagnostic is reported, 2 on usage/IO errors, 0 when clean.
+//
+// Suppress a finding with `// hlm-lint: allow(<rule>)` on the flagged
+// line or the line above it.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool ShouldSkipDir(const std::string& name) {
+  return name == ".git" || name == "lint_fixtures" || name == "testdata" ||
+         name == "third_party" || name.rfind("build", 0) == 0 ||
+         name.rfind("cmake-build", 0) == 0;
+}
+
+bool IsSourceFile(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+std::string RelativeTo(const fs::path& root, const fs::path& path) {
+  std::error_code ec;
+  fs::path rel = fs::relative(path, root, ec);
+  return (ec ? path : rel).generic_string();
+}
+
+bool ReadFile(const fs::path& path, std::string* content) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *content = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::vector<std::string> targets;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "--root requires a directory argument\n";
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg == "--list-rules") {
+      for (const std::string& rule : hlm::lint::RuleNames()) {
+        std::cout << rule << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: hlm_lint [--root <dir>] [--list-rules] "
+                   "<path>...\n";
+      return 0;
+    } else {
+      targets.push_back(arg);
+    }
+  }
+  if (targets.empty()) {
+    std::cerr << "usage: hlm_lint [--root <dir>] [--list-rules] <path>...\n";
+    return 2;
+  }
+
+  // Collect the files to lint (sorted for stable output).
+  std::set<fs::path> files;
+  for (const std::string& target : targets) {
+    fs::path path = root / fs::path(target);
+    std::error_code ec;
+    if (fs::is_regular_file(path, ec)) {
+      files.insert(path);
+      continue;
+    }
+    if (!fs::is_directory(path, ec)) {
+      std::cerr << "hlm_lint: no such file or directory: "
+                << path.generic_string() << "\n";
+      return 2;
+    }
+    fs::recursive_directory_iterator it(
+        path, fs::directory_options::skip_permission_denied, ec);
+    fs::recursive_directory_iterator end;
+    for (; it != end; it.increment(ec)) {
+      if (ec) break;
+      if (it->is_directory() &&
+          ShouldSkipDir(it->path().filename().string())) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && IsSourceFile(it->path())) {
+        files.insert(it->path());
+      }
+    }
+  }
+
+  // Pass 1: unordered-container identifiers across every scanned file,
+  // so members declared in headers are known when linting the matching
+  // .cc files.
+  std::set<std::string> unordered_names;
+  std::vector<std::pair<std::string, std::string>> contents;  // rel, text
+  contents.reserve(files.size());
+  for (const fs::path& file : files) {
+    std::string text;
+    if (!ReadFile(file, &text)) {
+      std::cerr << "hlm_lint: cannot read " << file.generic_string() << "\n";
+      return 2;
+    }
+    std::set<std::string> names = hlm::lint::CollectUnorderedNames(text);
+    unordered_names.insert(names.begin(), names.end());
+    contents.emplace_back(RelativeTo(root, file), std::move(text));
+  }
+
+  // Pass 2: lint.
+  size_t total = 0;
+  for (const auto& [relpath, text] : contents) {
+    for (const hlm::lint::Diagnostic& diag :
+         hlm::lint::LintContent(relpath, text, unordered_names)) {
+      std::cout << hlm::lint::FormatDiagnostic(diag) << "\n";
+      ++total;
+    }
+  }
+  if (total > 0) {
+    std::cout << "hlm_lint: " << total << " finding(s) in "
+              << contents.size() << " file(s)\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,529 @@
+#include "tools/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace hlm::lint {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Finds `token` in `line` as a whole identifier (no identifier char on
+/// either side). Returns true on a match.
+bool HasToken(const std::string& line, const std::string& token) {
+  size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    size_t after = pos + token.size();
+    bool right_ok = after >= line.size() || !IsIdentChar(line[after]);
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+/// HasToken where the token must additionally be followed (after
+/// whitespace) by `next`, e.g. a call's opening paren.
+bool HasTokenThen(const std::string& line, const std::string& token,
+                  char next) {
+  size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    size_t after = pos + token.size();
+    bool right_ok = after >= line.size() || !IsIdentChar(line[after]);
+    if (left_ok && right_ok) {
+      size_t i = after;
+      while (i < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[i])) != 0) {
+        ++i;
+      }
+      if (i < line.size() && line[i] == next) return true;
+    }
+    pos += 1;
+  }
+  return false;
+}
+
+/// Removes comments and string/character literals, preserving line
+/// structure so diagnostics keep their 1-based line numbers. Block
+/// comments and raw string literals spanning lines are handled.
+std::vector<std::string> StripCodeLines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string current;
+  enum class State { kCode, kBlockComment, kString, kRawString, kChar };
+  State state = State::kCode;
+  // Closing sequence of the raw string being skipped: )delim"
+  std::string raw_terminator;
+  for (size_t i = 0; i < content.size(); ++i) {
+    char c = content[i];
+    char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      // Ordinary strings and char literals never span lines in this
+      // codebase; raw strings may.
+      if (state == State::kString || state == State::kChar) {
+        state = State::kCode;
+      }
+      lines.push_back(current);
+      current.clear();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          // Drop to end of line.
+          while (i + 1 < content.size() && content[i + 1] != '\n') ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          if (i > 0 && content[i - 1] == 'R') {
+            // Raw string literal R"delim( ... )delim". Capture the
+            // delimiter so the scan only ends at the matching close.
+            std::string delim;
+            size_t j = i + 1;
+            while (j < content.size() && content[j] != '(' &&
+                   delim.size() < 16) {
+              delim.push_back(content[j]);
+              ++j;
+            }
+            raw_terminator = ")" + delim + "\"";
+            state = State::kRawString;
+            i = j;  // Skip past the opening parenthesis.
+          } else {
+            state = State::kString;
+          }
+          current.push_back(' ');
+        } else if (c == '\'') {
+          state = State::kChar;
+          current.push_back(' ');
+        } else {
+          current.push_back(c);
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        if (c == raw_terminator[0] &&
+            content.compare(i, raw_terminator.size(), raw_terminator) == 0) {
+          i += raw_terminator.size() - 1;
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+std::vector<std::string> SplitRawLines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : content) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+/// Rules allowed on 1-based line `line` via `// hlm-lint: allow(<rule>)`
+/// on the same or the preceding raw line.
+bool IsAllowed(const std::vector<std::string>& raw_lines, int line,
+               const std::string& rule) {
+  const std::string needle = "hlm-lint: allow(" + rule + ")";
+  for (int l = line - 1; l >= line - 2 && l >= 0; --l) {
+    if (static_cast<size_t>(l) < raw_lines.size() &&
+        raw_lines[l].find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string ExpectedGuard(const std::string& relpath) {
+  std::string path = relpath;
+  if (StartsWith(path, "src/")) path = path.substr(4);
+  std::string guard = "HLM_";
+  for (char c : path) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      guard.push_back(static_cast<char>(
+          std::toupper(static_cast<unsigned char>(c))));
+    } else {
+      guard.push_back('_');
+    }
+  }
+  guard.push_back('_');
+  return guard;
+}
+
+/// Identifier tokens appearing in `text`.
+std::vector<std::string> IdentTokens(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (IsIdentChar(c)) {
+      current.push_back(c);
+    } else if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(current);
+  return tokens;
+}
+
+struct RuleContext {
+  const std::string* relpath = nullptr;
+  const std::vector<std::string>* code_lines = nullptr;
+  const std::vector<std::string>* raw_lines = nullptr;
+  std::vector<Diagnostic>* diags = nullptr;
+};
+
+void Report(const RuleContext& ctx, int line, const std::string& rule,
+            const std::string& message) {
+  if (IsAllowed(*ctx.raw_lines, line, rule)) return;
+  ctx.diags->push_back(Diagnostic{*ctx.relpath, line, rule, message});
+}
+
+void CheckRawRng(const RuleContext& ctx) {
+  const std::string& path = *ctx.relpath;
+  if (path == "src/math/rng.cc" || path == "src/math/rng.h") return;
+  for (size_t i = 0; i < ctx.code_lines->size(); ++i) {
+    const std::string& line = (*ctx.code_lines)[i];
+    const int ln = static_cast<int>(i) + 1;
+    if (HasToken(line, "random_device")) {
+      Report(ctx, ln, "no-raw-rng",
+             "std::random_device is nondeterministic; seed an hlm::Rng "
+             "instead");
+    }
+    if (HasToken(line, "mt19937") || HasToken(line, "mt19937_64") ||
+        HasToken(line, "minstd_rand") ||
+        HasToken(line, "default_random_engine")) {
+      Report(ctx, ln, "no-raw-rng",
+             "raw <random> engine; use hlm::Rng (Rng::ForkAt for "
+             "parallel streams)");
+    }
+    if (HasTokenThen(line, "rand", '(') || HasTokenThen(line, "srand", '(') ||
+        HasTokenThen(line, "drand48", '(')) {
+      Report(ctx, ln, "no-raw-rng",
+             "C library rand(); use hlm::Rng so runs replay from a seed");
+    }
+  }
+}
+
+void CheckWallClock(const RuleContext& ctx) {
+  if (!StartsWith(*ctx.relpath, "src/")) return;
+  for (size_t i = 0; i < ctx.code_lines->size(); ++i) {
+    const std::string& line = (*ctx.code_lines)[i];
+    const int ln = static_cast<int>(i) + 1;
+    if (HasToken(line, "system_clock") ||
+        HasToken(line, "high_resolution_clock")) {
+      Report(ctx, ln, "no-wall-clock",
+             "wall-clock read in model code; use steady_clock for "
+             "durations and pass timestamps in as data");
+    }
+    if (line.find("time(nullptr)") != std::string::npos ||
+        line.find("time(NULL)") != std::string::npos ||
+        HasTokenThen(line, "gettimeofday", '(')) {
+      Report(ctx, ln, "no-wall-clock",
+             "time() seeds/timestamps make output depend on when you "
+             "ran it");
+    }
+  }
+}
+
+void CheckRawThread(const RuleContext& ctx) {
+  if (*ctx.relpath == "src/common/parallel.cc") return;
+  for (size_t i = 0; i < ctx.code_lines->size(); ++i) {
+    const std::string& line = (*ctx.code_lines)[i];
+    const int ln = static_cast<int>(i) + 1;
+    if (line.find("std::thread") != std::string::npos ||
+        line.find("std::jthread") != std::string::npos ||
+        line.find("std::async") != std::string::npos) {
+      Report(ctx, ln, "no-raw-thread",
+             "raw threading; use ParallelFor/ParallelMapReduce over the "
+             "deterministic pool (src/common/parallel.h)");
+    }
+  }
+}
+
+void CheckStdioOutput(const RuleContext& ctx) {
+  if (!StartsWith(*ctx.relpath, "src/")) return;
+  for (size_t i = 0; i < ctx.code_lines->size(); ++i) {
+    const std::string& line = (*ctx.code_lines)[i];
+    const int ln = static_cast<int>(i) + 1;
+    if (line.find("std::cout") != std::string::npos ||
+        HasTokenThen(line, "printf", '(') || HasTokenThen(line, "puts", '(')) {
+      Report(ctx, ln, "no-stdio-output",
+             "stdout write in library code; log through HLM_LOG so sinks "
+             "and levels stay in control");
+    }
+  }
+}
+
+void CheckUnorderedIteration(const RuleContext& ctx,
+                             const std::set<std::string>& unordered_names) {
+  if (unordered_names.empty()) return;
+  for (size_t i = 0; i < ctx.code_lines->size(); ++i) {
+    const std::string& line = (*ctx.code_lines)[i];
+    const int ln = static_cast<int>(i) + 1;
+
+    // Range-for whose range expression mentions an unordered name.
+    size_t for_pos = 0;
+    bool flagged = false;
+    while (!flagged &&
+           (for_pos = line.find("for", for_pos)) != std::string::npos) {
+      bool left_ok = for_pos == 0 || !IsIdentChar(line[for_pos - 1]);
+      bool right_ok = for_pos + 3 >= line.size() ||
+                      !IsIdentChar(line[for_pos + 3]);
+      if (!left_ok || !right_ok) {
+        for_pos += 3;
+        continue;
+      }
+      size_t open = line.find('(', for_pos);
+      if (open == std::string::npos) break;
+      // Find the single range-for colon (not ::) inside the parens.
+      size_t colon = std::string::npos;
+      for (size_t p = open + 1; p < line.size(); ++p) {
+        if (line[p] == ':') {
+          if ((p + 1 < line.size() && line[p + 1] == ':') ||
+              (p > 0 && line[p - 1] == ':')) {
+            continue;
+          }
+          colon = p;
+          break;
+        }
+      }
+      if (colon != std::string::npos) {
+        for (const std::string& tok : IdentTokens(line.substr(colon + 1))) {
+          if (unordered_names.count(tok) > 0) {
+            Report(ctx, ln, "unordered-iter",
+                   "iterates unordered container '" + tok +
+                       "'; hash order is unspecified — sort with a full "
+                       "tie-break or annotate why order cannot leak");
+            flagged = true;
+            break;
+          }
+        }
+      }
+      for_pos += 3;
+    }
+    if (flagged) continue;
+
+    // Explicit iterator walks: name.begin() / name.cbegin().
+    for (const std::string& name : unordered_names) {
+      if (HasToken(line, name) &&
+          (line.find(name + ".begin(") != std::string::npos ||
+           line.find(name + ".cbegin(") != std::string::npos)) {
+        Report(ctx, ln, "unordered-iter",
+               "iterator walk over unordered container '" + name +
+                   "'; hash order is unspecified — sort with a full "
+                   "tie-break or annotate why order cannot leak");
+        break;
+      }
+    }
+  }
+}
+
+void CheckHeaderGuard(const RuleContext& ctx) {
+  if (!EndsWith(*ctx.relpath, ".h")) return;
+  const std::string expected = ExpectedGuard(*ctx.relpath);
+  int ifndef_line = 0;
+  std::string guard;
+  for (size_t i = 0; i < ctx.code_lines->size(); ++i) {
+    const std::string& line = (*ctx.code_lines)[i];
+    size_t pos = line.find("#ifndef");
+    if (pos != std::string::npos) {
+      std::vector<std::string> tokens = IdentTokens(line.substr(pos + 7));
+      if (!tokens.empty()) {
+        guard = tokens[0];
+        ifndef_line = static_cast<int>(i) + 1;
+      }
+      break;
+    }
+    // Only whitespace may precede the guard.
+    if (line.find_first_not_of(" \t") != std::string::npos) break;
+  }
+  if (guard.empty()) {
+    Report(ctx, 1, "header-guard",
+           "missing include guard; expected #ifndef " + expected);
+    return;
+  }
+  if (guard != expected) {
+    Report(ctx, ifndef_line, "header-guard",
+           "guard '" + guard + "' does not match path; expected " + expected);
+    return;
+  }
+  bool has_define = false;
+  for (const std::string& line : *ctx.code_lines) {
+    if (line.find("#define " + expected) != std::string::npos) {
+      has_define = true;
+      break;
+    }
+  }
+  if (!has_define) {
+    Report(ctx, ifndef_line, "header-guard",
+           "guard #ifndef " + expected + " lacks a matching #define");
+  }
+}
+
+void CheckIncludeOrder(const RuleContext& ctx) {
+  std::string prev_angle, prev_quoted;
+  bool in_block = false;
+  for (size_t i = 0; i < ctx.code_lines->size(); ++i) {
+    const std::string& line = (*ctx.code_lines)[i];
+    const int ln = static_cast<int>(i) + 1;
+    size_t pos = line.find("#include");
+    if (pos == std::string::npos ||
+        line.find_first_not_of(" \t") != pos) {
+      in_block = false;
+      prev_angle.clear();
+      prev_quoted.clear();
+      continue;
+    }
+    std::string rest = line.substr(pos + 8);
+    size_t start = rest.find_first_of("<\"");
+    if (start == std::string::npos) continue;  // e.g. macro include
+    char open = rest[start];
+    char close = open == '<' ? '>' : '"';
+    size_t end = rest.find(close, start + 1);
+    if (end == std::string::npos) continue;
+    std::string target = rest.substr(start + 1, end - start - 1);
+    std::string* prev = open == '<' ? &prev_angle : &prev_quoted;
+    if (in_block && !prev->empty() && target < *prev) {
+      Report(ctx, ln, "include-order",
+             "'" + target + "' sorts before '" + *prev +
+                 "' in the same include block");
+    }
+    *prev = target;
+    in_block = true;
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> RuleNames() {
+  return {"no-raw-rng",     "no-wall-clock", "no-raw-thread",
+          "no-stdio-output", "unordered-iter", "header-guard",
+          "include-order"};
+}
+
+std::set<std::string> CollectUnorderedNames(const std::string& content) {
+  std::set<std::string> names;
+  // Flatten so declarations spanning lines still parse.
+  std::vector<std::string> lines = StripCodeLines(content);
+  std::string flat;
+  for (const std::string& line : lines) {
+    flat += line;
+    flat += '\n';
+  }
+  for (const char* marker : {"unordered_map", "unordered_set"}) {
+    size_t pos = 0;
+    while ((pos = flat.find(marker, pos)) != std::string::npos) {
+      size_t p = pos + std::string(marker).size();
+      pos = p;
+      if (p >= flat.size() || flat[p] != '<') continue;
+      // Skip the template argument list (depth-counted).
+      int depth = 0;
+      while (p < flat.size()) {
+        if (flat[p] == '<') ++depth;
+        if (flat[p] == '>') {
+          --depth;
+          if (depth == 0) {
+            ++p;
+            break;
+          }
+        }
+        ++p;
+      }
+      // A declaration introduces an identifier right after the type
+      // (possibly &/* qualified); expressions like casts do not.
+      while (p < flat.size() &&
+             (std::isspace(static_cast<unsigned char>(flat[p])) != 0 ||
+              flat[p] == '&' || flat[p] == '*')) {
+        ++p;
+      }
+      std::string name;
+      while (p < flat.size() && IsIdentChar(flat[p])) {
+        name.push_back(flat[p]);
+        ++p;
+      }
+      if (!name.empty() && name != "const") names.insert(name);
+    }
+  }
+  return names;
+}
+
+std::vector<Diagnostic> LintContent(
+    const std::string& relpath, const std::string& content,
+    const std::set<std::string>& extra_unordered_names) {
+  std::vector<Diagnostic> diags;
+  std::vector<std::string> code_lines = StripCodeLines(content);
+  std::vector<std::string> raw_lines = SplitRawLines(content);
+  RuleContext ctx;
+  ctx.relpath = &relpath;
+  ctx.code_lines = &code_lines;
+  ctx.raw_lines = &raw_lines;
+  ctx.diags = &diags;
+
+  CheckRawRng(ctx);
+  CheckWallClock(ctx);
+  CheckRawThread(ctx);
+  CheckStdioOutput(ctx);
+  std::set<std::string> unordered_names = CollectUnorderedNames(content);
+  unordered_names.insert(extra_unordered_names.begin(),
+                         extra_unordered_names.end());
+  CheckUnorderedIteration(ctx, unordered_names);
+  CheckHeaderGuard(ctx);
+  CheckIncludeOrder(ctx);
+
+  std::stable_sort(diags.begin(), diags.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return a.line < b.line;
+                   });
+  return diags;
+}
+
+std::string FormatDiagnostic(const Diagnostic& diag) {
+  std::ostringstream out;
+  out << diag.file << ":" << diag.line << ": " << diag.rule << ": "
+      << diag.message;
+  return out.str();
+}
+
+}  // namespace hlm::lint

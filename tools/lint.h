@@ -1,0 +1,73 @@
+#ifndef HLM_TOOLS_LINT_H_
+#define HLM_TOOLS_LINT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace hlm::lint {
+
+/// One rule violation. `line` is 1-based.
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// The rules hlm_lint enforces, in the order they are reported.
+///
+///   no-raw-rng       rand()/srand()/drand48()/std::random_device/
+///                    std::mt19937 anywhere outside src/math/rng.{h,cc}.
+///                    All randomness must flow through hlm::Rng (ForkAt
+///                    for parallel streams) so runs replay from a seed.
+///   no-wall-clock    time(nullptr)/std::time/std::chrono::system_clock/
+///                    high_resolution_clock in src/ (model code).
+///                    steady_clock is fine for durations; wall-clock
+///                    reads make output depend on when you ran it.
+///   no-raw-thread    std::thread/std::jthread/std::async outside
+///                    src/common/parallel.cc. Concurrency goes through
+///                    the deterministic pool (ParallelFor), never ad hoc
+///                    threads.
+///   no-stdio-output  printf/puts/std::cout in src/. Library code logs
+///                    through HLM_LOG so sinks/levels stay in control;
+///                    snprintf-to-buffer formatting is fine.
+///   unordered-iter   Iteration over a container declared as
+///                    std::unordered_map/std::unordered_set. Hash order
+///                    is unspecified, so any iteration feeding output or
+///                    aggregation must either be order-insensitive or
+///                    sort with a full tie-break; the rule is a
+///                    heuristic and always requires an annotation to
+///                    pass.
+///   header-guard     Every .h must open with the canonical include
+///                    guard derived from its repo-relative path
+///                    (src/foo/bar.h -> HLM_FOO_BAR_H_).
+///   include-order    Within each contiguous #include block, quoted
+///                    includes and angle includes must each be sorted.
+///
+/// A finding on line N is suppressed by `// hlm-lint: allow(<rule>)` on
+/// line N or line N-1.
+std::vector<std::string> RuleNames();
+
+/// Lints one file's contents. `relpath` is the path relative to the
+/// scanned root, with '/' separators; rule applicability (src/-only
+/// rules, rng.cc exemption, expected header guard) derives from it.
+/// `extra_unordered_names` seeds the unordered-container identifier set
+/// with names declared elsewhere (e.g. members declared in a header and
+/// iterated in the matching .cc); pass {} when linting standalone
+/// content.
+std::vector<Diagnostic> LintContent(
+    const std::string& relpath, const std::string& content,
+    const std::set<std::string>& extra_unordered_names = {});
+
+/// Scans `content` for identifiers declared as unordered_map /
+/// unordered_set (used to build the cross-file name set for the
+/// unordered-iter heuristic).
+std::set<std::string> CollectUnorderedNames(const std::string& content);
+
+/// Formats one diagnostic as "file:line: rule: message".
+std::string FormatDiagnostic(const Diagnostic& diag);
+
+}  // namespace hlm::lint
+
+#endif  // HLM_TOOLS_LINT_H_
