@@ -7,18 +7,67 @@
 //   - filters on industry / location / employees / revenue,
 //   - white-space product recommendations enriched with internal data.
 //
-// Run: ./build/examples/sales_application
+// Run: ./build/examples/sales_application [snapshot_dir]
+//
+// With a snapshot_dir argument the app is train-once/serve-many: the
+// first run trains the LDA model, snapshots it plus its representation
+// matrix into the directory, and writes a registry manifest; every later
+// run serves straight from the snapshots without retraining.
 
 #include <cstdio>
+#include <filesystem>
+#include <string>
 
 #include "app/sales_tool.h"
 #include "corpus/generator.h"
 #include "corpus/integration.h"
 #include "models/lda.h"
 #include "repr/representation.h"
+#include "serve/registry.h"
 
-int main() {
+namespace {
+
+/// Trains the deployed configuration (LDA representations) and, when a
+/// snapshot directory was given, persists model + representation + a
+/// manifest for later serving runs.
+hlm::Status TrainAndMaybeSnapshot(
+    const hlm::corpus::Corpus& companies, const std::string& snapshot_dir,
+    std::vector<std::vector<double>>* representations) {
+  hlm::models::LdaConfig lda_config;
+  lda_config.num_topics = 4;
+  hlm::models::LdaModel lda(companies.num_categories(), lda_config);
+  HLM_RETURN_IF_ERROR(lda.Train(companies.Sequences()));
+  *representations = hlm::repr::LdaRepresentation(lda, companies);
+  if (snapshot_dir.empty()) return hlm::Status::OK();
+
+  std::error_code ec;
+  std::filesystem::create_directories(snapshot_dir, ec);
+  if (ec) {
+    return hlm::Status::Internal("cannot create snapshot directory '" +
+                                 snapshot_dir + "': " + ec.message());
+  }
+  HLM_RETURN_IF_ERROR(lda.SaveToFile(snapshot_dir + "/lda.snap"));
+  HLM_RETURN_IF_ERROR(hlm::repr::SaveRepresentation(
+      *representations, snapshot_dir + "/lda_repr.snap"));
+  hlm::serve::ModelRegistry registry;
+  HLM_RETURN_IF_ERROR(
+      registry.Register("lda", hlm::serve::ModelKind::kLda, "lda.snap"));
+  HLM_RETURN_IF_ERROR(registry.Register(
+      "lda-repr", hlm::serve::ModelKind::kRepresentation, "lda_repr.snap"));
+  HLM_RETURN_IF_ERROR(
+      registry.SaveManifest(snapshot_dir + "/manifest.txt"));
+  std::printf("snapshots written to %s (next run serves without "
+              "retraining)\n",
+              snapshot_dir.c_str());
+  return hlm::Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace hlm;
+
+  const std::string snapshot_dir = argc > 1 ? argv[1] : "";
 
   corpus::GeneratedCorpus world = corpus::GenerateDefaultCorpus(2500, 7);
   const corpus::Corpus& companies = world.corpus;
@@ -34,12 +83,29 @@ int main() {
               internal_db.clients.size(), linked,
               100.0 * linked / internal_db.clients.size());
 
-  // LDA company representations (the deployed configuration).
-  models::LdaConfig lda_config;
-  lda_config.num_topics = 4;
-  models::LdaModel lda(companies.num_categories(), lda_config);
-  if (!lda.Train(companies.Sequences()).ok()) return 1;
-  auto representations = repr::LdaRepresentation(lda, companies);
+  // LDA company representations (the deployed configuration): from the
+  // snapshot registry when one exists, trained (and snapshotted) else.
+  std::vector<std::vector<double>> representations;
+  auto manifest_registry = serve::ModelRegistry::FromManifest(
+      snapshot_dir.empty() ? "" : snapshot_dir + "/manifest.txt");
+  if (manifest_registry.ok()) {
+    std::printf("serving from snapshot directory %s\n", snapshot_dir.c_str());
+    auto rows = manifest_registry->Representation("lda-repr");
+    if (!rows.ok()) {
+      std::fprintf(stderr, "snapshot load failed: %s\n",
+                   rows.status().ToString().c_str());
+      return 1;
+    }
+    representations = **rows;
+  } else {
+    Status trained =
+        TrainAndMaybeSnapshot(companies, snapshot_dir, &representations);
+    if (!trained.ok()) {
+      std::fprintf(stderr, "training failed: %s\n",
+                   trained.ToString().c_str());
+      return 1;
+    }
+  }
 
   app::SalesRecommendationTool tool(&companies, representations,
                                     std::move(internal_db));
@@ -79,9 +145,15 @@ int main() {
 
   // White-space recommendations: what similar companies own that the
   // prospect lacks; flagged when the internal database shows we already
-  // sell that category to one of the similar companies.
+  // sell that category to one of the similar companies. An over-tight
+  // filter is reported as such (NotFound), distinct from "the prospect
+  // already owns everything its peers own" (OK, empty list).
   auto recommendations = tool.RecommendProducts(prospect, 8, filter);
-  if (!recommendations.ok()) return 1;
+  if (!recommendations.ok()) {
+    std::fprintf(stderr, "no recommendations: %s\n",
+                 recommendations.status().ToString().c_str());
+    return 1;
+  }
   std::printf("\nwhite-space product recommendations:\n");
   int shown = 0;
   for (const auto& rec : *recommendations) {

@@ -89,6 +89,21 @@ else
   echo "ok (grep-level check; python3 not found)"
 fi
 
+echo "== tier1: snapshot save + verify roundtrip =="
+SNAP_DIR="$(mktemp -d /tmp/hlm_tier1_snap.XXXXXX)"
+CLEANUP_PATHS+=("$SNAP_DIR")
+"$BUILD_DIR/tools/hlm_snapshot" save --dir "$SNAP_DIR" --companies 120
+"$BUILD_DIR/tools/hlm_snapshot" verify --manifest "$SNAP_DIR/manifest.txt"
+"$BUILD_DIR/tools/hlm_snapshot" load --manifest "$SNAP_DIR/manifest.txt"
+# Corruption must be caught: appending one byte breaks the container.
+printf 'x' >> "$SNAP_DIR/ngram.snap"
+if "$BUILD_DIR/tools/hlm_snapshot" verify \
+    --manifest "$SNAP_DIR/manifest.txt" >/dev/null 2>&1; then
+  echo "hlm_snapshot verify missed a corrupted snapshot" >&2
+  exit 1
+fi
+echo "ok: save/verify/load + corruption detection"
+
 echo "== tier1: thread-sanitizer stage =="
 if sanitizer_usable thread; then
   echo "== tier1: tsan build (parallel_test + obs_test) =="

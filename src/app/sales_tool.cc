@@ -61,6 +61,11 @@ SalesRecommendationTool::RecommendProducts(int company_id, int k,
   }
   HLM_ASSIGN_OR_RETURN(auto neighbors,
                        FindSimilarCompanies(company_id, k, filter));
+  if (neighbors.empty()) {
+    return Status::NotFound(
+        "no companies match the similarity filter; relax the filter "
+        "constraints");
+  }
   const corpus::InstallBase& prospect =
       corpus_->record(company_id).install_base;
 
@@ -86,10 +91,8 @@ SalesRecommendationTool::RecommendProducts(int company_id, int k,
     if (prospect.Contains(c) || ownership[c] == 0) continue;
     ProductRecommendation rec;
     rec.category = c;
-    rec.similar_ownership = neighbors.empty()
-                                ? 0.0
-                                : static_cast<double>(ownership[c]) /
-                                      static_cast<double>(neighbors.size());
+    rec.similar_ownership = static_cast<double>(ownership[c]) /
+                            static_cast<double>(neighbors.size());
     rec.internally_validated = internal[c];
     recommendations.push_back(rec);
   }
@@ -104,6 +107,21 @@ SalesRecommendationTool::RecommendProducts(int company_id, int k,
               return a.category < b.category;
             });
   return recommendations;
+}
+
+Result<SalesRecommendationTool> SalesRecommendationTool::FromRegistry(
+    const corpus::Corpus* corpus, serve::ModelRegistry& registry,
+    const std::string& repr_name, corpus::InternalDatabase internal_db) {
+  HLM_ASSIGN_OR_RETURN(const std::vector<std::vector<double>>* rows,
+                       registry.Representation(repr_name));
+  if (static_cast<int>(rows->size()) != corpus->num_companies()) {
+    return Status::FailedPrecondition(
+        "representation '" + repr_name + "' has " +
+        std::to_string(rows->size()) + " rows but the corpus has " +
+        std::to_string(corpus->num_companies()) +
+        " companies; snapshot was built from a different corpus");
+  }
+  return SalesRecommendationTool(corpus, *rows, std::move(internal_db));
 }
 
 }  // namespace hlm::app

@@ -1,0 +1,57 @@
+#ifndef HLM_COMMON_ATOMIC_FILE_H_
+#define HLM_COMMON_ATOMIC_FILE_H_
+
+#include <fstream>
+#include <ostream>
+#include <string>
+
+#include "common/status.h"
+
+namespace hlm {
+
+/// Crash-safe replacement for `std::ofstream out(path)` on persistence
+/// paths. All bytes go to a sibling temp file `<path>.tmp.<pid>`;
+/// Commit() flushes and `std::rename`s it over the destination, which is
+/// atomic on POSIX filesystems. Any failure — open error, short write,
+/// process death before Commit — leaves a previous snapshot at `path`
+/// untouched; the destructor removes the temp file when Commit never
+/// ran (or failed).
+///
+/// Usage:
+///   AtomicFileWriter writer(path);
+///   if (!writer.ok()) return Status::Internal(...);
+///   writer.stream() << ...;
+///   return writer.Commit();
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path);
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// False when the temp file could not be opened for writing; the
+  /// stream is then in a failed state and Commit() reports the error.
+  bool ok() const { return out_.good(); }
+
+  /// The temp-file stream; nothing reaches `path` until Commit().
+  std::ostream& stream() { return out_; }
+
+  const std::string& path() const { return path_; }
+  const std::string& temp_path() const { return temp_path_; }
+
+  /// Flushes, closes, and renames the temp file into place. On any
+  /// failure the temp file is removed and the previous `path` contents
+  /// survive. Calling Commit twice is an error.
+  Status Commit();
+
+ private:
+  std::string path_;
+  std::string temp_path_;
+  std::ofstream out_;
+  bool committed_ = false;
+};
+
+}  // namespace hlm
+
+#endif  // HLM_COMMON_ATOMIC_FILE_H_

@@ -92,6 +92,9 @@ Result<std::vector<std::vector<std::string>>> ReadCsvFile(
 
 Status WriteCsvFile(const std::string& path,
                     const std::vector<std::vector<std::string>>& rows) {
+  // Report sink, not a snapshot: outputs are regenerated per run and
+  // never read back by serving code, so atomicity buys nothing here.
+  // hlm-lint: allow(no-raw-persist-write)
   std::ofstream out(path);
   if (!out) return Status::Internal("cannot open CSV file for write: " + path);
   CsvWriter writer(&out);

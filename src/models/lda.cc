@@ -1,7 +1,6 @@
 #include "models/lda.h"
 
 #include <cmath>
-#include <fstream>
 
 #include "common/check.h"
 #include "common/parallel.h"
@@ -10,6 +9,7 @@
 #include "models/perplexity.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/snapshot.h"
 
 namespace hlm::models {
 
@@ -470,13 +470,11 @@ void LdaModel::CheckInvariants() const {
 
 Status LdaModel::SaveToFile(const std::string& path) const {
   if (!trained_) return Status::FailedPrecondition("model not trained");
-  std::ofstream out(path);
-  if (!out) return Status::Internal("cannot open for write: " + path);
-  out << "hlm-lda 1\n";
+  serve::SnapshotWriter writer("lda", 1);
+  std::ostream& out = writer.payload();
   out << vocab_size_ << ' ' << config_.num_topics << ' ' << config_.alpha
       << ' ' << config_.beta << ' ' << config_.inference_burn_in << ' '
       << config_.inference_samples << ' ' << config_.seed << '\n';
-  out.precision(17);
   for (const auto& row : phi_) {
     for (size_t w = 0; w < row.size(); ++w) {
       if (w > 0) out << ' ';
@@ -484,32 +482,27 @@ Status LdaModel::SaveToFile(const std::string& path) const {
     }
     out << '\n';
   }
-  if (!out) return Status::DataLoss("short write: " + path);
-  return Status::OK();
+  return writer.CommitToFile(path);
 }
 
 Result<LdaModel> LdaModel::LoadFromFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open: " + path);
-  std::string magic;
-  int version = 0;
-  in >> magic >> version;
-  if (magic != "hlm-lda" || version != 1) {
-    return Status::DataLoss("not an hlm-lda v1 file: " + path);
-  }
+  HLM_ASSIGN_OR_RETURN(serve::SnapshotReader reader,
+                       serve::SnapshotReader::Open(path));
+  HLM_RETURN_IF_ERROR(reader.ExpectKind("lda", 1));
+  std::istream& in = reader.payload();
   int vocab = 0;
   LdaConfig config;
   in >> vocab >> config.num_topics >> config.alpha >> config.beta >>
       config.inference_burn_in >> config.inference_samples >> config.seed;
   if (!in || vocab <= 0 || config.num_topics <= 0) {
-    return Status::DataLoss("corrupt hlm-lda header: " + path);
+    return Status::DataLoss("corrupt lda snapshot header: " + path);
   }
   LdaModel model(vocab, config);
   model.phi_.assign(config.num_topics, std::vector<double>(vocab, 0.0));
   for (auto& row : model.phi_) {
     for (double& value : row) in >> value;
   }
-  if (!in) return Status::DataLoss("truncated hlm-lda file: " + path);
+  HLM_RETURN_IF_ERROR(reader.Finish());
   model.trained_ = true;
   return model;
 }

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <fstream>
 #include <numeric>
 
 #include "common/check.h"
@@ -10,6 +9,7 @@
 #include "models/perplexity.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/snapshot.h"
 
 namespace hlm::models {
 
@@ -605,10 +605,8 @@ bool ReadMatrix(std::istream& in, Matrix* m) {
 }  // namespace
 
 Status LstmLanguageModel::SaveToFile(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return Status::Internal("cannot open for write: " + path);
-  out.precision(17);
-  out << "hlm-lstm 1\n";
+  serve::SnapshotWriter writer("lstm", 1);
+  std::ostream& out = writer.payload();
   out << vocab_size_ << ' ' << config_.hidden_size << ' '
       << config_.num_layers << ' ' << config_.dropout << ' '
       << config_.learning_rate << ' ' << config_.epochs << ' '
@@ -632,20 +630,15 @@ Status LstmLanguageModel::SaveToFile(const std::string& path) const {
     out << b_out_[i];
   }
   out << '\n';
-  if (!out) return Status::DataLoss("short write: " + path);
-  return Status::OK();
+  return writer.CommitToFile(path);
 }
 
 Result<std::unique_ptr<LstmLanguageModel>> LstmLanguageModel::LoadFromFile(
     const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open: " + path);
-  std::string magic;
-  int version = 0;
-  in >> magic >> version;
-  if (magic != "hlm-lstm" || version != 1) {
-    return Status::DataLoss("not an hlm-lstm v1 file: " + path);
-  }
+  HLM_ASSIGN_OR_RETURN(serve::SnapshotReader reader,
+                       serve::SnapshotReader::Open(path));
+  HLM_RETURN_IF_ERROR(reader.ExpectKind("lstm", 1));
+  std::istream& in = reader.payload();
   int vocab = 0;
   LstmConfig config;
   in >> vocab >> config.hidden_size >> config.num_layers >>
@@ -681,6 +674,7 @@ Result<std::unique_ptr<LstmLanguageModel>> LstmLanguageModel::LoadFromFile(
   }
   for (double& b : model->b_out_) in >> b;
   if (!in) return Status::DataLoss("truncated hlm-lstm file: " + path);
+  HLM_RETURN_IF_ERROR(reader.Finish());
   return model;
 }
 

@@ -53,6 +53,11 @@ class NGramModel final : public ConditionalScorer {
   /// significance tests; order of `ngram` must be <= config.order.
   long long NgramCount(const TokenSequence& ngram) const;
 
+  /// Persists the full count state (all context orders) so a reloaded
+  /// model scores bit-identically and further Train calls keep adding.
+  Status SaveToFile(const std::string& path) const;
+  static Result<NGramModel> LoadFromFile(const std::string& path);
+
  private:
   static constexpr Token kBos = -1;
 

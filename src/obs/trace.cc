@@ -82,6 +82,9 @@ std::string TraceRecorder::ToChromeJson() const {
 }
 
 Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  // Diagnostic export, not a snapshot: nothing reloads this file, so a
+  // torn write costs one trace, not a serving model.
+  // hlm-lint: allow(no-raw-persist-write)
   std::ofstream out(path);
   if (!out) return Status::Internal("cannot open for write: " + path);
   out << ToChromeJson();

@@ -1,13 +1,24 @@
 #include "recsys/similarity_search.h"
 
 #include <algorithm>
+#include <string>
 
 namespace hlm::recsys {
 
 SimilaritySearch::SimilaritySearch(
     std::vector<std::vector<double>> representations,
     cluster::DistanceKind kind)
-    : representations_(std::move(representations)), kind_(kind) {}
+    : representations_(std::move(representations)), kind_(kind) {
+  if (!representations_.empty()) {
+    dim_ = static_cast<int>(representations_[0].size());
+    for (const std::vector<double>& row : representations_) {
+      if (static_cast<int>(row.size()) != dim_) {
+        ragged_ = true;
+        break;
+      }
+    }
+  }
+}
 
 Result<std::vector<Neighbor>> SimilaritySearch::TopK(
     int query_id, int k, const std::function<bool(int)>& filter) const {
@@ -25,9 +36,15 @@ Result<std::vector<Neighbor>> SimilaritySearch::TopKForVector(
     const std::vector<double>& query, int k,
     const std::function<bool(int)>& filter) const {
   if (k <= 0) return Status::InvalidArgument("k must be positive");
-  if (!representations_.empty() &&
-      query.size() != representations_[0].size()) {
-    return Status::InvalidArgument("query dimensionality mismatch");
+  if (ragged_) {
+    return Status::InvalidArgument(
+        "representation matrix is ragged: rows differ in width");
+  }
+  if (static_cast<int>(query.size()) != dim_) {
+    return Status::InvalidArgument(
+        "query dimensionality mismatch: query has " +
+        std::to_string(query.size()) + " dims, index has " +
+        std::to_string(dim_));
   }
   std::vector<Neighbor> neighbors;
   neighbors.reserve(representations_.size());

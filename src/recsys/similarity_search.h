@@ -20,12 +20,21 @@ struct Neighbor {
 /// fixed at construction; queries may be an existing company or an
 /// arbitrary vector, with an optional filter predicate (the sales tool's
 /// industry/location/size filters plug in there).
+///
+/// Row widths are validated at construction: a ragged matrix poisons the
+/// index and every query on it fails with InvalidArgument instead of
+/// computing distances over mismatched rows. Query dimensionality is
+/// checked unconditionally — an empty index has dimension 0, so any
+/// non-empty query vector is a mismatch, not a silent empty result.
 class SimilaritySearch {
  public:
   SimilaritySearch(std::vector<std::vector<double>> representations,
                    cluster::DistanceKind kind);
 
   int size() const { return static_cast<int>(representations_.size()); }
+
+  /// Representation width all queries must match (0 for an empty index).
+  int dim() const { return dim_; }
 
   /// k nearest companies to company `query_id`, excluding itself.
   Result<std::vector<Neighbor>> TopK(
@@ -44,6 +53,8 @@ class SimilaritySearch {
  private:
   std::vector<std::vector<double>> representations_;
   cluster::DistanceKind kind_;
+  int dim_ = 0;
+  bool ragged_ = false;
 };
 
 }  // namespace hlm::recsys

@@ -1,6 +1,7 @@
 #include "repr/representation.h"
 
 #include "corpus/tfidf.h"
+#include "serve/snapshot.h"
 
 namespace hlm::repr {
 
@@ -55,6 +56,46 @@ std::vector<std::vector<double>> LsiRepresentation(
                                : std::vector<double>(model.rank(), 0.0));
   }
   return rows;
+}
+
+Status SaveRepresentation(const std::vector<std::vector<double>>& rows,
+                          const std::string& path) {
+  const size_t cols = rows.empty() ? 0 : rows[0].size();
+  for (const std::vector<double>& row : rows) {
+    if (row.size() != cols) {
+      return Status::InvalidArgument("ragged representation matrix");
+    }
+  }
+  serve::SnapshotWriter writer("repr", 1);
+  std::ostream& out = writer.payload();
+  out << rows.size() << ' ' << cols << '\n';
+  for (const std::vector<double>& row : rows) {
+    for (size_t j = 0; j < row.size(); ++j) {
+      if (j > 0) out << ' ';
+      out << row[j];
+    }
+    out << '\n';
+  }
+  return writer.CommitToFile(path);
+}
+
+Result<std::vector<std::vector<double>>> LoadRepresentation(
+    const std::string& path) {
+  HLM_ASSIGN_OR_RETURN(serve::SnapshotReader reader,
+                       serve::SnapshotReader::Open(path));
+  HLM_RETURN_IF_ERROR(reader.ExpectKind("repr", 1));
+  std::istream& in = reader.payload();
+  size_t rows = 0, cols = 0;
+  in >> rows >> cols;
+  if (!in || rows * cols > (1u << 28)) {
+    return Status::DataLoss("corrupt representation shape: " + path);
+  }
+  std::vector<std::vector<double>> matrix(rows, std::vector<double>(cols));
+  for (std::vector<double>& row : matrix) {
+    for (double& value : row) in >> value;
+  }
+  HLM_RETURN_IF_ERROR(reader.Finish());
+  return matrix;
 }
 
 }  // namespace hlm::repr

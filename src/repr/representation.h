@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "corpus/corpus.h"
 #include "models/lda.h"
 #include "models/lsi.h"
@@ -45,6 +46,19 @@ std::vector<std::vector<double>> Word2VecRepresentation(
 /// same corpus's matrix.
 std::vector<std::vector<double>> LsiRepresentation(
     const models::LsiModel& model, const corpus::Corpus& corpus);
+
+/// Persists a trained representation matrix (one row per company, all
+/// rows the same width) in the common snapshot container, so serving
+/// can run similarity search without retraining the model that produced
+/// it. Ragged input is rejected.
+Status SaveRepresentation(const std::vector<std::vector<double>>& rows,
+                          const std::string& path);
+
+/// Restores a matrix saved by SaveRepresentation (bit-identical up to
+/// text round-trip precision; doubles are written at precision 17, which
+/// round-trips exactly).
+Result<std::vector<std::vector<double>>> LoadRepresentation(
+    const std::string& path);
 
 }  // namespace hlm::repr
 

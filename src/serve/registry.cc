@@ -1,0 +1,305 @@
+#include "serve/registry.h"
+
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <utility>
+
+#include "common/atomic_file.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "repr/representation.h"
+#include "serve/snapshot.h"
+
+namespace hlm::serve {
+
+namespace {
+
+constexpr char kManifestMagic[] = "hlm-registry";
+constexpr int kManifestVersion = 1;
+
+/// Directory prefix of `path` including the trailing '/', or "" when
+/// the path has no directory component.
+std::string DirName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash + 1);
+}
+
+bool HasWhitespace(const std::string& s) {
+  return s.find_first_of(" \t\n\r") != std::string::npos;
+}
+
+}  // namespace
+
+const char* ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kLda:
+      return "lda";
+    case ModelKind::kLstm:
+      return "lstm";
+    case ModelKind::kBpmf:
+      return "bpmf";
+    case ModelKind::kChh:
+      return "chh";
+    case ModelKind::kChhApprox:
+      return "chh-approx";
+    case ModelKind::kNgram:
+      return "ngram";
+    case ModelKind::kRepresentation:
+      return "repr";
+  }
+  return "unknown";
+}
+
+Result<ModelKind> ParseModelKind(const std::string& name) {
+  for (ModelKind kind :
+       {ModelKind::kLda, ModelKind::kLstm, ModelKind::kBpmf, ModelKind::kChh,
+        ModelKind::kChhApprox, ModelKind::kNgram,
+        ModelKind::kRepresentation}) {
+    if (name == ModelKindName(kind)) return kind;
+  }
+  return Status::InvalidArgument("unknown model kind: " + name);
+}
+
+bool ModelRegistry::Entry::IsLoaded() const {
+  return lda != nullptr || lstm != nullptr || bpmf != nullptr ||
+         chh != nullptr || chh_approx != nullptr || ngram != nullptr ||
+         representation != nullptr;
+}
+
+Status ModelRegistry::Register(const std::string& name, ModelKind kind,
+                               std::string path) {
+  if (name.empty() || HasWhitespace(name)) {
+    return Status::InvalidArgument("model name must be non-empty and "
+                                   "space-free: '" + name + "'");
+  }
+  if (path.empty() || HasWhitespace(path)) {
+    return Status::InvalidArgument("snapshot path must be non-empty and "
+                                   "space-free: '" + path + "'");
+  }
+  auto [it, inserted] = entries_.try_emplace(name);
+  if (!inserted) {
+    return Status::AlreadyExists("model already registered: " + name);
+  }
+  it->second.kind = kind;
+  it->second.path = std::move(path);
+  return Status::OK();
+}
+
+Result<ModelRegistry> ModelRegistry::FromManifest(
+    const std::string& manifest_path) {
+  std::ifstream in(manifest_path);
+  if (!in) return Status::NotFound("cannot open manifest: " + manifest_path);
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (magic != kManifestMagic || version != kManifestVersion) {
+    return Status::DataLoss("not an hlm-registry v" +
+                            std::to_string(kManifestVersion) +
+                            " manifest: " + manifest_path);
+  }
+  const std::string dir = DirName(manifest_path);
+  ModelRegistry registry;
+  std::string name, kind_name, path;
+  while (in >> name >> kind_name >> path) {
+    HLM_ASSIGN_OR_RETURN(ModelKind kind, ParseModelKind(kind_name));
+    if (!path.empty() && path[0] != '/') path = dir + path;
+    HLM_RETURN_IF_ERROR(registry.Register(name, kind, std::move(path)));
+  }
+  if (!in.eof()) {
+    return Status::DataLoss("corrupt manifest entry: " + manifest_path);
+  }
+  return registry;
+}
+
+Status ModelRegistry::SaveManifest(const std::string& manifest_path) const {
+  AtomicFileWriter writer(manifest_path);
+  if (!writer.ok()) {
+    return Status::Internal("cannot open for write: " + writer.temp_path());
+  }
+  writer.stream() << kManifestMagic << ' ' << kManifestVersion << '\n';
+  for (const auto& [name, entry] : entries_) {
+    writer.stream() << name << ' ' << ModelKindName(entry.kind) << ' '
+                    << entry.path << '\n';
+  }
+  return writer.Commit();
+}
+
+std::vector<RegistryEntry> ModelRegistry::List() const {
+  std::vector<RegistryEntry> rows;
+  rows.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    rows.push_back(
+        RegistryEntry{name, entry.kind, entry.path, entry.IsLoaded()});
+  }
+  return rows;
+}
+
+Status ModelRegistry::Verify(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("model not registered: " + name);
+  }
+  obs::MetricsRegistry::Global()
+      .GetCounter("hlm.serve.verify_total")
+      ->Increment();
+  HLM_ASSIGN_OR_RETURN(SnapshotReader reader,
+                       SnapshotReader::Open(it->second.path));
+  if (reader.kind() != ModelKindName(it->second.kind)) {
+    return Status::InvalidArgument(
+        "snapshot kind '" + reader.kind() + "' does not match registered "
+        "kind '" + ModelKindName(it->second.kind) + "': " + it->second.path);
+  }
+  return Status::OK();
+}
+
+Result<ModelRegistry::Entry*> ModelRegistry::Resolve(const std::string& name,
+                                                     ModelKind kind) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("model not registered: " + name);
+  }
+  if (it->second.kind != kind) {
+    return Status::InvalidArgument(
+        "model '" + name + "' is registered as kind '" +
+        ModelKindName(it->second.kind) + "', requested '" +
+        ModelKindName(kind) + "'");
+  }
+  return &it->second;
+}
+
+size_t ModelRegistry::NumLoaded() const {
+  size_t loaded = 0;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.IsLoaded()) ++loaded;
+  }
+  return loaded;
+}
+
+Status ModelRegistry::TimedLoad(const std::string& name, ModelKind kind,
+                                const std::function<Status()>& load) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.GetCounter("hlm.serve.loads_total")->Increment();
+  Status status;
+  {
+    obs::TraceSpan span(std::string("serve.load.") + ModelKindName(kind),
+                        metrics.GetHistogram("hlm.serve.load_seconds"));
+    status = load();
+  }
+  if (!status.ok()) {
+    metrics.GetCounter("hlm.serve.load_errors_total")->Increment();
+    return status;
+  }
+  metrics.GetGauge("hlm.serve.models_loaded")
+      ->Set(static_cast<double>(NumLoaded()));
+  HLM_LOG(Info) << "serve: loaded " << ModelKindName(kind) << " model '"
+                << name << "' from snapshot";
+  return status;
+}
+
+Result<const models::LdaModel*> ModelRegistry::Lda(const std::string& name) {
+  HLM_ASSIGN_OR_RETURN(Entry* entry, Resolve(name, ModelKind::kLda));
+  if (entry->lda == nullptr) {
+    HLM_RETURN_IF_ERROR(TimedLoad(name, entry->kind, [entry]() -> Status {
+      HLM_ASSIGN_OR_RETURN(models::LdaModel model,
+                           models::LdaModel::LoadFromFile(entry->path));
+      entry->lda = std::make_unique<models::LdaModel>(std::move(model));
+      return Status::OK();
+    }));
+  }
+  return static_cast<const models::LdaModel*>(entry->lda.get());
+}
+
+Result<const models::LstmLanguageModel*> ModelRegistry::Lstm(
+    const std::string& name) {
+  HLM_ASSIGN_OR_RETURN(Entry* entry, Resolve(name, ModelKind::kLstm));
+  if (entry->lstm == nullptr) {
+    HLM_RETURN_IF_ERROR(TimedLoad(name, entry->kind, [entry]() -> Status {
+      HLM_ASSIGN_OR_RETURN(
+          std::unique_ptr<models::LstmLanguageModel> model,
+          models::LstmLanguageModel::LoadFromFile(entry->path));
+      entry->lstm = std::move(model);
+      return Status::OK();
+    }));
+  }
+  return static_cast<const models::LstmLanguageModel*>(entry->lstm.get());
+}
+
+Result<const models::BpmfModel*> ModelRegistry::Bpmf(const std::string& name) {
+  HLM_ASSIGN_OR_RETURN(Entry* entry, Resolve(name, ModelKind::kBpmf));
+  if (entry->bpmf == nullptr) {
+    HLM_RETURN_IF_ERROR(TimedLoad(name, entry->kind, [entry]() -> Status {
+      HLM_ASSIGN_OR_RETURN(models::BpmfModel model,
+                           models::BpmfModel::LoadFromFile(entry->path));
+      entry->bpmf = std::make_unique<models::BpmfModel>(std::move(model));
+      return Status::OK();
+    }));
+  }
+  return static_cast<const models::BpmfModel*>(entry->bpmf.get());
+}
+
+Result<const models::ConditionalHeavyHitters*> ModelRegistry::Chh(
+    const std::string& name) {
+  HLM_ASSIGN_OR_RETURN(Entry* entry, Resolve(name, ModelKind::kChh));
+  if (entry->chh == nullptr) {
+    HLM_RETURN_IF_ERROR(TimedLoad(name, entry->kind, [entry]() -> Status {
+      HLM_ASSIGN_OR_RETURN(
+          models::ConditionalHeavyHitters model,
+          models::ConditionalHeavyHitters::LoadFromFile(entry->path));
+      entry->chh = std::make_unique<models::ConditionalHeavyHitters>(
+          std::move(model));
+      return Status::OK();
+    }));
+  }
+  return static_cast<const models::ConditionalHeavyHitters*>(
+      entry->chh.get());
+}
+
+Result<const models::ApproximateChh*> ModelRegistry::ChhApprox(
+    const std::string& name) {
+  HLM_ASSIGN_OR_RETURN(Entry* entry, Resolve(name, ModelKind::kChhApprox));
+  if (entry->chh_approx == nullptr) {
+    HLM_RETURN_IF_ERROR(TimedLoad(name, entry->kind, [entry]() -> Status {
+      HLM_ASSIGN_OR_RETURN(models::ApproximateChh model,
+                           models::ApproximateChh::LoadFromFile(entry->path));
+      entry->chh_approx =
+          std::make_unique<models::ApproximateChh>(std::move(model));
+      return Status::OK();
+    }));
+  }
+  return static_cast<const models::ApproximateChh*>(entry->chh_approx.get());
+}
+
+Result<const models::NGramModel*> ModelRegistry::Ngram(
+    const std::string& name) {
+  HLM_ASSIGN_OR_RETURN(Entry* entry, Resolve(name, ModelKind::kNgram));
+  if (entry->ngram == nullptr) {
+    HLM_RETURN_IF_ERROR(TimedLoad(name, entry->kind, [entry]() -> Status {
+      HLM_ASSIGN_OR_RETURN(models::NGramModel model,
+                           models::NGramModel::LoadFromFile(entry->path));
+      entry->ngram = std::make_unique<models::NGramModel>(std::move(model));
+      return Status::OK();
+    }));
+  }
+  return static_cast<const models::NGramModel*>(entry->ngram.get());
+}
+
+Result<const std::vector<std::vector<double>>*> ModelRegistry::Representation(
+    const std::string& name) {
+  HLM_ASSIGN_OR_RETURN(Entry* entry,
+                       Resolve(name, ModelKind::kRepresentation));
+  if (entry->representation == nullptr) {
+    HLM_RETURN_IF_ERROR(TimedLoad(name, entry->kind, [entry]() -> Status {
+      HLM_ASSIGN_OR_RETURN(std::vector<std::vector<double>> rows,
+                           repr::LoadRepresentation(entry->path));
+      entry->representation =
+          std::make_unique<std::vector<std::vector<double>>>(std::move(rows));
+      return Status::OK();
+    }));
+  }
+  return static_cast<const std::vector<std::vector<double>>*>(
+      entry->representation.get());
+}
+
+}  // namespace hlm::serve

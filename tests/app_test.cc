@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "app/sales_tool.h"
 #include "corpus/generator.h"
 #include "corpus/integration.h"
 #include "repr/representation.h"
+#include "serve/registry.h"
 
 namespace hlm::app {
 namespace {
@@ -127,6 +131,64 @@ TEST(SalesToolTest, OutOfRangeQueryFails) {
   auto tool = MakeTool(world);
   EXPECT_FALSE(tool.RecommendProducts(-1, 5).ok());
   EXPECT_FALSE(tool.RecommendProducts(10000, 5).ok());
+}
+
+// Regression: a filter matching zero companies used to return OK with an
+// empty list, indistinguishable from "the prospect already owns
+// everything its peers own". It must be a distinct NotFound.
+TEST(SalesToolTest, ImpossibleFilterIsNotFoundNotEmpty) {
+  auto world = MakeSmallWorld();
+  auto tool = MakeTool(world);
+  CompanyFilter impossible;
+  impossible.country = "NO_SUCH_COUNTRY";
+  auto recs = tool.RecommendProducts(0, 5, impossible);
+  ASSERT_FALSE(recs.ok());
+  EXPECT_EQ(recs.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SalesToolTest, FromRegistryServesSnapshotRepresentations) {
+  auto world = MakeSmallWorld();
+  std::string path = ::testing::TempDir() + "/app_repr.snap";
+  ASSERT_TRUE(
+      repr::SaveRepresentation(world.truth.company_theta, path).ok());
+
+  serve::ModelRegistry registry;
+  ASSERT_TRUE(
+      registry.Register("reps", serve::ModelKind::kRepresentation, path)
+          .ok());
+  corpus::InternalDbOptions options;
+  options.client_fraction = 0.4;
+  corpus::InternalDatabase db =
+      SimulateInternalDatabase(world.corpus, options);
+  LinkInternalDatabase(world.corpus, &db, 0.88);
+
+  auto tool = SalesRecommendationTool::FromRegistry(&world.corpus, registry,
+                                                    "reps", db);
+  ASSERT_TRUE(tool.ok());
+  auto live = MakeTool(world);
+  auto from_snapshot = tool->FindSimilarCompanies(0, 5);
+  auto from_training = live.FindSimilarCompanies(0, 5);
+  ASSERT_TRUE(from_snapshot.ok());
+  ASSERT_TRUE(from_training.ok());
+  ASSERT_EQ(from_snapshot->size(), from_training->size());
+  for (size_t i = 0; i < from_snapshot->size(); ++i) {
+    EXPECT_EQ((*from_snapshot)[i].company_id,
+              (*from_training)[i].company_id);
+  }
+  std::remove(path.c_str());
+
+  // Row-count mismatch against the corpus is a FailedPrecondition.
+  std::string small = ::testing::TempDir() + "/app_repr_small.snap";
+  ASSERT_TRUE(repr::SaveRepresentation({{1.0}, {2.0}}, small).ok());
+  serve::ModelRegistry mismatched;
+  ASSERT_TRUE(
+      mismatched
+          .Register("reps", serve::ModelKind::kRepresentation, small)
+          .ok());
+  EXPECT_FALSE(SalesRecommendationTool::FromRegistry(&world.corpus,
+                                                     mismatched, "reps", db)
+                   .ok());
+  std::remove(small.c_str());
 }
 
 }  // namespace

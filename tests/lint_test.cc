@@ -261,12 +261,53 @@ TEST(LintFormatTest, DiagnosticFormatsAsFileLineRuleMessage) {
   EXPECT_EQ(FormatDiagnostic(diag), "src/x.cc:12: no-raw-rng: boom");
 }
 
-TEST(LintRuleListTest, AllSevenRulesAdvertised) {
+TEST(LintPersistWriteTest, FlagsOfstreamAndFopenInSrc) {
+  auto diags = LintContent("src/models/foo.cc", R"cpp(
+#include <fstream>
+void Save(const char* path) {
+  std::ofstream out(path);
+  FILE* f = fopen(path, "w");
+}
+)cpp");
+  EXPECT_EQ(CountRule(diags, "no-raw-persist-write"), 2);
+  EXPECT_EQ(diags[0].line, 4);
+  EXPECT_EQ(diags[1].line, 5);
+}
+
+TEST(LintPersistWriteTest, AtomicFileWriterImplementationIsExempt) {
+  const std::string body = "std::ofstream out_(temp_path_);\n";
+  EXPECT_TRUE(LintContent("src/common/atomic_file.cc", body).empty());
+  EXPECT_EQ(CountRule(LintContent("src/common/atomic_file.h", body),
+                      "no-raw-persist-write"),
+            0);
+  EXPECT_EQ(CountRule(LintContent("src/common/csv.cc", body),
+                      "no-raw-persist-write"),
+            1);
+}
+
+TEST(LintPersistWriteTest, ReadersAndNonSrcFilesAreFine) {
+  // std::ifstream never matches; tools/tests may write files directly.
+  EXPECT_TRUE(
+      LintContent("src/models/foo.cc", "std::ifstream in(path);\n").empty());
+  EXPECT_TRUE(
+      LintContent("tools/gen.cc", "std::ofstream out(path);\n").empty());
+}
+
+TEST(LintPersistWriteTest, AnnotationSuppresses) {
+  auto diags = LintContent("src/obs/sink.cc",
+                           "// hlm-lint: allow(no-raw-persist-write)\n"
+                           "std::ofstream out(path);\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintRuleListTest, AllEightRulesAdvertised) {
   std::vector<std::string> rules = RuleNames();
-  EXPECT_EQ(rules.size(), 7u);
+  EXPECT_EQ(rules.size(), 8u);
   EXPECT_NE(std::find(rules.begin(), rules.end(), "no-raw-rng"),
             rules.end());
   EXPECT_NE(std::find(rules.begin(), rules.end(), "include-order"),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "no-raw-persist-write"),
             rules.end());
 }
 

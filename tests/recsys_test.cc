@@ -292,5 +292,32 @@ TEST(SimilaritySearchTest, KLargerThanCorpusReturnsAll) {
   EXPECT_EQ(hits->size(), 2u);
 }
 
+// Regression: an empty index used to skip the dimensionality check
+// entirely, so a mismatched query silently returned an empty hit list.
+TEST(SimilaritySearchTest, EmptyIndexRejectsNonEmptyQueries) {
+  SimilaritySearch search({}, cluster::DistanceKind::kEuclidean);
+  EXPECT_EQ(search.dim(), 0);
+  auto hits = search.TopKForVector({1.0, 2.0}, 3);
+  ASSERT_FALSE(hits.ok());
+  EXPECT_NE(hits.status().message().find("dimensionality"),
+            std::string::npos);
+  // The zero-dimensional query matches the empty index: OK, no hits.
+  auto empty_query = search.TopKForVector({}, 3);
+  ASSERT_TRUE(empty_query.ok());
+  EXPECT_TRUE(empty_query->empty());
+}
+
+// Regression: ragged matrices were never validated, so queries computed
+// distances over rows of different widths.
+TEST(SimilaritySearchTest, RaggedMatrixPoisonsAllQueries) {
+  std::vector<std::vector<double>> ragged = {{0.0, 0.0}, {1.0}, {2.0, 2.0}};
+  SimilaritySearch search(ragged, cluster::DistanceKind::kEuclidean);
+  auto by_vector = search.TopKForVector({0.0, 0.0}, 2);
+  ASSERT_FALSE(by_vector.ok());
+  EXPECT_NE(by_vector.status().message().find("ragged"), std::string::npos);
+  // TopK routes through the same check even though row 0 itself is fine.
+  EXPECT_FALSE(search.TopK(0, 2).ok());
+}
+
 }  // namespace
 }  // namespace hlm::recsys

@@ -1,11 +1,19 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "corpus/generator.h"
 #include "math/rng.h"
+#include "models/bpmf.h"
+#include "models/chh.h"
 #include "models/lda.h"
 #include "models/lstm_lm.h"
+#include "models/ngram.h"
+#include "repr/representation.h"
+#include "serve/snapshot.h"
 
 namespace hlm::models {
 namespace {
@@ -84,6 +92,192 @@ TEST(LstmSerializationTest, RejectsCorruptFiles) {
   fclose(f);
   EXPECT_FALSE(LstmLanguageModel::LoadFromFile(path).ok());
   std::remove(path.c_str());
+}
+
+/// Rewrites `path` with `garbage` appended *inside* the payload (byte
+/// count and checksum updated to match), producing a container that is
+/// valid at the transport layer but carries unread trailing data — the
+/// case only the model parser's Finish() can reject.
+void AppendPayloadGarbage(const std::string& path,
+                          const std::string& garbage) {
+  std::ifstream in(path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  // Header = first 5 lines (magic, kind, kind_version, bytes, checksum).
+  size_t header_end = 0;
+  for (int line = 0; line < 5; ++line) {
+    header_end = content.find('\n', header_end) + 1;
+  }
+  std::string payload = content.substr(header_end) + garbage;
+  std::istringstream header(content.substr(0, header_end));
+  std::string magic, kind_field, kind, version_field;
+  int container_version = 0, kind_version = 0;
+  header >> magic >> container_version >> kind_field >> kind >>
+      version_field >> kind_version;
+  serve::SnapshotWriter writer(kind, kind_version);
+  writer.payload() << payload;
+  ASSERT_TRUE(writer.CommitToFile(path).ok());
+}
+
+TEST(LdaSerializationTest, RejectsTrailingGarbageAfterPayload) {
+  auto world = corpus::GenerateDefaultCorpus(120, 3);
+  LdaConfig config;
+  config.num_topics = 3;
+  LdaModel model(38, config);
+  ASSERT_TRUE(model.Train(world.corpus.Sequences()).ok());
+  std::string path = ::testing::TempDir() + "/lda_trailing.hlm";
+  ASSERT_TRUE(model.SaveToFile(path).ok());
+  ASSERT_TRUE(LdaModel::LoadFromFile(path).ok());
+
+  AppendPayloadGarbage(path, "\n999 999 999\n");
+  auto loaded = LdaModel::LoadFromFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("trailing garbage"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(LstmSerializationTest, RejectsTrailingGarbageAfterPayload) {
+  auto world = corpus::GenerateDefaultCorpus(60, 5);
+  LstmConfig config;
+  config.hidden_size = 8;
+  config.epochs = 1;
+  LstmLanguageModel model(38, config);
+  model.Train(world.corpus.Sequences(), {});
+  std::string path = ::testing::TempDir() + "/lstm_trailing.hlm";
+  ASSERT_TRUE(model.SaveToFile(path).ok());
+  ASSERT_TRUE(LstmLanguageModel::LoadFromFile(path).ok());
+
+  AppendPayloadGarbage(path, "\n0.5 0.5 0.5\n");
+  auto loaded = LstmLanguageModel::LoadFromFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("trailing garbage"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(BpmfSerializationTest, RoundTripIsBitIdentical) {
+  BpmfConfig config;
+  config.burn_in = 3;
+  config.samples = 5;
+  BpmfModel original(config);
+  std::vector<std::vector<double>> ratings = {
+      {1.0, 0.0, 1.0}, {0.0, 1.0, 0.0}, {1.0, 1.0, 0.0}, {0.0, 0.0, 1.0}};
+  ASSERT_TRUE(original.Train(ratings).ok());
+
+  std::string path = ::testing::TempDir() + "/bpmf_roundtrip.hlm";
+  ASSERT_TRUE(original.SaveToFile(path).ok());
+  auto restored = BpmfModel::LoadFromFile(path);
+  ASSERT_TRUE(restored.ok());
+
+  EXPECT_EQ(restored->num_rows(), original.num_rows());
+  EXPECT_EQ(restored->num_cols(), original.num_cols());
+  // Bit-identical inference: doubles are persisted at precision 17.
+  EXPECT_EQ(restored->AllScores(), original.AllScores());
+  for (int r = 0; r < original.num_rows(); ++r) {
+    for (int c = 0; c < original.num_cols(); ++c) {
+      EXPECT_EQ(restored->PredictScore(r, c), original.PredictScore(r, c));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BpmfSerializationTest, RejectsUntrainedAndCorrupt) {
+  BpmfModel untrained(BpmfConfig{});
+  EXPECT_FALSE(untrained.SaveToFile("/tmp/never").ok());
+  EXPECT_FALSE(BpmfModel::LoadFromFile("/nonexistent").ok());
+}
+
+TEST(ChhSerializationTest, ExactRoundTripIsBitIdentical) {
+  auto world = corpus::GenerateDefaultCorpus(150, 9);
+  ConditionalHeavyHitters original(world.corpus.num_categories(),
+                                   ChhConfig{});
+  original.Train(world.corpus.Sequences());
+
+  std::string path = ::testing::TempDir() + "/chh_roundtrip.hlm";
+  ASSERT_TRUE(original.SaveToFile(path).ok());
+  auto restored = ConditionalHeavyHitters::LoadFromFile(path);
+  ASSERT_TRUE(restored.ok());
+
+  for (const TokenSequence& history :
+       std::vector<TokenSequence>{{}, {0}, {3, 7}, {1, 2, 3}}) {
+    EXPECT_EQ(restored->NextProductDistribution(history),
+              original.NextProductDistribution(history));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ChhSerializationTest, ApproximateRoundTripContinuesStreaming) {
+  auto world = corpus::GenerateDefaultCorpus(150, 9);
+  auto sequences = world.corpus.Sequences();
+  ApproximateChh original(world.corpus.num_categories(), ChhConfig{},
+                          /*max_contexts=*/256, /*sketch_capacity=*/8);
+  original.Train(sequences);
+
+  std::string path = ::testing::TempDir() + "/chh_approx_roundtrip.hlm";
+  ASSERT_TRUE(original.SaveToFile(path).ok());
+  auto restored = ApproximateChh::LoadFromFile(path);
+  ASSERT_TRUE(restored.ok());
+
+  for (const TokenSequence& history :
+       std::vector<TokenSequence>{{}, {0}, {3, 7}, {1, 2, 3}}) {
+    EXPECT_EQ(restored->NextProductDistribution(history),
+              original.NextProductDistribution(history));
+  }
+  // Exact state restore: continued streaming matches a never-saved twin.
+  original.ObserveSequence(sequences[0]);
+  restored->ObserveSequence(sequences[0]);
+  EXPECT_EQ(restored->NextProductDistribution({sequences[0][0]}),
+            original.NextProductDistribution({sequences[0][0]}));
+  std::remove(path.c_str());
+}
+
+TEST(NgramSerializationTest, RoundTripIsBitIdentical) {
+  auto world = corpus::GenerateDefaultCorpus(150, 13);
+  NGramConfig config;
+  config.order = 3;
+  NGramModel original(world.corpus.num_categories(), config);
+  original.Train(world.corpus.Sequences());
+
+  std::string path = ::testing::TempDir() + "/ngram_roundtrip.hlm";
+  ASSERT_TRUE(original.SaveToFile(path).ok());
+  auto restored = NGramModel::LoadFromFile(path);
+  ASSERT_TRUE(restored.ok());
+
+  for (const TokenSequence& history :
+       std::vector<TokenSequence>{{}, {0}, {3, 7}, {1, 2, 3}}) {
+    EXPECT_EQ(restored->NextProductDistribution(history),
+              original.NextProductDistribution(history));
+  }
+  EXPECT_EQ(restored->NgramCount({0, 1}), original.NgramCount({0, 1}));
+  std::remove(path.c_str());
+}
+
+TEST(NgramSerializationTest, RejectsWrongKindSnapshot) {
+  // A valid container of the wrong kind must fail in ExpectKind.
+  std::string path = ::testing::TempDir() + "/ngram_wrong_kind.hlm";
+  serve::SnapshotWriter writer("lda", 1);
+  writer.payload() << "38 3\n";
+  ASSERT_TRUE(writer.CommitToFile(path).ok());
+  auto loaded = NGramModel::LoadFromFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("kind"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ReprSerializationTest, RoundTripIsBitIdenticalAndRejectsRagged) {
+  std::vector<std::vector<double>> rows = {{0.125, -3.5, 1e-17},
+                                           {7.25, 0.0, 2e300}};
+  std::string path = ::testing::TempDir() + "/repr_roundtrip.hlm";
+  ASSERT_TRUE(repr::SaveRepresentation(rows, path).ok());
+  auto restored = repr::LoadRepresentation(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, rows);
+  std::remove(path.c_str());
+
+  std::vector<std::vector<double>> ragged = {{1.0, 2.0}, {3.0}};
+  EXPECT_FALSE(repr::SaveRepresentation(ragged, path).ok());
 }
 
 }  // namespace

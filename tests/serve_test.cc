@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/atomic_file.h"
+#include "corpus/generator.h"
+#include "models/lda.h"
+#include "models/ngram.h"
+#include "obs/metrics.h"
+#include "repr/representation.h"
+#include "serve/registry.h"
+#include "serve/snapshot.h"
+
+namespace hlm::serve {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+}
+
+// ---------------------------------------------------------------------
+// AtomicFileWriter
+
+TEST(AtomicFileWriterTest, CommitReplacesTargetAtomically) {
+  std::string path = TempPath("atomic_commit.txt");
+  WriteAll(path, "old contents");
+  {
+    AtomicFileWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    writer.stream() << "new contents";
+    // Until Commit, the target still holds the old snapshot.
+    EXPECT_EQ(ReadAll(path), "old contents");
+    ASSERT_TRUE(writer.Commit().ok());
+  }
+  EXPECT_EQ(ReadAll(path), "new contents");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileWriterTest, AbortedWriteLeavesOldFileIntact) {
+  std::string path = TempPath("atomic_abort.txt");
+  WriteAll(path, "precious");
+  std::string temp_path;
+  {
+    // Mid-write failure: writer dies without Commit (crash stand-in).
+    AtomicFileWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    temp_path = writer.temp_path();
+    writer.stream() << "half-writ";
+  }
+  EXPECT_EQ(ReadAll(path), "precious");
+  // The temp file was cleaned up, not leaked.
+  std::ifstream leftover(temp_path);
+  EXPECT_FALSE(leftover.good());
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileWriterTest, DoubleCommitFails) {
+  std::string path = TempPath("atomic_double.txt");
+  AtomicFileWriter writer(path);
+  ASSERT_TRUE(writer.ok());
+  writer.stream() << "x";
+  EXPECT_TRUE(writer.Commit().ok());
+  EXPECT_FALSE(writer.Commit().ok());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Snapshot container
+
+TEST(SnapshotTest, RoundTripPreservesPayloadAndKind) {
+  std::string path = TempPath("snap_roundtrip.snap");
+  SnapshotWriter writer("demo", 3);
+  writer.payload() << "42 hello\n";
+  ASSERT_TRUE(writer.CommitToFile(path).ok());
+
+  auto reader = SnapshotReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->kind(), "demo");
+  EXPECT_EQ(reader->kind_version(), 3);
+  EXPECT_TRUE(reader->ExpectKind("demo", 3).ok());
+  EXPECT_FALSE(reader->ExpectKind("demo", 4).ok());
+  EXPECT_FALSE(reader->ExpectKind("other", 3).ok());
+  int value = 0;
+  std::string word;
+  reader->payload() >> value >> word;
+  EXPECT_EQ(value, 42);
+  EXPECT_EQ(word, "hello");
+  EXPECT_TRUE(reader->Finish().ok());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, RejectsWrongMagicTruncationChecksumAndTrailingBytes) {
+  std::string path = TempPath("snap_corrupt.snap");
+  SnapshotWriter writer("demo", 1);
+  writer.payload() << "payload data\n";
+  ASSERT_TRUE(writer.CommitToFile(path).ok());
+  const std::string good = ReadAll(path);
+
+  // Wrong magic.
+  WriteAll(path, "hlm-other 1\n" + good.substr(good.find('\n') + 1));
+  EXPECT_FALSE(SnapshotReader::Open(path).ok());
+
+  // Truncated payload.
+  WriteAll(path, good.substr(0, good.size() - 4));
+  auto truncated = SnapshotReader::Open(path);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_NE(truncated.status().message().find("truncated"),
+            std::string::npos);
+
+  // Trailing bytes after the payload.
+  WriteAll(path, good + "junk");
+  auto trailing = SnapshotReader::Open(path);
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_NE(trailing.status().message().find("trailing"),
+            std::string::npos);
+
+  // Flipped payload byte: checksum mismatch.
+  std::string flipped = good;
+  flipped[flipped.size() - 2] ^= 0x20;
+  WriteAll(path, flipped);
+  auto corrupted = SnapshotReader::Open(path);
+  ASSERT_FALSE(corrupted.ok());
+  EXPECT_NE(corrupted.status().message().find("checksum"),
+            std::string::npos);
+
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, FinishRejectsUnreadPayloadGarbage) {
+  std::string path = TempPath("snap_garbage.snap");
+  SnapshotWriter writer("demo", 1);
+  writer.payload() << "1 2 3\nunexpected trailing garbage\n";
+  ASSERT_TRUE(writer.CommitToFile(path).ok());
+
+  auto reader = SnapshotReader::Open(path);
+  ASSERT_TRUE(reader.ok());  // container itself is intact
+  int a = 0, b = 0, c = 0;
+  reader->payload() >> a >> b >> c;
+  Status finish = reader->Finish();
+  ASSERT_FALSE(finish.ok());
+  EXPECT_NE(finish.message().find("trailing garbage"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, Fnv1a64MatchesReferenceVectors) {
+  // Reference values for the 64-bit FNV-1a test vectors.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+// ---------------------------------------------------------------------
+// ModelRegistry
+
+TEST(ModelRegistryTest, RegisterValidatesNamesAndRejectsDuplicates) {
+  ModelRegistry registry;
+  EXPECT_TRUE(registry.Register("lda", ModelKind::kLda, "lda.snap").ok());
+  EXPECT_FALSE(registry.Register("lda", ModelKind::kLda, "x.snap").ok());
+  EXPECT_FALSE(registry.Register("", ModelKind::kLda, "x.snap").ok());
+  EXPECT_FALSE(registry.Register("bad name", ModelKind::kLda, "x.snap").ok());
+  EXPECT_FALSE(registry.Register("ok", ModelKind::kLda, "bad path").ok());
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(ModelRegistryTest, ManifestRoundTripResolvesRelativePaths) {
+  std::string manifest = TempPath("registry_manifest.txt");
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Register("a", ModelKind::kNgram, "a.snap").ok());
+  ASSERT_TRUE(
+      registry.Register("b", ModelKind::kRepresentation, "/abs/b.snap").ok());
+  ASSERT_TRUE(registry.SaveManifest(manifest).ok());
+
+  auto restored = ModelRegistry::FromManifest(manifest);
+  ASSERT_TRUE(restored.ok());
+  std::vector<RegistryEntry> entries = restored->List();
+  ASSERT_EQ(entries.size(), 2u);
+  // Relative paths re-anchor to the manifest's directory; absolute stay.
+  EXPECT_EQ(entries[0].name, "a");
+  EXPECT_EQ(entries[0].path, ::testing::TempDir() + "/a.snap");
+  EXPECT_EQ(entries[1].path, "/abs/b.snap");
+  EXPECT_FALSE(entries[0].loaded);
+  std::remove(manifest.c_str());
+}
+
+TEST(ModelRegistryTest, FromManifestRejectsCorruptManifests) {
+  EXPECT_FALSE(ModelRegistry::FromManifest("/nonexistent").ok());
+  std::string manifest = TempPath("bad_manifest.txt");
+  WriteAll(manifest, "not-a-registry 1\n");
+  EXPECT_FALSE(ModelRegistry::FromManifest(manifest).ok());
+  WriteAll(manifest, "hlm-registry 1\nname unknown-kind path\n");
+  EXPECT_FALSE(ModelRegistry::FromManifest(manifest).ok());
+  std::remove(manifest.c_str());
+}
+
+TEST(ModelRegistryTest, LazyLoadVerifyAndKindMismatch) {
+  obs::MetricsRegistry::Global().Reset();
+  // Real snapshots: a trained n-gram and a representation matrix.
+  auto world = corpus::GenerateDefaultCorpus(80, 11);
+  std::string ngram_path = TempPath("registry_ngram.snap");
+  models::NGramModel ngram(world.corpus.num_categories(),
+                           models::NGramConfig{});
+  ngram.Train(world.corpus.Sequences());
+  ASSERT_TRUE(ngram.SaveToFile(ngram_path).ok());
+
+  std::string repr_path = TempPath("registry_repr.snap");
+  std::vector<std::vector<double>> rows = {{1.0, 2.0}, {3.0, 4.0}};
+  ASSERT_TRUE(repr::SaveRepresentation(rows, repr_path).ok());
+
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Register("ngram", ModelKind::kNgram, ngram_path).ok());
+  ASSERT_TRUE(
+      registry.Register("repr", ModelKind::kRepresentation, repr_path).ok());
+
+  // Verify is container-level and does not load.
+  EXPECT_TRUE(registry.Verify("ngram").ok());
+  EXPECT_FALSE(registry.Verify("missing").ok());
+  EXPECT_FALSE(registry.List()[0].loaded);
+
+  // Wrong-kind access fails without touching the file.
+  EXPECT_FALSE(registry.Lda("ngram").ok());
+  EXPECT_FALSE(registry.Ngram("missing").ok());
+
+  // Lazy load: first access parses, second returns the same pointer.
+  auto first = registry.Ngram("ngram");
+  ASSERT_TRUE(first.ok());
+  auto second = registry.Ngram("ngram");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+  EXPECT_EQ((*first)->NextProductDistribution({0}),
+            ngram.NextProductDistribution({0}));
+
+  auto loaded_rows = registry.Representation("repr");
+  ASSERT_TRUE(loaded_rows.ok());
+  EXPECT_EQ(**loaded_rows, rows);
+
+  // hlm.serve.* metrics recorded the two loads.
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snapshot.counters.at("hlm.serve.loads_total"), 2);
+  EXPECT_EQ(snapshot.gauges.at("hlm.serve.models_loaded"), 2.0);
+
+  // A registered-as-wrong-kind snapshot fails Verify with a kind error.
+  ModelRegistry mislabeled;
+  ASSERT_TRUE(mislabeled.Register("x", ModelKind::kLda, ngram_path).ok());
+  Status verify = mislabeled.Verify("x");
+  ASSERT_FALSE(verify.ok());
+  EXPECT_NE(verify.message().find("kind"), std::string::npos);
+
+  std::remove(ngram_path.c_str());
+  std::remove(repr_path.c_str());
+}
+
+TEST(ModelRegistryTest, LoadErrorsAreCountedAndReported) {
+  obs::MetricsRegistry::Global().Reset();
+  std::string path = TempPath("registry_broken.snap");
+  WriteAll(path, "broken");
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Register("bad", ModelKind::kNgram, path).ok());
+  EXPECT_FALSE(registry.Verify("bad").ok());
+  EXPECT_FALSE(registry.Ngram("bad").ok());
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snapshot.counters.at("hlm.serve.load_errors_total"), 1);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hlm::serve

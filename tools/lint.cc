@@ -360,6 +360,27 @@ void CheckUnorderedIteration(const RuleContext& ctx,
   }
 }
 
+void CheckRawPersistWrite(const RuleContext& ctx) {
+  if (!StartsWith(*ctx.relpath, "src/")) return;
+  // The one place allowed to open a file for writing: the temp-file +
+  // rename primitive everything else is supposed to go through.
+  if (*ctx.relpath == "src/common/atomic_file.cc" ||
+      *ctx.relpath == "src/common/atomic_file.h") {
+    return;
+  }
+  for (size_t i = 0; i < ctx.code_lines->size(); ++i) {
+    const std::string& line = (*ctx.code_lines)[i];
+    const int ln = static_cast<int>(i) + 1;
+    if (line.find("std::ofstream") != std::string::npos ||
+        HasTokenThen(line, "fopen", '(')) {
+      Report(ctx, ln, "no-raw-persist-write",
+             "direct file write in library code; persist through "
+             "AtomicFileWriter so a crash mid-write cannot truncate the "
+             "file readers depend on");
+    }
+  }
+}
+
 void CheckHeaderGuard(const RuleContext& ctx) {
   if (!EndsWith(*ctx.relpath, ".h")) return;
   const std::string expected = ExpectedGuard(*ctx.relpath);
@@ -438,9 +459,9 @@ void CheckIncludeOrder(const RuleContext& ctx) {
 }  // namespace
 
 std::vector<std::string> RuleNames() {
-  return {"no-raw-rng",     "no-wall-clock", "no-raw-thread",
+  return {"no-raw-rng",      "no-wall-clock",  "no-raw-thread",
           "no-stdio-output", "unordered-iter", "header-guard",
-          "include-order"};
+          "include-order",   "no-raw-persist-write"};
 }
 
 std::set<std::string> CollectUnorderedNames(const std::string& content) {
@@ -509,6 +530,7 @@ std::vector<Diagnostic> LintContent(
   unordered_names.insert(extra_unordered_names.begin(),
                          extra_unordered_names.end());
   CheckUnorderedIteration(ctx, unordered_names);
+  CheckRawPersistWrite(ctx);
   CheckHeaderGuard(ctx);
   CheckIncludeOrder(ctx);
 

@@ -44,6 +44,13 @@ struct Diagnostic {
 ///                    (src/foo/bar.h -> HLM_FOO_BAR_H_).
 ///   include-order    Within each contiguous #include block, quoted
 ///                    includes and angle includes must each be sorted.
+///   no-raw-persist-write
+///                    std::ofstream / fopen() in src/ outside
+///                    src/common/atomic_file.{h,cc}. Persistence goes
+///                    through AtomicFileWriter (temp file + rename) so
+///                    a crash mid-write can never truncate a snapshot;
+///                    read-only std::ifstream is fine. Non-snapshot
+///                    sinks (trace export, CSV reports) annotate.
 ///
 /// A finding on line N is suppressed by `// hlm-lint: allow(<rule>)` on
 /// line N or line N-1.
