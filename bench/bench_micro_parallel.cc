@@ -61,6 +61,7 @@ std::vector<int> ThreadCounts() {
 
 std::string ToJson(const std::vector<Workload>& workloads) {
   std::string out = "{\n";
+  out += "  \"run_id\": \"" + bench::RunId() + "\",\n";
   out += "  \"host_cores\": " +  // hlm-lint: allow(no-raw-thread)
          std::to_string(std::thread::hardware_concurrency()) + ",\n";
   out += "  \"workloads\": [\n";

@@ -22,9 +22,13 @@ namespace {
 // every harness gets machine-readable output without per-bench plumbing.
 std::string g_metrics_out_path;  // NOLINT(runtime/string)
 std::string g_trace_out_path;    // NOLINT(runtime/string)
+std::string g_run_id;            // NOLINT(runtime/string)
 
 void WriteObservabilityOutputs() {
   if (!g_metrics_out_path.empty()) {
+    // Fold the per-phase resource profile into the meta section so the
+    // snapshot carries CPU/RSS cost next to the walltime breakdown.
+    obs::ResourceProfiler::Global().AttachTo(&obs::MetricsRegistry::Global());
     obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
     // Surface each bench phase's total wall time in the meta header so
     // JSON consumers get the per-phase breakdown without digging through
@@ -69,10 +73,13 @@ void WriteObservabilityOutputs() {
 }  // namespace
 
 ScopedPhase::ScopedPhase(const std::string& name)
-    : span_(name,
+    : resources_(name),
+      span_(name,
             obs::MetricsRegistry::Global().GetHistogram(
                 "hlm.bench." + name + "_seconds"),
             "bench") {}
+
+const std::string& RunId() { return g_run_id; }
 
 BenchEnv MakeEnv(int argc, char** argv, FlagSet* flags,
                  long long default_companies) {
@@ -123,7 +130,19 @@ BenchEnv MakeEnv(int argc, char** argv, FlagSet* flags,
     std::atexit(WriteObservabilityOutputs);
   }
   if (threads > 0) SetNumThreads(static_cast<int>(threads));
+  // One deterministic id per (harness, seed, companies, threads)
+  // configuration: reruns of the same config share it, so metrics,
+  // trace, and bench JSON from one run are joinable offline.
+  std::string harness = argc > 0 && argv[0] != nullptr ? argv[0] : "bench";
+  size_t slash = harness.find_last_of('/');
+  if (slash != std::string::npos) harness = harness.substr(slash + 1);
+  g_run_id = obs::ComputeRunId({harness, std::to_string(seed),
+                                std::to_string(companies),
+                                std::to_string(NumThreads())});
+  obs::TraceRecorder::Global().SetRunId(g_run_id);
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.SetMeta("run_id", g_run_id);
+  metrics.SetMeta("harness", harness);
   metrics.GetGauge("hlm.bench.companies")
       ->Set(static_cast<double>(companies));
   metrics.GetGauge("hlm.bench.seed")->Set(static_cast<double>(seed));

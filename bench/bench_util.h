@@ -9,6 +9,7 @@
 #include "corpus/generator.h"
 #include "models/model.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace hlm::bench {
@@ -44,16 +45,29 @@ struct BenchEnv {
 BenchEnv MakeEnv(int argc, char** argv, FlagSet* flags,
                  long long default_companies = 1200);
 
-/// RAII bench phase marker: opens a trace span and records the phase's
-/// wall time into the histogram "hlm.bench.<name>_seconds", so each
-/// harness's per-phase breakdown lands in the --metrics_out JSON.
+/// RAII bench phase marker: opens a trace span, records the phase's
+/// wall time into the histogram "hlm.bench.<name>_seconds", and
+/// attributes the phase's resource cost (CPU seconds, RSS growth,
+/// context switches) to the global ResourceProfiler — so each
+/// harness's per-phase breakdown lands in the --metrics_out JSON as
+/// both a latency distribution and a "profile.<name>.*" meta block.
 class ScopedPhase {
  public:
   explicit ScopedPhase(const std::string& name);
 
  private:
+  // Declaration order matters: resources_ destructs after span_, so the
+  // resource delta covers at least the traced interval.
+  obs::ScopedResourcePhase resources_;
   obs::TraceSpan span_;
 };
+
+/// The deterministic run id MakeEnv derived for this process (see
+/// obs::ComputeRunId): a digest of harness name, seed, companies, and
+/// thread count. Threaded into the metrics meta section, the trace
+/// export, and any harness-specific BENCH_*.json, so the three outputs
+/// of one run can be joined offline. Empty before MakeEnv runs.
+const std::string& RunId();
 
 /// Sequences of a corpus truncated to history before `cutoff`.
 std::vector<models::TokenSequence> TruncatedSequences(

@@ -89,6 +89,31 @@ else
   echo "ok (grep-level check; python3 not found)"
 fi
 
+echo "== tier1: bench regression check (smoke suite) =="
+# Deterministic metric values must match the committed baseline exactly;
+# walltimes get a loose budget (3x + 0.25s) because the committed
+# baseline was recorded on a different machine.
+"$BUILD_DIR/tools/hlm_bench" --suite smoke --out none --check \
+  --baseline "$REPO_ROOT/bench/baselines/smoke.json" \
+  --walltime_tolerance 3.0 --walltime_slack 0.25
+
+echo "== tier1: bench regression self-test (injected 2x slowdown) =="
+# Prove the checker actually fires: record a fresh same-machine baseline,
+# then rerun with every phase stretched 2x. Against a same-machine
+# baseline a tight budget (1.2x + 2ms) is reliable, and the injected run
+# must exceed it.
+SELFTEST_BASELINE="$(mktemp /tmp/hlm_tier1_bench_baseline.XXXXXX.json)"
+CLEANUP_PATHS+=("$SELFTEST_BASELINE")
+"$BUILD_DIR/tools/hlm_bench" --suite smoke --out none \
+  --update_baseline --baseline "$SELFTEST_BASELINE" >/dev/null
+if "$BUILD_DIR/tools/hlm_bench" --suite smoke --out none --check \
+    --baseline "$SELFTEST_BASELINE" --inject_slowdown 2 \
+    --walltime_tolerance 1.2 --walltime_slack 0.002 >/dev/null 2>&1; then
+  echo "hlm_bench --check missed an injected 2x slowdown" >&2
+  exit 1
+fi
+echo "ok: clean check passes, injected slowdown flagged"
+
 echo "== tier1: snapshot save + verify roundtrip =="
 SNAP_DIR="$(mktemp -d /tmp/hlm_tier1_snap.XXXXXX)"
 CLEANUP_PATHS+=("$SNAP_DIR")

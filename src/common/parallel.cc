@@ -204,7 +204,7 @@ void ParallelForChunked(size_t begin, size_t end, size_t grain,
   const size_t num_chunks = (n + chunk_size - 1) / chunk_size;
 
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
-  metrics.GetCounter("hlm.parallel.tasks")
+  metrics.GetCounter("hlm.parallel.tasks_total")
       ->Increment(static_cast<long long>(num_chunks));
   metrics.GetCounter("hlm.parallel.regions_total")->Increment();
   metrics.GetGauge("hlm.parallel.pool_threads")

@@ -1,0 +1,105 @@
+#include "obs/json.h"
+
+#include <cstdio>
+
+namespace hlm::obs {
+
+std::string JsonQuote(const std::string& raw) {
+  std::string out = "\"";
+  for (char c : raw) {
+    unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (u < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", u);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string JsonUnescape(const std::string& escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    char c = escaped[i];
+    if (c != '\\' || i + 1 >= escaped.size()) {
+      out.push_back(c);
+      continue;
+    }
+    char next = escaped[++i];
+    switch (next) {
+      case 'b':
+        out.push_back('\b');
+        break;
+      case 'f':
+        out.push_back('\f');
+        break;
+      case 'n':
+        out.push_back('\n');
+        break;
+      case 'r':
+        out.push_back('\r');
+        break;
+      case 't':
+        out.push_back('\t');
+        break;
+      case 'u': {
+        unsigned value = 0;
+        bool valid = i + 4 < escaped.size();
+        for (size_t d = 1; valid && d <= 4; ++d) {
+          char h = escaped[i + d];
+          value <<= 4;
+          if (h >= '0' && h <= '9') {
+            value |= static_cast<unsigned>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            value |= static_cast<unsigned>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            value |= static_cast<unsigned>(h - 'A' + 10);
+          } else {
+            valid = false;
+          }
+        }
+        if (valid) {
+          i += 4;
+          out.push_back(value <= 0xFF ? static_cast<char>(value) : '?');
+        } else {
+          out.push_back('u');
+        }
+        break;
+      }
+      default:
+        // Covers \" \\ \/ and keeps unknown escapes readable.
+        out.push_back(next);
+    }
+  }
+  return out;
+}
+
+}  // namespace hlm::obs

@@ -1,0 +1,23 @@
+#ifndef HLM_OBS_JSON_H_
+#define HLM_OBS_JSON_H_
+
+#include <string>
+
+namespace hlm::obs {
+
+/// `raw` as a JSON string literal, quotes included. Escapes `"`, `\`,
+/// and every control character below 0x20 (named escapes for \b \f \n
+/// \r \t, \u00XX otherwise), so arbitrary span/metric names can never
+/// corrupt an exported document. Shared by the metrics and trace
+/// exporters; use this instead of hand-rolling quoting.
+std::string JsonQuote(const std::string& raw);
+
+/// Inverse of JsonQuote's escaping for the payload between the quotes:
+/// decodes \" \\ \/ \b \f \n \r \t and \u00XX (code points above 0xFF
+/// are replaced with '?'; this codebase emits none). Unknown escapes
+/// keep the escaped character verbatim.
+std::string JsonUnescape(const std::string& escaped);
+
+}  // namespace hlm::obs
+
+#endif  // HLM_OBS_JSON_H_

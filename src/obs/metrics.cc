@@ -7,6 +7,8 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "obs/json.h"
+#include "obs/percentiles.h"
 
 namespace hlm::obs {
 
@@ -42,16 +44,6 @@ std::string FormatNumber(double value) {
   out.precision(17);
   out << value;
   return out.str();
-}
-
-std::string QuoteJson(const std::string& raw) {
-  std::string out = "\"";
-  for (char c : raw) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  out.push_back('"');
-  return out;
 }
 
 }  // namespace
@@ -107,7 +99,7 @@ std::vector<double> ExponentialBuckets(double start, double factor,
   return bounds;
 }
 
-const std::vector<double>& DefaultTimingBuckets() {
+const std::vector<double>& DefaultLatencyBounds() {
   // 1e-5 s .. ~335 s in 25 x2 steps: covers a Gibbs token update through
   // a full multi-minute training run.
   static const std::vector<double> kBuckets =
@@ -177,15 +169,15 @@ std::string MetricsSnapshot::ToJson() const {
   out << "{\n  \"meta\": {";
   bool first = true;
   for (const auto& [name, value] : meta) {
-    out << (first ? "\n" : ",\n") << "    " << QuoteJson(name) << ": "
-        << QuoteJson(value);
+    out << (first ? "\n" : ",\n") << "    " << JsonQuote(name) << ": "
+        << JsonQuote(value);
     first = false;
   }
   out << (first ? "},\n" : "\n  },\n");
   out << "  \"counters\": {";
   first = true;
   for (const auto& [name, value] : counters) {
-    out << (first ? "\n" : ",\n") << "    " << QuoteJson(name) << ": "
+    out << (first ? "\n" : ",\n") << "    " << JsonQuote(name) << ": "
         << value;
     first = false;
   }
@@ -193,7 +185,7 @@ std::string MetricsSnapshot::ToJson() const {
   out << "  \"gauges\": {";
   first = true;
   for (const auto& [name, value] : gauges) {
-    out << (first ? "\n" : ",\n") << "    " << QuoteJson(name) << ": "
+    out << (first ? "\n" : ",\n") << "    " << JsonQuote(name) << ": "
         << FormatNumber(value);
     first = false;
   }
@@ -201,12 +193,16 @@ std::string MetricsSnapshot::ToJson() const {
   out << "  \"histograms\": {";
   first = true;
   for (const auto& [name, h] : histograms) {
-    out << (first ? "\n" : ",\n") << "    " << QuoteJson(name) << ": {\n";
+    out << (first ? "\n" : ",\n") << "    " << JsonQuote(name) << ": {\n";
     out << "      \"count\": " << h.count << ",\n";
     out << "      \"sum\": " << FormatNumber(h.sum) << ",\n";
     out << "      \"min\": " << FormatNumber(h.min) << ",\n";
     out << "      \"max\": " << FormatNumber(h.max) << ",\n";
     out << "      \"mean\": " << FormatNumber(h.Mean()) << ",\n";
+    PercentileSummary pct = SummarizePercentiles(h);
+    out << "      \"p50\": " << FormatNumber(pct.p50) << ",\n";
+    out << "      \"p90\": " << FormatNumber(pct.p90) << ",\n";
+    out << "      \"p99\": " << FormatNumber(pct.p99) << ",\n";
     out << "      \"bounds\": [";
     for (size_t i = 0; i < h.bounds.size(); ++i) {
       if (i > 0) out << ", ";
@@ -246,8 +242,10 @@ std::string MetricsSnapshot::ToText() const {
         << value << "\n";
   }
   for (const auto& [name, h] : histograms) {
+    PercentileSummary pct = SummarizePercentiles(h);
     out << name << std::string(width - name.size(), ' ')
         << "  histo    count=" << h.count << " mean=" << h.Mean()
+        << " p50=" << pct.p50 << " p90=" << pct.p90 << " p99=" << pct.p99
         << " min=" << h.min << " max=" << h.max << " sum=" << h.sum << "\n";
   }
   return out.str();
@@ -256,7 +254,7 @@ std::string MetricsSnapshot::ToText() const {
 namespace {
 
 /// Recursive-descent parser for the exact JSON subset ToJson emits
-/// (objects, arrays, strings without escapes beyond \" and \\, numbers).
+/// (objects, arrays, strings with JsonQuote's escapes, numbers).
 class JsonParser {
  public:
   explicit JsonParser(const std::string& text) : text_(text) {}
@@ -278,13 +276,18 @@ class JsonParser {
 
   Result<std::string> ParseString() {
     HLM_RETURN_IF_ERROR(Expect('"'));
-    std::string out;
+    std::string escaped;
     while (pos_ < text_.size() && text_[pos_] != '"') {
-      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
-      out.push_back(text_[pos_++]);
+      escaped.push_back(text_[pos_]);
+      // Keep escape pairs intact so an escaped quote cannot terminate.
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+        escaped.push_back(text_[pos_ + 1]);
+        ++pos_;
+      }
+      ++pos_;
     }
     HLM_RETURN_IF_ERROR(Expect('"'));
-    return out;
+    return JsonUnescape(escaped);
   }
 
   Result<double> ParseNumber() {
@@ -401,7 +404,7 @@ Result<MetricsSnapshot> MetricsSnapshot::FromJson(const std::string& json) {
             h.min = v;
           } else if (field == "max") {
             h.max = v;
-          }  // "mean" is derived; ignore.
+          }  // "mean"/"p50"/"p90"/"p99" are derived; ignore.
           return Status::OK();
         }));
         snapshot.histograms[name] = std::move(h);

@@ -92,13 +92,20 @@ class Histogram {
 };
 
 /// `count` log-spaced upper bounds starting at `start`, each `factor`
-/// apart. The default timing buckets cover 10 microseconds .. ~5 minutes.
+/// apart. The default latency bounds cover 10 microseconds .. ~5 minutes.
 std::vector<double> ExponentialBuckets(double start, double factor,
                                        int count);
-const std::vector<double>& DefaultTimingBuckets();
+/// The one shared bucket layout for every `_seconds` histogram in the
+/// process. Call sites must not hand-write their own timing bounds:
+/// identical layouts are what make percentile exports and baseline
+/// comparisons line up across subsystems.
+const std::vector<double>& DefaultLatencyBounds();
 
 /// Point-in-time copy of every metric in a registry, exportable as JSON
 /// (machine-readable, the format behind BENCH_*.json) or aligned text.
+/// Both exports derive p50/p90/p99 for every histogram (interpolated,
+/// see obs/percentiles.h), so each `_seconds` histogram reads as a
+/// latency distribution rather than a bucket dump.
 struct MetricsSnapshot {
   /// Free-form run context (threads, host cores, bench phase timings...)
   /// emitted as a "meta" JSON section so consumers can interpret the
@@ -137,7 +144,7 @@ class MetricsRegistry {
   /// (the bounds argument is then ignored).
   Histogram* GetHistogram(
       const std::string& name,
-      const std::vector<double>& bounds = DefaultTimingBuckets());
+      const std::vector<double>& bounds = DefaultLatencyBounds());
 
   MetricsSnapshot Snapshot() const;
 

@@ -1,0 +1,56 @@
+#include "obs/percentiles.h"
+
+#include <algorithm>
+
+namespace hlm::obs {
+
+double Quantile(const HistogramSnapshot& histogram, double q) {
+  if (histogram.count <= 0) return 0.0;
+  // Hand-built snapshots (e.g. parsed from a foreign JSON) may lack the
+  // bucket layout; the max is the only defensible point estimate then.
+  if (histogram.bounds.empty() || histogram.bucket_counts.empty()) {
+    return histogram.max;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(histogram.count);
+
+  long long cumulative = 0;
+  const size_t buckets = histogram.bucket_counts.size();
+  for (size_t i = 0; i < buckets; ++i) {
+    const long long in_bucket = histogram.bucket_counts[i];
+    if (in_bucket <= 0) continue;
+    const long long before = cumulative;
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) < rank) continue;
+
+    double lower;
+    double upper;
+    if (i == 0) {
+      lower = std::min(histogram.min, histogram.bounds.front());
+      upper = histogram.bounds.front();
+    } else if (i < histogram.bounds.size()) {
+      lower = histogram.bounds[i - 1];
+      upper = histogram.bounds[i];
+    } else {  // overflow bucket: everything above the last bound
+      lower = histogram.bounds.back();
+      upper = std::max(histogram.max, lower);
+    }
+    const double fraction =
+        (rank - static_cast<double>(before)) / static_cast<double>(in_bucket);
+    const double value = lower + (upper - lower) * fraction;
+    return std::clamp(value, histogram.min, histogram.max);
+  }
+  // Rounding pushed the rank past the last populated bucket (q ~ 1).
+  return histogram.max;
+}
+
+PercentileSummary SummarizePercentiles(const HistogramSnapshot& histogram) {
+  PercentileSummary summary;
+  summary.p50 = Quantile(histogram, 0.50);
+  summary.p90 = Quantile(histogram, 0.90);
+  summary.p99 = Quantile(histogram, 0.99);
+  summary.max = histogram.max;
+  return summary;
+}
+
+}  // namespace hlm::obs

@@ -1,0 +1,40 @@
+#ifndef HLM_OBS_PERCENTILES_H_
+#define HLM_OBS_PERCENTILES_H_
+
+#include "obs/metrics.h"
+
+namespace hlm::obs {
+
+/// Interpolated quantile estimate over a fixed-bucket histogram
+/// snapshot (the classic Prometheus histogram_quantile scheme, tightened
+/// with the observed min/max):
+///
+///   - The target rank is q * count. The estimate walks the cumulative
+///     bucket counts to the bucket containing that rank and linearly
+///     interpolates inside it.
+///   - The first bucket interpolates from the observed min (not from 0),
+///     and the overflow bucket from the last bound to the observed max,
+///     so single-bucket and overflow-heavy histograms stay finite and
+///     tight instead of degrading to bucket edges.
+///   - The result is clamped to [min, max]; an empty histogram returns
+///     0.0 (matching HistogramSnapshot's empty min/max convention).
+///
+/// `q` is clamped to [0, 1]. Accuracy is bounded by bucket width — with
+/// the default x2 log-spaced latency bounds the estimate is within a
+/// factor of 2 of the true quantile, which is what a regression gate
+/// needs, not exact order statistics.
+double Quantile(const HistogramSnapshot& histogram, double q);
+
+/// The standard latency summary exported for every `_seconds` histogram.
+struct PercentileSummary {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+PercentileSummary SummarizePercentiles(const HistogramSnapshot& histogram);
+
+}  // namespace hlm::obs
+
+#endif  // HLM_OBS_PERCENTILES_H_

@@ -1,0 +1,167 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#define HLM_HAVE_GETRUSAGE 1
+#endif
+
+namespace hlm::obs {
+
+namespace {
+
+std::string FormatSeconds(double seconds) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", seconds);
+  return buffer;
+}
+
+#if defined(HLM_HAVE_GETRUSAGE)
+double TimevalSeconds(const timeval& tv) {
+  return static_cast<double>(tv.tv_sec) +
+         static_cast<double>(tv.tv_usec) * 1e-6;
+}
+#endif
+
+long long CurrentRssKb() {
+#if defined(__linux__)
+  // statm field 2 is resident pages; read-only, no fopen/ofstream.
+  std::ifstream statm("/proc/self/statm");
+  long long total_pages = 0;
+  long long resident_pages = 0;
+  if (statm >> total_pages >> resident_pages) {
+    long long page_kb = sysconf(_SC_PAGESIZE) / 1024;
+    return resident_pages * std::max(1LL, page_kb);
+  }
+#endif
+  return 0;
+}
+
+}  // namespace
+
+ResourceSample SampleResources() {
+  ResourceSample sample;
+#if defined(HLM_HAVE_GETRUSAGE)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    sample.user_cpu_seconds = TimevalSeconds(usage.ru_utime);
+    sample.system_cpu_seconds = TimevalSeconds(usage.ru_stime);
+#if defined(__APPLE__)
+    sample.peak_rss_kb = usage.ru_maxrss / 1024;  // bytes on macOS
+#else
+    sample.peak_rss_kb = usage.ru_maxrss;  // kilobytes on Linux
+#endif
+    sample.voluntary_ctx_switches = usage.ru_nvcsw;
+    sample.involuntary_ctx_switches = usage.ru_nivcsw;
+  }
+#endif
+  sample.current_rss_kb = CurrentRssKb();
+  return sample;
+}
+
+ResourceProfiler& ResourceProfiler::Global() {
+  static ResourceProfiler* profiler = new ResourceProfiler();
+  return *profiler;
+}
+
+void ResourceProfiler::RecordPhase(const std::string& name,
+                                   const PhaseResources& delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PhaseResources& total = phases_[name];
+  total.wall_seconds += delta.wall_seconds;
+  total.user_cpu_seconds += delta.user_cpu_seconds;
+  total.system_cpu_seconds += delta.system_cpu_seconds;
+  total.peak_rss_delta_kb += delta.peak_rss_delta_kb;
+  total.peak_rss_kb = delta.peak_rss_kb;        // latest absolute reading
+  total.current_rss_kb = delta.current_rss_kb;  // latest absolute reading
+  total.voluntary_ctx_switches += delta.voluntary_ctx_switches;
+  total.involuntary_ctx_switches += delta.involuntary_ctx_switches;
+}
+
+std::map<std::string, PhaseResources> ResourceProfiler::Phases() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return phases_;
+}
+
+void ResourceProfiler::AttachTo(MetricsRegistry* registry) const {
+  for (const auto& [name, phase] : Phases()) {
+    const std::string prefix = "profile." + name + ".";
+    registry->SetMeta(prefix + "wall_seconds",
+                      FormatSeconds(phase.wall_seconds));
+    registry->SetMeta(prefix + "user_cpu_seconds",
+                      FormatSeconds(phase.user_cpu_seconds));
+    registry->SetMeta(prefix + "system_cpu_seconds",
+                      FormatSeconds(phase.system_cpu_seconds));
+    registry->SetMeta(prefix + "peak_rss_delta_kb",
+                      std::to_string(phase.peak_rss_delta_kb));
+    registry->SetMeta(prefix + "peak_rss_kb",
+                      std::to_string(phase.peak_rss_kb));
+    registry->SetMeta(prefix + "current_rss_kb",
+                      std::to_string(phase.current_rss_kb));
+    registry->SetMeta(prefix + "voluntary_ctx_switches",
+                      std::to_string(phase.voluntary_ctx_switches));
+    registry->SetMeta(prefix + "involuntary_ctx_switches",
+                      std::to_string(phase.involuntary_ctx_switches));
+  }
+}
+
+void ResourceProfiler::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  phases_.clear();
+}
+
+ScopedResourcePhase::ScopedResourcePhase(std::string name,
+                                         ResourceProfiler* profiler)
+    : name_(std::move(name)),
+      profiler_(profiler != nullptr ? profiler : &ResourceProfiler::Global()),
+      start_(SampleResources()),
+      start_time_(std::chrono::steady_clock::now()) {}
+
+ScopedResourcePhase::~ScopedResourcePhase() {
+  ResourceSample end = SampleResources();
+  std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - start_time_;
+  PhaseResources delta;
+  delta.wall_seconds = wall.count();
+  // max(0, ...) guards against clock/counter quirks so the documented
+  // non-negativity of delta fields holds unconditionally.
+  delta.user_cpu_seconds =
+      std::max(0.0, end.user_cpu_seconds - start_.user_cpu_seconds);
+  delta.system_cpu_seconds =
+      std::max(0.0, end.system_cpu_seconds - start_.system_cpu_seconds);
+  delta.peak_rss_delta_kb =
+      std::max(0LL, end.peak_rss_kb - start_.peak_rss_kb);
+  delta.peak_rss_kb = end.peak_rss_kb;
+  delta.current_rss_kb = end.current_rss_kb;
+  delta.voluntary_ctx_switches =
+      std::max(0LL, end.voluntary_ctx_switches -
+                        start_.voluntary_ctx_switches);
+  delta.involuntary_ctx_switches =
+      std::max(0LL, end.involuntary_ctx_switches -
+                        start_.involuntary_ctx_switches);
+  profiler_->RecordPhase(name_, delta);
+}
+
+std::string ComputeRunId(const std::vector<std::string>& components) {
+  // FNV-1a 64-bit over the components with a separator that cannot
+  // appear in flag values, so ("ab","c") != ("a","bc").
+  uint64_t hash = 1469598103934665603ULL;
+  auto mix = [&hash](char c) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  };
+  for (const std::string& component : components) {
+    for (char c : component) mix(c);
+    mix('\x1f');
+  }
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buffer;
+}
+
+}  // namespace hlm::obs

@@ -1,0 +1,100 @@
+#ifndef HLM_OBS_PROFILER_H_
+#define HLM_OBS_PROFILER_H_
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace hlm::obs {
+
+/// Point-in-time process resource reading: CPU time and context
+/// switches from getrusage(RUSAGE_SELF), peak RSS from ru_maxrss,
+/// current RSS from /proc/self/statm (0 where unavailable, e.g.
+/// non-Linux). Cheap enough to take at every phase boundary.
+struct ResourceSample {
+  double user_cpu_seconds = 0.0;
+  double system_cpu_seconds = 0.0;
+  long long peak_rss_kb = 0;
+  long long current_rss_kb = 0;
+  long long voluntary_ctx_switches = 0;
+  long long involuntary_ctx_switches = 0;
+};
+
+ResourceSample SampleResources();
+
+/// Resource cost of one named phase: end-sample minus start-sample.
+/// Monotonic fields (CPU seconds, context switches, peak-RSS growth)
+/// are deltas and therefore non-negative; `peak_rss_kb` and
+/// `current_rss_kb` are the absolute readings at phase end.
+struct PhaseResources {
+  double wall_seconds = 0.0;
+  double user_cpu_seconds = 0.0;
+  double system_cpu_seconds = 0.0;
+  long long peak_rss_delta_kb = 0;
+  long long peak_rss_kb = 0;
+  long long current_rss_kb = 0;
+  long long voluntary_ctx_switches = 0;
+  long long involuntary_ctx_switches = 0;
+};
+
+/// Accumulates per-phase resource deltas (repeated phases add up, like
+/// the phase walltime histograms). `AttachTo` publishes every phase as
+/// `profile.<phase>.<field>` meta entries on a registry, so the profile
+/// rides along in each MetricsSnapshot export without schema changes.
+class ResourceProfiler {
+ public:
+  ResourceProfiler() = default;
+  ResourceProfiler(const ResourceProfiler&) = delete;
+  ResourceProfiler& operator=(const ResourceProfiler&) = delete;
+
+  /// The process-wide profiler the bench phase markers record into.
+  static ResourceProfiler& Global();
+
+  void RecordPhase(const std::string& name, const PhaseResources& delta);
+
+  /// Copy of the accumulated per-phase deltas, keyed by phase name.
+  std::map<std::string, PhaseResources> Phases() const;
+
+  void AttachTo(MetricsRegistry* registry) const;
+
+  /// Drops all recorded phases (test isolation).
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, PhaseResources> phases_;
+};
+
+/// RAII phase marker: samples resources on construction and adds the
+/// delta to the profiler on destruction. Pair it with a TraceSpan /
+/// ScopedPhase so wall time and resource cost cover the same region.
+class ScopedResourcePhase {
+ public:
+  explicit ScopedResourcePhase(std::string name,
+                               ResourceProfiler* profiler = nullptr);
+  ~ScopedResourcePhase();
+
+  ScopedResourcePhase(const ScopedResourcePhase&) = delete;
+  ScopedResourcePhase& operator=(const ScopedResourcePhase&) = delete;
+
+ private:
+  std::string name_;
+  ResourceProfiler* profiler_;
+  ResourceSample start_;
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+/// Deterministic run identifier: a 16-hex-digit FNV-1a-64 digest of the
+/// given components (typically harness name, seed, corpus size, thread
+/// count). The same configuration always maps to the same id, so
+/// metrics snapshots, trace files, and BENCH_*.json from one run can be
+/// joined offline — and reruns of the same config collide on purpose.
+std::string ComputeRunId(const std::vector<std::string>& components);
+
+}  // namespace hlm::obs
+
+#endif  // HLM_OBS_PROFILER_H_

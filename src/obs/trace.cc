@@ -6,6 +6,8 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/json.h"
+
 namespace hlm::obs {
 
 namespace {
@@ -30,16 +32,6 @@ std::atomic<int64_t> g_next_span_id{1};
 // Innermost open span of this thread (id per nesting level).
 thread_local std::vector<int64_t> t_open_spans;
 
-std::string QuoteJson(const std::string& raw) {
-  std::string out = "\"";
-  for (char c : raw) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  out.push_back('"');
-  return out;
-}
-
 }  // namespace
 
 TraceRecorder& TraceRecorder::Global() {
@@ -62,22 +54,41 @@ void TraceRecorder::Clear() {
   events_.clear();
 }
 
+void TraceRecorder::SetRunId(const std::string& run_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  run_id_ = run_id;
+}
+
+std::string TraceRecorder::run_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return run_id_;
+}
+
 std::string TraceRecorder::ToChromeJson() const {
   std::vector<TraceEvent> events = Events();
+  const std::string id = run_id();
   std::ostringstream out;
   out.precision(15);
-  out << "[\n";
+  // Without a run id, stay with the historical bare-array format; with
+  // one, use the object form so the id is carried inside the file.
+  const char* indent = id.empty() ? "  " : "    ";
+  if (!id.empty()) {
+    out << "{\n  \"otherData\": {\"run_id\": " << JsonQuote(id)
+        << "},\n  \"traceEvents\": [\n";
+  } else {
+    out << "[\n";
+  }
   for (size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& e = events[i];
-    out << "  {\"name\": " << QuoteJson(e.name) << ", \"cat\": "
-        << QuoteJson(e.category) << ", \"ph\": \"X\", \"ts\": " << e.start_us
+    out << indent << "{\"name\": " << JsonQuote(e.name) << ", \"cat\": "
+        << JsonQuote(e.category) << ", \"ph\": \"X\", \"ts\": " << e.start_us
         << ", \"dur\": " << e.duration_us << ", \"pid\": 1, \"tid\": "
         << (e.thread_id % 1000000)
         << ", \"args\": {\"span_id\": " << e.span_id
         << ", \"parent_id\": " << e.parent_id << ", \"depth\": " << e.depth
         << "}}" << (i + 1 < events.size() ? "," : "") << "\n";
   }
-  out << "]\n";
+  out << (id.empty() ? "]\n" : "  ]\n}\n");
   return out.str();
 }
 

@@ -43,6 +43,15 @@ class TraceRecorder {
 
   void Record(TraceEvent event);
 
+  /// Tags every subsequent export with a run identifier (see
+  /// obs::ComputeRunId). With a run id set, ToChromeJson switches from
+  /// the bare event array to the equivalent chrome://tracing object
+  /// format so the id travels inside the file ("otherData"). Empty
+  /// clears the tag. Survives Clear(): the run identity outlives any
+  /// one batch of spans.
+  void SetRunId(const std::string& run_id);
+  std::string run_id() const;
+
   /// Copy of everything recorded so far.
   std::vector<TraceEvent> Events() const;
   void Clear();
@@ -53,6 +62,7 @@ class TraceRecorder {
  private:
   std::atomic<bool> enabled_{false};
   mutable std::mutex mu_;
+  std::string run_id_;
   std::vector<TraceEvent> events_;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace hlm::recsys {
 
 SimilaritySearch::SimilaritySearch(
@@ -35,6 +37,15 @@ Result<std::vector<Neighbor>> SimilaritySearch::TopK(
 Result<std::vector<Neighbor>> SimilaritySearch::TopKForVector(
     const std::vector<double>& query, int k,
     const std::function<bool(int)>& filter) const {
+  // Serving hot path: pointers resolved once, then lock-free mutation.
+  static obs::Histogram* query_seconds =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "hlm.recsys.similarity_query_seconds");
+  static obs::Counter* queries_total =
+      obs::MetricsRegistry::Global().GetCounter(
+          "hlm.recsys.similarity_queries_total");
+  obs::ScopedTimer timer(query_seconds);
+  queries_total->Increment();
   if (k <= 0) return Status::InvalidArgument("k must be positive");
   if (ragged_) {
     return Status::InvalidArgument(

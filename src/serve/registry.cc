@@ -144,6 +144,10 @@ Status ModelRegistry::Verify(const std::string& name) const {
   obs::MetricsRegistry::Global()
       .GetCounter("hlm.serve.verify_total")
       ->Increment();
+  // Verify walks the whole payload (checksum); its latency distribution
+  // matters for startup gating just like the load path's.
+  obs::ScopedTimer timer(obs::MetricsRegistry::Global().GetHistogram(
+      "hlm.serve.verify_seconds"));
   HLM_ASSIGN_OR_RETURN(SnapshotReader reader,
                        SnapshotReader::Open(it->second.path));
   if (reader.kind() != ModelKindName(it->second.kind)) {

@@ -1,0 +1,15 @@
+// Fixture: metric names that violate the DESIGN.md "Observability"
+// convention. Expected findings: three metric-naming diagnostics (bad
+// counter suffix, bad histogram suffix, missing hlm. prefix); the
+// allowed call and the gauge produce none.
+#include "obs/metrics.h"
+
+void RegisterBadMetrics(hlm::obs::MetricsRegistry* registry) {
+  registry->GetCounter("hlm.demo.requests");          // missing _total
+  registry->GetHistogram("hlm.demo.latency_ms");      // not _seconds
+  registry->GetCounter("demo.requests_total");        // missing hlm. prefix
+  registry->GetGauge("hlm.demo.queue_depth");         // gauges are free-form
+  registry->GetCounter("hlm.demo.requests_total");    // well-formed
+  // hlm-lint: allow(metric-naming)
+  registry->GetCounter("legacy.requests");            // annotated escape
+}

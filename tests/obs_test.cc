@@ -2,11 +2,16 @@
 
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/percentiles.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace hlm::obs {
@@ -85,8 +90,8 @@ TEST(MetricsRegistryTest, GetReturnsStablePointers) {
   counter->Increment(3);
   EXPECT_EQ(registry.GetCounter("hlm.test.events_total"), counter);
   EXPECT_EQ(registry.GetCounter("hlm.test.events_total")->value(), 3);
-  Histogram* histogram = registry.GetHistogram("hlm.test.seconds");
-  EXPECT_EQ(registry.GetHistogram("hlm.test.seconds", {1.0}), histogram)
+  Histogram* histogram = registry.GetHistogram("hlm.test.wait_seconds");
+  EXPECT_EQ(registry.GetHistogram("hlm.test.wait_seconds", {1.0}), histogram)
       << "existing name must win; new bounds ignored";
 }
 
@@ -282,6 +287,235 @@ TEST_F(TraceTest, WriteChromeTraceProducesAFile) {
   buffer << in.rdbuf();
   EXPECT_NE(buffer.str().find("filed"), std::string::npos);
   std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ JSON quoting
+
+TEST(JsonQuoteTest, EscapesQuotesBackslashesAndControlCharacters) {
+  EXPECT_EQ(JsonQuote("plain"), "\"plain\"");
+  EXPECT_EQ(JsonQuote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonQuote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(JsonQuote("tab\there"), "\"tab\\there\"");
+  EXPECT_EQ(JsonQuote("line\nbreak"), "\"line\\nbreak\"");
+  EXPECT_EQ(JsonQuote(std::string("nul\x01") + "end"), "\"nul\\u0001end\"");
+}
+
+TEST(JsonQuoteTest, UnescapeInvertsQuoteForHostileNames) {
+  const std::string hostile = "we\"ird\\name\nwith\tcontrol\x02s";
+  std::string quoted = JsonQuote(hostile);
+  // Strip the surrounding quotes, then the payload must decode back.
+  ASSERT_GE(quoted.size(), 2u);
+  EXPECT_EQ(JsonUnescape(quoted.substr(1, quoted.size() - 2)), hostile);
+}
+
+TEST(MetricsSnapshotTest, HostileMetricNamesSurviveJsonRoundTrip) {
+  MetricsRegistry registry;
+  const std::string name = "hlm.test.we\"ird\\name_total";
+  registry.GetCounter(name)->Increment(3);
+  registry.SetMeta("note", "line one\nline \"two\"");
+  Result<MetricsSnapshot> parsed =
+      MetricsSnapshot::FromJson(registry.Snapshot().ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->counters.count(name), 1u);
+  EXPECT_EQ(parsed->counters.at(name), 3);
+  EXPECT_EQ(parsed->meta.at("note"), "line one\nline \"two\"");
+}
+
+// ------------------------------------------------------------- Percentiles
+
+TEST(PercentileTest, UniformSpreadInterpolatesInsideBuckets) {
+  Histogram histogram({1.0, 2.0, 3.0, 4.0});
+  for (double v : {0.5, 1.5, 2.5, 3.5, 4.5}) histogram.Observe(v);
+  HistogramSnapshot snapshot = histogram.Snapshot();
+  // rank 2.5 of 5 lands mid-bucket (2, 3].
+  EXPECT_DOUBLE_EQ(Quantile(snapshot, 0.5), 2.5);
+  // rank 4.5 lands mid-overflow, which spans last bound 4 .. max 4.5.
+  EXPECT_DOUBLE_EQ(Quantile(snapshot, 0.9), 4.25);
+  // The first bucket interpolates from the observed min, not from 0.
+  EXPECT_DOUBLE_EQ(Quantile(snapshot, 0.2), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(snapshot, 1.0), 4.5);
+}
+
+TEST(PercentileTest, SkewedMassClampsTailToObservedMax) {
+  Histogram histogram({1.0, 2.0});
+  for (int i = 0; i < 10; ++i) histogram.Observe(0.5);
+  histogram.Observe(1.5);
+  HistogramSnapshot snapshot = histogram.Snapshot();
+  // rank 5.5 of 11, all in bucket (min 0.5, 1].
+  EXPECT_DOUBLE_EQ(Quantile(snapshot, 0.5), 0.775);
+  // The p99 interpolation inside (1, 2] would give 1.89, but nothing
+  // above the observed max 1.5 was ever seen.
+  EXPECT_DOUBLE_EQ(Quantile(snapshot, 0.99), 1.5);
+}
+
+TEST(PercentileTest, SingleBucketStaysWithinObservedRange) {
+  Histogram histogram({10.0});
+  histogram.Observe(2.0);
+  histogram.Observe(4.0);
+  HistogramSnapshot snapshot = histogram.Snapshot();
+  // One wide bucket gives no resolution; the clamp to [min, max] is
+  // what keeps the estimate honest.
+  double p50 = Quantile(snapshot, 0.5);
+  EXPECT_GE(p50, 2.0);
+  EXPECT_LE(p50, 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(snapshot, 0.99), 4.0);
+}
+
+TEST(PercentileTest, EmptyHistogramIsAllZero) {
+  Histogram histogram({1.0, 2.0});
+  PercentileSummary summary = SummarizePercentiles(histogram.Snapshot());
+  EXPECT_DOUBLE_EQ(summary.p50, 0.0);
+  EXPECT_DOUBLE_EQ(summary.p90, 0.0);
+  EXPECT_DOUBLE_EQ(summary.p99, 0.0);
+  EXPECT_DOUBLE_EQ(summary.max, 0.0);
+}
+
+TEST(PercentileTest, OverflowOnlyHistogramUsesLastBoundToMax) {
+  Histogram histogram({1.0});
+  for (double v : {5.0, 7.0, 9.0}) histogram.Observe(v);
+  HistogramSnapshot snapshot = histogram.Snapshot();
+  // Overflow spans last bound 1 .. max 9; clamped below by min 5.
+  EXPECT_DOUBLE_EQ(Quantile(snapshot, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(snapshot, 0.99), 8.92);
+}
+
+TEST(PercentileTest, MissingBucketLayoutFallsBackToMax) {
+  // FromJson of a foreign document may produce count/min/max without a
+  // bucket layout; max is the only defensible estimate then.
+  HistogramSnapshot snapshot;
+  snapshot.count = 3;
+  snapshot.min = 1.0;
+  snapshot.max = 7.0;
+  EXPECT_DOUBLE_EQ(Quantile(snapshot, 0.5), 7.0);
+}
+
+TEST(PercentileTest, QuantileArgumentIsClamped) {
+  Histogram histogram({1.0});
+  histogram.Observe(0.5);
+  HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_DOUBLE_EQ(Quantile(snapshot, -3.0), Quantile(snapshot, 0.0));
+  EXPECT_DOUBLE_EQ(Quantile(snapshot, 3.0), Quantile(snapshot, 1.0));
+}
+
+TEST(MetricsSnapshotTest, ExportsCarryDerivedPercentiles) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("hlm.test.export_seconds");
+  histogram->Observe(0.25);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p90\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(snapshot.ToText().find("p99="), std::string::npos);
+  // The self-parser must keep round-tripping now that ToJson emits the
+  // derived keys (it skips unknown numeric histogram fields).
+  Result<MetricsSnapshot> parsed = MetricsSnapshot::FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->histograms.at("hlm.test.export_seconds").count, 1);
+}
+
+// ---------------------------------------------------------------- Profiler
+
+TEST(ProfilerTest, ResourceSamplesAreMonotonic) {
+  ResourceSample first = SampleResources();
+  // Burn a little CPU so the second reading has something to exceed.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink = sink + static_cast<double>(i) * 1e-9;
+  ResourceSample second = SampleResources();
+  EXPECT_GE(second.user_cpu_seconds + second.system_cpu_seconds,
+            first.user_cpu_seconds + first.system_cpu_seconds);
+  EXPECT_GE(second.peak_rss_kb, first.peak_rss_kb);
+  EXPECT_GE(second.voluntary_ctx_switches, first.voluntary_ctx_switches);
+  EXPECT_GE(second.involuntary_ctx_switches, first.involuntary_ctx_switches);
+}
+
+TEST(ProfilerTest, ScopedPhaseRecordsNonNegativeDeltas) {
+  ResourceProfiler profiler;
+  {
+    ScopedResourcePhase phase("work", &profiler);
+    volatile double sink = 0.0;
+    for (int i = 0; i < 1000000; ++i) sink = sink + static_cast<double>(i);
+  }
+  std::map<std::string, PhaseResources> phases = profiler.Phases();
+  ASSERT_EQ(phases.count("work"), 1u);
+  const PhaseResources& work = phases.at("work");
+  EXPECT_GT(work.wall_seconds, 0.0);
+  EXPECT_GE(work.user_cpu_seconds, 0.0);
+  EXPECT_GE(work.system_cpu_seconds, 0.0);
+  EXPECT_GE(work.peak_rss_delta_kb, 0);
+  EXPECT_GE(work.voluntary_ctx_switches, 0);
+  EXPECT_GE(work.involuntary_ctx_switches, 0);
+  EXPECT_LE(work.user_cpu_seconds + work.system_cpu_seconds,
+            work.wall_seconds * 64 + 1.0)
+      << "CPU delta wildly exceeds wall time";
+}
+
+TEST(ProfilerTest, RepeatedPhasesAccumulate) {
+  ResourceProfiler profiler;
+  { ScopedResourcePhase phase("loop", &profiler); }
+  double once = profiler.Phases().at("loop").wall_seconds;
+  { ScopedResourcePhase phase("loop", &profiler); }
+  EXPECT_GE(profiler.Phases().at("loop").wall_seconds, once);
+  profiler.Clear();
+  EXPECT_TRUE(profiler.Phases().empty());
+}
+
+TEST(ProfilerTest, AttachToPublishesPhaseMeta) {
+  ResourceProfiler profiler;
+  { ScopedResourcePhase phase("attach_demo", &profiler); }
+  MetricsRegistry registry;
+  profiler.AttachTo(&registry);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  for (const char* field :
+       {"wall_seconds", "user_cpu_seconds", "system_cpu_seconds",
+        "peak_rss_kb", "current_rss_kb", "peak_rss_delta_kb",
+        "voluntary_ctx_switches", "involuntary_ctx_switches"}) {
+    EXPECT_EQ(snapshot.meta.count(std::string("profile.attach_demo.") +
+                                  field),
+              1u)
+        << field;
+  }
+}
+
+// ------------------------------------------------------------------ Run id
+
+TEST(RunIdTest, DeterministicAndComponentSensitive) {
+  std::string id = ComputeRunId({"hlm_bench", "42", "300", "4"});
+  EXPECT_EQ(id.size(), 16u);
+  EXPECT_EQ(id.find_first_not_of("0123456789abcdef"), std::string::npos);
+  EXPECT_EQ(id, ComputeRunId({"hlm_bench", "42", "300", "4"}));
+  EXPECT_NE(id, ComputeRunId({"hlm_bench", "42", "300", "8"}));
+  // The separator keeps component boundaries significant.
+  EXPECT_NE(ComputeRunId({"ab", "c"}), ComputeRunId({"a", "bc"}));
+  EXPECT_NE(ComputeRunId({}), ComputeRunId({""}));
+}
+
+TEST_F(TraceTest, RunIdSwitchesExportToObjectFormat) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  { TraceSpan span("tagged"); }
+  std::string bare = recorder.ToChromeJson();
+  EXPECT_EQ(bare.front(), '[') << "no run id -> historical bare array";
+  recorder.SetRunId("deadbeefdeadbeef");
+  std::string tagged = recorder.ToChromeJson();
+  EXPECT_EQ(tagged.front(), '{');
+  EXPECT_NE(tagged.find("\"otherData\""), std::string::npos);
+  EXPECT_NE(tagged.find("\"run_id\": \"deadbeefdeadbeef\""),
+            std::string::npos);
+  EXPECT_NE(tagged.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(tagged.find("\"name\": \"tagged\""), std::string::npos);
+  // Survives Clear: the run identity outlives one batch of spans.
+  recorder.Clear();
+  EXPECT_EQ(recorder.run_id(), "deadbeefdeadbeef");
+  recorder.SetRunId("");
+  EXPECT_EQ(recorder.ToChromeJson().front(), '[');
+}
+
+TEST_F(TraceTest, HostileSpanNamesAreEscapedInChromeJson) {
+  { TraceSpan span("we\"ird\\span\nname"); }
+  std::string json = TraceRecorder::Global().ToChromeJson();
+  EXPECT_NE(json.find("we\\\"ird\\\\span\\nname"), std::string::npos);
+  // The raw quote byte must never appear unescaped inside the name.
+  EXPECT_EQ(json.find("we\"ird"), std::string::npos);
 }
 
 }  // namespace

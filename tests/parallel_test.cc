@@ -135,7 +135,7 @@ TEST_F(ParallelTest, RecordsTaskMetrics) {
   ParallelFor(0, 256, /*grain=*/8, [](size_t) {});
   EXPECT_GT(metrics.GetCounter("hlm.parallel.regions_total")->value(),
             before);
-  EXPECT_GT(metrics.GetCounter("hlm.parallel.tasks")->value(), 0);
+  EXPECT_GT(metrics.GetCounter("hlm.parallel.tasks_total")->value(), 0);
 }
 
 }  // namespace

@@ -381,6 +381,87 @@ void CheckRawPersistWrite(const RuleContext& ctx) {
   }
 }
 
+/// The first complete string literal in `raw` at/after `from`. Returns
+/// false when no literal opens on this line. `followed_by` receives the
+/// first non-space character after the closing quote ('\0' at end of
+/// line), so callers can tell a complete argument (')' / ',') from a
+/// concatenation ('+').
+bool ExtractStringLiteral(const std::string& raw, size_t from,
+                          std::string* literal, char* followed_by) {
+  size_t open = raw.find('"', from);
+  if (open == std::string::npos) return false;
+  literal->clear();
+  size_t p = open + 1;
+  while (p < raw.size() && raw[p] != '"') {
+    if (raw[p] == '\\' && p + 1 < raw.size()) ++p;
+    literal->push_back(raw[p]);
+    ++p;
+  }
+  if (p >= raw.size()) return false;  // unterminated (spans lines)
+  ++p;
+  while (p < raw.size() &&
+         std::isspace(static_cast<unsigned char>(raw[p])) != 0) {
+    ++p;
+  }
+  *followed_by = p < raw.size() ? raw[p] : '\0';
+  return true;
+}
+
+void CheckMetricNaming(const RuleContext& ctx) {
+  struct Registrar {
+    const char* token;
+    const char* suffix;
+    const char* kind;
+  };
+  static const Registrar kRegistrars[] = {
+      {"GetCounter", "_total", "counter"},
+      {"GetHistogram", "_seconds", "timing histogram"},
+  };
+  for (size_t i = 0; i < ctx.code_lines->size(); ++i) {
+    const std::string& line = (*ctx.code_lines)[i];
+    const int ln = static_cast<int>(i) + 1;
+    for (const Registrar& reg : kRegistrars) {
+      if (!HasTokenThen(line, reg.token, '(')) continue;
+      // The literal sits after the call's '(' on this raw line, or —
+      // when the call wraps with nothing after the parenthesis — at the
+      // start of the next.
+      const std::string& raw = (*ctx.raw_lines)[i];
+      size_t token_pos = raw.find(reg.token);
+      if (token_pos == std::string::npos) continue;
+      size_t paren = raw.find('(', token_pos);
+      if (paren == std::string::npos) continue;
+      std::string name;
+      char followed_by = '\0';
+      int literal_line = ln;
+      bool found = ExtractStringLiteral(raw, paren, &name, &followed_by);
+      if (!found) {
+        // A non-literal argument on the same line (a variable, a cached
+        // pointer) is out of the heuristic's reach — do not scan ahead.
+        if (raw.find_first_not_of(" \t", paren + 1) != std::string::npos) {
+          continue;
+        }
+        if (i + 1 >= ctx.raw_lines->size()) continue;
+        literal_line = ln + 1;
+        found = ExtractStringLiteral((*ctx.raw_lines)[i + 1], 0, &name,
+                                     &followed_by);
+      }
+      // Only a complete single-literal argument is checkable; names
+      // built by concatenation ('+') or passed via variables are not.
+      if (!found || (followed_by != ')' && followed_by != ',')) continue;
+      if (name.rfind("hlm.", 0) != 0) {
+        Report(ctx, literal_line, "metric-naming",
+               "metric '" + name +
+                   "' must be namespaced 'hlm.<subsystem>.<metric>' "
+                   "(DESIGN.md Observability)");
+      } else if (!EndsWith(name, reg.suffix)) {
+        Report(ctx, literal_line, "metric-naming",
+               std::string(reg.kind) + " '" + name + "' must end in '" +
+                   reg.suffix + "' (DESIGN.md Observability)");
+      }
+    }
+  }
+}
+
 void CheckHeaderGuard(const RuleContext& ctx) {
   if (!EndsWith(*ctx.relpath, ".h")) return;
   const std::string expected = ExpectedGuard(*ctx.relpath);
@@ -461,7 +542,7 @@ void CheckIncludeOrder(const RuleContext& ctx) {
 std::vector<std::string> RuleNames() {
   return {"no-raw-rng",      "no-wall-clock",  "no-raw-thread",
           "no-stdio-output", "unordered-iter", "header-guard",
-          "include-order",   "no-raw-persist-write"};
+          "include-order",   "no-raw-persist-write", "metric-naming"};
 }
 
 std::set<std::string> CollectUnorderedNames(const std::string& content) {
@@ -531,6 +612,7 @@ std::vector<Diagnostic> LintContent(
                          extra_unordered_names.end());
   CheckUnorderedIteration(ctx, unordered_names);
   CheckRawPersistWrite(ctx);
+  CheckMetricNaming(ctx);
   CheckHeaderGuard(ctx);
   CheckIncludeOrder(ctx);
 

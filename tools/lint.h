@@ -51,6 +51,14 @@ struct Diagnostic {
 ///                    a crash mid-write can never truncate a snapshot;
 ///                    read-only std::ifstream is fine. Non-snapshot
 ///                    sinks (trace export, CSV reports) annotate.
+///   metric-naming    A single string literal passed to GetCounter /
+///                    GetHistogram must follow DESIGN.md "Observability":
+///                    start with "hlm." and end in "_total" (counters)
+///                    or "_seconds" (timing histograms), so percentile
+///                    exports and the bench baseline checker can key on
+///                    the suffix. Dynamically built names (literal
+///                    followed by '+') are out of the heuristic's reach
+///                    and are skipped.
 ///
 /// A finding on line N is suppressed by `// hlm-lint: allow(<rule>)` on
 /// line N or line N-1.
