@@ -8,6 +8,8 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "obs/events.h"
+#include "obs/flight_recorder.h"
 #include "common/string_util.h"
 #include "corpus/month.h"
 #include "models/chh.h"
@@ -22,6 +24,7 @@ namespace {
 // every harness gets machine-readable output without per-bench plumbing.
 std::string g_metrics_out_path;  // NOLINT(runtime/string)
 std::string g_trace_out_path;    // NOLINT(runtime/string)
+std::string g_events_out_path;   // NOLINT(runtime/string)
 std::string g_run_id;            // NOLINT(runtime/string)
 
 void WriteObservabilityOutputs() {
@@ -68,6 +71,16 @@ void WriteObservabilityOutputs() {
                    g_trace_out_path.c_str());
     }
   }
+  if (!g_events_out_path.empty()) {
+    Status status = obs::EventLog::Global().WriteJsonl(g_events_out_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "WARNING: failed to write events to %s: %s\n",
+                   g_events_out_path.c_str(), status.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "events written to %s (one JSON object per line)\n",
+                   g_events_out_path.c_str());
+    }
+  }
 }
 
 }  // namespace
@@ -88,7 +101,9 @@ BenchEnv MakeEnv(int argc, char** argv, FlagSet* flags,
   long long threads = 0;
   std::string metrics_out;
   std::string trace_out;
+  std::string events_out;
   std::string log_level;
+  long long event_sample_every = 1;
   flags->AddInt64("companies", &companies, "corpus size");
   flags->AddInt64("seed", &seed, "generator seed");
   flags->AddInt64("threads", &threads,
@@ -99,6 +114,11 @@ BenchEnv MakeEnv(int argc, char** argv, FlagSet* flags,
                    "write a metrics-snapshot JSON here at exit");
   flags->AddString("trace_out", &trace_out,
                    "write a chrome://tracing JSON here at exit");
+  flags->AddString("events_out", &events_out,
+                   "write the structured wide-event log (JSONL) here at "
+                   "exit");
+  flags->AddInt64("event_sample_every", &event_sample_every,
+                  "keep one event in N per event name (1 = keep all)");
   flags->AddString("log_level", &log_level,
                    "minimum log level: debug, info, warning, error");
   Status status = flags->Parse(argc, argv);
@@ -123,12 +143,22 @@ BenchEnv MakeEnv(int argc, char** argv, FlagSet* flags,
       std::exit(2);
     }
   }
-  if (!metrics_out.empty() || !trace_out.empty()) {
+  if (event_sample_every > 1) {
+    obs::EventLog::Global().SetSampleEvery(
+        static_cast<uint32_t>(event_sample_every));
+  }
+  if (!metrics_out.empty() || !trace_out.empty() || !events_out.empty()) {
     g_metrics_out_path = metrics_out;
     g_trace_out_path = trace_out;
+    g_events_out_path = events_out;
     if (!trace_out.empty()) obs::TraceRecorder::Global().Enable();
     std::atexit(WriteObservabilityOutputs);
   }
+  // Arm the always-on pieces: the main thread's trace lane name and the
+  // flight-recorder crash dump (an HLM_CHECK failure in any harness now
+  // leaves hlm-crash-<run_id>.json next to the process).
+  obs::SetCurrentThreadName("hlm-main");
+  obs::InstallCrashHandler();
   if (threads > 0) SetNumThreads(static_cast<int>(threads));
   // One deterministic id per (harness, seed, companies, threads)
   // configuration: reruns of the same config share it, so metrics,

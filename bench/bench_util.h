@@ -38,7 +38,11 @@ struct BenchEnv {
 /// by every harness: --metrics_out=<path> (write a MetricsSnapshot JSON
 /// at process exit — the machine-readable data source behind
 /// BENCH_*.json), --trace_out=<path> (write a chrome://tracing JSON of
-/// every TraceSpan), and --log_level=<debug|info|warning|error>.
+/// every TraceSpan), --events_out=<path> (write the structured
+/// wide-event log as JSONL), --event_sample_every=<n> (keep one event
+/// in n per name), and --log_level=<debug|info|warning|error>. MakeEnv
+/// also names the main thread's trace lane and arms the flight-recorder
+/// crash dump (hlm-crash-<run_id>.json on HLM_CHECK failure).
 /// Returns a parsed environment or aborts with usage on bad flags.
 /// Additional flags may be registered on `flags` by the caller before
 /// invoking; names colliding with the shared trio fail Parse loudly.

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, run the full test suite and the
 # hlm_lint static checker, smoke-run one figure bench with --metrics_out
-# and check the snapshot is valid JSON containing the expected LDA
-# instrumentation, then run the sanitizer stages the toolchain supports
-# (TSan over the concurrency tests, UBSan over the full suite).
+# and --events_out and check both dumps parse (metrics JSON with the
+# expected LDA instrumentation; wide-event JSONL line by line), render
+# them through hlm_statusz, prove the flight-recorder crash dump fires
+# via `hlm_statusz selfcheck-crash`, then run the sanitizer stages the
+# toolchain supports (TSan over the concurrency tests, UBSan over the
+# full suite).
 #
 # Usage: scripts/tier1.sh [build_dir]
 set -euo pipefail
@@ -53,9 +56,11 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 echo "== tier1: metrics smoke bench =="
 METRICS_JSON="$(mktemp /tmp/hlm_tier1_metrics.XXXXXX.json)"
-CLEANUP_PATHS+=("$METRICS_JSON")
+EVENTS_JSONL="$(mktemp /tmp/hlm_tier1_events.XXXXXX.jsonl)"
+CLEANUP_PATHS+=("$METRICS_JSON" "$EVENTS_JSONL")
 "$BUILD_DIR/bench/bench_fig2_lda_perplexity" \
-  --companies=120 --metrics_out="$METRICS_JSON"
+  --companies=120 --metrics_out="$METRICS_JSON" \
+  --events_out="$EVENTS_JSONL"
 
 echo "== tier1: validate metrics JSON =="
 if command -v python3 >/dev/null 2>&1; then
@@ -86,6 +91,88 @@ else
     grep -q "$needle" "$METRICS_JSON" ||
       { echo "missing $needle in $METRICS_JSON" >&2; exit 1; }
   done
+  echo "ok (grep-level check; python3 not found)"
+fi
+
+echo "== tier1: validate wide-event JSONL =="
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$EVENTS_JSONL" <<'PY'
+import json, sys
+names = []
+with open(sys.argv[1]) as f:
+    for lineno, line in enumerate(f, 1):
+        line = line.strip()
+        if not line:
+            sys.exit(f"line {lineno}: blank line in JSONL")
+        try:
+            event = json.loads(line)
+        except ValueError as err:
+            sys.exit(f"line {lineno}: not valid JSON: {err}")
+        for key in ("ts_us", "level", "name", "tid", "span_id", "attrs"):
+            if key not in event:
+                sys.exit(f"line {lineno}: missing key {key!r}")
+        names.append(event["name"])
+if not names:
+    sys.exit("events file is empty — the bench emitted no wide events")
+if "lda.train.done" not in names:
+    sys.exit("missing the lda.train.done training-summary event")
+print(f"ok: {len(names)} events, all lines parse with the full schema")
+PY
+else
+  grep -q '"name": "lda.train.done"' "$EVENTS_JSONL" ||
+    { echo "missing lda.train.done event in $EVENTS_JSONL" >&2; exit 1; }
+  echo "ok (grep-level check; python3 not found)"
+fi
+
+echo "== tier1: statusz render from dump files =="
+STATUSZ_TEXT="$("$BUILD_DIR/tools/hlm_statusz" render \
+  --metrics "$METRICS_JSON" --events "$EVENTS_JSONL" --tail 8)"
+for needle in "==== hlm statusz ====" "-- counters --" \
+    "-- latency percentiles --" "-- flight recorder tail" \
+    "lda.train.done"; do
+  case "$STATUSZ_TEXT" in
+    *"$needle"*) ;;
+    *) echo "hlm_statusz render output missing: $needle" >&2; exit 1 ;;
+  esac
+done
+if command -v python3 >/dev/null 2>&1; then
+  "$BUILD_DIR/tools/hlm_statusz" render --metrics "$METRICS_JSON" \
+    --events "$EVENTS_JSONL" --format json --tail 8 |
+    python3 -c 'import json, sys; json.load(sys.stdin)'
+fi
+echo "ok: statusz text + json render from metrics/events dumps"
+
+echo "== tier1: crash dump selfcheck =="
+CRASH_DIR="$(mktemp -d /tmp/hlm_tier1_crash.XXXXXX)"
+CLEANUP_PATHS+=("$CRASH_DIR")
+# selfcheck-crash MUST die (nonzero): a zero exit means HLM_CHECK no
+# longer aborts and the crash path is broken.
+if "$BUILD_DIR/tools/hlm_statusz" selfcheck-crash \
+    --dir "$CRASH_DIR" >/dev/null 2>&1; then
+  echo "hlm_statusz selfcheck-crash exited zero; crash path broken" >&2
+  exit 1
+fi
+CRASH_DUMP="$CRASH_DIR/hlm-crash-selfcheck.json"
+[ -f "$CRASH_DUMP" ] ||
+  { echo "missing crash dump $CRASH_DUMP" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$CRASH_DUMP" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    dump = json.load(f)
+if dump.get("run_id") != "selfcheck":
+    sys.exit(f"unexpected run_id: {dump.get('run_id')!r}")
+entries = dump.get("entries", [])
+if not entries:
+    sys.exit("crash dump has no flight-recorder entries")
+names = {entry.get("name") for entry in entries}
+if "statusz.selfcheck.arm" not in names:
+    sys.exit("crash dump missing the pre-crash event trail")
+print(f"ok: crash dump parses with {len(entries)} entries")
+PY
+else
+  grep -q '"run_id": "selfcheck"' "$CRASH_DUMP" ||
+    { echo "crash dump missing run_id" >&2; exit 1; }
   echo "ok (grep-level check; python3 not found)"
 fi
 

@@ -13,6 +13,12 @@ std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
 std::mutex g_sink_mutex;
 std::ostream* g_sink = nullptr;  // nullptr -> stderr
 
+std::atomic<FatalHook> g_fatal_hook{nullptr};
+// Arms exactly one fatal-hook invocation per process: if the hook
+// itself logs fatally, the recursive LogMessage skips straight to
+// abort() instead of re-entering the hook.
+std::atomic<bool> g_fatal_hook_fired{false};
+
 const char* LevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
@@ -43,6 +49,10 @@ std::ostream* SetLogSink(std::ostream* sink) {
   return previous;
 }
 
+FatalHook SetFatalHook(FatalHook hook) {
+  return g_fatal_hook.exchange(hook, std::memory_order_acq_rel);
+}
+
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -64,6 +74,10 @@ LogMessage::~LogMessage() {
     out << stream_.str() << std::endl;
   }
   if (level_ == LogLevel::kFatal) {
+    if (!g_fatal_hook_fired.exchange(true, std::memory_order_acq_rel)) {
+      FatalHook hook = g_fatal_hook.load(std::memory_order_acquire);
+      if (hook != nullptr) hook();
+    }
     std::abort();
   }
 }

@@ -23,6 +23,14 @@ void SetLogLevel(LogLevel level);
 /// and the metrics exporter to capture log output.
 std::ostream* SetLogSink(std::ostream* sink);
 
+/// Hook invoked after a Fatal message has been written, immediately
+/// before std::abort(). obs::InstallCrashHandler uses it to dump the
+/// flight recorder (common/ cannot depend on obs/, so the wiring is a
+/// plain function pointer). nullptr clears it; returns the previous
+/// hook. The hook runs at most once even if it logs fatally itself.
+using FatalHook = void (*)();
+FatalHook SetFatalHook(FatalHook hook);
+
 namespace internal_logging {
 
 /// One log statement; flushes to stderr on destruction. Fatal aborts.

@@ -12,6 +12,7 @@
 
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hlm {
 
@@ -162,7 +163,12 @@ ThreadPool::ThreadPool(int num_workers)
     : impl_(new Impl()), num_workers_(std::max(num_workers, 0)) {
   impl_->workers.reserve(num_workers_);
   for (int i = 0; i < num_workers_; ++i) {
-    impl_->workers.emplace_back([this] { impl_->WorkerLoop(); });
+    impl_->workers.emplace_back([this, i] {
+      // Label the lane in chrome://tracing exports and Statusz ("M"
+      // metadata events carry the name; see TraceRecorder::ToChromeJson).
+      obs::SetCurrentThreadName("hlm-worker-" + std::to_string(i + 1));
+      impl_->WorkerLoop();
+    });
   }
 }
 
@@ -189,8 +195,15 @@ void ThreadPool::Submit(std::function<void()> task) {
   impl_->cv.notify_one();
 }
 
-void ParallelForChunked(size_t begin, size_t end, size_t grain,
-                        const std::function<void(size_t, size_t)>& fn) {
+namespace {
+
+// Shared machinery behind ParallelFor / ParallelForChunked: static
+// chunk decomposition, metrics, serial fallback, pool fan-out. Trace
+// adoption happens in the public wrappers (per item for ParallelFor,
+// per chunk for ParallelForChunked), so it is identical on the serial
+// and parallel paths — both run the same `fn`.
+void ParallelForChunkedImpl(size_t begin, size_t end, size_t grain,
+                            const std::function<void(size_t, size_t)>& fn) {
   if (end <= begin) return;
   const size_t n = end - begin;
   const int threads = NumThreads();
@@ -242,14 +255,39 @@ void ParallelForChunked(size_t begin, size_t end, size_t grain,
   if (region->error != nullptr) std::rethrow_exception(region->error);
 }
 
+}  // namespace
+
+void ParallelForChunked(size_t begin, size_t end, size_t grain,
+                        const std::function<void(size_t, size_t)>& fn) {
+  // Chunk-granular adoption: spans opened inside `fn` parent under the
+  // caller's span on any thread. Note the chunk decomposition (and so
+  // the per-chunk path ordinals) depends on the thread count when
+  // grain == 0; pass an explicit grain where cross-thread-count span-id
+  // stability matters (ParallelFor's per-item adoption has no such
+  // caveat).
+  const obs::TraceContext region = obs::TraceContext::ForkRegion();
+  ParallelForChunkedImpl(
+      begin, end, grain,
+      [&fn, &region](size_t chunk_begin, size_t chunk_end) {
+        obs::ScopedTraceContext adopt(region.ForkItem(chunk_begin));
+        fn(chunk_begin, chunk_end);
+      });
+}
+
 void ParallelFor(size_t begin, size_t end, size_t grain,
                  const std::function<void(size_t)>& fn) {
-  ParallelForChunked(begin, end, grain,
-                     [&fn](size_t chunk_begin, size_t chunk_end) {
-                       for (size_t i = chunk_begin; i < chunk_end; ++i) {
-                         fn(i);
-                       }
-                     });
+  // Item-granular adoption: the context for item i depends only on the
+  // region's deterministic fork point and on i — not on which thread or
+  // chunk ran it — so traced regions produce the same span tree at
+  // every thread count.
+  const obs::TraceContext region = obs::TraceContext::ForkRegion();
+  ParallelForChunkedImpl(begin, end, grain,
+                         [&fn, &region](size_t chunk_begin, size_t chunk_end) {
+                           for (size_t i = chunk_begin; i < chunk_end; ++i) {
+                             obs::ScopedTraceContext adopt(region.ForkItem(i));
+                             fn(i);
+                           }
+                         });
 }
 
 }  // namespace hlm

@@ -71,11 +71,22 @@ class ThreadPool {
 /// thrown by fn is rethrown on the calling thread after every chunk
 /// finished; remaining chunks still run (their items are independent by
 /// contract).
+///
+/// Tracing: the caller's obs::TraceContext is forked once per region
+/// and once per item, and adopted on whichever thread runs the item —
+/// so obs::TraceSpan objects opened inside fn nest under the caller's
+/// span (one coherent tree per region, no orphan worker-side roots)
+/// and their span ids are identical at every thread count (item
+/// identity derives from the index, not the chunk or thread).
 void ParallelFor(size_t begin, size_t end, size_t grain,
                  const std::function<void(size_t)>& fn);
 
 /// Chunked variant: fn(chunk_begin, chunk_end) per static chunk, for
-/// call sites that want to hoist per-chunk scratch buffers.
+/// call sites that want to hoist per-chunk scratch buffers. Trace
+/// contexts are adopted per chunk (keyed by chunk_begin); with
+/// grain == 0 the decomposition — and so the per-chunk span ids —
+/// depends on the thread count, so pass an explicit grain where
+/// cross-thread-count span-id stability matters.
 void ParallelForChunked(size_t begin, size_t end, size_t grain,
                         const std::function<void(size_t, size_t)>& fn);
 

@@ -7,6 +7,7 @@
 #include "math/rng.h"
 #include "math/vector_ops.h"
 #include "models/perplexity.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/snapshot.h"
@@ -238,6 +239,14 @@ Status LdaModel::TrainInternal(
                 << " documents: " << total_sweeps << " gibbs sweeps ("
                 << samples_taken << " phi samples), final joint "
                 << "log-likelihood " << final_ll;
+  // One wide event per training run: everything a dashboard needs to
+  // characterize the run in a single JSONL line.
+  HLM_EVENT("lda.train.done",
+            {{"topics", k},
+             {"documents", static_cast<long long>(documents.size())},
+             {"sweeps", total_sweeps},
+             {"phi_samples", samples_taken},
+             {"log_likelihood", final_ll}});
   return Status::OK();
 }
 

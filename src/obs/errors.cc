@@ -1,0 +1,52 @@
+#include "obs/errors.h"
+
+#include <string>
+
+#include "obs/events.h"
+#include "obs/metrics.h"
+
+namespace hlm::obs {
+
+const char* StatusCodeSnakeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kDataLoss:
+      return "data_loss";
+  }
+  return "unknown";
+}
+
+Status TrackError(const char* area, Status status) {
+  if (status.ok()) return status;
+  const char* code = StatusCodeSnakeName(status.code());
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  // Names are data-dependent (area x code), so the pointers cannot be
+  // cached statically; registration is one map lookup under a mutex,
+  // which an error path can afford.
+  metrics.GetCounter("hlm." + std::string(area) + ".errors_total")
+      ->Increment();
+  metrics
+      .GetCounter("hlm." + std::string(area) + ".errors." +
+                  std::string(code) + "_total")
+      ->Increment();
+  HLM_EVENT_AT(EventLevel::kError, std::string(area) + ".error",
+               {{"code", code}, {"message", status.message()}});
+  return status;
+}
+
+}  // namespace hlm::obs

@@ -1,0 +1,27 @@
+#ifndef HLM_OBS_ERRORS_H_
+#define HLM_OBS_ERRORS_H_
+
+#include "common/status.h"
+
+namespace hlm::obs {
+
+/// snake_case name for a status code ("invalid_argument", "not_found",
+/// ...), used as the {code} dimension of error counters.
+const char* StatusCodeSnakeName(StatusCode code);
+
+/// Error-path instrumentation: counts `status` under
+///   hlm.<area>.errors_total                (all codes)
+///   hlm.<area>.errors.<code>_total         (per code)
+/// and emits an error-level "<area>.error" event carrying the code and
+/// message, then returns `status` unchanged — so error returns wrap in
+/// place:
+///
+///   return obs::TrackError("serve", Status::NotFound(...));
+///
+/// (Result<T> converts implicitly from Status, so the same form works
+/// in Result-returning functions.) OK statuses pass through untouched.
+Status TrackError(const char* area, Status status);
+
+}  // namespace hlm::obs
+
+#endif  // HLM_OBS_ERRORS_H_

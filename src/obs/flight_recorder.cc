@@ -1,0 +1,175 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "obs/events.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace hlm::obs {
+
+namespace {
+
+std::mutex g_dump_dir_mu;
+std::string g_dump_dir = ".";  // guarded by g_dump_dir_mu
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+void DumpOnFatal() {
+  const std::string path = CrashDumpPath();
+  Status status = FlightRecorder::Global().DumpToFile(path);
+  // The process is already inside a fatal log; report with bare stderr
+  // instead of re-entering the logger.
+  if (status.ok()) {
+    // hlm-lint: allow(no-stdio-output)
+    std::fprintf(stderr, "[FATAL] flight recorder dumped to %s\n",
+                 path.c_str());
+  } else {
+    // hlm-lint: allow(no-stdio-output)
+    std::fprintf(stderr, "[FATAL] flight recorder dump failed: %s\n",
+                 status.ToString().c_str());
+  }
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder() {
+  for (Stripe& stripe : stripes_) stripe.ring.reserve(kPerStripe);
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void FlightRecorder::Record(FlightEntry entry) {
+  entry.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  Stripe& stripe = stripes_[entry.thread_id % kStripes];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  if (stripe.ring.size() < kPerStripe) {
+    stripe.ring.push_back(std::move(entry));
+  } else {
+    stripe.ring[stripe.next] = std::move(entry);
+    stripe.next = (stripe.next + 1) % kPerStripe;
+  }
+}
+
+void FlightRecorder::RecordEvent(const Event& event) {
+  FlightEntry entry;
+  entry.kind = FlightEntry::Kind::kEvent;
+  entry.ts_us = event.ts_us;
+  entry.name = event.name;
+  entry.level = EventLevelName(event.level);
+  entry.thread_id = event.thread_id;
+  entry.span_id = event.span_id;
+  std::ostringstream detail;
+  detail << "{";
+  for (size_t i = 0; i < event.attrs.size(); ++i) {
+    if (i > 0) detail << ", ";
+    detail << JsonQuote(event.attrs[i].first) << ": "
+           << event.attrs[i].second.ToJson();
+  }
+  detail << "}";
+  entry.detail = detail.str();
+  Record(std::move(entry));
+}
+
+void FlightRecorder::RecordSpanClose(const TraceEvent& event) {
+  FlightEntry entry;
+  entry.kind = FlightEntry::Kind::kSpan;
+  entry.ts_us = event.start_us;
+  entry.name = event.name;
+  entry.level = "span";
+  entry.thread_id = event.thread_id;
+  entry.span_id = event.span_id;
+  std::ostringstream detail;
+  detail << "{\"duration_us\": " << FormatDouble(event.duration_us)
+         << ", \"parent_id\": " << event.parent_id
+         << ", \"depth\": " << event.depth << "}";
+  entry.detail = detail.str();
+  Record(std::move(entry));
+}
+
+std::vector<FlightEntry> FlightRecorder::Tail(size_t max_entries) const {
+  std::vector<FlightEntry> merged;
+  merged.reserve(kStripes * kPerStripe);
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    merged.insert(merged.end(), stripe.ring.begin(), stripe.ring.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const FlightEntry& a, const FlightEntry& b) {
+              return a.seq < b.seq;
+            });
+  if (merged.size() > max_entries) {
+    merged.erase(merged.begin(),
+                 merged.end() - static_cast<ptrdiff_t>(max_entries));
+  }
+  return merged;
+}
+
+std::string FlightRecorder::ToJson(size_t max_entries) const {
+  std::vector<FlightEntry> entries = Tail(max_entries);
+  std::ostringstream out;
+  out << "{\n  \"run_id\": " << JsonQuote(TraceRecorder::Global().run_id())
+      << ",\n  \"dumped_at_us\": " << FormatDouble(NowMicros())
+      << ",\n  \"entries\": [\n";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const FlightEntry& e = entries[i];
+    out << "    {\"kind\": \""
+        << (e.kind == FlightEntry::Kind::kSpan ? "span" : "event")
+        << "\", \"seq\": " << e.seq << ", \"ts_us\": " << FormatDouble(e.ts_us)
+        << ", \"name\": " << JsonQuote(e.name) << ", \"level\": "
+        << JsonQuote(e.level) << ", \"tid\": " << (e.thread_id % 1000000)
+        << ", \"span_id\": " << e.span_id << ", \"detail\": " << e.detail
+        << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+Status FlightRecorder::DumpToFile(const std::string& path,
+                                  size_t max_entries) const {
+  // Crash-path diagnostic, not a snapshot: written once on the way to
+  // abort(), never reloaded as state.
+  // hlm-lint: allow(no-raw-persist-write)
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open for write: " + path);
+  out << ToJson(max_entries);
+  out.flush();
+  if (!out) return Status::DataLoss("short write: " + path);
+  return Status::OK();
+}
+
+void FlightRecorder::Clear() {
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.ring.clear();
+    stripe.next = 0;
+  }
+}
+
+void SetCrashDumpDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(g_dump_dir_mu);
+  g_dump_dir = dir.empty() ? "." : dir;
+}
+
+std::string CrashDumpPath() {
+  std::string run_id = TraceRecorder::Global().run_id();
+  if (run_id.empty()) run_id = "unknown";
+  std::lock_guard<std::mutex> lock(g_dump_dir_mu);
+  return g_dump_dir + "/hlm-crash-" + run_id + ".json";
+}
+
+void InstallCrashHandler() { SetFatalHook(&DumpOnFatal); }
+
+}  // namespace hlm::obs

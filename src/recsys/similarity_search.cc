@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/errors.h"
 #include "obs/metrics.h"
 
 namespace hlm::recsys {
@@ -25,7 +26,8 @@ SimilaritySearch::SimilaritySearch(
 Result<std::vector<Neighbor>> SimilaritySearch::TopK(
     int query_id, int k, const std::function<bool(int)>& filter) const {
   if (query_id < 0 || query_id >= size()) {
-    return Status::OutOfRange("query company id out of range");
+    return obs::TrackError(
+        "recsys", Status::OutOfRange("query company id out of range"));
   }
   auto self_excluding_filter = [query_id, &filter](int candidate) {
     if (candidate == query_id) return false;
@@ -46,16 +48,23 @@ Result<std::vector<Neighbor>> SimilaritySearch::TopKForVector(
           "hlm.recsys.similarity_queries_total");
   obs::ScopedTimer timer(query_seconds);
   queries_total->Increment();
-  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (k <= 0) {
+    return obs::TrackError("recsys",
+                           Status::InvalidArgument("k must be positive"));
+  }
   if (ragged_) {
-    return Status::InvalidArgument(
-        "representation matrix is ragged: rows differ in width");
+    return obs::TrackError(
+        "recsys",
+        Status::InvalidArgument(
+            "representation matrix is ragged: rows differ in width"));
   }
   if (static_cast<int>(query.size()) != dim_) {
-    return Status::InvalidArgument(
-        "query dimensionality mismatch: query has " +
-        std::to_string(query.size()) + " dims, index has " +
-        std::to_string(dim_));
+    return obs::TrackError(
+        "recsys",
+        Status::InvalidArgument(
+            "query dimensionality mismatch: query has " +
+            std::to_string(query.size()) + " dims, index has " +
+            std::to_string(dim_)));
   }
   std::vector<Neighbor> neighbors;
   neighbors.reserve(representations_.size());

@@ -1,5 +1,6 @@
 #include "serve/registry.h"
 
+#include <atomic>
 #include <fstream>
 #include <functional>
 #include <sstream>
@@ -7,6 +8,8 @@
 
 #include "common/atomic_file.h"
 #include "common/logging.h"
+#include "obs/errors.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "repr/representation.h"
@@ -18,6 +21,9 @@ namespace {
 
 constexpr char kManifestMagic[] = "hlm-registry";
 constexpr int kManifestVersion = 1;
+
+// Process-wide manifest-load ordinal behind ModelRegistry::generation().
+std::atomic<int> g_registry_generation{0};
 
 /// Directory prefix of `path` including the trailing '/', or "" when
 /// the path has no directory component.
@@ -38,6 +44,8 @@ const char* ModelKindName(ModelKind kind) {
       return "lda";
     case ModelKind::kLstm:
       return "lstm";
+    case ModelKind::kGru:
+      return "gru";
     case ModelKind::kBpmf:
       return "bpmf";
     case ModelKind::kChh:
@@ -54,33 +62,37 @@ const char* ModelKindName(ModelKind kind) {
 
 Result<ModelKind> ParseModelKind(const std::string& name) {
   for (ModelKind kind :
-       {ModelKind::kLda, ModelKind::kLstm, ModelKind::kBpmf, ModelKind::kChh,
-        ModelKind::kChhApprox, ModelKind::kNgram,
+       {ModelKind::kLda, ModelKind::kLstm, ModelKind::kGru, ModelKind::kBpmf,
+        ModelKind::kChh, ModelKind::kChhApprox, ModelKind::kNgram,
         ModelKind::kRepresentation}) {
     if (name == ModelKindName(kind)) return kind;
   }
-  return Status::InvalidArgument("unknown model kind: " + name);
+  return obs::TrackError(
+      "serve", Status::InvalidArgument("unknown model kind: " + name));
 }
 
 bool ModelRegistry::Entry::IsLoaded() const {
-  return lda != nullptr || lstm != nullptr || bpmf != nullptr ||
-         chh != nullptr || chh_approx != nullptr || ngram != nullptr ||
-         representation != nullptr;
+  return lda != nullptr || lstm != nullptr || gru != nullptr ||
+         bpmf != nullptr || chh != nullptr || chh_approx != nullptr ||
+         ngram != nullptr || representation != nullptr;
 }
 
 Status ModelRegistry::Register(const std::string& name, ModelKind kind,
                                std::string path) {
   if (name.empty() || HasWhitespace(name)) {
-    return Status::InvalidArgument("model name must be non-empty and "
-                                   "space-free: '" + name + "'");
+    return obs::TrackError(
+        "serve", Status::InvalidArgument("model name must be non-empty and "
+                                         "space-free: '" + name + "'"));
   }
   if (path.empty() || HasWhitespace(path)) {
-    return Status::InvalidArgument("snapshot path must be non-empty and "
-                                   "space-free: '" + path + "'");
+    return obs::TrackError(
+        "serve", Status::InvalidArgument("snapshot path must be non-empty "
+                                         "and space-free: '" + path + "'"));
   }
   auto [it, inserted] = entries_.try_emplace(name);
   if (!inserted) {
-    return Status::AlreadyExists("model already registered: " + name);
+    return obs::TrackError(
+        "serve", Status::AlreadyExists("model already registered: " + name));
   }
   it->second.kind = kind;
   it->second.path = std::move(path);
@@ -90,14 +102,18 @@ Status ModelRegistry::Register(const std::string& name, ModelKind kind,
 Result<ModelRegistry> ModelRegistry::FromManifest(
     const std::string& manifest_path) {
   std::ifstream in(manifest_path);
-  if (!in) return Status::NotFound("cannot open manifest: " + manifest_path);
+  if (!in) {
+    return obs::TrackError(
+        "serve", Status::NotFound("cannot open manifest: " + manifest_path));
+  }
   std::string magic;
   int version = 0;
   in >> magic >> version;
   if (magic != kManifestMagic || version != kManifestVersion) {
-    return Status::DataLoss("not an hlm-registry v" +
-                            std::to_string(kManifestVersion) +
-                            " manifest: " + manifest_path);
+    return obs::TrackError(
+        "serve", Status::DataLoss("not an hlm-registry v" +
+                                  std::to_string(kManifestVersion) +
+                                  " manifest: " + manifest_path));
   }
   const std::string dir = DirName(manifest_path);
   ModelRegistry registry;
@@ -108,22 +124,47 @@ Result<ModelRegistry> ModelRegistry::FromManifest(
     HLM_RETURN_IF_ERROR(registry.Register(name, kind, std::move(path)));
   }
   if (!in.eof()) {
-    return Status::DataLoss("corrupt manifest entry: " + manifest_path);
+    return obs::TrackError(
+        "serve",
+        Status::DataLoss("corrupt manifest entry: " + manifest_path));
   }
+
+  // Stamp and publish the generation, so Statusz (and any metrics
+  // snapshot) shows which model set this process is serving.
+  registry.generation_ =
+      g_registry_generation.fetch_add(1, std::memory_order_relaxed) + 1;
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.GetGauge("hlm.serve.registry_generation")
+      ->Set(static_cast<double>(registry.generation_));
+  metrics.SetMeta("serve.registry.generation",
+                  std::to_string(registry.generation_));
+  metrics.SetMeta("serve.registry.manifest", manifest_path);
+  std::string models;
+  for (const auto& [entry_name, entry] : registry.entries_) {
+    if (!models.empty()) models += ",";
+    models += entry_name + ":" + ModelKindName(entry.kind);
+  }
+  metrics.SetMeta("serve.registry.models", models);
+  HLM_EVENT("serve.registry.loaded",
+            {{"manifest", manifest_path},
+             {"models", static_cast<long long>(registry.size())},
+             {"generation", registry.generation_}});
   return registry;
 }
 
 Status ModelRegistry::SaveManifest(const std::string& manifest_path) const {
   AtomicFileWriter writer(manifest_path);
   if (!writer.ok()) {
-    return Status::Internal("cannot open for write: " + writer.temp_path());
+    return obs::TrackError(
+        "serve",
+        Status::Internal("cannot open for write: " + writer.temp_path()));
   }
   writer.stream() << kManifestMagic << ' ' << kManifestVersion << '\n';
   for (const auto& [name, entry] : entries_) {
     writer.stream() << name << ' ' << ModelKindName(entry.kind) << ' '
                     << entry.path << '\n';
   }
-  return writer.Commit();
+  return obs::TrackError("serve", writer.Commit());
 }
 
 std::vector<RegistryEntry> ModelRegistry::List() const {
@@ -139,7 +180,8 @@ std::vector<RegistryEntry> ModelRegistry::List() const {
 Status ModelRegistry::Verify(const std::string& name) const {
   auto it = entries_.find(name);
   if (it == entries_.end()) {
-    return Status::NotFound("model not registered: " + name);
+    return obs::TrackError(
+        "serve", Status::NotFound("model not registered: " + name));
   }
   obs::MetricsRegistry::Global()
       .GetCounter("hlm.serve.verify_total")
@@ -151,9 +193,12 @@ Status ModelRegistry::Verify(const std::string& name) const {
   HLM_ASSIGN_OR_RETURN(SnapshotReader reader,
                        SnapshotReader::Open(it->second.path));
   if (reader.kind() != ModelKindName(it->second.kind)) {
-    return Status::InvalidArgument(
-        "snapshot kind '" + reader.kind() + "' does not match registered "
-        "kind '" + ModelKindName(it->second.kind) + "': " + it->second.path);
+    return obs::TrackError(
+        "serve",
+        Status::InvalidArgument(
+            "snapshot kind '" + reader.kind() + "' does not match "
+            "registered kind '" + ModelKindName(it->second.kind) + "': " +
+            it->second.path));
   }
   return Status::OK();
 }
@@ -162,13 +207,15 @@ Result<ModelRegistry::Entry*> ModelRegistry::Resolve(const std::string& name,
                                                      ModelKind kind) {
   auto it = entries_.find(name);
   if (it == entries_.end()) {
-    return Status::NotFound("model not registered: " + name);
+    return obs::TrackError(
+        "serve", Status::NotFound("model not registered: " + name));
   }
   if (it->second.kind != kind) {
-    return Status::InvalidArgument(
-        "model '" + name + "' is registered as kind '" +
-        ModelKindName(it->second.kind) + "', requested '" +
-        ModelKindName(kind) + "'");
+    return obs::TrackError(
+        "serve", Status::InvalidArgument(
+                     "model '" + name + "' is registered as kind '" +
+                     ModelKindName(it->second.kind) + "', requested '" +
+                     ModelKindName(kind) + "'"));
   }
   return &it->second;
 }
@@ -193,10 +240,15 @@ Status ModelRegistry::TimedLoad(const std::string& name, ModelKind kind,
   }
   if (!status.ok()) {
     metrics.GetCounter("hlm.serve.load_errors_total")->Increment();
-    return status;
+    // Model-parser failures originate outside serve/ (models/, repr/);
+    // tracking the boundary here gives every failed load a serve-area
+    // error count and event regardless of origin.
+    return obs::TrackError("serve", std::move(status));
   }
   metrics.GetGauge("hlm.serve.models_loaded")
       ->Set(static_cast<double>(NumLoaded()));
+  HLM_EVENT("serve.model.loaded",
+            {{"name", name}, {"kind", ModelKindName(kind)}});
   HLM_LOG(Info) << "serve: loaded " << ModelKindName(kind) << " model '"
                 << name << "' from snapshot";
   return status;
@@ -228,6 +280,21 @@ Result<const models::LstmLanguageModel*> ModelRegistry::Lstm(
     }));
   }
   return static_cast<const models::LstmLanguageModel*>(entry->lstm.get());
+}
+
+Result<const models::GruLanguageModel*> ModelRegistry::Gru(
+    const std::string& name) {
+  HLM_ASSIGN_OR_RETURN(Entry* entry, Resolve(name, ModelKind::kGru));
+  if (entry->gru == nullptr) {
+    HLM_RETURN_IF_ERROR(TimedLoad(name, entry->kind, [entry]() -> Status {
+      HLM_ASSIGN_OR_RETURN(
+          std::unique_ptr<models::GruLanguageModel> model,
+          models::GruLanguageModel::LoadFromFile(entry->path));
+      entry->gru = std::move(model);
+      return Status::OK();
+    }));
+  }
+  return static_cast<const models::GruLanguageModel*>(entry->gru.get());
 }
 
 Result<const models::BpmfModel*> ModelRegistry::Bpmf(const std::string& name) {

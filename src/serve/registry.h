@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "models/bpmf.h"
 #include "models/chh.h"
+#include "models/gru_lm.h"
 #include "models/lda.h"
 #include "models/lstm_lm.h"
 #include "models/ngram.h"
@@ -21,6 +22,7 @@ namespace hlm::serve {
 enum class ModelKind {
   kLda,
   kLstm,
+  kGru,
   kBpmf,
   kChh,
   kChhApprox,
@@ -83,6 +85,7 @@ class ModelRegistry {
   /// Asking for a name under the wrong kind is an InvalidArgument.
   Result<const models::LdaModel*> Lda(const std::string& name);
   Result<const models::LstmLanguageModel*> Lstm(const std::string& name);
+  Result<const models::GruLanguageModel*> Gru(const std::string& name);
   Result<const models::BpmfModel*> Bpmf(const std::string& name);
   Result<const models::ConditionalHeavyHitters*> Chh(const std::string& name);
   Result<const models::ApproximateChh*> ChhApprox(const std::string& name);
@@ -92,6 +95,14 @@ class ModelRegistry {
 
   size_t size() const { return entries_.size(); }
 
+  /// Monotone process-wide manifest-load ordinal, stamped by
+  /// FromManifest (the Nth manifest loaded in this process has
+  /// generation N). 0 for registries built ad hoc via Register. The
+  /// latest generation is published as the hlm.serve.registry_generation
+  /// gauge plus serve.registry.* meta, so Statusz shows which model set
+  /// a process is serving.
+  int generation() const { return generation_; }
+
  private:
   struct Entry {
     ModelKind kind = ModelKind::kLda;
@@ -99,6 +110,7 @@ class ModelRegistry {
     // At most one engaged, matching `kind`, null until first access.
     std::unique_ptr<models::LdaModel> lda;
     std::unique_ptr<models::LstmLanguageModel> lstm;
+    std::unique_ptr<models::GruLanguageModel> gru;
     std::unique_ptr<models::BpmfModel> bpmf;
     std::unique_ptr<models::ConditionalHeavyHitters> chh;
     std::unique_ptr<models::ApproximateChh> chh_approx;
@@ -118,6 +130,7 @@ class ModelRegistry {
   size_t NumLoaded() const;
 
   std::map<std::string, Entry> entries_;
+  int generation_ = 0;
 };
 
 }  // namespace hlm::serve

@@ -4,6 +4,12 @@
 #include <utility>
 
 #include "common/atomic_file.h"
+#include "obs/errors.h"
+
+// Every error return in the container layer is wrapped in
+// obs::TrackError("snapshot", ...), so corrupt or mismatched snapshots
+// surface as hlm.snapshot.errors.<code>_total counters and error
+// events, not just as a Status the caller may swallow.
 
 namespace hlm::serve {
 
@@ -52,7 +58,9 @@ Status SnapshotWriter::CommitToFile(const std::string& path) const {
   const std::string payload = payload_.str();
   AtomicFileWriter writer(path);
   if (!writer.ok()) {
-    return Status::Internal("cannot open for write: " + writer.temp_path());
+    return obs::TrackError(
+        "snapshot",
+        Status::Internal("cannot open for write: " + writer.temp_path()));
   }
   writer.stream() << kMagic << ' ' << kContainerVersion << '\n'
                   << "kind " << kind_ << '\n'
@@ -60,23 +68,31 @@ Status SnapshotWriter::CommitToFile(const std::string& path) const {
                   << "bytes " << payload.size() << '\n'
                   << "checksum " << ChecksumString(Fnv1a64(payload)) << '\n'
                   << payload;
-  return writer.Commit();
+  return obs::TrackError("snapshot", writer.Commit());
 }
 
 Result<SnapshotReader> SnapshotReader::Open(const std::string& path) {
   std::ifstream in(path, std::ios::in | std::ios::binary);
-  if (!in) return Status::NotFound("cannot open: " + path);
+  if (!in) {
+    return obs::TrackError("snapshot",
+                           Status::NotFound("cannot open: " + path));
+  }
   std::string content((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
-  if (in.bad()) return Status::Internal("read error: " + path);
+  if (in.bad()) {
+    return obs::TrackError("snapshot",
+                           Status::Internal("read error: " + path));
+  }
 
   size_t pos = 0;
   std::string line;
   if (!NextLine(content, &pos, &line) ||
       line != std::string(kMagic) + " " + std::to_string(kContainerVersion)) {
-    return Status::DataLoss("not an hlm-snapshot v" +
-                            std::to_string(kContainerVersion) + " file: " +
-                            path);
+    return obs::TrackError(
+        "snapshot",
+        Status::DataLoss("not an hlm-snapshot v" +
+                         std::to_string(kContainerVersion) + " file: " +
+                         path));
   }
 
   SnapshotReader reader;
@@ -87,7 +103,9 @@ Result<SnapshotReader> SnapshotReader::Open(const std::string& path) {
        have_checksum = false;
   while (!have_checksum) {
     if (!NextLine(content, &pos, &line)) {
-      return Status::DataLoss("truncated snapshot header: " + path);
+      return obs::TrackError(
+          "snapshot",
+          Status::DataLoss("truncated snapshot header: " + path));
     }
     std::istringstream fields(line);
     std::string key;
@@ -106,25 +124,31 @@ Result<SnapshotReader> SnapshotReader::Open(const std::string& path) {
       fields >> checksum;
       have_checksum = !checksum.empty();
     } else {
-      return Status::DataLoss("unknown snapshot header field '" + key +
-                              "': " + path);
+      return obs::TrackError(
+          "snapshot", Status::DataLoss("unknown snapshot header field '" +
+                                       key + "': " + path));
     }
   }
   if (!have_kind || !have_version || !have_bytes) {
-    return Status::DataLoss("incomplete snapshot header: " + path);
+    return obs::TrackError(
+        "snapshot", Status::DataLoss("incomplete snapshot header: " + path));
   }
   if (content.size() - pos < payload_bytes) {
-    return Status::DataLoss("truncated snapshot payload (" +
-                            std::to_string(content.size() - pos) + " of " +
-                            std::to_string(payload_bytes) + " bytes): " +
-                            path);
+    return obs::TrackError(
+        "snapshot",
+        Status::DataLoss("truncated snapshot payload (" +
+                         std::to_string(content.size() - pos) + " of " +
+                         std::to_string(payload_bytes) + " bytes): " + path));
   }
   if (content.size() - pos > payload_bytes) {
-    return Status::DataLoss("trailing bytes after snapshot payload: " + path);
+    return obs::TrackError(
+        "snapshot",
+        Status::DataLoss("trailing bytes after snapshot payload: " + path));
   }
   reader.payload_ = content.substr(pos, payload_bytes);
   if (ChecksumString(Fnv1a64(reader.payload_)) != checksum) {
-    return Status::DataLoss("snapshot checksum mismatch: " + path);
+    return obs::TrackError(
+        "snapshot", Status::DataLoss("snapshot checksum mismatch: " + path));
   }
   reader.stream_.str(reader.payload_);
   return reader;
@@ -133,26 +157,33 @@ Result<SnapshotReader> SnapshotReader::Open(const std::string& path) {
 Status SnapshotReader::ExpectKind(const std::string& kind,
                                   int kind_version) const {
   if (kind_ != kind) {
-    return Status::InvalidArgument("snapshot holds kind '" + kind_ +
-                                   "', expected '" + kind + "': " + path_);
+    return obs::TrackError(
+        "snapshot",
+        Status::InvalidArgument("snapshot holds kind '" + kind_ +
+                                "', expected '" + kind + "': " + path_));
   }
   if (kind_version_ != kind_version) {
-    return Status::InvalidArgument(
-        "snapshot kind '" + kind_ + "' at version " +
-        std::to_string(kind_version_) + ", expected " +
-        std::to_string(kind_version) + ": " + path_);
+    return obs::TrackError(
+        "snapshot",
+        Status::InvalidArgument("snapshot kind '" + kind_ + "' at version " +
+                                std::to_string(kind_version_) +
+                                ", expected " +
+                                std::to_string(kind_version) + ": " + path_));
   }
   return Status::OK();
 }
 
 Status SnapshotReader::Finish() {
   if (stream_.fail()) {
-    return Status::DataLoss("corrupt snapshot payload: " + path_);
+    return obs::TrackError(
+        "snapshot", Status::DataLoss("corrupt snapshot payload: " + path_));
   }
   stream_ >> std::ws;
   if (!stream_.eof() && stream_.peek() != EOF) {
-    return Status::DataLoss("trailing garbage after snapshot payload: " +
-                            path_);
+    return obs::TrackError(
+        "snapshot",
+        Status::DataLoss("trailing garbage after snapshot payload: " +
+                         path_));
   }
   return Status::OK();
 }

@@ -1,0 +1,16 @@
+// Fixture for the span-event-naming rule: span and event names that
+// break the dot.case convention. Linted as if it lived under src/.
+
+void BadSpans() {
+  obs::TraceSpan span1("TrainLda");            // CamelCase: flagged
+  obs::TraceSpan span2("lda");                 // one segment: flagged
+  obs::TraceSpan span3("lda..train");          // empty segment: flagged
+  obs::TraceSpan span4("lda.train");           // well-formed: passes
+}
+
+void BadEvents() {
+  HLM_EVENT("Registry.Loaded", {{"n", 1}});    // uppercase: flagged
+  HLM_EVENT_AT(::hlm::obs::EventLevel::kError, "oops_no_dot",
+               {{"code", 1}});                 // one segment: flagged
+  HLM_EVENT("serve.model.loaded", {{"n", 1}}); // well-formed: passes
+}

@@ -300,9 +300,9 @@ TEST(LintPersistWriteTest, AnnotationSuppresses) {
   EXPECT_TRUE(diags.empty());
 }
 
-TEST(LintRuleListTest, AllNineRulesAdvertised) {
+TEST(LintRuleListTest, AllTenRulesAdvertised) {
   std::vector<std::string> rules = RuleNames();
-  EXPECT_EQ(rules.size(), 9u);
+  EXPECT_EQ(rules.size(), 10u);
   EXPECT_NE(std::find(rules.begin(), rules.end(), "no-raw-rng"),
             rules.end());
   EXPECT_NE(std::find(rules.begin(), rules.end(), "include-order"),
@@ -310,6 +310,8 @@ TEST(LintRuleListTest, AllNineRulesAdvertised) {
   EXPECT_NE(std::find(rules.begin(), rules.end(), "no-raw-persist-write"),
             rules.end());
   EXPECT_NE(std::find(rules.begin(), rules.end(), "metric-naming"),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "span-event-naming"),
             rules.end());
 }
 
@@ -367,6 +369,61 @@ TEST(LintFixtureTest, BadMetricNamesFixtureFlagged) {
   auto diags = LintContent("src/obs/bad_metric_names.cc",
                            ReadFixture("bad_metric_names.cc"));
   EXPECT_EQ(CountRule(diags, "metric-naming"), 3);
+}
+
+TEST(LintSpanEventNamingTest, FlagsNonDotCaseSpanAndEventNames) {
+  auto diags = LintContent("src/models/foo.cc", R"cpp(
+obs::TraceSpan span("TrainLda");
+HLM_EVENT("registryloaded", {{"n", 1}});
+HLM_EVENT_AT(::hlm::obs::EventLevel::kError, "Bad.Case", {{"c", 2}});
+)cpp");
+  EXPECT_EQ(CountRule(diags, "span-event-naming"), 3);
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_NE(diags[0].message.find("dot.case"), std::string::npos);
+}
+
+TEST(LintSpanEventNamingTest, WellFormedNamesPass) {
+  EXPECT_TRUE(LintContent("src/models/foo.cc", R"cpp(
+obs::TraceSpan train_span("lda.train", histogram);
+HLM_EVENT("serve.model.loaded", {{"kind", kind}});
+HLM_EVENT_AT(::hlm::obs::EventLevel::kWarn, "snapshot.verify.failed",
+             {{"path", path}});
+)cpp").empty());
+}
+
+TEST(LintSpanEventNamingTest, WrappedLiteralOnNextLineIsChecked) {
+  auto diags = LintContent("src/models/foo.cc",
+                           "obs::TraceSpan train_span(\n"
+                           "    \"TrainSweep\", histogram);\n");
+  EXPECT_EQ(CountRule(diags, "span-event-naming"), 1);
+  EXPECT_EQ(diags[0].line, 2);
+}
+
+TEST(LintSpanEventNamingTest, DynamicNamesAndNonSrcAreSkipped) {
+  // A name built by concatenation starts with a wrapper expression, not
+  // a literal — out of the heuristic's reach.
+  EXPECT_TRUE(LintContent(
+                  "src/serve/foo.cc",
+                  "obs::TraceSpan span(std::string(\"serve.load.\") + "
+                  "kind);\n")
+                  .empty());
+  // Tests name spans freely; the convention binds library code only.
+  EXPECT_TRUE(
+      LintContent("tests/foo_test.cc", "obs::TraceSpan span(\"outer\");\n")
+          .empty());
+}
+
+TEST(LintSpanEventNamingTest, AnnotationSuppresses) {
+  EXPECT_TRUE(LintContent("src/models/foo.cc",
+                          "// hlm-lint: allow(span-event-naming)\n"
+                          "obs::TraceSpan span(\"LegacyName\");\n")
+                  .empty());
+}
+
+TEST(LintFixtureTest, BadSpanNamesFixtureFlagged) {
+  auto diags = LintContent("src/obs/bad_span_names.cc",
+                           ReadFixture("bad_span_names.cc"));
+  EXPECT_EQ(CountRule(diags, "span-event-naming"), 5);
 }
 
 }  // namespace

@@ -1,17 +1,25 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/check.h"
+#include "common/parallel.h"
+#include "obs/events.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/percentiles.h"
 #include "obs/profiler.h"
+#include "obs/statusz.h"
 #include "obs/trace.h"
 
 namespace hlm::obs {
@@ -516,6 +524,362 @@ TEST_F(TraceTest, HostileSpanNamesAreEscapedInChromeJson) {
   EXPECT_NE(json.find("we\\\"ird\\\\span\\nname"), std::string::npos);
   // The raw quote byte must never appear unescaped inside the name.
   EXPECT_EQ(json.find("we\"ird"), std::string::npos);
+}
+
+// ----------------------------------------------------------- Wide events
+
+TEST(EventLogTest, EmitStampsContextAndBuffersInOrder) {
+  EventLog log;
+  log.Emit(EventLevel::kInfo, "test.first", {{"sweep", 3}, {"ok", true}});
+  log.Emit(EventLevel::kError, "test.second",
+           {{"loglik", -1.5}, {"model", "lda"}});
+  std::vector<Event> events = log.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "test.first");
+  EXPECT_EQ(events[1].level, EventLevel::kError);
+  EXPECT_GT(events[0].thread_id, 0u);
+  EXPECT_LE(events[0].ts_us, events[1].ts_us);
+
+  std::string line = events[1].ToJsonLine();
+  EXPECT_EQ(line.find("{\"ts_us\": "), 0u);
+  EXPECT_NE(line.find("\"level\": \"error\""), std::string::npos);
+  EXPECT_NE(line.find("\"name\": \"test.second\""), std::string::npos);
+  EXPECT_NE(line.find("\"loglik\": -1.5"), std::string::npos);
+  EXPECT_NE(line.find("\"model\": \"lda\""), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos) << "one line per event";
+}
+
+TEST(EventLogTest, MinLevelGateAndDisableDropBeforeConstruction) {
+  EventLog log;
+  log.SetMinLevel(EventLevel::kWarning);
+  EXPECT_FALSE(log.ShouldEmit(EventLevel::kInfo));
+  EXPECT_TRUE(log.ShouldEmit(EventLevel::kError));
+  log.Emit(EventLevel::kWarning, "test.kept");
+  EXPECT_EQ(log.Events().size(), 1u);
+  log.Disable();
+  EXPECT_FALSE(log.ShouldEmit(EventLevel::kError));
+}
+
+TEST(EventLogTest, PerNameSamplingKeepsEveryNth) {
+  EventLog log;
+  log.SetSampleEvery(3);
+  for (int i = 0; i < 7; ++i) {
+    log.Emit(EventLevel::kInfo, "test.chatty", {{"i", i}});
+  }
+  // Ordinals 0, 3, 6 survive; a rare name is untouched by the chatty
+  // name's counter.
+  log.Emit(EventLevel::kInfo, "test.rare");
+  std::vector<Event> events = log.Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[3].name, "test.rare");
+}
+
+TEST(EventLogTest, NameCardinalityOverflowCollapses) {
+  EventLog log;
+  for (size_t i = 0; i < EventLog::kMaxNames + 5; ++i) {
+    log.Emit(EventLevel::kInfo, "test.name." + std::to_string(i));
+  }
+  std::vector<Event> events = log.Events();
+  ASSERT_EQ(events.size(), EventLog::kMaxNames + 5);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(events[EventLog::kMaxNames + i].name, "obs.events.overflow");
+  }
+}
+
+TEST(EventLogTest, WriteJsonlEmitsOneParseableLinePerEvent) {
+  EventLog log;
+  log.Emit(EventLevel::kInfo, "test.a", {{"k", 1}});
+  log.Emit(EventLevel::kWarning, "test.we\"ird\nname", {{"v", 2.5}});
+  std::string path = ::testing::TempDir() + "/events_test.jsonl";
+  ASSERT_TRUE(log.WriteJsonl(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    for (const char* key : {"\"ts_us\"", "\"level\"", "\"name\"",
+                            "\"tid\"", "\"span_id\"", "\"attrs\""}) {
+      EXPECT_NE(line.find(key), std::string::npos) << key << " in " << line;
+    }
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+}
+
+TEST(EventLogTest, MacroGatesAndCapturesCurrentSpan) {
+  EventLog& log = EventLog::Global();
+  log.Clear();
+  log.SetMinLevel(EventLevel::kInfo);
+  TraceRecorder::Global().Clear();
+  TraceRecorder::Global().Enable();
+  int64_t span_id = 0;
+  {
+    TraceSpan span("test.scope");
+    span_id = span.span_id();
+    HLM_EVENT("test.inside", {{"step", 1}});
+    HLM_EVENT_AT(EventLevel::kDebug, "test.gated");  // below min level
+  }
+  HLM_EVENT("test.outside");
+  TraceRecorder::Global().Disable();
+  TraceRecorder::Global().Clear();
+
+  std::vector<Event> events = log.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "test.inside");
+  EXPECT_EQ(events[0].span_id, span_id) << "event joins the open span";
+  EXPECT_EQ(events[1].span_id, 0) << "no open span -> 0";
+  log.Clear();
+}
+
+TEST(EventValueTest, SerializesEachKindAsBareJson) {
+  EXPECT_EQ(EventValue(true).ToJson(), "true");
+  EXPECT_EQ(EventValue(42).ToJson(), "42");
+  EXPECT_EQ(EventValue(-1.5).ToJson(), "-1.5");
+  EXPECT_EQ(EventValue("s").ToJson(), "\"s\"");
+  EXPECT_EQ(EventValue(std::string("a\"b")).ToJson(), "\"a\\\"b\"");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(EventValue(inf).ToJson(), "null") << "JSON has no inf";
+}
+
+// ------------------------------------------------------- Flight recorder
+
+FlightEntry MakeEntry(uint64_t tid, const std::string& name) {
+  FlightEntry entry;
+  entry.ts_us = NowMicros();
+  entry.name = name;
+  entry.level = "info";
+  entry.thread_id = tid;
+  return entry;
+}
+
+TEST(FlightRecorderTest, TailMergesStripesInAdmissionOrder) {
+  FlightRecorder recorder;
+  // Interleave across stripes (tid picks the stripe).
+  for (int i = 0; i < 20; ++i) {
+    recorder.Record(MakeEntry(static_cast<uint64_t>(i),
+                              "test.entry." + std::to_string(i)));
+  }
+  std::vector<FlightEntry> tail = recorder.Tail(5);
+  ASSERT_EQ(tail.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(tail[i].name, "test.entry." + std::to_string(15 + i))
+        << "newest five, oldest first";
+    if (i > 0) {
+      EXPECT_GT(tail[i].seq, tail[i - 1].seq);
+    }
+  }
+}
+
+TEST(FlightRecorderTest, RingOverwritesOldestWithinAStripe) {
+  FlightRecorder recorder;
+  // One stripe (fixed tid): capacity kPerStripe, 2x that recorded.
+  const size_t n = FlightRecorder::kPerStripe * 2;
+  for (size_t i = 0; i < n; ++i) {
+    recorder.Record(MakeEntry(3, "test.ring." + std::to_string(i)));
+  }
+  std::vector<FlightEntry> tail = recorder.Tail(n);
+  ASSERT_EQ(tail.size(), FlightRecorder::kPerStripe);
+  EXPECT_EQ(tail.front().name,
+            "test.ring." + std::to_string(FlightRecorder::kPerStripe));
+  EXPECT_EQ(tail.back().name, "test.ring." + std::to_string(n - 1));
+}
+
+TEST(FlightRecorderTest, ToJsonCarriesRunIdEntriesAndDetail) {
+  FlightRecorder recorder;
+  FlightEntry entry = MakeEntry(1, "test.detail");
+  entry.detail = "{\"sweep\": 3}";
+  recorder.Record(entry);
+  recorder.Record(MakeEntry(2, "test.plain"));  // empty detail
+  std::string json = recorder.ToJson();
+  EXPECT_NE(json.find("\"run_id\""), std::string::npos);
+  EXPECT_NE(json.find("\"entries\""), std::string::npos);
+  EXPECT_NE(json.find("\"detail\": {\"sweep\": 3}"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"test.plain\""), std::string::npos);
+  EXPECT_EQ(json.find("\"detail\": ,"), std::string::npos)
+      << "empty detail must render as an object, not vanish";
+}
+
+TEST(FlightRecorderTest, GlobalSeesEventsAndSpanCloses) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  recorder.Clear();
+  TraceRecorder::Global().Clear();
+  TraceRecorder::Global().Enable();
+  EventLog::Global().Clear();
+  { TraceSpan span("test.flight.span"); }
+  HLM_EVENT("test.flight.event", {{"n", 1}});
+  TraceRecorder::Global().Disable();
+  TraceRecorder::Global().Clear();
+
+  bool saw_span = false, saw_event = false;
+  for (const FlightEntry& entry : recorder.Tail(16)) {
+    if (entry.name == "test.flight.span") {
+      saw_span = true;
+      EXPECT_EQ(entry.level, "span");
+      EXPECT_EQ(entry.kind, FlightEntry::Kind::kSpan);
+    }
+    if (entry.name == "test.flight.event") saw_event = true;
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_event);
+  EventLog::Global().Clear();
+  recorder.Clear();
+}
+
+// The acceptance-critical crash path: a failed HLM_CHECK must leave a
+// parseable hlm-crash-<run_id>.json behind before aborting.
+TEST(FlightRecorderDeathTest, CheckFailureDumpsFlightRecorder) {
+  const std::string dir = ::testing::TempDir();
+  const std::string dump = dir + "/hlm-crash-obsdeath.json";
+  std::remove(dump.c_str());
+  TraceRecorder::Global().SetRunId("obsdeath");
+  SetCrashDumpDir(dir);
+  InstallCrashHandler();
+  HLM_EVENT("test.death.before", {{"armed", true}});
+  EXPECT_DEATH({ HLM_CHECK(1 == 2) << "deliberate"; }, "deliberate");
+
+  // The child process wrote the dump before aborting.
+  std::ifstream in(dump);
+  ASSERT_TRUE(in.good()) << "missing crash dump " << dump;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"run_id\": \"obsdeath\""), std::string::npos);
+  EXPECT_NE(json.find("\"entries\""), std::string::npos);
+  EXPECT_NE(json.find("test.death.before"), std::string::npos);
+  std::remove(dump.c_str());
+  TraceRecorder::Global().SetRunId("");
+  SetCrashDumpDir(".");
+}
+
+// ----------------------------------------------------------------- Statusz
+
+TEST(StatuszTest, LiveTextNamesEverySection) {
+  MetricsRegistry::Global().GetCounter("hlm.statusz.test_total")
+      ->Increment(4);
+  MetricsRegistry::Global()
+      .GetHistogram("hlm.statusz.test_seconds")
+      ->Observe(0.125);
+  std::string text = StatuszText();
+  for (const char* section :
+       {"==== hlm statusz ====", "-- counters --", "-- gauges --",
+        "-- latency percentiles --", "-- open spans",
+        "-- flight recorder tail"}) {
+    EXPECT_NE(text.find(section), std::string::npos) << section;
+  }
+  EXPECT_NE(text.find("hlm.statusz.test_total"), std::string::npos);
+  EXPECT_NE(text.find("hlm.statusz.test_seconds"), std::string::npos);
+  EXPECT_NE(text.find("name count p50 p90 p99 max"), std::string::npos);
+}
+
+TEST(StatuszTest, LiveJsonEmbedsMetricsAndShowsOpenSpans) {
+  TraceRecorder::Global().Clear();
+  TraceRecorder::Global().Enable();
+  TraceSpan open_span("test.statusz.open");
+  std::string json = StatuszJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"percentiles\""), std::string::npos);
+  EXPECT_NE(json.find("\"open_spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"flight_tail\""), std::string::npos);
+  EXPECT_NE(json.find("test.statusz.open"), std::string::npos)
+      << "the still-open span must be visible";
+  std::string text = StatuszText();
+  EXPECT_NE(text.find("test.statusz.open"), std::string::npos);
+}
+
+TEST(StatuszTest, RenderersWorkFromDetachedParts) {
+  MetricsRegistry registry;
+  registry.GetCounter("hlm.render.x_total")->Increment(9);
+  OpenSpanInfo open;
+  open.span_id = 42;
+  open.name = "test.render.span";
+  FlightEntry entry;
+  entry.name = "test.render.event";
+  entry.level = "info";
+  std::string text =
+      RenderStatuszText(registry.Snapshot(), {open}, {entry});
+  EXPECT_NE(text.find("hlm.render.x_total"), std::string::npos);
+  EXPECT_NE(text.find("test.render.span"), std::string::npos);
+  EXPECT_NE(text.find("test.render.event"), std::string::npos);
+  std::string json =
+      RenderStatuszJson(registry.Snapshot(), {open}, {entry});
+  EXPECT_NE(json.find("\"hlm.render.x_total\": 9"), std::string::npos);
+}
+
+// ------------------------------------------- thread names in trace export
+
+TEST_F(TraceTest, ChromeJsonEmitsThreadNameMetadataFirst) {
+  SetCurrentThreadName("hlm-test-main");
+  { TraceSpan span("test.named"); }
+  std::string json = TraceRecorder::Global().ToChromeJson();
+  size_t meta = json.find("\"ph\": \"M\"");
+  size_t complete = json.find("\"ph\": \"X\"");
+  ASSERT_NE(meta, std::string::npos);
+  ASSERT_NE(complete, std::string::npos);
+  EXPECT_LT(meta, complete) << "metadata must precede duration events";
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"hlm-test-main\""),
+            std::string::npos);
+}
+
+// ------------------------------------------------- deterministic span ids
+
+TEST_F(TraceTest, SpanIdsReplayAfterClear) {
+  auto run = []() {
+    TraceRecorder::Global().Clear();
+    std::vector<int64_t> ids;
+    {
+      TraceSpan a("replay.a");
+      ids.push_back(a.span_id());
+      {
+        TraceSpan b("replay.b");
+        ids.push_back(b.span_id());
+      }
+      TraceSpan c("replay.c");
+      ids.push_back(c.span_id());
+    }
+    TraceSpan d("replay.d");
+    ids.push_back(d.span_id());
+    return ids;
+  };
+  std::vector<int64_t> first = run();
+  std::vector<int64_t> second = run();
+  EXPECT_EQ(first, second) << "Clear() must reset the replay state";
+  // Same name under different parents/ordinals -> different ids.
+  std::set<int64_t> unique(first.begin(), first.end());
+  EXPECT_EQ(unique.size(), first.size());
+}
+
+// S5: metrics + events + spans hammered from a traced parallel region.
+// The TSan tier-1 stage runs this binary, so data races here fail CI.
+TEST_F(TraceTest, ConcurrentMetricsEventsAndSpansAreSafe) {
+  EventLog::Global().Clear();
+  SetNumThreads(4);
+  Counter* counter =
+      MetricsRegistry::Global().GetCounter("hlm.hammer.items_total");
+  long long before = counter->value();
+  {
+    TraceSpan root("hammer.root");
+    ParallelFor(0, 256, /*grain=*/1, [&](size_t i) {
+      TraceSpan item("hammer.item");
+      counter->Increment();
+      if (i % 16 == 0) {
+        HLM_EVENT("hammer.event", {{"i", static_cast<long long>(i)}});
+      }
+    });
+  }
+  SetNumThreads(0);
+  EXPECT_EQ(counter->value(), before + 256);
+  EXPECT_EQ(TraceRecorder::Global().Events().size(), 257u);
+  size_t hammer_events = 0;
+  for (const Event& event : EventLog::Global().Events()) {
+    if (event.name == "hammer.event") ++hammer_events;
+  }
+  EXPECT_EQ(hammer_events, 16u);
+  EventLog::Global().Clear();
 }
 
 }  // namespace

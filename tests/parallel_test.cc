@@ -2,14 +2,20 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
+#include <set>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <tuple>
 #include <vector>
 
+#include "common/logging.h"
 #include "math/rng.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hlm {
 namespace {
@@ -126,6 +132,158 @@ TEST_F(ParallelTest, ForkAtIsDeterministicAndDecorrelated) {
   // Distinct parent seeds must give distinct child streams at the same
   // index.
   EXPECT_NE(Rng(1).ForkAt(5).NextUint64(), Rng(2).ForkAt(5).NextUint64());
+}
+
+// ------------------------------------------------- trace propagation
+
+// Shared fixture for the traced-region tests: tracing on, recorder (and
+// the calling thread's root-ordinal counter) reset per test so span ids
+// replay deterministically.
+class ParallelTraceTest : public ParallelTest {
+ protected:
+  void SetUp() override {
+    obs::TraceRecorder::Global().Clear();
+    obs::TraceRecorder::Global().Enable();
+  }
+  void TearDown() override {
+    obs::TraceRecorder::Global().Disable();
+    obs::TraceRecorder::Global().Clear();
+    ParallelTest::TearDown();
+  }
+};
+
+// One span tree: (span_id, parent_id, name, depth) per closed span,
+// order-insensitive.
+using SpanTree = std::set<std::tuple<int64_t, int64_t, std::string, int>>;
+
+SpanTree CollectTree() {
+  SpanTree tree;
+  for (const obs::TraceEvent& e : obs::TraceRecorder::Global().Events()) {
+    tree.insert({e.span_id, e.parent_id, e.name, e.depth});
+  }
+  return tree;
+}
+
+// The tentpole guarantee: a traced ParallelFor region produces a single
+// rooted span tree whose ids are a pure function of the work, not of
+// the thread count or chunk shape.
+TEST_F(ParallelTraceTest, SpanTreeIsIdenticalAcrossThreadCounts) {
+  constexpr size_t kItems = 64;
+  auto run = [&]() {
+    obs::TraceRecorder::Global().Clear();
+    {
+      obs::TraceSpan root("region.root");
+      ParallelFor(0, kItems, /*grain=*/1, [&](size_t) {
+        obs::TraceSpan item("region.item");
+      });
+    }
+    return CollectTree();
+  };
+  SetNumThreads(1);
+  SpanTree serial = run();
+  ASSERT_EQ(serial.size(), kItems + 1);
+
+  for (int threads : {2, 4}) {
+    SetNumThreads(threads);
+    SpanTree parallel = run();
+    EXPECT_EQ(parallel, serial) << "at " << threads << " threads";
+  }
+
+  // Structure: exactly one root, every item parented on it, all ids
+  // distinct (the set of 65 tuples already proves distinct tuples; ids
+  // must also be unique on their own).
+  int64_t root_id = 0;
+  std::set<int64_t> ids;
+  for (const auto& [id, parent, name, depth] : serial) {
+    ids.insert(id);
+    if (name == "region.root") {
+      EXPECT_EQ(parent, 0);
+      EXPECT_EQ(depth, 0);
+      root_id = id;
+    }
+  }
+  EXPECT_EQ(ids.size(), kItems + 1);
+  ASSERT_NE(root_id, 0);
+  for (const auto& [id, parent, name, depth] : serial) {
+    if (name == "region.item") {
+      EXPECT_EQ(parent, root_id) << "worker span must nest under caller";
+      EXPECT_EQ(depth, 1);
+    }
+  }
+}
+
+// Two sequential regions under the same caller must not collide, and
+// nested ParallelFor (inline on the worker) must keep parentage.
+TEST_F(ParallelTraceTest, SequentialAndNestedRegionsKeepDistinctIds) {
+  SetNumThreads(4);
+  auto run = [&]() {
+    obs::TraceRecorder::Global().Clear();
+    {
+      obs::TraceSpan root("outer.root");
+      ParallelFor(0, 4, /*grain=*/1, [&](size_t) {
+        obs::TraceSpan first("pass.one");
+      });
+      ParallelFor(0, 4, /*grain=*/1, [&](size_t) {
+        obs::TraceSpan second("pass.two");
+        ParallelFor(0, 2, /*grain=*/1, [&](size_t) {
+          obs::TraceSpan inner("pass.two.inner");
+        });
+      });
+    }
+    return CollectTree();
+  };
+  SpanTree tree = run();
+  // 1 root + 4 pass.one + 4 pass.two + 8 inner.
+  EXPECT_EQ(tree.size(), 17u);
+  // Replaying the same workload reproduces the identical tree.
+  EXPECT_EQ(run(), tree);
+  // Inner spans parent on a pass.two span, not on the root.
+  std::set<int64_t> second_ids;
+  for (const auto& [id, parent, name, depth] : tree) {
+    if (name == "pass.two") second_ids.insert(id);
+  }
+  for (const auto& [id, parent, name, depth] : tree) {
+    if (name == "pass.two.inner") {
+      EXPECT_TRUE(second_ids.count(parent))
+          << "inner span parented outside its pass.two region";
+    }
+  }
+}
+
+TEST_F(ParallelTraceTest, UntracedRegionsStayCheap) {
+  obs::TraceRecorder::Global().Disable();
+  ParallelFor(0, 128, /*grain=*/0, [](size_t) {});
+  EXPECT_TRUE(obs::TraceRecorder::Global().Events().empty());
+}
+
+// S1: concurrent HLM_LOG from pool workers must stay line-atomic (the
+// sink mutex serializes whole messages, never interleaving bytes).
+TEST_F(ParallelTest, ConcurrentLoggingIsLineAtomic) {
+  SetNumThreads(4);
+  std::ostringstream sink;
+  std::ostream* previous = SetLogSink(&sink);
+  ParallelFor(0, 64, /*grain=*/1, [](size_t i) {
+    HLM_LOG(Info) << "worker-line begin " << i << " end";
+  });
+  SetLogSink(previous);
+
+  std::istringstream lines(sink.str());
+  std::string line;
+  int matched = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    // Every line is one complete message: a single level tag and the
+    // begin/end brackets in order.
+    EXPECT_EQ(line.find("[INFO"), 0u) << "torn line: " << line;
+    EXPECT_EQ(line.rfind("[INFO"), 0u) << "interleaved line: " << line;
+    size_t begin = line.find("worker-line begin ");
+    size_t end = line.find(" end");
+    ASSERT_NE(begin, std::string::npos) << line;
+    ASSERT_NE(end, std::string::npos) << line;
+    EXPECT_LT(begin, end);
+    ++matched;
+  }
+  EXPECT_EQ(matched, 64);
 }
 
 TEST_F(ParallelTest, RecordsTaskMetrics) {

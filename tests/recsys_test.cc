@@ -2,6 +2,7 @@
 
 #include "common/parallel.h"
 #include "corpus/generator.h"
+#include "obs/metrics.h"
 #include "corpus/month.h"
 #include "corpus/product_taxonomy.h"
 #include "recsys/evaluation.h"
@@ -317,6 +318,39 @@ TEST(SimilaritySearchTest, RaggedMatrixPoisonsAllQueries) {
   EXPECT_NE(by_vector.status().message().find("ragged"), std::string::npos);
   // TopK routes through the same check even though row 0 itself is fine.
   EXPECT_FALSE(search.TopK(0, 2).ok());
+}
+
+// Every Status error a query returns also increments the per-code
+// hlm.recsys error counters, so bad queries are visible on /statusz
+// even when the caller swallows the Status.
+TEST(SimilaritySearchTest, ErrorsIncrementRecsysErrorCounters) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  long long total_before =
+      metrics.GetCounter("hlm.recsys.errors_total")->value();
+  long long oor_before =
+      metrics.GetCounter("hlm.recsys.errors.out_of_range_total")->value();
+  long long invalid_before =
+      metrics.GetCounter("hlm.recsys.errors.invalid_argument_total")
+          ->value();
+
+  std::vector<std::vector<double>> reps = {{0.0, 0.0}, {1.0, 1.0}};
+  SimilaritySearch search(reps, cluster::DistanceKind::kEuclidean);
+  EXPECT_FALSE(search.TopK(99, 2).ok());            // out_of_range
+  EXPECT_FALSE(search.TopKForVector({1.0}, 2).ok());  // invalid_argument
+  EXPECT_FALSE(search.TopKForVector({1.0, 2.0}, 0).ok());  // k <= 0
+
+  EXPECT_EQ(metrics.GetCounter("hlm.recsys.errors_total")->value(),
+            total_before + 3);
+  EXPECT_EQ(
+      metrics.GetCounter("hlm.recsys.errors.out_of_range_total")->value(),
+      oor_before + 1);
+  EXPECT_EQ(metrics.GetCounter("hlm.recsys.errors.invalid_argument_total")
+                ->value(),
+            invalid_before + 2);
+  // A well-formed query leaves the error counters alone.
+  ASSERT_TRUE(search.TopK(0, 1).ok());
+  EXPECT_EQ(metrics.GetCounter("hlm.recsys.errors_total")->value(),
+            total_before + 3);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include "models/bpmf.h"
 #include "models/chh.h"
 #include "models/lda.h"
+#include "models/gru_lm.h"
 #include "models/lstm_lm.h"
 #include "models/ngram.h"
 #include "repr/representation.h"
@@ -151,6 +152,70 @@ TEST(LstmSerializationTest, RejectsTrailingGarbageAfterPayload) {
 
   AppendPayloadGarbage(path, "\n0.5 0.5 0.5\n");
   auto loaded = LstmLanguageModel::LoadFromFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("trailing garbage"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(GruSerializationTest, RoundTripIsBitIdentical) {
+  auto world = corpus::GenerateDefaultCorpus(120, 5);
+  GruConfig config;
+  config.hidden_size = 12;
+  config.epochs = 2;
+  GruLanguageModel original(38, config);
+  original.Train(world.corpus.Sequences());
+
+  std::string path = ::testing::TempDir() + "/gru_roundtrip.hlm";
+  ASSERT_TRUE(original.SaveToFile(path).ok());
+  auto restored = GruLanguageModel::LoadFromFile(path);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+
+  // Doubles persist at precision 17, so the loaded model scores
+  // bit-identically, not just approximately.
+  auto sequences = world.corpus.Sequences();
+  EXPECT_EQ((*restored)->Perplexity(sequences),
+            original.Perplexity(sequences));
+  EXPECT_EQ((*restored)->NextProductDistribution({0, 5}),
+            original.NextProductDistribution({0, 5}));
+  EXPECT_EQ((*restored)->NumParameters(), original.NumParameters());
+  std::remove(path.c_str());
+}
+
+TEST(GruSerializationTest, RejectsCorruptAndWrongKind) {
+  EXPECT_FALSE(GruLanguageModel::LoadFromFile("/nonexistent").ok());
+
+  // Truncated payload inside a valid container.
+  serve::SnapshotWriter truncated("gru", 1);
+  truncated.payload() << "38 12 0.001 2 5 77\n3 3\n1 2 3";
+  std::string path = ::testing::TempDir() + "/gru_corrupt.hlm";
+  ASSERT_TRUE(truncated.CommitToFile(path).ok());
+  auto loaded = GruLanguageModel::LoadFromFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("truncated hlm-gru"),
+            std::string::npos);
+
+  // An LSTM snapshot must be rejected by kind, not half-parsed.
+  serve::SnapshotWriter wrong_kind("lstm", 1);
+  wrong_kind.payload() << "38 12 2 0.25 0.003 3 64 5 0 99\n";
+  ASSERT_TRUE(wrong_kind.CommitToFile(path).ok());
+  EXPECT_FALSE(GruLanguageModel::LoadFromFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(GruSerializationTest, RejectsTrailingGarbageAfterPayload) {
+  auto world = corpus::GenerateDefaultCorpus(60, 5);
+  GruConfig config;
+  config.hidden_size = 8;
+  config.epochs = 1;
+  GruLanguageModel model(38, config);
+  model.Train(world.corpus.Sequences());
+  std::string path = ::testing::TempDir() + "/gru_trailing.hlm";
+  ASSERT_TRUE(model.SaveToFile(path).ok());
+  ASSERT_TRUE(GruLanguageModel::LoadFromFile(path).ok());
+
+  AppendPayloadGarbage(path, "\n0.5 0.5 0.5\n");
+  auto loaded = GruLanguageModel::LoadFromFile(path);
   ASSERT_FALSE(loaded.ok());
   EXPECT_NE(loaded.status().message().find("trailing garbage"),
             std::string::npos);

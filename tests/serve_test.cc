@@ -7,8 +7,10 @@
 
 #include "common/atomic_file.h"
 #include "corpus/generator.h"
+#include "models/gru_lm.h"
 #include "models/lda.h"
 #include "models/ngram.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "repr/representation.h"
 #include "serve/registry.h"
@@ -274,6 +276,98 @@ TEST(ModelRegistryTest, LoadErrorsAreCountedAndReported) {
   obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
   EXPECT_EQ(snapshot.counters.at("hlm.serve.load_errors_total"), 1);
   std::remove(path.c_str());
+}
+
+TEST(ModelRegistryTest, GruRoundTripsThroughRegistry) {
+  obs::MetricsRegistry::Global().Reset();
+  auto world = corpus::GenerateDefaultCorpus(60, 13);
+  models::GruConfig config;
+  config.hidden_size = 8;
+  config.epochs = 1;
+  models::GruLanguageModel gru(world.corpus.num_categories(), config);
+  gru.Train(world.corpus.Sequences());
+  std::string path = TempPath("registry_gru.snap");
+  ASSERT_TRUE(gru.SaveToFile(path).ok());
+
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Register("gru", ModelKind::kGru, path).ok());
+  EXPECT_TRUE(registry.Verify("gru").ok());
+
+  auto loaded = registry.Gru("gru");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->NextProductDistribution({0}),
+            gru.NextProductDistribution({0}));
+  EXPECT_EQ((*loaded)->NumParameters(), gru.NumParameters());
+
+  // Wrong-kind access fails, and the manifest round-trips "gru".
+  EXPECT_FALSE(registry.Lstm("gru").ok());
+  std::string manifest = TempPath("gru_manifest.txt");
+  ASSERT_TRUE(registry.SaveManifest(manifest).ok());
+  auto restored = ModelRegistry::FromManifest(manifest);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->List().size(), 1u);
+  EXPECT_EQ(restored->List()[0].kind, ModelKind::kGru);
+  EXPECT_TRUE(restored->Gru("gru").ok());
+
+  std::remove(path.c_str());
+  std::remove(manifest.c_str());
+}
+
+TEST(ModelRegistryTest, FromManifestStampsGenerationAndMeta) {
+  obs::MetricsRegistry::Global().Reset();
+  std::string path = TempPath("gen_ngram.snap");
+  auto world = corpus::GenerateDefaultCorpus(60, 17);
+  models::NGramModel ngram(world.corpus.num_categories(),
+                           models::NGramConfig{});
+  ngram.Train(world.corpus.Sequences());
+  ASSERT_TRUE(ngram.SaveToFile(path).ok());
+
+  ModelRegistry ad_hoc;
+  ASSERT_TRUE(ad_hoc.Register("ngram", ModelKind::kNgram, path).ok());
+  EXPECT_EQ(ad_hoc.generation(), 0) << "ad-hoc registries carry no gen";
+  std::string manifest = TempPath("gen_manifest.txt");
+  ASSERT_TRUE(ad_hoc.SaveManifest(manifest).ok());
+
+  auto first = ModelRegistry::FromManifest(manifest);
+  ASSERT_TRUE(first.ok());
+  auto second = ModelRegistry::FromManifest(manifest);
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(first->generation(), 0);
+  EXPECT_EQ(second->generation(), first->generation() + 1)
+      << "each manifest load advances the process-wide ordinal";
+
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snapshot.gauges.at("hlm.serve.registry_generation"),
+            static_cast<double>(second->generation()));
+  EXPECT_EQ(snapshot.meta.at("serve.registry.generation"),
+            std::to_string(second->generation()));
+  EXPECT_EQ(snapshot.meta.at("serve.registry.models"), "ngram:ngram");
+
+  std::remove(path.c_str());
+  std::remove(manifest.c_str());
+}
+
+TEST(ModelRegistryTest, ErrorsIncrementPerCodeCountersAndEmitEvents) {
+  obs::MetricsRegistry::Global().Reset();
+  obs::EventLog::Global().Clear();
+  ModelRegistry registry;
+  // Duplicate registration -> already_exists; missing name -> not_found.
+  ASSERT_TRUE(registry.Register("m", ModelKind::kNgram, "/tmp/x.snap").ok());
+  EXPECT_FALSE(registry.Register("m", ModelKind::kNgram, "/tmp/y.snap").ok());
+  EXPECT_FALSE(registry.Ngram("missing").ok());
+
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(snapshot.counters.at("hlm.serve.errors_total"), 2);
+  EXPECT_EQ(snapshot.counters.at("hlm.serve.errors.already_exists_total"),
+            1);
+  EXPECT_EQ(snapshot.counters.at("hlm.serve.errors.not_found_total"), 1);
+
+  // Each tracked error also emitted a serve.error wide event.
+  int serve_errors = 0;
+  for (const obs::Event& event : obs::EventLog::Global().Events()) {
+    if (event.name == "serve.error") ++serve_errors;
+  }
+  EXPECT_GE(serve_errors, 2);
 }
 
 }  // namespace

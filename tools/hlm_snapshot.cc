@@ -1,7 +1,8 @@
 // Snapshot/registry CLI: train-once, serve-many operations on a
 // snapshot directory described by a registry manifest.
 //
-//   hlm_snapshot save   --dir DIR [--companies N] [--seed S] [--lstm]
+//   hlm_snapshot save   --dir DIR [--companies N] [--seed S]
+//                       [--lstm] [--gru]
 //       Trains the demo model suite on a generated corpus and writes one
 //       snapshot per model plus DIR/manifest.txt (paths stored relative,
 //       so the directory can be moved wholesale).
@@ -28,6 +29,7 @@
 #include "models/bpmf.h"
 #include "models/chh.h"
 #include "models/lda.h"
+#include "models/gru_lm.h"
 #include "models/lstm_lm.h"
 #include "models/ngram.h"
 #include "repr/representation.h"
@@ -43,6 +45,7 @@ struct SaveOptions {
   long long companies = 300;
   long long seed = 7;
   bool lstm = false;  // LSTM training dominates runtime; opt in.
+  bool gru = false;   // ditto for the GRU sibling
 };
 
 Status RunSave(const SaveOptions& options) {
@@ -131,6 +134,17 @@ Status RunSave(const SaveOptions& options) {
         add("lstm", hlm::serve::ModelKind::kLstm, "lstm.snap"));
   }
 
+  if (options.gru) {
+    std::printf("training gru (small config)...\n");
+    hlm::models::GruConfig gru_config;
+    gru_config.hidden_size = 16;
+    gru_config.epochs = 2;
+    hlm::models::GruLanguageModel gru(vocab, gru_config);
+    gru.Train(sequences);
+    HLM_RETURN_IF_ERROR(gru.SaveToFile(dir + "gru.snap"));
+    HLM_RETURN_IF_ERROR(add("gru", hlm::serve::ModelKind::kGru, "gru.snap"));
+  }
+
   const std::string manifest = dir + "manifest.txt";
   HLM_RETURN_IF_ERROR(registry.SaveManifest(manifest));
   std::printf("wrote %zu snapshots + %s\n", registry.size(),
@@ -187,6 +201,8 @@ Status LoadEntry(hlm::serve::ModelRegistry& registry,
       return registry.Lda(entry.name).status();
     case hlm::serve::ModelKind::kLstm:
       return registry.Lstm(entry.name).status();
+    case hlm::serve::ModelKind::kGru:
+      return registry.Gru(entry.name).status();
     case hlm::serve::ModelKind::kBpmf:
       return registry.Bpmf(entry.name).status();
     case hlm::serve::ModelKind::kChh:
@@ -219,7 +235,7 @@ Status RunLoad(const std::string& manifest, const std::string& name) {
 int Usage() {
   std::fprintf(stderr,
                "usage: hlm_snapshot save   --dir DIR [--companies N] "
-               "[--seed S] [--lstm]\n"
+               "[--seed S] [--lstm] [--gru]\n"
                "       hlm_snapshot verify --manifest PATH [--name NAME]\n"
                "       hlm_snapshot ls     --manifest PATH\n"
                "       hlm_snapshot load   --manifest PATH [--name NAME]\n");
@@ -243,6 +259,8 @@ int main(int argc, char** argv) {
   flags.AddInt64("seed", &save_options.seed, "corpus seed for save");
   flags.AddBool("lstm", &save_options.lstm,
                 "also train + snapshot the (slow) LSTM during save");
+  flags.AddBool("gru", &save_options.gru,
+                "also train + snapshot the (slow) GRU during save");
   flags.AddString("manifest", &manifest, "registry manifest path");
   flags.AddString("name", &name, "restrict to one registry entry");
   Status parsed = flags.Parse(argc - 1, argv + 1);

@@ -1,0 +1,207 @@
+// hlm_statusz: renders the /statusz introspection page from
+// observability dump files, and self-checks the crash-dump path.
+//
+// Usage:
+//   hlm_statusz render --metrics PATH [--events PATH]
+//                      [--format text|json] [--tail N]
+//     Renders the same sections a live process would serve: metrics,
+//     latency percentiles, resource profile, registry meta, and (when
+//     --events points at a JSONL file written via --events_out) the
+//     newest N events as the flight tail. Open spans are a live-only
+//     section and render empty here.
+//
+//   hlm_statusz selfcheck-crash --dir DIR
+//     Arms the crash handler, emits a few events, then fails an
+//     HLM_CHECK on purpose. The process aborts (nonzero exit) after
+//     writing DIR/hlm-crash-selfcheck.json; scripts/tier1.sh asserts
+//     the dump exists and parses. Exiting ZERO from this command means
+//     the crash path is broken.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/status.h"
+#include "obs/events.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/statusz.h"
+#include "obs/trace.h"
+
+namespace {
+
+using hlm::Status;
+
+hlm::Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::Internal("read error: " + path);
+  return buffer.str();
+}
+
+/// Minimal field scrapers for one events-JSONL line (schema produced by
+/// Event::ToJsonLine — flat keys, attrs last). Not a general JSON
+/// parser; unknown shapes degrade to defaults rather than erroring, so
+/// a mixed or hand-edited file still renders.
+bool ScrapeNumber(const std::string& line, const std::string& key,
+                  double* value) {
+  size_t pos = line.find("\"" + key + "\": ");
+  if (pos == std::string::npos) return false;
+  pos += key.size() + 4;
+  char* end = nullptr;
+  *value = std::strtod(line.c_str() + pos, &end);
+  return end != line.c_str() + pos;
+}
+
+bool ScrapeString(const std::string& line, const std::string& key,
+                  std::string* value) {
+  size_t pos = line.find("\"" + key + "\": \"");
+  if (pos == std::string::npos) return false;
+  pos += key.size() + 5;
+  value->clear();
+  while (pos < line.size() && line[pos] != '"') {
+    if (line[pos] == '\\' && pos + 1 < line.size()) ++pos;
+    value->push_back(line[pos]);
+    ++pos;
+  }
+  return pos < line.size();
+}
+
+/// Parses events JSONL into flight-tail entries (newest `tail` kept).
+std::vector<hlm::obs::FlightEntry> EventsToTail(const std::string& jsonl,
+                                                size_t tail) {
+  std::vector<hlm::obs::FlightEntry> entries;
+  std::istringstream lines(jsonl);
+  std::string line;
+  uint64_t seq = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    hlm::obs::FlightEntry entry;
+    entry.kind = hlm::obs::FlightEntry::Kind::kEvent;
+    entry.seq = ++seq;
+    double number = 0.0;
+    if (ScrapeNumber(line, "ts_us", &number)) entry.ts_us = number;
+    if (ScrapeNumber(line, "tid", &number)) {
+      entry.thread_id = static_cast<uint64_t>(number);
+    }
+    if (ScrapeNumber(line, "span_id", &number)) {
+      entry.span_id = static_cast<int64_t>(number);
+    }
+    ScrapeString(line, "name", &entry.name);
+    if (!ScrapeString(line, "level", &entry.level)) entry.level = "info";
+    size_t attrs = line.find("\"attrs\": ");
+    if (attrs != std::string::npos) {
+      size_t open = line.find('{', attrs);
+      size_t close = line.rfind('}');
+      // attrs is the last key, so everything up to the final '}' (which
+      // closes the line object) minus one is the attrs object.
+      if (open != std::string::npos && close != std::string::npos &&
+          close > open) {
+        entry.detail = line.substr(open, close - open);
+      }
+    }
+    entries.push_back(std::move(entry));
+  }
+  if (entries.size() > tail) {
+    entries.erase(entries.begin(),
+                  entries.begin() +
+                      static_cast<std::ptrdiff_t>(entries.size() - tail));
+  }
+  return entries;
+}
+
+Status RunRender(const std::string& metrics_path,
+                 const std::string& events_path, const std::string& format,
+                 size_t tail) {
+  HLM_ASSIGN_OR_RETURN(std::string metrics_json, ReadFile(metrics_path));
+  HLM_ASSIGN_OR_RETURN(hlm::obs::MetricsSnapshot metrics,
+                       hlm::obs::MetricsSnapshot::FromJson(metrics_json));
+  std::vector<hlm::obs::FlightEntry> flight_tail;
+  if (!events_path.empty()) {
+    HLM_ASSIGN_OR_RETURN(std::string jsonl, ReadFile(events_path));
+    flight_tail = EventsToTail(jsonl, tail);
+  }
+  const std::string rendered =
+      format == "json"
+          ? hlm::obs::RenderStatuszJson(metrics, {}, flight_tail)
+          : hlm::obs::RenderStatuszText(metrics, {}, flight_tail);
+  std::cout << rendered;
+  return Status::OK();
+}
+
+int RunSelfcheckCrash(const std::string& dir) {
+  hlm::obs::TraceRecorder::Global().SetRunId("selfcheck");
+  hlm::obs::TraceRecorder::Global().Enable();
+  hlm::obs::SetCrashDumpDir(dir);
+  hlm::obs::InstallCrashHandler();
+  // Leave footprints for the dump: a span close and a couple of events.
+  {
+    hlm::obs::TraceSpan span("statusz.selfcheck");
+    HLM_EVENT("statusz.selfcheck.start", {{"dir", dir}});
+  }
+  HLM_EVENT("statusz.selfcheck.arm", {{"expected_dump", true}});
+  HLM_CHECK(false) << "hlm_statusz selfcheck-crash: deliberate failure "
+                      "to exercise the crash-dump path";
+  // Unreachable: HLM_CHECK(false) aborts after the hook dumps.
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: hlm_statusz render --metrics PATH [--events PATH]\n"
+      "                          [--format text|json] [--tail N]\n"
+      "       hlm_statusz selfcheck-crash --dir DIR\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+
+  std::string metrics_path;
+  std::string events_path;
+  std::string format = "text";
+  long long tail = 32;
+  std::string dir = ".";
+
+  hlm::FlagSet flags;
+  flags.AddString("metrics", &metrics_path, "metrics snapshot JSON file");
+  flags.AddString("events", &events_path, "events JSONL file (optional)");
+  flags.AddString("format", &format, "output format: text or json");
+  flags.AddInt64("tail", &tail, "flight-tail entries to keep");
+  flags.AddString("dir", &dir, "crash-dump directory for selfcheck-crash");
+  Status parsed = flags.Parse(argc - 1, argv + 1);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+  if (format != "text" && format != "json") return Usage();
+  if (tail < 0) return Usage();
+
+  if (command == "render") {
+    if (metrics_path.empty()) return Usage();
+    Status status = RunRender(metrics_path, events_path, format,
+                              static_cast<size_t>(tail));
+    if (!status.ok()) {
+      std::fprintf(stderr, "hlm_statusz render: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
+  if (command == "selfcheck-crash") {
+    return RunSelfcheckCrash(dir);
+  }
+  return Usage();
+}

@@ -462,6 +462,120 @@ void CheckMetricNaming(const RuleContext& ctx) {
   }
 }
 
+/// Skips whitespace from `pos`; true when the next character is a
+/// double quote (i.e. a string literal starts right here, not a
+/// wrapper expression like std::string("...")).
+bool LiteralStartsAt(const std::string& raw, size_t pos, size_t* quote) {
+  while (pos < raw.size() &&
+         std::isspace(static_cast<unsigned char>(raw[pos])) != 0) {
+    ++pos;
+  }
+  if (pos >= raw.size() || raw[pos] != '"') return false;
+  *quote = pos;
+  return true;
+}
+
+/// dot.case: two or more '.'-separated segments, each starting with a
+/// lowercase letter and continuing with [a-z0-9_].
+bool IsDotCaseName(const std::string& name) {
+  bool at_segment_start = true;
+  int segments = 1;
+  for (char c : name) {
+    if (c == '.') {
+      if (at_segment_start) return false;  // empty segment
+      at_segment_start = true;
+      ++segments;
+      continue;
+    }
+    if (at_segment_start) {
+      if (c < 'a' || c > 'z') return false;
+      at_segment_start = false;
+    } else if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                 c == '_')) {
+      return false;
+    }
+  }
+  return !at_segment_start && segments >= 2;
+}
+
+void CheckSpanEventNaming(const RuleContext& ctx) {
+  if (!StartsWith(*ctx.relpath, "src/")) return;
+  // The macro definitions themselves pass `name` through, not a
+  // literal; exempt the defining header.
+  if (*ctx.relpath == "src/obs/events.h") return;
+  for (size_t i = 0; i < ctx.code_lines->size(); ++i) {
+    const std::string& line = (*ctx.code_lines)[i];
+    const int ln = static_cast<int>(i) + 1;
+    for (const char* token : {"TraceSpan", "HLM_EVENT", "HLM_EVENT_AT"}) {
+      size_t token_pos = line.find(token);
+      if (token_pos == std::string::npos) continue;
+      // Token boundaries: reject HLM_EVENT matching inside HLM_EVENT_AT
+      // and identifiers that merely contain the token.
+      if (token_pos > 0 && IsIdentChar(line[token_pos - 1])) continue;
+      size_t after = token_pos + std::string(token).size();
+      if (after < line.size() && IsIdentChar(line[after])) continue;
+      const std::string& raw = (*ctx.raw_lines)[i];
+      size_t raw_token = raw.find(token);
+      if (raw_token == std::string::npos) continue;
+      // TraceSpan is a declaration (`obs::TraceSpan span(...)`): skip
+      // the variable name before the parenthesis. The macros open
+      // their parenthesis directly.
+      size_t p = raw_token + std::string(token).size();
+      if (std::string(token) == "TraceSpan") {
+        while (p < raw.size() &&
+               std::isspace(static_cast<unsigned char>(raw[p])) != 0) {
+          ++p;
+        }
+        while (p < raw.size() && IsIdentChar(raw[p])) ++p;
+      }
+      while (p < raw.size() &&
+             std::isspace(static_cast<unsigned char>(raw[p])) != 0) {
+        ++p;
+      }
+      if (p >= raw.size() || raw[p] != '(') continue;
+      ++p;
+      // HLM_EVENT_AT's first argument is the level; the name is the
+      // second. Skip to the first top-level comma.
+      if (std::string(token) == "HLM_EVENT_AT") {
+        int depth = 0;
+        while (p < raw.size() && (depth > 0 || raw[p] != ',')) {
+          if (raw[p] == '(') ++depth;
+          if (raw[p] == ')') --depth;
+          ++p;
+        }
+        if (p >= raw.size()) continue;  // level arg spans lines: skip
+        ++p;
+      }
+      std::string name;
+      char followed_by = '\0';
+      int literal_line = ln;
+      size_t quote = 0;
+      bool found = false;
+      if (LiteralStartsAt(raw, p, &quote)) {
+        found = ExtractStringLiteral(raw, quote, &name, &followed_by);
+      } else if (raw.find_first_not_of(" \t", p) == std::string::npos &&
+                 i + 1 < ctx.raw_lines->size()) {
+        // Call wraps with nothing after the parenthesis: the name may
+        // open the next line.
+        const std::string& next = (*ctx.raw_lines)[i + 1];
+        if (LiteralStartsAt(next, 0, &quote)) {
+          literal_line = ln + 1;
+          found = ExtractStringLiteral(next, quote, &name, &followed_by);
+        }
+      }
+      // Only a complete single-literal name is checkable; names built
+      // by concatenation ('+') or passed via variables are skipped.
+      if (!found || (followed_by != ')' && followed_by != ',')) continue;
+      if (!IsDotCaseName(name)) {
+        Report(ctx, literal_line, "span-event-naming",
+               "span/event name '" + name +
+                   "' must be dot.case with at least two segments, e.g. "
+                   "'serve.model.loaded' (DESIGN.md Observability)");
+      }
+    }
+  }
+}
+
 void CheckHeaderGuard(const RuleContext& ctx) {
   if (!EndsWith(*ctx.relpath, ".h")) return;
   const std::string expected = ExpectedGuard(*ctx.relpath);
@@ -542,7 +656,8 @@ void CheckIncludeOrder(const RuleContext& ctx) {
 std::vector<std::string> RuleNames() {
   return {"no-raw-rng",      "no-wall-clock",  "no-raw-thread",
           "no-stdio-output", "unordered-iter", "header-guard",
-          "include-order",   "no-raw-persist-write", "metric-naming"};
+          "include-order",   "no-raw-persist-write", "metric-naming",
+          "span-event-naming"};
 }
 
 std::set<std::string> CollectUnorderedNames(const std::string& content) {
@@ -613,6 +728,7 @@ std::vector<Diagnostic> LintContent(
   CheckUnorderedIteration(ctx, unordered_names);
   CheckRawPersistWrite(ctx);
   CheckMetricNaming(ctx);
+  CheckSpanEventNaming(ctx);
   CheckHeaderGuard(ctx);
   CheckIncludeOrder(ctx);
 
