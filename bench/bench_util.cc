@@ -8,10 +8,11 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
-#include "obs/events.h"
-#include "obs/flight_recorder.h"
 #include "common/string_util.h"
 #include "corpus/month.h"
+#include "math/simd/kernels.h"
+#include "obs/events.h"
+#include "obs/flight_recorder.h"
 #include "models/chh.h"
 #include "models/lda.h"
 #include "models/lstm_lm.h"
@@ -103,6 +104,7 @@ BenchEnv MakeEnv(int argc, char** argv, FlagSet* flags,
   std::string trace_out;
   std::string events_out;
   std::string log_level;
+  std::string simd_mode;
   long long event_sample_every = 1;
   flags->AddInt64("companies", &companies, "corpus size");
   flags->AddInt64("seed", &seed, "generator seed");
@@ -121,6 +123,10 @@ BenchEnv MakeEnv(int argc, char** argv, FlagSet* flags,
                   "keep one event in N per event name (1 = keep all)");
   flags->AddString("log_level", &log_level,
                    "minimum log level: debug, info, warning, error");
+  flags->AddString("simd", &simd_mode,
+                   "kernel dispatch path: auto, off, or avx2 (empty = "
+                   "HLM_SIMD env, then auto); metric values are identical "
+                   "on every path");
   Status status = flags->Parse(argc, argv);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
@@ -146,6 +152,25 @@ BenchEnv MakeEnv(int argc, char** argv, FlagSet* flags,
   if (event_sample_every > 1) {
     obs::EventLog::Global().SetSampleEvery(
         static_cast<uint32_t>(event_sample_every));
+  }
+  // Pin the kernel dispatch path before any kernel runs: an explicit
+  // --simd wins over the HLM_SIMD env var; with neither, the first
+  // kernel call resolves the path from the environment anyway.
+  if (!simd_mode.empty()) {
+    Result<simd::SimdMode> mode = simd::ParseSimdMode(simd_mode);
+    if (!mode.ok()) {
+      std::fprintf(stderr, "bad --simd: %s\n%s",
+                   mode.status().ToString().c_str(), flags->Usage().c_str());
+      std::exit(2);
+    }
+    Status simd_status = simd::SetSimdMode(*mode);
+    if (!simd_status.ok()) {
+      std::fprintf(stderr, "--simd=%s rejected: %s\n", simd_mode.c_str(),
+                   simd_status.ToString().c_str());
+      std::exit(2);
+    }
+  } else {
+    simd::InitFromEnv();
   }
   if (!metrics_out.empty() || !trace_out.empty() || !events_out.empty()) {
     g_metrics_out_path = metrics_out;
@@ -183,6 +208,10 @@ BenchEnv MakeEnv(int argc, char** argv, FlagSet* flags,
                   std::to_string(std::thread::hardware_concurrency()));
   metrics.SetMeta("seed", std::to_string(seed));
   metrics.SetMeta("companies", std::to_string(companies));
+  metrics.SetMeta("simd.requested", simd_mode.empty() ? "env" : simd_mode);
+  metrics.SetMeta("simd.active_path", simd::ActivePathName());
+  metrics.SetMeta("simd.avx2_available",
+                  simd::Avx2Available() ? "1" : "0");
 
   ScopedPhase make_env_phase("make_env");
   corpus::GeneratorConfig config;

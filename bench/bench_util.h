@@ -40,7 +40,10 @@ struct BenchEnv {
 /// BENCH_*.json), --trace_out=<path> (write a chrome://tracing JSON of
 /// every TraceSpan), --events_out=<path> (write the structured
 /// wide-event log as JSONL), --event_sample_every=<n> (keep one event
-/// in n per name), and --log_level=<debug|info|warning|error>. MakeEnv
+/// in n per name), --log_level=<debug|info|warning|error>, and
+/// --simd=<auto|off|avx2> (kernel dispatch path; empty defers to the
+/// HLM_SIMD env var — the resolved path lands in the snapshot meta as
+/// simd.requested / simd.active_path / simd.avx2_available). MakeEnv
 /// also names the main thread's trace lane and arms the flight-recorder
 /// crash dump (hlm-crash-<run_id>.json on HLM_CHECK failure).
 /// Returns a parsed environment or aborts with usage on bad flags.

@@ -176,6 +176,20 @@ else
   echo "ok (grep-level check; python3 not found)"
 fi
 
+echo "== tier1: kernel parity under both dispatch paths =="
+# The SIMD determinism contract (DESIGN.md §12): the full kernel test
+# suite must pass with dispatch forced off and with auto selection, and
+# the kernels bench baseline pins the output checksums — identical bits
+# on the portable and AVX2 paths.
+HLM_SIMD=off "$BUILD_DIR/tests/kernel_test"
+HLM_SIMD=auto "$BUILD_DIR/tests/kernel_test"
+echo "ok: kernel tests pass under HLM_SIMD=off and HLM_SIMD=auto"
+
+echo "== tier1: bench regression check (kernels suite) =="
+"$BUILD_DIR/tools/hlm_bench" --suite kernels --out none --check \
+  --baseline "$REPO_ROOT/bench/baselines/kernels.json" \
+  --walltime_tolerance 3.0 --walltime_slack 0.25
+
 echo "== tier1: bench regression check (smoke suite) =="
 # Deterministic metric values must match the committed baseline exactly;
 # walltimes get a loose budget (3x + 0.25s) because the committed

@@ -1,0 +1,53 @@
+#include "common/arena.h"
+
+#include <algorithm>
+
+namespace hlm {
+
+Arena::Arena(size_t initial_doubles)
+    : initial_(std::max<size_t>(initial_doubles, 64)) {}
+
+double* Arena::AllocDoubles(size_t n) {
+  if (blocks_.empty() || offset_ + n > blocks_[block_].size) Grow(n);
+  double* out = blocks_[block_].data.get() + offset_;
+  offset_ += n;
+  used_ += n;
+  return out;
+}
+
+void Arena::Grow(size_t n) {
+  // Reuse a later block from a previous high-water run if one fits.
+  while (block_ + 1 < blocks_.size()) {
+    ++block_;
+    offset_ = 0;
+    if (n <= blocks_[block_].size) return;
+  }
+  size_t size = blocks_.empty() ? initial_ : blocks_.back().size * 2;
+  size = std::max(size, n);
+  blocks_.push_back(Block{std::make_unique<double[]>(size), size});
+  capacity_ += size;
+  ++grow_count_;
+  block_ = blocks_.size() - 1;
+  offset_ = 0;
+}
+
+void Arena::Reset() {
+  if (blocks_.size() > 1) {
+    // Coalesce: one block of the combined size replaces the chain, so the
+    // next request of the same shape is served without growing again.
+    const size_t total = capacity_;
+    blocks_.clear();
+    blocks_.push_back(Block{std::make_unique<double[]>(total), total});
+    ++grow_count_;
+  }
+  block_ = 0;
+  offset_ = 0;
+  used_ = 0;
+}
+
+Arena& ScratchArena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace hlm

@@ -1,0 +1,70 @@
+#ifndef HLM_COMMON_ARENA_H_
+#define HLM_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace hlm {
+
+/// Bump allocator for per-request scratch buffers (DESIGN.md §12).
+/// Batched scoring paths (similarity tiles, model workspaces) carve
+/// short-lived double buffers out of an Arena instead of allocating
+/// std::vector temporaries per call: Alloc is a pointer bump, Reset
+/// recycles everything at once, and after the first few requests the
+/// arena reaches its high-water mark and stops touching the heap.
+///
+/// Lifetime rules: pointers returned by AllocDoubles are valid until the
+/// next Reset (or arena destruction) — never retain one across Reset.
+/// Reset does not run destructors (the arena only hands out trivially
+/// destructible doubles) and keeps capacity. An Arena is single-threaded
+/// by design; use ScratchArena() for a per-thread instance.
+class Arena {
+ public:
+  /// `initial_doubles` sizes the first block lazily allocated on first use.
+  explicit Arena(size_t initial_doubles = 4096);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns an 8-byte-aligned uninitialised buffer of `n` doubles that
+  /// lives until the next Reset. n == 0 returns a valid one-past pointer.
+  double* AllocDoubles(size_t n);
+
+  /// Recycles every allocation at once. If use overflowed into multiple
+  /// blocks, they are coalesced into one block of the combined size, so a
+  /// steady-state request pattern settles into zero heap traffic.
+  void Reset();
+
+  /// Total doubles across all blocks currently held.
+  size_t capacity_doubles() const { return capacity_; }
+  /// Doubles handed out since the last Reset.
+  size_t used_doubles() const { return used_; }
+  /// Times a fresh block had to be heap-allocated (growth events).
+  long long grow_count() const { return grow_count_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<double[]> data;
+    size_t size = 0;
+  };
+
+  /// Makes block_ the index of a block with >= n free doubles.
+  void Grow(size_t n);
+
+  std::vector<Block> blocks_;
+  size_t block_ = 0;      ///< index of the block being bumped
+  size_t offset_ = 0;     ///< doubles consumed in blocks_[block_]
+  size_t used_ = 0;       ///< doubles consumed across all blocks
+  size_t capacity_ = 0;   ///< doubles held across all blocks
+  size_t initial_ = 0;
+  long long grow_count_ = 0;
+};
+
+/// This thread's scratch arena. Callers Reset() it at the top of their
+/// request/batch scope; nested scopes on one thread must not both Reset.
+Arena& ScratchArena();
+
+}  // namespace hlm
+
+#endif  // HLM_COMMON_ARENA_H_

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "math/rng.h"
+#include "math/simd/kernels.h"
 
 namespace hlm {
 
@@ -33,6 +34,12 @@ Matrix Matrix::RandomGaussian(size_t rows, size_t cols, double stddev,
 
 void Matrix::Fill(double value) {
   for (double& v : data_) v = value;
+}
+
+void Matrix::Resize(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
 }
 
 Matrix& Matrix::operator+=(const Matrix& other) {
@@ -65,34 +72,44 @@ bool Matrix::AlmostEquals(const Matrix& other, double tol) const {
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   HLM_CHECK_EQ(a.cols(), b.rows());
   Matrix result(a.rows(), b.cols(), 0.0);
+  MatMulAccumulate(a, b, &result);
+  return result;
+}
+
+void MatMulAccumulate(const Matrix& a, const Matrix& b, Matrix* result) {
+  HLM_CHECK_EQ(a.cols(), b.rows());
+  HLM_CHECK_EQ(result->rows(), a.rows());
+  HLM_CHECK_EQ(result->cols(), b.cols());
   // i-k-j loop order: streams through b and result rows sequentially.
+  // The zero-skip matters for one-hot inputs (embedding-style lookups).
   for (size_t i = 0; i < a.rows(); ++i) {
-    double* out = result.row(i);
+    double* out = result->row(i);
     const double* arow = a.row(i);
     for (size_t k = 0; k < a.cols(); ++k) {
       double aik = arow[k];
       if (aik == 0.0) continue;
-      const double* brow = b.row(k);
-      for (size_t j = 0; j < b.cols(); ++j) out[j] += aik * brow[j];
+      simd::Axpy(aik, b.row(k), out, b.cols());
     }
   }
-  return result;
 }
 
 Matrix MatMulTransposed(const Matrix& a, const Matrix& b_transposed) {
+  Matrix result;
+  MatMulTransposedInto(a, b_transposed, &result);
+  return result;
+}
+
+void MatMulTransposedInto(const Matrix& a, const Matrix& b_transposed,
+                          Matrix* result) {
   HLM_CHECK_EQ(a.cols(), b_transposed.cols());
-  Matrix result(a.rows(), b_transposed.rows(), 0.0);
+  result->Resize(a.rows(), b_transposed.rows());
   for (size_t i = 0; i < a.rows(); ++i) {
     const double* arow = a.row(i);
-    double* out = result.row(i);
+    double* out = result->row(i);
     for (size_t j = 0; j < b_transposed.rows(); ++j) {
-      const double* brow = b_transposed.row(j);
-      double sum = 0.0;
-      for (size_t k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
-      out[j] = sum;
+      out[j] = simd::Dot(arow, b_transposed.row(j), a.cols());
     }
   }
-  return result;
 }
 
 void MatTransposeMulAccumulate(const Matrix& a, const Matrix& b,
@@ -106,8 +123,7 @@ void MatTransposeMulAccumulate(const Matrix& a, const Matrix& b,
     for (size_t i = 0; i < a.cols(); ++i) {
       double aki = arow[i];
       if (aki == 0.0) continue;
-      double* out = result->row(i);
-      for (size_t j = 0; j < b.cols(); ++j) out[j] += aki * brow[j];
+      simd::Axpy(aki, brow, result->row(i), b.cols());
     }
   }
 }
@@ -121,20 +137,14 @@ Matrix Transpose(const Matrix& a) {
 }
 
 void MatVecAccumulate(const Matrix& a, const double* x, double* y) {
-  for (size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.row(i);
-    double sum = 0.0;
-    for (size_t j = 0; j < a.cols(); ++j) sum += arow[j] * x[j];
-    y[i] += sum;
-  }
+  simd::MatVec(a.data(), a.rows(), a.cols(), x, y);
 }
 
 void MatTransposeVecAccumulate(const Matrix& a, const double* x, double* y) {
   for (size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.row(i);
     double xi = x[i];
     if (xi == 0.0) continue;
-    for (size_t j = 0; j < a.cols(); ++j) y[j] += arow[j] * xi;
+    simd::Axpy(xi, a.row(i), y, a.cols());
   }
 }
 

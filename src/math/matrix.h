@@ -66,6 +66,12 @@ class Matrix {
 
   void Fill(double value);
 
+  /// Reshapes to rows x cols, reusing the existing allocation when
+  /// capacity allows (the workspace-reuse pattern in the recurrent
+  /// models). Contents are unspecified afterwards — callers overwrite or
+  /// Fill. Never shrinks capacity.
+  void Resize(size_t rows, size_t cols);
+
   Matrix& operator+=(const Matrix& other);
   Matrix& operator-=(const Matrix& other);
   Matrix& operator*=(double scalar);
@@ -82,8 +88,18 @@ class Matrix {
 /// result = a * b. Dimension mismatch is a programming error (checked).
 Matrix MatMul(const Matrix& a, const Matrix& b);
 
+/// result += a * b into a caller-owned (typically workspace) matrix,
+/// avoiding the temporary that MatMul allocates. result must be
+/// a.rows x b.cols (checked).
+void MatMulAccumulate(const Matrix& a, const Matrix& b, Matrix* result);
+
 /// result = a * b^T, avoiding the explicit transpose.
 Matrix MatMulTransposed(const Matrix& a, const Matrix& b_transposed);
+
+/// result = a * b^T overwriting a caller-owned (typically workspace)
+/// matrix, resized in place. result must not alias a or b_transposed.
+void MatMulTransposedInto(const Matrix& a, const Matrix& b_transposed,
+                          Matrix* result);
 
 /// result += a^T * b, avoiding the explicit transpose (gradient
 /// accumulation pattern dW += X^T dG). result must be a.cols x b.cols.

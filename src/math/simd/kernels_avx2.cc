@@ -1,0 +1,198 @@
+// AVX2 kernel path. This is the only translation unit (with its sibling
+// files under src/math/simd/) allowed to include <immintrin.h> — lint
+// rule `simd-isolation` enforces the boundary. The whole file is built
+// with -mavx2 when the toolchain supports it (src/math/CMakeLists.txt
+// defines HLM_BUILD_AVX2) and compiles to a nullptr table otherwise;
+// the dispatcher additionally gates on CPUID at runtime, so these
+// functions never execute on a host without AVX2.
+//
+// Summation contract: one 4-wide accumulator register IS the four
+// lane-blocked partial sums of kernels.h; the horizontal reduction
+// spells out (s0 + s1) + (s2 + s3) in scalar code and the tail is added
+// in index order — bit-identical to the portable path. No FMA: mul+add
+// intrinsics only, matching the portable path's two-rounding arithmetic.
+
+#include "math/simd/kernels.h"
+
+#if defined(__AVX2__) && defined(__x86_64__)
+
+#include <immintrin.h>
+
+namespace hlm::simd {
+namespace {
+
+/// (s0 + s1) + (s2 + s3) over the register's four lanes, in exactly the
+/// contract's order.
+inline double ReduceLanes(__m256d acc) {
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+double Avx2Dot(const double* a, const double* b, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  const size_t n4 = n - n % 4;
+  for (size_t i = 0; i < n4; i += 4) {
+    acc = _mm256_add_pd(
+        acc, _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  double total = ReduceLanes(acc);
+  for (size_t i = n4; i < n; ++i) total += a[i] * b[i];
+  return total;
+}
+
+double Avx2SquaredNorm(const double* a, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  const size_t n4 = n - n % 4;
+  for (size_t i = 0; i < n4; i += 4) {
+    const __m256d v = _mm256_loadu_pd(a + i);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(v, v));
+  }
+  double total = ReduceLanes(acc);
+  for (size_t i = n4; i < n; ++i) total += a[i] * a[i];
+  return total;
+}
+
+double Avx2Sum(const double* a, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  const size_t n4 = n - n % 4;
+  for (size_t i = 0; i < n4; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_loadu_pd(a + i));
+  }
+  double total = ReduceLanes(acc);
+  for (size_t i = n4; i < n; ++i) total += a[i];
+  return total;
+}
+
+double Avx2SquaredDistance(const double* a, const double* b, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  const size_t n4 = n - n % 4;
+  for (size_t i = 0; i < n4; i += 4) {
+    const __m256d d =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+  }
+  double total = ReduceLanes(acc);
+  for (size_t i = n4; i < n; ++i) {
+    const double d = a[i] - b[i];
+    total += d * d;
+  }
+  return total;
+}
+
+void Avx2Axpy(double scale, const double* x, double* y, size_t n) {
+  const __m256d s = _mm256_set1_pd(scale);
+  const size_t n4 = n - n % 4;
+  for (size_t i = 0; i < n4; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_add_pd(_mm256_loadu_pd(y + i),
+                             _mm256_mul_pd(s, _mm256_loadu_pd(x + i))));
+  }
+  for (size_t i = n4; i < n; ++i) y[i] += scale * x[i];
+}
+
+void Avx2ShiftedProduct(const double* a, double shift, const double* b,
+                        double* out, size_t n) {
+  const __m256d s = _mm256_set1_pd(shift);
+  const size_t n4 = n - n % 4;
+  for (size_t i = 0; i < n4; i += 4) {
+    _mm256_storeu_pd(
+        out + i, _mm256_mul_pd(_mm256_add_pd(_mm256_loadu_pd(a + i), s),
+                               _mm256_loadu_pd(b + i)));
+  }
+  for (size_t i = n4; i < n; ++i) out[i] = (a[i] + shift) * b[i];
+}
+
+void Avx2GibbsScore(const double* doc_topic, double alpha,
+                    const double* word_topic, double beta,
+                    const double* topic_total, double v_beta, double* out,
+                    size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  const __m256d vb = _mm256_set1_pd(beta);
+  const __m256d vv = _mm256_set1_pd(v_beta);
+  const size_t n4 = n - n % 4;
+  for (size_t i = 0; i < n4; i += 4) {
+    const __m256d numer = _mm256_mul_pd(
+        _mm256_add_pd(_mm256_loadu_pd(doc_topic + i), va),
+        _mm256_add_pd(_mm256_loadu_pd(word_topic + i), vb));
+    const __m256d denom =
+        _mm256_add_pd(_mm256_loadu_pd(topic_total + i), vv);
+    _mm256_storeu_pd(out + i, _mm256_div_pd(numer, denom));
+  }
+  for (size_t i = n4; i < n; ++i) {
+    out[i] = (doc_topic[i] + alpha) * (word_topic[i] + beta) /
+             (topic_total[i] + v_beta);
+  }
+}
+
+void Avx2MatVec(const double* a, size_t rows, size_t cols, const double* x,
+                double* y) {
+  for (size_t r = 0; r < rows; ++r) {
+    y[r] += Avx2Dot(a + r * cols, x, cols);
+  }
+}
+
+void Avx2ScoreBlock(const double* queries, size_t num_queries,
+                    const double* items, size_t num_items, size_t d,
+                    double* out) {
+  // Register tile: one query against two item rows per pass, sharing
+  // every query load across both accumulators. Each (q, j) pair keeps
+  // its own accumulator register, so its value is bit-identical to a
+  // standalone Dot on the same operands.
+  const size_t d4 = d - d % 4;
+  for (size_t q = 0; q < num_queries; ++q) {
+    const double* query = queries + q * d;
+    double* out_row = out + q * num_items;
+    size_t j = 0;
+    for (; j + 2 <= num_items; j += 2) {
+      const double* item0 = items + j * d;
+      const double* item1 = items + (j + 1) * d;
+      __m256d acc0 = _mm256_setzero_pd();
+      __m256d acc1 = _mm256_setzero_pd();
+      for (size_t i = 0; i < d4; i += 4) {
+        const __m256d qv = _mm256_loadu_pd(query + i);
+        acc0 = _mm256_add_pd(acc0,
+                             _mm256_mul_pd(qv, _mm256_loadu_pd(item0 + i)));
+        acc1 = _mm256_add_pd(acc1,
+                             _mm256_mul_pd(qv, _mm256_loadu_pd(item1 + i)));
+      }
+      double dot0 = ReduceLanes(acc0);
+      double dot1 = ReduceLanes(acc1);
+      for (size_t i = d4; i < d; ++i) {
+        dot0 += query[i] * item0[i];
+        dot1 += query[i] * item1[i];
+      }
+      out_row[j] = dot0;
+      out_row[j + 1] = dot1;
+    }
+    for (; j < num_items; ++j) {
+      out_row[j] = Avx2Dot(query, items + j * d, d);
+    }
+  }
+}
+
+}  // namespace
+
+namespace internal {
+
+const KernelTable* Avx2Table() {
+  static const KernelTable table = {
+      Avx2Dot,           Avx2SquaredNorm, Avx2Sum,
+      Avx2SquaredDistance, Avx2Axpy,      Avx2ShiftedProduct,
+      Avx2GibbsScore,    Avx2MatVec,      Avx2ScoreBlock,
+  };
+  return &table;
+}
+
+}  // namespace internal
+}  // namespace hlm::simd
+
+#else  // !(__AVX2__ && __x86_64__)
+
+namespace hlm::simd::internal {
+
+const KernelTable* Avx2Table() { return nullptr; }
+
+}  // namespace hlm::simd::internal
+
+#endif

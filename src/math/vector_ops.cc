@@ -4,27 +4,23 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "math/simd/kernels.h"
 
 namespace hlm {
 
 double Dot(const std::vector<double>& a, const std::vector<double>& b) {
   HLM_CHECK_EQ(a.size(), b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
-  return sum;
+  return simd::Dot(a.data(), b.data(), a.size());
 }
 
-double Norm2(const std::vector<double>& a) { return std::sqrt(Dot(a, a)); }
+double Norm2(const std::vector<double>& a) {
+  return std::sqrt(simd::SquaredNorm(a.data(), a.size()));
+}
 
 double EuclideanDistance(const std::vector<double>& a,
                          const std::vector<double>& b) {
   HLM_CHECK_EQ(a.size(), b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    double d = a[i] - b[i];
-    sum += d * d;
-  }
-  return std::sqrt(sum);
+  return std::sqrt(simd::SquaredDistance(a.data(), b.data(), a.size()));
 }
 
 double CosineSimilarity(const std::vector<double>& a,
@@ -43,7 +39,7 @@ double CosineDistance(const std::vector<double>& a,
 void AddScaled(std::vector<double>* a, double scale,
                const std::vector<double>& b) {
   HLM_CHECK_EQ(a->size(), b.size());
-  for (size_t i = 0; i < b.size(); ++i) (*a)[i] += scale * b[i];
+  simd::Axpy(scale, b.data(), a->data(), b.size());
 }
 
 double LogSumExp(const std::vector<double>& x) {
@@ -78,9 +74,7 @@ void NormalizeInPlace(std::vector<double>* x) {
 }
 
 double Sum(const std::vector<double>& x) {
-  double total = 0.0;
-  for (double v : x) total += v;
-  return total;
+  return simd::Sum(x.data(), x.size());
 }
 
 size_t ArgMax(const std::vector<double>& x) {

@@ -7,7 +7,11 @@
 namespace hlm {
 
 /// Dense vector helpers shared by the models. Vectors are plain
-/// std::vector<double>; sizes must agree (checked).
+/// std::vector<double>; sizes must agree (checked). The dense reductions
+/// (Dot, Norm2, distances, AddScaled, Sum) route through the dispatched
+/// kernels in math/simd/kernels.h and inherit their lane-blocked
+/// summation contract: results are bit-identical across the portable and
+/// AVX2 paths, but differ from a plain sequential loop in the last ulps.
 
 double Dot(const std::vector<double>& a, const std::vector<double>& b);
 

@@ -7,6 +7,7 @@
 #include "common/parallel.h"
 #include "math/mvn.h"
 #include "math/rng.h"
+#include "math/simd/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/snapshot.h"
@@ -97,11 +98,11 @@ Status SampleFactorRow(const std::vector<SideObservation>& row_observed,
   Matrix rhs = lambda_mu;
   for (const SideObservation& obs : row_observed) {
     const double* row = other.row(obs.other);
+    // Rank-1 update: rhs += alpha r_ij f_j, precision += alpha f_j f_j^T,
+    // one contiguous axpy per factor row / precision row.
+    simd::Axpy(alpha * obs.rating, row, rhs.data(), d);
     for (size_t a = 0; a < d; ++a) {
-      rhs(a, 0) += alpha * obs.rating * row[a];
-      for (size_t b = 0; b < d; ++b) {
-        precision(a, b) += alpha * row[a] * row[b];
-      }
+      simd::Axpy(alpha * row[a], row, precision.row(a), d);
     }
   }
   HLM_ASSIGN_OR_RETURN(Matrix covariance, SpdInverse(precision));

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "math/simd/kernels.h"
 #include "models/adam.h"
 #include "models/perplexity.h"
 #include "obs/metrics.h"
@@ -64,55 +65,57 @@ GruLanguageModel::~GruLanguageModel() = default;
 double GruLanguageModel::ForwardSequence(const TokenSequence& sequence,
                                          std::vector<Step>* steps) const {
   const int h = config_.hidden_size;
+  const size_t h3 = static_cast<size_t>(3 * h);
   std::vector<double> hidden(h, 0.0);
   double log_prob = 0.0;
-  if (steps != nullptr) steps->clear();
+  if (steps != nullptr) steps->resize(sequence.size());
+
+  // Scratch reused across timesteps: packed [z r n] pre-activations from
+  // the input (xw, bias included) and from the recurrent state (hw). A
+  // caller that runs sequences in a loop also reuses `steps` (and the
+  // scoring-only Step below), so steady-state forward allocates nothing.
+  std::vector<double> xw(h3);
+  std::vector<double> hw(h3);
+  Step scoring_step;
 
   for (size_t t = 0; t < sequence.size(); ++t) {
-    Step step;
+    Step& step = steps != nullptr ? (*steps)[t] : scoring_step;
     step.input_row =
         t == 0 ? vocab_size_ : sequence[t - 1];  // BOS row = vocab_size_
     step.h_prev = hidden;
     const double* x = embedding_.row(step.input_row);
 
     // Pre-activations for z, r (Wx x + Wh h + b) and the candidate's
-    // recurrent part Un h_prev kept separate for the r gating.
-    step.z.assign(h, 0.0);
-    step.r.assign(h, 0.0);
-    step.n.assign(h, 0.0);
-    step.uh.assign(h, 0.0);
+    // recurrent part Un h_prev kept separate for the r gating. Both
+    // products accumulate row-wise over the weight matrices, so the
+    // kernels stream contiguous 3H rows instead of striding columns.
+    xw.assign(bias_.begin(), bias_.end());
+    MatTransposeVecAccumulate(wx_, x, xw.data());
+    std::fill(hw.begin(), hw.end(), 0.0);
+    MatTransposeVecAccumulate(wh_, hidden.data(), hw.data());
+
+    step.z.resize(h);
+    step.r.resize(h);
+    step.n.resize(h);
+    step.uh.resize(h);
     for (int j = 0; j < h; ++j) {
-      double pre_z = bias_[j];
-      double pre_r = bias_[h + j];
-      double uh = 0.0;
-      double pre_n_x = bias_[2 * h + j];
-      for (int i = 0; i < h; ++i) {
-        pre_z += x[i] * wx_(i, j) + hidden[i] * wh_(i, j);
-        pre_r += x[i] * wx_(i, h + j) + hidden[i] * wh_(i, h + j);
-        uh += hidden[i] * wh_(i, 2 * h + j);
-        pre_n_x += x[i] * wx_(i, 2 * h + j);
-      }
-      step.z[j] = Sigmoid(pre_z);
-      step.r[j] = Sigmoid(pre_r);
-      step.uh[j] = uh;
-      step.n[j] = std::tanh(pre_n_x + step.r[j] * uh);
+      step.z[j] = Sigmoid(xw[j] + hw[j]);
+      step.r[j] = Sigmoid(xw[h + j] + hw[h + j]);
+      step.uh[j] = hw[2 * h + j];
+      step.n[j] = std::tanh(xw[2 * h + j] + step.r[j] * step.uh[j]);
     }
-    step.h.assign(h, 0.0);
+    step.h.resize(h);
     for (int j = 0; j < h; ++j) {
       step.h[j] =
           (1.0 - step.z[j]) * step.n[j] + step.z[j] * step.h_prev[j];
     }
     hidden = step.h;
 
-    // Softmax over the next token.
-    step.probs.assign(vocab_size_, 0.0);
+    // Softmax over the next token: logits = b_out + W_out^T h.
+    step.probs = b_out_;
+    MatTransposeVecAccumulate(w_out_, hidden.data(), step.probs.data());
     double max_logit = -1e300;
-    for (int v = 0; v < vocab_size_; ++v) {
-      double logit = b_out_[v];
-      for (int j = 0; j < h; ++j) logit += hidden[j] * w_out_(j, v);
-      step.probs[v] = logit;
-      max_logit = std::max(max_logit, logit);
-    }
+    for (double p : step.probs) max_logit = std::max(max_logit, p);
     double sum = 0.0;
     for (double& p : step.probs) {
       p = std::exp(p - max_logit);
@@ -120,7 +123,6 @@ double GruLanguageModel::ForwardSequence(const TokenSequence& sequence,
     }
     for (double& p : step.probs) p /= sum;
     log_prob += std::log(std::max(step.probs[sequence[t]], 1e-12));
-    if (steps != nullptr) steps->push_back(std::move(step));
   }
   return log_prob;
 }
@@ -128,28 +130,39 @@ double GruLanguageModel::ForwardSequence(const TokenSequence& sequence,
 void GruLanguageModel::BackwardSequence(const TokenSequence& sequence,
                                         const std::vector<Step>& steps) {
   const int h = config_.hidden_size;
+  const size_t h3 = static_cast<size_t>(3 * h);
   const double inv_tokens =
       1.0 / static_cast<double>(std::max<size_t>(1, sequence.size()));
+  // Scratch reused across timesteps (no per-step vector allocations):
+  // dpre_x packs the [z r n] pre-activation gradients that flow through
+  // Wx, dpre_h the [z r uh] gradients that flow through Wh.
   std::vector<double> dh(h, 0.0);
+  std::vector<double> dh_prev(h);
   std::vector<double> dx(h);
+  std::vector<double> dlogits(vocab_size_);
+  std::vector<double> dpre_x(h3);
+  std::vector<double> dpre_h(h3);
 
   for (int t = static_cast<int>(sequence.size()) - 1; t >= 0; --t) {
     const Step& step = steps[t];
-    // Output layer.
+    // Output layer: dlogits = (softmax - onehot) / tokens, then
+    // d_b_out += dlogits, dW_out += h dlogits^T, dh += W_out dlogits —
+    // all row-major over W_out.
     for (int v = 0; v < vocab_size_; ++v) {
       double dlogit = step.probs[v];
       if (v == sequence[t]) dlogit -= 1.0;
-      dlogit *= inv_tokens;
-      d_b_out_[v] += dlogit;
-      for (int j = 0; j < h; ++j) {
-        d_w_out_(j, v) += step.h[j] * dlogit;
-        dh[j] += w_out_(j, v) * dlogit;
-      }
+      dlogits[v] = dlogit * inv_tokens;
     }
+    simd::Axpy(1.0, dlogits.data(), d_b_out_.data(), dlogits.size());
+    for (int j = 0; j < h; ++j) {
+      simd::Axpy(step.h[j], dlogits.data(), d_w_out_.row(j),
+                 dlogits.size());
+    }
+    MatVecAccumulate(w_out_, dlogits.data(), dh.data());
 
     // Through the GRU gates.
     std::fill(dx.begin(), dx.end(), 0.0);
-    std::vector<double> dh_prev(h, 0.0);
+    std::fill(dh_prev.begin(), dh_prev.end(), 0.0);
     const double* x = embedding_.row(step.input_row);
     for (int j = 0; j < h; ++j) {
       double dhj = dh[j];
@@ -163,25 +176,24 @@ void GruLanguageModel::BackwardSequence(const TokenSequence& sequence,
       double dpre_z = dz * step.z[j] * (1.0 - step.z[j]);
       double dpre_r = dr * step.r[j] * (1.0 - step.r[j]);
 
-      d_bias_[j] += dpre_z;
-      d_bias_[h + j] += dpre_r;
-      d_bias_[2 * h + j] += dpre_n;
-      for (int i = 0; i < h; ++i) {
-        d_wx_(i, j) += x[i] * dpre_z;
-        d_wx_(i, h + j) += x[i] * dpre_r;
-        d_wx_(i, 2 * h + j) += x[i] * dpre_n;
-        d_wh_(i, j) += step.h_prev[i] * dpre_z;
-        d_wh_(i, h + j) += step.h_prev[i] * dpre_r;
-        d_wh_(i, 2 * h + j) += step.h_prev[i] * duh;
-        dx[i] += wx_(i, j) * dpre_z + wx_(i, h + j) * dpre_r +
-                 wx_(i, 2 * h + j) * dpre_n;
-        dh_prev[i] += wh_(i, j) * dpre_z + wh_(i, h + j) * dpre_r +
-                      wh_(i, 2 * h + j) * duh;
-      }
+      dpre_x[j] = dpre_z;
+      dpre_x[h + j] = dpre_r;
+      dpre_x[2 * h + j] = dpre_n;
+      dpre_h[j] = dpre_z;
+      dpre_h[h + j] = dpre_r;
+      dpre_h[2 * h + j] = duh;
     }
-    double* erow = d_embedding_.row(step.input_row);
-    for (int i = 0; i < h; ++i) erow[i] += dx[i];
-    dh = std::move(dh_prev);
+    simd::Axpy(1.0, dpre_x.data(), d_bias_.data(), h3);
+    for (int i = 0; i < h; ++i) {
+      simd::Axpy(x[i], dpre_x.data(), d_wx_.row(i), h3);
+      simd::Axpy(step.h_prev[i], dpre_h.data(), d_wh_.row(i), h3);
+    }
+    MatVecAccumulate(wx_, dpre_x.data(), dx.data());
+    MatVecAccumulate(wh_, dpre_h.data(), dh_prev.data());
+
+    simd::Axpy(1.0, dx.data(), d_embedding_.row(step.input_row),
+               static_cast<size_t>(h));
+    std::swap(dh, dh_prev);
   }
 }
 

@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "math/rng.h"
+#include "math/simd/kernels.h"
 #include "math/vector_ops.h"
 #include "models/perplexity.h"
 #include "obs/events.h"
@@ -24,16 +25,18 @@ constexpr int kLogLikelihoodEvery = 20;
 // fractional (TF-IDF weighted mode); lgamma handles real arguments.
 double CollapsedLogLikelihood(
     const std::vector<std::vector<double>>& doc_topic,
-    const std::vector<std::vector<double>>& topic_word,
+    const std::vector<double>& word_topic,
     const std::vector<double>& topic_total, double alpha, double beta,
     int vocab_size) {
   const int k = static_cast<int>(topic_total.size());
   const double v = static_cast<double>(vocab_size);
   double ll = k * (std::lgamma(v * beta) - v * std::lgamma(beta));
-  for (int t = 0; t < k; ++t) {
-    for (int w = 0; w < vocab_size; ++w) {
-      ll += std::lgamma(topic_word[t][w] + beta);
+  for (int w = 0; w < vocab_size; ++w) {
+    for (int t = 0; t < k; ++t) {
+      ll += std::lgamma(word_topic[static_cast<size_t>(w) * k + t] + beta);
     }
+  }
+  for (int t = 0; t < k; ++t) {
     ll -= std::lgamma(topic_total[t] + v * beta);
   }
   const double lg_alpha = std::lgamma(alpha);
@@ -118,8 +121,11 @@ Status LdaModel::TrainInternal(
   std::vector<std::vector<int>> assignments(documents.size());
   std::vector<std::vector<double>> doc_topic(documents.size(),
                                              std::vector<double>(k, 0.0));
-  std::vector<std::vector<double>> topic_word(
-      k, std::vector<double>(vocab_size_, 0.0));
+  // Word-major counts (word_topic[w * k + t]): the per-token scorer reads
+  // all k topics of one word, so this layout feeds simd::GibbsScore a
+  // contiguous row where the topic-major layout would stride by V.
+  std::vector<double> word_topic(
+      static_cast<size_t>(vocab_size_) * k, 0.0);
   std::vector<double> topic_total(k, 0.0);
 
   for (size_t d = 0; d < documents.size(); ++d) {
@@ -129,7 +135,7 @@ Status LdaModel::TrainInternal(
       double w = weights == nullptr ? 1.0 : (*weights)[d][i];
       assignments[d][i] = topic;
       doc_topic[d][topic] += w;
-      topic_word[topic][documents[d][i]] += w;
+      word_topic[static_cast<size_t>(documents[d][i]) * k + topic] += w;
       topic_total[topic] += w;
     }
   }
@@ -157,20 +163,19 @@ Status LdaModel::TrainInternal(
         const int old_topic = assignments[d][i];
         const double w = weights == nullptr ? 1.0 : (*weights)[d][i];
 
+        double* word_counts = &word_topic[static_cast<size_t>(word) * k];
         doc_topic[d][old_topic] -= w;
-        topic_word[old_topic][word] -= w;
+        word_counts[old_topic] -= w;
         topic_total[old_topic] -= w;
 
-        for (int t = 0; t < k; ++t) {
-          topic_probs[t] = (doc_topic[d][t] + config_.alpha) *
-                           (topic_word[t][word] + config_.beta) /
-                           (topic_total[t] + v_beta);
-        }
+        simd::GibbsScore(doc_topic[d].data(), config_.alpha, word_counts,
+                         config_.beta, topic_total.data(), v_beta,
+                         topic_probs.data(), k);
         int new_topic = static_cast<int>(rng.NextCategorical(topic_probs));
 
         assignments[d][i] = new_topic;
         doc_topic[d][new_topic] += w;
-        topic_word[new_topic][word] += w;
+        word_counts[new_topic] += w;
         topic_total[new_topic] += w;
       }
     }
@@ -182,7 +187,8 @@ Status LdaModel::TrainInternal(
     if (on_lag) {
       for (int t = 0; t < k; ++t) {
         for (int wd = 0; wd < vocab_size_; ++wd) {
-          phi_[t][wd] += (topic_word[t][wd] + config_.beta) /
+          phi_[t][wd] += (word_topic[static_cast<size_t>(wd) * k + t] +
+                          config_.beta) /
                          (topic_total[t] + v_beta);
         }
       }
@@ -204,7 +210,7 @@ Status LdaModel::TrainInternal(
     sweep_timer.Stop();
     sweeps_total->Increment();
     if ((sweep + 1) % kLogLikelihoodEvery == 0) {
-      double ll = CollapsedLogLikelihood(doc_topic, topic_word, topic_total,
+      double ll = CollapsedLogLikelihood(doc_topic, word_topic, topic_total,
                                          config_.alpha, config_.beta,
                                          vocab_size_);
       ll_gauge->Set(ll);
@@ -215,7 +221,7 @@ Status LdaModel::TrainInternal(
   }
 
   const double final_ll =
-      CollapsedLogLikelihood(doc_topic, topic_word, topic_total,
+      CollapsedLogLikelihood(doc_topic, word_topic, topic_total,
                              config_.alpha, config_.beta, vocab_size_);
   ll_gauge->Set(final_ll);
 
@@ -223,8 +229,9 @@ Status LdaModel::TrainInternal(
     // Degenerate schedule: fall back to the final state.
     for (int t = 0; t < k; ++t) {
       for (int wd = 0; wd < vocab_size_; ++wd) {
-        phi_[t][wd] =
-            (topic_word[t][wd] + config_.beta) / (topic_total[t] + v_beta);
+        phi_[t][wd] = (word_topic[static_cast<size_t>(wd) * k + t] +
+                       config_.beta) /
+                      (topic_total[t] + v_beta);
       }
     }
   } else {
@@ -234,6 +241,7 @@ Status LdaModel::TrainInternal(
     }
   }
   trained_ = true;
+  BuildWordMajorPhi();
   CheckInvariants();
   HLM_LOG(Info) << "lda" << k << " trained on " << documents.size()
                 << " documents: " << total_sweeps << " gibbs sweeps ("
@@ -278,9 +286,9 @@ std::vector<double> LdaModel::InferTopicMixture(
     for (size_t i = 0; i < document.size(); ++i) {
       const Token word = document[i];
       doc_topic[assignments[i]] -= 1.0;
-      for (int t = 0; t < k; ++t) {
-        topic_probs[t] = (doc_topic[t] + config_.alpha) * phi_[t][word];
-      }
+      simd::ShiftedProduct(doc_topic.data(), config_.alpha,
+                           &phi_wm_[static_cast<size_t>(word) * k],
+                           topic_probs.data(), k);
       assignments[i] = static_cast<int>(rng.NextCategorical(topic_probs));
       doc_topic[assignments[i]] += 1.0;
     }
@@ -327,12 +335,11 @@ double LdaModel::PerplexityOverDocuments(
 
 std::pair<double, long long> LdaModel::ScoreTokens(
     const std::vector<double>& theta, const TokenSequence& tokens) const {
+  const int k = config_.num_topics;
   double log_prob = 0.0;
   for (Token word : tokens) {
-    double p = 0.0;
-    for (int t = 0; t < config_.num_topics; ++t) {
-      p += theta[t] * phi_[t][word];
-    }
+    double p = simd::Dot(theta.data(),
+                         &phi_wm_[static_cast<size_t>(word) * k], k);
     log_prob += std::log(std::max(p, 1e-12));
   }
   return {log_prob, static_cast<long long>(tokens.size())};
@@ -396,25 +403,24 @@ double LdaModel::PerplexityLeftToRight(
             // Resample topics of previous positions (one sweep).
             for (size_t j = 0; j < topics.size(); ++j) {
               counts[topics[j]] -= 1.0;
-              for (int t = 0; t < k; ++t) {
-                topic_probs[t] =
-                    (counts[t] + config_.alpha) * phi_[t][doc[j]];
-              }
+              simd::ShiftedProduct(
+                  counts.data(), config_.alpha,
+                  &phi_wm_[static_cast<size_t>(doc[j]) * k],
+                  topic_probs.data(), k);
               topics[j] = static_cast<int>(rng.NextCategorical(topic_probs));
               counts[topics[j]] += 1.0;
             }
-            // Predictive probability of the next word.
+            // Predictive probability of the next word:
+            // sum_t (counts_t + alpha) phi_t(w) / denom.
             double denom = static_cast<double>(n) +
                            config_.alpha * static_cast<double>(k);
-            double p = 0.0;
-            for (int t = 0; t < k; ++t) {
-              p += (counts[t] + config_.alpha) / denom * phi_[t][word];
-            }
-            p_word += p;
-            // Sample the new word's topic and include it in the particle.
-            for (int t = 0; t < k; ++t) {
-              topic_probs[t] = (counts[t] + config_.alpha) * phi_[t][word];
-            }
+            simd::ShiftedProduct(counts.data(), config_.alpha,
+                                 &phi_wm_[static_cast<size_t>(word) * k],
+                                 topic_probs.data(), k);
+            p_word += simd::Sum(topic_probs.data(), topic_probs.size()) /
+                      denom;
+            // Sample the new word's topic and include it in the particle
+            // (topic_probs already holds the unnormalized scores).
             int z = static_cast<int>(rng.NextCategorical(topic_probs));
             topics.push_back(z);
             counts[z] += 1.0;
@@ -432,9 +438,8 @@ std::vector<double> LdaModel::NextProductDistribution(
   std::vector<double> theta = InferTopicMixture(history);
   std::vector<double> dist(vocab_size_, 0.0);
   for (int t = 0; t < config_.num_topics; ++t) {
-    for (int w = 0; w < vocab_size_; ++w) {
-      dist[w] += theta[t] * phi_[t][w];
-    }
+    simd::Axpy(theta[t], phi_[t].data(), dist.data(),
+               static_cast<size_t>(vocab_size_));
   }
   // A company owns each category at most once, so the correct predictive
   // distribution of the exchangeable set model excludes what the history
@@ -513,7 +518,18 @@ Result<LdaModel> LdaModel::LoadFromFile(const std::string& path) {
   }
   HLM_RETURN_IF_ERROR(reader.Finish());
   model.trained_ = true;
+  model.BuildWordMajorPhi();
   return model;
+}
+
+void LdaModel::BuildWordMajorPhi() {
+  const int k = config_.num_topics;
+  phi_wm_.assign(static_cast<size_t>(vocab_size_) * k, 0.0);
+  for (int t = 0; t < k; ++t) {
+    for (int w = 0; w < vocab_size_; ++w) {
+      phi_wm_[static_cast<size_t>(w) * k + t] = phi_[t][w];
+    }
+  }
 }
 
 std::vector<std::vector<double>> LdaModel::ProductEmbeddings() const {

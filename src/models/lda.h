@@ -149,11 +149,19 @@ class LdaModel final : public ConditionalScorer {
   std::pair<double, long long> ScoreTokens(const std::vector<double>& theta,
                                            const TokenSequence& tokens) const;
 
+  /// Rebuilds phi_wm_ from phi_; call whenever phi_ changes.
+  void BuildWordMajorPhi();
+
   int vocab_size_;
   LdaConfig config_;
   bool trained_ = false;
   // Averaged topic-word distribution, row-normalized.
   std::vector<std::vector<double>> phi_;
+  // Word-major copy of phi_ (phi_wm_[w * num_topics + t] = phi_[t][w]):
+  // the Gibbs fold-in and token scorers read all topics of one word per
+  // step, and the contiguous layout is what lets them call the simd
+  // kernels instead of striding across phi_ rows.
+  std::vector<double> phi_wm_;
 };
 
 }  // namespace hlm::models

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "math/simd/kernels.h"
 
 namespace hlm::models {
 
@@ -55,17 +56,20 @@ void LstmCell::Forward(const Matrix& x, const Matrix& h_prev,
   cache->h_prev = h_prev;
   cache->c_prev = c_prev;
 
-  // Pre-activations G = x Wx + h_prev Wh + bias.
-  Matrix gates = MatMul(x, params_.wx);
-  Matrix rec = MatMul(h_prev, params_.wh);
-  gates += rec;
+  // Pre-activations G = x Wx + h_prev Wh + bias, built in the cache's own
+  // (capacity-reusing) buffer — no per-step temporaries.
+  Matrix& gates = cache->gates;
+  gates.Resize(batch, 4 * h);
+  gates.Fill(0.0);
+  MatMulAccumulate(x, params_.wx, &gates);
+  MatMulAccumulate(h_prev, params_.wh, &gates);
   for (size_t b = 0; b < batch; ++b) {
-    double* grow = gates.row(b);
-    for (int j = 0; j < 4 * h; ++j) grow[j] += params_.bias[j];
+    simd::Axpy(1.0, params_.bias.data(), gates.row(b),
+               static_cast<size_t>(4 * h));
   }
 
-  cache->c = Matrix(batch, h);
-  cache->h = Matrix(batch, h);
+  cache->c.Resize(batch, h);
+  cache->h.Resize(batch, h);
   for (size_t b = 0; b < batch; ++b) {
     double* grow = gates.row(b);
     const double* cp = c_prev.row(b);
@@ -95,17 +99,22 @@ void LstmCell::Forward(const Matrix& x, const Matrix& h_prev,
       hrow[j] = o_gate * std::tanh(c_new);
     }
   }
-  cache->gates = std::move(gates);
 }
 
 void LstmCell::Backward(const LstmStepCache& cache,
                         const std::vector<double>& mask, Matrix* dh,
-                        Matrix* dc, Matrix* dx, LstmCellGrads* grads) const {
+                        Matrix* dc, Matrix* dx, LstmCellGrads* grads,
+                        LstmBackwardScratch* scratch) const {
   const size_t batch = cache.x.rows();
   const int h = hidden_size_;
 
+  LstmBackwardScratch local;
+  if (scratch == nullptr) scratch = &local;
+
   // d(pre-activation gates), packed like the forward cache.
-  Matrix dgates(batch, 4 * h, 0.0);
+  Matrix& dgates = scratch->dgates;
+  dgates.Resize(batch, 4 * h);
+  dgates.Fill(0.0);
   for (size_t b = 0; b < batch; ++b) {
     if (mask[b] == 0.0) continue;  // dh/dc pass straight through below
     const double* grow = cache.gates.row(b);
@@ -136,13 +145,14 @@ void LstmCell::Backward(const LstmStepCache& cache,
   MatTransposeMulAccumulate(cache.x, dgates, &grads->wx);
   MatTransposeMulAccumulate(cache.h_prev, dgates, &grads->wh);
   for (size_t b = 0; b < batch; ++b) {
-    const double* dgrow = dgates.row(b);
-    for (int j = 0; j < 4 * h; ++j) grads->bias[j] += dgrow[j];
+    simd::Axpy(1.0, dgates.row(b), grads->bias.data(),
+               static_cast<size_t>(4 * h));
   }
 
   // Input and recurrent gradients: dx = dG Wx^T, dh_prev = dG Wh^T.
-  *dx = MatMulTransposed(dgates, params_.wx);
-  Matrix dh_prev = MatMulTransposed(dgates, params_.wh);
+  MatMulTransposedInto(dgates, params_.wx, dx);
+  Matrix& dh_prev = scratch->dh_prev;
+  MatMulTransposedInto(dgates, params_.wh, &dh_prev);
 
   // Masked rows keep their incoming dh/dc (state passed through in
   // forward), active rows take the recurrent gradient.

@@ -27,6 +27,15 @@ struct LstmCellGrads {
   void ZeroLike(const LstmCellParams& params);
 };
 
+/// Reusable backward-pass scratch (the d(pre-activation) block and the
+/// recurrent gradient). Callers that run Backward in a loop keep one of
+/// these alive across steps so the buffers are allocated once; omitting
+/// it falls back to per-call locals with identical results.
+struct LstmBackwardScratch {
+  Matrix dgates;   // B x 4H
+  Matrix dh_prev;  // B x H
+};
+
 /// Everything the backward pass needs from one forward timestep over a
 /// batch of B rows.
 struct LstmStepCache {
@@ -52,16 +61,20 @@ class LstmCell {
   const LstmCellParams& params() const { return params_; }
 
   /// Forward one timestep; fills `cache` (including h and c outputs).
+  /// The cache's matrices are resized in place, so feeding the same cache
+  /// object across steps of equal shape allocates nothing after the first
+  /// step.
   void Forward(const Matrix& x, const Matrix& h_prev, const Matrix& c_prev,
                const std::vector<double>& mask, LstmStepCache* cache) const;
 
   /// Backward one timestep. On entry dh/dc hold the gradients flowing
   /// into this step's h and c outputs; on exit they hold gradients for
   /// h_prev and c_prev. dx receives the input gradient (resized).
-  /// Parameter gradients accumulate into `grads`.
+  /// Parameter gradients accumulate into `grads`. `scratch`, when given,
+  /// supplies reusable buffers (bit-identical output either way).
   void Backward(const LstmStepCache& cache, const std::vector<double>& mask,
-                Matrix* dh, Matrix* dc, Matrix* dx,
-                LstmCellGrads* grads) const;
+                Matrix* dh, Matrix* dc, Matrix* dx, LstmCellGrads* grads,
+                LstmBackwardScratch* scratch = nullptr) const;
 
   /// Total number of scalar parameters.
   long long NumParameters() const;

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "math/simd/kernels.h"
 #include "models/adam.h"
 #include "models/perplexity.h"
 #include "obs/metrics.h"
@@ -117,9 +118,17 @@ void LstmLanguageModel::ForwardBatch(
   long long tokens = 0;
   const double keep = 1.0 - config_.dropout;
 
+  // Hoisted per-step buffers: in eval mode (no BPTT cache) every timestep
+  // reuses these, so the steady-state forward pass allocates nothing.
+  std::vector<LstmStepCache> eval_steps(cells_.size());
+  Matrix eval_logits;
+  Matrix x;
+  std::vector<double> mask;
+  std::vector<int> input_rows;
+
   for (int t = 0; t < max_len; ++t) {
-    std::vector<double> mask(b_size, 0.0);
-    std::vector<int> input_rows(b_size, vocab_size_);  // BOS row
+    mask.assign(b_size, 0.0);
+    input_rows.assign(b_size, vocab_size_);  // BOS row
     for (size_t b = 0; b < b_size; ++b) {
       if (t < static_cast<int>(batch[b]->size())) {
         mask[b] = 1.0;
@@ -128,7 +137,8 @@ void LstmLanguageModel::ForwardBatch(
     }
 
     // Embedding lookup.
-    Matrix x(b_size, h, 0.0);
+    x.Resize(b_size, h);
+    x.Fill(0.0);
     for (size_t b = 0; b < b_size; ++b) {
       if (mask[b] == 0.0) continue;
       const double* row = embedding_.row(input_rows[b]);
@@ -136,11 +146,15 @@ void LstmLanguageModel::ForwardBatch(
       for (int j = 0; j < h; ++j) xrow[j] = row[j];
     }
 
-    std::vector<LstmStepCache> local_steps(cells_.size());
+    std::vector<LstmStepCache>* steps = &eval_steps;
+    if (cache != nullptr) {
+      cache->steps[t].resize(cells_.size());
+      steps = &cache->steps[t];
+    }
     std::vector<Matrix> local_dropout;
     Matrix* layer_input = &x;
     for (size_t layer = 0; layer < cells_.size(); ++layer) {
-      LstmStepCache& step = local_steps[layer];
+      LstmStepCache& step = (*steps)[layer];
       cells_[layer].Forward(*layer_input, hidden[layer], cell_state[layer],
                             mask, &step);
       hidden[layer] = step.h;
@@ -158,11 +172,15 @@ void LstmLanguageModel::ForwardBatch(
       layer_input = &hidden[layer];
     }
 
-    // Softmax over the (possibly dropped-out) top hidden state.
-    Matrix logits = MatMul(hidden.back(), w_out_);
+    // Softmax over the (possibly dropped-out) top hidden state, computed
+    // straight into the BPTT cache slot (or the reused eval buffer).
+    Matrix& logits = cache != nullptr ? cache->probs[t] : eval_logits;
+    logits.Resize(b_size, vocab_size_);
+    logits.Fill(0.0);
+    MatMulAccumulate(hidden.back(), w_out_, &logits);
     for (size_t b = 0; b < b_size; ++b) {
-      double* lrow = logits.row(b);
-      for (int v = 0; v < vocab_size_; ++v) lrow[v] += b_out_[v];
+      simd::Axpy(1.0, b_out_.data(), logits.row(b),
+                 static_cast<size_t>(vocab_size_));
     }
     for (size_t b = 0; b < b_size; ++b) {
       if (mask[b] == 0.0) continue;
@@ -183,11 +201,9 @@ void LstmLanguageModel::ForwardBatch(
     }
 
     if (cache != nullptr) {
-      cache->steps[t] = std::move(local_steps);
-      cache->masks[t] = std::move(mask);
+      cache->masks[t] = mask;
       cache->dropout_masks[t] = std::move(local_dropout);
-      cache->probs[t] = std::move(logits);
-      cache->input_rows[t] = std::move(input_rows);
+      cache->input_rows[t] = input_rows;
     }
   }
 
@@ -205,11 +221,18 @@ void LstmLanguageModel::BackwardBatch(const BatchCache& cache) {
   std::vector<Matrix> dh(cells_.size(), Matrix(b_size, h, 0.0));
   std::vector<Matrix> dc(cells_.size(), Matrix(b_size, h, 0.0));
 
+  // Buffers reused across every timestep and layer of the BPTT loop.
+  LstmBackwardScratch scratch;
+  Matrix dlogits;
+  Matrix h_top;
+  Matrix dtop;
+  Matrix dx;
+
   for (int t = cache.max_len - 1; t >= 0; --t) {
     const std::vector<double>& mask = cache.masks[t];
 
     // dlogits = softmax - onehot(target), averaged over active tokens.
-    Matrix dlogits = cache.probs[t];
+    dlogits = cache.probs[t];
     for (size_t b = 0; b < b_size; ++b) {
       double* drow = dlogits.row(b);
       if (mask[b] == 0.0) {
@@ -224,7 +247,7 @@ void LstmLanguageModel::BackwardBatch(const BatchCache& cache) {
     // Output layer gradients. The top hidden state that fed the softmax
     // is the post-dropout one: h_top_dropped = step.h * dropout_mask.
     const LstmStepCache& top_step = cache.steps[t].back();
-    Matrix h_top = top_step.h;
+    h_top = top_step.h;
     const bool has_dropout = !cache.dropout_masks[t].empty();
     if (has_dropout) {
       const Matrix& dmask = cache.dropout_masks[t].back();
@@ -240,7 +263,7 @@ void LstmLanguageModel::BackwardBatch(const BatchCache& cache) {
 
     // Gradient into the top layer's (post-dropout) output, plus whatever
     // flowed back from step t+1 (already in dh).
-    Matrix dtop = MatMulTransposed(dlogits, w_out_);
+    MatMulTransposedInto(dlogits, w_out_, &dtop);
     if (has_dropout) {
       const Matrix& dmask = cache.dropout_masks[t].back();
       for (size_t i = 0; i < dtop.size(); ++i) {
@@ -250,11 +273,10 @@ void LstmLanguageModel::BackwardBatch(const BatchCache& cache) {
     dh.back() += dtop;
 
     // Backward through the stack.
-    Matrix dx;
     for (int layer = static_cast<int>(cells_.size()) - 1; layer >= 0;
          --layer) {
       cells_[layer].Backward(cache.steps[t][layer], mask, &dh[layer],
-                             &dc[layer], &dx, &d_cells_[layer]);
+                             &dc[layer], &dx, &d_cells_[layer], &scratch);
       if (layer > 0) {
         // dx is the gradient on the (post-dropout) output of layer-1.
         if (has_dropout) {
@@ -268,9 +290,9 @@ void LstmLanguageModel::BackwardBatch(const BatchCache& cache) {
         // Embedding gradient.
         for (size_t b = 0; b < b_size; ++b) {
           if (mask[b] == 0.0) continue;
-          double* erow = d_embedding_.row(cache.input_rows[t][b]);
-          const double* dxrow = dx.row(b);
-          for (int j = 0; j < h; ++j) erow[j] += dxrow[j];
+          simd::Axpy(1.0, dx.row(b),
+                     d_embedding_.row(cache.input_rows[t][b]),
+                     static_cast<size_t>(h));
         }
       }
     }
@@ -495,30 +517,29 @@ std::vector<double> LstmLanguageModel::NextProductDistribution(
   std::vector<double> mask{1.0};
 
   // Consume BOS + history, then read the distribution after the last
-  // input.
+  // input. Step caches are reused across timesteps.
+  std::vector<LstmStepCache> steps(cells_.size());
+  Matrix x(1, h);
   for (size_t t = 0; t <= history.size(); ++t) {
     int row = t == 0 ? vocab_size_ : history[t - 1];
-    Matrix x(1, h);
     const double* erow = embedding_.row(row);
     for (int j = 0; j < h; ++j) x(0, j) = erow[j];
     const Matrix* input = &x;
     for (size_t layer = 0; layer < cells_.size(); ++layer) {
-      LstmStepCache step;
+      LstmStepCache& step = steps[layer];
       cells_[layer].Forward(*input, hidden[layer], cell_state[layer], mask,
                             &step);
-      hidden[layer] = std::move(step.h);
-      cell_state[layer] = std::move(step.c);
+      hidden[layer] = step.h;
+      cell_state[layer] = step.c;
       input = &hidden[layer];
     }
   }
 
-  std::vector<double> logits(vocab_size_, 0.0);
+  // logits = b_out + W_out^T h_top, accumulated row-wise over W_out so
+  // the inner loop runs along contiguous memory.
+  std::vector<double> logits = b_out_;
   const double* top = hidden.back().row(0);
-  for (int v = 0; v < vocab_size_; ++v) {
-    double sum = b_out_[v];
-    for (int j = 0; j < h; ++j) sum += top[j] * w_out_(j, v);
-    logits[v] = sum;
-  }
+  MatTransposeVecAccumulate(w_out_, top, logits.data());
   // Softmax.
   double max_logit = *std::max_element(logits.begin(), logits.end());
   double total = 0.0;
@@ -561,18 +582,19 @@ std::vector<double> LstmLanguageModel::CompanyEmbedding(
   std::vector<Matrix> hidden(cells_.size(), Matrix(1, h, 0.0));
   std::vector<Matrix> cell_state(cells_.size(), Matrix(1, h, 0.0));
   std::vector<double> mask{1.0};
+  std::vector<LstmStepCache> steps(cells_.size());
+  Matrix x(1, h);
   for (size_t t = 0; t <= sequence.size(); ++t) {
     int row = t == 0 ? vocab_size_ : sequence[t - 1];
-    Matrix x(1, h);
     const double* erow = embedding_.row(row);
     for (int j = 0; j < h; ++j) x(0, j) = erow[j];
     const Matrix* input = &x;
     for (size_t layer = 0; layer < cells_.size(); ++layer) {
-      LstmStepCache step;
+      LstmStepCache& step = steps[layer];
       cells_[layer].Forward(*input, hidden[layer], cell_state[layer], mask,
                             &step);
-      hidden[layer] = std::move(step.h);
-      cell_state[layer] = std::move(step.c);
+      hidden[layer] = step.h;
+      cell_state[layer] = step.c;
       input = &hidden[layer];
     }
   }

@@ -1,12 +1,24 @@
 #include "recsys/similarity_search.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
+#include "common/arena.h"
+#include "math/simd/kernels.h"
 #include "obs/errors.h"
 #include "obs/metrics.h"
 
 namespace hlm::recsys {
+
+namespace {
+
+// Items scored per ScoreBlock call. Sized so a tile of rows plus the dot
+// buffer stays cache-resident at the representation widths in play
+// (tens to a few hundred dims).
+constexpr int kTileItems = 128;
+
+}  // namespace
 
 SimilaritySearch::SimilaritySearch(
     std::vector<std::vector<double>> representations,
@@ -20,6 +32,15 @@ SimilaritySearch::SimilaritySearch(
         break;
       }
     }
+  }
+  if (ragged_) return;
+  // Flatten once and cache row norms so queries never recompute them
+  // (Eq. 5 scans touch every row; the norms are query-invariant).
+  flat_.reserve(representations_.size() * static_cast<size_t>(dim_));
+  norms_.reserve(representations_.size());
+  for (const std::vector<double>& row : representations_) {
+    flat_.insert(flat_.end(), row.begin(), row.end());
+    norms_.push_back(std::sqrt(simd::SquaredNorm(row.data(), row.size())));
   }
 }
 
@@ -68,10 +89,39 @@ Result<std::vector<Neighbor>> SimilaritySearch::TopKForVector(
   }
   std::vector<Neighbor> neighbors;
   neighbors.reserve(representations_.size());
-  for (int i = 0; i < size(); ++i) {
-    if (filter != nullptr && !filter(i)) continue;
-    neighbors.push_back(
-        Neighbor{i, cluster::Distance(kind_, query, representations_[i])});
+  const size_t d = static_cast<size_t>(dim_);
+  if (kind_ == cluster::DistanceKind::kCosine) {
+    // Tiled block scan: one ScoreBlock call scores a whole tile of rows
+    // against the query, then cached norms turn dots into distances.
+    // Filtered rows are dropped after scoring — the filter decides
+    // membership, not whether a lane gets computed.
+    const double query_norm =
+        std::sqrt(simd::SquaredNorm(query.data(), query.size()));
+    Arena& arena = ScratchArena();
+    arena.Reset();
+    double* dots = arena.AllocDoubles(kTileItems);
+    for (int start = 0; start < size(); start += kTileItems) {
+      const int count = std::min(kTileItems, size() - start);
+      simd::ScoreBlock(query.data(), 1, flat_.data() + start * d, count, d,
+                       dots);
+      for (int j = 0; j < count; ++j) {
+        const int i = start + j;
+        if (filter != nullptr && !filter(i)) continue;
+        const double row_norm = norms_[i];
+        const double distance =
+            (query_norm == 0.0 || row_norm == 0.0)
+                ? 1.0
+                : 1.0 - dots[j] / (query_norm * row_norm);
+        neighbors.push_back(Neighbor{i, distance});
+      }
+    }
+  } else {
+    for (int i = 0; i < size(); ++i) {
+      if (filter != nullptr && !filter(i)) continue;
+      const double distance = std::sqrt(
+          simd::SquaredDistance(query.data(), flat_.data() + i * d, d));
+      neighbors.push_back(Neighbor{i, distance});
+    }
   }
   size_t keep = std::min<size_t>(k, neighbors.size());
   std::partial_sort(neighbors.begin(), neighbors.begin() + keep,

@@ -26,6 +26,14 @@ struct Neighbor {
 /// computing distances over mismatched rows. Query dimensionality is
 /// checked unconditionally — an empty index has dimension 0, so any
 /// non-empty query vector is a mismatch, not a silent empty result.
+///
+/// Construction additionally flattens the representations into one
+/// contiguous row-major block and caches each row's euclidean norm, so
+/// queries run as tiled simd::ScoreBlock scans (cosine) or contiguous
+/// kernel distance calls (euclidean) instead of per-row nested-vector
+/// walks. The batched cosine path is bit-identical to per-row
+/// CosineDistance: the block kernel's dot obeys the same lane-blocked
+/// contract, and the norms are the same sqrt(SquaredNorm) values.
 class SimilaritySearch {
  public:
   SimilaritySearch(std::vector<std::vector<double>> representations,
@@ -55,6 +63,11 @@ class SimilaritySearch {
   cluster::DistanceKind kind_;
   int dim_ = 0;
   bool ragged_ = false;
+  // Contiguous row-major copy of representations_ (size n * dim_) plus
+  // per-row euclidean norms, both fixed at construction. Empty when the
+  // matrix is ragged (queries fail before touching them).
+  std::vector<double> flat_;
+  std::vector<double> norms_;
 };
 
 }  // namespace hlm::recsys

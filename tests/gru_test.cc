@@ -70,6 +70,28 @@ TEST(GruLmTest, DeterministicInSeed) {
   for (size_t i = 0; i < da.size(); ++i) EXPECT_DOUBLE_EQ(da[i], db[i]);
 }
 
+// Satellite of the SIMD kernel PR: forward/backward scratch is reused
+// across timesteps and sequences, so evaluation must be stateless —
+// repeated and interleaved calls over mixed-length sequences return
+// bit-identical values.
+TEST(GruLmTest, RepeatedEvaluationBitIdentical) {
+  GruConfig config;
+  config.hidden_size = 10;
+  config.epochs = 3;
+  GruLanguageModel gru(8, config);
+  std::vector<TokenSequence> data = {
+      {0, 1, 2, 3}, {4, 5}, {6, 7, 0, 1, 2, 3, 4}, {5}};
+  gru.Train(data);
+
+  const double p1 = gru.Perplexity(data);
+  const std::vector<double> d1 = gru.NextProductDistribution({0, 1, 2});
+  const std::vector<double> d2 = gru.NextProductDistribution({6});
+  const double p2 = gru.Perplexity(data);
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(d1, gru.NextProductDistribution({0, 1, 2}));
+  EXPECT_EQ(d2, gru.NextProductDistribution({6}));
+}
+
 TEST(GruLmTest, FewerParametersThanLstmAtSameWidth) {
   // GRU has 3 gate blocks vs LSTM's 4 -- the "simpler version of LSTMs"
   // of §3.4.

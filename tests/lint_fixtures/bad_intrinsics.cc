@@ -1,0 +1,7 @@
+// Lint fixture: x86 intrinsic headers outside src/math/simd/ — the
+// simd-intrinsic-isolation rule must fire once per banned include.
+
+#include <immintrin.h>
+#include <x86intrin.h>
+
+double F(const double* a) { return a[0]; }

@@ -300,9 +300,9 @@ TEST(LintPersistWriteTest, AnnotationSuppresses) {
   EXPECT_TRUE(diags.empty());
 }
 
-TEST(LintRuleListTest, AllTenRulesAdvertised) {
+TEST(LintRuleListTest, AllElevenRulesAdvertised) {
   std::vector<std::string> rules = RuleNames();
-  EXPECT_EQ(rules.size(), 10u);
+  EXPECT_EQ(rules.size(), 11u);
   EXPECT_NE(std::find(rules.begin(), rules.end(), "no-raw-rng"),
             rules.end());
   EXPECT_NE(std::find(rules.begin(), rules.end(), "include-order"),
@@ -313,6 +313,38 @@ TEST(LintRuleListTest, AllTenRulesAdvertised) {
             rules.end());
   EXPECT_NE(std::find(rules.begin(), rules.end(), "span-event-naming"),
             rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(),
+                      "simd-intrinsic-isolation"),
+            rules.end());
+}
+
+TEST(LintSimdIsolationTest, FlagsIntrinsicHeadersOutsideKernelLayer) {
+  const std::string body = "#include <immintrin.h>\n";
+  EXPECT_EQ(CountRule(LintContent("src/models/lda.cc", body),
+                      "simd-intrinsic-isolation"),
+            1);
+  EXPECT_EQ(CountRule(LintContent("tools/hlm_bench.cc", body),
+                      "simd-intrinsic-isolation"),
+            1);
+}
+
+TEST(LintSimdIsolationTest, KernelLayerIsExemptAndAnnotationSuppresses) {
+  EXPECT_EQ(CountRule(LintContent("src/math/simd/kernels_avx2.cc",
+                                  "#include <immintrin.h>\n"),
+                      "simd-intrinsic-isolation"),
+            0);
+  const std::string annotated =
+      "// hlm-lint: allow(simd-intrinsic-isolation)\n"
+      "#include <immintrin.h>\n";
+  EXPECT_EQ(CountRule(LintContent("src/models/lda.cc", annotated),
+                      "simd-intrinsic-isolation"),
+            0);
+}
+
+TEST(LintFixtureTest, BadIntrinsicsFixtureFlagged) {
+  auto diags = LintContent("src/models/bad_intrinsics.cc",
+                           ReadFixture("bad_intrinsics.cc"));
+  EXPECT_EQ(CountRule(diags, "simd-intrinsic-isolation"), 2);
 }
 
 TEST(LintMetricNamingTest, FlagsBadCounterAndHistogramSuffixes) {

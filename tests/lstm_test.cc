@@ -51,6 +51,67 @@ TEST(LstmCellTest, NumParametersFormula) {
   EXPECT_EQ(cell.NumParameters(), 10 * 80 + 20 * 80 + 80);
 }
 
+// Satellite of the SIMD kernel PR: reusing caches and backward scratch
+// across steps must be bit-identical to fresh allocations (DESIGN.md
+// §12 workspace-reuse rules).
+TEST(LstmCellTest, WarmCacheAndScratchBitIdenticalToFresh) {
+  Rng rng(11);
+  LstmCell cell(3, 4, &rng);
+  Rng data_rng(12);
+  Matrix x0 = Matrix::RandomGaussian(2, 3, 1.0, &data_rng);
+  Matrix x1 = Matrix::RandomGaussian(2, 3, 1.0, &data_rng);
+  Matrix h0(2, 4, 0.0);
+  Matrix c0(2, 4, 0.0);
+  std::vector<double> mask = {1.0, 1.0};
+
+  // Fresh caches, one per step.
+  LstmStepCache fresh0;
+  LstmStepCache fresh1;
+  cell.Forward(x0, h0, c0, mask, &fresh0);
+  cell.Forward(x1, fresh0.h, fresh0.c, mask, &fresh1);
+
+  // One warm cache pair reused across a prior run, then the same inputs.
+  LstmStepCache warm0;
+  LstmStepCache warm1;
+  cell.Forward(x1, h0, c0, mask, &warm0);  // dirty the buffers
+  cell.Forward(x0, warm0.h, warm0.c, mask, &warm1);
+  cell.Forward(x0, h0, c0, mask, &warm0);
+  cell.Forward(x1, warm0.h, warm0.c, mask, &warm1);
+  for (size_t i = 0; i < fresh1.h.size(); ++i) {
+    EXPECT_EQ(fresh1.h.data()[i], warm1.h.data()[i]);
+    EXPECT_EQ(fresh1.c.data()[i], warm1.c.data()[i]);
+  }
+
+  // Backward with caller-owned scratch vs per-call locals.
+  auto run_backward = [&](LstmBackwardScratch* scratch, LstmCellGrads* grads,
+                          Matrix* dx) {
+    Matrix dh(2, 4, 0.3);
+    Matrix dc(2, 4, -0.1);
+    grads->ZeroLike(cell.params());
+    cell.Backward(fresh1, mask, &dh, &dc, dx, grads, scratch);
+    cell.Backward(fresh0, mask, &dh, &dc, dx, grads, scratch);
+  };
+  LstmCellGrads grads_local;
+  Matrix dx_local;
+  run_backward(nullptr, &grads_local, &dx_local);
+  LstmBackwardScratch scratch;
+  LstmCellGrads grads_scratch;
+  Matrix dx_scratch;
+  run_backward(&scratch, &grads_scratch, &dx_scratch);
+  for (size_t i = 0; i < grads_local.wx.size(); ++i) {
+    EXPECT_EQ(grads_local.wx.data()[i], grads_scratch.wx.data()[i]);
+  }
+  for (size_t i = 0; i < grads_local.wh.size(); ++i) {
+    EXPECT_EQ(grads_local.wh.data()[i], grads_scratch.wh.data()[i]);
+  }
+  for (size_t i = 0; i < grads_local.bias.size(); ++i) {
+    EXPECT_EQ(grads_local.bias[i], grads_scratch.bias[i]);
+  }
+  for (size_t i = 0; i < dx_local.size(); ++i) {
+    EXPECT_EQ(dx_local.data()[i], dx_scratch.data()[i]);
+  }
+}
+
 // -------------------------------------------- Finite-difference gradcheck
 
 // Scalar loss: weighted sums of h and c after two steps (the second step

@@ -2,6 +2,8 @@
 
 #include "common/parallel.h"
 #include "corpus/generator.h"
+#include "math/rng.h"
+#include "math/vector_ops.h"
 #include "obs/metrics.h"
 #include "corpus/month.h"
 #include "corpus/product_taxonomy.h"
@@ -310,6 +312,39 @@ TEST(SimilaritySearchTest, EmptyIndexRejectsNonEmptyQueries) {
 
 // Regression: ragged matrices were never validated, so queries computed
 // distances over rows of different widths.
+// The batched cosine block scan (tiled simd::ScoreBlock over the
+// flattened matrix with construction-time norm caching) must agree with
+// per-row CosineDistance exactly, including across tile boundaries and
+// for zero-norm rows (distance 1 by convention).
+TEST(SimilaritySearchTest, BatchedCosineMatchesPerRowDistance) {
+  Rng rng(77);
+  const int n = 300;  // > 2 tiles of 128
+  const int d = 9;
+  std::vector<std::vector<double>> reps(n, std::vector<double>(d));
+  for (auto& row : reps) {
+    for (double& v : row) v = 2.0 * rng.NextDouble() - 1.0;
+  }
+  reps[0].assign(d, 0.0);    // zero-norm row inside the first tile
+  reps[200].assign(d, 0.0);  // and one in a later tile
+  SimilaritySearch search(reps, cluster::DistanceKind::kCosine);
+
+  std::vector<double> query = reps[7];
+  auto hits = search.TopKForVector(query, n);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), static_cast<size_t>(n));
+  for (const Neighbor& hit : *hits) {
+    EXPECT_EQ(hit.distance, CosineDistance(query, reps[hit.company_id]))
+        << "company " << hit.company_id;
+  }
+
+  // Zero-norm rows (and a zero-norm query) score distance exactly 1.
+  auto zero_hits = search.TopKForVector(std::vector<double>(d, 0.0), n);
+  ASSERT_TRUE(zero_hits.ok());
+  for (const Neighbor& hit : *zero_hits) {
+    EXPECT_EQ(hit.distance, 1.0);
+  }
+}
+
 TEST(SimilaritySearchTest, RaggedMatrixPoisonsAllQueries) {
   std::vector<std::vector<double>> ragged = {{0.0, 0.0}, {1.0}, {2.0, 2.0}};
   SimilaritySearch search(ragged, cluster::DistanceKind::kEuclidean);

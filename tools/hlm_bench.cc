@@ -42,6 +42,7 @@
 #include "corpus/generator.h"
 #include "corpus/month.h"
 #include "math/rng.h"
+#include "math/simd/kernels.h"
 #include "models/bpmf.h"
 #include "models/chh.h"
 #include "models/lda.h"
@@ -250,6 +251,217 @@ void RunSuite(const std::string& suite, const SuiteEnv& env,
   }
 }
 
+// ---------------------------------------------------------------------
+// kernels suite: micro-benchmarks of the dispatched SIMD kernels against
+// plain sequential scalar references (deliberately NOT the lane-blocked
+// portable kernels — the speedup column measures the dispatched path
+// against pre-SIMD code). Checksum gauges accumulate dispatched kernel
+// outputs and are compared exactly against the baseline: the lane-blocked
+// summation contract makes them identical on every machine, whichever
+// path is active. Speedups are machine-dependent and go to meta only.
+
+double ScalarDot(const double* a, const double* b, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+double ScalarSquaredDistance(const double* a, const double* b, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+void ScalarMatVec(const double* a, size_t rows, size_t cols, const double* x,
+                  double* y) {
+  for (size_t r = 0; r < rows; ++r) {
+    y[r] += ScalarDot(a + r * cols, x, cols);
+  }
+}
+
+void ScalarScoreBlock(const double* queries, size_t num_queries,
+                      const double* items, size_t num_items, size_t d,
+                      double* out) {
+  for (size_t q = 0; q < num_queries; ++q) {
+    for (size_t j = 0; j < num_items; ++j) {
+      out[q * num_items + j] = ScalarDot(queries + q * d, items + j * d, d);
+    }
+  }
+}
+
+template <typename F>
+double TimeSeconds(int reps, F&& body) {
+  auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) body();
+  std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+std::vector<double> RandomVector(size_t n, Rng* rng) {
+  std::vector<double> v(n);
+  for (double& x : v) x = 2.0 * rng->NextDouble() - 1.0;
+  return v;
+}
+
+/// One timed comparison; `sink` defeats dead-code elimination and feeds
+/// the checksum gauges.
+struct KernelTiming {
+  std::string name;
+  size_t d = 0;
+  double scalar_seconds = 0.0;
+  double kernel_seconds = 0.0;
+  double speedup() const {
+    return kernel_seconds > 0.0 ? scalar_seconds / kernel_seconds : 0.0;
+  }
+};
+
+/// Runs the micro-bench suite. Returns false when --min_speedup is set,
+/// the AVX2 path is active, and any timed kernel at d >= 64 comes in
+/// under the bar.
+bool RunKernelsSuite(double min_speedup) {
+  Phase suite_phase("kernels");
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  const std::vector<size_t> dims = {64, 256, 1024};
+  constexpr size_t kMatRows = 128;
+  constexpr size_t kBlockQueries = 8;
+  constexpr size_t kBlockItems = 128;
+  Rng rng(12345);
+  volatile double sink = 0.0;
+
+  std::vector<KernelTiming> timings;
+  double dot_checksum = 0.0;
+  double distance_checksum = 0.0;
+  double matvec_checksum = 0.0;
+  double score_block_checksum = 0.0;
+
+  for (size_t d : dims) {
+    std::vector<double> x = RandomVector(d, &rng);
+    std::vector<double> y = RandomVector(d, &rng);
+    std::vector<double> mat = RandomVector(kMatRows * d, &rng);
+    std::vector<double> queries = RandomVector(kBlockQueries * d, &rng);
+    std::vector<double> items = RandomVector(kBlockItems * d, &rng);
+    std::vector<double> out(kMatRows, 0.0);
+    std::vector<double> block(kBlockQueries * kBlockItems, 0.0);
+
+    // Rep counts keep total work roughly constant across dims so every
+    // measurement is milliseconds, not microseconds.
+    const int vec_reps = static_cast<int>(4'000'000 / d);
+    const int mat_reps = std::max(1, static_cast<int>(4'000'000 / (kMatRows * d)));
+    const int block_reps = std::max(
+        1, static_cast<int>(8'000'000 / (kBlockQueries * kBlockItems * d)));
+
+    KernelTiming dot{"dot", d, 0.0, 0.0};
+    dot.scalar_seconds = TimeSeconds(
+        vec_reps, [&] { sink = sink + ScalarDot(x.data(), y.data(), d); });
+    dot.kernel_seconds = TimeSeconds(
+        vec_reps, [&] { sink = sink + simd::Dot(x.data(), y.data(), d); });
+    dot_checksum += simd::Dot(x.data(), y.data(), d);
+    timings.push_back(dot);
+
+    KernelTiming dist{"distance", d, 0.0, 0.0};
+    dist.scalar_seconds = TimeSeconds(vec_reps, [&] {
+      sink = sink + ScalarSquaredDistance(x.data(), y.data(), d);
+    });
+    dist.kernel_seconds = TimeSeconds(vec_reps, [&] {
+      sink = sink + simd::SquaredDistance(x.data(), y.data(), d);
+    });
+    distance_checksum += simd::SquaredDistance(x.data(), y.data(), d);
+    timings.push_back(dist);
+
+    KernelTiming matvec{"matvec", d, 0.0, 0.0};
+    matvec.scalar_seconds = TimeSeconds(mat_reps, [&] {
+      std::fill(out.begin(), out.end(), 0.0);
+      ScalarMatVec(mat.data(), kMatRows, d, x.data(), out.data());
+      sink = sink + out[0];
+    });
+    matvec.kernel_seconds = TimeSeconds(mat_reps, [&] {
+      std::fill(out.begin(), out.end(), 0.0);
+      simd::MatVec(mat.data(), kMatRows, d, x.data(), out.data());
+      sink = sink + out[0];
+    });
+    std::fill(out.begin(), out.end(), 0.0);
+    simd::MatVec(mat.data(), kMatRows, d, x.data(), out.data());
+    matvec_checksum += simd::Sum(out.data(), out.size());
+    timings.push_back(matvec);
+
+    KernelTiming block_timing{"score_block", d, 0.0, 0.0};
+    block_timing.scalar_seconds = TimeSeconds(block_reps, [&] {
+      ScalarScoreBlock(queries.data(), kBlockQueries, items.data(),
+                       kBlockItems, d, block.data());
+      sink = sink + block[0];
+    });
+    block_timing.kernel_seconds = TimeSeconds(block_reps, [&] {
+      simd::ScoreBlock(queries.data(), kBlockQueries, items.data(),
+                       kBlockItems, d, block.data());
+      sink = sink + block[0];
+    });
+    simd::ScoreBlock(queries.data(), kBlockQueries, items.data(), kBlockItems,
+                     d, block.data());
+    score_block_checksum += simd::Sum(block.data(), block.size());
+    timings.push_back(block_timing);
+  }
+
+  // Untimed checksums for the remaining kernels, at an odd length so the
+  // tail lanes are exercised too.
+  {
+    const size_t n = 257;
+    std::vector<double> a = RandomVector(n, &rng);
+    std::vector<double> b = RandomVector(n, &rng);
+    std::vector<double> c = RandomVector(n, &rng);
+    std::vector<double> buffer(n, 0.0);
+    metrics.GetGauge("hlm.bench.kernels_norm_checksum")
+        ->Set(simd::SquaredNorm(a.data(), n));
+    metrics.GetGauge("hlm.bench.kernels_sum_checksum")
+        ->Set(simd::Sum(a.data(), n));
+    simd::Axpy(0.5, a.data(), buffer.data(), n);
+    metrics.GetGauge("hlm.bench.kernels_axpy_checksum")
+        ->Set(simd::Sum(buffer.data(), n));
+    simd::ShiftedProduct(a.data(), 0.25, b.data(), buffer.data(), n);
+    metrics.GetGauge("hlm.bench.kernels_shifted_product_checksum")
+        ->Set(simd::Sum(buffer.data(), n));
+    // GibbsScore divides by topic totals; keep them strictly positive.
+    std::vector<double> totals(n);
+    for (size_t i = 0; i < n; ++i) totals[i] = 1.0 + c[i] * c[i];
+    simd::GibbsScore(a.data(), 0.1, b.data(), 0.01, totals.data(), 2.0,
+                     buffer.data(), n);
+    metrics.GetGauge("hlm.bench.kernels_gibbs_score_checksum")
+        ->Set(simd::Sum(buffer.data(), n));
+  }
+  metrics.GetGauge("hlm.bench.kernels_dot_checksum")->Set(dot_checksum);
+  metrics.GetGauge("hlm.bench.kernels_distance_checksum")
+      ->Set(distance_checksum);
+  metrics.GetGauge("hlm.bench.kernels_matvec_checksum")->Set(matvec_checksum);
+  metrics.GetGauge("hlm.bench.kernels_score_block_checksum")
+      ->Set(score_block_checksum);
+  (void)sink;
+
+  std::printf("%-12s | %6s | %10s | %10s | %8s\n", "kernel", "d",
+              "scalar(s)", "simd(s)", "speedup");
+  bool gate_ok = true;
+  const bool avx2_active = simd::ActivePathName() == "avx2";
+  for (const KernelTiming& t : timings) {
+    std::printf("%-12s | %6zu | %10.6f | %10.6f | %7.2fx\n", t.name.c_str(),
+                t.d, t.scalar_seconds, t.kernel_seconds, t.speedup());
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.3f", t.speedup());
+    metrics.SetMeta(
+        "kernels.speedup." + t.name + "_d" + std::to_string(t.d), buffer);
+    if (min_speedup > 0.0 && avx2_active && t.d >= 64 &&
+        t.speedup() < min_speedup) {
+      std::fprintf(stderr,
+                   "kernel '%s' d=%zu speedup %.2fx below --min_speedup "
+                   "%.2fx\n",
+                   t.name.c_str(), t.d, t.speedup(), min_speedup);
+      gate_ok = false;
+    }
+  }
+  return gate_ok;
+}
+
 /// Snapshot of the global registry with the resource profile attached
 /// and per-phase walltime meta derived from the hlm.bench.*_seconds
 /// histograms (same derivation as bench_util's --metrics_out writer).
@@ -275,10 +487,15 @@ obs::MetricsSnapshot BuildSnapshot() {
 
 /// Metrics whose values legitimately vary across machines or thread
 /// counts: the parallel subsystem's task/chunk accounting depends on the
-/// worker count, and hlm.bench.threads records it directly. Everything
-/// else is covered by the determinism contract and compared exactly.
+/// worker count, hlm.bench.threads records it directly, and the kernel
+/// dispatch gauges reflect the host CPU's ISA. Everything else is
+/// covered by the determinism contract and compared exactly — including
+/// the kernels suite's checksum gauges, which the lane-blocked summation
+/// contract makes bit-identical across the portable and AVX2 paths.
 bool MachineDependent(const std::string& name) {
-  return name.rfind("hlm.parallel.", 0) == 0 || name == "hlm.bench.threads";
+  return name.rfind("hlm.parallel.", 0) == 0 ||
+         name.rfind("hlm.math.kernel.", 0) == 0 ||
+         name == "hlm.bench.threads";
 }
 
 std::string MetaOr(const obs::MetricsSnapshot& snapshot,
@@ -418,11 +635,14 @@ int Main(int argc, char** argv) {
   double walltime_tolerance = 1.6;
   double walltime_slack = 0.05;
   double inject_slowdown = 1.0;
+  double min_speedup = 0.0;
   long long companies = 0;
   long long seed = 42;
   long long threads = 0;
-  flags.AddString("suite", &suite, "bench suite: smoke (fast, tier-1) or "
-                  "full (adds LSTM + BPMF training)");
+  std::string simd_mode;
+  flags.AddString("suite", &suite, "bench suite: smoke (fast, tier-1), "
+                  "full (adds LSTM + BPMF training), or kernels (SIMD "
+                  "kernel micro-bench vs scalar references)");
   flags.AddString("out", &out,
                   "write the run's BENCH JSON here (default "
                   "BENCH_<suite>.json; 'none' skips the write)");
@@ -449,6 +669,14 @@ int Main(int argc, char** argv) {
   flags.AddInt64("threads", &threads,
                  "worker threads (0 = HLM_THREADS env or all cores); "
                  "metric values are identical at any setting");
+  flags.AddString("simd", &simd_mode,
+                  "kernel dispatch path: auto, off, or avx2 (empty = "
+                  "HLM_SIMD env, then auto); metric values are identical "
+                  "on every path");
+  flags.AddDouble("min_speedup", &min_speedup,
+                  "kernels suite only: fail when any timed kernel at "
+                  "d >= 64 beats the scalar reference by less than this "
+                  "factor while the AVX2 path is active (0 = off)");
   Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
@@ -457,13 +685,16 @@ int Main(int argc, char** argv) {
   }
   if (list) {
     std::printf("suites:\n"
-                "  smoke  make_env train_lda lda_perplexity train_chh "
+                "  smoke    make_env train_lda lda_perplexity train_chh "
                 "recsys_eval similarity_search serve_registry\n"
-                "  full   smoke phases + train_lstm train_bpmf\n");
+                "  full     smoke phases + train_lstm train_bpmf\n"
+                "  kernels  dispatched SIMD kernels vs scalar references "
+                "(dot, distance, matvec, score_block)\n");
     return 0;
   }
-  if (suite != "smoke" && suite != "full") {
-    std::fprintf(stderr, "unknown --suite: %s (want smoke or full)\n",
+  if (suite != "smoke" && suite != "full" && suite != "kernels") {
+    std::fprintf(stderr,
+                 "unknown --suite: %s (want smoke, full, or kernels)\n",
                  suite.c_str());
     return 2;
   }
@@ -471,12 +702,33 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "--inject_slowdown must be >= 1\n");
     return 2;
   }
-  if (companies <= 0) companies = suite == "smoke" ? 300 : 800;
+  if (companies <= 0 && suite != "kernels") {
+    companies = suite == "smoke" ? 300 : 800;
+  }
   if (out.empty()) out = "BENCH_" + suite + ".json";
   if (baseline_path.empty()) baseline_path = "bench/baselines/" + suite +
                                              ".json";
   if (threads > 0) SetNumThreads(static_cast<int>(threads));
   g_slowdown = inject_slowdown;
+
+  // Pin the kernel dispatch path before any kernel runs: an explicit
+  // --simd wins over the HLM_SIMD env var.
+  if (!simd_mode.empty()) {
+    Result<simd::SimdMode> mode = simd::ParseSimdMode(simd_mode);
+    if (!mode.ok()) {
+      std::fprintf(stderr, "bad --simd: %s\n",
+                   mode.status().ToString().c_str());
+      return 2;
+    }
+    Status simd_status = simd::SetSimdMode(*mode);
+    if (!simd_status.ok()) {
+      std::fprintf(stderr, "--simd=%s rejected: %s\n", simd_mode.c_str(),
+                   simd_status.ToString().c_str());
+      return 2;
+    }
+  } else {
+    simd::InitFromEnv();
+  }
 
   const std::string run_id = obs::ComputeRunId(
       {"hlm_bench", suite, std::to_string(seed), std::to_string(companies),
@@ -496,12 +748,22 @@ int Main(int argc, char** argv) {
   metrics.GetGauge("hlm.bench.seed")->Set(static_cast<double>(seed));
   metrics.GetGauge("hlm.bench.threads")
       ->Set(static_cast<double>(NumThreads()));
+  metrics.SetMeta("simd.requested", simd_mode.empty() ? "env" : simd_mode);
+  metrics.SetMeta("simd.active_path", simd::ActivePathName());
+  metrics.SetMeta("simd.avx2_available",
+                  simd::Avx2Available() ? "1" : "0");
 
   std::printf("hlm_bench: suite=%s companies=%lld seed=%lld threads=%d "
-              "run_id=%s\n",
-              suite.c_str(), companies, seed, NumThreads(), run_id.c_str());
-  SuiteEnv env = BuildEnv(companies, seed);
-  RunSuite(suite, env, run_id);
+              "simd=%s run_id=%s\n",
+              suite.c_str(), companies, seed, NumThreads(),
+              simd::ActivePathName().c_str(), run_id.c_str());
+  bool speedup_ok = true;
+  if (suite == "kernels") {
+    speedup_ok = RunKernelsSuite(min_speedup);
+  } else {
+    SuiteEnv env = BuildEnv(companies, seed);
+    RunSuite(suite, env, run_id);
+  }
 
   obs::MetricsSnapshot snapshot = BuildSnapshot();
   if (out != "none") {
@@ -523,6 +785,10 @@ int Main(int argc, char** argv) {
     }
     baseline_stream << snapshot.ToJson();
     std::printf("baseline updated: %s\n", baseline_path.c_str());
+  }
+  if (!speedup_ok) {
+    std::fprintf(stderr, "kernels speedup gate FAILED (--min_speedup)\n");
+    return 1;
   }
   if (!check) return 0;
 

@@ -498,6 +498,28 @@ bool IsDotCaseName(const std::string& name) {
   return !at_segment_start && segments >= 2;
 }
 
+void CheckSimdIntrinsicIsolation(const RuleContext& ctx) {
+  // Vector intrinsics are confined to the kernel layer: everything else
+  // calls the dispatched wrappers in math/simd/kernels.h, so there is
+  // exactly one place where ISA-specific code (and its determinism
+  // contract) lives.
+  if (StartsWith(*ctx.relpath, "src/math/simd/")) return;
+  for (size_t i = 0; i < ctx.code_lines->size(); ++i) {
+    const std::string& line = (*ctx.code_lines)[i];
+    const int ln = static_cast<int>(i) + 1;
+    if (line.find("#include") == std::string::npos) continue;
+    for (const char* header : {"<immintrin.h>", "<x86intrin.h>",
+                               "<emmintrin.h>", "<avxintrin.h>"}) {
+      if (line.find(header) != std::string::npos) {
+        Report(ctx, ln, "simd-intrinsic-isolation",
+               std::string("intrinsic header ") + header +
+                   " outside src/math/simd/; call the dispatched kernels "
+                   "in math/simd/kernels.h instead");
+      }
+    }
+  }
+}
+
 void CheckSpanEventNaming(const RuleContext& ctx) {
   if (!StartsWith(*ctx.relpath, "src/")) return;
   // The macro definitions themselves pass `name` through, not a
@@ -657,7 +679,7 @@ std::vector<std::string> RuleNames() {
   return {"no-raw-rng",      "no-wall-clock",  "no-raw-thread",
           "no-stdio-output", "unordered-iter", "header-guard",
           "include-order",   "no-raw-persist-write", "metric-naming",
-          "span-event-naming"};
+          "span-event-naming", "simd-intrinsic-isolation"};
 }
 
 std::set<std::string> CollectUnorderedNames(const std::string& content) {
@@ -729,6 +751,7 @@ std::vector<Diagnostic> LintContent(
   CheckRawPersistWrite(ctx);
   CheckMetricNaming(ctx);
   CheckSpanEventNaming(ctx);
+  CheckSimdIntrinsicIsolation(ctx);
   CheckHeaderGuard(ctx);
   CheckIncludeOrder(ctx);
 

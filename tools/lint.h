@@ -59,6 +59,13 @@ struct Diagnostic {
 ///                    the suffix. Dynamically built names (literal
 ///                    followed by '+') are out of the heuristic's reach
 ///                    and are skipped.
+///   simd-intrinsic-isolation
+///                    #include <immintrin.h> (or other x86 intrinsic
+///                    headers) outside src/math/simd/. ISA-specific code
+///                    lives in the kernel layer only; everything else
+///                    calls the dispatched wrappers in
+///                    math/simd/kernels.h, which carry the determinism
+///                    contract.
 ///
 /// A finding on line N is suppressed by `// hlm-lint: allow(<rule>)` on
 /// line N or line N-1.
