@@ -16,8 +16,8 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "common/flags.h"
 #include "common/check.h"
+#include "common/flags.h"
 #include "common/parallel.h"
 #include "models/lda.h"
 #include "recsys/evaluation.h"

@@ -11,11 +11,11 @@
 #include "common/string_util.h"
 #include "corpus/month.h"
 #include "math/simd/kernels.h"
-#include "obs/events.h"
-#include "obs/flight_recorder.h"
 #include "models/chh.h"
 #include "models/lda.h"
 #include "models/lstm_lm.h"
+#include "obs/events.h"
+#include "obs/flight_recorder.h"
 
 namespace hlm::bench {
 

@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# Whole-program analysis stage: runs the two-stage hlm_lint analyzer
+# over the tree, proves the SARIF export parses, and diffs the generated
+# layer-dependency graph (deps.dot) against the declared DAG in
+# tools/layers.txt — every annotated back-edge in the tree must be
+# declared there, and every declared exemption must still exist (no
+# stale declarations either direction).
+#
+# Usage: scripts/analyze.sh [build_dir]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+LINT_BIN="$BUILD_DIR/tools/hlm_lint"
+
+if [ ! -x "$LINT_BIN" ]; then
+  echo "== analyze: building hlm_lint =="
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT" >/dev/null
+  cmake --build "$BUILD_DIR" --target hlm_lint -j "$(nproc)" >/dev/null
+fi
+
+SCAN_DIRS=(src bench tests tools)
+DEPS_DOT="$BUILD_DIR/deps.dot"
+CACHE="$BUILD_DIR/lint-cache"
+
+echo "== analyze: whole-program lint (cached) =="
+"$LINT_BIN" --root "$REPO_ROOT" --cache "$CACHE" \
+  --deps_out "$DEPS_DOT" --stats "${SCAN_DIRS[@]}"
+
+echo "== analyze: SARIF export parses =="
+SARIF_OUT="$(mktemp /tmp/hlm_analyze_sarif.XXXXXX.json)"
+trap 'rm -f "$SARIF_OUT"' EXIT
+"$LINT_BIN" --root "$REPO_ROOT" --cache "$CACHE" --format sarif \
+  "${SCAN_DIRS[@]}" > "$SARIF_OUT"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$SARIF_OUT" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    sarif = json.load(f)
+if sarif.get("version") != "2.1.0":
+    sys.exit(f"unexpected SARIF version: {sarif.get('version')!r}")
+runs = sarif.get("runs", [])
+if len(runs) != 1:
+    sys.exit("expected exactly one SARIF run")
+driver = runs[0]["tool"]["driver"]
+if driver.get("name") != "hlm_lint":
+    sys.exit(f"unexpected driver name: {driver.get('name')!r}")
+rules = {rule["id"] for rule in driver.get("rules", [])}
+for required in ("layering", "unchecked-status", "hot-path-alloc",
+                 "lock-discipline", "stale-suppression"):
+    if required not in rules:
+        sys.exit(f"SARIF driver missing rule {required!r}")
+print(f"ok: SARIF parses; {len(rules)} rules, "
+      f"{len(runs[0].get('results', []))} results")
+PY
+else
+  grep -q '"version": "2.1.0"' "$SARIF_OUT" ||
+    { echo "SARIF output missing version 2.1.0" >&2; exit 1; }
+  echo "ok (grep-level check; python3 not found)"
+fi
+
+echo "== analyze: deps.dot matches tools/layers.txt =="
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$DEPS_DOT" "$REPO_ROOT/tools/layers.txt" <<'PY'
+import re, sys
+
+dot_path, layers_path = sys.argv[1], sys.argv[2]
+
+# Declared DAG: rank per directory, plus declared back-edge exemptions.
+rank = {}
+declared_excepts = set()
+with open(layers_path) as f:
+    for raw in f:
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        if fields[0] == "layer":
+            for member in fields[1:]:
+                rank[member] = len(set(rank.values()))
+        elif fields[0] == "except":
+            if len(fields) != 3:
+                sys.exit(f"malformed except line: {raw.rstrip()}")
+            declared_excepts.add((fields[1], fields[2]))
+        else:
+            sys.exit(f"unknown directive in layers.txt: {fields[0]}")
+if not rank:
+    sys.exit("layers.txt declares no layers")
+
+# Generated graph: solid edges must respect the DAG; dashed edges are
+# the annotated back-edges and must equal the declared exemptions.
+edge_re = re.compile(r'"([a-z]+)"\s*->\s*"([a-z]+)"(.*)')
+solid, dashed = set(), set()
+with open(dot_path) as f:
+    for line in f:
+        match = edge_re.search(line)
+        if not match:
+            continue
+        src, dst, attrs = match.groups()
+        (dashed if "dashed" in attrs else solid).add((src, dst))
+
+for src, dst in sorted(solid):
+    if src not in rank or dst not in rank:
+        sys.exit(f"edge {src} -> {dst} references an undeclared layer")
+    if rank[dst] > rank[src]:
+        sys.exit(f"solid back-edge {src} -> {dst} violates the DAG "
+                 f"and is not a declared exemption")
+
+undeclared = dashed - declared_excepts
+stale = declared_excepts - dashed
+if undeclared:
+    sys.exit("annotated back-edges missing from tools/layers.txt: "
+             + ", ".join(f"{s} -> {d}" for s, d in sorted(undeclared)))
+if stale:
+    sys.exit("stale exemptions in tools/layers.txt (no longer in the "
+             "tree): " + ", ".join(f"{s} -> {d}" for s, d in sorted(stale)))
+print(f"ok: {len(solid)} solid edges respect the DAG; "
+      f"{len(dashed)} dashed edge(s) all declared")
+PY
+else
+  # Without python3, at least require the declared exemption set to
+  # appear dashed and no other dashed edges to exist.
+  DASHED_COUNT="$(grep -c "style=dashed" "$DEPS_DOT" || true)"
+  EXCEPT_COUNT="$(grep -c "^except " "$REPO_ROOT/tools/layers.txt" || true)"
+  if [ "$DASHED_COUNT" -ne "$EXCEPT_COUNT" ]; then
+    echo "deps.dot has $DASHED_COUNT dashed edge(s) but layers.txt" \
+         "declares $EXCEPT_COUNT" >&2
+    exit 1
+  fi
+  echo "ok (count-level check; python3 not found)"
+fi
+
+echo "== analyze: suppression inventory =="
+"$LINT_BIN" --root "$REPO_ROOT" --cache "$CACHE" --list_suppressions \
+  "${SCAN_DIRS[@]}" | sed 's/^/  /'
+
+echo "== analyze: PASS =="

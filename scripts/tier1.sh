@@ -4,8 +4,10 @@
 # and --events_out and check both dumps parse (metrics JSON with the
 # expected LDA instrumentation; wide-event JSONL line by line), render
 # them through hlm_statusz, prove the flight-recorder crash dump fires
-# via `hlm_statusz selfcheck-crash`, then run the sanitizer stages the
-# toolchain supports (TSan over the concurrency tests, UBSan over the
+# via `hlm_statusz selfcheck-crash`, run the whole-program analyzer
+# (scripts/analyze.sh: semantic passes, SARIF validation, deps.dot vs
+# layers.txt diff), then run the sanitizer stages the toolchain
+# supports (TSan over the concurrency tests, UBSan and ASan over the
 # full suite).
 #
 # Usage: scripts/tier1.sh [build_dir]
@@ -50,6 +52,12 @@ echo "== tier1: lint =="
 # repo's own compiler. lint.sh also self-tests that the linter still
 # fails on a known-bad fixture.
 "$REPO_ROOT/scripts/lint.sh" "$BUILD_DIR"
+
+echo "== tier1: whole-program analysis =="
+# The two-stage analyzer: semantic passes (layering, unchecked-status,
+# hot-path-alloc, lock-discipline), SARIF export validation, and the
+# deps.dot vs tools/layers.txt diff.
+"$REPO_ROOT/scripts/analyze.sh" "$BUILD_DIR"
 
 echo "== tier1: ctest =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
@@ -257,6 +265,21 @@ if sanitizer_usable undefined; then
   ctest --test-dir "$UBSAN_BUILD_DIR" --output-on-failure -j "$(nproc)"
 else
   echo "toolchain cannot build/run -fsanitize=undefined; skipping ubsan stage"
+fi
+
+echo "== tier1: address-sanitizer stage =="
+if sanitizer_usable address; then
+  # Heap misuse (buffer overflow, use-after-free, leaks at exit) over
+  # the full suite; Debug so HLM_DCHECK bounds paths execute too.
+  echo "== tier1: asan build (full suite, Debug) =="
+  ASAN_BUILD_DIR="$BUILD_DIR-asan"
+  cmake -B "$ASAN_BUILD_DIR" -S "$REPO_ROOT" \
+    -DHLM_SANITIZE=address -DCMAKE_BUILD_TYPE=Debug >/dev/null
+  cmake --build "$ASAN_BUILD_DIR" -j "$(nproc)"
+  echo "== tier1: asan ctest =="
+  ctest --test-dir "$ASAN_BUILD_DIR" --output-on-failure -j "$(nproc)"
+else
+  echo "toolchain cannot build/run -fsanitize=address; skipping asan stage"
 fi
 
 echo "== tier1: PASS =="

@@ -9,7 +9,6 @@
 #include "corpus/corpus.h"
 #include "corpus/integration.h"
 #include "recsys/similarity_search.h"
-#include "serve/registry.h"
 
 namespace hlm::app {
 
@@ -64,14 +63,6 @@ class SalesRecommendationTool {
   /// different sales conversation than an over-tight filter.
   Result<std::vector<ProductRecommendation>> RecommendProducts(
       int company_id, int k, const CompanyFilter& filter = {}) const;
-
-  /// Builds the tool from a snapshot directory instead of a live training
-  /// run: pulls the representation matrix named `repr_name` from the
-  /// registry (train once, serve many). The corpus must be the one the
-  /// representation was built from (row count is checked).
-  static Result<SalesRecommendationTool> FromRegistry(
-      const corpus::Corpus* corpus, serve::ModelRegistry& registry,
-      const std::string& repr_name, corpus::InternalDatabase internal_db);
 
   const corpus::InternalDatabase& internal_db() const { return internal_db_; }
 

@@ -1,0 +1,24 @@
+#include "common/errors.h"
+
+#include <atomic>
+
+namespace hlm {
+
+namespace {
+
+std::atomic<ErrorSink> g_error_sink{nullptr};
+
+}  // namespace
+
+ErrorSink SetErrorSink(ErrorSink sink) {
+  return g_error_sink.exchange(sink, std::memory_order_acq_rel);
+}
+
+Status TrackError(const char* area, Status status) {
+  if (status.ok()) return status;
+  ErrorSink sink = g_error_sink.load(std::memory_order_acquire);
+  if (sink != nullptr) sink(area, status);
+  return status;
+}
+
+}  // namespace hlm

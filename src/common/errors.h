@@ -1,0 +1,32 @@
+#ifndef HLM_COMMON_ERRORS_H_
+#define HLM_COMMON_ERRORS_H_
+
+#include "common/status.h"
+
+namespace hlm {
+
+/// Error-path instrumentation hook. Layering forbids common/ from
+/// calling up into obs/, so common-level code (snapshot container,
+/// atomic file writes) reports errors through this function pointer and
+/// the observability layer installs the counting/event sink at startup
+/// — the same inversion logging.h uses for SetFatalHook. With no sink
+/// installed, TrackError is a pass-through and the Status still reaches
+/// the caller.
+using ErrorSink = void (*)(const char* area, const Status& status);
+
+/// Installs `sink` (nullptr restores the no-op). Returns the previous
+/// sink. Thread-safe; expected to be called once at startup.
+ErrorSink SetErrorSink(ErrorSink sink);
+
+/// Reports a non-OK `status` to the installed sink under `area`, then
+/// returns it unchanged, so error returns wrap in place:
+///
+///   return TrackError("snapshot", Status::DataLoss(...));
+///
+/// (Result<T> converts implicitly from Status, so the same form works
+/// in Result-returning functions.) OK statuses pass through untouched.
+Status TrackError(const char* area, Status status);
+
+}  // namespace hlm
+
+#endif  // HLM_COMMON_ERRORS_H_

@@ -17,21 +17,27 @@ void FlagSet::Register(const std::string& name, Flag flag) {
 
 void FlagSet::AddInt64(const std::string& name, long long* target,
                        const std::string& help) {
+  // FlagSet::Register returns void (name-collides with the registry's
+  // Status-returning Register in the analyzer's signature index).
+  // hlm-lint: allow(unchecked-status)
   Register(name, Flag{Kind::kInt64, target, help, std::to_string(*target)});
 }
 
 void FlagSet::AddDouble(const std::string& name, double* target,
                         const std::string& help) {
+  // hlm-lint: allow(unchecked-status)
   Register(name, Flag{Kind::kDouble, target, help, std::to_string(*target)});
 }
 
 void FlagSet::AddString(const std::string& name, std::string* target,
                         const std::string& help) {
+  // hlm-lint: allow(unchecked-status)
   Register(name, Flag{Kind::kString, target, help, *target});
 }
 
 void FlagSet::AddBool(const std::string& name, bool* target,
                       const std::string& help) {
+  // hlm-lint: allow(unchecked-status)
   Register(name, Flag{Kind::kBool, target, help, *target ? "true" : "false"});
 }
 

@@ -1,17 +1,19 @@
-#include "serve/snapshot.h"
+#include "common/snapshot.h"
 
 #include <fstream>
 #include <utility>
 
 #include "common/atomic_file.h"
-#include "obs/errors.h"
+#include "common/errors.h"
 
 // Every error return in the container layer is wrapped in
-// obs::TrackError("snapshot", ...), so corrupt or mismatched snapshots
+// TrackError("snapshot", ...), so corrupt or mismatched snapshots
 // surface as hlm.snapshot.errors.<code>_total counters and error
-// events, not just as a Status the caller may swallow.
+// events, not just as a Status the caller may swallow. The counting
+// sink is installed by the obs layer (common/errors.h inversion);
+// without it the Status still reaches the caller.
 
-namespace hlm::serve {
+namespace hlm {
 
 namespace {
 
@@ -58,7 +60,7 @@ Status SnapshotWriter::CommitToFile(const std::string& path) const {
   const std::string payload = payload_.str();
   AtomicFileWriter writer(path);
   if (!writer.ok()) {
-    return obs::TrackError(
+    return TrackError(
         "snapshot",
         Status::Internal("cannot open for write: " + writer.temp_path()));
   }
@@ -68,19 +70,19 @@ Status SnapshotWriter::CommitToFile(const std::string& path) const {
                   << "bytes " << payload.size() << '\n'
                   << "checksum " << ChecksumString(Fnv1a64(payload)) << '\n'
                   << payload;
-  return obs::TrackError("snapshot", writer.Commit());
+  return TrackError("snapshot", writer.Commit());
 }
 
 Result<SnapshotReader> SnapshotReader::Open(const std::string& path) {
   std::ifstream in(path, std::ios::in | std::ios::binary);
   if (!in) {
-    return obs::TrackError("snapshot",
+    return TrackError("snapshot",
                            Status::NotFound("cannot open: " + path));
   }
   std::string content((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
   if (in.bad()) {
-    return obs::TrackError("snapshot",
+    return TrackError("snapshot",
                            Status::Internal("read error: " + path));
   }
 
@@ -88,7 +90,7 @@ Result<SnapshotReader> SnapshotReader::Open(const std::string& path) {
   std::string line;
   if (!NextLine(content, &pos, &line) ||
       line != std::string(kMagic) + " " + std::to_string(kContainerVersion)) {
-    return obs::TrackError(
+    return TrackError(
         "snapshot",
         Status::DataLoss("not an hlm-snapshot v" +
                          std::to_string(kContainerVersion) + " file: " +
@@ -103,7 +105,7 @@ Result<SnapshotReader> SnapshotReader::Open(const std::string& path) {
        have_checksum = false;
   while (!have_checksum) {
     if (!NextLine(content, &pos, &line)) {
-      return obs::TrackError(
+      return TrackError(
           "snapshot",
           Status::DataLoss("truncated snapshot header: " + path));
     }
@@ -124,30 +126,30 @@ Result<SnapshotReader> SnapshotReader::Open(const std::string& path) {
       fields >> checksum;
       have_checksum = !checksum.empty();
     } else {
-      return obs::TrackError(
+      return TrackError(
           "snapshot", Status::DataLoss("unknown snapshot header field '" +
                                        key + "': " + path));
     }
   }
   if (!have_kind || !have_version || !have_bytes) {
-    return obs::TrackError(
+    return TrackError(
         "snapshot", Status::DataLoss("incomplete snapshot header: " + path));
   }
   if (content.size() - pos < payload_bytes) {
-    return obs::TrackError(
+    return TrackError(
         "snapshot",
         Status::DataLoss("truncated snapshot payload (" +
                          std::to_string(content.size() - pos) + " of " +
                          std::to_string(payload_bytes) + " bytes): " + path));
   }
   if (content.size() - pos > payload_bytes) {
-    return obs::TrackError(
+    return TrackError(
         "snapshot",
         Status::DataLoss("trailing bytes after snapshot payload: " + path));
   }
   reader.payload_ = content.substr(pos, payload_bytes);
   if (ChecksumString(Fnv1a64(reader.payload_)) != checksum) {
-    return obs::TrackError(
+    return TrackError(
         "snapshot", Status::DataLoss("snapshot checksum mismatch: " + path));
   }
   reader.stream_.str(reader.payload_);
@@ -157,13 +159,13 @@ Result<SnapshotReader> SnapshotReader::Open(const std::string& path) {
 Status SnapshotReader::ExpectKind(const std::string& kind,
                                   int kind_version) const {
   if (kind_ != kind) {
-    return obs::TrackError(
+    return TrackError(
         "snapshot",
         Status::InvalidArgument("snapshot holds kind '" + kind_ +
                                 "', expected '" + kind + "': " + path_));
   }
   if (kind_version_ != kind_version) {
-    return obs::TrackError(
+    return TrackError(
         "snapshot",
         Status::InvalidArgument("snapshot kind '" + kind_ + "' at version " +
                                 std::to_string(kind_version_) +
@@ -175,12 +177,12 @@ Status SnapshotReader::ExpectKind(const std::string& kind,
 
 Status SnapshotReader::Finish() {
   if (stream_.fail()) {
-    return obs::TrackError(
+    return TrackError(
         "snapshot", Status::DataLoss("corrupt snapshot payload: " + path_));
   }
   stream_ >> std::ws;
   if (!stream_.eof() && stream_.peek() != EOF) {
-    return obs::TrackError(
+    return TrackError(
         "snapshot",
         Status::DataLoss("trailing garbage after snapshot payload: " +
                          path_));
@@ -188,4 +190,4 @@ Status SnapshotReader::Finish() {
   return Status::OK();
 }
 
-}  // namespace hlm::serve
+}  // namespace hlm

@@ -1,5 +1,5 @@
-#ifndef HLM_SERVE_SNAPSHOT_H_
-#define HLM_SERVE_SNAPSHOT_H_
+#ifndef HLM_COMMON_SNAPSHOT_H_
+#define HLM_COMMON_SNAPSHOT_H_
 
 #include <cstdint>
 #include <sstream>
@@ -7,7 +7,7 @@
 
 #include "common/status.h"
 
-namespace hlm::serve {
+namespace hlm {
 
 /// Versioned, self-describing container every model snapshot shares.
 /// Layout (text header, byte-exact payload):
@@ -78,6 +78,6 @@ class SnapshotReader {
   std::istringstream stream_;
 };
 
-}  // namespace hlm::serve
+}  // namespace hlm
 
-#endif  // HLM_SERVE_SNAPSHOT_H_
+#endif  // HLM_COMMON_SNAPSHOT_H_

@@ -69,6 +69,8 @@ Corpus Corpus::Subset(const std::vector<int>& indices) const {
   for (int index : indices) {
     HLM_CHECK_GE(index, 0);
     HLM_CHECK_LT(index, num_companies());
+    // Corpus::Add returns void (name-collides with DunsRegistry::Add).
+    // hlm-lint: allow(unchecked-status)
     subset.Add(records_[index].company);
   }
   return subset;

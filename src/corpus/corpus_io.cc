@@ -101,6 +101,8 @@ Result<Corpus> LoadCorpusCsv(const std::string& directory) {
   Corpus corpus(taxonomy);
   for (auto& [id, company] : companies) {
     (void)id;
+    // Corpus::Add returns void (name-collides with DunsRegistry::Add).
+    // hlm-lint: allow(unchecked-status)
     corpus.Add(std::move(company));
   }
   return corpus;

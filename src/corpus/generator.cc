@@ -489,6 +489,8 @@ GeneratedCorpus SyntheticHgGenerator::Generate() const {
       HLM_CHECK_OK(out.duns.Add(branch));
     }
 
+    // Corpus::Add returns void (name-collides with DunsRegistry::Add).
+    // hlm-lint: allow(unchecked-status)
     out.corpus.Add(std::move(company));
   }
 

@@ -98,6 +98,8 @@ void InitFromEnv() {
     if (!status.ok()) {
       HLM_LOG(Warning) << "HLM_SIMD: " << status.message()
                        << "; falling back to auto";
+      // kAuto always selects a valid table; nothing to do on error.
+      // hlm-lint: allow(unchecked-status)
       SetSimdMode(SimdMode::kAuto);
     }
   });

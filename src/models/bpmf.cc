@@ -5,12 +5,12 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/snapshot.h"
 #include "math/mvn.h"
 #include "math/rng.h"
 #include "math/simd/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "serve/snapshot.h"
 
 namespace hlm::models {
 
@@ -273,7 +273,7 @@ std::vector<double> BpmfModel::AllScores() const {
 
 Status BpmfModel::SaveToFile(const std::string& path) const {
   if (!trained_) return Status::FailedPrecondition("model not trained");
-  serve::SnapshotWriter writer("bpmf", 1);
+  SnapshotWriter writer("bpmf", 1);
   std::ostream& out = writer.payload();
   out << config_.rank << ' ' << config_.obs_precision << ' '
       << config_.burn_in << ' ' << config_.samples << ' ' << config_.beta0
@@ -288,8 +288,8 @@ Status BpmfModel::SaveToFile(const std::string& path) const {
 }
 
 Result<BpmfModel> BpmfModel::LoadFromFile(const std::string& path) {
-  HLM_ASSIGN_OR_RETURN(serve::SnapshotReader reader,
-                       serve::SnapshotReader::Open(path));
+  HLM_ASSIGN_OR_RETURN(SnapshotReader reader,
+                       SnapshotReader::Open(path));
   HLM_RETURN_IF_ERROR(reader.ExpectKind("bpmf", 1));
   std::istream& in = reader.payload();
   BpmfConfig config;

@@ -3,9 +3,9 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/snapshot.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "serve/snapshot.h"
 
 namespace hlm::models {
 
@@ -170,7 +170,6 @@ std::vector<uint64_t> SortedContextKeys(const MapT& contexts) {
   std::vector<uint64_t> keys;
   keys.reserve(contexts.size());
   // Order-insensitive collect; the sort below imposes the total order.
-  // hlm-lint: allow(unordered-iter)
   for (const auto& [key, counts] : contexts) keys.push_back(key);
   std::sort(keys.begin(), keys.end());
   return keys;
@@ -190,7 +189,7 @@ std::vector<std::pair<Token, long long>> SortedSuccessors(
 }  // namespace
 
 Status ConditionalHeavyHitters::SaveToFile(const std::string& path) const {
-  serve::SnapshotWriter writer("chh", 1);
+  SnapshotWriter writer("chh", 1);
   std::ostream& out = writer.payload();
   out << vocab_size_ << ' ' << config_.context_depth << ' '
       << config_.min_context_support << ' ' << config_.add_k << ' '
@@ -217,8 +216,8 @@ Status ConditionalHeavyHitters::SaveToFile(const std::string& path) const {
 
 Result<ConditionalHeavyHitters> ConditionalHeavyHitters::LoadFromFile(
     const std::string& path) {
-  HLM_ASSIGN_OR_RETURN(serve::SnapshotReader reader,
-                       serve::SnapshotReader::Open(path));
+  HLM_ASSIGN_OR_RETURN(SnapshotReader reader,
+                       SnapshotReader::Open(path));
   HLM_RETURN_IF_ERROR(reader.ExpectKind("chh", 1));
   std::istream& in = reader.payload();
   int vocab = 0;
@@ -343,7 +342,7 @@ std::vector<double> ApproximateChh::NextProductDistribution(
 }
 
 Status ApproximateChh::SaveToFile(const std::string& path) const {
-  serve::SnapshotWriter writer("chh-approx", 1);
+  SnapshotWriter writer("chh-approx", 1);
   std::ostream& out = writer.payload();
   out << vocab_size_ << ' ' << config_.context_depth << ' '
       << config_.min_context_support << ' ' << config_.add_k << ' '
@@ -376,8 +375,8 @@ Status ApproximateChh::SaveToFile(const std::string& path) const {
 }
 
 Result<ApproximateChh> ApproximateChh::LoadFromFile(const std::string& path) {
-  HLM_ASSIGN_OR_RETURN(serve::SnapshotReader reader,
-                       serve::SnapshotReader::Open(path));
+  HLM_ASSIGN_OR_RETURN(SnapshotReader reader,
+                       SnapshotReader::Open(path));
   HLM_RETURN_IF_ERROR(reader.ExpectKind("chh-approx", 1));
   std::istream& in = reader.payload();
   int vocab = 0;

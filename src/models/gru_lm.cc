@@ -4,12 +4,12 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/snapshot.h"
 #include "math/simd/kernels.h"
 #include "models/adam.h"
 #include "models/perplexity.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "serve/snapshot.h"
 
 namespace hlm::models {
 
@@ -78,6 +78,24 @@ double GruLanguageModel::ForwardSequence(const TokenSequence& sequence,
   std::vector<double> hw(h3);
   Step scoring_step;
 
+  // Size every step buffer up front so the timestep loop below never
+  // grows a vector (resize-to-same-size inside the loop was a no-op in
+  // steady state but a reallocation on the first sequence).
+  auto size_step = [&](Step& step) {
+    step.z.resize(h);
+    step.r.resize(h);
+    step.n.resize(h);
+    step.uh.resize(h);
+    step.h.resize(h);
+  };
+  if (steps != nullptr) {
+    for (Step& step : *steps) size_step(step);
+  } else {
+    size_step(scoring_step);
+  }
+
+  // hlm-lint: hot-path begin (GRU forward step: per-token recurrence +
+  // softmax; every buffer is sized above or reuses capacity)
   for (size_t t = 0; t < sequence.size(); ++t) {
     Step& step = steps != nullptr ? (*steps)[t] : scoring_step;
     step.input_row =
@@ -94,17 +112,12 @@ double GruLanguageModel::ForwardSequence(const TokenSequence& sequence,
     std::fill(hw.begin(), hw.end(), 0.0);
     MatTransposeVecAccumulate(wh_, hidden.data(), hw.data());
 
-    step.z.resize(h);
-    step.r.resize(h);
-    step.n.resize(h);
-    step.uh.resize(h);
     for (int j = 0; j < h; ++j) {
       step.z[j] = Sigmoid(xw[j] + hw[j]);
       step.r[j] = Sigmoid(xw[h + j] + hw[h + j]);
       step.uh[j] = hw[2 * h + j];
       step.n[j] = std::tanh(xw[2 * h + j] + step.r[j] * step.uh[j]);
     }
-    step.h.resize(h);
     for (int j = 0; j < h; ++j) {
       step.h[j] =
           (1.0 - step.z[j]) * step.n[j] + step.z[j] * step.h_prev[j];
@@ -124,6 +137,7 @@ double GruLanguageModel::ForwardSequence(const TokenSequence& sequence,
     for (double& p : step.probs) p /= sum;
     log_prob += std::log(std::max(step.probs[sequence[t]], 1e-12));
   }
+  // hlm-lint: hot-path end
   return log_prob;
 }
 
@@ -143,6 +157,8 @@ void GruLanguageModel::BackwardSequence(const TokenSequence& sequence,
   std::vector<double> dpre_x(h3);
   std::vector<double> dpre_h(h3);
 
+  // hlm-lint: hot-path begin (GRU backward step: reverse BPTT over the
+  // sequence; all scratch preallocated above)
   for (int t = static_cast<int>(sequence.size()) - 1; t >= 0; --t) {
     const Step& step = steps[t];
     // Output layer: dlogits = (softmax - onehot) / tokens, then
@@ -195,6 +211,7 @@ void GruLanguageModel::BackwardSequence(const TokenSequence& sequence,
                static_cast<size_t>(h));
     std::swap(dh, dh_prev);
   }
+  // hlm-lint: hot-path end
 }
 
 void GruLanguageModel::ApplyUpdate() {
@@ -355,7 +372,7 @@ bool ReadVectorInto(std::istream& in, std::vector<double>* v) {
 }  // namespace
 
 Status GruLanguageModel::SaveToFile(const std::string& path) const {
-  serve::SnapshotWriter writer("gru", 1);
+  SnapshotWriter writer("gru", 1);
   std::ostream& out = writer.payload();
   out << vocab_size_ << ' ' << config_.hidden_size << ' '
       << config_.learning_rate << ' ' << config_.epochs << ' '
@@ -371,8 +388,8 @@ Status GruLanguageModel::SaveToFile(const std::string& path) const {
 
 Result<std::unique_ptr<GruLanguageModel>> GruLanguageModel::LoadFromFile(
     const std::string& path) {
-  HLM_ASSIGN_OR_RETURN(serve::SnapshotReader reader,
-                       serve::SnapshotReader::Open(path));
+  HLM_ASSIGN_OR_RETURN(SnapshotReader reader,
+                       SnapshotReader::Open(path));
   HLM_RETURN_IF_ERROR(reader.ExpectKind("gru", 1));
   std::istream& in = reader.payload();
   int vocab = 0;

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/snapshot.h"
 #include "math/rng.h"
 #include "math/simd/kernels.h"
 #include "math/vector_ops.h"
@@ -11,7 +12,6 @@
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "serve/snapshot.h"
 
 namespace hlm::models {
 
@@ -156,6 +156,9 @@ Status LdaModel::TrainInternal(
                            config_.post_burn_in_samples * config_.sample_lag;
   for (int sweep = 0; sweep < total_sweeps; ++sweep) {
     obs::ScopedTimer sweep_timer(sweep_seconds);
+    // hlm-lint: hot-path begin (collapsed Gibbs sweep: every token of
+    // every document, the innermost loop of training; topic_probs is
+    // preallocated above and the counts update in place)
     for (size_t d = 0; d < documents.size(); ++d) {
       const TokenSequence& doc = documents[d];
       for (size_t i = 0; i < doc.size(); ++i) {
@@ -179,6 +182,7 @@ Status LdaModel::TrainInternal(
         topic_total[new_topic] += w;
       }
     }
+    // hlm-lint: hot-path end
 
     bool sampling_phase = sweep >= config_.burn_in_iterations;
     bool on_lag = sampling_phase &&
@@ -484,7 +488,7 @@ void LdaModel::CheckInvariants() const {
 
 Status LdaModel::SaveToFile(const std::string& path) const {
   if (!trained_) return Status::FailedPrecondition("model not trained");
-  serve::SnapshotWriter writer("lda", 1);
+  SnapshotWriter writer("lda", 1);
   std::ostream& out = writer.payload();
   out << vocab_size_ << ' ' << config_.num_topics << ' ' << config_.alpha
       << ' ' << config_.beta << ' ' << config_.inference_burn_in << ' '
@@ -500,8 +504,8 @@ Status LdaModel::SaveToFile(const std::string& path) const {
 }
 
 Result<LdaModel> LdaModel::LoadFromFile(const std::string& path) {
-  HLM_ASSIGN_OR_RETURN(serve::SnapshotReader reader,
-                       serve::SnapshotReader::Open(path));
+  HLM_ASSIGN_OR_RETURN(SnapshotReader reader,
+                       SnapshotReader::Open(path));
   HLM_RETURN_IF_ERROR(reader.ExpectKind("lda", 1));
   std::istream& in = reader.payload();
   int vocab = 0;

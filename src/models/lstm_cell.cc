@@ -56,6 +56,10 @@ void LstmCell::Forward(const Matrix& x, const Matrix& h_prev,
   cache->h_prev = h_prev;
   cache->c_prev = c_prev;
 
+  // hlm-lint: hot-path begin (LSTM forward step: runs once per
+  // timestep per batch; all buffers are capacity-reusing Resize on the
+  // caller's cache — the PR 7 zero-alloc contract)
+
   // Pre-activations G = x Wx + h_prev Wh + bias, built in the cache's own
   // (capacity-reusing) buffer — no per-step temporaries.
   Matrix& gates = cache->gates;
@@ -99,6 +103,7 @@ void LstmCell::Forward(const Matrix& x, const Matrix& h_prev,
       hrow[j] = o_gate * std::tanh(c_new);
     }
   }
+  // hlm-lint: hot-path end
 }
 
 void LstmCell::Backward(const LstmStepCache& cache,
@@ -110,6 +115,9 @@ void LstmCell::Backward(const LstmStepCache& cache,
 
   LstmBackwardScratch local;
   if (scratch == nullptr) scratch = &local;
+
+  // hlm-lint: hot-path begin (LSTM backward step: per-timestep BPTT
+  // inner loop; gradients accumulate into caller-owned scratch)
 
   // d(pre-activation gates), packed like the forward cache.
   Matrix& dgates = scratch->dgates;
@@ -166,6 +174,7 @@ void LstmCell::Backward(const LstmStepCache& cache,
     const double* dprow = dh_prev.row(b);
     for (int j = 0; j < h; ++j) dhrow[j] = dprow[j];
   }
+  // hlm-lint: hot-path end
 }
 
 long long LstmCell::NumParameters() const {

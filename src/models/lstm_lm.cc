@@ -5,12 +5,12 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "common/snapshot.h"
 #include "math/simd/kernels.h"
 #include "models/adam.h"
 #include "models/perplexity.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "serve/snapshot.h"
 
 namespace hlm::models {
 
@@ -627,7 +627,7 @@ bool ReadMatrix(std::istream& in, Matrix* m) {
 }  // namespace
 
 Status LstmLanguageModel::SaveToFile(const std::string& path) const {
-  serve::SnapshotWriter writer("lstm", 1);
+  SnapshotWriter writer("lstm", 1);
   std::ostream& out = writer.payload();
   out << vocab_size_ << ' ' << config_.hidden_size << ' '
       << config_.num_layers << ' ' << config_.dropout << ' '
@@ -657,8 +657,8 @@ Status LstmLanguageModel::SaveToFile(const std::string& path) const {
 
 Result<std::unique_ptr<LstmLanguageModel>> LstmLanguageModel::LoadFromFile(
     const std::string& path) {
-  HLM_ASSIGN_OR_RETURN(serve::SnapshotReader reader,
-                       serve::SnapshotReader::Open(path));
+  HLM_ASSIGN_OR_RETURN(SnapshotReader reader,
+                       SnapshotReader::Open(path));
   HLM_RETURN_IF_ERROR(reader.ExpectKind("lstm", 1));
   std::istream& in = reader.payload();
   int vocab = 0;

@@ -4,8 +4,8 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/snapshot.h"
 #include "models/perplexity.h"
-#include "serve/snapshot.h"
 
 namespace hlm::models {
 
@@ -122,7 +122,7 @@ long long NGramModel::NgramCount(const TokenSequence& ngram) const {
 }
 
 Status NGramModel::SaveToFile(const std::string& path) const {
-  serve::SnapshotWriter writer("ngram", 1);
+  SnapshotWriter writer("ngram", 1);
   std::ostream& out = writer.payload();
   out << vocab_size_ << ' ' << config_.order << ' ' << config_.add_k << ' '
       << config_.interpolation_weight << ' ' << total_tokens_ << '\n';
@@ -152,8 +152,8 @@ Status NGramModel::SaveToFile(const std::string& path) const {
 }
 
 Result<NGramModel> NGramModel::LoadFromFile(const std::string& path) {
-  HLM_ASSIGN_OR_RETURN(serve::SnapshotReader reader,
-                       serve::SnapshotReader::Open(path));
+  HLM_ASSIGN_OR_RETURN(SnapshotReader reader,
+                       SnapshotReader::Open(path));
   HLM_RETURN_IF_ERROR(reader.ExpectKind("ngram", 1));
   std::istream& in = reader.payload();
   int vocab = 0;

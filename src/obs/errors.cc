@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "common/errors.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
 
@@ -29,6 +30,25 @@ const char* StatusCodeSnakeName(StatusCode code) {
       return "data_loss";
   }
   return "unknown";
+}
+
+namespace {
+
+void CountingErrorSink(const char* area, const Status& status) {
+  // The sink consumes the status; the pass-through return is unused.
+  // hlm-lint: allow(unchecked-status)
+  obs::TrackError(area, status);
+}
+
+struct ErrorSinkInstaller {
+  ErrorSinkInstaller() { hlm::SetErrorSink(&CountingErrorSink); }
+};
+ErrorSinkInstaller g_error_sink_installer;
+
+}  // namespace
+
+void EnsureErrorSinkInstalled() {
+  hlm::SetErrorSink(&CountingErrorSink);
 }
 
 Status TrackError(const char* area, Status status) {

@@ -22,6 +22,14 @@ const char* StatusCodeSnakeName(StatusCode code);
 /// in Result-returning functions.) OK statuses pass through untouched.
 Status TrackError(const char* area, Status status);
 
+/// Installs TrackError as the common-layer hlm::ErrorSink (see
+/// common/errors.h), so common-level code (the snapshot container)
+/// reports through the same counters and events without a layering
+/// back-edge. Idempotent. A static initializer in errors.cc calls this
+/// at startup; MetricsRegistry::Global() calls it too, which forces the
+/// initializer's object file into any binary that touches metrics.
+void EnsureErrorSinkInstalled();
+
 }  // namespace hlm::obs
 
 #endif  // HLM_OBS_ERRORS_H_

@@ -30,11 +30,9 @@ void DumpOnFatal() {
   // The process is already inside a fatal log; report with bare stderr
   // instead of re-entering the logger.
   if (status.ok()) {
-    // hlm-lint: allow(no-stdio-output)
     std::fprintf(stderr, "[FATAL] flight recorder dumped to %s\n",
                  path.c_str());
   } else {
-    // hlm-lint: allow(no-stdio-output)
     std::fprintf(stderr, "[FATAL] flight recorder dump failed: %s\n",
                  status.ToString().c_str());
   }

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "obs/errors.h"
 #include "obs/json.h"
 #include "obs/percentiles.h"
 
@@ -108,6 +109,10 @@ const std::vector<double>& DefaultLatencyBounds() {
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
+  // Referencing the installer here pulls errors.o (and its static
+  // installer) into every binary that touches metrics, so common-layer
+  // TrackError reporting is live before any snapshot I/O runs.
+  EnsureErrorSinkInstalled();
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
 }

@@ -100,6 +100,9 @@ Result<std::vector<Neighbor>> SimilaritySearch::TopKForVector(
     Arena& arena = ScratchArena();
     arena.Reset();
     double* dots = arena.AllocDoubles(kTileItems);
+    // hlm-lint: hot-path begin (ScoreBlock tile scan: the serving-path
+    // inner loop; dots live in the scratch arena, neighbors capacity is
+    // reserved above)
     for (int start = 0; start < size(); start += kTileItems) {
       const int count = std::min(kTileItems, size() - start);
       simd::ScoreBlock(query.data(), 1, flat_.data() + start * d, count, d,
@@ -112,9 +115,13 @@ Result<std::vector<Neighbor>> SimilaritySearch::TopKForVector(
             (query_norm == 0.0 || row_norm == 0.0)
                 ? 1.0
                 : 1.0 - dots[j] / (query_norm * row_norm);
+        // Never reallocates: capacity reserved to the full row count
+        // before the scan.
+        // hlm-lint: allow(hot-path-alloc)
         neighbors.push_back(Neighbor{i, distance});
       }
     }
+    // hlm-lint: hot-path end
   } else {
     for (int i = 0; i < size(); ++i) {
       if (filter != nullptr && !filter(i)) continue;

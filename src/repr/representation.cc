@@ -1,7 +1,7 @@
 #include "repr/representation.h"
 
+#include "common/snapshot.h"
 #include "corpus/tfidf.h"
-#include "serve/snapshot.h"
 
 namespace hlm::repr {
 
@@ -66,7 +66,7 @@ Status SaveRepresentation(const std::vector<std::vector<double>>& rows,
       return Status::InvalidArgument("ragged representation matrix");
     }
   }
-  serve::SnapshotWriter writer("repr", 1);
+  SnapshotWriter writer("repr", 1);
   std::ostream& out = writer.payload();
   out << rows.size() << ' ' << cols << '\n';
   for (const std::vector<double>& row : rows) {
@@ -81,8 +81,8 @@ Status SaveRepresentation(const std::vector<std::vector<double>>& rows,
 
 Result<std::vector<std::vector<double>>> LoadRepresentation(
     const std::string& path) {
-  HLM_ASSIGN_OR_RETURN(serve::SnapshotReader reader,
-                       serve::SnapshotReader::Open(path));
+  HLM_ASSIGN_OR_RETURN(SnapshotReader reader,
+                       SnapshotReader::Open(path));
   HLM_RETURN_IF_ERROR(reader.ExpectKind("repr", 1));
   std::istream& in = reader.payload();
   size_t rows = 0, cols = 0;

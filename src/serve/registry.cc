@@ -8,12 +8,12 @@
 
 #include "common/atomic_file.h"
 #include "common/logging.h"
+#include "common/snapshot.h"
 #include "obs/errors.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "repr/representation.h"
-#include "serve/snapshot.h"
 
 namespace hlm::serve {
 

@@ -1,0 +1,23 @@
+#include "serve/sales_loader.h"
+
+#include <utility>
+#include <vector>
+
+namespace hlm::serve {
+
+Result<app::SalesRecommendationTool> LoadSalesTool(
+    const corpus::Corpus* corpus, ModelRegistry& registry,
+    const std::string& repr_name, corpus::InternalDatabase internal_db) {
+  HLM_ASSIGN_OR_RETURN(const std::vector<std::vector<double>>* rows,
+                       registry.Representation(repr_name));
+  if (static_cast<int>(rows->size()) != corpus->num_companies()) {
+    return Status::FailedPrecondition(
+        "representation '" + repr_name + "' has " +
+        std::to_string(rows->size()) + " rows but the corpus has " +
+        std::to_string(corpus->num_companies()) +
+        " companies; snapshot was built from a different corpus");
+  }
+  return app::SalesRecommendationTool(corpus, *rows, std::move(internal_db));
+}
+
+}  // namespace hlm::serve

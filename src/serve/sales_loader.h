@@ -1,0 +1,29 @@
+#ifndef HLM_SERVE_SALES_LOADER_H_
+#define HLM_SERVE_SALES_LOADER_H_
+
+#include <string>
+
+#include "app/sales_tool.h"
+#include "common/status.h"
+#include "corpus/corpus.h"
+#include "corpus/integration.h"
+#include "serve/registry.h"
+
+namespace hlm::serve {
+
+/// Builds the sales tool from a snapshot directory instead of a live
+/// training run: pulls the representation matrix named `repr_name`
+/// from the registry (train once, serve many). The corpus must be the
+/// one the representation was built from (row count is checked).
+///
+/// This lives in serve/, not app/, so the application layer never
+/// depends on the serving layer: serve sits above app in the layer DAG
+/// and materializes app objects from snapshots, the same way the
+/// registry materializes models.
+Result<app::SalesRecommendationTool> LoadSalesTool(
+    const corpus::Corpus* corpus, ModelRegistry& registry,
+    const std::string& repr_name, corpus::InternalDatabase internal_db);
+
+}  // namespace hlm::serve
+
+#endif  // HLM_SERVE_SALES_LOADER_H_

@@ -8,6 +8,7 @@
 #include "corpus/integration.h"
 #include "repr/representation.h"
 #include "serve/registry.h"
+#include "serve/sales_loader.h"
 
 namespace hlm::app {
 namespace {
@@ -146,7 +147,7 @@ TEST(SalesToolTest, ImpossibleFilterIsNotFoundNotEmpty) {
   EXPECT_EQ(recs.status().code(), StatusCode::kNotFound);
 }
 
-TEST(SalesToolTest, FromRegistryServesSnapshotRepresentations) {
+TEST(SalesToolTest, LoadSalesToolServesSnapshotRepresentations) {
   auto world = MakeSmallWorld();
   std::string path = ::testing::TempDir() + "/app_repr.snap";
   ASSERT_TRUE(
@@ -162,8 +163,7 @@ TEST(SalesToolTest, FromRegistryServesSnapshotRepresentations) {
       SimulateInternalDatabase(world.corpus, options);
   LinkInternalDatabase(world.corpus, &db, 0.88);
 
-  auto tool = SalesRecommendationTool::FromRegistry(&world.corpus, registry,
-                                                    "reps", db);
+  auto tool = serve::LoadSalesTool(&world.corpus, registry, "reps", db);
   ASSERT_TRUE(tool.ok());
   auto live = MakeTool(world);
   auto from_snapshot = tool->FindSimilarCompanies(0, 5);
@@ -185,9 +185,8 @@ TEST(SalesToolTest, FromRegistryServesSnapshotRepresentations) {
       mismatched
           .Register("reps", serve::ModelKind::kRepresentation, small)
           .ok());
-  EXPECT_FALSE(SalesRecommendationTool::FromRegistry(&world.corpus,
-                                                     mismatched, "reps", db)
-                   .ok());
+  EXPECT_FALSE(
+      serve::LoadSalesTool(&world.corpus, mismatched, "reps", db).ok());
   std::remove(small.c_str());
 }
 

@@ -1,0 +1,23 @@
+// Fixture: allocations inside a bracketed hot-path region. Everything
+// between the markers that can touch the heap must fire; the identical
+// calls outside the region must pass.
+#include <memory>
+#include <vector>
+
+namespace hlm {
+
+void Sweep(std::vector<int>& out) {
+  out.reserve(16);  // outside the region: fine
+  // hlm-lint: hot-path begin (fixture region)
+  out.push_back(1);
+  std::vector<double> scratch(8);
+  auto boxed = std::make_unique<int>(3);
+  int* raw = new int(4);
+  delete raw;
+  // hlm-lint: allow(hot-path-alloc)
+  out.emplace_back(5);
+  // hlm-lint: hot-path end
+  out.resize(1);  // outside again: fine
+}
+
+}  // namespace hlm

@@ -1,0 +1,21 @@
+// Fixture: bare calls to Status / Result-returning functions. The
+// signature index is built from this file's own declarations, so the
+// calls below resolve without any other file in the model.
+#include "common/status.h"
+
+namespace hlm {
+
+Status SaveThing(int value);
+Result<int> LoadThing();
+
+void Caller() {
+  SaveThing(1);
+  LoadThing();
+  Status kept = SaveThing(2);
+  (void)kept;
+  if (!SaveThing(3).ok()) return;
+  // hlm-lint: allow(unchecked-status)
+  SaveThing(4);
+}
+
+}  // namespace hlm

@@ -1,0 +1,13 @@
+// Fixture: a math-layer file reaching up into higher layers. Linted as
+// src/math/layering_backedge.cc, both includes below are back-edges;
+// the annotated one must suppress and the bare one must fire.
+#include "common/status.h"
+// hlm-lint: allow(layering)
+#include "recsys/scorer.h"
+#include "serve/registry.h"
+
+namespace hlm::math {
+
+int Placeholder() { return 0; }
+
+}  // namespace hlm::math

@@ -1,0 +1,14 @@
+// Fixture: dead suppressions. The first allow matches no finding on
+// its own or the next line; the second names a rule that does not
+// exist. Both are stale-suppression findings (warning severity).
+#include <vector>
+
+namespace hlm {
+
+// hlm-lint: allow(no-raw-rng)
+int Quiet() { return 42; }
+
+// hlm-lint: allow(not-a-real-rule)
+int AlsoQuiet() { return 43; }
+
+}  // namespace hlm

@@ -1,0 +1,16 @@
+// Fixture: ad-hoc locking in model code. Linted as
+// src/models/stray_mutex.cc — outside parallel.cc and src/obs/, every
+// primitive below is a lock-discipline finding unless annotated.
+#include <mutex>
+
+namespace hlm::models {
+
+std::mutex g_fixture_mu;
+
+void Touch() {
+  std::lock_guard<std::mutex> lock(g_fixture_mu);
+  // hlm-lint: allow(lock-discipline)
+  std::unique_lock<std::mutex> relock(g_fixture_mu, std::defer_lock);
+}
+
+}  // namespace hlm::models

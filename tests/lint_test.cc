@@ -6,6 +6,7 @@
 #include "tools/lint.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -300,9 +301,17 @@ TEST(LintPersistWriteTest, AnnotationSuppresses) {
   EXPECT_TRUE(diags.empty());
 }
 
-TEST(LintRuleListTest, AllElevenRulesAdvertised) {
+TEST(LintRuleListTest, AllSixteenRulesAdvertised) {
   std::vector<std::string> rules = RuleNames();
-  EXPECT_EQ(rules.size(), 11u);
+  EXPECT_EQ(rules.size(), 16u);
+  for (const char* semantic :
+       {"layering", "unchecked-status", "hot-path-alloc", "lock-discipline",
+        "stale-suppression"}) {
+    EXPECT_NE(std::find(rules.begin(), rules.end(), semantic), rules.end())
+        << semantic;
+  }
+  EXPECT_EQ(RuleSeverity("stale-suppression"), Severity::kWarning);
+  EXPECT_EQ(RuleSeverity("layering"), Severity::kError);
   EXPECT_NE(std::find(rules.begin(), rules.end(), "no-raw-rng"),
             rules.end());
   EXPECT_NE(std::find(rules.begin(), rules.end(), "include-order"),
@@ -456,6 +465,306 @@ TEST(LintFixtureTest, BadSpanNamesFixtureFlagged) {
   auto diags = LintContent("src/obs/bad_span_names.cc",
                            ReadFixture("bad_span_names.cc"));
   EXPECT_EQ(CountRule(diags, "span-event-naming"), 5);
+}
+
+// ---------------------------------------------------------------------
+// Whole-program passes (layering, unchecked-status, hot-path-alloc,
+// lock-discipline, stale-suppression) and the analysis cache.
+
+TEST(LintLayeringTest, BackEdgeFixtureFiresAndAnnotationSuppresses) {
+  auto diags = LintContent("src/math/layering_backedge.cc",
+                           ReadFixture("layering_backedge.cc"));
+  ASSERT_EQ(CountRule(diags, "layering"), 1);
+  // The serve/ include fires; the annotated recsys/ include does not,
+  // and the used annotation is not stale.
+  for (const Diagnostic& d : diags) {
+    if (d.rule != "layering") continue;
+    EXPECT_EQ(d.line, 7);
+    EXPECT_NE(d.message.find("serve/registry.h"), std::string::npos);
+  }
+  EXPECT_EQ(CountRule(diags, "stale-suppression"), 0);
+}
+
+TEST(LintLayeringTest, SameAndLowerLayerIncludesPass) {
+  EXPECT_TRUE(LintContent("src/serve/top.cc",
+                          "#include \"common/status.h\"\n"
+                          "#include \"recsys/scorer.h\"\n")
+                  .empty());
+  // tools/ and tests/ are unconstrained.
+  EXPECT_TRUE(LintContent("tools/some_tool.cc",
+                          "#include \"serve/registry.h\"\n")
+                  .empty());
+}
+
+TEST(LintLayeringTest, RanksMatchDeclaredDag) {
+  EXPECT_EQ(LayerRankOfPath("src/common/status.h"), 0);
+  EXPECT_EQ(LayerRankOfPath("src/obs/metrics.h"), 1);
+  EXPECT_EQ(LayerRankOfPath("src/math/matrix.h"), 2);
+  // corpus/models/repr/cluster share a rank, as do recsys/app.
+  EXPECT_EQ(LayerRankOfPath("src/models/lda.h"),
+            LayerRankOfPath("src/corpus/corpus.h"));
+  EXPECT_EQ(LayerRankOfPath("src/recsys/scorer.h"),
+            LayerRankOfPath("src/app/sales_tool.h"));
+  EXPECT_GT(LayerRankOfPath("src/serve/registry.h"),
+            LayerRankOfPath("src/recsys/scorer.h"));
+  EXPECT_EQ(LayerRankOfPath("tests/foo_test.cc"), -1);
+}
+
+TEST(LintUncheckedStatusTest, FixtureFiresOnBareCallsOnly) {
+  auto diags = LintContent("src/app/ignored_status.cc",
+                           ReadFixture("ignored_status.cc"));
+  EXPECT_EQ(CountRule(diags, "unchecked-status"), 2);
+  std::set<int> lines;
+  for (const Diagnostic& d : diags) {
+    if (d.rule == "unchecked-status") lines.insert(d.line);
+  }
+  // The two bare statement calls; the assigned, tested, and annotated
+  // calls all pass, and the annotation is live (not stale).
+  EXPECT_EQ(lines, (std::set<int>{12, 13}));
+  EXPECT_EQ(CountRule(diags, "stale-suppression"), 0);
+}
+
+TEST(LintUncheckedStatusTest, ConsumedFormsPass) {
+  const std::string decls = "Status Save(int v);\n";
+  EXPECT_TRUE(LintContent("src/app/a.cc",
+                          decls + "Status F() { return Save(1); }\n")
+                  .empty());
+  EXPECT_TRUE(LintContent("src/app/b.cc",
+                          decls + "void F() { HLM_CHECK_OK(Save(1)); }\n")
+                  .empty());
+  // Library contract binds src/ only; tools may discard.
+  EXPECT_TRUE(LintContent("tools/t.cc",
+                          "Status Save(int v);\n"
+                          "void F() { Save(1); }\n")
+                  .empty());
+}
+
+TEST(LintUncheckedStatusTest, CrossFileIndexThroughProjectModel) {
+  // The Status function is declared in one file and dropped in another;
+  // only the whole-program model connects them.
+  ProjectModel model = BuildProjectModel(
+      {{"src/corpus/io.h",
+        "#ifndef HLM_CORPUS_IO_H_\n#define HLM_CORPUS_IO_H_\n"
+        "namespace hlm { Status WriteCorpus(int fd); }\n"
+        "#endif  // HLM_CORPUS_IO_H_\n"},
+       {"src/serve/use.cc",
+        "#include \"corpus/io.h\"\n"
+        "void F() { hlm::WriteCorpus(3); }\n"}});
+  AnalysisResult result = AnalyzeProject(model);
+  EXPECT_EQ(CountRule(result.diagnostics, "unchecked-status"), 1);
+  EXPECT_EQ(result.diagnostics[0].file, "src/serve/use.cc");
+}
+
+TEST(LintHotPathTest, FixtureFlagsAllocationsInsideRegionOnly) {
+  auto diags = LintContent("src/models/hotpath_alloc.cc",
+                           ReadFixture("hotpath_alloc.cc"));
+  EXPECT_EQ(CountRule(diags, "hot-path-alloc"), 4);
+  std::set<int> lines;
+  for (const Diagnostic& d : diags) {
+    if (d.rule == "hot-path-alloc") lines.insert(d.line);
+  }
+  // push_back, vector construction, make_unique, new — all between the
+  // markers. reserve/resize outside and the annotated emplace_back pass.
+  EXPECT_EQ(lines, (std::set<int>{12, 13, 14, 15}));
+  EXPECT_EQ(CountRule(diags, "stale-suppression"), 0);
+}
+
+TEST(LintHotPathTest, UnbalancedMarkersAreErrors) {
+  auto dangling_end = LintContent("src/models/a.cc",
+                                  "// hlm-lint: hot-path end\n");
+  EXPECT_EQ(CountRule(dangling_end, "hot-path-alloc"), 1);
+
+  auto unterminated = LintContent("src/models/b.cc",
+                                  "// hlm-lint: hot-path begin\n"
+                                  "int x = 0;\n");
+  ASSERT_EQ(CountRule(unterminated, "hot-path-alloc"), 1);
+  EXPECT_EQ(unterminated[0].line, 1);
+
+  auto nested = LintContent("src/models/c.cc",
+                            "// hlm-lint: hot-path begin\n"
+                            "// hlm-lint: hot-path begin\n"
+                            "// hlm-lint: hot-path end\n");
+  EXPECT_EQ(CountRule(nested, "hot-path-alloc"), 1);
+}
+
+TEST(LintHotPathTest, ProseAndStringsNeverOpenARegion) {
+  // "begin/end" prose in a comment is not a marker (no whitespace/EOL
+  // boundary after "begin"), and markers inside string literals are
+  // data, not annotations.
+  EXPECT_TRUE(LintContent("src/models/a.cc",
+                          "// regions use hot-path begin/end markers\n"
+                          "int x = 0;\n")
+                  .empty());
+  EXPECT_TRUE(
+      LintContent("src/models/b.cc",
+                  "const char* kDoc = \"// hlm-lint: hot-path begin\";\n"
+                  "void F(std::vector<int>& v) { v.push_back(1); }\n")
+          .empty());
+}
+
+TEST(LintLockDisciplineTest, FixtureFiresOutsideConcurrencyLayer) {
+  auto diags = LintContent("src/models/stray_mutex.cc",
+                           ReadFixture("stray_mutex.cc"));
+  EXPECT_EQ(CountRule(diags, "lock-discipline"), 2);
+  std::set<int> lines;
+  for (const Diagnostic& d : diags) {
+    if (d.rule == "lock-discipline") lines.insert(d.line);
+  }
+  EXPECT_EQ(lines, (std::set<int>{8, 11}));
+  EXPECT_EQ(CountRule(diags, "stale-suppression"), 0);
+}
+
+TEST(LintLockDisciplineTest, ConcurrencyLayerAndObsAreExempt) {
+  const std::string mu = "std::mutex g_mu;\n";
+  EXPECT_TRUE(LintContent("src/common/parallel.cc", mu).empty());
+  EXPECT_TRUE(LintContent("src/obs/metrics.cc", mu).empty());
+  EXPECT_TRUE(LintContent("tests/foo_test.cc", mu).empty());
+  EXPECT_EQ(CountRule(LintContent("src/common/logging.cc", mu),
+                      "lock-discipline"),
+            1);
+}
+
+TEST(LintStaleSuppressionTest, FixtureFlagsDeadAndUnknownAllows) {
+  auto diags = LintContent("src/models/stale_allow.cc",
+                           ReadFixture("stale_allow.cc"));
+  ASSERT_EQ(CountRule(diags, "stale-suppression"), 2);
+  std::set<int> lines;
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.severity, Severity::kWarning);
+    lines.insert(d.line);
+  }
+  EXPECT_EQ(lines, (std::set<int>{8, 11}));
+}
+
+TEST(LintStaleSuppressionTest, UsedAnnotationIsNotStale) {
+  auto diags = LintContent("src/models/foo.cc",
+                           "// hlm-lint: allow(no-raw-rng)\n"
+                           "std::mt19937 gen;\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintCycleTest, MutualIncludesAreAnUnsuppressibleCycle) {
+  const std::string x =
+      "#ifndef HLM_COMMON_X_H_\n#define HLM_COMMON_X_H_\n"
+      "// hlm-lint: allow(layering)\n"
+      "#include \"common/y.h\"\n"
+      "#endif  // HLM_COMMON_X_H_\n";
+  const std::string y =
+      "#ifndef HLM_COMMON_Y_H_\n#define HLM_COMMON_Y_H_\n"
+      "#include \"common/x.h\"\n"
+      "#endif  // HLM_COMMON_Y_H_\n";
+  ProjectModel model =
+      BuildProjectModel({{"src/common/x.h", x}, {"src/common/y.h", y}});
+  AnalysisResult result = AnalyzeProject(model);
+  int cycles = 0;
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.message.find("include cycle") != std::string::npos) ++cycles;
+  }
+  EXPECT_EQ(cycles, 1);
+}
+
+// Helpers for the cache tests: a three-file project where b.cc includes
+// a.h, and c.cc stands alone.
+std::vector<SourceFile> CacheProject(const std::string& a_h) {
+  return {{"src/common/a.h", a_h},
+          {"src/math/b.cc",
+           "#include \"common/a.h\"\nint B() { return hlm::A(); }\n"},
+          {"src/serve/c.cc", "int C() { return 7; }\n"}};
+}
+
+const char kAOriginal[] =
+    "#ifndef HLM_COMMON_A_H_\n#define HLM_COMMON_A_H_\n"
+    "namespace hlm { int A(); }\n"
+    "#endif  // HLM_COMMON_A_H_\n";
+
+TEST(LintCacheTest, WarmRunReplaysEveryFile) {
+  const std::string cache =
+      ::testing::TempDir() + "/hlm_lint_cache_warm";
+  std::remove(cache.c_str());
+  AnalysisOptions options;
+  options.cache_path = cache;
+
+  ProjectModel model = BuildProjectModel(CacheProject(kAOriginal));
+  AnalysisResult cold = AnalyzeProject(model, options);
+  EXPECT_EQ(cold.files_analyzed, 3);
+  EXPECT_EQ(cold.files_from_cache, 0);
+  EXPECT_TRUE(cold.diagnostics.empty());
+
+  ProjectModel again = BuildProjectModel(CacheProject(kAOriginal));
+  AnalysisResult warm = AnalyzeProject(again, options);
+  EXPECT_EQ(warm.files_analyzed, 0);
+  EXPECT_EQ(warm.files_from_cache, 3);
+  EXPECT_TRUE(warm.diagnostics.empty());
+}
+
+TEST(LintCacheTest, EditInvalidatesFileAndItsDirectIncluders) {
+  const std::string cache =
+      ::testing::TempDir() + "/hlm_lint_cache_edit";
+  std::remove(cache.c_str());
+  AnalysisOptions options;
+  options.cache_path = cache;
+
+  AnalyzeProject(BuildProjectModel(CacheProject(kAOriginal)), options);
+
+  // A body-level edit to a.h re-lints a.h and b.cc (its direct
+  // includer / layering dependent); untouched c.cc replays.
+  const std::string edited =
+      "#ifndef HLM_COMMON_A_H_\n#define HLM_COMMON_A_H_\n"
+      "namespace hlm { int A(); }  // touched\n"
+      "#endif  // HLM_COMMON_A_H_\n";
+  AnalysisResult after =
+      AnalyzeProject(BuildProjectModel(CacheProject(edited)), options);
+  EXPECT_EQ(after.files_analyzed, 2);
+  EXPECT_EQ(after.files_from_cache, 1);
+}
+
+TEST(LintCacheTest, CachedFindingsAndSuppressionsReplay) {
+  const std::string cache =
+      ::testing::TempDir() + "/hlm_lint_cache_findings";
+  std::remove(cache.c_str());
+  AnalysisOptions options;
+  options.cache_path = cache;
+
+  std::vector<SourceFile> files = {
+      {"src/models/bad.cc", "std::mutex g_mu;\n"},
+      {"src/models/ok.cc",
+       "// hlm-lint: allow(no-raw-rng)\nstd::mt19937 gen;\n"}};
+  AnalysisResult cold =
+      AnalyzeProject(BuildProjectModel(files), options);
+  ASSERT_EQ(CountRule(cold.diagnostics, "lock-discipline"), 1);
+  ASSERT_EQ(cold.suppressions.size(), 1u);
+
+  AnalysisResult warm =
+      AnalyzeProject(BuildProjectModel(files), options);
+  EXPECT_EQ(warm.files_from_cache, 2);
+  EXPECT_EQ(CountRule(warm.diagnostics, "lock-discipline"), 1);
+  ASSERT_EQ(warm.suppressions.size(), 1u);
+  EXPECT_EQ(warm.suppressions[0].file, "src/models/ok.cc");
+  EXPECT_EQ(warm.suppressions[0].rule, "no-raw-rng");
+}
+
+TEST(LintRenderTest, JsonSarifAndDepsDotSmoke) {
+  ProjectModel model = BuildProjectModel(
+      {{"src/models/bad.cc", "std::mutex g_mu;\n"},
+       {"src/serve/use.cc", "#include \"models/bad.h\"\nint F();\n"}});
+  AnalysisResult result = AnalyzeProject(model);
+  ASSERT_FALSE(result.diagnostics.empty());
+
+  const std::string json = RenderJson(result);
+  EXPECT_NE(json.find("\"findings\""), std::string::npos);
+  EXPECT_NE(json.find("lock-discipline"), std::string::npos);
+
+  const std::string sarif = RenderSarif(result);
+  EXPECT_NE(sarif.find("sarif-2.1.0"), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"lock-discipline\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("hlm_lint"), std::string::npos);
+
+  const std::string dot = RenderDepsDot(model);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  // serve -> models include renders as a layer-level edge.
+  EXPECT_NE(dot.find("serve"), std::string::npos);
+  EXPECT_NE(dot.find("models"), std::string::npos);
 }
 
 }  // namespace

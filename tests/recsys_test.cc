@@ -2,11 +2,11 @@
 
 #include "common/parallel.h"
 #include "corpus/generator.h"
+#include "corpus/month.h"
+#include "corpus/product_taxonomy.h"
 #include "math/rng.h"
 #include "math/vector_ops.h"
 #include "obs/metrics.h"
-#include "corpus/month.h"
-#include "corpus/product_taxonomy.h"
 #include "recsys/evaluation.h"
 #include "recsys/similarity_search.h"
 #include "recsys/sliding_window.h"

@@ -5,16 +5,16 @@
 #include <sstream>
 #include <string>
 
+#include "common/snapshot.h"
 #include "corpus/generator.h"
 #include "math/rng.h"
 #include "models/bpmf.h"
 #include "models/chh.h"
-#include "models/lda.h"
 #include "models/gru_lm.h"
+#include "models/lda.h"
 #include "models/lstm_lm.h"
 #include "models/ngram.h"
 #include "repr/representation.h"
-#include "serve/snapshot.h"
 
 namespace hlm::models {
 namespace {
@@ -116,7 +116,7 @@ void AppendPayloadGarbage(const std::string& path,
   int container_version = 0, kind_version = 0;
   header >> magic >> container_version >> kind_field >> kind >>
       version_field >> kind_version;
-  serve::SnapshotWriter writer(kind, kind_version);
+  SnapshotWriter writer(kind, kind_version);
   writer.payload() << payload;
   ASSERT_TRUE(writer.CommitToFile(path).ok());
 }
@@ -186,7 +186,7 @@ TEST(GruSerializationTest, RejectsCorruptAndWrongKind) {
   EXPECT_FALSE(GruLanguageModel::LoadFromFile("/nonexistent").ok());
 
   // Truncated payload inside a valid container.
-  serve::SnapshotWriter truncated("gru", 1);
+  SnapshotWriter truncated("gru", 1);
   truncated.payload() << "38 12 0.001 2 5 77\n3 3\n1 2 3";
   std::string path = ::testing::TempDir() + "/gru_corrupt.hlm";
   ASSERT_TRUE(truncated.CommitToFile(path).ok());
@@ -196,7 +196,7 @@ TEST(GruSerializationTest, RejectsCorruptAndWrongKind) {
             std::string::npos);
 
   // An LSTM snapshot must be rejected by kind, not half-parsed.
-  serve::SnapshotWriter wrong_kind("lstm", 1);
+  SnapshotWriter wrong_kind("lstm", 1);
   wrong_kind.payload() << "38 12 2 0.25 0.003 3 64 5 0 99\n";
   ASSERT_TRUE(wrong_kind.CommitToFile(path).ok());
   EXPECT_FALSE(GruLanguageModel::LoadFromFile(path).ok());
@@ -322,7 +322,7 @@ TEST(NgramSerializationTest, RoundTripIsBitIdentical) {
 TEST(NgramSerializationTest, RejectsWrongKindSnapshot) {
   // A valid container of the wrong kind must fail in ExpectKind.
   std::string path = ::testing::TempDir() + "/ngram_wrong_kind.hlm";
-  serve::SnapshotWriter writer("lda", 1);
+  SnapshotWriter writer("lda", 1);
   writer.payload() << "38 3\n";
   ASSERT_TRUE(writer.CommitToFile(path).ok());
   auto loaded = NGramModel::LoadFromFile(path);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/atomic_file.h"
+#include "common/snapshot.h"
 #include "corpus/generator.h"
 #include "models/gru_lm.h"
 #include "models/lda.h"
@@ -14,7 +15,6 @@
 #include "obs/metrics.h"
 #include "repr/representation.h"
 #include "serve/registry.h"
-#include "serve/snapshot.h"
 
 namespace hlm::serve {
 namespace {

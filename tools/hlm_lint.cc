@@ -1,14 +1,27 @@
-// hlm_lint: static checker for the HLM codebase.
+// hlm_lint: whole-program static analyzer for the HLM codebase.
 //
-// Usage: hlm_lint [--root <dir>] [--list-rules] <path>...
+// Usage: hlm_lint [--root <dir>] [--format=text|json|sarif]
+//                 [--cache <file>] [--deps_out <file>]
+//                 [--list-rules] [--list_suppressions] [--stats]
+//                 <path>...
 //
-// Scans every .h/.cc/.cpp file under the given paths (relative to
-// --root, default ".") and reports violations of the rules documented
-// in tools/lint.h as "file:line: rule: message". Exit status is 1 when
-// any diagnostic is reported, 2 on usage/IO errors, 0 when clean.
+// Stage one walks every .h/.cc/.cpp file under the given paths
+// (relative to --root, default ".") and builds the project model:
+// the quoted-include graph, the Status/Result signature index, the
+// repo-wide unordered-container name set, and per-file content hashes.
+// Stage two runs the rules documented in tools/lint.h over the model.
+// Exit status is 1 when any diagnostic is reported (warnings included),
+// 2 on usage/IO errors, 0 when clean.
+//
+// --cache points at a persistent result cache (build/lint-cache); warm
+// runs replay unchanged files' results instead of re-linting them.
+// --deps_out writes the layer-level dependency graph as graphviz dot.
+// --list_suppressions prints every live `hlm-lint: allow(...)`
+// annotation as "file:line: rule" and exits (0 even when findings
+// exist; stale annotations are ordinary findings on a normal run).
 //
 // Suppress a finding with `// hlm-lint: allow(<rule>)` on the flagged
-// line or the line above it.
+// line or the line above it. Include cycles are never suppressible.
 
 #include <filesystem>
 #include <fstream>
@@ -50,40 +63,76 @@ bool ReadFile(const fs::path& path, std::string* content) {
   return true;
 }
 
+constexpr const char kUsage[] =
+    "usage: hlm_lint [--root <dir>] [--format=text|json|sarif]\n"
+    "                [--cache <file>] [--deps_out <file>]\n"
+    "                [--list-rules] [--list_suppressions] [--stats]\n"
+    "                <path>...\n";
+
 }  // namespace
 
 int main(int argc, char** argv) {
   fs::path root = ".";
+  std::string format = "text";
+  std::string cache_path;
+  std::string deps_out;
+  bool list_suppressions = false;
+  bool stats = false;
   std::vector<std::string> targets;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--root") {
+    auto value_of = [&](const char* name) -> const char* {
       if (i + 1 >= argc) {
-        std::cerr << "--root requires a directory argument\n";
-        return 2;
+        std::cerr << name << " requires an argument\n";
+        std::exit(2);
       }
-      root = argv[++i];
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      root = value_of("--root");
     } else if (arg.rfind("--root=", 0) == 0) {
       root = arg.substr(7);
+    } else if (arg == "--format") {
+      format = value_of("--format");
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+    } else if (arg == "--cache") {
+      cache_path = value_of("--cache");
+    } else if (arg.rfind("--cache=", 0) == 0) {
+      cache_path = arg.substr(8);
+    } else if (arg == "--deps_out") {
+      deps_out = value_of("--deps_out");
+    } else if (arg.rfind("--deps_out=", 0) == 0) {
+      deps_out = arg.substr(11);
+    } else if (arg == "--list_suppressions") {
+      list_suppressions = true;
+    } else if (arg == "--stats") {
+      stats = true;
     } else if (arg == "--list-rules") {
       for (const std::string& rule : hlm::lint::RuleNames()) {
         std::cout << rule << "\n";
       }
       return 0;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: hlm_lint [--root <dir>] [--list-rules] "
-                   "<path>...\n";
+      std::cout << kUsage;
       return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "hlm_lint: unknown flag " << arg << "\n" << kUsage;
+      return 2;
     } else {
       targets.push_back(arg);
     }
   }
   if (targets.empty()) {
-    std::cerr << "usage: hlm_lint [--root <dir>] [--list-rules] <path>...\n";
+    std::cerr << kUsage;
+    return 2;
+  }
+  if (format != "text" && format != "json" && format != "sarif") {
+    std::cerr << "hlm_lint: --format must be text, json, or sarif\n";
     return 2;
   }
 
-  // Collect the files to lint (sorted for stable output).
+  // Collect the files to analyze (sorted for stable output).
   std::set<fs::path> files;
   for (const std::string& target : targets) {
     fs::path path = root / fs::path(target);
@@ -113,36 +162,62 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Pass 1: unordered-container identifiers across every scanned file,
-  // so members declared in headers are known when linting the matching
-  // .cc files.
-  std::set<std::string> unordered_names;
-  std::vector<std::pair<std::string, std::string>> contents;  // rel, text
-  contents.reserve(files.size());
+  // Stage one: the project model.
+  std::vector<hlm::lint::SourceFile> sources;
+  sources.reserve(files.size());
   for (const fs::path& file : files) {
     std::string text;
     if (!ReadFile(file, &text)) {
       std::cerr << "hlm_lint: cannot read " << file.generic_string() << "\n";
       return 2;
     }
-    std::set<std::string> names = hlm::lint::CollectUnorderedNames(text);
-    unordered_names.insert(names.begin(), names.end());
-    contents.emplace_back(RelativeTo(root, file), std::move(text));
+    sources.push_back({RelativeTo(root, file), std::move(text)});
+  }
+  hlm::lint::ProjectModel model =
+      hlm::lint::BuildProjectModel(std::move(sources));
+
+  // Stage two: the passes.
+  hlm::lint::AnalysisOptions options;
+  options.cache_path = cache_path;
+  hlm::lint::AnalysisResult result =
+      hlm::lint::AnalyzeProject(model, options);
+
+  if (!deps_out.empty()) {
+    std::ofstream out(deps_out, std::ios::trunc);
+    if (!out) {
+      std::cerr << "hlm_lint: cannot write " << deps_out << "\n";
+      return 2;
+    }
+    out << hlm::lint::RenderDepsDot(model);
   }
 
-  // Pass 2: lint.
-  size_t total = 0;
-  for (const auto& [relpath, text] : contents) {
-    for (const hlm::lint::Diagnostic& diag :
-         hlm::lint::LintContent(relpath, text, unordered_names)) {
+  if (list_suppressions) {
+    for (const hlm::lint::Suppression& supp : result.suppressions) {
+      std::cout << supp.file << ":" << supp.line << ": " << supp.rule
+                << "\n";
+    }
+    return 0;
+  }
+
+  if (format == "json") {
+    std::cout << hlm::lint::RenderJson(result);
+  } else if (format == "sarif") {
+    std::cout << hlm::lint::RenderSarif(result);
+  } else {
+    for (const hlm::lint::Diagnostic& diag : result.diagnostics) {
       std::cout << hlm::lint::FormatDiagnostic(diag) << "\n";
-      ++total;
+    }
+    if (!result.diagnostics.empty()) {
+      std::cout << "hlm_lint: " << result.diagnostics.size()
+                << " finding(s) in " << model.files.size() << " file(s)\n";
     }
   }
-  if (total > 0) {
-    std::cout << "hlm_lint: " << total << " finding(s) in "
-              << contents.size() << " file(s)\n";
-    return 1;
+  if (stats) {
+    std::cerr << "hlm_lint: " << model.files.size() << " files ("
+              << result.files_analyzed << " analyzed, "
+              << result.files_from_cache << " from cache), "
+              << result.diagnostics.size() << " finding(s), "
+              << result.suppressions.size() << " live suppression(s)\n";
   }
-  return 0;
+  return result.diagnostics.empty() ? 0 : 1;
 }

@@ -28,8 +28,8 @@
 #include "corpus/generator.h"
 #include "models/bpmf.h"
 #include "models/chh.h"
-#include "models/lda.h"
 #include "models/gru_lm.h"
+#include "models/lda.h"
 #include "models/lstm_lm.h"
 #include "models/ngram.h"
 #include "repr/representation.h"

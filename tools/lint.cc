@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cctype>
+#include <fstream>
 #include <sstream>
 
 namespace hlm::lint {
 
 namespace {
+
+/// Bumping this invalidates every cached result (build/lint-cache).
+constexpr const char kAnalyzerVersion[] = "hlm-lint 2.0.0";
 
 bool IsIdentChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
@@ -57,12 +61,23 @@ bool HasTokenThen(const std::string& line, const std::string& token,
   return false;
 }
 
-/// Removes comments and string/character literals, preserving line
-/// structure so diagnostics keep their 1-based line numbers. Block
-/// comments and raw string literals spanning lines are handled.
-std::vector<std::string> StripCodeLines(const std::string& content) {
-  std::vector<std::string> lines;
-  std::string current;
+struct StrippedSource {
+  /// Code with comments and string/char literals blanked; line-aligned
+  /// with the raw file so diagnostics keep their 1-based line numbers.
+  std::vector<std::string> code_lines;
+  /// The comment text alone (line and block comments), line-aligned.
+  /// This is the only place annotations and hot-path markers are
+  /// recognized, so an annotation inside a string literal is data.
+  std::vector<std::string> comment_lines;
+};
+
+/// Splits `content` into code and comment streams, preserving line
+/// structure. Block comments and raw string literals spanning lines are
+/// handled.
+StrippedSource StripSource(const std::string& content) {
+  StrippedSource out;
+  std::string code;
+  std::string comment;
   enum class State { kCode, kBlockComment, kString, kRawString, kChar };
   State state = State::kCode;
   // Closing sequence of the raw string being skipped: )delim"
@@ -72,19 +87,25 @@ std::vector<std::string> StripCodeLines(const std::string& content) {
     char next = i + 1 < content.size() ? content[i + 1] : '\0';
     if (c == '\n') {
       // Ordinary strings and char literals never span lines in this
-      // codebase; raw strings may.
+      // codebase; raw strings and block comments may.
       if (state == State::kString || state == State::kChar) {
         state = State::kCode;
       }
-      lines.push_back(current);
-      current.clear();
+      out.code_lines.push_back(code);
+      out.comment_lines.push_back(comment);
+      code.clear();
+      comment.clear();
       continue;
     }
     switch (state) {
       case State::kCode:
         if (c == '/' && next == '/') {
-          // Drop to end of line.
-          while (i + 1 < content.size() && content[i + 1] != '\n') ++i;
+          // Capture to end of line as comment text.
+          i += 1;
+          while (i + 1 < content.size() && content[i + 1] != '\n') {
+            comment.push_back(content[i + 1]);
+            ++i;
+          }
         } else if (c == '/' && next == '*') {
           state = State::kBlockComment;
           ++i;
@@ -105,18 +126,20 @@ std::vector<std::string> StripCodeLines(const std::string& content) {
           } else {
             state = State::kString;
           }
-          current.push_back(' ');
+          code.push_back(' ');
         } else if (c == '\'') {
           state = State::kChar;
-          current.push_back(' ');
+          code.push_back(' ');
         } else {
-          current.push_back(c);
+          code.push_back(c);
         }
         break;
       case State::kBlockComment:
         if (c == '*' && next == '/') {
           state = State::kCode;
           ++i;
+        } else {
+          comment.push_back(c);
         }
         break;
       case State::kString:
@@ -142,8 +165,9 @@ std::vector<std::string> StripCodeLines(const std::string& content) {
         break;
     }
   }
-  lines.push_back(current);
-  return lines;
+  out.code_lines.push_back(code);
+  out.comment_lines.push_back(comment);
+  return out;
 }
 
 std::vector<std::string> SplitRawLines(const std::string& content) {
@@ -161,18 +185,37 @@ std::vector<std::string> SplitRawLines(const std::string& content) {
   return lines;
 }
 
-/// Rules allowed on 1-based line `line` via `// hlm-lint: allow(<rule>)`
-/// on the same or the preceding raw line.
-bool IsAllowed(const std::vector<std::string>& raw_lines, int line,
-               const std::string& rule) {
-  const std::string needle = "hlm-lint: allow(" + rule + ")";
-  for (int l = line - 1; l >= line - 2 && l >= 0; --l) {
-    if (static_cast<size_t>(l) < raw_lines.size() &&
-        raw_lines[l].find(needle) != std::string::npos) {
-      return true;
+/// Parses every `hlm-lint: allow(<rule>)` annotation out of the comment
+/// stream. Returned in line order. The rule must be kebab-case: doc
+/// text showing the syntax with a placeholder (`allow(<rule>)`,
+/// `allow(...)`) is prose, not an annotation.
+std::vector<std::pair<int, std::string>> CollectAllows(
+    const std::vector<std::string>& comment_lines) {
+  std::vector<std::pair<int, std::string>> allows;
+  const std::string needle = "hlm-lint: allow(";
+  for (size_t i = 0; i < comment_lines.size(); ++i) {
+    const std::string& line = comment_lines[i];
+    size_t pos = 0;
+    while ((pos = line.find(needle, pos)) != std::string::npos) {
+      size_t start = pos + needle.size();
+      size_t close = line.find(')', start);
+      if (close == std::string::npos) break;
+      const std::string rule = line.substr(start, close - start);
+      bool kebab = !rule.empty();
+      for (char c : rule) {
+        if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+              c == '-')) {
+          kebab = false;
+          break;
+        }
+      }
+      if (kebab) {
+        allows.emplace_back(static_cast<int>(i) + 1, rule);
+      }
+      pos = close + 1;
     }
   }
-  return false;
+  return allows;
 }
 
 std::string ExpectedGuard(const std::string& relpath) {
@@ -208,20 +251,39 @@ std::vector<std::string> IdentTokens(const std::string& text) {
 }
 
 struct RuleContext {
-  const std::string* relpath = nullptr;
+  const ProjectModel* model = nullptr;
+  const FileModel* file = nullptr;
   const std::vector<std::string>* code_lines = nullptr;
   const std::vector<std::string>* raw_lines = nullptr;
   std::vector<Diagnostic>* diags = nullptr;
+  /// Parallel to file->allows: marked when an annotation suppresses a
+  /// finding. Unused annotations become stale-suppression findings.
+  std::vector<bool>* allow_used = nullptr;
 };
+
+/// Rules allowed on 1-based line `line` via `// hlm-lint: allow(<rule>)`
+/// on the same or the preceding line. Marks the consumed annotation.
+bool IsAllowed(const RuleContext& ctx, int line, const std::string& rule) {
+  const auto& allows = ctx.file->allows;
+  for (size_t i = 0; i < allows.size(); ++i) {
+    if (allows[i].second != rule) continue;
+    if (allows[i].first == line || allows[i].first == line - 1) {
+      (*ctx.allow_used)[i] = true;
+      return true;
+    }
+  }
+  return false;
+}
 
 void Report(const RuleContext& ctx, int line, const std::string& rule,
             const std::string& message) {
-  if (IsAllowed(*ctx.raw_lines, line, rule)) return;
-  ctx.diags->push_back(Diagnostic{*ctx.relpath, line, rule, message});
+  if (IsAllowed(ctx, line, rule)) return;
+  ctx.diags->push_back(Diagnostic{ctx.file->relpath, line, rule, message,
+                                  RuleSeverity(rule)});
 }
 
 void CheckRawRng(const RuleContext& ctx) {
-  const std::string& path = *ctx.relpath;
+  const std::string& path = ctx.file->relpath;
   if (path == "src/math/rng.cc" || path == "src/math/rng.h") return;
   for (size_t i = 0; i < ctx.code_lines->size(); ++i) {
     const std::string& line = (*ctx.code_lines)[i];
@@ -247,7 +309,7 @@ void CheckRawRng(const RuleContext& ctx) {
 }
 
 void CheckWallClock(const RuleContext& ctx) {
-  if (!StartsWith(*ctx.relpath, "src/")) return;
+  if (!StartsWith(ctx.file->relpath, "src/")) return;
   for (size_t i = 0; i < ctx.code_lines->size(); ++i) {
     const std::string& line = (*ctx.code_lines)[i];
     const int ln = static_cast<int>(i) + 1;
@@ -268,7 +330,7 @@ void CheckWallClock(const RuleContext& ctx) {
 }
 
 void CheckRawThread(const RuleContext& ctx) {
-  if (*ctx.relpath == "src/common/parallel.cc") return;
+  if (ctx.file->relpath == "src/common/parallel.cc") return;
   for (size_t i = 0; i < ctx.code_lines->size(); ++i) {
     const std::string& line = (*ctx.code_lines)[i];
     const int ln = static_cast<int>(i) + 1;
@@ -283,7 +345,7 @@ void CheckRawThread(const RuleContext& ctx) {
 }
 
 void CheckStdioOutput(const RuleContext& ctx) {
-  if (!StartsWith(*ctx.relpath, "src/")) return;
+  if (!StartsWith(ctx.file->relpath, "src/")) return;
   for (size_t i = 0; i < ctx.code_lines->size(); ++i) {
     const std::string& line = (*ctx.code_lines)[i];
     const int ln = static_cast<int>(i) + 1;
@@ -361,11 +423,11 @@ void CheckUnorderedIteration(const RuleContext& ctx,
 }
 
 void CheckRawPersistWrite(const RuleContext& ctx) {
-  if (!StartsWith(*ctx.relpath, "src/")) return;
+  if (!StartsWith(ctx.file->relpath, "src/")) return;
   // The one place allowed to open a file for writing: the temp-file +
   // rename primitive everything else is supposed to go through.
-  if (*ctx.relpath == "src/common/atomic_file.cc" ||
-      *ctx.relpath == "src/common/atomic_file.h") {
+  if (ctx.file->relpath == "src/common/atomic_file.cc" ||
+      ctx.file->relpath == "src/common/atomic_file.h") {
     return;
   }
   for (size_t i = 0; i < ctx.code_lines->size(); ++i) {
@@ -503,7 +565,7 @@ void CheckSimdIntrinsicIsolation(const RuleContext& ctx) {
   // calls the dispatched wrappers in math/simd/kernels.h, so there is
   // exactly one place where ISA-specific code (and its determinism
   // contract) lives.
-  if (StartsWith(*ctx.relpath, "src/math/simd/")) return;
+  if (StartsWith(ctx.file->relpath, "src/math/simd/")) return;
   for (size_t i = 0; i < ctx.code_lines->size(); ++i) {
     const std::string& line = (*ctx.code_lines)[i];
     const int ln = static_cast<int>(i) + 1;
@@ -521,10 +583,10 @@ void CheckSimdIntrinsicIsolation(const RuleContext& ctx) {
 }
 
 void CheckSpanEventNaming(const RuleContext& ctx) {
-  if (!StartsWith(*ctx.relpath, "src/")) return;
+  if (!StartsWith(ctx.file->relpath, "src/")) return;
   // The macro definitions themselves pass `name` through, not a
   // literal; exempt the defining header.
-  if (*ctx.relpath == "src/obs/events.h") return;
+  if (ctx.file->relpath == "src/obs/events.h") return;
   for (size_t i = 0; i < ctx.code_lines->size(); ++i) {
     const std::string& line = (*ctx.code_lines)[i];
     const int ln = static_cast<int>(i) + 1;
@@ -599,8 +661,8 @@ void CheckSpanEventNaming(const RuleContext& ctx) {
 }
 
 void CheckHeaderGuard(const RuleContext& ctx) {
-  if (!EndsWith(*ctx.relpath, ".h")) return;
-  const std::string expected = ExpectedGuard(*ctx.relpath);
+  if (!EndsWith(ctx.file->relpath, ".h")) return;
+  const std::string expected = ExpectedGuard(ctx.file->relpath);
   int ifndef_line = 0;
   std::string guard;
   for (size_t i = 0; i < ctx.code_lines->size(); ++i) {
@@ -654,7 +716,13 @@ void CheckIncludeOrder(const RuleContext& ctx) {
       prev_quoted.clear();
       continue;
     }
-    std::string rest = line.substr(pos + 8);
+    // The directive is detected on the stripped line (so commented-out
+    // includes never match), but the target must come from the raw line:
+    // the lexer blanks quoted includes as string literals.
+    const std::string& raw = (*ctx.raw_lines)[i];
+    size_t raw_pos = raw.find("#include");
+    if (raw_pos == std::string::npos) continue;
+    std::string rest = raw.substr(raw_pos + 8);
     size_t start = rest.find_first_of("<\"");
     if (start == std::string::npos) continue;  // e.g. macro include
     char open = rest[start];
@@ -673,21 +741,711 @@ void CheckIncludeOrder(const RuleContext& ctx) {
   }
 }
 
+/// Layer rank of an include target path as written (relative to src/,
+/// e.g. "models/lda.h"), or -1 for non-layer targets.
+int LayerRankOfInclude(const std::string& include_path) {
+  size_t slash = include_path.find('/');
+  if (slash == std::string::npos) return -1;
+  const std::string dir = include_path.substr(0, slash);
+  const auto& groups = LayerGroups();
+  for (size_t rank = 0; rank < groups.size(); ++rank) {
+    for (const std::string& member : groups[rank]) {
+      if (member == dir) return static_cast<int>(rank);
+    }
+  }
+  return -1;
+}
+
+std::string LayerChainString() {
+  std::string chain;
+  for (const auto& group : LayerGroups()) {
+    if (!chain.empty()) chain += " -> ";
+    if (group.size() == 1) {
+      chain += group[0];
+    } else {
+      chain += "{";
+      for (size_t i = 0; i < group.size(); ++i) {
+        if (i > 0) chain += ", ";
+        chain += group[i];
+      }
+      chain += "}";
+    }
+  }
+  return chain;
+}
+
+/// Back-edge detection: a src/ file may include only its own layer
+/// group or a lower one. Cycle detection is the graph pass in
+/// AnalyzeProject; this per-file check is cache-friendly and
+/// annotatable at the offending include line.
+void CheckLayering(const RuleContext& ctx) {
+  const int rank = ctx.file->layer;
+  if (rank < 0) return;  // tools/tests/bench/examples are unconstrained
+  for (const auto& [line, include_path] : ctx.file->quoted_includes) {
+    const int target_rank = LayerRankOfInclude(include_path);
+    if (target_rank < 0 || target_rank <= rank) continue;
+    Report(ctx, line, "layering",
+           "layering back-edge: '" + ctx.file->relpath + "' (layer " +
+               std::to_string(rank) + ") includes '" + include_path +
+               "' from higher layer " + std::to_string(target_rank) +
+               "; the declared DAG is " + LayerChainString());
+  }
+}
+
+/// Expression characters that can precede a call's name token as part of
+/// the callee expression: `obj.Method(`, `ptr->Method(`, `ns::Fn(`.
+/// Walks `p` back across them; returns the index of the first character
+/// before the callee expression, or -1 at start of input.
+long WalkBackCalleeExpression(const std::string& flat, long p) {
+  while (p >= 0) {
+    char c = flat[static_cast<size_t>(p)];
+    if (IsIdentChar(c) || c == '.') {
+      --p;
+    } else if (c == '>' && p > 0 &&
+               flat[static_cast<size_t>(p) - 1] == '-') {
+      p -= 2;
+    } else if (c == ':' && p > 0 &&
+               flat[static_cast<size_t>(p) - 1] == ':') {
+      p -= 2;
+    } else {
+      break;
+    }
+  }
+  return p;
+}
+
+/// unchecked-status: a call to an indexed Status/Result-returning
+/// function as a bare expression statement. Library code (src/) only —
+/// tests and benches deliberately exercise error paths.
+void CheckUncheckedStatus(const RuleContext& ctx) {
+  if (!StartsWith(ctx.file->relpath, "src/")) return;
+  const std::set<std::string>& fns = ctx.model->status_functions;
+  if (fns.empty()) return;
+
+  // Flatten the stripped lines so statements spanning lines parse; keep
+  // a char -> line map for diagnostics.
+  std::string flat;
+  std::vector<int> line_of;
+  for (size_t i = 0; i < ctx.code_lines->size(); ++i) {
+    for (char c : (*ctx.code_lines)[i]) {
+      flat.push_back(c);
+      line_of.push_back(static_cast<int>(i) + 1);
+    }
+    flat.push_back('\n');
+    line_of.push_back(static_cast<int>(i) + 1);
+  }
+
+  size_t pos = 0;
+  while (pos < flat.size()) {
+    if (!IsIdentChar(flat[pos])) {
+      ++pos;
+      continue;
+    }
+    size_t start = pos;
+    while (pos < flat.size() && IsIdentChar(flat[pos])) ++pos;
+    const std::string token = flat.substr(start, pos - start);
+    if (fns.count(token) == 0) continue;
+    // Must be a call: next non-space char is '('.
+    size_t open = pos;
+    while (open < flat.size() &&
+           std::isspace(static_cast<unsigned char>(flat[open])) != 0) {
+      ++open;
+    }
+    if (open >= flat.size() || flat[open] != '(') continue;
+
+    // The statement must begin with the callee expression: walk back
+    // over `obj.` / `ptr->` / `ns::` and whitespace; anything but
+    // ';', '{', '}' (or start of file) before it means the value is
+    // consumed — assigned, returned, passed as an argument, wrapped in
+    // a macro, or part of a larger expression. A preceding identifier
+    // (a return type, `return` itself) also ends the scan.
+    long before = WalkBackCalleeExpression(flat, static_cast<long>(start) - 1);
+    while (before >= 0 &&
+           std::isspace(static_cast<unsigned char>(
+               flat[static_cast<size_t>(before)])) != 0) {
+      --before;
+    }
+    if (before >= 0) {
+      char c = flat[static_cast<size_t>(before)];
+      if (c != ';' && c != '{' && c != '}') continue;
+    }
+
+    // The full call must be the whole statement: after the matching
+    // ')' comes ';' (not '.', '->', an operator, ...).
+    size_t p = open;
+    int depth = 0;
+    while (p < flat.size()) {
+      if (flat[p] == '(') ++depth;
+      if (flat[p] == ')') {
+        --depth;
+        if (depth == 0) break;
+      }
+      ++p;
+    }
+    if (p >= flat.size()) continue;  // unbalanced (macro soup): skip
+    ++p;
+    while (p < flat.size() &&
+           std::isspace(static_cast<unsigned char>(flat[p])) != 0) {
+      ++p;
+    }
+    if (p < flat.size() && flat[p] == ';') {
+      Report(ctx, line_of[start], "unchecked-status",
+             "result of '" + token +
+                 "' (returns Status/Result) is silently dropped; assign "
+                 "it, return it, or wrap it (HLM_RETURN_IF_ERROR / "
+                 "HLM_CHECK / TrackError)");
+    }
+  }
+}
+
+/// hot-path-alloc: allocation inside `// hlm-lint: hot-path begin/end`
+/// regions. The markers live in comments; allocation detection runs on
+/// the stripped code between them.
+void CheckHotPathAlloc(const RuleContext& ctx,
+                       const std::vector<std::string>& comment_lines) {
+  constexpr const char kBegin[] = "hlm-lint: hot-path begin";
+  constexpr const char kEnd[] = "hlm-lint: hot-path end";
+  // A marker must end at whitespace or end-of-comment, so prose like
+  // "hot-path begin/end" never opens a region; trailing text after
+  // whitespace ("begin (Gibbs sweep)") is a description and is fine.
+  auto has_marker = [](const std::string& comment, const char* marker) {
+    size_t pos = comment.find(marker);
+    if (pos == std::string::npos) return false;
+    size_t after = pos + std::string(marker).size();
+    return after >= comment.size() ||
+           std::isspace(static_cast<unsigned char>(comment[after])) != 0;
+  };
+  int region_begin = 0;  // 1-based begin-marker line; 0 = outside
+  for (size_t i = 0; i < comment_lines.size(); ++i) {
+    const int ln = static_cast<int>(i) + 1;
+    const bool begins = has_marker(comment_lines[i], kBegin);
+    const bool ends = has_marker(comment_lines[i], kEnd);
+    if (begins && region_begin != 0) {
+      Report(ctx, ln, "hot-path-alloc",
+             "nested 'hot-path begin' (previous region opened on line " +
+                 std::to_string(region_begin) + " is still open)");
+      continue;
+    }
+    if (ends && region_begin == 0) {
+      Report(ctx, ln, "hot-path-alloc",
+             "'hot-path end' without a matching begin");
+      continue;
+    }
+    if (begins) {
+      region_begin = ln;
+      continue;
+    }
+    if (ends) {
+      region_begin = 0;
+      continue;
+    }
+    if (region_begin == 0) continue;
+
+    const std::string& line = (*ctx.code_lines)[i];
+    const std::string where =
+        " inside a hot-path region (opened line " +
+        std::to_string(region_begin) +
+        "); take scratch from ScratchArena (common/arena.h) or hoist it "
+        "out — zero-alloc contract";
+    for (const char* grower :
+         {"push_back", "emplace_back", "resize", "reserve"}) {
+      if (HasTokenThen(line, grower, '(')) {
+        Report(ctx, ln, "hot-path-alloc",
+               std::string("'") + grower + "' may allocate" + where);
+      }
+    }
+    if (HasToken(line, "make_unique") || HasToken(line, "make_shared")) {
+      Report(ctx, ln, "hot-path-alloc",
+             "make_unique/make_shared allocates" + where);
+    }
+    if (HasToken(line, "new")) {
+      Report(ctx, ln, "hot-path-alloc", "'new' allocates" + where);
+    }
+    // Vector construction: `std::vector<T> name(...)` or
+    // `std::vector<T>(...)`; references and pointers to vectors pass.
+    size_t vpos = 0;
+    while ((vpos = line.find("vector", vpos)) != std::string::npos) {
+      bool left_ok = vpos == 0 || !IsIdentChar(line[vpos - 1]);
+      size_t after = vpos + 6;
+      vpos = after;
+      if (!left_ok || after >= line.size() || line[after] != '<') continue;
+      int depth = 0;
+      size_t p = after;
+      while (p < line.size()) {
+        if (line[p] == '<') ++depth;
+        if (line[p] == '>') {
+          --depth;
+          if (depth == 0) {
+            ++p;
+            break;
+          }
+        }
+        ++p;
+      }
+      while (p < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[p])) != 0) {
+        ++p;
+      }
+      if (p < line.size() &&
+          (IsIdentChar(line[p]) || line[p] == '(' || line[p] == '{')) {
+        Report(ctx, ln, "hot-path-alloc",
+               "vector constructed" + where);
+        break;
+      }
+    }
+  }
+  if (region_begin != 0) {
+    Report(ctx, region_begin, "hot-path-alloc",
+           "unterminated hot-path region: 'hot-path begin' with no "
+           "matching end");
+  }
+}
+
+/// lock-discipline: locking primitives belong to the concurrency layer
+/// (src/common/parallel.cc) and the observability runtime (src/obs/);
+/// anywhere else in src/ they need a documented annotation.
+void CheckLockDiscipline(const RuleContext& ctx) {
+  const std::string& path = ctx.file->relpath;
+  if (!StartsWith(path, "src/")) return;
+  if (path == "src/common/parallel.cc" || StartsWith(path, "src/obs/")) {
+    return;
+  }
+  static const char* kPrimitives[] = {
+      "std::mutex",        "std::recursive_mutex", "std::timed_mutex",
+      "std::shared_mutex", "std::lock_guard",      "std::unique_lock",
+      "std::scoped_lock",  "std::shared_lock",     "std::condition_variable",
+      "pthread_mutex",
+  };
+  for (size_t i = 0; i < ctx.code_lines->size(); ++i) {
+    const std::string& line = (*ctx.code_lines)[i];
+    const int ln = static_cast<int>(i) + 1;
+    for (const char* primitive : kPrimitives) {
+      if (line.find(primitive) != std::string::npos) {
+        Report(ctx, ln, "lock-discipline",
+               std::string(primitive) +
+                   " outside the concurrency layer; coordinate through "
+                   "the deterministic pool (common/parallel.h) or "
+                   "annotate a documented locking site");
+        break;  // one report per line, not one per primitive token
+      }
+    }
+  }
+}
+
+struct FileAnalysis {
+  std::vector<Diagnostic> diags;
+  std::vector<std::pair<int, std::string>> supps;  // line, rule
+};
+
+bool KnownRule(const std::string& rule) {
+  for (const std::string& r : RuleNames()) {
+    if (r == rule) return true;
+  }
+  return false;
+}
+
+/// Runs every per-file pass (lexical + semantic) over one file of the
+/// model. Cycle detection is whole-graph and lives in AnalyzeProject.
+FileAnalysis AnalyzeFile(const ProjectModel& model, const FileModel& file) {
+  FileAnalysis out;
+  std::vector<std::string> raw_lines = SplitRawLines(file.content);
+  std::vector<bool> allow_used(file.allows.size(), false);
+
+  RuleContext ctx;
+  ctx.model = &model;
+  ctx.file = &file;
+  ctx.code_lines = &file.code_lines;
+  ctx.raw_lines = &raw_lines;
+  ctx.diags = &out.diags;
+  ctx.allow_used = &allow_used;
+
+  CheckRawRng(ctx);
+  CheckWallClock(ctx);
+  CheckRawThread(ctx);
+  CheckStdioOutput(ctx);
+  CheckUnorderedIteration(ctx, model.unordered_names);
+  CheckRawPersistWrite(ctx);
+  CheckMetricNaming(ctx);
+  CheckSpanEventNaming(ctx);
+  CheckSimdIntrinsicIsolation(ctx);
+  CheckHeaderGuard(ctx);
+  CheckIncludeOrder(ctx);
+  CheckLayering(ctx);
+  CheckUncheckedStatus(ctx);
+  CheckHotPathAlloc(ctx, file.comment_lines);
+  CheckLockDiscipline(ctx);
+
+  // Stale-suppression audit: every annotation must have earned its
+  // keep this run. Reported through Report() so a deliberate
+  // allow(stale-suppression) can gate it like any other rule.
+  for (size_t i = 0; i < file.allows.size(); ++i) {
+    if (allow_used[i]) continue;
+    const auto& [line, rule] = file.allows[i];
+    if (!KnownRule(rule)) {
+      Report(ctx, line, "stale-suppression",
+             "suppression names unknown rule '" + rule +
+                 "' (see hlm_lint --list-rules)");
+    } else {
+      Report(ctx, line, "stale-suppression",
+             "suppression 'allow(" + rule +
+                 ")' matches no finding on this or the next line; "
+                 "delete it");
+    }
+  }
+
+  for (const auto& allow : file.allows) out.supps.push_back(allow);
+
+  std::stable_sort(out.diags.begin(), out.diags.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return a.line < b.line;
+                   });
+  return out;
+}
+
+/// Resolves an include target to a model file index ("models/lda.h" ->
+/// src/models/lda.h; "tools/lint.h" -> tools/lint.h), or npos.
+size_t ResolveInclude(const ProjectModel& model,
+                      const std::string& include_path) {
+  auto it = model.file_index.find("src/" + include_path);
+  if (it != model.file_index.end()) return it->second;
+  it = model.file_index.find(include_path);
+  if (it != model.file_index.end()) return it->second;
+  return static_cast<size_t>(-1);
+}
+
+/// Whole-graph pass: file-level include cycles (Tarjan SCC). A cycle is
+/// always an error and never suppressible — there is no single line
+/// that owns it.
+void CheckIncludeCycles(const ProjectModel& model,
+                        std::vector<Diagnostic>* diags) {
+  const size_t n = model.files.size();
+  std::vector<std::vector<size_t>> adj(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (const auto& [line, inc] : model.files[i].quoted_includes) {
+      size_t target = ResolveInclude(model, inc);
+      if (target != static_cast<size_t>(-1)) adj[i].push_back(target);
+    }
+  }
+
+  // Iterative Tarjan.
+  std::vector<int> index(n, -1), lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<size_t> stack;
+  int next_index = 0;
+  std::vector<std::vector<size_t>> sccs;
+  struct Frame {
+    size_t v;
+    size_t child = 0;
+  };
+  for (size_t root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    std::vector<Frame> frames{{root}};
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      if (frame.child < adj[frame.v].size()) {
+        size_t w = adj[frame.v][frame.child++];
+        if (index[w] == -1) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back(Frame{w});
+        } else if (on_stack[w]) {
+          lowlink[frame.v] = std::min(lowlink[frame.v], index[w]);
+        }
+      } else {
+        if (lowlink[frame.v] == index[frame.v]) {
+          std::vector<size_t> scc;
+          while (true) {
+            size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc.push_back(w);
+            if (w == frame.v) break;
+          }
+          if (scc.size() > 1) sccs.push_back(std::move(scc));
+        }
+        size_t v = frame.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[frames.back().v] =
+              std::min(lowlink[frames.back().v], lowlink[v]);
+        }
+      }
+    }
+  }
+  // Self-includes are their own (size-1) cycle.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t w : adj[i]) {
+      if (w == i) sccs.push_back({i});
+    }
+  }
+
+  for (std::vector<size_t>& scc : sccs) {
+    std::sort(scc.begin(), scc.end(), [&](size_t a, size_t b) {
+      return model.files[a].relpath < model.files[b].relpath;
+    });
+    std::string cycle;
+    for (size_t member : scc) {
+      cycle += model.files[member].relpath;
+      cycle += " -> ";
+    }
+    cycle += model.files[scc[0]].relpath;
+    // Anchor at the first member's include of another member.
+    const FileModel& anchor = model.files[scc[0]];
+    int line = 1;
+    for (const auto& [inc_line, inc] : anchor.quoted_includes) {
+      size_t target = ResolveInclude(model, inc);
+      if (std::find(scc.begin(), scc.end(), target) != scc.end()) {
+        line = inc_line;
+        break;
+      }
+    }
+    diags->push_back(Diagnostic{
+        anchor.relpath, line, "layering",
+        "include cycle: " + cycle + "; cycles are never allowed",
+        Severity::kError});
+  }
+}
+
+uint64_t FileCacheKey(const ProjectModel& model, const FileModel& file) {
+  std::ostringstream key;
+  key << kAnalyzerVersion << '\n'
+      << file.relpath << '\n'
+      << std::hex << file.content_hash << '\n'
+      << model.global_context_hash << '\n';
+  // Direct includes' content hashes: editing a header re-lints every
+  // direct includer (the layering dependents).
+  for (const auto& [line, inc] : file.quoted_includes) {
+    size_t target = ResolveInclude(model, inc);
+    key << inc << '=';
+    if (target != static_cast<size_t>(-1)) {
+      key << std::hex << model.files[target].content_hash;
+    } else {
+      key << '0';
+    }
+    key << '\n';
+  }
+  return LintHash64(key.str());
+}
+
+struct CacheEntry {
+  uint64_t key = 0;
+  std::vector<Diagnostic> diags;
+  std::vector<std::pair<int, std::string>> supps;
+};
+
+std::map<std::string, CacheEntry> LoadCache(const std::string& path) {
+  std::map<std::string, CacheEntry> cache;
+  std::ifstream in(path);
+  if (!in) return cache;
+  std::string line;
+  if (!std::getline(in, line) || line != "hlm-lint-cache 1") return cache;
+  std::string current_file;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "file") {
+      std::string relpath, key_hex;
+      fields >> relpath >> key_hex;
+      if (relpath.empty() || key_hex.empty()) return {};
+      current_file = relpath;
+      cache[current_file].key = std::stoull(key_hex, nullptr, 16);
+    } else if (tag == "d" && !current_file.empty()) {
+      Diagnostic d;
+      std::string sev;
+      fields >> d.line >> sev >> d.rule;
+      std::getline(fields, d.message);
+      if (!d.message.empty() && d.message[0] == ' ') d.message.erase(0, 1);
+      d.file = current_file;
+      d.severity = sev == "W" ? Severity::kWarning : Severity::kError;
+      cache[current_file].diags.push_back(std::move(d));
+    } else if (tag == "s" && !current_file.empty()) {
+      int supp_line = 0;
+      std::string rule;
+      fields >> supp_line >> rule;
+      cache[current_file].supps.emplace_back(supp_line, rule);
+    } else if (!tag.empty()) {
+      return {};  // unknown record: treat the whole cache as cold
+    }
+  }
+  return cache;
+}
+
+void SaveCache(const std::string& path,
+               const std::map<std::string, CacheEntry>& cache) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return;  // caching is best-effort; the run already succeeded
+  out << "hlm-lint-cache 1\n";
+  for (const auto& [relpath, entry] : cache) {
+    out << "file " << relpath << ' ' << std::hex << entry.key << std::dec
+        << ' ' << entry.diags.size() << ' ' << entry.supps.size() << '\n';
+    for (const Diagnostic& d : entry.diags) {
+      out << "d " << d.line << ' '
+          << (d.severity == Severity::kWarning ? 'W' : 'E') << ' ' << d.rule
+          << ' ' << d.message << '\n';
+    }
+    for (const auto& [line, rule] : entry.supps) {
+      out << "s " << line << ' ' << rule << '\n';
+    }
+  }
+}
+
+std::string EscapeJson(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+const char* SeverityName(Severity severity) {
+  return severity == Severity::kWarning ? "warning" : "error";
+}
+
+/// Collects Status/Result-returning function names declared in `lines`
+/// (the stripped code of one src/ file).
+void CollectStatusFunctions(const std::vector<std::string>& lines,
+                            std::set<std::string>* out) {
+  for (const std::string& line : lines) {
+    if (line.find("#define") != std::string::npos) continue;
+    for (const char* marker : {"Status", "Result"}) {
+      const bool is_result = marker[0] == 'R';
+      size_t pos = 0;
+      while ((pos = line.find(marker, pos)) != std::string::npos) {
+        size_t start = pos;
+        pos += std::string(marker).size();
+        bool left_ok = start == 0 || (!IsIdentChar(line[start - 1]) &&
+                                      line[start - 1] != '<');
+        if (!left_ok || (pos < line.size() && IsIdentChar(line[pos]))) {
+          continue;
+        }
+        size_t p = pos;
+        if (is_result) {
+          // Result must be a template instantiation: Result<...>.
+          if (p >= line.size() || line[p] != '<') continue;
+          int depth = 0;
+          while (p < line.size()) {
+            if (line[p] == '<') ++depth;
+            if (line[p] == '>') {
+              --depth;
+              if (depth == 0) {
+                ++p;
+                break;
+              }
+            }
+            ++p;
+          }
+          if (depth != 0) continue;  // template args span lines: skip
+        }
+        while (p < line.size() && (line[p] == ' ' || line[p] == '&')) ++p;
+        // Qualified declarator: Name or Class::Name; index the last
+        // component.
+        std::string name;
+        while (p < line.size()) {
+          if (IsIdentChar(line[p])) {
+            name.push_back(line[p]);
+            ++p;
+          } else if (line[p] == ':' && p + 1 < line.size() &&
+                     line[p + 1] == ':') {
+            name.clear();
+            p += 2;
+          } else {
+            break;
+          }
+        }
+        if (name.empty() || name == "operator") continue;
+        if (p < line.size() && line[p] == '(') out->insert(name);
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<std::string> RuleNames() {
-  return {"no-raw-rng",      "no-wall-clock",  "no-raw-thread",
-          "no-stdio-output", "unordered-iter", "header-guard",
-          "include-order",   "no-raw-persist-write", "metric-naming",
-          "span-event-naming", "simd-intrinsic-isolation"};
+  return {"no-raw-rng",
+          "no-wall-clock",
+          "no-raw-thread",
+          "no-stdio-output",
+          "unordered-iter",
+          "header-guard",
+          "include-order",
+          "no-raw-persist-write",
+          "metric-naming",
+          "span-event-naming",
+          "simd-intrinsic-isolation",
+          "layering",
+          "unchecked-status",
+          "hot-path-alloc",
+          "lock-discipline",
+          "stale-suppression"};
+}
+
+Severity RuleSeverity(const std::string& rule) {
+  return rule == "stale-suppression" ? Severity::kWarning : Severity::kError;
+}
+
+const std::vector<std::vector<std::string>>& LayerGroups() {
+  static const std::vector<std::vector<std::string>> kGroups = {
+      {"common"},
+      {"obs"},
+      {"math"},
+      {"corpus", "models", "repr", "cluster"},
+      {"recsys", "app"},
+      {"serve"},
+  };
+  return kGroups;
+}
+
+int LayerRankOfPath(const std::string& relpath) {
+  if (!StartsWith(relpath, "src/")) return -1;
+  return LayerRankOfInclude(relpath.substr(4));
+}
+
+uint64_t LintHash64(const std::string& bytes) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
 }
 
 std::set<std::string> CollectUnorderedNames(const std::string& content) {
   std::set<std::string> names;
   // Flatten so declarations spanning lines still parse.
-  std::vector<std::string> lines = StripCodeLines(content);
+  StrippedSource stripped = StripSource(content);
   std::string flat;
-  for (const std::string& line : lines) {
+  for (const std::string& line : stripped.code_lines) {
     flat += line;
     flat += '\n';
   }
@@ -728,44 +1486,255 @@ std::set<std::string> CollectUnorderedNames(const std::string& content) {
   return names;
 }
 
+ProjectModel BuildProjectModel(std::vector<SourceFile> files) {
+  ProjectModel model;
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.relpath < b.relpath;
+            });
+  model.files.reserve(files.size());
+  for (SourceFile& file : files) {
+    FileModel fm;
+    fm.relpath = std::move(file.relpath);
+    fm.content = std::move(file.content);
+    fm.content_hash = LintHash64(fm.content);
+    fm.layer = LayerRankOfPath(fm.relpath);
+    StrippedSource stripped = StripSource(fm.content);
+    fm.code_lines = std::move(stripped.code_lines);
+    fm.comment_lines = std::move(stripped.comment_lines);
+    fm.allows = CollectAllows(fm.comment_lines);
+
+    // Quoted includes: directive detected on the stripped line (so a
+    // commented-out include never counts), target read from the raw
+    // line (the lexer blanks the quoted path as a string literal).
+    std::vector<std::string> raw_lines = SplitRawLines(fm.content);
+    for (size_t i = 0; i < fm.code_lines.size() && i < raw_lines.size();
+         ++i) {
+      const std::string& code = fm.code_lines[i];
+      size_t pos = code.find("#include");
+      if (pos == std::string::npos || code.find_first_not_of(" \t") != pos) {
+        continue;
+      }
+      const std::string& raw = raw_lines[i];
+      size_t raw_pos = raw.find("#include");
+      if (raw_pos == std::string::npos) continue;
+      size_t open = raw.find('"', raw_pos + 8);
+      size_t angle = raw.find('<', raw_pos + 8);
+      if (open == std::string::npos ||
+          (angle != std::string::npos && angle < open)) {
+        continue;  // angle include: never a repo file
+      }
+      size_t close = raw.find('"', open + 1);
+      if (close == std::string::npos) continue;
+      fm.quoted_includes.emplace_back(
+          static_cast<int>(i) + 1, raw.substr(open + 1, close - open - 1));
+    }
+
+    // Cross-file indices. Unordered names come from every scanned file
+    // (tests iterate header-declared members too); the Status/Result
+    // signature index comes from src/ only — the unchecked-status rule
+    // binds library code, and src-only indexing keeps test helpers
+    // from polluting it.
+    std::set<std::string> names = CollectUnorderedNames(fm.content);
+    model.unordered_names.insert(names.begin(), names.end());
+    if (StartsWith(fm.relpath, "src/")) {
+      CollectStatusFunctions(fm.code_lines, &model.status_functions);
+    }
+    model.files.push_back(std::move(fm));
+  }
+  for (size_t i = 0; i < model.files.size(); ++i) {
+    model.file_index[model.files[i].relpath] = i;
+  }
+
+  std::ostringstream context;
+  context << kAnalyzerVersion << '\n';
+  for (const auto& group : LayerGroups()) {
+    for (const std::string& member : group) context << member << ' ';
+    context << '\n';
+  }
+  context << "unordered:\n";
+  for (const std::string& name : model.unordered_names) {
+    context << name << '\n';
+  }
+  context << "status:\n";
+  for (const std::string& name : model.status_functions) {
+    context << name << '\n';
+  }
+  model.global_context_hash = LintHash64(context.str());
+  return model;
+}
+
+AnalysisResult AnalyzeProject(const ProjectModel& model,
+                              const AnalysisOptions& options) {
+  AnalysisResult result;
+  std::map<std::string, CacheEntry> cache;
+  if (!options.cache_path.empty()) cache = LoadCache(options.cache_path);
+
+  std::map<std::string, CacheEntry> next_cache;
+  for (const FileModel& file : model.files) {
+    const uint64_t key = FileCacheKey(model, file);
+    auto it = cache.find(file.relpath);
+    if (it != cache.end() && it->second.key == key) {
+      ++result.files_from_cache;
+      next_cache[file.relpath] = it->second;
+    } else {
+      ++result.files_analyzed;
+      FileAnalysis analysis = AnalyzeFile(model, file);
+      CacheEntry entry;
+      entry.key = key;
+      entry.diags = std::move(analysis.diags);
+      entry.supps = std::move(analysis.supps);
+      next_cache[file.relpath] = std::move(entry);
+    }
+    const CacheEntry& entry = next_cache[file.relpath];
+    result.diagnostics.insert(result.diagnostics.end(), entry.diags.begin(),
+                              entry.diags.end());
+    for (const auto& [line, rule] : entry.supps) {
+      result.suppressions.push_back(Suppression{file.relpath, line, rule});
+    }
+  }
+
+  // Graph-level pass runs fresh every time: a cycle has no owning file,
+  // so it can never be served from a per-file cache.
+  CheckIncludeCycles(model, &result.diagnostics);
+
+  std::stable_sort(result.diagnostics.begin(), result.diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+  if (!options.cache_path.empty()) {
+    SaveCache(options.cache_path, next_cache);
+  }
+  return result;
+}
+
 std::vector<Diagnostic> LintContent(
     const std::string& relpath, const std::string& content,
     const std::set<std::string>& extra_unordered_names) {
-  std::vector<Diagnostic> diags;
-  std::vector<std::string> code_lines = StripCodeLines(content);
-  std::vector<std::string> raw_lines = SplitRawLines(content);
-  RuleContext ctx;
-  ctx.relpath = &relpath;
-  ctx.code_lines = &code_lines;
-  ctx.raw_lines = &raw_lines;
-  ctx.diags = &diags;
-
-  CheckRawRng(ctx);
-  CheckWallClock(ctx);
-  CheckRawThread(ctx);
-  CheckStdioOutput(ctx);
-  std::set<std::string> unordered_names = CollectUnorderedNames(content);
-  unordered_names.insert(extra_unordered_names.begin(),
-                         extra_unordered_names.end());
-  CheckUnorderedIteration(ctx, unordered_names);
-  CheckRawPersistWrite(ctx);
-  CheckMetricNaming(ctx);
-  CheckSpanEventNaming(ctx);
-  CheckSimdIntrinsicIsolation(ctx);
-  CheckHeaderGuard(ctx);
-  CheckIncludeOrder(ctx);
-
-  std::stable_sort(diags.begin(), diags.end(),
-                   [](const Diagnostic& a, const Diagnostic& b) {
-                     return a.line < b.line;
-                   });
-  return diags;
+  ProjectModel model = BuildProjectModel({{relpath, content}});
+  model.unordered_names.insert(extra_unordered_names.begin(),
+                               extra_unordered_names.end());
+  FileAnalysis analysis = AnalyzeFile(model, model.files[0]);
+  return std::move(analysis.diags);
 }
 
 std::string FormatDiagnostic(const Diagnostic& diag) {
   std::ostringstream out;
   out << diag.file << ":" << diag.line << ": " << diag.rule << ": "
       << diag.message;
+  return out.str();
+}
+
+std::string RenderJson(const AnalysisResult& result) {
+  std::ostringstream out;
+  out << "{\n  \"findings\": [";
+  for (size_t i = 0; i < result.diagnostics.size(); ++i) {
+    const Diagnostic& d = result.diagnostics[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"file\": \"" << EscapeJson(d.file) << "\", \"line\": "
+        << d.line << ", \"rule\": \"" << EscapeJson(d.rule)
+        << "\", \"severity\": \"" << SeverityName(d.severity)
+        << "\", \"message\": \"" << EscapeJson(d.message) << "\"}";
+  }
+  out << (result.diagnostics.empty() ? "" : "\n  ") << "],\n";
+  out << "  \"summary\": {\"files\": "
+      << (result.files_analyzed + result.files_from_cache)
+      << ", \"analyzed\": " << result.files_analyzed
+      << ", \"from_cache\": " << result.files_from_cache
+      << ", \"findings\": " << result.diagnostics.size()
+      << ", \"suppressions\": " << result.suppressions.size() << "}\n}\n";
+  return out.str();
+}
+
+std::string RenderSarif(const AnalysisResult& result) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n"
+      << "          \"name\": \"hlm_lint\",\n"
+      << "          \"version\": \"2.0.0\",\n"
+      << "          \"informationUri\": "
+         "\"https://example.invalid/hlm/tools/lint\",\n"
+      << "          \"rules\": [";
+  const std::vector<std::string> rules = RuleNames();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n");
+    out << "            {\"id\": \"" << rules[i] << "\"}";
+  }
+  out << "\n          ]\n        }\n      },\n      \"results\": [";
+  for (size_t i = 0; i < result.diagnostics.size(); ++i) {
+    const Diagnostic& d = result.diagnostics[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "        {\n"
+        << "          \"ruleId\": \"" << EscapeJson(d.rule) << "\",\n"
+        << "          \"level\": \"" << SeverityName(d.severity) << "\",\n"
+        << "          \"message\": {\"text\": \"" << EscapeJson(d.message)
+        << "\"},\n"
+        << "          \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \""
+        << EscapeJson(d.file) << "\"}, \"region\": {\"startLine\": "
+        << d.line << "}}}]\n        }";
+  }
+  out << (result.diagnostics.empty() ? "" : "\n      ")
+      << "]\n    }\n  ]\n}\n";
+  return out.str();
+}
+
+std::string RenderDepsDot(const ProjectModel& model) {
+  // Aggregate file-level include edges to layer-directory granularity.
+  // Annotated back-edges (an allow(layering) at the include site)
+  // render dashed: they are declared debt, listed in tools/layers.txt.
+  std::set<std::pair<std::string, std::string>> solid;
+  std::set<std::pair<std::string, std::string>> dashed;
+  for (const FileModel& file : model.files) {
+    if (file.layer < 0 || !StartsWith(file.relpath, "src/")) continue;
+    const std::string from_dir =
+        file.relpath.substr(4, file.relpath.find('/', 4) - 4);
+    for (const auto& [line, inc] : file.quoted_includes) {
+      const int target_rank = LayerRankOfInclude(inc);
+      if (target_rank < 0) continue;
+      const std::string to_dir = inc.substr(0, inc.find('/'));
+      if (to_dir == from_dir) continue;
+      bool annotated = false;
+      for (const auto& [allow_line, rule] : file.allows) {
+        if (rule == "layering" &&
+            (allow_line == line || allow_line == line - 1)) {
+          annotated = true;
+          break;
+        }
+      }
+      if (annotated && target_rank > file.layer) {
+        dashed.insert({from_dir, to_dir});
+      } else {
+        solid.insert({from_dir, to_dir});
+      }
+    }
+  }
+  std::ostringstream out;
+  out << "// hlm layer dependency graph (generated by hlm_lint).\n"
+      << "// Solid edges must point at the same or a lower layer of\n"
+      << "// " << LayerChainString() << ";\n"
+      << "// dashed edges are annotated exemptions declared in "
+         "tools/layers.txt.\n"
+      << "digraph hlm_layers {\n  rankdir=BT;\n";
+  for (const auto& group : LayerGroups()) {
+    out << "  { rank=same;";
+    for (const std::string& member : group) {
+      out << " \"" << member << "\";";
+    }
+    out << " }\n";
+  }
+  for (const auto& [from, to] : solid) {
+    out << "  \"" << from << "\" -> \"" << to << "\";\n";
+  }
+  for (const auto& [from, to] : dashed) {
+    out << "  \"" << from << "\" -> \"" << to
+        << "\" [style=dashed, label=\"annotated\"];\n";
+  }
+  out << "}\n";
   return out.str();
 }
 
