@@ -17,7 +17,11 @@ REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
 
 CLEANUP_PATHS=()
+SERVE_PID=""
 cleanup() {
+  if [ -n "$SERVE_PID" ]; then
+    kill "$SERVE_PID" 2>/dev/null || true
+  fi
   if [ "${#CLEANUP_PATHS[@]}" -gt 0 ]; then
     rm -rf "${CLEANUP_PATHS[@]}"
   fi
@@ -238,16 +242,73 @@ if "$BUILD_DIR/tools/hlm_snapshot" verify \
 fi
 echo "ok: save/verify/load + corruption detection"
 
+echo "== tier1: serve stage (hlm_serve + hlm_loadgen + hot reload) =="
+# End-to-end serving path: snapshot a model set, boot hlm_serve on an
+# ephemeral port, hammer it closed-loop while republishing the manifest
+# three times (each touch is one hot-swapped generation), and require
+# zero failed requests, monotone generations, at least 3 distinct
+# generations observed, and >= 5k QPS sustained through the swaps.
+SERVE_DIR="$(mktemp -d /tmp/hlm_tier1_serve.XXXXXX)"
+CLEANUP_PATHS+=("$SERVE_DIR")
+"$BUILD_DIR/tools/hlm_snapshot" save --dir "$SERVE_DIR" \
+  --companies 120 >/dev/null
+"$BUILD_DIR/tools/hlm_serve" --manifest "$SERVE_DIR/manifest.txt" \
+  --port 0 --port_file "$SERVE_DIR/port" --poll_interval_ms 25 \
+  > "$SERVE_DIR/server.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$SERVE_DIR/port" ] && break
+  sleep 0.1
+done
+if [ ! -s "$SERVE_DIR/port" ]; then
+  echo "hlm_serve never published its port; log:" >&2
+  cat "$SERVE_DIR/server.log" >&2
+  exit 1
+fi
+SERVE_PORT="$(cat "$SERVE_DIR/port")"
+( for _ in 1 2 3; do
+    sleep 0.6
+    touch "$SERVE_DIR/manifest.txt"
+  done ) &
+PUBLISHER_PID=$!
+"$BUILD_DIR/tools/hlm_loadgen" --port "$SERVE_PORT" --mode closed \
+  --connections 4 --duration_s 3 --min_qps 5000 \
+  --check_generations --expect_min_generations 3
+wait "$PUBLISHER_PID"
+# Live /statusz through the server (loadgen once-mode keeps this
+# curl-free) must render the standard banner and the serve metrics.
+STATUSZ_BODY="$("$BUILD_DIR/tools/hlm_loadgen" --port "$SERVE_PORT" \
+  --mode once --path /statusz)"
+for needle in "==== hlm statusz ====" "hlm.serve.http.requests_total" \
+    "hlm.serve.server.reloads_total"; do
+  case "$STATUSZ_BODY" in
+    *"$needle"*) ;;
+    *) echo "live /statusz missing: $needle" >&2; exit 1 ;;
+  esac
+done
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_PID=""
+echo "ok: hot reloads under load, zero failures, live statusz renders"
+
+echo "== tier1: bench regression check (serve suite) =="
+"$BUILD_DIR/tools/hlm_bench" --suite serve --out none --check \
+  --baseline "$REPO_ROOT/bench/baselines/serve.json" \
+  --walltime_tolerance 3.0 --walltime_slack 0.25
+
 echo "== tier1: thread-sanitizer stage =="
 if sanitizer_usable thread; then
-  echo "== tier1: tsan build (parallel_test + obs_test) =="
+  echo "== tier1: tsan build (parallel_test + obs_test + server_test) =="
   TSAN_BUILD_DIR="$BUILD_DIR-tsan"
   cmake -B "$TSAN_BUILD_DIR" -S "$REPO_ROOT" -DHLM_SANITIZE=thread >/dev/null
   cmake --build "$TSAN_BUILD_DIR" -j "$(nproc)" \
-    --target parallel_test obs_test
+    --target parallel_test obs_test server_test
   echo "== tier1: tsan run =="
   "$TSAN_BUILD_DIR/tests/parallel_test"
   "$TSAN_BUILD_DIR/tests/obs_test"
+  # The hot-reload race test under TSan certifies the atomic
+  # snapshot-swap protocol (DESIGN.md "Serving").
+  "$TSAN_BUILD_DIR/tests/server_test"
 else
   echo "toolchain cannot build/run -fsanitize=thread; skipping tsan stage"
 fi

@@ -1,15 +1,52 @@
 #include "common/atomic_file.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <utility>
 
 namespace hlm {
 
+namespace {
+
+// Process-wide temp-file ordinal. The pid alone is not enough: two
+// writers in the same process targeting the same path would share a
+// temp file and clobber each other mid-write.
+std::atomic<unsigned long long> g_temp_ordinal{0};
+
+/// fsyncs `path` (a file or its parent directory) through a fresh
+/// read-only descriptor. Filesystems that cannot sync the handle
+/// (EINVAL / ENOTSUP, e.g. some virtual filesystems) count as success:
+/// the durability contract is best-effort where the OS offers nothing
+/// stronger, and failing the write there would break working setups.
+bool SyncPath(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  bool ok = ::fsync(fd) == 0 || errno == EINVAL || errno == ENOTSUP;
+  ::close(fd);
+  return ok;
+}
+
+/// Directory component of `path` ("." when there is none), for the
+/// post-rename directory sync that makes the new directory entry itself
+/// durable.
+std::string ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
 AtomicFileWriter::AtomicFileWriter(std::string path)
     : path_(std::move(path)),
-      temp_path_(path_ + ".tmp." + std::to_string(::getpid())) {
+      temp_path_(path_ + ".tmp." + std::to_string(::getpid()) + "." +
+                 std::to_string(g_temp_ordinal.fetch_add(
+                     1, std::memory_order_relaxed))) {
   // The one legitimate direct-open site: every other persistence write
   // in the library funnels through this class (atomic_file.{h,cc} is
   // exempt from no-raw-persist-write by path).
@@ -39,9 +76,23 @@ Status AtomicFileWriter::Commit() {
     std::remove(temp_path_.c_str());
     return Status::DataLoss("short write: " + temp_path_);
   }
+  // Durability contract (DESIGN.md §11): sync the temp file's bytes to
+  // stable storage BEFORE the rename, so a power loss right after the
+  // rename can never leave the destination pointing at unwritten data.
+  if (!SyncPath(temp_path_)) {
+    std::remove(temp_path_.c_str());
+    return Status::Internal("cannot fsync temp file: " + temp_path_);
+  }
   if (std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
     std::remove(temp_path_.c_str());
     return Status::Internal("cannot rename " + temp_path_ + " -> " + path_);
+  }
+  // ...and sync the parent directory AFTER the rename, so the new
+  // directory entry survives power loss too. The data is already safe
+  // at this point; a directory-sync failure still fails the commit so
+  // callers never believe an unsynced publish was durable.
+  if (!SyncPath(ParentDir(path_))) {
+    return Status::Internal("cannot fsync parent directory of " + path_);
   }
   return Status::OK();
 }

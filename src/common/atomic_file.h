@@ -10,12 +10,16 @@
 namespace hlm {
 
 /// Crash-safe replacement for `std::ofstream out(path)` on persistence
-/// paths. All bytes go to a sibling temp file `<path>.tmp.<pid>`;
-/// Commit() flushes and `std::rename`s it over the destination, which is
-/// atomic on POSIX filesystems. Any failure — open error, short write,
-/// process death before Commit — leaves a previous snapshot at `path`
-/// untouched; the destructor removes the temp file when Commit never
-/// ran (or failed).
+/// paths. All bytes go to a sibling temp file
+/// `<path>.tmp.<pid>.<ordinal>` (the process-wide ordinal keeps
+/// concurrent same-process writers to one path from clobbering each
+/// other's temp file); Commit() flushes, fsyncs the temp file,
+/// `std::rename`s it over the destination — atomic on POSIX
+/// filesystems — and then fsyncs the parent directory, so a committed
+/// write is both rename-atomic and power-loss durable (DESIGN.md §11).
+/// Any failure — open error, short write, failed sync, process death
+/// before Commit — leaves a previous snapshot at `path` untouched; the
+/// destructor removes the temp file when Commit never ran (or failed).
 ///
 /// Usage:
 ///   AtomicFileWriter writer(path);

@@ -8,9 +8,11 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 // Declared exemption (tools/layers.txt): the deterministic pool reports
 // scheduler telemetry straight into the obs registry. Inverting this
 // through a hook would hide the pool's only upward edge rather than
@@ -32,10 +34,13 @@ thread_local bool tls_inside_region = false;
 
 int ResolveDefaultThreads() {
   if (const char* env = std::getenv("HLM_THREADS")) {
-    int parsed = std::atoi(env);
-    if (parsed > 0) return parsed;
     if (*env != '\0') {
-      HLM_LOG(Warning) << "ignoring invalid HLM_THREADS value: " << env;
+      Result<int> parsed = ParseThreadCount(env);
+      if (parsed.ok()) return parsed.value();
+      // Same policy as HLM_SIMD (simd::InitFromEnv): warn and fall back
+      // to the hardware default rather than abort or silently truncate.
+      HLM_LOG(Warning) << "ignoring invalid HLM_THREADS value '" << env
+                       << "': " << parsed.status().message();
     }
   }
   unsigned hw = std::thread::hardware_concurrency();
@@ -101,6 +106,20 @@ struct Region {
 };
 
 }  // namespace
+
+Result<int> ParseThreadCount(std::string_view value) {
+  Result<long long> parsed = ParseInt64(value);
+  if (!parsed.ok()) return parsed.status();
+  if (parsed.value() <= 0) {
+    return Status::InvalidArgument("thread count must be positive: " +
+                                   std::string(value));
+  }
+  if (parsed.value() > 4096) {
+    return Status::InvalidArgument("thread count out of range: " +
+                                   std::string(value));
+  }
+  return static_cast<int>(parsed.value());
+}
 
 int NumThreads() {
   GlobalPoolState& state = PoolState();

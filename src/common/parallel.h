@@ -3,9 +3,12 @@
 
 #include <cstddef>
 #include <functional>
+#include <string_view>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/status.h"
 
 namespace hlm {
 
@@ -24,6 +27,13 @@ namespace hlm {
 /// std::thread::hardware_concurrency(). Always >= 1 (the value counts
 /// the calling thread; 1 means fully serial).
 int NumThreads();
+
+/// Strict parse of a thread-count spec (the HLM_THREADS value): the
+/// whole string must be a positive integer — "4x" and "abc" are
+/// InvalidArgument, never a silent 4 or 0. Mirrors the HLM_SIMD policy:
+/// the env resolver logs a warning on garbage and falls back to the
+/// hardware default instead of aborting.
+Result<int> ParseThreadCount(std::string_view value);
 
 /// Overrides the global thread count; 0 restores the env/hardware
 /// default. If the pool is already running at a different size it is

@@ -1,0 +1,139 @@
+#include "serve/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace hlm::serve {
+
+namespace {
+
+Status TransportError(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<HttpClient> HttpClient::Connect(const std::string& host, int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return TransportError("socket");
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("not a dotted-quad address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return TransportError("connect " + host + ":" + std::to_string(port));
+  }
+  int nodelay = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+  return HttpClient(fd);
+}
+
+HttpClient::~HttpClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+HttpClient::HttpClient(HttpClient&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<HttpResponse> HttpClient::Get(const std::string& path) {
+  if (fd_ < 0) return Status::FailedPrecondition("connection closed");
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: hlm\r\n"
+                              "Connection: keep-alive\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd_, request.data() + sent, request.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) return TransportError("send");
+    sent += static_cast<size_t>(n);
+  }
+
+  // Read up to the end of the header block.
+  size_t head_end;
+  while ((head_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return TransportError("recv (headers)");
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+  const std::string head = buffer_.substr(0, head_end);
+  buffer_.erase(0, head_end + 4);
+
+  HttpResponse response;
+  long long content_length = -1;
+  {
+    size_t line_end = head.find("\r\n");
+    const std::string status_line =
+        head.substr(0, line_end == std::string::npos ? head.size()
+                                                     : line_end);
+    // "HTTP/1.1 200 OK" — the code is the second token.
+    std::vector<std::string> parts = Split(status_line, ' ');
+    if (parts.size() < 2) {
+      return Status::DataLoss("malformed status line: " + status_line);
+    }
+    HLM_ASSIGN_OR_RETURN(long long code, ParseInt64(parts[1]));
+    response.status_code = static_cast<int>(code);
+    size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+    while (pos < head.size()) {
+      size_t next = head.find("\r\n", pos);
+      if (next == std::string::npos) next = head.size();
+      std::string header = head.substr(pos, next - pos);
+      pos = next + 2;
+      std::string lower;
+      lower.reserve(header.size());
+      for (char c : header) {
+        lower.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c + 32)
+                                             : c);
+      }
+      constexpr char kContentLength[] = "content-length:";
+      if (lower.rfind(kContentLength, 0) == 0) {
+        HLM_ASSIGN_OR_RETURN(
+            content_length,
+            ParseInt64(Trim(header.substr(sizeof(kContentLength) - 1))));
+      }
+    }
+  }
+  if (content_length < 0) {
+    return Status::DataLoss("response without Content-Length");
+  }
+  while (buffer_.size() < static_cast<size_t>(content_length)) {
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return TransportError("recv (body)");
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+  response.body = buffer_.substr(0, static_cast<size_t>(content_length));
+  buffer_.erase(0, static_cast<size_t>(content_length));
+  return response;
+}
+
+}  // namespace hlm::serve

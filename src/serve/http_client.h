@@ -1,0 +1,48 @@
+#ifndef HLM_SERVE_HTTP_CLIENT_H_
+#define HLM_SERVE_HTTP_CLIENT_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace hlm::serve {
+
+/// One parsed HTTP response.
+struct HttpResponse {
+  int status_code = 0;
+  std::string body;
+};
+
+/// Minimal blocking HTTP/1.1 client over one keep-alive connection —
+/// exactly what hlm_loadgen, the serve bench suite, and the server
+/// tests need to drive Server without an external dependency. Not a
+/// general client: GET only, Content-Length responses only (which is
+/// all Server emits).
+class HttpClient {
+ public:
+  /// Opens a TCP connection to host:port (host is a dotted-quad
+  /// address, e.g. "127.0.0.1").
+  static Result<HttpClient> Connect(const std::string& host, int port);
+
+  ~HttpClient();
+
+  HttpClient(HttpClient&& other) noexcept;
+  HttpClient& operator=(HttpClient&& other) noexcept;
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Issues one GET on the persistent connection and reads the full
+  /// response. Any transport or parse failure poisons the connection
+  /// (callers reconnect).
+  Result<HttpResponse> Get(const std::string& path);
+
+ private:
+  explicit HttpClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buffer_;  // bytes read past the previous response
+};
+
+}  // namespace hlm::serve
+
+#endif  // HLM_SERVE_HTTP_CLIENT_H_

@@ -9,6 +9,7 @@
 #include "common/atomic_file.h"
 #include "common/logging.h"
 #include "common/snapshot.h"
+#include "common/string_util.h"
 #include "obs/errors.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
@@ -106,27 +107,48 @@ Result<ModelRegistry> ModelRegistry::FromManifest(
     return obs::TrackError(
         "serve", Status::NotFound("cannot open manifest: " + manifest_path));
   }
-  std::string magic;
-  int version = 0;
-  in >> magic >> version;
-  if (magic != kManifestMagic || version != kManifestVersion) {
-    return obs::TrackError(
-        "serve", Status::DataLoss("not an hlm-registry v" +
-                                  std::to_string(kManifestVersion) +
-                                  " manifest: " + manifest_path));
+  std::string header;
+  std::getline(in, header);
+  {
+    std::istringstream header_in(header);
+    std::string magic, extra;
+    int version = 0;
+    if (!(header_in >> magic >> version) || (header_in >> extra) ||
+        magic != kManifestMagic || version != kManifestVersion) {
+      return obs::TrackError(
+          "serve", Status::DataLoss("not an hlm-registry v" +
+                                    std::to_string(kManifestVersion) +
+                                    " manifest: " + manifest_path));
+    }
   }
   const std::string dir = DirName(manifest_path);
   ModelRegistry registry;
-  std::string name, kind_name, path;
-  while (in >> name >> kind_name >> path) {
+  // Line-by-line parse: every record line must carry exactly the three
+  // `name kind path` fields. A stream-level `in >> a >> b >> c` loop
+  // would set fail+eof together on a final partial record ("name kind"
+  // with no path) and load "successfully" while silently dropping the
+  // entry — the truncated-manifest bug.
+  std::string line;
+  int line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (Trim(line).empty()) continue;  // trailing newline only
+    std::istringstream row(line);
+    std::string name, kind_name, path, extra;
+    if (!(row >> name >> kind_name >> path) || (row >> extra)) {
+      return obs::TrackError(
+          "serve",
+          Status::DataLoss("corrupt manifest entry at line " +
+                           std::to_string(line_number) + " ('" + line +
+                           "'): " + manifest_path));
+    }
     HLM_ASSIGN_OR_RETURN(ModelKind kind, ParseModelKind(kind_name));
-    if (!path.empty() && path[0] != '/') path = dir + path;
+    if (path[0] != '/') path = dir + path;
     HLM_RETURN_IF_ERROR(registry.Register(name, kind, std::move(path)));
   }
-  if (!in.eof()) {
+  if (in.bad()) {
     return obs::TrackError(
-        "serve",
-        Status::DataLoss("corrupt manifest entry: " + manifest_path));
+        "serve", Status::DataLoss("read error: " + manifest_path));
   }
 
   // Stamp and publish the generation, so Statusz (and any metrics

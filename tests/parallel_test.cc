@@ -296,5 +296,30 @@ TEST_F(ParallelTest, RecordsTaskMetrics) {
   EXPECT_GT(metrics.GetCounter("hlm.parallel.tasks_total")->value(), 0);
 }
 
+// Regression: HLM_THREADS used to go through std::atoi, so "4x" silently
+// became 4 threads and "abc" silently became the hardware default. The
+// strict parser rejects anything that is not a whole positive integer;
+// the env resolver then warns and falls back (mirroring HLM_SIMD's
+// ParseSimdMode policy, covered in kernel_test.cc).
+TEST(ParseThreadCountTest, AcceptsWholePositiveIntegersOnly) {
+  ASSERT_TRUE(ParseThreadCount("4").ok());
+  EXPECT_EQ(ParseThreadCount("4").value(), 4);
+  ASSERT_TRUE(ParseThreadCount("1").ok());
+  EXPECT_EQ(ParseThreadCount("1").value(), 1);
+
+  EXPECT_FALSE(ParseThreadCount("4x").ok());
+  EXPECT_FALSE(ParseThreadCount("abc").ok());
+  EXPECT_FALSE(ParseThreadCount("").ok());
+  EXPECT_FALSE(ParseThreadCount("0").ok());
+  EXPECT_FALSE(ParseThreadCount("-2").ok());
+  EXPECT_FALSE(ParseThreadCount("1e3").ok());
+  EXPECT_FALSE(ParseThreadCount("999999999999").ok());
+
+  // Surrounding whitespace is tolerated (ParseInt64 trims), matching how
+  // every other numeric env/flag value is parsed in this repo.
+  ASSERT_TRUE(ParseThreadCount("4 ").ok());
+  EXPECT_EQ(ParseThreadCount("4 ").value(), 4);
+}
+
 }  // namespace
 }  // namespace hlm

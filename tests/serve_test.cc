@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/atomic_file.h"
@@ -368,6 +369,61 @@ TEST(ModelRegistryTest, ErrorsIncrementPerCodeCountersAndEmitEvents) {
     if (event.name == "serve.error") ++serve_errors;
   }
   EXPECT_GE(serve_errors, 2);
+}
+
+// Regression: the temp path used to be `<path>.tmp.<pid>`, so two
+// same-process writers targeting one destination shared a temp file and
+// corrupted each other mid-write. The process-wide ordinal suffix keeps
+// them apart.
+TEST(AtomicFileWriterTest, ConcurrentSameProcessWritersDoNotCollide) {
+  std::string path = TempPath("atomic_concurrent.txt");
+  {
+    AtomicFileWriter first(path);
+    AtomicFileWriter second(path);
+    EXPECT_NE(first.temp_path(), second.temp_path());
+  }
+
+  const std::string payload_a(4096, 'a');
+  const std::string payload_b(4096, 'b');
+  auto hammer = [&path](const std::string& payload) {
+    for (int i = 0; i < 50; ++i) {
+      AtomicFileWriter writer(path);
+      ASSERT_TRUE(writer.ok());
+      writer.stream() << payload;
+      ASSERT_TRUE(writer.Commit().ok());
+    }
+  };
+  std::thread other(  // hlm-lint: allow(no-raw-thread)
+      [&] { hammer(payload_a); });
+  hammer(payload_b);
+  other.join();
+
+  // Every observable state is one complete payload — never a mix, never
+  // a short file.
+  std::string final_contents = ReadAll(path);
+  EXPECT_TRUE(final_contents == payload_a || final_contents == payload_b);
+  std::remove(path.c_str());
+}
+
+TEST(ModelRegistryTest, FromManifestRejectsPartialTrailingRecord) {
+  std::string manifest = TempPath("truncated_manifest.txt");
+  // A write cut off mid-record (e.g. a crash with the old non-fsyncing
+  // writer) leaves a name+kind row with no path. The old `>>`-loop
+  // silently dropped it; now it is a DataLoss error naming the line.
+  WriteAll(manifest,
+           "hlm-registry 1\nfull ngram full.snap\ntruncated ngram\n");
+  auto truncated = ModelRegistry::FromManifest(manifest);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_NE(truncated.status().message().find("line 3"), std::string::npos);
+
+  // A record with trailing junk is rejected too, not silently merged.
+  WriteAll(manifest, "hlm-registry 1\nfull ngram full.snap extra-token\n");
+  EXPECT_FALSE(ModelRegistry::FromManifest(manifest).ok());
+
+  // A single trailing newline after the last record stays legal.
+  WriteAll(manifest, "hlm-registry 1\nfull ngram full.snap\n");
+  EXPECT_TRUE(ModelRegistry::FromManifest(manifest).ok());
+  std::remove(manifest.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,261 @@
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "models/lda.h"
+#include "repr/representation.h"
+#include "serve/http_client.h"
+#include "serve/registry.h"
+
+namespace hlm::serve {
+namespace {
+
+std::string TempDirFor(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Trains a tiny LDA + representation pair into `dir` and writes the
+/// manifest. Cheap enough (40 companies, short Gibbs schedule) to run
+/// once per test.
+std::string BuildSnapshotDir(const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  auto world = corpus::GenerateDefaultCorpus(40, 11);
+  models::LdaConfig config;
+  config.num_topics = 3;
+  config.burn_in_iterations = 20;
+  config.post_burn_in_samples = 4;
+  models::LdaModel lda(world.corpus.num_categories(), config);
+  EXPECT_TRUE(lda.Train(world.corpus.Sequences()).ok());
+  EXPECT_TRUE(lda.SaveToFile(dir + "/lda.snap").ok());
+  EXPECT_TRUE(repr::SaveRepresentation(
+                  repr::LdaRepresentation(lda, world.corpus),
+                  dir + "/lda_repr.snap")
+                  .ok());
+  ModelRegistry registry;
+  EXPECT_TRUE(registry.Register("lda", ModelKind::kLda, "lda.snap").ok());
+  EXPECT_TRUE(registry
+                  .Register("lda-repr", ModelKind::kRepresentation,
+                            "lda_repr.snap")
+                  .ok());
+  const std::string manifest = dir + "/manifest.txt";
+  EXPECT_TRUE(registry.SaveManifest(manifest).ok());
+  return manifest;
+}
+
+/// Republishes the manifest: rewrites it byte-identically through the
+/// atomic writer, which bumps the mtime component of the stamp (what a
+/// real `hlm_snapshot save` into the same dir does, minus retraining).
+void RepublishManifest(const std::string& manifest) {
+  std::ifstream in(manifest, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(manifest, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+Result<HttpResponse> Get(int port, const std::string& path) {
+  auto client = HttpClient::Connect("127.0.0.1", port);
+  if (!client.ok()) return client.status();
+  return client.value().Get(path);
+}
+
+TEST(ServerTest, EndpointsServeJsonAndErrors) {
+  const std::string dir = TempDirFor("server_endpoints");
+  const std::string manifest = BuildSnapshotDir(dir);
+  ServerConfig config;
+  config.manifest_path = manifest;
+  auto server = Server::Start(config);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const int port = server.value()->port();
+  ASSERT_GT(port, 0);
+
+  auto health = Get(port, "/healthz");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health.value().status_code, 200);
+  EXPECT_NE(health.value().body.find("\"generation\":"), std::string::npos);
+
+  auto recommend = Get(port, "/v1/recommend?tokens=0,1&k=3");
+  ASSERT_TRUE(recommend.ok());
+  EXPECT_EQ(recommend.value().status_code, 200);
+  EXPECT_NE(recommend.value().body.find("\"items\":["), std::string::npos);
+  // Owned products are excluded from recommendations.
+  EXPECT_EQ(recommend.value().body.find("{\"product\":0,"),
+            std::string::npos);
+  EXPECT_EQ(recommend.value().body.find("{\"product\":1,"),
+            std::string::npos);
+
+  auto similar = Get(port, "/v1/similar?company=2&k=3");
+  ASSERT_TRUE(similar.ok());
+  EXPECT_EQ(similar.value().status_code, 200);
+  EXPECT_NE(similar.value().body.find("\"neighbors\":["),
+            std::string::npos);
+
+  auto topics = Get(port, "/v1/topics?tokens=0,1,2");
+  ASSERT_TRUE(topics.ok());
+  EXPECT_EQ(topics.value().status_code, 200);
+  EXPECT_NE(topics.value().body.find("\"topics\":["), std::string::npos);
+
+  auto statusz = Get(port, "/statusz");
+  ASSERT_TRUE(statusz.ok());
+  EXPECT_EQ(statusz.value().status_code, 200);
+  EXPECT_NE(statusz.value().body.find("==== hlm statusz ===="),
+            std::string::npos);
+  auto statusz_json = Get(port, "/statusz?format=json");
+  ASSERT_TRUE(statusz_json.ok());
+  EXPECT_EQ(statusz_json.value().status_code, 200);
+  EXPECT_EQ(statusz_json.value().body.front(), '{');
+
+  // Errors: bad token list, out-of-range company, unknown endpoint.
+  auto bad_tokens = Get(port, "/v1/recommend?tokens=abc");
+  ASSERT_TRUE(bad_tokens.ok());
+  EXPECT_EQ(bad_tokens.value().status_code, 400);
+  auto bad_company = Get(port, "/v1/similar?company=100000");
+  ASSERT_TRUE(bad_company.ok());
+  EXPECT_EQ(bad_company.value().status_code, 400);
+  auto not_found = Get(port, "/v1/nope");
+  ASSERT_TRUE(not_found.ok());
+  EXPECT_EQ(not_found.value().status_code, 404);
+
+  // One keep-alive connection answers many requests.
+  auto client = HttpClient::Connect("127.0.0.1", port);
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 10; ++i) {
+    auto response = client.value().Get("/healthz");
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response.value().status_code, 200);
+  }
+  server.value()->Stop();
+}
+
+TEST(ServerTest, ManualReloadSwapsGenerationExactlyWhenChanged) {
+  const std::string dir = TempDirFor("server_reload");
+  const std::string manifest = BuildSnapshotDir(dir);
+  ServerConfig config;
+  config.manifest_path = manifest;
+  auto server = Server::Start(config);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const int initial_generation = server.value()->generation();
+  ASSERT_GT(initial_generation, 0);
+
+  // Unchanged manifest: no swap.
+  auto unchanged = server.value()->ReloadIfChanged();
+  ASSERT_TRUE(unchanged.ok());
+  EXPECT_FALSE(unchanged.value());
+  EXPECT_EQ(server.value()->generation(), initial_generation);
+
+  RepublishManifest(manifest);
+  auto reloaded = server.value()->ReloadIfChanged();
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_TRUE(reloaded.value());
+  EXPECT_GT(server.value()->generation(), initial_generation);
+
+  // A manifest that breaks mid-publish keeps the old generation serving
+  // and does not hammer the load path on every poll.
+  const int good_generation = server.value()->generation();
+  std::ofstream out(manifest, std::ios::binary | std::ios::trunc);
+  out << "hlm-registry 1\nlda lda\n";  // truncated record
+  out.close();
+  auto broken = server.value()->ReloadIfChanged();
+  EXPECT_FALSE(broken.ok());
+  EXPECT_EQ(server.value()->generation(), good_generation);
+  auto still_broken = server.value()->ReloadIfChanged();
+  ASSERT_TRUE(still_broken.ok());  // same broken stamp: skipped, no error
+  EXPECT_FALSE(still_broken.value());
+  auto health = Get(server.value()->port(), "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health.value().status_code, 200);
+  server.value()->Stop();
+}
+
+// The tentpole race test: clients hammer every endpoint while the
+// watcher republishes generations underneath them. Zero requests may
+// fail, and no client may ever observe the generation move backwards.
+// Run under -DHLM_SANITIZE=thread in tier-1 to certify the swap path.
+TEST(ServerTest, HotReloadUnderLoadDropsNoRequests) {
+  const std::string dir = TempDirFor("server_race");
+  const std::string manifest = BuildSnapshotDir(dir);
+  ServerConfig config;
+  config.manifest_path = manifest;
+  config.poll_interval_ms = 5;
+  auto server = Server::Start(config);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const int port = server.value()->port();
+  const int initial_generation = server.value()->generation();
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 150;
+  std::atomic<int> failures{0};
+  std::atomic<int> regressions{0};
+
+  auto client_loop = [&](int client_index) {
+    auto client = HttpClient::Connect("127.0.0.1", port);
+    if (!client.ok()) {
+      failures.fetch_add(kRequestsPerClient);
+      return;
+    }
+    long long last_generation = -1;
+    for (int i = 0; i < kRequestsPerClient; ++i) {
+      const char* path = (i + client_index) % 3 == 0
+                             ? "/v1/recommend?tokens=0,1&k=3"
+                             : ((i + client_index) % 3 == 1
+                                    ? "/v1/similar?company=1&k=3"
+                                    : "/healthz");
+      auto response = client.value().Get(path);
+      if (!response.ok() || response.value().status_code != 200) {
+        failures.fetch_add(1);
+        continue;
+      }
+      const std::string& body = response.value().body;
+      size_t at = body.find("\"generation\":");
+      if (at == std::string::npos) {
+        failures.fetch_add(1);
+        continue;
+      }
+      long long generation = std::atoll(body.c_str() + at + 13);
+      if (generation < last_generation) regressions.fetch_add(1);
+      if (generation > last_generation) last_generation = generation;
+    }
+  };
+
+  std::vector<std::thread> clients;  // hlm-lint: allow(no-raw-thread)
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&client_loop, c] { client_loop(c); });
+  }
+  // Publisher: republish the manifest a handful of times mid-run so
+  // several generation swaps land while requests are in flight.
+  for (int publish = 0; publish < 5; ++publish) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    RepublishManifest(manifest);
+  }
+  for (std::thread& client : clients) {  // hlm-lint: allow(no-raw-thread)
+    client.join();
+  }
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(regressions.load(), 0);
+  // The watcher picked up at least one republish (generations are
+  // process-wide monotone, so any swap strictly increases it).
+  for (int wait = 0; wait < 100; ++wait) {
+    if (server.value()->generation() > initial_generation) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(server.value()->generation(), initial_generation);
+  server.value()->Stop();
+}
+
+}  // namespace
+}  // namespace hlm::serve

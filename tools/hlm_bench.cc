@@ -52,7 +52,9 @@
 #include "recsys/evaluation.h"
 #include "recsys/similarity_search.h"
 #include "repr/representation.h"
+#include "serve/http_client.h"
 #include "serve/registry.h"
+#include "serve/server.h"
 
 namespace hlm {
 namespace {
@@ -146,6 +148,106 @@ void RunServeRegistry(const models::LdaModel& lda,
   HLM_CHECK_EQ(static_cast<long long>((*rows_loaded)->size()),
                static_cast<long long>(rows.size()))
       << "representation round-trip changed the row count";
+  fs::remove_all(dir);
+}
+
+/// serve suite: the online serving path end to end — snapshot a trained
+/// model set, boot hlm::serve::Server on it, drive a fixed request mix
+/// over one keep-alive connection, hot-swap a republished generation,
+/// and drive the new generation. Request counts and the reload counter
+/// are deterministic (exact-compare); per-request latencies land in
+/// hlm.serve.http.request_seconds, whose percentiles export with the
+/// standard `_seconds` summary and whose wall time is gated through the
+/// serve_requests phase walltime.
+void RunServeSuite(const SuiteEnv& env, const std::string& run_id) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  const int vocab = env.world.corpus.num_categories();
+  const fs::path dir =
+      fs::temp_directory_path() / ("hlm_bench_serve_" + run_id);
+  const std::string manifest = (dir / "manifest.txt").string();
+
+  {
+    Phase phase("serve_snapshot");
+    fs::create_directories(dir);
+    models::LdaConfig config;
+    config.num_topics = 4;
+    models::LdaModel lda(vocab, config);
+    HLM_CHECK_OK(lda.Train(env.train_seqs_pre2013));
+    HLM_CHECK_OK(lda.SaveToFile((dir / "lda.snap").string()));
+    HLM_CHECK_OK(repr::SaveRepresentation(
+        repr::LdaRepresentation(lda, env.world.corpus),
+        (dir / "lda_repr.snap").string()));
+    serve::ModelRegistry registry;
+    HLM_CHECK_OK(
+        registry.Register("lda", serve::ModelKind::kLda, "lda.snap"));
+    HLM_CHECK_OK(registry.Register(
+        "lda-repr", serve::ModelKind::kRepresentation, "lda_repr.snap"));
+    HLM_CHECK_OK(registry.SaveManifest(manifest));
+  }
+
+  std::unique_ptr<serve::Server> server = [&manifest] {
+    Phase phase("serve_start");
+    serve::ServerConfig config;
+    config.manifest_path = manifest;  // watcher off: reloads are explicit
+    Result<std::unique_ptr<serve::Server>> started =
+        serve::Server::Start(config);
+    HLM_CHECK_OK(started.status());
+    return std::move(started.value());
+  }();
+
+  constexpr const char* kPaths[] = {
+      "/v1/recommend?tokens=0,1&k=5",
+      "/v1/similar?company=0&k=5",
+      "/v1/topics?tokens=0,1",
+  };
+  auto drive = [&kPaths](serve::HttpClient& client, int requests) {
+    long long ok = 0;
+    for (int i = 0; i < requests; ++i) {
+      Result<serve::HttpResponse> response = client.Get(kPaths[i % 3]);
+      HLM_CHECK_OK(response.status());
+      if (response->status_code == 200) ++ok;
+    }
+    return ok;
+  };
+
+  constexpr int kRequests = 1200;
+  {
+    Phase phase("serve_requests");
+    Result<serve::HttpClient> client =
+        serve::HttpClient::Connect("127.0.0.1", server->port());
+    HLM_CHECK_OK(client.status());
+    metrics.GetGauge("hlm.bench.serve_ok_responses")
+        ->Set(static_cast<double>(drive(*client, kRequests)));
+  }
+
+  constexpr int kPostReloadRequests = 300;
+  {
+    Phase phase("serve_reload");
+    // Republish the manifest byte-identically: the mtime component of
+    // the stamp changes, which is exactly what a snapshot refresh into
+    // the same directory looks like to the watcher.
+    std::string bytes;
+    {
+      std::ifstream in(manifest, std::ios::binary);
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      bytes = buffer.str();
+    }
+    {
+      std::ofstream out(manifest, std::ios::binary | std::ios::trunc);
+      out << bytes;
+    }
+    Result<bool> swapped = server->ReloadIfChanged();
+    HLM_CHECK_OK(swapped.status());
+    HLM_CHECK(swapped.value()) << "republished manifest did not swap";
+    Result<serve::HttpClient> client =
+        serve::HttpClient::Connect("127.0.0.1", server->port());
+    HLM_CHECK_OK(client.status());
+    metrics.GetGauge("hlm.bench.serve_post_reload_ok_responses")
+        ->Set(static_cast<double>(drive(*client, kPostReloadRequests)));
+  }
+
+  server->Stop();
   fs::remove_all(dir);
 }
 
@@ -495,7 +597,9 @@ obs::MetricsSnapshot BuildSnapshot() {
 bool MachineDependent(const std::string& name) {
   return name.rfind("hlm.parallel.", 0) == 0 ||
          name.rfind("hlm.math.kernel.", 0) == 0 ||
-         name == "hlm.bench.threads";
+         name == "hlm.bench.threads" ||
+         // The ephemeral listen port is the OS's pick, not a metric.
+         name == "hlm.serve.server.port";
 }
 
 std::string MetaOr(const obs::MetricsSnapshot& snapshot,
@@ -641,8 +745,10 @@ int Main(int argc, char** argv) {
   long long threads = 0;
   std::string simd_mode;
   flags.AddString("suite", &suite, "bench suite: smoke (fast, tier-1), "
-                  "full (adds LSTM + BPMF training), or kernels (SIMD "
-                  "kernel micro-bench vs scalar references)");
+                  "full (adds LSTM + BPMF training), kernels (SIMD "
+                  "kernel micro-bench vs scalar references), or serve "
+                  "(snapshot -> hlm_serve boot -> request mix -> hot "
+                  "reload)");
   flags.AddString("out", &out,
                   "write the run's BENCH JSON here (default "
                   "BENCH_<suite>.json; 'none' skips the write)");
@@ -689,12 +795,16 @@ int Main(int argc, char** argv) {
                 "recsys_eval similarity_search serve_registry\n"
                 "  full     smoke phases + train_lstm train_bpmf\n"
                 "  kernels  dispatched SIMD kernels vs scalar references "
-                "(dot, distance, matvec, score_block)\n");
+                "(dot, distance, matvec, score_block)\n"
+                "  serve    make_env serve_snapshot serve_start "
+                "serve_requests serve_reload\n");
     return 0;
   }
-  if (suite != "smoke" && suite != "full" && suite != "kernels") {
+  if (suite != "smoke" && suite != "full" && suite != "kernels" &&
+      suite != "serve") {
     std::fprintf(stderr,
-                 "unknown --suite: %s (want smoke, full, or kernels)\n",
+                 "unknown --suite: %s (want smoke, full, kernels, or "
+                 "serve)\n",
                  suite.c_str());
     return 2;
   }
@@ -703,7 +813,7 @@ int Main(int argc, char** argv) {
     return 2;
   }
   if (companies <= 0 && suite != "kernels") {
-    companies = suite == "smoke" ? 300 : 800;
+    companies = suite == "full" ? 800 : (suite == "serve" ? 150 : 300);
   }
   if (out.empty()) out = "BENCH_" + suite + ".json";
   if (baseline_path.empty()) baseline_path = "bench/baselines/" + suite +
@@ -760,6 +870,9 @@ int Main(int argc, char** argv) {
   bool speedup_ok = true;
   if (suite == "kernels") {
     speedup_ok = RunKernelsSuite(min_speedup);
+  } else if (suite == "serve") {
+    SuiteEnv env = BuildEnv(companies, seed);
+    RunServeSuite(env, run_id);
   } else {
     SuiteEnv env = BuildEnv(companies, seed);
     RunSuite(suite, env, run_id);
