@@ -273,23 +273,75 @@ SERVE_PORT="$(cat "$SERVE_DIR/port")"
 PUBLISHER_PID=$!
 "$BUILD_DIR/tools/hlm_loadgen" --port "$SERVE_PORT" --mode closed \
   --connections 4 --duration_s 3 --min_qps 5000 \
-  --check_generations --expect_min_generations 3
+  --check_generations --expect_min_generations 3 \
+  --json_out "$SERVE_DIR/loadgen.json"
 wait "$PUBLISHER_PID"
+# The machine-readable run report must agree with the pass/fail above.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$SERVE_DIR/loadgen.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+if report.get("schema_version") != 1:
+    sys.exit(f"unexpected schema_version: {report.get('schema_version')!r}")
+if report.get("exit_code") != 0:
+    sys.exit(f"report records a failing run: {report}")
+if report.get("requests", 0) <= 0 or report.get("failures", -1) != 0:
+    sys.exit("report disagrees with the passing loadgen run")
+if report.get("achieved_qps", 0) < 5000:
+    sys.exit(f"report QPS below the gate: {report.get('achieved_qps')}")
+if len(report.get("generations_seen", [])) < 3:
+    sys.exit("report saw fewer than 3 generations")
+lat = report.get("latency_seconds", {})
+if lat.get("count", 0) != report.get("requests"):
+    sys.exit("latency histogram count != request count")
+print(f"ok: loadgen report, {report['requests']} requests at "
+      f"{report['achieved_qps']:.0f} QPS")
+PY
+else
+  grep -q '"schema_version": 1' "$SERVE_DIR/loadgen.json" ||
+    { echo "loadgen --json_out report malformed" >&2; exit 1; }
+  echo "ok (grep-level check; python3 not found)"
+fi
 # Live /statusz through the server (loadgen once-mode keeps this
-# curl-free) must render the standard banner and the serve metrics.
+# curl-free) must render the standard banner, the per-endpoint
+# counters, and the windowed section the watcher's collector ticks
+# filled during the 3s run.
 STATUSZ_BODY="$("$BUILD_DIR/tools/hlm_loadgen" --port "$SERVE_PORT" \
   --mode once --path /statusz)"
 for needle in "==== hlm statusz ====" "hlm.serve.http.requests_total" \
-    "hlm.serve.server.reloads_total"; do
+    "hlm.serve.server.reloads_total" \
+    "hlm.serve.http.recommend.requests_total" \
+    "-- windowed (last "; do
   case "$STATUSZ_BODY" in
     *"$needle"*) ;;
     *) echo "live /statusz missing: $needle" >&2; exit 1 ;;
   esac
 done
+# Scrape /metricsz and push it through the exposition validator: the
+# live daemon's Prometheus surface must parse, with per-route families
+# under their sanitized names.
+"$BUILD_DIR/tools/hlm_loadgen" --port "$SERVE_PORT" \
+  --mode once --path /metricsz > "$SERVE_DIR/metricsz.txt"
+"$BUILD_DIR/tools/hlm_statusz" promcheck --file "$SERVE_DIR/metricsz.txt"
+for needle in "hlm_serve_http_recommend_request_seconds_bucket" \
+    "hlm_serve_http_recommend_requests_total" \
+    "hlm_serve_server_reloads_total" "le=\"+Inf\""; do
+  grep -q "$needle" "$SERVE_DIR/metricsz.txt" ||
+    { echo "live /metricsz missing: $needle" >&2; exit 1; }
+done
+# hlm_top one-frame smoke against the live daemon.
+"$BUILD_DIR/tools/hlm_top" --port "$SERVE_PORT" --once \
+  > "$SERVE_DIR/top.txt"
+for needle in "hlm_top" "endpoint" "recommend"; do
+  grep -q "$needle" "$SERVE_DIR/top.txt" ||
+    { echo "hlm_top --once output missing: $needle" >&2; exit 1; }
+done
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
 SERVE_PID=""
-echo "ok: hot reloads under load, zero failures, live statusz renders"
+echo "ok: hot reloads under load, loadgen report, metricsz validates," \
+  "windowed statusz, hlm_top renders"
 
 echo "== tier1: bench regression check (serve suite) =="
 "$BUILD_DIR/tools/hlm_bench" --suite serve --out none --check \

@@ -21,6 +21,7 @@ enum class StatusCode {
   kUnimplemented = 6,
   kInternal = 7,
   kDataLoss = 8,
+  kDeadlineExceeded = 9,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -62,6 +63,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

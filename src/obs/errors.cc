@@ -28,6 +28,8 @@ const char* StatusCodeSnakeName(StatusCode code) {
       return "internal";
     case StatusCode::kDataLoss:
       return "data_loss";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "unknown";
 }

@@ -1,0 +1,485 @@
+#include "obs/exposition.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace hlm::obs {
+
+namespace {
+
+/// Full-precision shortest-ish decimal rendering, matching the style of
+/// the JSON metric export (17 significant digits round-trips a double).
+std::string FormatValue(double value) {
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(value)) return "NaN";
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+std::string FormatCount(long long value) { return std::to_string(value); }
+
+/// Escapes a HELP docstring: backslash and newline only (the exposition
+/// format's HELP escaping rules).
+std::string EscapeHelp(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Escapes a label value: backslash, double-quote, newline.
+std::string EscapeLabelValue(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+bool IsValidExpositionName(const std::string& name) {
+  if (name.empty() || !IsNameStartChar(name[0])) return false;
+  for (char c : name) {
+    if (!IsNameChar(c)) return false;
+  }
+  return true;
+}
+
+/// Claims a unique exposition name for `dotted`, suffixing collisions.
+std::string UniqueName(const std::string& dotted,
+                       std::set<std::string>* used) {
+  std::string base = SanitizeMetricName(dotted);
+  std::string candidate = base;
+  for (int suffix = 2; used->count(candidate) > 0; ++suffix) {
+    candidate = base + "_" + std::to_string(suffix);
+  }
+  used->insert(candidate);
+  return candidate;
+}
+
+void AppendFamilyHeader(std::ostringstream* out, const std::string& name,
+                        const std::string& type,
+                        const std::string& dotted_name) {
+  *out << "# HELP " << name << " hlm " << type << " "
+       << EscapeHelp(dotted_name) << "\n";
+  *out << "# TYPE " << name << " " << type << "\n";
+}
+
+// ---------------------------------------------------------------------------
+// Validator
+// ---------------------------------------------------------------------------
+
+struct Sample {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;  // insertion order
+  std::string value_text;
+  double value = 0.0;
+};
+
+Status LineError(size_t line_number, const std::string& message) {
+  return Status::InvalidArgument("exposition line " +
+                                 std::to_string(line_number) + ": " + message);
+}
+
+/// Parses `value` per exposition rules: a Go-style float, +Inf, -Inf,
+/// Inf, or NaN.
+bool ParseSampleValue(const std::string& text, double* value) {
+  if (text == "+Inf" || text == "Inf") {
+    *value = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (text == "-Inf") {
+    *value = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (text == "NaN") {
+    *value = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  Result<double> parsed = ParseDouble(text);
+  if (!parsed.ok()) return false;
+  *value = parsed.value();
+  return true;
+}
+
+/// Parses one sample line: name[{labels}] value [timestamp].
+Status ParseSampleLine(const std::string& line, size_t line_number,
+                       Sample* sample) {
+  size_t at = 0;
+  while (at < line.size() && IsNameChar(line[at])) ++at;
+  sample->name = line.substr(0, at);
+  if (!IsValidExpositionName(sample->name)) {
+    return LineError(line_number, "invalid metric name");
+  }
+  if (at < line.size() && line[at] == '{') {
+    ++at;
+    while (true) {
+      while (at < line.size() && line[at] == ' ') ++at;
+      if (at < line.size() && line[at] == '}') {
+        ++at;
+        break;
+      }
+      size_t name_start = at;
+      while (at < line.size() && IsNameChar(line[at])) ++at;
+      std::string label_name = line.substr(name_start, at - name_start);
+      if (!IsValidExpositionName(label_name)) {
+        return LineError(line_number, "invalid label name");
+      }
+      if (at >= line.size() || line[at] != '=') {
+        return LineError(line_number, "expected '=' after label name");
+      }
+      ++at;
+      if (at >= line.size() || line[at] != '"') {
+        return LineError(line_number, "expected '\"' after label '='");
+      }
+      ++at;
+      std::string label_value;
+      bool closed = false;
+      while (at < line.size()) {
+        char c = line[at];
+        if (c == '\\') {
+          if (at + 1 >= line.size()) {
+            return LineError(line_number, "dangling escape in label value");
+          }
+          char next = line[at + 1];
+          if (next == '\\') {
+            label_value += '\\';
+          } else if (next == '"') {
+            label_value += '"';
+          } else if (next == 'n') {
+            label_value += '\n';
+          } else {
+            return LineError(line_number, "bad escape in label value");
+          }
+          at += 2;
+          continue;
+        }
+        if (c == '"') {
+          closed = true;
+          ++at;
+          break;
+        }
+        label_value += c;
+        ++at;
+      }
+      if (!closed) {
+        return LineError(line_number, "unterminated label value");
+      }
+      sample->labels.emplace_back(label_name, label_value);
+      if (at < line.size() && line[at] == ',') {
+        ++at;
+        continue;
+      }
+      if (at < line.size() && line[at] == '}') {
+        ++at;
+        break;
+      }
+      return LineError(line_number, "expected ',' or '}' after label");
+    }
+  }
+  if (at >= line.size() || line[at] != ' ') {
+    return LineError(line_number, "expected space before sample value");
+  }
+  while (at < line.size() && line[at] == ' ') ++at;
+  size_t value_start = at;
+  while (at < line.size() && line[at] != ' ') ++at;
+  sample->value_text = line.substr(value_start, at - value_start);
+  if (sample->value_text.empty()) {
+    return LineError(line_number, "missing sample value");
+  }
+  if (!ParseSampleValue(sample->value_text, &sample->value)) {
+    return LineError(line_number,
+                     "unparsable sample value '" + sample->value_text + "'");
+  }
+  // Optional timestamp: must be an integer if present.
+  while (at < line.size() && line[at] == ' ') ++at;
+  if (at < line.size()) {
+    Result<long long> timestamp = ParseInt64(line.substr(at));
+    if (!timestamp.ok()) {
+      return LineError(line_number, "unparsable timestamp");
+    }
+  }
+  return Status::OK();
+}
+
+/// A series key that is insensitive to label order.
+std::string SeriesKey(const Sample& sample) {
+  std::map<std::string, std::string> ordered(sample.labels.begin(),
+                                             sample.labels.end());
+  std::string key = sample.name;
+  for (const auto& [name, value] : ordered) {
+    key += "|" + name + "=" + value;
+  }
+  return key;
+}
+
+struct HistogramFamilyState {
+  std::vector<std::pair<double, double>> buckets;  // (le, cumulative count)
+  bool has_sum = false;
+  bool has_count = false;
+  double count_value = 0.0;
+  size_t first_line = 0;
+};
+
+/// End-of-family semantic checks for a histogram family.
+Status FinalizeHistogram(const std::string& family,
+                         const HistogramFamilyState& state) {
+  auto fail = [&](const std::string& message) {
+    return LineError(state.first_line,
+                     "histogram " + family + ": " + message);
+  };
+  if (state.buckets.empty()) return fail("no _bucket series");
+  if (!state.has_sum) return fail("missing _sum");
+  if (!state.has_count) return fail("missing _count");
+  double last_le = -std::numeric_limits<double>::infinity();
+  double last_count = -1.0;
+  bool saw_inf = false;
+  double inf_count = 0.0;
+  for (const auto& [le, cumulative] : state.buckets) {
+    if (le <= last_le) return fail("bucket le values not strictly increasing");
+    if (cumulative < last_count) {
+      return fail("bucket counts not cumulative (non-monotone)");
+    }
+    last_le = le;
+    last_count = cumulative;
+    if (std::isinf(le) && le > 0) {
+      saw_inf = true;
+      inf_count = cumulative;
+    }
+  }
+  if (!saw_inf) return fail("missing le=\"+Inf\" bucket");
+  if (inf_count != state.count_value) {
+    return fail("+Inf bucket != _count");
+  }
+  return Status::OK();
+}
+
+/// Maps a sample name onto its family: histogram samples report under
+/// name minus the _bucket/_sum/_count suffix when that family has a
+/// histogram TYPE declared.
+std::string FamilyOf(const std::string& name,
+                     const std::map<std::string, std::string>& types) {
+  static const char* kSuffixes[] = {"_bucket", "_sum", "_count"};
+  for (const char* suffix : kSuffixes) {
+    const size_t n = std::string(suffix).size();
+    if (name.size() > n && name.compare(name.size() - n, n, suffix) == 0) {
+      std::string base = name.substr(0, name.size() - n);
+      auto it = types.find(base);
+      if (it != types.end() && it->second == "histogram") return base;
+    }
+  }
+  return name;
+}
+
+}  // namespace
+
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                    c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  std::set<std::string> used;
+  for (const auto& [dotted, value] : snapshot.counters) {
+    const std::string name = UniqueName(dotted, &used);
+    AppendFamilyHeader(&out, name, "counter", dotted);
+    out << name << " " << FormatCount(value) << "\n";
+  }
+  for (const auto& [dotted, value] : snapshot.gauges) {
+    const std::string name = UniqueName(dotted, &used);
+    AppendFamilyHeader(&out, name, "gauge", dotted);
+    out << name << " " << FormatValue(value) << "\n";
+  }
+  for (const auto& [dotted, histogram] : snapshot.histograms) {
+    const std::string name = UniqueName(dotted, &used);
+    // Histograms implicitly claim the _bucket/_sum/_count names too.
+    used.insert(name + "_bucket");
+    used.insert(name + "_sum");
+    used.insert(name + "_count");
+    AppendFamilyHeader(&out, name, "histogram", dotted);
+    long long cumulative = 0;
+    for (size_t i = 0; i < histogram.bounds.size(); ++i) {
+      cumulative += i < histogram.bucket_counts.size()
+                        ? histogram.bucket_counts[i]
+                        : 0;
+      out << name << "_bucket{le=\""
+          << EscapeLabelValue(FormatValue(histogram.bounds[i])) << "\"} "
+          << FormatCount(cumulative) << "\n";
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << FormatCount(histogram.count)
+        << "\n";
+    out << name << "_sum " << FormatValue(histogram.sum) << "\n";
+    out << name << "_count " << FormatCount(histogram.count) << "\n";
+  }
+  return out.str();
+}
+
+Status ValidateExposition(const std::string& text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("exposition: empty payload");
+  }
+  if (text.back() != '\n') {
+    return Status::InvalidArgument(
+        "exposition: payload must end with a newline");
+  }
+
+  std::map<std::string, std::string> types;   // family -> type
+  std::set<std::string> closed_families;      // no more samples allowed
+  std::set<std::string> series_seen;          // duplicate-series detection
+  std::map<std::string, HistogramFamilyState> histogram_state;
+  std::string current_family;
+
+  auto close_family = [&](const std::string& family) -> Status {
+    if (family.empty()) return Status::OK();
+    closed_families.insert(family);
+    auto it = histogram_state.find(family);
+    if (it != histogram_state.end()) {
+      Status finalized = FinalizeHistogram(family, it->second);
+      if (!finalized.ok()) return finalized;
+      histogram_state.erase(it);
+    }
+    return Status::OK();
+  };
+
+  size_t line_number = 0;
+  size_t at = 0;
+  while (at < text.size()) {
+    ++line_number;
+    size_t end = text.find('\n', at);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(at, end - at);
+    at = end + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::vector<std::string> parts = Split(line, ' ');
+      if (parts.size() < 2) continue;  // free-form comment
+      if (parts[1] == "TYPE") {
+        if (parts.size() < 4) {
+          return LineError(line_number, "malformed # TYPE line");
+        }
+        const std::string& family = parts[2];
+        const std::string& type = parts[3];
+        if (!IsValidExpositionName(family)) {
+          return LineError(line_number, "invalid family name in # TYPE");
+        }
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return LineError(line_number, "unknown type '" + type + "'");
+        }
+        if (types.count(family) > 0) {
+          return LineError(line_number,
+                           "duplicate # TYPE for " + family);
+        }
+        if (closed_families.count(family) > 0) {
+          return LineError(line_number,
+                           "# TYPE after family " + family + " closed");
+        }
+        if (family != current_family) {
+          Status closed = close_family(current_family);
+          if (!closed.ok()) return closed;
+          current_family = family;
+        }
+        types[family] = type;
+      }
+      continue;  // HELP and plain comments carry no constraints we check
+    }
+
+    Sample sample;
+    Status parsed = ParseSampleLine(line, line_number, &sample);
+    if (!parsed.ok()) return parsed;
+    const std::string family = FamilyOf(sample.name, types);
+    auto type_it = types.find(family);
+    if (type_it == types.end()) {
+      return LineError(line_number,
+                       "sample for " + sample.name + " without # TYPE");
+    }
+    if (family != current_family) {
+      if (closed_families.count(family) > 0) {
+        return LineError(line_number,
+                         "family " + family + " interleaved (reopened)");
+      }
+      Status closed = close_family(current_family);
+      if (!closed.ok()) return closed;
+      current_family = family;
+    }
+    const std::string key = SeriesKey(sample);
+    if (!series_seen.insert(key).second) {
+      return LineError(line_number, "duplicate series " + key);
+    }
+
+    if (type_it->second == "histogram") {
+      HistogramFamilyState& state = histogram_state[family];
+      if (state.first_line == 0) state.first_line = line_number;
+      if (sample.name == family + "_bucket") {
+        double le = 0.0;
+        bool has_le = false;
+        for (const auto& [label, value] : sample.labels) {
+          if (label != "le") continue;
+          has_le = ParseSampleValue(value, &le);
+          if (!has_le) {
+            return LineError(line_number, "unparsable le '" + value + "'");
+          }
+        }
+        if (!has_le) {
+          return LineError(line_number, "_bucket sample without le label");
+        }
+        state.buckets.emplace_back(le, sample.value);
+      } else if (sample.name == family + "_sum") {
+        state.has_sum = true;
+      } else if (sample.name == family + "_count") {
+        state.has_count = true;
+        state.count_value = sample.value;
+      }
+    }
+  }
+  Status closed = close_family(current_family);
+  if (!closed.ok()) return closed;
+  return Status::OK();
+}
+
+}  // namespace hlm::obs

@@ -1,6 +1,8 @@
 #include "obs/json.h"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace hlm::obs {
 
@@ -100,6 +102,194 @@ std::string JsonUnescape(const std::string& escaped) {
     }
   }
   return out;
+}
+
+/// Recursive-descent parser over the JsonValue tree. Kept as a friend
+/// class (not a lambda nest) so the depth guard and error plumbing stay
+/// readable.
+class JsonValueParser {
+ public:
+  explicit JsonValueParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue root;
+    HLM_RETURN_IF_ERROR(ParseValue(&root, 0));
+    SkipWhitespace();
+    if (at_ != text_.size()) {
+      return Error("trailing characters after document");
+    }
+    return root;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("json offset " + std::to_string(at_) +
+                                   ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (at_ < text_.size() &&
+           (text_[at_] == ' ' || text_[at_] == '\t' || text_[at_] == '\n' ||
+            text_[at_] == '\r')) {
+      ++at_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (at_ < text_.size() && text_[at_] == c) {
+      ++at_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseLiteral(const char* literal) {
+    for (const char* p = literal; *p != '\0'; ++p) {
+      if (at_ >= text_.size() || text_[at_] != *p) {
+        return Error(std::string("expected '") + literal + "'");
+      }
+      ++at_;
+    }
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    size_t start = at_;
+    while (at_ < text_.size() && text_[at_] != '"') {
+      if (text_[at_] == '\\') ++at_;  // skip the escaped character
+      ++at_;
+    }
+    if (at_ >= text_.size()) return Error("unterminated string");
+    *out = JsonUnescape(text_.substr(start, at_ - start));
+    ++at_;  // closing quote
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (at_ >= text_.size()) return Error("unexpected end of document");
+    char c = text_[at_];
+    if (c == '{') {
+      ++at_;
+      out->kind_ = JsonValue::Kind::kObject;
+      SkipWhitespace();
+      if (Consume('}')) return Status::OK();
+      while (true) {
+        SkipWhitespace();
+        std::string key;
+        HLM_RETURN_IF_ERROR(ParseString(&key));
+        SkipWhitespace();
+        if (!Consume(':')) return Error("expected ':' in object");
+        JsonValue value;
+        HLM_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+        out->object_.emplace(std::move(key), std::move(value));
+        SkipWhitespace();
+        if (Consume(',')) continue;
+        if (Consume('}')) return Status::OK();
+        return Error("expected ',' or '}' in object");
+      }
+    }
+    if (c == '[') {
+      ++at_;
+      out->kind_ = JsonValue::Kind::kArray;
+      SkipWhitespace();
+      if (Consume(']')) return Status::OK();
+      while (true) {
+        JsonValue value;
+        HLM_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+        out->array_.push_back(std::move(value));
+        SkipWhitespace();
+        if (Consume(',')) continue;
+        if (Consume(']')) return Status::OK();
+        return Error("expected ',' or ']' in array");
+      }
+    }
+    if (c == '"') {
+      out->kind_ = JsonValue::Kind::kString;
+      return ParseString(&out->string_);
+    }
+    if (c == 't') {
+      HLM_RETURN_IF_ERROR(ParseLiteral("true"));
+      out->kind_ = JsonValue::Kind::kBool;
+      out->bool_ = true;
+      return Status::OK();
+    }
+    if (c == 'f') {
+      HLM_RETURN_IF_ERROR(ParseLiteral("false"));
+      out->kind_ = JsonValue::Kind::kBool;
+      out->bool_ = false;
+      return Status::OK();
+    }
+    if (c == 'n') {
+      HLM_RETURN_IF_ERROR(ParseLiteral("null"));
+      out->kind_ = JsonValue::Kind::kNull;
+      return Status::OK();
+    }
+    // Number: delegate to strtod over the longest plausible span.
+    size_t start = at_;
+    while (at_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[at_])) ||
+            text_[at_] == '-' || text_[at_] == '+' || text_[at_] == '.' ||
+            text_[at_] == 'e' || text_[at_] == 'E')) {
+      ++at_;
+    }
+    if (at_ == start) return Error("unexpected character");
+    std::string span = text_.substr(start, at_ - start);
+    char* parse_end = nullptr;
+    double value = std::strtod(span.c_str(), &parse_end);
+    if (parse_end == nullptr || *parse_end != '\0') {
+      return Error("unparsable number '" + span + "'");
+    }
+    out->kind_ = JsonValue::Kind::kNumber;
+    out->number_ = value;
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  size_t at_ = 0;
+};
+
+Result<JsonValue> JsonValue::Parse(const std::string& text) {
+  JsonValueParser parser(text);
+  return parser.Parse();
+}
+
+bool JsonValue::AsBool(bool fallback) const {
+  return kind_ == Kind::kBool ? bool_ : fallback;
+}
+
+double JsonValue::AsNumber(double fallback) const {
+  return kind_ == Kind::kNumber ? number_ : fallback;
+}
+
+std::string JsonValue::AsString(const std::string& fallback) const {
+  return kind_ == Kind::kString ? string_ : fallback;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+const JsonValue* JsonValue::At(size_t index) const {
+  if (kind_ != Kind::kArray || index >= array_.size()) return nullptr;
+  return &array_[index];
+}
+
+size_t JsonValue::size() const {
+  switch (kind_) {
+    case Kind::kArray:
+      return array_.size();
+    case Kind::kObject:
+      return object_.size();
+    default:
+      return 0;
+  }
 }
 
 }  // namespace hlm::obs

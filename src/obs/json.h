@@ -1,7 +1,12 @@
 #ifndef HLM_OBS_JSON_H_
 #define HLM_OBS_JSON_H_
 
+#include <map>
+#include <memory>
 #include <string>
+#include <vector>
+
+#include "common/status.h"
 
 namespace hlm::obs {
 
@@ -17,6 +22,52 @@ std::string JsonQuote(const std::string& raw);
 /// are replaced with '?'; this codebase emits none). Unknown escapes
 /// keep the escaped character verbatim.
 std::string JsonUnescape(const std::string& escaped);
+
+/// A parsed JSON document node: the generic counterpart to the
+/// schema-specific parsers scattered through the exporters, for tools
+/// (hlm_top) that consume whole /statusz documents rather than one
+/// known shape. Numbers are doubles (the only numeric type this
+/// codebase's JSON emitters produce); object keys keep first-wins
+/// semantics on duplicates.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses one complete JSON document (trailing garbage is an error).
+  /// Nesting is capped at 128 levels so hostile input cannot blow the
+  /// stack.
+  static Result<JsonValue> Parse(const std::string& text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Type-coercing accessors: the fallback comes back when the node is
+  /// absent or of a different kind.
+  bool AsBool(bool fallback = false) const;
+  double AsNumber(double fallback = 0.0) const;
+  std::string AsString(const std::string& fallback = "") const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+  /// Array element; nullptr when out of range or not an array.
+  const JsonValue* At(size_t index) const;
+  size_t size() const;
+
+  const std::map<std::string, JsonValue>& object() const { return object_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+
+  friend class JsonValueParser;
+};
 
 }  // namespace hlm::obs
 

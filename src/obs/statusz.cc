@@ -37,6 +37,21 @@ bool StartsWith(const std::string& s, const std::string& prefix) {
 std::string RenderStatuszText(const MetricsSnapshot& metrics,
                               const std::vector<OpenSpanInfo>& open_spans,
                               const std::vector<FlightEntry>& flight_tail) {
+  return RenderStatuszText(metrics, open_spans, flight_tail,
+                           WindowSummary{});
+}
+
+std::string RenderStatuszJson(const MetricsSnapshot& metrics,
+                              const std::vector<OpenSpanInfo>& open_spans,
+                              const std::vector<FlightEntry>& flight_tail) {
+  return RenderStatuszJson(metrics, open_spans, flight_tail,
+                           WindowSummary{});
+}
+
+std::string RenderStatuszText(const MetricsSnapshot& metrics,
+                              const std::vector<OpenSpanInfo>& open_spans,
+                              const std::vector<FlightEntry>& flight_tail,
+                              const WindowSummary& window) {
   std::ostringstream out;
   out << "==== hlm statusz ====\n";
   const std::string run_id = RunIdOf(metrics);
@@ -62,6 +77,30 @@ std::string RenderStatuszText(const MetricsSnapshot& metrics,
         << " " << FormatDouble(summary.p90) << " "
         << FormatDouble(summary.p99) << " " << FormatDouble(summary.max)
         << "\n";
+  }
+
+  if (!window.empty()) {
+    out << "\n-- windowed (last " << FormatDouble(window.window_s)
+        << "s, covered " << FormatDouble(window.covered_s) << "s) --\n";
+    out << "counter delta rate_per_s\n";
+    for (const auto& [name, delta] : window.counter_deltas) {
+      out << name << " " << delta << " " << FormatDouble(window.Rate(name))
+          << "\n";
+    }
+    out << "histogram count qps p50 p90 p99\n";
+    for (const auto& [name, histogram] : window.histograms) {
+      if (!EndsWith(name, "_seconds")) continue;
+      HistogramSnapshot snapshot = histogram.ToSnapshot();
+      PercentileSummary summary = SummarizePercentiles(snapshot);
+      const double qps =
+          window.covered_s > 0
+              ? static_cast<double>(histogram.count) / window.covered_s
+              : 0.0;
+      out << name << " " << histogram.count << " " << FormatDouble(qps)
+          << " " << FormatDouble(summary.p50) << " "
+          << FormatDouble(summary.p90) << " " << FormatDouble(summary.p99)
+          << "\n";
+    }
   }
 
   out << "\n-- resource profile --\n";
@@ -107,10 +146,52 @@ std::string RenderStatuszText(const MetricsSnapshot& metrics,
 
 std::string RenderStatuszJson(const MetricsSnapshot& metrics,
                               const std::vector<OpenSpanInfo>& open_spans,
-                              const std::vector<FlightEntry>& flight_tail) {
+                              const std::vector<FlightEntry>& flight_tail,
+                              const WindowSummary& window) {
   std::ostringstream out;
   out << "{\n\"run_id\": " << JsonQuote(RunIdOf(metrics))
       << ",\n\"uptime_us\": " << FormatDouble(NowMicros()) << ",\n";
+
+  out << "\"window\": {\"window_s\": " << FormatDouble(window.window_s)
+      << ", \"covered_s\": " << FormatDouble(window.covered_s)
+      << ",\n  \"counter_deltas\": {";
+  {
+    bool first = true;
+    for (const auto& [name, delta] : window.counter_deltas) {
+      out << (first ? "" : ", ") << JsonQuote(name) << ": " << delta;
+      first = false;
+    }
+  }
+  out << "},\n  \"counter_rates\": {";
+  {
+    bool first = true;
+    for (const auto& [name, delta] : window.counter_deltas) {
+      (void)delta;
+      out << (first ? "" : ", ") << JsonQuote(name) << ": "
+          << FormatDouble(window.Rate(name));
+      first = false;
+    }
+  }
+  out << "},\n  \"histograms\": {";
+  {
+    bool first = true;
+    for (const auto& [name, histogram] : window.histograms) {
+      HistogramSnapshot snapshot = histogram.ToSnapshot();
+      PercentileSummary summary = SummarizePercentiles(snapshot);
+      const double qps =
+          window.covered_s > 0
+              ? static_cast<double>(histogram.count) / window.covered_s
+              : 0.0;
+      out << (first ? "" : ",") << "\n    " << JsonQuote(name)
+          << ": {\"count\": " << histogram.count
+          << ", \"qps\": " << FormatDouble(qps)
+          << ", \"p50\": " << FormatDouble(summary.p50)
+          << ", \"p90\": " << FormatDouble(summary.p90)
+          << ", \"p99\": " << FormatDouble(summary.p99) << "}";
+      first = false;
+    }
+  }
+  out << "}\n},\n";
 
   out << "\"percentiles\": {";
   bool first = true;
@@ -168,6 +249,7 @@ struct LiveParts {
   MetricsSnapshot metrics;
   std::vector<OpenSpanInfo> open_spans;
   std::vector<FlightEntry> flight_tail;
+  WindowSummary window;
 };
 
 LiveParts CollectLive(const StatuszOptions& options) {
@@ -179,6 +261,8 @@ LiveParts CollectLive(const StatuszOptions& options) {
     parts.open_spans.resize(options.max_open_spans);
   }
   parts.flight_tail = FlightRecorder::Global().Tail(options.flight_tail);
+  parts.window = TimeSeriesCollector::Global().Summarize(NowMicros() / 1e6,
+                                                         options.window_s);
   return parts;
 }
 
@@ -187,13 +271,13 @@ LiveParts CollectLive(const StatuszOptions& options) {
 std::string StatuszText(const StatuszOptions& options) {
   LiveParts parts = CollectLive(options);
   return RenderStatuszText(parts.metrics, parts.open_spans,
-                           parts.flight_tail);
+                           parts.flight_tail, parts.window);
 }
 
 std::string StatuszJson(const StatuszOptions& options) {
   LiveParts parts = CollectLive(options);
   return RenderStatuszJson(parts.metrics, parts.open_spans,
-                           parts.flight_tail);
+                           parts.flight_tail, parts.window);
 }
 
 }  // namespace hlm::obs

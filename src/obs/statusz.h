@@ -6,6 +6,7 @@
 
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace hlm::obs {
@@ -14,6 +15,7 @@ namespace hlm::obs {
 struct StatuszOptions {
   size_t flight_tail = 32;  ///< newest flight-recorder entries shown
   size_t max_open_spans = 64;
+  double window_s = 60.0;  ///< lookback for the windowed section
 };
 
 /// One self-describing snapshot of a running process: metrics (with
@@ -27,13 +29,24 @@ std::string StatuszJson(const StatuszOptions& options = {});
 
 /// Section renderers over pre-loaded parts, shared by the live path
 /// above and tools/hlm_statusz (which reads the parts from dump files
-/// and has no live open-span table — it passes {}).
+/// and has no live open-span table — it passes {}). The four-argument
+/// overloads add the "windowed" section (rates + windowed percentiles
+/// over a WindowSummary); the three-argument forms render an empty
+/// window, preserving the pre-window callers.
 std::string RenderStatuszText(const MetricsSnapshot& metrics,
                               const std::vector<OpenSpanInfo>& open_spans,
                               const std::vector<FlightEntry>& flight_tail);
 std::string RenderStatuszJson(const MetricsSnapshot& metrics,
                               const std::vector<OpenSpanInfo>& open_spans,
                               const std::vector<FlightEntry>& flight_tail);
+std::string RenderStatuszText(const MetricsSnapshot& metrics,
+                              const std::vector<OpenSpanInfo>& open_spans,
+                              const std::vector<FlightEntry>& flight_tail,
+                              const WindowSummary& window);
+std::string RenderStatuszJson(const MetricsSnapshot& metrics,
+                              const std::vector<OpenSpanInfo>& open_spans,
+                              const std::vector<FlightEntry>& flight_tail,
+                              const WindowSummary& window);
 
 }  // namespace hlm::obs
 

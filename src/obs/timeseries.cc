@@ -1,0 +1,190 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hlm::obs {
+
+namespace {
+
+/// Aligns a windowed histogram's delta vector with `bounds`, growing the
+/// delta vector when a histogram appears mid-window with more buckets
+/// (registry reset with a different layout is treated as brand new).
+bool SameBounds(const std::vector<double>& a, const std::vector<double>& b) {
+  return a == b;
+}
+
+void MergeInto(WindowedHistogram* into, const WindowedHistogram& from) {
+  if (into->bounds.empty()) {
+    *into = from;
+    return;
+  }
+  if (!SameBounds(into->bounds, from.bounds)) {
+    // Layout changed mid-window (registry reset): keep the newer layout
+    // and drop the stale deltas — a one-bucket blip beats corrupt math.
+    *into = from;
+    return;
+  }
+  for (size_t i = 0; i < from.bucket_deltas.size(); ++i) {
+    into->bucket_deltas[i] += from.bucket_deltas[i];
+  }
+  into->count += from.count;
+  into->sum += from.sum;
+}
+
+}  // namespace
+
+HistogramSnapshot WindowedHistogram::ToSnapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.bounds = bounds;
+  snapshot.bucket_counts = bucket_deltas;
+  snapshot.count = count;
+  snapshot.sum = sum;
+  if (count <= 0) return snapshot;
+  // Reconstruct conservative min/max from bucket occupancy: the quantile
+  // estimator clamps to [min, max] and interpolates the first and last
+  // occupied buckets from them, so these edges set its working range.
+  size_t first = bucket_deltas.size();
+  size_t last = bucket_deltas.size();
+  for (size_t i = 0; i < bucket_deltas.size(); ++i) {
+    if (bucket_deltas[i] > 0) {
+      if (first == bucket_deltas.size()) first = i;
+      last = i;
+    }
+  }
+  if (first == bucket_deltas.size()) return snapshot;  // inconsistent; bail
+  snapshot.min = first == 0 ? 0.0 : bounds[first - 1];
+  if (last < bounds.size()) {
+    snapshot.max = bounds[last];
+  } else if (bounds.empty()) {
+    snapshot.max = snapshot.min;
+  } else {
+    // Overflow bucket: extrapolate one log step past the final bound so
+    // the estimate stays finite without inventing precision.
+    const double top = bounds.back();
+    const double step = bounds.size() >= 2 && bounds[bounds.size() - 2] > 0
+                            ? top / bounds[bounds.size() - 2]
+                            : 2.0;
+    snapshot.max = top * std::max(step, 1.0);
+  }
+  snapshot.max = std::max(snapshot.max, snapshot.min);
+  return snapshot;
+}
+
+double WindowSummary::Rate(const std::string& counter) const {
+  if (covered_s <= 0.0) return 0.0;
+  auto it = counter_deltas.find(counter);
+  if (it == counter_deltas.end()) return 0.0;
+  return static_cast<double>(it->second) / covered_s;
+}
+
+TimeSeriesCollector::TimeSeriesCollector(TimeSeriesOptions options)
+    : options_(options) {
+  if (options_.bucket_width_s <= 0.0) options_.bucket_width_s = 1.0;
+  if (options_.num_buckets == 0) options_.num_buckets = 1;
+}
+
+TimeSeriesCollector& TimeSeriesCollector::Global() {
+  static TimeSeriesCollector* instance = new TimeSeriesCollector();
+  return *instance;
+}
+
+bool TimeSeriesCollector::ShouldRecord(double now_s) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !has_base_ || now_s - last_s_ >= options_.bucket_width_s;
+}
+
+bool TimeSeriesCollector::Record(double now_s,
+                                 const MetricsSnapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (has_base_ && now_s - last_s_ < options_.bucket_width_s) return false;
+
+  Bucket bucket;
+  bucket.start_s = last_s_;
+  bucket.end_s = now_s;
+  for (const auto& [name, value] : snapshot.counters) {
+    auto it = last_counters_.find(name);
+    // A counter below its previous cumulative value means the registry
+    // was reset: restart the series, counting the full current value.
+    const long long base =
+        it != last_counters_.end() && it->second <= value ? it->second : 0;
+    const long long delta = value - base;
+    if (delta != 0) bucket.counter_deltas[name] = delta;
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    const CumulativeHistogram* base = nullptr;
+    auto it = last_histograms_.find(name);
+    if (it != last_histograms_.end() &&
+        SameBounds(it->second.bounds, histogram.bounds) &&
+        it->second.count <= histogram.count) {
+      base = &it->second;
+    }
+    WindowedHistogram delta;
+    delta.bounds = histogram.bounds;
+    delta.bucket_deltas.assign(histogram.bucket_counts.size(), 0);
+    delta.count = histogram.count - (base != nullptr ? base->count : 0);
+    delta.sum = histogram.sum - (base != nullptr ? base->sum : 0.0);
+    bool any = false;
+    for (size_t i = 0; i < histogram.bucket_counts.size(); ++i) {
+      const long long previous =
+          base != nullptr && i < base->bucket_counts.size()
+              ? base->bucket_counts[i]
+              : 0;
+      delta.bucket_deltas[i] =
+          std::max(0LL, histogram.bucket_counts[i] - previous);
+      any = any || delta.bucket_deltas[i] != 0;
+    }
+    if (any || delta.count > 0) bucket.histogram_deltas[name] = delta;
+  }
+
+  if (has_base_) {
+    ring_.push_back(std::move(bucket));
+    while (ring_.size() > options_.num_buckets) ring_.pop_front();
+  }
+
+  // Re-baseline on every accepted record, even the first.
+  last_s_ = now_s;
+  last_counters_ = snapshot.counters;
+  last_histograms_.clear();
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    CumulativeHistogram cumulative;
+    cumulative.bounds = histogram.bounds;
+    cumulative.bucket_counts = histogram.bucket_counts;
+    cumulative.count = histogram.count;
+    cumulative.sum = histogram.sum;
+    last_histograms_.emplace(name, std::move(cumulative));
+  }
+  const bool admitted = has_base_;
+  has_base_ = true;
+  return admitted;
+}
+
+WindowSummary TimeSeriesCollector::Summarize(double now_s,
+                                             double window_s) const {
+  WindowSummary summary;
+  summary.window_s = window_s;
+  std::lock_guard<std::mutex> lock(mu_);
+  const double cutoff = now_s - window_s;
+  for (const Bucket& bucket : ring_) {
+    if (bucket.end_s <= cutoff) continue;
+    summary.covered_s += bucket.end_s - bucket.start_s;
+    for (const auto& [name, delta] : bucket.counter_deltas) {
+      summary.counter_deltas[name] += delta;
+    }
+    for (const auto& [name, delta] : bucket.histogram_deltas) {
+      MergeInto(&summary.histograms[name], delta);
+    }
+  }
+  return summary;
+}
+
+void TimeSeriesCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  has_base_ = false;
+  last_s_ = 0.0;
+  last_counters_.clear();
+  last_histograms_.clear();
+  ring_.clear();
+}
+
+}  // namespace hlm::obs

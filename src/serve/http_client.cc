@@ -1,12 +1,16 @@
 #include "serve/http_client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 #include <string>
 #include <utility>
@@ -22,9 +26,31 @@ Status TransportError(const std::string& what) {
   return Status::Internal(what + ": " + std::strerror(errno));
 }
 
+/// Maps a failed send/recv result onto the right status: 0 is a peer
+/// close (errno is stale then), and EAGAIN/EWOULDBLOCK on a socket
+/// with SO_RCVTIMEO/SO_SNDTIMEO set means the deadline expired, not a
+/// transport fault.
+Status IoError(const std::string& what, double timeout_s, ssize_t n) {
+  if (n == 0) return Status::Internal(what + ": connection closed by peer");
+  if (errno == EAGAIN || errno == EWOULDBLOCK) {
+    return Status::DeadlineExceeded(what + ": no data within " +
+                                    FormatDouble(timeout_s, 3) + "s");
+  }
+  return TransportError(what);
+}
+
+struct ::timeval ToTimeval(double seconds) {
+  struct ::timeval tv;
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (seconds - std::floor(seconds)) * 1e6);
+  return tv;
+}
+
 }  // namespace
 
-Result<HttpClient> HttpClient::Connect(const std::string& host, int port) {
+Result<HttpClient> HttpClient::Connect(const std::string& host, int port,
+                                       const HttpClientOptions& options) {
   int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return TransportError("socket");
   struct sockaddr_in addr;
@@ -35,14 +61,58 @@ Result<HttpClient> HttpClient::Connect(const std::string& host, int port) {
     ::close(fd);
     return Status::InvalidArgument("not a dotted-quad address: " + host);
   }
-  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    ::close(fd);
-    return TransportError("connect " + host + ":" + std::to_string(port));
+  const std::string peer = host + ":" + std::to_string(port);
+  if (options.connect_timeout_s > 0) {
+    // Non-blocking connect bounded by poll: a blackholed peer fails in
+    // connect_timeout_s instead of the kernel's minutes-long default.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                       sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS) {
+      ::close(fd);
+      return TransportError("connect " + peer);
+    }
+    if (rc != 0) {
+      struct ::pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      pfd.revents = 0;
+      const int timeout_ms =
+          static_cast<int>(options.connect_timeout_s * 1000.0);
+      const int ready = ::poll(&pfd, 1, timeout_ms);
+      if (ready == 0) {
+        ::close(fd);
+        return Status::DeadlineExceeded(
+            "connect " + peer + ": no answer within " +
+            FormatDouble(options.connect_timeout_s, 3) + "s");
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (ready < 0 ||
+          ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+          so_error != 0) {
+        if (so_error != 0) errno = so_error;
+        ::close(fd);
+        return TransportError("connect " + peer);
+      }
+    }
+    ::fcntl(fd, F_SETFL, flags);  // back to blocking for send/recv
+  } else {
+    if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd);
+      return TransportError("connect " + peer);
+    }
+  }
+  if (options.io_timeout_s > 0) {
+    struct ::timeval tv = ToTimeval(options.io_timeout_s);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
   }
   int nodelay = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
-  return HttpClient(fd);
+  return HttpClient(fd, options.io_timeout_s);
 }
 
 HttpClient::~HttpClient() {
@@ -50,7 +120,9 @@ HttpClient::~HttpClient() {
 }
 
 HttpClient::HttpClient(HttpClient&& other) noexcept
-    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+    : fd_(other.fd_),
+      io_timeout_s_(other.io_timeout_s_),
+      buffer_(std::move(other.buffer_)) {
   other.fd_ = -1;
 }
 
@@ -58,6 +130,7 @@ HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = other.fd_;
+    io_timeout_s_ = other.io_timeout_s_;
     buffer_ = std::move(other.buffer_);
     other.fd_ = -1;
   }
@@ -73,7 +146,7 @@ Result<HttpResponse> HttpClient::Get(const std::string& path) {
   while (sent < request.size()) {
     ssize_t n = ::send(fd_, request.data() + sent, request.size() - sent,
                        MSG_NOSIGNAL);
-    if (n <= 0) return TransportError("send");
+    if (n <= 0) return IoError("send", io_timeout_s_, n);
     sent += static_cast<size_t>(n);
   }
 
@@ -82,7 +155,7 @@ Result<HttpResponse> HttpClient::Get(const std::string& path) {
   while ((head_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
     char chunk[4096];
     ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n <= 0) return TransportError("recv (headers)");
+    if (n <= 0) return IoError("recv (headers)", io_timeout_s_, n);
     buffer_.append(chunk, static_cast<size_t>(n));
   }
   const std::string head = buffer_.substr(0, head_end);
@@ -128,7 +201,7 @@ Result<HttpResponse> HttpClient::Get(const std::string& path) {
   while (buffer_.size() < static_cast<size_t>(content_length)) {
     char chunk[4096];
     ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n <= 0) return TransportError("recv (body)");
+    if (n <= 0) return IoError("recv (body)", io_timeout_s_, n);
     buffer_.append(chunk, static_cast<size_t>(n));
   }
   response.body = buffer_.substr(0, static_cast<size_t>(content_length));

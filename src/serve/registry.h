@@ -95,6 +95,10 @@ class ModelRegistry {
 
   size_t size() const { return entries_.size(); }
 
+  /// Entries whose snapshot has been materialized (what /healthz
+  /// reports as models_loaded).
+  size_t loaded_count() const { return NumLoaded(); }
+
   /// Monotone process-wide manifest-load ordinal, stamped by
   /// FromManifest (the Nth manifest loaded in this process has
   /// generation N). 0 for registries built ad hoc via Register. The

@@ -1,0 +1,93 @@
+#include "serve/request_recorder.h"
+
+#include "obs/events.h"
+
+namespace hlm::serve {
+
+const char* RouteName(Route route) {
+  switch (route) {
+    case Route::kRecommend: return "recommend";
+    case Route::kSimilar: return "similar";
+    case Route::kTopics: return "topics";
+    case Route::kHealthz: return "healthz";
+    case Route::kStatusz: return "statusz";
+    case Route::kMetricsz: return "metricsz";
+    case Route::kOther: return "other";
+  }
+  return "other";
+}
+
+Route RouteForPath(const std::string& path) {
+  if (path == "/v1/recommend") return Route::kRecommend;
+  if (path == "/v1/similar") return Route::kSimilar;
+  if (path == "/v1/topics") return Route::kTopics;
+  if (path == "/healthz") return Route::kHealthz;
+  if (path == "/statusz") return Route::kStatusz;
+  if (path == "/metricsz") return Route::kMetricsz;
+  return Route::kOther;
+}
+
+RequestRecorder::RequestRecorder(RequestRecorderOptions options)
+    : options_(options) {
+  if (options_.sample_every < 1) options_.sample_every = 1;
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  for (size_t i = 0; i < kNumRoutes; ++i) {
+    // Names are assembled from the fixed route table; every one follows
+    // the hlm.<subsystem>.<metric>_total / _seconds convention.
+    const std::string prefix =
+        std::string("hlm.serve.http.") + RouteName(static_cast<Route>(i));
+    auto route_counter = [&metrics, &prefix](const std::string& suffix) {
+      const std::string name = prefix + suffix;
+      return metrics.GetCounter(name);
+    };
+    RouteMetrics& cells = routes_[i];
+    cells.requests = route_counter(".requests_total");
+    cells.errors = route_counter(".errors_total");
+    cells.status_2xx = route_counter(".status_2xx_total");
+    cells.status_4xx = route_counter(".status_4xx_total");
+    cells.status_5xx = route_counter(".status_5xx_total");
+    const std::string seconds_name = prefix + ".request_seconds";
+    cells.seconds = metrics.GetHistogram(seconds_name);
+  }
+  kept_ = metrics.GetCounter("hlm.serve.trace.kept_total");
+  slow_ = metrics.GetCounter("hlm.serve.trace.slow_total");
+  sampled_ = metrics.GetCounter("hlm.serve.trace.sampled_total");
+}
+
+void RequestRecorder::Record(Route route, int status_code, double elapsed_s,
+                             int generation) {
+  const RouteMetrics& cells = routes_[static_cast<size_t>(route)];
+  cells.requests->Increment();
+  cells.seconds->Observe(elapsed_s);
+  const bool error = status_code >= 400;
+  if (error) cells.errors->Increment();
+  if (status_code >= 200 && status_code < 300) {
+    cells.status_2xx->Increment();
+  } else if (status_code >= 400 && status_code < 500) {
+    cells.status_4xx->Increment();
+  } else if (status_code >= 500) {
+    cells.status_5xx->Increment();
+  }
+
+  const bool slow = elapsed_s >= options_.slow_request_threshold_s;
+  if (slow) slow_->Increment();
+  // The ordinal pre-increments, so the 1-in-n sample fires on request
+  // sample_every, 2*sample_every, ... — never on the very first
+  // request, which keeps keep-decisions assertable in tests.
+  const long long ordinal =
+      ordinal_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const bool sampled = ordinal % options_.sample_every == 0;
+  if (!slow && !error && !sampled) return;
+  kept_->Increment();
+  if (sampled && !slow && !error) sampled_->Increment();
+  HLM_EVENT_AT(
+      error ? obs::EventLevel::kWarning : obs::EventLevel::kInfo,
+      "serve.http.request",
+      {{"route", RouteName(route)},
+       {"code", status_code},
+       {"seconds", elapsed_s},
+       {"generation", generation},
+       {"slow", slow}});
+}
+
+}  // namespace hlm::serve

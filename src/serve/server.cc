@@ -29,11 +29,15 @@
 #include "models/lda.h"
 #include "obs/errors.h"
 #include "obs/events.h"
+#include "obs/exposition.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/statusz.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
 #include "recsys/similarity_search.h"
 #include "serve/registry.h"
+#include "serve/request_recorder.h"
 
 namespace hlm::serve {
 
@@ -247,10 +251,16 @@ struct Server::Impl {
   int listen_fd = -1;
   int port = 0;
 
-  /// The serving bundle; swapped wholesale on reload. Readers load the
+  /// The serving bundle; swapped wholesale on reload. Readers copy the
   /// shared_ptr once per request and keep the old bundle alive for the
-  /// request's lifetime, so swaps never invalidate in-flight work.
-  std::atomic<std::shared_ptr<const ServingSnapshot>> snapshot;
+  /// request's lifetime, so swaps never invalidate in-flight work. A
+  /// plain mutex guards the pointer instead of atomic<shared_ptr>:
+  /// libstdc++'s _Sp_atomic releases its internal spin lock with
+  /// relaxed ordering on the load path, which ThreadSanitizer (and a
+  /// strict reading of the memory model) flags as a race against the
+  /// publishing store. The critical section is a single refcount bump.
+  mutable std::mutex snapshot_mu;  // hlm-lint: allow(lock-discipline)
+  std::shared_ptr<const ServingSnapshot> snapshot;
 
   std::atomic<bool> stopping{false};
 
@@ -277,6 +287,7 @@ struct Server::Impl {
   obs::Counter* reloads_total = nullptr;
   obs::Histogram* request_seconds = nullptr;
   obs::Gauge* generation_gauge = nullptr;
+  std::unique_ptr<RequestRecorder> recorder;
 
   void InitMetrics() {
     obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
@@ -288,15 +299,33 @@ struct Server::Impl {
     generation_gauge = metrics.GetGauge("hlm.serve.server.generation");
     metrics.GetGauge("hlm.serve.server.port")
         ->Set(static_cast<double>(port));
+    RequestRecorderOptions recorder_options;
+    recorder_options.slow_request_threshold_s =
+        config.slow_request_threshold_s;
+    recorder_options.sample_every = config.trace_sample_every;
+    recorder = std::make_unique<RequestRecorder>(recorder_options);
+  }
+
+  /// Feeds the global time-series collector one delta bucket when it is
+  /// due. Called from the watcher loop every poll tick and from the
+  /// introspection endpoints, so the windowed /statusz section stays
+  /// populated whichever of the two is driving.
+  void TickStats() {
+    obs::TimeSeriesCollector& collector = obs::TimeSeriesCollector::Global();
+    const double now_s = obs::NowMicros() / 1e6;
+    if (!collector.ShouldRecord(now_s)) return;
+    collector.Record(now_s, obs::MetricsRegistry::Global().Snapshot());
   }
 
   std::shared_ptr<const ServingSnapshot> CurrentSnapshot() const {
-    return snapshot.load(std::memory_order_acquire);
+    std::lock_guard<std::mutex> lock(snapshot_mu);  // hlm-lint: allow(lock-discipline)
+    return snapshot;
   }
 
   void PublishSnapshot(std::shared_ptr<const ServingSnapshot> bundle) {
     generation_gauge->Set(static_cast<double>(bundle->generation));
-    snapshot.store(std::move(bundle), std::memory_order_release);
+    std::lock_guard<std::mutex> lock(snapshot_mu);  // hlm-lint: allow(lock-discipline)
+    snapshot = std::move(bundle);
   }
 
   Result<bool> ReloadIfChanged() {
@@ -447,29 +476,49 @@ struct Server::Impl {
     return body;
   }
 
-  /// Routes one parsed request; fills `code`/`content_type` and returns
-  /// the body.
+  /// Routes one parsed request; fills `code`/`content_type` (and the
+  /// telemetry out-params `route`/`generation`) and returns the body.
   std::string Dispatch(const HttpRequest& request, int* code,
-                       std::string* content_type) {
+                       std::string* content_type, Route* route,
+                       int* generation) {
     *code = 200;
     *content_type = "application/json";
+    *route = RouteForPath(request.path);
+    std::shared_ptr<const ServingSnapshot> bundle = CurrentSnapshot();
+    *generation = bundle->generation;
     if (request.method != "GET") {
       *code = 405;
       return JsonError(
           Status::InvalidArgument("only GET is supported"));
     }
-    std::shared_ptr<const ServingSnapshot> bundle = CurrentSnapshot();
     if (request.path == "/healthz") {
-      return "{\"status\":\"ok\",\"generation\":" +
-             std::to_string(bundle->generation) + "}";
+      auto format = request.params.find("format");
+      if (format != request.params.end() && format->second == "text") {
+        *content_type = "text/plain";
+        return "ok";
+      }
+      std::string body = "{\"status\":\"ok\",\"generation\":" +
+                         std::to_string(bundle->generation);
+      body += ",\"uptime_seconds\":" +
+              FormatDouble(obs::NowMicros() / 1e6, 3);
+      body += ",\"models_loaded\":" +
+              std::to_string(bundle->registry.loaded_count()) + "}";
+      return body;
     }
     if (request.path == "/statusz") {
+      TickStats();
       auto format = request.params.find("format");
       if (format != request.params.end() && format->second == "json") {
         return obs::StatuszJson();
       }
       *content_type = "text/plain";
       return obs::StatuszText();
+    }
+    if (request.path == "/metricsz") {
+      TickStats();
+      *content_type = "text/plain; version=0.0.4; charset=utf-8";
+      return obs::RenderPrometheusText(
+          obs::MetricsRegistry::Global().Snapshot());
     }
     if (request.path == "/v1/topics") {
       return HandleTopics(*bundle, request, code);
@@ -489,12 +538,18 @@ struct Server::Impl {
     while (!stopping.load(std::memory_order_relaxed)) {
       std::string head;
       if (!ReadRequestHead(fd, buffer, head)) break;
+      // The span opens after the request head arrives (keep-alive idle
+      // time is not request latency) and closes before the response
+      // hits the wire bookkeeping below.
+      obs::TraceSpan span("serve.http.request");
       obs::ScopedTimer timer(request_seconds);
       requests_total->Increment();
       int code = 200;
       std::string content_type;
       std::string body;
       bool keep_alive = false;
+      Route route = Route::kOther;
+      int generation = -1;
       Result<HttpRequest> request = ParseRequestHead(head);
       if (!request.ok()) {
         code = 400;
@@ -502,9 +557,12 @@ struct Server::Impl {
         body = JsonError(request.status());
       } else {
         keep_alive = request.value().keep_alive;
-        body = Dispatch(request.value(), &code, &content_type);
+        body = Dispatch(request.value(), &code, &content_type, &route,
+                        &generation);
       }
       if (code >= 400) errors_total->Increment();
+      const double elapsed_s = timer.Stop();
+      recorder->Record(route, code, elapsed_s, generation);
       if (!SendAll(fd, RenderResponse(code, content_type, body,
                                       keep_alive))) {
         break;
@@ -543,6 +601,7 @@ struct Server::Impl {
         });
       }
       if (stopping.load(std::memory_order_relaxed)) return;
+      TickStats();
       Result<bool> swapped = ReloadIfChanged();
       if (!swapped.ok()) {
         // Already error-counted (TrackError) and logged; keep polling —

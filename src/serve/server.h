@@ -29,17 +29,35 @@ struct ServerConfig {
   /// scorer); `similar_model` a representation matrix.
   std::string recommend_model = "lda";
   std::string similar_model = "lda-repr";
+
+  /// Tail-sampling policy for per-request tracing (see
+  /// serve/request_recorder.h): requests at or above the threshold, or
+  /// with an error status, are always kept in the flight recorder;
+  /// 1 in `trace_sample_every` of the rest is kept too.
+  double slow_request_threshold_s = 0.25;
+  long long trace_sample_every = 100;
 };
 
 /// Online recommendation server over a model-registry snapshot
 /// directory (DESIGN.md "Serving").
 ///
 /// Endpoints (HTTP/1.1, GET only, keep-alive):
-///   /healthz                        liveness + current generation
-///   /statusz[?format=json]          the obs statusz surface
+///   /healthz                        JSON liveness: generation,
+///                                   uptime_seconds, models_loaded
+///                                   (?format=text returns plain "ok")
+///   /statusz[?format=json]          the obs statusz surface, including
+///                                   the windowed ("last 60 s") section
+///   /metricsz                       Prometheus text exposition scrape
 ///   /v1/topics?tokens=1,2,3         LDA topic mixture for a history
 ///   /v1/recommend?tokens=1,2&k=5    top-k next products, owned excluded
 ///   /v1/similar?company=7&k=5       nearest companies by representation
+///
+/// Telemetry: every request is timed into the aggregate and per-route
+/// hlm.serve.http.* metrics (request_recorder.h), wrapped in a
+/// serve.http.request trace span, and tail-sampled into the flight
+/// recorder. The watcher thread (and the /statusz + /metricsz handlers)
+/// tick the global TimeSeriesCollector, so windowed QPS/latency appear
+/// whenever the server runs with a watcher or is scraped periodically.
 ///
 /// Read path: every request loads one immutable snapshot bundle
 /// (registry + eagerly-loaded models + similarity index) through an

@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -13,11 +14,21 @@
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "corpus/generator.h"
 #include "models/lda.h"
+#include "obs/exposition.h"
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "repr/representation.h"
 #include "serve/http_client.h"
 #include "serve/registry.h"
+#include "serve/request_recorder.h"
 
 namespace hlm::serve {
 namespace {
@@ -255,6 +266,181 @@ TEST(ServerTest, HotReloadUnderLoadDropsNoRequests) {
   }
   EXPECT_GT(server.value()->generation(), initial_generation);
   server.value()->Stop();
+}
+
+TEST(ServerTest, HealthzServesJsonAndPlainText) {
+  const std::string dir = TempDirFor("server_healthz");
+  const std::string manifest = BuildSnapshotDir(dir);
+  ServerConfig config;
+  config.manifest_path = manifest;
+  auto server = Server::Start(config);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const int port = server.value()->port();
+
+  auto json = Get(port, "/healthz");
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  EXPECT_EQ(json.value().status_code, 200);
+  auto parsed = obs::JsonValue::Parse(json.value().body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n"
+                           << json.value().body;
+  const obs::JsonValue& doc = parsed.value();
+  EXPECT_EQ(doc.Find("status")->AsString(), "ok");
+  EXPECT_GE(doc.Find("generation")->AsNumber(), 1.0);
+  EXPECT_GT(doc.Find("uptime_seconds")->AsNumber(), 0.0);
+  EXPECT_GE(doc.Find("models_loaded")->AsNumber(), 2.0);
+
+  // Plain probes (shell scripts, LB health checks) get the old body.
+  auto text = Get(port, "/healthz?format=text");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text.value().status_code, 200);
+  EXPECT_EQ(text.value().body, "ok");
+  server.value()->Stop();
+}
+
+TEST(ServerTest, MetricszServesValidatedExposition) {
+  const std::string dir = TempDirFor("server_metricsz");
+  const std::string manifest = BuildSnapshotDir(dir);
+  ServerConfig config;
+  config.manifest_path = manifest;
+  auto server = Server::Start(config);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const int port = server.value()->port();
+
+  // Drive a couple of real requests so the per-route series move.
+  ASSERT_TRUE(Get(port, "/v1/recommend?tokens=0,1&k=3").ok());
+  ASSERT_TRUE(Get(port, "/v1/nope").ok());
+
+  auto scrape = Get(port, "/metricsz");
+  ASSERT_TRUE(scrape.ok()) << scrape.status().ToString();
+  EXPECT_EQ(scrape.value().status_code, 200);
+  const std::string& body = scrape.value().body;
+  Status valid = obs::ValidateExposition(body);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+  // Per-route families appear under their sanitized exposition names,
+  // pre-registered so the scrape schema is complete from the start.
+  EXPECT_NE(body.find("# TYPE hlm_serve_http_recommend_requests_total "
+                      "counter"),
+            std::string::npos);
+  EXPECT_NE(
+      body.find("# TYPE hlm_serve_http_recommend_request_seconds histogram"),
+      std::string::npos);
+  EXPECT_NE(body.find("hlm_serve_http_other_status_4xx_total"),
+            std::string::npos);
+  EXPECT_NE(body.find("hlm_serve_trace_kept_total"), std::string::npos);
+  server.value()->Stop();
+}
+
+TEST(ServerTest, StatuszJsonCarriesTheWindowSection) {
+  const std::string dir = TempDirFor("server_window");
+  const std::string manifest = BuildSnapshotDir(dir);
+  ServerConfig config;
+  config.manifest_path = manifest;
+  auto server = Server::Start(config);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const int port = server.value()->port();
+
+  auto statusz = Get(port, "/statusz?format=json");
+  ASSERT_TRUE(statusz.ok()) << statusz.status().ToString();
+  auto parsed = obs::JsonValue::Parse(statusz.value().body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue* window = parsed.value().Find("window");
+  ASSERT_NE(window, nullptr);
+  EXPECT_DOUBLE_EQ(window->Find("window_s")->AsNumber(), 60.0);
+  EXPECT_NE(window->Find("counter_deltas"), nullptr);
+  EXPECT_NE(window->Find("histograms"), nullptr);
+  server.value()->Stop();
+}
+
+TEST(RequestRecorderTest, CountsRoutesAndKeepsTails) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  auto value = [&](const std::string& name) {
+    return metrics.GetCounter(name)->value();
+  };
+  const long long recommend_before =
+      value("hlm.serve.http.recommend.requests_total");
+  const long long recommend_2xx_before =
+      value("hlm.serve.http.recommend.status_2xx_total");
+  const long long similar_errors_before =
+      value("hlm.serve.http.similar.errors_total");
+  const long long similar_4xx_before =
+      value("hlm.serve.http.similar.status_4xx_total");
+  const long long kept_before = value("hlm.serve.trace.kept_total");
+  const long long slow_before = value("hlm.serve.trace.slow_total");
+  const long long sampled_before = value("hlm.serve.trace.sampled_total");
+
+  RequestRecorderOptions options;
+  options.slow_request_threshold_s = 0.05;
+  options.sample_every = 3;
+  RequestRecorder recorder(options);
+
+  // Ordinals 1 and 2: fast, successful, unsampled — not kept.
+  recorder.Record(Route::kRecommend, 200, 0.001, 1);
+  recorder.Record(Route::kRecommend, 200, 0.001, 1);
+  // Ordinal 3: the 1-in-3 sample fires — kept via sampling.
+  recorder.Record(Route::kRecommend, 200, 0.001, 1);
+  // Error: always kept, never double-counted as sampled.
+  recorder.Record(Route::kSimilar, 404, 0.001, 1);
+  // Slow: at/above the threshold — always kept.
+  recorder.Record(Route::kTopics, 200, 0.2, 1);
+
+  EXPECT_EQ(value("hlm.serve.http.recommend.requests_total") -
+                recommend_before,
+            3);
+  EXPECT_EQ(value("hlm.serve.http.recommend.status_2xx_total") -
+                recommend_2xx_before,
+            3);
+  EXPECT_EQ(value("hlm.serve.http.similar.errors_total") -
+                similar_errors_before,
+            1);
+  EXPECT_EQ(value("hlm.serve.http.similar.status_4xx_total") -
+                similar_4xx_before,
+            1);
+  EXPECT_EQ(value("hlm.serve.trace.kept_total") - kept_before, 3);
+  EXPECT_EQ(value("hlm.serve.trace.slow_total") - slow_before, 1);
+  EXPECT_EQ(value("hlm.serve.trace.sampled_total") - sampled_before, 1);
+}
+
+TEST(RequestRecorderTest, RouteForPathMatchesExactPathsOnly) {
+  EXPECT_EQ(RouteForPath("/v1/recommend"), Route::kRecommend);
+  EXPECT_EQ(RouteForPath("/v1/similar"), Route::kSimilar);
+  EXPECT_EQ(RouteForPath("/v1/topics"), Route::kTopics);
+  EXPECT_EQ(RouteForPath("/healthz"), Route::kHealthz);
+  EXPECT_EQ(RouteForPath("/statusz"), Route::kStatusz);
+  EXPECT_EQ(RouteForPath("/metricsz"), Route::kMetricsz);
+  EXPECT_EQ(RouteForPath("/v1/nope"), Route::kOther);
+  EXPECT_EQ(RouteForPath("/healthz2"), Route::kOther);
+}
+
+// A peer that completes the TCP handshake (listen backlog) but never
+// reads or answers: the client's recv must fail with kDeadlineExceeded
+// after io_timeout_s, not hang for the kernel default.
+TEST(HttpClientTest, RecvTimeoutSurfacesAsDeadlineExceeded) {
+  int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listener, reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener,
+                          reinterpret_cast<struct sockaddr*>(&addr), &len),
+            0);
+  const int port = ntohs(addr.sin_port);
+
+  HttpClientOptions options;
+  options.io_timeout_s = 0.2;
+  auto client = HttpClient::Connect("127.0.0.1", port, options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto response = client.value().Get("/healthz");
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded)
+      << response.status().ToString();
+  ::close(listener);
 }
 
 }  // namespace

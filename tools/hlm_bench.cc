@@ -597,6 +597,10 @@ obs::MetricsSnapshot BuildSnapshot() {
 bool MachineDependent(const std::string& name) {
   return name.rfind("hlm.parallel.", 0) == 0 ||
          name.rfind("hlm.math.kernel.", 0) == 0 ||
+         // Tail-sampling keep decisions hinge on measured request
+         // latency (the slow-request threshold), so kept/slow counts
+         // vary with host speed.
+         name.rfind("hlm.serve.trace.", 0) == 0 ||
          name == "hlm.bench.threads" ||
          // The ephemeral listen port is the OS's pick, not a metric.
          name == "hlm.serve.server.port";

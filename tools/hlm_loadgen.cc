@@ -25,6 +25,11 @@
 // hlm.loadgen.request_seconds histogram; the summary prints p50/p90/
 // p99 plus achieved QPS, and the exit code is non-zero on any failed
 // request, a generation regression, or achieved QPS < --min_qps.
+//
+// --json_out PATH additionally writes a schema-versioned machine-
+// readable report (offered/achieved QPS, latency percentiles,
+// failures, generations seen, exit code) via an atomic rename, so
+// serve-stage results can land next to BENCH_*.json artifacts.
 
 #include <algorithm>
 #include <atomic>
@@ -37,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/atomic_file.h"
 #include "common/flags.h"
 #include "common/status.h"
 #include "common/string_util.h"
@@ -169,6 +175,66 @@ void RunWorker(const RunConfig& config, int worker_index,
   }
 }
 
+/// Everything the machine-readable report needs, gathered after the
+/// workers join.
+struct RunReport {
+  std::string mode;
+  int connections = 0;
+  double elapsed_s = 0.0;
+  double offered_qps = 0.0;  // 0 for closed-loop runs
+  double achieved_qps = 0.0;
+  long long requests = 0;
+  long long failures = 0;
+  long long generation_regressions = 0;
+  std::set<long long> generations_seen;
+  hlm::obs::HistogramSnapshot latency;
+  hlm::obs::PercentileSummary summary;
+  int exit_code = 0;
+};
+
+/// Schema-versioned report written via atomic rename; bump
+/// schema_version on any field change so downstream parsers can gate.
+hlm::Status WriteJsonReport(const std::string& path,
+                            const RunReport& report) {
+  hlm::AtomicFileWriter writer(path);
+  if (!writer.ok()) {
+    return hlm::Status::Internal("cannot open for write: " + path);
+  }
+  std::ostream& out = writer.stream();
+  out << "{\n";
+  out << "  \"schema_version\": 1,\n";
+  out << "  \"tool\": \"hlm_loadgen\",\n";
+  out << "  \"mode\": \"" << report.mode << "\",\n";
+  out << "  \"connections\": " << report.connections << ",\n";
+  out << "  \"elapsed_s\": " << hlm::FormatDouble(report.elapsed_s, 6)
+      << ",\n";
+  out << "  \"offered_qps\": " << hlm::FormatDouble(report.offered_qps, 6)
+      << ",\n";
+  out << "  \"achieved_qps\": "
+      << hlm::FormatDouble(report.achieved_qps, 6) << ",\n";
+  out << "  \"requests\": " << report.requests << ",\n";
+  out << "  \"failures\": " << report.failures << ",\n";
+  out << "  \"generation_regressions\": " << report.generation_regressions
+      << ",\n";
+  out << "  \"generations_seen\": [";
+  bool first = true;
+  for (long long generation : report.generations_seen) {
+    out << (first ? "" : ", ") << generation;
+    first = false;
+  }
+  out << "],\n";
+  out << "  \"latency_seconds\": {\"count\": " << report.latency.count
+      << ", \"mean\": " << hlm::FormatDouble(report.latency.Mean(), 9)
+      << ", \"p50\": " << hlm::FormatDouble(report.summary.p50, 9)
+      << ", \"p90\": " << hlm::FormatDouble(report.summary.p90, 9)
+      << ", \"p99\": " << hlm::FormatDouble(report.summary.p99, 9)
+      << ", \"max\": " << hlm::FormatDouble(report.summary.max, 9)
+      << "},\n";
+  out << "  \"exit_code\": " << report.exit_code << "\n";
+  out << "}\n";
+  return writer.Commit();
+}
+
 int RunOnce(const RunConfig& config, const std::string& path) {
   hlm::Result<HttpClient> client =
       HttpClient::Connect(config.host, config.port);
@@ -201,6 +267,7 @@ int main(int argc, char** argv) {
   double min_qps = 0.0;
   bool check_generations = false;
   long long expect_min_generations = 0;
+  std::string json_out;
 
   hlm::FlagSet flags;
   flags.AddString("host", &host, "server address (dotted quad)");
@@ -220,6 +287,8 @@ int main(int argc, char** argv) {
   flags.AddInt64("expect_min_generations", &expect_min_generations,
                  "fail unless at least this many distinct generations "
                  "were observed (with --check_generations)");
+  flags.AddString("json_out", &json_out,
+                  "write a machine-readable run report here");
   hlm::Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
@@ -330,6 +399,26 @@ int main(int argc, char** argv) {
                  "required %lld\n",
                  generations.size(), expect_min_generations);
     exit_code = 1;
+  }
+  if (!json_out.empty()) {
+    RunReport report;
+    report.mode = mode;
+    report.connections = config.connections;
+    report.elapsed_s = elapsed_s;
+    report.offered_qps = config.open_loop ? config.qps : 0.0;
+    report.achieved_qps = achieved_qps;
+    report.requests = total_requests;
+    report.failures = total_failures;
+    report.generation_regressions = total_regressions;
+    report.generations_seen = generations;
+    report.latency = latency;
+    report.summary = summary;
+    report.exit_code = exit_code;
+    hlm::Status written = WriteJsonReport(json_out, report);
+    if (!written.ok()) {
+      std::fprintf(stderr, "hlm_loadgen: %s\n", written.ToString().c_str());
+      if (exit_code == 0) exit_code = 1;
+    }
   }
   return exit_code;
 }

@@ -3,12 +3,16 @@
 //
 //   hlm_serve --manifest DIR/manifest.txt [--port P] [--port_file F]
 //             [--poll_interval_ms MS] [--recommend_model NAME]
-//             [--similar_model NAME]
+//             [--similar_model NAME] [--slow_request_threshold_s S]
+//             [--trace_sample_every N]
 //
 // Binds 127.0.0.1:<port> (port 0 picks an ephemeral port and prints
 // it; --port_file additionally writes it for scripts), serves
-// /healthz, /statusz, /v1/topics, /v1/recommend, /v1/similar, and hot
-// reloads the manifest when it changes on disk. SIGINT/SIGTERM stop
+// /healthz, /statusz, /metricsz, /v1/topics, /v1/recommend,
+// /v1/similar, and hot reloads the manifest when it changes on disk.
+// Requests slower than --slow_request_threshold_s (or with an error
+// status) are always kept in the flight recorder; 1 in
+// --trace_sample_every of the rest is kept too. SIGINT/SIGTERM stop
 // the server cleanly.
 
 #include <chrono>
@@ -38,6 +42,8 @@ int main(int argc, char** argv) {
   long long poll_interval_ms = 200;
   std::string recommend_model = "lda";
   std::string similar_model = "lda-repr";
+  double slow_request_threshold_s = 0.25;
+  long long trace_sample_every = 100;
 
   hlm::FlagSet flags;
   flags.AddString("manifest", &manifest, "registry manifest path");
@@ -50,6 +56,11 @@ int main(int argc, char** argv) {
                   "registry name of the LDA model for /v1/recommend");
   flags.AddString("similar_model", &similar_model,
                   "registry name of the representation for /v1/similar");
+  flags.AddDouble("slow_request_threshold_s", &slow_request_threshold_s,
+                  "requests at/above this duration always reach the "
+                  "flight recorder");
+  flags.AddInt64("trace_sample_every", &trace_sample_every,
+                 "keep 1 in N fast, successful requests (<= 1 keeps all)");
   hlm::Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
@@ -67,6 +78,8 @@ int main(int argc, char** argv) {
   config.poll_interval_ms = static_cast<int>(poll_interval_ms);
   config.recommend_model = recommend_model;
   config.similar_model = similar_model;
+  config.slow_request_threshold_s = slow_request_threshold_s;
+  config.trace_sample_every = trace_sample_every;
 
   hlm::Result<std::unique_ptr<hlm::serve::Server>> server =
       hlm::serve::Server::Start(config);

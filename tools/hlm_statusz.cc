@@ -16,6 +16,12 @@
 //     writing DIR/hlm-crash-selfcheck.json; scripts/tier1.sh asserts
 //     the dump exists and parses. Exiting ZERO from this command means
 //     the crash path is broken.
+//
+//   hlm_statusz promcheck --file PATH
+//     Validates a Prometheus text-exposition payload (a /metricsz
+//     scrape) with obs::ValidateExposition; exits non-zero with the
+//     offending line on any syntax or histogram-invariant violation.
+//     scripts/tier1.sh runs this against the live daemon's scrape.
 
 #include <cstdio>
 #include <fstream>
@@ -28,6 +34,7 @@
 #include "common/flags.h"
 #include "common/status.h"
 #include "obs/events.h"
+#include "obs/exposition.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/statusz.h"
@@ -153,12 +160,18 @@ int RunSelfcheckCrash(const std::string& dir) {
   return 0;
 }
 
+Status RunPromcheck(const std::string& file) {
+  HLM_ASSIGN_OR_RETURN(std::string payload, ReadFile(file));
+  return hlm::obs::ValidateExposition(payload);
+}
+
 int Usage() {
   std::fprintf(
       stderr,
       "usage: hlm_statusz render --metrics PATH [--events PATH]\n"
       "                          [--format text|json] [--tail N]\n"
-      "       hlm_statusz selfcheck-crash --dir DIR\n");
+      "       hlm_statusz selfcheck-crash --dir DIR\n"
+      "       hlm_statusz promcheck --file PATH\n");
   return 2;
 }
 
@@ -173,6 +186,7 @@ int main(int argc, char** argv) {
   std::string format = "text";
   long long tail = 32;
   std::string dir = ".";
+  std::string file;
 
   hlm::FlagSet flags;
   flags.AddString("metrics", &metrics_path, "metrics snapshot JSON file");
@@ -180,6 +194,7 @@ int main(int argc, char** argv) {
   flags.AddString("format", &format, "output format: text or json");
   flags.AddInt64("tail", &tail, "flight-tail entries to keep");
   flags.AddString("dir", &dir, "crash-dump directory for selfcheck-crash");
+  flags.AddString("file", &file, "exposition payload for promcheck");
   Status parsed = flags.Parse(argc - 1, argv + 1);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
@@ -202,6 +217,17 @@ int main(int argc, char** argv) {
   }
   if (command == "selfcheck-crash") {
     return RunSelfcheckCrash(dir);
+  }
+  if (command == "promcheck") {
+    if (file.empty()) return Usage();
+    Status status = RunPromcheck(file);
+    if (!status.ok()) {
+      std::fprintf(stderr, "hlm_statusz promcheck: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stdout, "hlm_statusz promcheck: %s ok\n", file.c_str());
+    return 0;
   }
   return Usage();
 }

@@ -1,0 +1,242 @@
+// hlm_top: live ANSI console for a running hlm_serve daemon.
+//
+//   hlm_top --port P [--host 127.0.0.1] [--interval_s 1.0] [--once]
+//
+// Polls /statusz?format=json over a keep-alive connection and renders
+// a terminal dashboard: per-endpoint QPS, error rate, and windowed
+// p50/p90/p99 latency from the server's time-series ring (see
+// DESIGN.md "Live telemetry"), plus generation / uptime and the
+// newest reload + sampled-request events from the flight recorder.
+//
+// Loop mode repaints the screen every --interval_s via ANSI
+// clear-home; --once prints a single frame with no escape codes (used
+// by scripts/tier1.sh as a smoke test) and exits non-zero when the
+// daemon cannot be reached or returns malformed JSON.
+
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "obs/json.h"
+#include "serve/http_client.h"
+#include "serve/request_recorder.h"
+
+namespace {
+
+using hlm::FormatDouble;
+using hlm::Status;
+using hlm::obs::JsonValue;
+
+/// Walks nested objects: Path(root, {"metrics", "gauges"}) is
+/// root["metrics"]["gauges"] or nullptr anywhere along the way.
+const JsonValue* Path(const JsonValue& root,
+                      const std::vector<std::string>& keys) {
+  const JsonValue* node = &root;
+  for (const std::string& key : keys) {
+    if (node == nullptr) return nullptr;
+    node = node->Find(key);
+  }
+  return node;
+}
+
+double NumberAt(const JsonValue& root, const std::vector<std::string>& keys,
+                double fallback = 0.0) {
+  const JsonValue* node = Path(root, keys);
+  return node == nullptr ? fallback : node->AsNumber(fallback);
+}
+
+std::string Millis(double seconds) {
+  return FormatDouble(seconds * 1000.0, 2) + "ms";
+}
+
+/// One rendered frame of the dashboard. Pure string building so the
+/// frame appears atomically (no flicker from incremental writes).
+std::string RenderFrame(const JsonValue& doc, const std::string& peer) {
+  std::ostringstream out;
+  const double uptime_s = NumberAt(doc, {"uptime_us"}) / 1e6;
+  const double generation =
+      NumberAt(doc, {"metrics", "gauges", "hlm.serve.server.generation"}, -1);
+  const JsonValue* run_id = doc.Find("run_id");
+  out << "hlm_top — " << peer << "  up " << FormatDouble(uptime_s, 1)
+      << "s  generation " << FormatDouble(generation, 0);
+  if (run_id != nullptr && !run_id->AsString().empty()) {
+    out << "  run_id " << run_id->AsString();
+  }
+  out << "\n";
+
+  const double window_s = NumberAt(doc, {"window", "window_s"});
+  const double covered_s = NumberAt(doc, {"window", "covered_s"});
+  out << "window: last " << FormatDouble(window_s, 0) << "s (covered "
+      << FormatDouble(covered_s, 1) << "s)";
+  if (covered_s <= 0.0) {
+    out << " — no samples yet; the ring fills as requests arrive\n";
+  } else {
+    out << "\n";
+  }
+
+  out << "\n  endpoint     qps        p50        p90        p99    "
+         "req     err  err%\n";
+  const JsonValue* histograms = Path(doc, {"window", "histograms"});
+  const JsonValue* deltas = Path(doc, {"window", "counter_deltas"});
+  for (size_t i = 0; i < hlm::serve::kNumRoutes; ++i) {
+    const char* route =
+        hlm::serve::RouteName(static_cast<hlm::serve::Route>(i));
+    const std::string prefix = std::string("hlm.serve.http.") + route;
+    const JsonValue* histogram =
+        histograms == nullptr
+            ? nullptr
+            : histograms->Find(prefix + ".request_seconds");
+    double requests = 0.0;
+    double errors = 0.0;
+    if (deltas != nullptr) {
+      const JsonValue* value = deltas->Find(prefix + ".requests_total");
+      if (value != nullptr) requests = value->AsNumber();
+      value = deltas->Find(prefix + ".errors_total");
+      if (value != nullptr) errors = value->AsNumber();
+    }
+    if (histogram == nullptr && requests <= 0.0 && errors <= 0.0) continue;
+    const double qps =
+        histogram == nullptr ? 0.0 : NumberAt(*histogram, {"qps"});
+    const double p50 =
+        histogram == nullptr ? 0.0 : NumberAt(*histogram, {"p50"});
+    const double p90 =
+        histogram == nullptr ? 0.0 : NumberAt(*histogram, {"p90"});
+    const double p99 =
+        histogram == nullptr ? 0.0 : NumberAt(*histogram, {"p99"});
+    const double err_pct = requests > 0.0 ? 100.0 * errors / requests : 0.0;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  %-9s %7.1f %10s %10s %10s %6.0f %7.0f %5.1f\n", route,
+                  qps, Millis(p50).c_str(), Millis(p90).c_str(),
+                  Millis(p99).c_str(), requests, errors, err_pct);
+    out << line;
+  }
+
+  out << "\n  tracing: kept ";
+  out << FormatDouble(
+      NumberAt(doc, {"window", "counter_deltas", "hlm.serve.trace.kept_total"}),
+      0);
+  out << " (slow "
+      << FormatDouble(NumberAt(doc, {"window", "counter_deltas",
+                                     "hlm.serve.trace.slow_total"}),
+                      0)
+      << ", sampled "
+      << FormatDouble(NumberAt(doc, {"window", "counter_deltas",
+                                     "hlm.serve.trace.sampled_total"}),
+                      0)
+      << ") in window; reloads "
+      << FormatDouble(NumberAt(doc, {"window", "counter_deltas",
+                                     "hlm.serve.server.reloads_total"}),
+                      0)
+      << "\n";
+
+  const JsonValue* tail = doc.Find("flight_tail");
+  out << "\n  recent events:\n";
+  size_t shown = 0;
+  if (tail != nullptr && tail->is_array()) {
+    // Newest last in the tail; walk backwards, print the newest 8.
+    for (size_t i = tail->size(); i-- > 0 && shown < 8;) {
+      const JsonValue* entry = tail->At(i);
+      if (entry == nullptr) continue;
+      const JsonValue* name = entry->Find("name");
+      if (name == nullptr) continue;
+      const std::string event_name = name->AsString();
+      if (event_name != "serve.server.reloaded" &&
+          event_name != "serve.http.request" &&
+          event_name != "serve.server.started") {
+        continue;
+      }
+      const JsonValue* detail = entry->Find("detail");
+      const double ts_s = NumberAt(*entry, {"ts_us"}) / 1e6;
+      out << "    [" << FormatDouble(ts_s, 3) << "s] " << event_name;
+      if (detail != nullptr && detail->is_object()) {
+        for (const auto& [key, value] : detail->object()) {
+          const double number = value.AsNumber();
+          const bool whole = number == static_cast<long long>(number);
+          out << " " << key << "="
+              << value.AsString(FormatDouble(number, whole ? 0 : 6));
+        }
+      }
+      out << "\n";
+      ++shown;
+    }
+  }
+  if (shown == 0) out << "    (none kept yet)\n";
+  return out.str();
+}
+
+Status FetchAndRender(hlm::serve::HttpClient* client, const std::string& peer,
+                      bool clear_screen) {
+  HLM_ASSIGN_OR_RETURN(hlm::serve::HttpResponse response,
+                       client->Get("/statusz?format=json"));
+  if (response.status_code != 200) {
+    return Status::Internal("/statusz returned HTTP " +
+                            std::to_string(response.status_code));
+  }
+  HLM_ASSIGN_OR_RETURN(JsonValue doc, JsonValue::Parse(response.body));
+  const std::string frame = RenderFrame(doc, peer);
+  if (clear_screen) std::fputs("\x1b[H\x1b[2J", stdout);
+  std::fputs(frame.c_str(), stdout);
+  std::fflush(stdout);
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  long long port = 0;
+  double interval_s = 1.0;
+  bool once = false;
+
+  hlm::FlagSet flags;
+  flags.AddString("host", &host, "daemon address (dotted quad)");
+  flags.AddInt64("port", &port, "daemon port (required)");
+  flags.AddDouble("interval_s", &interval_s, "refresh interval");
+  flags.AddBool("once", &once, "print one frame and exit (no ANSI codes)");
+  hlm::Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+  if (port <= 0) {
+    std::fprintf(stderr, "--port is required\n%s", flags.Usage().c_str());
+    return 2;
+  }
+  if (interval_s <= 0) interval_s = 1.0;
+  const std::string peer = host + ":" + std::to_string(port);
+
+  std::optional<hlm::serve::HttpClient> client;
+  while (true) {
+    if (!client.has_value()) {
+      hlm::Result<hlm::serve::HttpClient> connected =
+          hlm::serve::HttpClient::Connect(host, static_cast<int>(port));
+      if (!connected.ok()) {
+        std::fprintf(stderr, "hlm_top: %s\n",
+                     connected.status().ToString().c_str());
+        if (once) return 1;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(interval_s));
+        continue;
+      }
+      client.emplace(std::move(connected).value());
+    }
+    hlm::Status status = FetchAndRender(&client.value(), peer, !once);
+    if (!status.ok()) {
+      std::fprintf(stderr, "hlm_top: %s\n", status.ToString().c_str());
+      if (once) return 1;
+      client.reset();  // reconnect on the next tick
+    } else if (once) {
+      return 0;
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+  }
+}
